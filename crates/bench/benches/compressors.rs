@@ -1,0 +1,45 @@
+//! Criterion micro-benchmarks backing Table I: EBLC compress/decompress
+//! throughput on model-weight data.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fedsz_bench::lossy_partition_values;
+use fedsz_lossy::{ErrorBound, LossyKind};
+use fedsz_nn::models::specs::ModelSpec;
+
+fn weight_sample() -> Vec<f32> {
+    let dict = ModelSpec::mobilenet_v2().instantiate_scaled(42, 0.2);
+    let mut w = lossy_partition_values(&dict, 1000);
+    w.truncate(1 << 18); // 1 MiB of f32s keeps iterations fast
+    w
+}
+
+fn bench_lossy(c: &mut Criterion) {
+    let data = weight_sample();
+    let bytes = (data.len() * 4) as u64;
+
+    let mut group = c.benchmark_group("eblc_compress");
+    group.throughput(Throughput::Bytes(bytes));
+    group.sample_size(10);
+    for kind in LossyKind::all() {
+        let codec = kind.codec();
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &data, |b, data| {
+            b.iter(|| codec.compress(data, ErrorBound::Relative(1e-2)).unwrap());
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("eblc_decompress");
+    group.throughput(Throughput::Bytes(bytes));
+    group.sample_size(10);
+    for kind in LossyKind::all() {
+        let codec = kind.codec();
+        let packed = codec.compress(&data, ErrorBound::Relative(1e-2)).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &packed, |b, packed| {
+            b.iter(|| codec.decompress(packed).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lossy);
+criterion_main!(benches);

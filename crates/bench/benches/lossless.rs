@@ -1,0 +1,43 @@
+//! Criterion micro-benchmarks backing Table II: lossless codec
+//! throughput on model metadata bytes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fedsz_bench::lossless_partition_bytes;
+use fedsz_lossless::LosslessKind;
+use fedsz_nn::models::specs::ModelSpec;
+
+fn metadata_sample() -> Vec<u8> {
+    let dict = ModelSpec::alexnet().instantiate_scaled(42, 1.0);
+    let mut bytes = lossless_partition_bytes(&dict, 1000);
+    bytes.truncate(1 << 19);
+    bytes
+}
+
+fn bench_lossless(c: &mut Criterion) {
+    let data = metadata_sample();
+    let mut group = c.benchmark_group("lossless_compress");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.sample_size(10);
+    for kind in LosslessKind::all() {
+        let codec = kind.codec();
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &data, |b, data| {
+            b.iter(|| codec.compress(data));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("lossless_decompress");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.sample_size(10);
+    for kind in LosslessKind::all() {
+        let codec = kind.codec();
+        let packed = codec.compress(&data);
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &packed, |b, packed| {
+            b.iter(|| codec.decompress(packed).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lossless);
+criterion_main!(benches);

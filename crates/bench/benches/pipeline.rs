@@ -1,0 +1,37 @@
+//! Criterion benchmarks of the end-to-end FedSZ pipeline (Fig 1):
+//! partition + lossy + lossless + serialization, and the reverse.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fedsz::{ErrorBound, FedSz, FedSzConfig};
+use fedsz_nn::models::specs::ModelSpec;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let dict = ModelSpec::mobilenet_v2().instantiate_scaled(42, 0.1);
+    let bytes = dict.byte_size() as u64;
+
+    let mut group = c.benchmark_group("fedsz_pipeline");
+    group.throughput(Throughput::Bytes(bytes));
+    group.sample_size(10);
+    for eb in [1e-2f64, 1e-3] {
+        let fedsz = FedSz::new(FedSzConfig::default().with_error_bound(ErrorBound::Relative(eb)));
+        group.bench_with_input(
+            BenchmarkId::new("compress", format!("{eb:.0e}")),
+            &dict,
+            |b, dict| {
+                b.iter(|| fedsz.compress(dict).unwrap());
+            },
+        );
+        let packed = fedsz.compress(&dict).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("decompress", format!("{eb:.0e}")),
+            packed.bytes(),
+            |b, bytes| {
+                b.iter(|| fedsz.decompress(bytes).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

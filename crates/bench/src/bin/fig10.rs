@@ -1,0 +1,61 @@
+//! Figure 10: distribution of decompression errors vs Laplace fits.
+//!
+//! Pools FedSZ (SZ2) pointwise errors over a full-size model update at
+//! REL bounds 0.5 / 0.1 / 0.05, prints text histograms, and fits
+//! Laplace and Gaussian models by maximum likelihood, reporting KS
+//! distances — the quantitative version of the paper's "looks
+//! Laplacian" observation, plus the ε the Laplace mechanism would give.
+
+use fedsz_bench::{print_table, render_histogram, Args};
+use fedsz_codec::stats::Histogram;
+use fedsz_dp::{analyze_noise, compression_errors};
+use fedsz_lossy::{ErrorBound, LossyKind};
+use fedsz_nn::models::specs::ModelSpec;
+
+fn main() {
+    let args = Args::parse();
+    let scale = args.scale(0.02);
+    let dict = ModelSpec::alexnet().instantiate_scaled(42, scale);
+    let codec = LossyKind::Sz2.codec();
+
+    let mut rows = Vec::new();
+    for &eb in &[0.5f64, 0.1, 0.05] {
+        // Pool errors across tensors: each gets its own absolute bound
+        // (value-range relative mode), exactly like a FedSZ update.
+        let mut errors = Vec::new();
+        for (name, tensor) in dict.iter() {
+            if fedsz::partition::is_lossy(name, tensor.len(), 1000) {
+                errors.extend(
+                    compression_errors(codec.as_ref(), tensor.data(), ErrorBound::Relative(eb))
+                        .unwrap(),
+                );
+            }
+        }
+        let report = analyze_noise(&errors);
+        let spread = 3.0 * report.laplace.scale;
+        let hist = Histogram::build(&errors, -spread, spread, 21);
+        println!(
+            "\n{}",
+            render_histogram(&format!("Figure 10: error density at REL {eb}"), &hist)
+        );
+        rows.push(vec![
+            format!("{eb}"),
+            format!("{:.2e}", report.laplace.scale),
+            format!("{:.4}", report.ks_laplace),
+            format!("{:.4}", report.ks_gaussian),
+            format!("{}", if report.laplace_preferred() { "Laplace" } else { "Gaussian" }),
+            format!("{:.2}", report.laplace.epsilon_for_sensitivity(1.0)),
+        ]);
+    }
+    print_table(
+        "Figure 10: error-distribution fits",
+        &["REL bound", "Laplace b", "KS(Laplace)", "KS(Gaussian)", "Better fit", "eps(sens=1)"],
+        &rows,
+    );
+    println!("\nShape check vs paper: pooled errors are sharply peaked and Laplace-like.");
+    println!("Nuance our substrate makes visible: when the bound is loose relative to");
+    println!("the weight bulk (outlier-driven ranges make REL 0.05-0.5 bins wider than");
+    println!("most weights), the error inherits the weight distribution itself — which");
+    println!("is Laplacian-shaped — rather than scaling with the bound. As the paper");
+    println!("notes, all of this is suggestive of DP, not a formal guarantee.");
+}

@@ -1,0 +1,48 @@
+//! Figure 6: client epoch-time breakdown (train / validation /
+//! compression) with FedSZ at REL 1e-2.
+//!
+//! Runs one FedAvg round per model/dataset pair and reports the measured
+//! wall-clock split. The paper's claim: compression averages ~4.7% of
+//! the epoch (worst case 17%).
+
+use fedsz_bench::{print_table, Args};
+use fedsz_data::DatasetKind;
+use fedsz_fl::{Experiment, FlConfig};
+use fedsz_nn::models::tiny::TinyArch;
+
+fn main() {
+    let args = Args::parse();
+    let rounds: usize = args.get("--rounds", 2);
+    let mut rows = Vec::new();
+    let mut fractions = Vec::new();
+    for dataset in DatasetKind::all() {
+        for arch in TinyArch::all() {
+            let mut config = FlConfig::paper_default(arch, dataset);
+            config.rounds = rounds;
+            let metrics = Experiment::new(config).run();
+            let n = metrics.len() as f64;
+            let train: f64 = metrics.iter().map(|m| m.train_secs).sum::<f64>() / n;
+            let comp: f64 = metrics.iter().map(|m| m.compress_secs).sum::<f64>() / n;
+            let val: f64 = metrics.iter().map(|m| m.validation_secs).sum::<f64>() / n;
+            let total = train + comp + val;
+            let frac = if total > 0.0 { comp / total * 100.0 } else { 0.0 };
+            fractions.push(frac);
+            rows.push(vec![
+                dataset.name().to_string(),
+                arch.name().to_string(),
+                format!("{train:.3}"),
+                format!("{val:.3}"),
+                format!("{comp:.4}"),
+                format!("{frac:.1}%"),
+            ]);
+        }
+    }
+    print_table(
+        "Figure 6: client epoch time breakdown (seconds, measured)",
+        &["Dataset", "Model", "Train (s)", "Validate (s)", "Compress (s)", "Compress %"],
+        &rows,
+    );
+    let mean = fractions.iter().sum::<f64>() / fractions.len() as f64;
+    println!("\nMean compression share of epoch time: {mean:.1}% (paper: 4.7% mean,");
+    println!("<12.5% typical, 17% worst case).");
+}

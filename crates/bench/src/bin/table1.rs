@@ -1,0 +1,93 @@
+//! Table I: EBLC comparison across models for CIFAR-10.
+//!
+//! Columns: runtime (s), throughput (MB/s), compression ratio and top-1
+//! accuracy, for SZ2/SZ3/SZx/ZFP at REL bounds 1e-2, 1e-3, 1e-4.
+//!
+//! Runtime/throughput/ratio are measured on the full-size model weight
+//! partitions (sampled by `--scale`, default 0.05); accuracy comes from
+//! real FL runs of the tiny trainable variants (`--rounds`, default 6;
+//! `--skip-accuracy` to omit). The paper's absolute numbers come from a
+//! Raspberry Pi 5 and an A100 cluster; the *shape* to check is: SZx
+//! fastest, SZ2 best ratio/accuracy balance, ZFP lowest ratio.
+
+use fedsz::{ErrorBound, FedSzConfig, LossyKind};
+use fedsz_bench::{lossy_partition_values, print_table, timed, Args};
+use fedsz_data::DatasetKind;
+use fedsz_fl::{Experiment, FlConfig};
+use fedsz_nn::models::specs::ModelSpec;
+use fedsz_nn::models::tiny::TinyArch;
+
+fn main() {
+    let args = Args::parse();
+    let scale = args.scale(0.05);
+    let rounds: usize = args.get("--rounds", 6);
+    let bounds = [1e-2f64, 1e-3, 1e-4];
+    let with_accuracy = !args.has("--skip-accuracy");
+
+    println!("Table I reproduction (scale = {scale}, rounds = {rounds})");
+    println!("Paper reference: SZ2 best ratio, SZx fastest, ZFP lowest ratio.");
+
+    let mut rows = Vec::new();
+    for spec in ModelSpec::all() {
+        let dict = spec.instantiate_scaled(42, scale);
+        let weights = lossy_partition_values(&dict, 1000);
+        let mb = (weights.len() * 4) as f64 / 1e6;
+        for kind in LossyKind::all() {
+            let codec = kind.codec();
+            let mut cells = vec![spec.name().to_string(), kind.name().to_string()];
+            let mut ratios = Vec::new();
+            let mut runtimes = Vec::new();
+            for &eb in &bounds {
+                let (packed, secs) =
+                    timed(|| codec.compress(&weights, ErrorBound::Relative(eb)).unwrap());
+                runtimes.push(secs);
+                ratios.push((weights.len() * 4) as f64 / packed.len() as f64);
+            }
+            for secs in &runtimes {
+                cells.push(format!("{secs:.3}"));
+            }
+            for secs in &runtimes {
+                cells.push(format!("{:.1}", mb / secs));
+            }
+            for r in &ratios {
+                cells.push(format!("{r:.3}"));
+            }
+            if with_accuracy {
+                let arch = match spec.name() {
+                    "AlexNet" => TinyArch::AlexNet,
+                    "MobileNet-V2" => TinyArch::MobileNetV2,
+                    _ => TinyArch::ResNet,
+                };
+                for &eb in &bounds {
+                    let mut config = FlConfig::paper_default(arch, DatasetKind::Cifar10Like);
+                    config.rounds = rounds;
+                    config.compression = Some(
+                        FedSzConfig {
+                            lossy: kind,
+                            ..FlConfig::tiny_model_compression()
+                        }
+                        .with_error_bound(ErrorBound::Relative(eb)),
+                    );
+                    let metrics = Experiment::new(config).run();
+                    let acc = metrics.last().map(|m| m.test_accuracy).unwrap_or(0.0);
+                    cells.push(format!("{:.2}", acc * 100.0));
+                }
+            }
+            rows.push(cells);
+        }
+    }
+
+    let mut headers = vec!["Model", "Compressor"];
+    headers.extend(["t_C 1e-2 (s)", "t_C 1e-3 (s)", "t_C 1e-4 (s)"]);
+    headers.extend(["MB/s 1e-2", "MB/s 1e-3", "MB/s 1e-4"]);
+    headers.extend(["CR 1e-2", "CR 1e-3", "CR 1e-4"]);
+    if with_accuracy {
+        headers.extend(["Acc% 1e-2", "Acc% 1e-3", "Acc% 1e-4"]);
+    }
+    print_table("Table I: EBLC comparison (CIFAR-10)", &headers, &rows);
+    println!("\nNotes:");
+    println!("- weights sampled at scale {scale}; CR is size-independent per byte.");
+    println!("- accuracy from tiny trainable variants on the synthetic CIFAR-10-like task.");
+    println!("- deviation: our faithful error-bounded SZx preserves accuracy; the paper");
+    println!("  reports SZx at 10% (random), an artifact of their integration.");
+}

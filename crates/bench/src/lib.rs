@@ -1,0 +1,223 @@
+//! Shared infrastructure for the table/figure regeneration binaries.
+//!
+//! Every table and figure of the FedSZ paper has a binary under
+//! `src/bin/` (`table1` … `table5`, `fig2` … `fig10`) that prints the
+//! corresponding rows/series. This module provides the tiny CLI parser,
+//! ASCII table/plot rendering and timing helpers they share.
+//!
+//! Most binaries accept `--scale <f>` (fraction of each full-size model
+//! tensor used, default 0.05 — compression ratios are per-byte
+//! quantities, so a prefix sample is representative) and `--full`
+//! (equivalent to `--scale 1.0`). Training-based binaries accept
+//! `--rounds <n>`.
+
+#![forbid(unsafe_code)]
+
+use std::time::Instant;
+
+/// Minimal argument accessor over `std::env::args`.
+#[derive(Debug, Clone)]
+pub struct Args {
+    raw: Vec<String>,
+}
+
+impl Args {
+    /// Captures the process arguments.
+    pub fn parse() -> Self {
+        Self { raw: std::env::args().skip(1).collect() }
+    }
+
+    /// Builds from an explicit list (for tests).
+    pub fn from_vec(raw: Vec<String>) -> Self {
+        Self { raw }
+    }
+
+    /// Whether a bare flag is present.
+    pub fn has(&self, flag: &str) -> bool {
+        self.raw.iter().any(|a| a == flag)
+    }
+
+    /// Value of `--key v`, parsed, or the default.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a clear message when the value does not parse.
+    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        match self.raw.iter().position(|a| a == key) {
+            Some(i) => {
+                let v = self.raw.get(i + 1).unwrap_or_else(|| panic!("{key} requires a value"));
+                v.parse().unwrap_or_else(|_| panic!("could not parse `{v}` for {key}"))
+            }
+            None => default,
+        }
+    }
+
+    /// The model-scale fraction (`--full` overrides `--scale`).
+    pub fn scale(&self, default: f64) -> f64 {
+        if self.has("--full") {
+            1.0
+        } else {
+            self.get("--scale", default)
+        }
+    }
+}
+
+/// Times a closure, returning its value and elapsed seconds.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = Instant::now();
+    let value = f();
+    (value, t0.elapsed().as_secs_f64())
+}
+
+/// Renders an aligned ASCII table.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let line = |out: &mut String, cells: &[String]| {
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(&format!("{cell:<width$}", width = widths[i]));
+        }
+        out.push('\n');
+    };
+    line(&mut out, &headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        line(&mut out, row);
+    }
+    out
+}
+
+/// Prints a table with a title banner.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===\n");
+    print!("{}", render_table(headers, rows));
+}
+
+/// Renders one `(x, y)` series as an ASCII bar chart (log-ish friendly:
+/// bars are proportional to `y / max(y)`).
+pub fn render_series(title: &str, points: &[(String, f64)]) -> String {
+    let max = points.iter().map(|(_, y)| *y).fold(f64::MIN_POSITIVE, f64::max);
+    let label_w = points.iter().map(|(x, _)| x.len()).max().unwrap_or(4);
+    let mut out = format!("{title}\n");
+    for (x, y) in points {
+        let bar = "#".repeat(((y / max) * 50.0).round().max(0.0) as usize);
+        out.push_str(&format!("{x:<label_w$}  {y:>12.4}  {bar}\n"));
+    }
+    out
+}
+
+/// Renders a normalized text histogram (Fig 3/10 style).
+pub fn render_histogram(title: &str, hist: &fedsz_codec::stats::Histogram) -> String {
+    let mut out = format!("{title}\n");
+    let peak = (0..hist.counts.len()).map(|i| hist.density(i)).fold(f64::MIN_POSITIVE, f64::max);
+    for i in 0..hist.counts.len() {
+        let d = hist.density(i);
+        let bar = "#".repeat(((d / peak) * 40.0).round() as usize);
+        out.push_str(&format!("{:>9.4}  {d:>9.4}  {bar}\n", hist.center(i)));
+    }
+    out
+}
+
+/// Concatenates the lossy-partition values of a state dict (the data the
+/// EBLC benchmarks compress), using the given threshold.
+pub fn lossy_partition_values(dict: &fedsz_nn::StateDict, threshold: usize) -> Vec<f32> {
+    let mut values = Vec::new();
+    for (name, tensor) in dict.iter() {
+        if fedsz::partition::is_lossy(name, tensor.len(), threshold) {
+            values.extend_from_slice(tensor.data());
+        }
+    }
+    values
+}
+
+/// Serializes the lossless-partition values of a state dict to bytes
+/// (what Table II's lossless codecs compress).
+pub fn lossless_partition_bytes(dict: &fedsz_nn::StateDict, threshold: usize) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    for (name, tensor) in dict.iter() {
+        if !fedsz::partition::is_lossy(name, tensor.len(), threshold) {
+            for &v in tensor.data() {
+                bytes.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+    }
+    bytes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn args_parse_values_and_flags() {
+        let args = Args::from_vec(vec![
+            "--scale".into(),
+            "0.25".into(),
+            "--rounds".into(),
+            "7".into(),
+            "--verbose".into(),
+        ]);
+        assert_eq!(args.get("--rounds", 10usize), 7);
+        assert!((args.scale(0.05) - 0.25).abs() < 1e-12);
+        assert!(args.has("--verbose"));
+        assert!(!args.has("--full"));
+        assert_eq!(args.get("--missing", 3usize), 3);
+    }
+
+    #[test]
+    fn full_overrides_scale() {
+        let args = Args::from_vec(vec!["--full".into(), "--scale".into(), "0.1".into()]);
+        assert_eq!(args.scale(0.05), 1.0);
+    }
+
+    #[test]
+    fn tables_align() {
+        let rendered = render_table(
+            &["Model", "Ratio"],
+            &[
+                vec!["AlexNet".into(), "12.61".into()],
+                vec!["MobileNet-V2".into(), "5.39".into()],
+            ],
+        );
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("Model"));
+        assert!(lines[2].contains("12.61"));
+    }
+
+    #[test]
+    fn series_renders_bars() {
+        let s = render_series(
+            "comm time",
+            &[("10".into(), 100.0), ("100".into(), 10.0)],
+        );
+        assert!(s.contains("##"));
+    }
+
+    #[test]
+    fn partition_helpers_split_consistently() {
+        let dict = fedsz_nn::models::specs::ModelSpec::mobilenet_v2().instantiate_scaled(1, 0.01);
+        let lossy = lossy_partition_values(&dict, 100);
+        let lossless = lossless_partition_bytes(&dict, 100);
+        assert_eq!(lossy.len() * 4 + lossless.len(), dict.byte_size());
+    }
+
+    #[test]
+    fn timed_measures_something() {
+        let (v, secs) = timed(|| (0..10_000).sum::<u64>());
+        assert_eq!(v, 49_995_000);
+        assert!(secs >= 0.0);
+    }
+}

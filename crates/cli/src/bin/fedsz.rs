@@ -1,0 +1,18 @@
+//! The `fedsz` command-line tool; all logic lives in `fedsz_cli`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let outcome = fedsz_cli::run(&args);
+    if outcome.code == 0 {
+        print!("{}", outcome.report);
+        if !outcome.report.ends_with('\n') {
+            println!();
+        }
+    } else {
+        eprint!("{}", outcome.report);
+        if !outcome.report.ends_with('\n') {
+            eprintln!();
+        }
+    }
+    std::process::exit(outcome.code);
+}

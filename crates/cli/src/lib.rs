@@ -1,0 +1,341 @@
+//! Command-line interface for the FedSZ pipeline.
+//!
+//! Ships a `fedsz` binary with four subcommands:
+//!
+//! * `fedsz gen <model> <out.fsd>` — generate a full-size model state
+//!   dict (AlexNet / MobileNetV2 / ResNet50) for experimentation,
+//! * `fedsz compress <in.fsd> <out.fsz>` — run the FedSZ pipeline,
+//! * `fedsz decompress <in.fsz> <out.fsd>` — reverse it,
+//! * `fedsz inspect <file>` — describe either format.
+//!
+//! The library half exposes [`run`] so the whole surface is unit-tested
+//! without spawning processes.
+
+#![forbid(unsafe_code)]
+
+use fedsz::{ErrorBound, FedSz, FedSzConfig, LosslessKind, LossyKind};
+use fedsz_nn::models::specs::ModelSpec;
+use fedsz_nn::StateDict;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Outcome of a CLI invocation: the text to print and the exit code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Outcome {
+    /// Human-readable report for stdout.
+    pub report: String,
+    /// Process exit code (0 = success).
+    pub code: i32,
+}
+
+impl Outcome {
+    fn ok(report: String) -> Self {
+        Self { report, code: 0 }
+    }
+
+    fn fail(report: String) -> Self {
+        Self { report, code: 2 }
+    }
+}
+
+/// Usage text shown for `--help` and argument errors.
+pub const USAGE: &str = "\
+fedsz — error-bounded lossy compression for FL model updates
+
+USAGE:
+  fedsz gen <alexnet|mobilenetv2|resnet50> <out.fsd> [--seed N] [--scale F]
+  fedsz compress <in.fsd> <out.fsz> [--eb REL] [--abs ABS] [--lossy sz2|sz3|szx|zfp]
+                 [--lossless blosc-lz|zlib|gzip|zstd|xz] [--threshold N]
+  fedsz decompress <in.fsz> <out.fsd>
+  fedsz inspect <file>
+";
+
+/// Executes a CLI invocation (argv without the program name).
+pub fn run(args: &[String]) -> Outcome {
+    match args.first().map(String::as_str) {
+        Some("gen") => gen(&args[1..]),
+        Some("compress") => compress(&args[1..]),
+        Some("decompress") => decompress(&args[1..]),
+        Some("inspect") => inspect(&args[1..]),
+        Some("--help") | Some("-h") => Outcome::ok(USAGE.to_string()),
+        _ => Outcome::fail(USAGE.to_string()),
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], key: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == key).and_then(|i| args.get(i + 1)).map(String::as_str)
+}
+
+fn gen(args: &[String]) -> Outcome {
+    let (Some(model), Some(out)) = (args.first(), args.get(1)) else {
+        return Outcome::fail(USAGE.to_string());
+    };
+    let Some(spec) = ModelSpec::by_name(model) else {
+        return Outcome::fail(format!("unknown model `{model}`; try alexnet, mobilenetv2, resnet50"));
+    };
+    let seed: u64 = match flag_value(args, "--seed").map(str::parse).transpose() {
+        Ok(v) => v.unwrap_or(42),
+        Err(_) => return Outcome::fail("--seed expects an integer".into()),
+    };
+    let scale: f64 = match flag_value(args, "--scale").map(str::parse).transpose() {
+        Ok(v) => v.unwrap_or(1.0),
+        Err(_) => return Outcome::fail("--scale expects a number".into()),
+    };
+    if !(0.0..=1.0).contains(&scale) || scale == 0.0 {
+        return Outcome::fail("--scale must be in (0, 1]".into());
+    }
+    let dict =
+        if scale < 1.0 { spec.instantiate_scaled(seed, scale) } else { spec.instantiate(seed) };
+    if let Err(e) = std::fs::write(out, dict.to_bytes()) {
+        return Outcome::fail(format!("cannot write {out}: {e}"));
+    }
+    Outcome::ok(format!(
+        "wrote {} ({} tensors, {:.1} MB) to {out}",
+        spec.name(),
+        dict.len(),
+        dict.byte_size() as f64 / 1e6
+    ))
+}
+
+fn parse_lossy(name: &str) -> Option<LossyKind> {
+    match name.to_ascii_lowercase().as_str() {
+        "sz2" => Some(LossyKind::Sz2),
+        "sz3" => Some(LossyKind::Sz3),
+        "szx" => Some(LossyKind::Szx),
+        "zfp" => Some(LossyKind::Zfp),
+        _ => None,
+    }
+}
+
+fn parse_lossless(name: &str) -> Option<LosslessKind> {
+    match name.to_ascii_lowercase().as_str() {
+        "blosc-lz" | "blosclz" => Some(LosslessKind::BloscLz),
+        "zlib" => Some(LosslessKind::Zlib),
+        "gzip" => Some(LosslessKind::Gzip),
+        "zstd" => Some(LosslessKind::Zstd),
+        "xz" => Some(LosslessKind::Xz),
+        _ => None,
+    }
+}
+
+fn compress(args: &[String]) -> Outcome {
+    let (Some(input), Some(output)) = (args.first(), args.get(1)) else {
+        return Outcome::fail(USAGE.to_string());
+    };
+    let mut config = FedSzConfig::default();
+    if let Some(eb) = flag_value(args, "--eb") {
+        match eb.parse::<f64>() {
+            Ok(v) => config.error_bound = ErrorBound::Relative(v),
+            Err(_) => return Outcome::fail("--eb expects a number (relative bound)".into()),
+        }
+    }
+    if let Some(eb) = flag_value(args, "--abs") {
+        match eb.parse::<f64>() {
+            Ok(v) => config.error_bound = ErrorBound::Absolute(v),
+            Err(_) => return Outcome::fail("--abs expects a number (absolute bound)".into()),
+        }
+    }
+    if let Some(name) = flag_value(args, "--lossy") {
+        match parse_lossy(name) {
+            Some(kind) => config.lossy = kind,
+            None => return Outcome::fail(format!("unknown lossy codec `{name}`")),
+        }
+    }
+    if let Some(name) = flag_value(args, "--lossless") {
+        match parse_lossless(name) {
+            Some(kind) => config.lossless = kind,
+            None => return Outcome::fail(format!("unknown lossless codec `{name}`")),
+        }
+    }
+    if let Some(t) = flag_value(args, "--threshold") {
+        match t.parse::<usize>() {
+            Ok(v) => config.threshold = v,
+            Err(_) => return Outcome::fail("--threshold expects an integer".into()),
+        }
+    }
+    let bytes = match std::fs::read(input) {
+        Ok(b) => b,
+        Err(e) => return Outcome::fail(format!("cannot read {input}: {e}")),
+    };
+    let dict = match StateDict::from_bytes(&bytes) {
+        Ok(d) => d,
+        Err(e) => return Outcome::fail(format!("{input} is not a state dict: {e}")),
+    };
+    let packed = match FedSz::new(config).compress(&dict) {
+        Ok(p) => p,
+        Err(e) => return Outcome::fail(format!("compression failed: {e}")),
+    };
+    let stats = *packed.stats();
+    if let Err(e) = std::fs::write(output, packed.bytes()) {
+        return Outcome::fail(format!("cannot write {output}: {e}"));
+    }
+    Outcome::ok(format!(
+        "{:.2} MB -> {:.2} MB (ratio {:.2}x, {} lossy / {} lossless tensors) -> {output}",
+        stats.original_bytes as f64 / 1e6,
+        stats.compressed_bytes as f64 / 1e6,
+        stats.ratio(),
+        stats.lossy_tensors,
+        stats.lossless_tensors,
+    ))
+}
+
+fn decompress(args: &[String]) -> Outcome {
+    let (Some(input), Some(output)) = (args.first(), args.get(1)) else {
+        return Outcome::fail(USAGE.to_string());
+    };
+    let bytes = match std::fs::read(input) {
+        Ok(b) => b,
+        Err(e) => return Outcome::fail(format!("cannot read {input}: {e}")),
+    };
+    let (dict, config) = match FedSz::decompress_with_config(&bytes) {
+        Ok(d) => d,
+        Err(e) => return Outcome::fail(format!("{input} is not a FedSZ stream: {e}")),
+    };
+    if let Err(e) = std::fs::write(output, dict.to_bytes()) {
+        return Outcome::fail(format!("cannot write {output}: {e}"));
+    }
+    Outcome::ok(format!(
+        "restored {} tensors ({:.2} MB) compressed with {}+{} @ {} -> {output}",
+        dict.len(),
+        dict.byte_size() as f64 / 1e6,
+        config.lossy.name(),
+        config.lossless.name(),
+        config.error_bound,
+    ))
+}
+
+fn inspect(args: &[String]) -> Outcome {
+    let Some(input) = args.first() else {
+        return Outcome::fail(USAGE.to_string());
+    };
+    let bytes = match std::fs::read(input) {
+        Ok(b) => b,
+        Err(e) => return Outcome::fail(format!("cannot read {input}: {e}")),
+    };
+    let mut report = String::new();
+    if let Ok(dict) = StateDict::from_bytes(&bytes) {
+        let _ = writeln!(
+            report,
+            "{input}: state dict, {} tensors, {} elements, {:.2} MB",
+            dict.len(),
+            dict.total_elements(),
+            dict.byte_size() as f64 / 1e6
+        );
+        for (name, tensor) in dict.iter().take(12) {
+            let _ = writeln!(report, "  {name}: {:?}", tensor.shape());
+        }
+        if dict.len() > 12 {
+            let _ = writeln!(report, "  ... and {} more", dict.len() - 12);
+        }
+        return Outcome::ok(report);
+    }
+    match FedSz::decompress_with_config(&bytes) {
+        Ok((dict, config)) => {
+            let _ = writeln!(
+                report,
+                "{input}: FedSZ stream ({} bytes), {}+{} @ {}, threshold {}",
+                bytes.len(),
+                config.lossy.name(),
+                config.lossless.name(),
+                config.error_bound,
+                config.threshold,
+            );
+            let _ = writeln!(
+                report,
+                "  decodes to {} tensors / {} elements ({:.2} MB, ratio {:.2}x)",
+                dict.len(),
+                dict.total_elements(),
+                dict.byte_size() as f64 / 1e6,
+                dict.byte_size() as f64 / bytes.len() as f64,
+            );
+            Outcome::ok(report)
+        }
+        Err(e) => Outcome::fail(format!("{input}: unrecognized format ({e})")),
+    }
+}
+
+/// Test helper: a scratch file path in the OS temp dir.
+pub fn temp_path(tag: &str) -> String {
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+    dir.join(format!("fedsz-cli-{pid}-{tag}")).to_string_lossy().into_owned()
+}
+
+/// Removes scratch files, ignoring errors.
+pub fn cleanup(paths: &[&str]) {
+    for p in paths {
+        let _ = std::fs::remove_file(Path::new(p));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn runv(args: &[&str]) -> Outcome {
+        run(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn help_and_unknown_commands() {
+        assert_eq!(runv(&["--help"]).code, 0);
+        assert_ne!(runv(&["frobnicate"]).code, 0);
+        assert_ne!(runv(&[]).code, 0);
+    }
+
+    #[test]
+    fn full_pipeline_via_cli() {
+        let fsd = temp_path("gen.fsd");
+        let fsz = temp_path("packed.fsz");
+        let back = temp_path("restored.fsd");
+
+        let out = runv(&["gen", "mobilenetv2", &fsd, "--seed", "7", "--scale", "0.02"]);
+        assert_eq!(out.code, 0, "{}", out.report);
+
+        let out = runv(&["compress", &fsd, &fsz, "--eb", "1e-3", "--lossy", "sz3"]);
+        assert_eq!(out.code, 0, "{}", out.report);
+        assert!(out.report.contains("ratio"));
+
+        let out = runv(&["decompress", &fsz, &back]);
+        assert_eq!(out.code, 0, "{}", out.report);
+        assert!(out.report.contains("SZ3"));
+
+        let original = StateDict::from_bytes(&std::fs::read(&fsd).unwrap()).unwrap();
+        let restored = StateDict::from_bytes(&std::fs::read(&back).unwrap()).unwrap();
+        assert_eq!(original.len(), restored.len());
+
+        let out = runv(&["inspect", &fsz]);
+        assert_eq!(out.code, 0);
+        assert!(out.report.contains("FedSZ stream"));
+        let out = runv(&["inspect", &fsd]);
+        assert_eq!(out.code, 0);
+        assert!(out.report.contains("state dict"));
+
+        cleanup(&[&fsd, &fsz, &back]);
+    }
+
+    #[test]
+    fn bad_inputs_fail_cleanly() {
+        assert_ne!(runv(&["gen", "vgg", "/tmp/x.fsd"]).code, 0);
+        assert_ne!(runv(&["gen", "alexnet", "/tmp/x.fsd", "--scale", "2.0"]).code, 0);
+        assert_ne!(runv(&["compress", "/nonexistent.fsd", "/tmp/y.fsz"]).code, 0);
+        assert_ne!(runv(&["decompress", "/nonexistent.fsz", "/tmp/y.fsd"]).code, 0);
+        assert_ne!(runv(&["inspect", "/nonexistent"]).code, 0);
+        let junk = temp_path("junk");
+        std::fs::write(&junk, b"not a recognized format at all").unwrap();
+        assert_ne!(runv(&["inspect", &junk]).code, 0);
+        assert_ne!(runv(&["compress", &junk, "/tmp/z.fsz"]).code, 0);
+        cleanup(&[&junk]);
+    }
+
+    #[test]
+    fn codec_flags_are_validated() {
+        let fsd = temp_path("flags.fsd");
+        let out = runv(&["gen", "alexnet", &fsd, "--scale", "0.005"]);
+        assert_eq!(out.code, 0, "{}", out.report);
+        assert_ne!(runv(&["compress", &fsd, "/tmp/a.fsz", "--lossy", "lz4"]).code, 0);
+        assert_ne!(runv(&["compress", &fsd, "/tmp/a.fsz", "--lossless", "brotli"]).code, 0);
+        assert_ne!(runv(&["compress", &fsd, "/tmp/a.fsz", "--eb", "abc"]).code, 0);
+        cleanup(&[&fsd]);
+    }
+}

@@ -1,0 +1,241 @@
+//! MSB-first bit-granular readers and writers.
+//!
+//! Every entropy-coded format in this workspace (Huffman streams, ZFP bit
+//! planes, SZx truncated mantissas) is built on these two types. Bits are
+//! packed most-significant-bit first within each byte, which keeps the
+//! streams easy to inspect in hex dumps.
+
+use crate::{CodecError, Result};
+
+/// Accumulates bits MSB-first into a growable byte buffer.
+///
+/// # Examples
+///
+/// ```
+/// use fedsz_codec::bitio::BitWriter;
+///
+/// let mut w = BitWriter::new();
+/// w.write_bit(true);
+/// w.write_bits(0, 7);
+/// assert_eq!(w.into_bytes(), vec![0b1000_0000]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    /// Bits currently buffered in `acc`, 0..=7.
+    nbits: u32,
+    acc: u8,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty writer with capacity for roughly `bytes` output bytes.
+    pub fn with_capacity(bytes: usize) -> Self {
+        Self { bytes: Vec::with_capacity(bytes), nbits: 0, acc: 0 }
+    }
+
+    /// Appends a single bit.
+    #[inline]
+    pub fn write_bit(&mut self, bit: bool) {
+        self.acc = (self.acc << 1) | bit as u8;
+        self.nbits += 1;
+        if self.nbits == 8 {
+            self.bytes.push(self.acc);
+            self.acc = 0;
+            self.nbits = 0;
+        }
+    }
+
+    /// Appends the low `count` bits of `value`, most significant first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > 64`.
+    #[inline]
+    pub fn write_bits(&mut self, value: u64, count: u32) {
+        assert!(count <= 64, "cannot write more than 64 bits at once");
+        let mut remaining = count;
+        while remaining > 0 {
+            let free = 8 - self.nbits;
+            let take = free.min(remaining);
+            let shift = remaining - take;
+            let chunk = ((value >> shift) & ((1u64 << take) - 1)) as u8;
+            // `take` can be 8 when the accumulator is empty; shift in u32
+            // to avoid the u8 shift overflow.
+            self.acc = ((u32::from(self.acc) << take) | u32::from(chunk)) as u8;
+            self.nbits += take;
+            remaining -= take;
+            if self.nbits == 8 {
+                self.bytes.push(self.acc);
+                self.acc = 0;
+                self.nbits = 0;
+            }
+        }
+    }
+
+    /// Total number of bits written so far.
+    pub fn bit_len(&self) -> usize {
+        self.bytes.len() * 8 + self.nbits as usize
+    }
+
+    /// Pads the final partial byte with zeros and returns the buffer.
+    pub fn into_bytes(mut self) -> Vec<u8> {
+        if self.nbits > 0 {
+            self.acc <<= 8 - self.nbits;
+            self.bytes.push(self.acc);
+        }
+        self.bytes
+    }
+}
+
+/// Reads bits MSB-first from a byte slice.
+///
+/// # Examples
+///
+/// ```
+/// use fedsz_codec::bitio::BitReader;
+///
+/// let mut r = BitReader::new(&[0b1010_0000]);
+/// assert!(r.read_bit().unwrap());
+/// assert!(!r.read_bit().unwrap());
+/// assert!(r.read_bit().unwrap());
+/// ```
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    /// Absolute bit cursor from the start of `bytes`.
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over `bytes` starting at bit 0.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    /// Number of bits still available.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() * 8 - self.pos
+    }
+
+    /// Reads one bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::UnexpectedEof`] when the input is exhausted.
+    #[inline]
+    pub fn read_bit(&mut self) -> Result<bool> {
+        let byte = *self.bytes.get(self.pos / 8).ok_or(CodecError::UnexpectedEof)?;
+        let bit = (byte >> (7 - (self.pos % 8))) & 1;
+        self.pos += 1;
+        Ok(bit == 1)
+    }
+
+    /// Reads `count` bits as the low bits of a `u64`, MSB first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::UnexpectedEof`] if fewer than `count` bits remain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > 64`.
+    #[inline]
+    pub fn read_bits(&mut self, count: u32) -> Result<u64> {
+        assert!(count <= 64, "cannot read more than 64 bits at once");
+        if self.remaining() < count as usize {
+            return Err(CodecError::UnexpectedEof);
+        }
+        let mut value = 0u64;
+        let mut remaining = count;
+        while remaining > 0 {
+            let byte = self.bytes[self.pos / 8];
+            let offset = (self.pos % 8) as u32;
+            let avail = 8 - offset;
+            let take = avail.min(remaining);
+            let chunk = (byte >> (avail - take)) & ((1u16 << take) - 1) as u8;
+            value = (value << take) | chunk as u64;
+            self.pos += take as usize;
+            remaining -= take;
+        }
+        Ok(value)
+    }
+
+    /// Skips to the next byte boundary (no-op when already aligned).
+    pub fn align_to_byte(&mut self) {
+        self.pos = self.pos.div_ceil(8) * 8;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_bits_round_trip() {
+        let mut w = BitWriter::new();
+        let pattern = [true, false, true, true, false, false, true, false, true];
+        for &b in &pattern {
+            w.write_bit(b);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &b in &pattern {
+            assert_eq!(r.read_bit().unwrap(), b);
+        }
+    }
+
+    #[test]
+    fn multi_bit_round_trip() {
+        let mut w = BitWriter::new();
+        w.write_bits(0x3, 2);
+        w.write_bits(0x1234_5678_9abc_def0, 64);
+        w.write_bits(0x1f, 5);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(2).unwrap(), 0x3);
+        assert_eq!(r.read_bits(64).unwrap(), 0x1234_5678_9abc_def0);
+        assert_eq!(r.read_bits(5).unwrap(), 0x1f);
+    }
+
+    #[test]
+    fn zero_bit_write_is_noop() {
+        let mut w = BitWriter::new();
+        w.write_bits(0xffff, 0);
+        assert_eq!(w.bit_len(), 0);
+        assert!(w.into_bytes().is_empty());
+    }
+
+    #[test]
+    fn eof_is_reported() {
+        let mut r = BitReader::new(&[0xff]);
+        assert_eq!(r.read_bits(8).unwrap(), 0xff);
+        assert_eq!(r.read_bit(), Err(CodecError::UnexpectedEof));
+        assert_eq!(r.read_bits(4), Err(CodecError::UnexpectedEof));
+    }
+
+    #[test]
+    fn align_to_byte_skips_padding() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        w.write_bits(0xab, 8); // will straddle after alignment in reader test below
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(3).unwrap(), 0b101);
+        assert_eq!(r.read_bits(8).unwrap(), 0xab);
+        r.align_to_byte();
+        assert_eq!(r.remaining() % 8, 0);
+    }
+
+    #[test]
+    fn bit_len_counts_partial_bytes() {
+        let mut w = BitWriter::new();
+        w.write_bits(0, 13);
+        assert_eq!(w.bit_len(), 13);
+        assert_eq!(w.into_bytes().len(), 2);
+    }
+}

@@ -1,0 +1,126 @@
+//! CRC-32 (IEEE 802.3) and Adler-32 checksums.
+//!
+//! The gzip-style frames in `fedsz-lossless` use CRC-32; the zlib-style
+//! frames use Adler-32, mirroring the real formats' integrity checks.
+
+/// Computes the IEEE CRC-32 of `data` (polynomial `0xEDB88320`, as used
+/// by gzip, PNG and Ethernet).
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(fedsz_codec::checksum::crc32(b"123456789"), 0xCBF43926);
+/// ```
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = Crc32::new();
+    crc.update(data);
+    crc.finish()
+}
+
+/// Incremental CRC-32 state, for hashing data produced in chunks.
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+/// Table of CRC remainders for every byte value, built at first use.
+fn crc_table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, entry) in table.iter_mut().enumerate() {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+            }
+            *entry = crc;
+        }
+        table
+    })
+}
+
+impl Crc32 {
+    /// Creates a fresh checksum state.
+    pub fn new() -> Self {
+        Self { state: 0xFFFF_FFFF }
+    }
+
+    /// Feeds `data` into the checksum.
+    pub fn update(&mut self, data: &[u8]) {
+        let table = crc_table();
+        for &byte in data {
+            self.state = table[((self.state ^ u32::from(byte)) & 0xff) as usize] ^ (self.state >> 8);
+        }
+    }
+
+    /// Returns the final checksum value.
+    pub fn finish(&self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Computes the Adler-32 checksum of `data` as used by zlib.
+///
+/// # Examples
+///
+/// ```
+/// // Adler-32 of the empty string is 1.
+/// assert_eq!(fedsz_codec::checksum::adler32(&[]), 1);
+/// ```
+pub fn adler32(data: &[u8]) -> u32 {
+    const MOD: u32 = 65_521;
+    let mut a: u32 = 1;
+    let mut b: u32 = 0;
+    // Process in chunks small enough that the u32 accumulators cannot
+    // overflow before the modulo reduction (5552 is the classic bound).
+    for chunk in data.chunks(5552) {
+        for &byte in chunk {
+            a += u32::from(byte);
+            b += a;
+        }
+        a %= MOD;
+        b %= MOD;
+    }
+    (b << 16) | a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        assert_eq!(crc32(&[]), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF43926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414FA339);
+    }
+
+    #[test]
+    fn crc32_incremental_matches_oneshot() {
+        let data = b"hello federated world";
+        let mut inc = Crc32::new();
+        inc.update(&data[..5]);
+        inc.update(&data[5..]);
+        assert_eq!(inc.finish(), crc32(data));
+    }
+
+    #[test]
+    fn adler32_known_vectors() {
+        assert_eq!(adler32(&[]), 1);
+        assert_eq!(adler32(b"Wikipedia"), 0x11E60398);
+    }
+
+    #[test]
+    fn adler32_large_input_no_overflow() {
+        let data = vec![0xffu8; 1 << 16];
+        // Must not panic and must be stable.
+        assert_eq!(adler32(&data), adler32(&data));
+    }
+}

@@ -1,0 +1,187 @@
+//! Linear-scale error-bounded quantizer, the heart of the SZ compressors.
+//!
+//! Given an absolute error bound `eb`, prediction residuals are quantized
+//! into bins of width `2*eb`. Reconstructing the bin center therefore
+//! deviates from the true value by at most `eb`. Values whose residual
+//! falls outside the quantizer's radius are flagged *unpredictable* (code
+//! 0) and stored verbatim — exactly the scheme of SZ2/SZ3.
+
+/// Result of quantizing one value against its prediction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Quantized {
+    /// In-range residual: the code to entropy-encode and the value the
+    /// decoder will reconstruct (which the encoder must also use as the
+    /// basis for subsequent predictions).
+    Code {
+        /// Huffman symbol, in `1..capacity`.
+        code: u16,
+        /// Value the decoder reconstructs for this element.
+        reconstructed: f32,
+    },
+    /// Out-of-range residual: stored losslessly as the original bits.
+    Unpredictable(f32),
+}
+
+/// Error-bounded linear quantizer with a fixed code capacity.
+///
+/// # Examples
+///
+/// ```
+/// use fedsz_codec::quantizer::{Quantized, Quantizer};
+///
+/// let q = Quantizer::new(0.01);
+/// match q.quantize(1.0, 1.015) {
+///     Quantized::Code { reconstructed, .. } => {
+///         assert!((reconstructed - 1.015).abs() <= 0.01 + 1e-6);
+///     }
+///     Quantized::Unpredictable(_) => unreachable!("residual is tiny"),
+/// }
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Quantizer {
+    eb: f32,
+    radius: i32,
+}
+
+impl Quantizer {
+    /// Default code radius: codes span `1..=2*radius-1`, fitting in `u16`.
+    pub const DEFAULT_RADIUS: i32 = 32_768;
+
+    /// Creates a quantizer for absolute error bound `eb` with the default
+    /// radius.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eb` is not finite and positive.
+    pub fn new(eb: f32) -> Self {
+        Self::with_radius(eb, Self::DEFAULT_RADIUS)
+    }
+
+    /// Creates a quantizer with an explicit radius (number of bins on each
+    /// side of the zero-residual code).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eb` is not finite/positive or `radius` is not in
+    /// `2..=32768`.
+    pub fn with_radius(eb: f32, radius: i32) -> Self {
+        assert!(eb.is_finite() && eb > 0.0, "error bound must be positive and finite");
+        assert!((2..=32_768).contains(&radius), "radius must be in 2..=32768");
+        Self { eb, radius }
+    }
+
+    /// The absolute error bound this quantizer enforces.
+    pub fn error_bound(&self) -> f32 {
+        self.eb
+    }
+
+    /// Code reserved for unpredictable values.
+    pub const UNPREDICTABLE: u16 = 0;
+
+    /// Quantizes `actual` against prediction `pred`.
+    ///
+    /// Returns either a code plus the exact reconstruction the decoder
+    /// will produce, or [`Quantized::Unpredictable`] when the residual
+    /// exceeds the representable range *or* floating-point rounding would
+    /// break the bound.
+    #[inline]
+    pub fn quantize(&self, pred: f32, actual: f32) -> Quantized {
+        let diff = f64::from(actual) - f64::from(pred);
+        let bin = f64::from(self.eb) * 2.0;
+        let q = (diff / bin).round();
+        if q.abs() >= f64::from(self.radius) || !q.is_finite() {
+            return Quantized::Unpredictable(actual);
+        }
+        let reconstructed = (f64::from(pred) + q * bin) as f32;
+        // Guard against f32 rounding pushing the reconstruction out of
+        // bounds (can happen when |pred| >> eb).
+        if (f64::from(reconstructed) - f64::from(actual)).abs() > f64::from(self.eb) {
+            return Quantized::Unpredictable(actual);
+        }
+        let code = (q as i32 + self.radius) as u16;
+        debug_assert_ne!(code, Self::UNPREDICTABLE);
+        Quantized::Code { code, reconstructed }
+    }
+
+    /// Reconstructs the value for `code` (which must not be
+    /// [`Quantizer::UNPREDICTABLE`]) given the same prediction the encoder
+    /// used.
+    #[inline]
+    pub fn dequantize(&self, pred: f32, code: u16) -> f32 {
+        debug_assert_ne!(code, Self::UNPREDICTABLE, "unpredictable codes carry no residual");
+        let q = i32::from(code) - self.radius;
+        (f64::from(pred) + f64::from(q) * f64::from(self.eb) * 2.0) as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_within_bound() {
+        let q = Quantizer::new(0.05);
+        let pred = 0.3f32;
+        for actual in [-1.0f32, 0.0, 0.29, 0.301, 0.35, 1.5] {
+            match q.quantize(pred, actual) {
+                Quantized::Code { code, reconstructed } => {
+                    assert!((reconstructed - actual).abs() <= 0.05 + 1e-6);
+                    let decoded = q.dequantize(pred, code);
+                    assert_eq!(decoded, reconstructed);
+                }
+                Quantized::Unpredictable(v) => assert_eq!(v, actual),
+            }
+        }
+    }
+
+    #[test]
+    fn zero_residual_maps_to_radius_code() {
+        let q = Quantizer::new(0.01);
+        match q.quantize(1.0, 1.0) {
+            Quantized::Code { code, reconstructed } => {
+                assert_eq!(code, Quantizer::DEFAULT_RADIUS as u16);
+                assert_eq!(reconstructed, 1.0);
+            }
+            Quantized::Unpredictable(_) => panic!("zero residual must be codable"),
+        }
+    }
+
+    #[test]
+    fn large_residual_is_unpredictable() {
+        let q = Quantizer::with_radius(1e-6, 16);
+        assert!(matches!(q.quantize(0.0, 1.0), Quantized::Unpredictable(_)));
+    }
+
+    #[test]
+    fn huge_magnitude_rounding_guard() {
+        // pred is so large that pred + q*2eb rounds away more than eb in f32.
+        let q = Quantizer::new(1e-7);
+        match q.quantize(1.0e8, 1.0e8 + 3e-7) {
+            Quantized::Code { reconstructed, .. } => {
+                assert!((reconstructed - (1.0e8 + 3e-7)).abs() <= 1e-7);
+            }
+            Quantized::Unpredictable(v) => assert_eq!(v, 1.0e8 + 3e-7),
+        }
+    }
+
+    #[test]
+    fn dequantize_matches_encoder_reconstruction() {
+        let q = Quantizer::new(0.001);
+        let mut pred = 0.0f32;
+        for i in 0..1000 {
+            let actual = (i as f32 * 0.01).sin();
+            if let Quantized::Code { code, reconstructed } = q.quantize(pred, actual) {
+                assert_eq!(q.dequantize(pred, code), reconstructed);
+                pred = reconstructed;
+            } else {
+                pred = actual;
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "error bound must be positive")]
+    fn zero_bound_rejected() {
+        let _ = Quantizer::new(0.0);
+    }
+}

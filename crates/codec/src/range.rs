@@ -1,0 +1,360 @@
+//! Adaptive binary range coder (LZMA-style).
+//!
+//! This is the entropy stage of the xz-like lossless compressor. Symbols
+//! are coded one bit at a time against adaptive probability models that
+//! learn the stream's statistics on the fly — slow but close to the
+//! empirical entropy, which is exactly the niche xz occupies in the
+//! paper's Table II.
+
+use crate::{CodecError, Result};
+
+/// Number of probability bits (probabilities live in `0..=1<<11`).
+const PROB_BITS: u32 = 11;
+/// Adaptation speed: larger shifts adapt more slowly.
+const MOVE_BITS: u32 = 5;
+/// Renormalization threshold.
+const TOP: u32 = 1 << 24;
+
+/// An adaptive probability for a single binary decision.
+///
+/// Starts at 1/2 and moves toward the observed bit frequency with an
+/// exponential window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BitModel {
+    prob0: u16,
+}
+
+impl BitModel {
+    /// Creates a model with probability 1/2.
+    pub fn new() -> Self {
+        Self { prob0: (1 << PROB_BITS) / 2 }
+    }
+}
+
+impl Default for BitModel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Range encoder producing a byte stream.
+///
+/// # Examples
+///
+/// ```
+/// use fedsz_codec::range::{BitModel, RangeDecoder, RangeEncoder};
+///
+/// let mut model = BitModel::new();
+/// let mut enc = RangeEncoder::new();
+/// for bit in [true, false, true, true] {
+///     enc.encode_bit(&mut model, bit);
+/// }
+/// let bytes = enc.finish();
+///
+/// let mut model = BitModel::new();
+/// let mut dec = RangeDecoder::new(&bytes).unwrap();
+/// for bit in [true, false, true, true] {
+///     assert_eq!(dec.decode_bit(&mut model).unwrap(), bit);
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct RangeEncoder {
+    low: u64,
+    range: u32,
+    cache: u8,
+    cache_size: u64,
+    out: Vec<u8>,
+}
+
+impl RangeEncoder {
+    /// Creates an encoder with an empty output buffer.
+    pub fn new() -> Self {
+        Self { low: 0, range: u32::MAX, cache: 0, cache_size: 1, out: Vec::new() }
+    }
+
+    /// Encodes one bit against an adaptive model.
+    #[inline]
+    pub fn encode_bit(&mut self, model: &mut BitModel, bit: bool) {
+        let bound = (self.range >> PROB_BITS) * u32::from(model.prob0);
+        if !bit {
+            self.range = bound;
+            model.prob0 += ((1 << PROB_BITS) - model.prob0) >> MOVE_BITS;
+        } else {
+            self.low += u64::from(bound);
+            self.range -= bound;
+            model.prob0 -= model.prob0 >> MOVE_BITS;
+        }
+        while self.range < TOP {
+            self.shift_low();
+            self.range <<= 8;
+        }
+    }
+
+    /// Encodes `count` equiprobable bits (MSB first) without a model.
+    pub fn encode_direct_bits(&mut self, value: u32, count: u32) {
+        for i in (0..count).rev() {
+            self.range >>= 1;
+            let bit = (value >> i) & 1;
+            if bit != 0 {
+                self.low += u64::from(self.range);
+            }
+            while self.range < TOP {
+                self.shift_low();
+                self.range <<= 8;
+            }
+        }
+    }
+
+    fn shift_low(&mut self) {
+        if (self.low as u32) < 0xFF00_0000 || (self.low >> 32) != 0 {
+            let carry = (self.low >> 32) as u8;
+            let mut byte = self.cache;
+            while self.cache_size > 0 {
+                self.out.push(byte.wrapping_add(carry));
+                byte = 0xFF;
+                self.cache_size -= 1;
+            }
+            self.cache = ((self.low >> 24) & 0xFF) as u8;
+        }
+        self.cache_size += 1;
+        self.low = (self.low << 8) & 0xFFFF_FFFF;
+    }
+
+    /// Flushes the coder state and returns the encoded bytes.
+    pub fn finish(mut self) -> Vec<u8> {
+        for _ in 0..5 {
+            self.shift_low();
+        }
+        self.out
+    }
+}
+
+impl Default for RangeEncoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Range decoder over a byte slice produced by [`RangeEncoder`].
+#[derive(Debug, Clone)]
+pub struct RangeDecoder<'a> {
+    code: u32,
+    range: u32,
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> RangeDecoder<'a> {
+    /// Initializes the decoder, consuming the 5-byte preamble.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::UnexpectedEof`] when the input is shorter
+    /// than the preamble.
+    pub fn new(input: &'a [u8]) -> Result<Self> {
+        if input.len() < 5 {
+            return Err(CodecError::UnexpectedEof);
+        }
+        let mut code = 0u32;
+        for &b in &input[1..5] {
+            code = (code << 8) | u32::from(b);
+        }
+        Ok(Self { code, range: u32::MAX, input, pos: 5 })
+    }
+
+    #[inline]
+    fn next_byte(&mut self) -> u8 {
+        // Reading past the end yields zero bytes; the encoder's 5-byte
+        // flush guarantees well-formed streams never need them, and
+        // truncated streams surface as corrupt payloads at a higher layer
+        // (every frame stores its decoded length and a checksum).
+        let b = self.input.get(self.pos).copied().unwrap_or(0);
+        self.pos += 1;
+        b
+    }
+
+    /// Decodes one bit against an adaptive model.
+    ///
+    /// # Errors
+    ///
+    /// This method itself cannot fail; it returns `Result` for symmetry
+    /// with the encoder-side API and future-proofing.
+    #[inline]
+    pub fn decode_bit(&mut self, model: &mut BitModel) -> Result<bool> {
+        let bound = (self.range >> PROB_BITS) * u32::from(model.prob0);
+        let bit = if self.code < bound {
+            self.range = bound;
+            model.prob0 += ((1 << PROB_BITS) - model.prob0) >> MOVE_BITS;
+            false
+        } else {
+            self.code -= bound;
+            self.range -= bound;
+            model.prob0 -= model.prob0 >> MOVE_BITS;
+            true
+        };
+        while self.range < TOP {
+            self.range <<= 8;
+            self.code = (self.code << 8) | u32::from(self.next_byte());
+        }
+        Ok(bit)
+    }
+
+    /// Decodes `count` equiprobable bits (MSB first).
+    ///
+    /// # Errors
+    ///
+    /// See [`RangeDecoder::decode_bit`].
+    pub fn decode_direct_bits(&mut self, count: u32) -> Result<u32> {
+        let mut value = 0u32;
+        for _ in 0..count {
+            self.range >>= 1;
+            let bit = if self.code >= self.range {
+                self.code -= self.range;
+                1
+            } else {
+                0
+            };
+            value = (value << 1) | bit;
+            while self.range < TOP {
+                self.range <<= 8;
+                self.code = (self.code << 8) | u32::from(self.next_byte());
+            }
+        }
+        Ok(value)
+    }
+}
+
+/// A tree of bit models coding an `n`-bit symbol MSB-first.
+///
+/// Standard LZMA construct: node `1` is the root; taking bit `b` from node
+/// `i` moves to node `2i + b`.
+#[derive(Debug, Clone)]
+pub struct BitTreeModel {
+    models: Vec<BitModel>,
+    bits: u32,
+}
+
+impl BitTreeModel {
+    /// Creates a tree coding `bits`-wide symbols.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or greater than 16.
+    pub fn new(bits: u32) -> Self {
+        assert!((1..=16).contains(&bits), "bit-tree width must be in 1..=16");
+        Self { models: vec![BitModel::new(); 1 << (bits + 1)], bits }
+    }
+
+    /// Encodes `symbol` (must fit in the configured width).
+    pub fn encode(&mut self, enc: &mut RangeEncoder, symbol: u32) {
+        debug_assert!(symbol < (1 << self.bits));
+        let mut node = 1usize;
+        for i in (0..self.bits).rev() {
+            let bit = (symbol >> i) & 1 != 0;
+            enc.encode_bit(&mut self.models[node], bit);
+            node = (node << 1) | usize::from(bit);
+        }
+    }
+
+    /// Decodes one symbol.
+    ///
+    /// # Errors
+    ///
+    /// See [`RangeDecoder::decode_bit`].
+    pub fn decode(&mut self, dec: &mut RangeDecoder<'_>) -> Result<u32> {
+        let mut node = 1usize;
+        for _ in 0..self.bits {
+            let bit = dec.decode_bit(&mut self.models[node])?;
+            node = (node << 1) | usize::from(bit);
+        }
+        Ok(node as u32 - (1 << self.bits))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_round_trip_biased() {
+        // 95% zeros: the adaptive model should compress well below 1 bpb.
+        let bits: Vec<bool> = (0..20_000).map(|i| i % 20 == 0).collect();
+        let mut model = BitModel::new();
+        let mut enc = RangeEncoder::new();
+        for &b in &bits {
+            enc.encode_bit(&mut model, b);
+        }
+        let bytes = enc.finish();
+        assert!(bytes.len() < bits.len() / 8 / 2, "biased stream should halve: {}", bytes.len());
+
+        let mut model = BitModel::new();
+        let mut dec = RangeDecoder::new(&bytes).unwrap();
+        for &b in &bits {
+            assert_eq!(dec.decode_bit(&mut model).unwrap(), b);
+        }
+    }
+
+    #[test]
+    fn direct_bits_round_trip() {
+        let values = [0u32, 1, 0xff, 0x1234, 0xffff_ffff >> 4];
+        let mut enc = RangeEncoder::new();
+        for &v in &values {
+            enc.encode_direct_bits(v, 28);
+        }
+        let bytes = enc.finish();
+        let mut dec = RangeDecoder::new(&bytes).unwrap();
+        for &v in &values {
+            assert_eq!(dec.decode_direct_bits(28).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn mixed_models_round_trip() {
+        let mut m1 = BitModel::new();
+        let mut m2 = BitModel::new();
+        let mut enc = RangeEncoder::new();
+        let pattern: Vec<(bool, bool)> = (0..5000).map(|i| (i % 3 == 0, i % 7 < 3)).collect();
+        for &(a, b) in &pattern {
+            enc.encode_bit(&mut m1, a);
+            enc.encode_bit(&mut m2, b);
+            enc.encode_direct_bits(u32::from(a) * 2 + u32::from(b), 2);
+        }
+        let bytes = enc.finish();
+        let mut m1 = BitModel::new();
+        let mut m2 = BitModel::new();
+        let mut dec = RangeDecoder::new(&bytes).unwrap();
+        for &(a, b) in &pattern {
+            assert_eq!(dec.decode_bit(&mut m1).unwrap(), a);
+            assert_eq!(dec.decode_bit(&mut m2).unwrap(), b);
+            assert_eq!(dec.decode_direct_bits(2).unwrap(), u32::from(a) * 2 + u32::from(b));
+        }
+    }
+
+    #[test]
+    fn bit_tree_round_trip() {
+        let symbols: Vec<u32> = (0..4000u32).map(|i| (i * 37) % 256).collect();
+        let mut tree = BitTreeModel::new(8);
+        let mut enc = RangeEncoder::new();
+        for &s in &symbols {
+            tree.encode(&mut enc, s);
+        }
+        let bytes = enc.finish();
+        let mut tree = BitTreeModel::new(8);
+        let mut dec = RangeDecoder::new(&bytes).unwrap();
+        for &s in &symbols {
+            assert_eq!(tree.decode(&mut dec).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn empty_stream_decodes() {
+        let enc = RangeEncoder::new();
+        let bytes = enc.finish();
+        assert!(RangeDecoder::new(&bytes).is_ok());
+    }
+
+    #[test]
+    fn short_input_is_eof() {
+        assert_eq!(RangeDecoder::new(&[1, 2, 3]).err(), Some(CodecError::UnexpectedEof));
+    }
+}

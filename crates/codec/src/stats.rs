@@ -1,0 +1,229 @@
+//! Summary statistics shared across compressors and analyses.
+
+/// Minimum, maximum and value range of a slice of finite floats.
+///
+/// Returned by [`value_range`]; the SZ-family compressors use `range` to
+/// convert relative error bounds into absolute ones.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ValueRange {
+    /// Smallest value observed.
+    pub min: f32,
+    /// Largest value observed.
+    pub max: f32,
+}
+
+impl ValueRange {
+    /// `max - min`, the dynamic range used by relative error bounds.
+    pub fn span(&self) -> f32 {
+        self.max - self.min
+    }
+}
+
+/// Scans `data` for its min/max. Returns `None` for empty input.
+///
+/// Non-finite values are ignored; if all values are non-finite the result
+/// is `None` as well, so callers can reject such inputs explicitly.
+pub fn value_range(data: &[f32]) -> Option<ValueRange> {
+    let mut min = f32::INFINITY;
+    let mut max = f32::NEG_INFINITY;
+    let mut seen = false;
+    for &v in data {
+        if v.is_finite() {
+            seen = true;
+            if v < min {
+                min = v;
+            }
+            if v > max {
+                max = v;
+            }
+        }
+    }
+    seen.then_some(ValueRange { min, max })
+}
+
+/// Arithmetic mean of `data`; 0.0 for empty input.
+pub fn mean(data: &[f32]) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    data.iter().map(|&v| f64::from(v)).sum::<f64>() / data.len() as f64
+}
+
+/// Population variance of `data`; 0.0 for fewer than two elements.
+pub fn variance(data: &[f32]) -> f64 {
+    if data.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(data);
+    data.iter().map(|&v| (f64::from(v) - m).powi(2)).sum::<f64>() / data.len() as f64
+}
+
+/// Maximum absolute pointwise difference between two equal-length slices.
+///
+/// This is the quantity every error-bounded compressor must keep below its
+/// absolute bound.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn max_abs_error(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "slices must have equal length");
+    a.iter().zip(b).map(|(&x, &y)| (x - y).abs()).fold(0.0f32, f32::max)
+}
+
+/// Root-mean-square pointwise error between two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn rmse(a: &[f32], b: &[f32]) -> f64 {
+    assert_eq!(a.len(), b.len(), "slices must have equal length");
+    if a.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = a
+        .iter()
+        .zip(b)
+        .map(|(&x, &y)| {
+            let d = f64::from(x) - f64::from(y);
+            d * d
+        })
+        .sum();
+    (sum / a.len() as f64).sqrt()
+}
+
+/// Peak signal-to-noise ratio in dB between original `a` and
+/// reconstruction `b`, using the value range of `a` as the peak.
+///
+/// Returns `f64::INFINITY` for identical inputs.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn psnr(a: &[f32], b: &[f32]) -> f64 {
+    let range = value_range(a).map(|r| f64::from(r.span())).unwrap_or(0.0);
+    let e = rmse(a, b);
+    if e == 0.0 {
+        f64::INFINITY
+    } else {
+        20.0 * (range / e).log10()
+    }
+}
+
+/// A fixed-width histogram over `[lo, hi)` with `bins` buckets.
+///
+/// Used by the Fig 2/3/10 analyses to summarize weight and error
+/// distributions without plotting libraries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Inclusive lower edge of the histogram domain.
+    pub lo: f64,
+    /// Exclusive upper edge of the histogram domain.
+    pub hi: f64,
+    /// Per-bucket counts.
+    pub counts: Vec<u64>,
+    /// Number of samples that fell outside `[lo, hi)`.
+    pub outliers: u64,
+}
+
+impl Histogram {
+    /// Builds a histogram of `data` over `[lo, hi)` with `bins` buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `hi <= lo`.
+    pub fn build(data: &[f32], lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(hi > lo, "histogram range must be non-empty");
+        let mut counts = vec![0u64; bins];
+        let mut outliers = 0u64;
+        let scale = bins as f64 / (hi - lo);
+        for &v in data {
+            let v = f64::from(v);
+            if v >= lo && v < hi {
+                let idx = ((v - lo) * scale) as usize;
+                counts[idx.min(bins - 1)] += 1;
+            } else {
+                outliers += 1;
+            }
+        }
+        Self { lo, hi, counts, outliers }
+    }
+
+    /// Total number of in-range samples.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Probability-density value of bucket `i` (count normalized by total
+    /// samples and bucket width). Returns 0.0 when the histogram is empty.
+    pub fn density(&self, i: usize) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        self.counts[i] as f64 / (total as f64 * width)
+    }
+
+    /// Midpoint of bucket `i`.
+    pub fn center(&self, i: usize) -> f64 {
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        self.lo + width * (i as f64 + 0.5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_range_basic() {
+        let r = value_range(&[1.0, -2.0, 3.0]).unwrap();
+        assert_eq!(r.min, -2.0);
+        assert_eq!(r.max, 3.0);
+        assert_eq!(r.span(), 5.0);
+    }
+
+    #[test]
+    fn value_range_ignores_non_finite() {
+        let r = value_range(&[f32::NAN, 1.0, f32::INFINITY, -1.0]).unwrap();
+        assert_eq!(r.min, -1.0);
+        assert_eq!(r.max, 1.0);
+        assert!(value_range(&[f32::NAN]).is_none());
+        assert!(value_range(&[]).is_none());
+    }
+
+    #[test]
+    fn mean_and_variance() {
+        let data = [1.0f32, 2.0, 3.0, 4.0];
+        assert!((mean(&data) - 2.5).abs() < 1e-12);
+        assert!((variance(&data) - 1.25).abs() < 1e-12);
+        assert_eq!(variance(&[5.0]), 0.0);
+    }
+
+    #[test]
+    fn error_metrics() {
+        let a = [0.0f32, 1.0, 2.0];
+        let b = [0.5f32, 1.0, 1.0];
+        assert_eq!(max_abs_error(&a, &b), 1.0);
+        assert!((rmse(&a, &b) - ((0.25 + 0.0 + 1.0) / 3.0f64).sqrt()).abs() < 1e-12);
+        assert_eq!(psnr(&a, &a), f64::INFINITY);
+        assert!(psnr(&a, &b).is_finite());
+    }
+
+    #[test]
+    fn histogram_counts_and_density() {
+        let data = [0.15f32, 0.25, 0.95, -1.0, 2.0];
+        let h = Histogram::build(&data, 0.0, 1.0, 10);
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.outliers, 2);
+        assert_eq!(h.counts[1], 1);
+        assert_eq!(h.counts[2], 1);
+        assert_eq!(h.counts[9], 1);
+        // Density integrates to ~1 over in-range mass.
+        let integral: f64 = (0..10).map(|i| h.density(i) * 0.1).sum();
+        assert!((integral - 1.0).abs() < 1e-12);
+        assert!((h.center(0) - 0.05).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,195 @@
+//! Compressor selection as an optimization (the paper's Problem 1).
+//!
+//! Equation 2 frames EBLC choice as jointly maximizing compression ratio
+//! and minimizing runtime inside a feasibility region bounded by the
+//! network (`0 < T < S/B_N`, `1 <= R <= S`). This module solves the
+//! discrete version the paper actually faces: benchmark each candidate
+//! `(compressor, bound)` on a sample of the real update, discard
+//! infeasible ones, and pick the candidate with the best end-to-end
+//! round time (Eqn 1), which is the scalarization the paper's
+//! evaluation ultimately uses.
+
+use crate::timing::TransferPlan;
+use crate::{ErrorBound, FedSz, FedSzConfig, LossyKind};
+use fedsz_nn::StateDict;
+use std::time::Instant;
+
+/// One benchmarked candidate configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Candidate {
+    /// The lossy compressor tried.
+    pub lossy: LossyKind,
+    /// The error bound tried.
+    pub bound: ErrorBound,
+    /// Measured cost profile, already rescaled to the full update size.
+    pub plan: TransferPlan,
+}
+
+impl Candidate {
+    /// End-to-end time for this candidate at `bandwidth_bps` (Eqn 1 LHS).
+    pub fn round_time(&self, bandwidth_bps: f64) -> f64 {
+        self.plan.compressed_time(bandwidth_bps)
+    }
+
+    /// Eqn 2's feasibility region at `bandwidth_bps`: the codec runtime
+    /// must not exceed the uncompressed transfer time, and the ratio
+    /// must be at least 1.
+    pub fn feasible(&self, bandwidth_bps: f64) -> bool {
+        let t = self.plan.compress_secs + self.plan.decompress_secs;
+        t > 0.0 && t < self.plan.uncompressed_time(bandwidth_bps) && self.plan.ratio() >= 1.0
+    }
+}
+
+/// Outcome of [`Advisor::recommend`].
+#[derive(Debug, Clone)]
+pub struct Recommendation {
+    /// The winning configuration, `None` when sending raw is fastest.
+    pub best: Option<Candidate>,
+    /// Every candidate measured, for reporting.
+    pub candidates: Vec<Candidate>,
+    /// The uncompressed baseline time at the requested bandwidth.
+    pub raw_secs: f64,
+}
+
+/// Benchmarks candidate configurations against a sample update.
+#[derive(Debug, Clone)]
+pub struct Advisor {
+    lossy: Vec<LossyKind>,
+    bounds: Vec<ErrorBound>,
+}
+
+impl Advisor {
+    /// Candidates from the paper's sweep: all four EBLCs at REL
+    /// `1e-4..1e-2` (the accuracy-safe region of Fig 5).
+    pub fn paper_defaults() -> Self {
+        Self {
+            lossy: LossyKind::all().to_vec(),
+            bounds: vec![
+                ErrorBound::Relative(1e-4),
+                ErrorBound::Relative(1e-3),
+                ErrorBound::Relative(1e-2),
+            ],
+        }
+    }
+
+    /// Custom candidate grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either list is empty.
+    pub fn new(lossy: Vec<LossyKind>, bounds: Vec<ErrorBound>) -> Self {
+        assert!(!lossy.is_empty() && !bounds.is_empty(), "candidate grid must be non-empty");
+        Self { lossy, bounds }
+    }
+
+    /// Benchmarks every candidate on `sample` (a representative state
+    /// dict, possibly a scaled-down version of the real update whose
+    /// full size is `full_bytes`) and recommends the fastest feasible
+    /// configuration at `bandwidth_bps`.
+    ///
+    /// Returns `best: None` when no candidate beats sending raw — the
+    /// high-bandwidth regime of Fig 8.
+    pub fn recommend(
+        &self,
+        sample: &StateDict,
+        full_bytes: usize,
+        bandwidth_bps: f64,
+    ) -> Recommendation {
+        assert!(bandwidth_bps > 0.0, "bandwidth must be positive");
+        let inflate = full_bytes as f64 / sample.byte_size().max(1) as f64;
+        let mut candidates = Vec::new();
+        for &lossy in &self.lossy {
+            for &bound in &self.bounds {
+                let config = FedSzConfig { lossy, ..FedSzConfig::default() }.with_error_bound(bound);
+                let fedsz = FedSz::new(config);
+                let t0 = Instant::now();
+                let packed = match fedsz.compress(sample) {
+                    Ok(p) => p,
+                    Err(_) => continue, // unusable bound for this codec
+                };
+                let compress_secs = t0.elapsed().as_secs_f64() * inflate;
+                let t1 = Instant::now();
+                if fedsz.decompress(packed.bytes()).is_err() {
+                    continue;
+                }
+                let decompress_secs = t1.elapsed().as_secs_f64() * inflate;
+                candidates.push(Candidate {
+                    lossy,
+                    bound,
+                    plan: TransferPlan {
+                        compress_secs,
+                        decompress_secs,
+                        original_bytes: full_bytes,
+                        compressed_bytes: (packed.bytes().len() as f64 * inflate) as usize,
+                    },
+                });
+            }
+        }
+        let raw_secs = full_bytes as f64 * 8.0 / bandwidth_bps;
+        let best = candidates
+            .iter()
+            .filter(|c| c.feasible(bandwidth_bps))
+            .filter(|c| c.round_time(bandwidth_bps) < raw_secs)
+            .min_by(|a, b| {
+                a.round_time(bandwidth_bps)
+                    .partial_cmp(&b.round_time(bandwidth_bps))
+                    .expect("finite times")
+            })
+            .copied();
+        Recommendation { best, candidates, raw_secs }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timing::mbps;
+    use fedsz_nn::models::specs::ModelSpec;
+
+    fn sample() -> (StateDict, usize) {
+        let spec = ModelSpec::mobilenet_v2();
+        (spec.instantiate_scaled(4, 0.02), spec.byte_size())
+    }
+
+    #[test]
+    fn low_bandwidth_recommends_compression() {
+        let (dict, full) = sample();
+        let rec = Advisor::paper_defaults().recommend(&dict, full, mbps(10.0));
+        let best = rec.best.expect("compression must win at 10 Mbps");
+        assert!(best.round_time(mbps(10.0)) < rec.raw_secs);
+        assert!(best.plan.ratio() > 1.0);
+    }
+
+    #[test]
+    fn extreme_bandwidth_recommends_raw() {
+        let (dict, full) = sample();
+        // 10 Tbps: transfer is free; any codec time loses.
+        let rec = Advisor::paper_defaults().recommend(&dict, full, 1e13);
+        assert!(rec.best.is_none(), "raw must win at terabit speeds: {:?}", rec.best);
+    }
+
+    #[test]
+    fn candidates_cover_the_grid() {
+        let (dict, full) = sample();
+        let advisor = Advisor::new(
+            vec![LossyKind::Sz2, LossyKind::Szx],
+            vec![ErrorBound::Relative(1e-2)],
+        );
+        let rec = advisor.recommend(&dict, full, mbps(10.0));
+        assert_eq!(rec.candidates.len(), 2);
+    }
+
+    #[test]
+    fn looser_bound_never_loses_to_tighter_on_time_at_low_bandwidth() {
+        // At transfer-dominated bandwidths the better-compressing bound
+        // wins; this is the monotonicity Eqn 2's ratio objective encodes.
+        let (dict, full) = sample();
+        let advisor = Advisor::new(
+            vec![LossyKind::Sz2],
+            vec![ErrorBound::Relative(1e-2), ErrorBound::Relative(1e-4)],
+        );
+        let rec = advisor.recommend(&dict, full, mbps(1.0));
+        let best = rec.best.expect("compression wins at 1 Mbps");
+        assert_eq!(best.bound, ErrorBound::Relative(1e-2));
+    }
+}

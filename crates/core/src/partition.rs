@@ -1,0 +1,133 @@
+//! State-dictionary partitioning (Algorithm 1, line 4).
+//!
+//! A tensor is *lossy-compressible* iff its name contains the substring
+//! `"weight"` **and** its element count exceeds a threshold. Everything
+//! else — biases, batch-norm running statistics, step counters, and
+//! small weight tensors like batch-norm gammas — must survive bit-exact,
+//! because lossy error on such metadata destroys model accuracy (the
+//! paper verifies this experimentally, consistent with DeepSZ).
+
+use fedsz_nn::StateDict;
+
+/// Default element-count threshold from the paper's implementation.
+pub const DEFAULT_THRESHOLD: usize = 1000;
+
+/// Whether a tensor belongs in the lossy partition.
+///
+/// # Examples
+///
+/// ```
+/// use fedsz::partition::is_lossy;
+///
+/// assert!(is_lossy("features.0.weight", 23_232, 1000));
+/// assert!(!is_lossy("features.0.bias", 23_232, 1000));      // not a weight
+/// assert!(!is_lossy("bn.weight", 64, 1000));                // too small
+/// assert!(!is_lossy("bn.running_mean", 4096, 1000));        // metadata
+/// ```
+pub fn is_lossy(name: &str, elements: usize, threshold: usize) -> bool {
+    name.contains("weight") && elements > threshold
+}
+
+/// Summary of how a state dict splits under Algorithm 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PartitionReport {
+    /// Tensors routed to the lossy partition.
+    pub lossy_tensors: usize,
+    /// Elements routed to the lossy partition.
+    pub lossy_elements: usize,
+    /// Tensors routed to the lossless partition.
+    pub lossless_tensors: usize,
+    /// Elements routed to the lossless partition.
+    pub lossless_elements: usize,
+}
+
+impl PartitionReport {
+    /// Fraction of elements that are lossy-compressible — the paper's
+    /// "% Lossy Data" column in Table III.
+    pub fn lossy_fraction(&self) -> f64 {
+        let total = self.lossy_elements + self.lossless_elements;
+        if total == 0 {
+            return 0.0;
+        }
+        self.lossy_elements as f64 / total as f64
+    }
+}
+
+/// Computes the partition split for a dict at a given threshold.
+pub fn report(dict: &StateDict, threshold: usize) -> PartitionReport {
+    let mut r = PartitionReport::default();
+    for (name, tensor) in dict.iter() {
+        if is_lossy(name, tensor.len(), threshold) {
+            r.lossy_tensors += 1;
+            r.lossy_elements += tensor.len();
+        } else {
+            r.lossless_tensors += 1;
+            r.lossless_elements += tensor.len();
+        }
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedsz_nn::models::specs::ModelSpec;
+
+    #[test]
+    fn rule_matches_algorithm_1() {
+        assert!(is_lossy("classifier.1.weight", 37_748_736, DEFAULT_THRESHOLD));
+        assert!(!is_lossy("classifier.1.bias", 4096, DEFAULT_THRESHOLD));
+        assert!(!is_lossy("bn1.weight", 64, DEFAULT_THRESHOLD));
+        // Exactly at threshold: NOT lossy (strict inequality).
+        assert!(!is_lossy("w.weight", 1000, 1000));
+        assert!(is_lossy("w.weight", 1001, 1000));
+    }
+
+    #[test]
+    fn alexnet_lossy_fraction_matches_table_iii() {
+        // Paper Table III: AlexNet is 99.98% lossy data.
+        let spec = ModelSpec::alexnet();
+        let dict = spec.instantiate(1);
+        let r = report(&dict, DEFAULT_THRESHOLD);
+        assert!(
+            (0.9995..1.0).contains(&r.lossy_fraction()),
+            "AlexNet lossy fraction {:.6}",
+            r.lossy_fraction()
+        );
+    }
+
+    #[test]
+    fn mobilenet_lossy_fraction_matches_table_iii() {
+        // Paper Table III: MobileNet-V2 is 96.94% lossy data.
+        let dict = ModelSpec::mobilenet_v2().instantiate(1);
+        let r = report(&dict, DEFAULT_THRESHOLD);
+        assert!(
+            (0.94..0.99).contains(&r.lossy_fraction()),
+            "MobileNetV2 lossy fraction {:.4}",
+            r.lossy_fraction()
+        );
+    }
+
+    #[test]
+    fn resnet50_lossy_fraction_matches_table_iii() {
+        // Paper Table III: ResNet50 is 99.47% lossy data.
+        let dict = ModelSpec::resnet50().instantiate(1);
+        let r = report(&dict, DEFAULT_THRESHOLD);
+        assert!(
+            (0.985..0.999).contains(&r.lossy_fraction()),
+            "ResNet50 lossy fraction {:.4}",
+            r.lossy_fraction()
+        );
+    }
+
+    #[test]
+    fn report_totals_cover_everything() {
+        let dict = ModelSpec::mobilenet_v2().instantiate_scaled(1, 0.01);
+        let r = report(&dict, DEFAULT_THRESHOLD);
+        assert_eq!(
+            r.lossy_elements + r.lossless_elements,
+            dict.total_elements()
+        );
+        assert_eq!(r.lossy_tensors + r.lossless_tensors, dict.len());
+    }
+}

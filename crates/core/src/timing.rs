@@ -1,0 +1,153 @@
+//! The paper's Eqn 1: when is compression worth it?
+//!
+//! `0 < t_C + t_D + S'/B_N < S/B_N` — compressing pays off iff the
+//! compression and decompression runtimes plus the compressed transfer
+//! time stay below the uncompressed transfer time. These helpers drive
+//! the Figure 7/8 benches and the bandwidth-planner example.
+
+/// Measured cost profile of compressing one update.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransferPlan {
+    /// Compression runtime in seconds (`t_C`).
+    pub compress_secs: f64,
+    /// Decompression runtime in seconds (`t_D`).
+    pub decompress_secs: f64,
+    /// Uncompressed payload size in bytes (`S`).
+    pub original_bytes: usize,
+    /// Compressed payload size in bytes (`S'`).
+    pub compressed_bytes: usize,
+}
+
+impl TransferPlan {
+    /// Compression ratio `S / S'`.
+    pub fn ratio(&self) -> f64 {
+        if self.compressed_bytes == 0 {
+            return 0.0;
+        }
+        self.original_bytes as f64 / self.compressed_bytes as f64
+    }
+
+    /// Seconds to send the *uncompressed* update over `bandwidth_bps`
+    /// (bits per second).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bandwidth_bps` is not positive.
+    pub fn uncompressed_time(&self, bandwidth_bps: f64) -> f64 {
+        assert!(bandwidth_bps > 0.0, "bandwidth must be positive");
+        self.original_bytes as f64 * 8.0 / bandwidth_bps
+    }
+
+    /// Total compressed-path time: `t_C + t_D + S' * 8 / B_N`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bandwidth_bps` is not positive.
+    pub fn compressed_time(&self, bandwidth_bps: f64) -> f64 {
+        assert!(bandwidth_bps > 0.0, "bandwidth must be positive");
+        self.compress_secs + self.decompress_secs + self.compressed_bytes as f64 * 8.0 / bandwidth_bps
+    }
+
+    /// Eqn 1's decision: true iff compressing is faster end to end.
+    pub fn worthwhile(&self, bandwidth_bps: f64) -> bool {
+        self.compressed_time(bandwidth_bps) < self.uncompressed_time(bandwidth_bps)
+    }
+
+    /// The bandwidth (bits/s) at which compressed and uncompressed paths
+    /// take equal time; compression wins below this, loses above. Returns
+    /// `f64::INFINITY` when compression is free or always wins.
+    pub fn breakeven_bandwidth(&self) -> f64 {
+        let saved_bits = (self.original_bytes.saturating_sub(self.compressed_bytes)) as f64 * 8.0;
+        let overhead = self.compress_secs + self.decompress_secs;
+        if overhead <= 0.0 {
+            return f64::INFINITY;
+        }
+        saved_bits / overhead
+    }
+
+    /// Wall-clock speedup of the compressed path at `bandwidth_bps`.
+    pub fn speedup(&self, bandwidth_bps: f64) -> f64 {
+        self.uncompressed_time(bandwidth_bps) / self.compressed_time(bandwidth_bps)
+    }
+}
+
+/// Convenience: megabits per second to bits per second.
+pub fn mbps(v: f64) -> f64 {
+    v * 1e6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan() -> TransferPlan {
+        TransferPlan {
+            compress_secs: 1.0,
+            decompress_secs: 0.5,
+            original_bytes: 230_000_000, // AlexNet-sized
+            compressed_bytes: 23_000_000, // 10x
+        }
+    }
+
+    #[test]
+    fn low_bandwidth_favours_compression() {
+        // 10 Mbps: uncompressed 184 s, compressed 1.5 + 18.4 s.
+        let p = plan();
+        assert!(p.worthwhile(mbps(10.0)));
+        assert!(p.speedup(mbps(10.0)) > 9.0);
+    }
+
+    #[test]
+    fn high_bandwidth_disfavours_compression() {
+        // 10 Gbps: transfer is nearly free; 1.5 s overhead dominates.
+        let p = plan();
+        assert!(!p.worthwhile(mbps(10_000.0)));
+    }
+
+    #[test]
+    fn breakeven_matches_closed_form() {
+        let p = plan();
+        let be = p.breakeven_bandwidth();
+        // Just below break-even: worthwhile; just above: not.
+        assert!(p.worthwhile(be * 0.99));
+        assert!(!p.worthwhile(be * 1.01));
+        // (230M - 23M) * 8 bits / 1.5 s = 1.104e9 bps.
+        assert!((be - 1.104e9).abs() / 1.104e9 < 1e-9);
+    }
+
+    #[test]
+    fn paper_headline_numbers_reproduce() {
+        // Paper Section VII-B: at 10 Mbps AlexNet sees a 13.26x
+        // communication-time reduction. With a 12.61x ratio and ~1 s of
+        // codec overhead the model predicts the same order.
+        let p = TransferPlan {
+            compress_secs: 3.22, // Table I, SZ2 at 1e-2 on a Pi 5
+            decompress_secs: 1.5,
+            original_bytes: 230_000_000,
+            compressed_bytes: (230_000_000.0 / 12.61) as usize,
+        };
+        let speedup = p.speedup(mbps(10.0));
+        assert!(
+            (8.0..14.0).contains(&speedup),
+            "speedup {speedup:.2} out of the paper's ballpark"
+        );
+    }
+
+    #[test]
+    fn ratio_and_edge_cases() {
+        let p = plan();
+        assert!((p.ratio() - 10.0).abs() < 1e-9);
+        let free = TransferPlan {
+            compress_secs: 0.0,
+            decompress_secs: 0.0,
+            original_bytes: 100,
+            compressed_bytes: 50,
+        };
+        assert_eq!(free.breakeven_bandwidth(), f64::INFINITY);
+    }
+
+    #[test]
+    fn mbps_converts() {
+        assert_eq!(mbps(10.0), 1e7);
+    }
+}

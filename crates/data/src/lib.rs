@@ -1,0 +1,574 @@
+//! Synthetic datasets for the FedSZ reproduction.
+//!
+//! The paper evaluates on CIFAR-10, Fashion-MNIST and Caltech101. Those
+//! datasets are not available offline, so this crate generates *learnable
+//! class-conditional synthetic tasks* with the same tensor geometry
+//! (channel counts and class counts; resolution is configurable and
+//! defaults to a CPU-friendly 16×16). Each class gets a smooth random
+//! prototype pattern; samples are jittered, shifted copies with additive
+//! noise, so convolutional models genuinely have to learn class structure
+//! — which is what the FL accuracy experiments need.
+//!
+//! The crate also generates Miranda-like smooth turbulence fields used by
+//! the Figure 2 smoothness contrast (FL weights vs. scientific data).
+//!
+//! # Examples
+//!
+//! ```
+//! use fedsz_data::{DatasetKind, SyntheticConfig};
+//!
+//! let (train, test) = DatasetKind::Cifar10Like.generate(&SyntheticConfig {
+//!     seed: 1,
+//!     train_per_class: 8,
+//!     test_per_class: 4,
+//!     resolution: 16,
+//! });
+//! assert_eq!(train.len(), 80);
+//! assert_eq!(test.classes(), 10);
+//! ```
+
+#![forbid(unsafe_code)]
+
+use fedsz_tensor::rng::{self, seeded};
+use fedsz_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// The three dataset families from the paper's Table IV.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DatasetKind {
+    /// 3-channel, 10 classes (CIFAR-10 analogue).
+    Cifar10Like,
+    /// 1-channel, 10 classes (Fashion-MNIST analogue).
+    FashionMnistLike,
+    /// 3-channel, 101 classes (Caltech101 analogue).
+    Caltech101Like,
+}
+
+impl DatasetKind {
+    /// All three datasets in the paper's Table IV order.
+    pub fn all() -> [DatasetKind; 3] {
+        [Self::Cifar10Like, Self::FashionMnistLike, Self::Caltech101Like]
+    }
+
+    /// Display name matching the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Cifar10Like => "CIFAR-10",
+            Self::FashionMnistLike => "Fashion-MNIST",
+            Self::Caltech101Like => "Caltech101",
+        }
+    }
+
+    /// Number of classes.
+    pub fn classes(self) -> usize {
+        match self {
+            Self::Cifar10Like | Self::FashionMnistLike => 10,
+            Self::Caltech101Like => 101,
+        }
+    }
+
+    /// Image channels.
+    pub fn channels(self) -> usize {
+        match self {
+            Self::FashionMnistLike => 1,
+            _ => 3,
+        }
+    }
+
+    /// The *reference* dataset characteristics from the paper's Table IV
+    /// (sample count, native input side, classes) — reported verbatim by
+    /// the Table IV bench; the synthetic generator works at
+    /// [`SyntheticConfig::resolution`] instead.
+    pub fn paper_characteristics(self) -> (usize, usize, usize) {
+        match self {
+            Self::Cifar10Like => (60_000, 32, 10),
+            Self::FashionMnistLike => (70_000, 28, 10),
+            Self::Caltech101Like => (9_000, 224, 101),
+        }
+    }
+
+    /// Generates seeded train/test splits.
+    pub fn generate(self, config: &SyntheticConfig) -> (Dataset, Dataset) {
+        let mut rng = seeded(config.seed ^ self.class_seed());
+        let protos = Prototypes::new(&mut rng, self, config.resolution);
+        let train = protos.sample_split(&mut rng, config.train_per_class);
+        let test = protos.sample_split(&mut rng, config.test_per_class);
+        (train, test)
+    }
+
+    fn class_seed(self) -> u64 {
+        match self {
+            Self::Cifar10Like => 0x5a5a_0001,
+            Self::FashionMnistLike => 0x5a5a_0002,
+            Self::Caltech101Like => 0x5a5a_0003,
+        }
+    }
+}
+
+impl std::fmt::Display for DatasetKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Generation parameters for the synthetic datasets.
+#[derive(Debug, Clone, Copy)]
+pub struct SyntheticConfig {
+    /// Base RNG seed (combined with a per-dataset constant).
+    pub seed: u64,
+    /// Training samples generated per class.
+    pub train_per_class: usize,
+    /// Test samples generated per class.
+    pub test_per_class: usize,
+    /// Image side length (images are square).
+    pub resolution: usize,
+}
+
+impl Default for SyntheticConfig {
+    fn default() -> Self {
+        Self { seed: 42, train_per_class: 16, test_per_class: 8, resolution: 16 }
+    }
+}
+
+/// Smooth class prototypes shared by a dataset's samples.
+struct Prototypes {
+    kind: DatasetKind,
+    hw: usize,
+    /// `[class][channel][pixel]` smooth base patterns.
+    fields: Vec<Vec<Vec<f32>>>,
+}
+
+impl Prototypes {
+    fn new(rng: &mut StdRng, kind: DatasetKind, hw: usize) -> Self {
+        let fields = (0..kind.classes())
+            .map(|_| (0..kind.channels()).map(|_| smooth_field(rng, hw)).collect())
+            .collect();
+        Self { kind, hw, fields }
+    }
+
+    fn sample_split(&self, rng: &mut StdRng, per_class: usize) -> Dataset {
+        let mut samples = Vec::with_capacity(per_class * self.kind.classes());
+        for class in 0..self.kind.classes() {
+            for _ in 0..per_class {
+                samples.push((self.sample(rng, class), class));
+            }
+        }
+        // Shuffle so mini-batches mix classes.
+        for i in (1..samples.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            samples.swap(i, j);
+        }
+        Dataset { kind: self.kind, hw: self.hw, samples }
+    }
+
+    /// One jittered sample of `class`: scaled prototype + shift + noise.
+    fn sample(&self, rng: &mut StdRng, class: usize) -> Tensor {
+        let hw = self.hw;
+        let c = self.kind.channels();
+        let gain = 0.8 + 0.4 * rng.gen::<f32>();
+        // Small cyclic jitter: enough variety to require generalization,
+        // small enough that class structure stays learnable by tiny CNNs.
+        let dx = rng.gen_range(0..4).min(hw - 1);
+        let dy = rng.gen_range(0..4).min(hw - 1);
+        let mut data = Vec::with_capacity(c * hw * hw);
+        for ch in 0..c {
+            let field = &self.fields[class][ch];
+            for y in 0..hw {
+                for x in 0..hw {
+                    let sx = (x + dx) % hw;
+                    let sy = (y + dy) % hw;
+                    let v = gain * field[sy * hw + sx] + 0.15 * rng::normal(rng);
+                    data.push(v);
+                }
+            }
+        }
+        Tensor::from_vec(vec![c, hw, hw], data)
+    }
+}
+
+/// A labelled image collection.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    kind: DatasetKind,
+    hw: usize,
+    samples: Vec<(Tensor, usize)>,
+}
+
+impl Dataset {
+    /// Which dataset family this is.
+    pub fn kind(&self) -> DatasetKind {
+        self.kind
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.kind.classes()
+    }
+
+    /// Image channels.
+    pub fn channels(&self) -> usize {
+        self.kind.channels()
+    }
+
+    /// Image side length.
+    pub fn resolution(&self) -> usize {
+        self.hw
+    }
+
+    /// Assembles a `[N, C, H, W]` batch plus targets from sample indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn batch(&self, indices: &[usize]) -> (Tensor, Vec<usize>) {
+        let c = self.channels();
+        let hw = self.hw;
+        let mut data = Vec::with_capacity(indices.len() * c * hw * hw);
+        let mut targets = Vec::with_capacity(indices.len());
+        for &i in indices {
+            let (img, label) = &self.samples[i];
+            data.extend_from_slice(img.data());
+            targets.push(*label);
+        }
+        (Tensor::from_vec(vec![indices.len(), c, hw, hw], data), targets)
+    }
+
+    /// The full dataset as one batch.
+    pub fn full_batch(&self) -> (Tensor, Vec<usize>) {
+        let indices: Vec<usize> = (0..self.len()).collect();
+        self.batch(&indices)
+    }
+
+    /// Splits into `n` IID shards (round-robin), one per FL client.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn shard(&self, n: usize) -> Vec<Dataset> {
+        assert!(n > 0, "cannot shard into zero pieces");
+        let mut shards: Vec<Vec<(Tensor, usize)>> = (0..n).map(|_| Vec::new()).collect();
+        for (i, sample) in self.samples.iter().enumerate() {
+            shards[i % n].push(sample.clone());
+        }
+        shards
+            .into_iter()
+            .map(|samples| Dataset { kind: self.kind, hw: self.hw, samples })
+            .collect()
+    }
+
+    /// Splits into `n` non-IID shards with Dirichlet(`alpha`) label skew
+    /// — the standard heterogeneity model for FL experiments. Small
+    /// `alpha` (e.g. 0.1) gives each client a few dominant classes;
+    /// large `alpha` approaches IID. Every shard is guaranteed at least
+    /// one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `alpha` is not positive and finite.
+    pub fn shard_dirichlet(&self, n: usize, alpha: f64, seed: u64) -> Vec<Dataset> {
+        assert!(n > 0, "cannot shard into zero pieces");
+        assert!(alpha.is_finite() && alpha > 0.0, "alpha must be positive");
+        let mut rng = seeded(seed);
+        let classes = self.classes();
+        // Per-class client proportions ~ Dirichlet(alpha).
+        let mut shards: Vec<Vec<(Tensor, usize)>> = (0..n).map(|_| Vec::new()).collect();
+        for class in 0..classes {
+            let weights: Vec<f64> = (0..n).map(|_| gamma_sample(&mut rng, alpha)).collect();
+            let total: f64 = weights.iter().sum::<f64>().max(f64::MIN_POSITIVE);
+            let cdf: Vec<f64> = weights
+                .iter()
+                .scan(0.0, |acc, w| {
+                    *acc += w / total;
+                    Some(*acc)
+                })
+                .collect();
+            for sample in self.samples.iter().filter(|(_, l)| *l == class) {
+                let u: f64 = rng.gen();
+                let client = cdf.iter().position(|&c| u <= c).unwrap_or(n - 1);
+                shards[client].push(sample.clone());
+            }
+        }
+        // No client may be empty (it could not train at all).
+        for i in 0..n {
+            if shards[i].is_empty() {
+                let donor = (0..n)
+                    .max_by_key(|&j| shards[j].len())
+                    .expect("at least one shard");
+                if let Some(sample) = shards[donor].pop() {
+                    shards[i].push(sample);
+                }
+            }
+        }
+        shards
+            .into_iter()
+            .map(|samples| Dataset { kind: self.kind, hw: self.hw, samples })
+            .collect()
+    }
+
+    /// Per-class sample counts (test/analysis helper).
+    pub fn label_histogram(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.classes()];
+        for (_, label) in &self.samples {
+            counts[*label] += 1;
+        }
+        counts
+    }
+}
+
+/// Marsaglia–Tsang gamma sampler (shape `a`, scale 1), used for the
+/// Dirichlet draws in [`Dataset::shard_dirichlet`].
+fn gamma_sample(rng: &mut StdRng, a: f64) -> f64 {
+    if a < 1.0 {
+        // Boost: Gamma(a) = Gamma(a + 1) * U^(1/a).
+        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        return gamma_sample(rng, a + 1.0) * u.powf(1.0 / a);
+    }
+    let d = a - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = f64::from(rng::normal(rng));
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f64 = rng.gen();
+        if u < 1.0 - 0.0331 * x.powi(4) || u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln()) {
+            return d * v;
+        }
+    }
+}
+
+/// A smooth random field: a small sum of low-frequency sinusoids, the
+/// same construction used for the Miranda-like data below.
+fn smooth_field(rng: &mut StdRng, hw: usize) -> Vec<f32> {
+    let mut field = vec![0.0f32; hw * hw];
+    for _ in 0..4 {
+        let fx = rng.gen_range(1..4) as f32;
+        let fy = rng.gen_range(1..4) as f32;
+        let phase = rng.gen::<f32>() * std::f32::consts::TAU;
+        let amp = 0.3 + 0.7 * rng.gen::<f32>();
+        for y in 0..hw {
+            for x in 0..hw {
+                let t = std::f32::consts::TAU
+                    * (fx * x as f32 / hw as f32 + fy * y as f32 / hw as f32)
+                    + phase;
+                field[y * hw + x] += amp * t.sin();
+            }
+        }
+    }
+    field
+}
+
+/// Miranda-like 1D data slice: a smooth multi-scale signal with 1/f
+/// amplitude decay, standing in for the turbulence simulation snapshots
+/// the paper contrasts against FL weights in Figure 2.
+pub fn miranda_like_series(seed: u64, n: usize) -> Vec<f32> {
+    let mut rng = seeded(seed);
+    let mut out = vec![0.0f32; n];
+    for octave in 0..8 {
+        let freq = (1 << octave) as f32;
+        let amp = 1.0 / freq;
+        let phase = rng.gen::<f32>() * std::f32::consts::TAU;
+        for (i, v) in out.iter_mut().enumerate() {
+            *v += amp * (std::f32::consts::TAU * freq * i as f32 / n as f32 + phase).sin();
+        }
+    }
+    // Gentle positive offset so the series resembles a density field.
+    let min = out.iter().copied().fold(f32::INFINITY, f32::min);
+    for v in &mut out {
+        *v += 1.0 - min;
+    }
+    out
+}
+
+/// Mean absolute first difference — the smoothness metric used by the
+/// Figure 2 bench to quantify "spikiness" (FL weights score much higher
+/// than Miranda-like fields).
+pub fn mean_abs_diff(data: &[f32]) -> f64 {
+    if data.len() < 2 {
+        return 0.0;
+    }
+    let sum: f64 =
+        data.windows(2).map(|w| (f64::from(w[1]) - f64::from(w[0])).abs()).sum();
+    sum / (data.len() - 1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = SyntheticConfig::default();
+        let (a, _) = DatasetKind::Cifar10Like.generate(&cfg);
+        let (b, _) = DatasetKind::Cifar10Like.generate(&cfg);
+        assert_eq!(a.len(), b.len());
+        let (xa, ya) = a.batch(&[0, 1]);
+        let (xb, yb) = b.batch(&[0, 1]);
+        assert_eq!(xa.data(), xb.data());
+        assert_eq!(ya, yb);
+    }
+
+    #[test]
+    fn geometry_matches_dataset_kind() {
+        let cfg = SyntheticConfig { train_per_class: 2, test_per_class: 1, ..Default::default() };
+        for kind in DatasetKind::all() {
+            let (train, test) = kind.generate(&cfg);
+            assert_eq!(train.channels(), kind.channels());
+            assert_eq!(train.classes(), kind.classes());
+            assert_eq!(train.len(), 2 * kind.classes());
+            assert_eq!(test.len(), kind.classes());
+            let (x, y) = train.batch(&[0]);
+            assert_eq!(x.shape(), &[1, kind.channels(), 16, 16]);
+            assert!(y[0] < kind.classes());
+        }
+    }
+
+    #[test]
+    fn class_labels_are_balanced() {
+        let cfg = SyntheticConfig { train_per_class: 5, test_per_class: 1, ..Default::default() };
+        let (train, _) = DatasetKind::FashionMnistLike.generate(&cfg);
+        let (_, labels) = train.full_batch();
+        let mut counts = vec![0usize; 10];
+        for l in labels {
+            counts[l] += 1;
+        }
+        assert!(counts.iter().all(|&c| c == 5), "{counts:?}");
+    }
+
+    #[test]
+    fn sharding_partitions_all_samples() {
+        let cfg = SyntheticConfig { train_per_class: 4, test_per_class: 1, ..Default::default() };
+        let (train, _) = DatasetKind::Cifar10Like.generate(&cfg);
+        let shards = train.shard(4);
+        assert_eq!(shards.len(), 4);
+        assert_eq!(shards.iter().map(Dataset::len).sum::<usize>(), train.len());
+        // Shards should be near-equal in size.
+        for s in &shards {
+            assert!((s.len() as i64 - (train.len() / 4) as i64).abs() <= 1);
+        }
+    }
+
+    #[test]
+    fn same_class_samples_are_correlated() {
+        // Two samples of one class should correlate more with each other
+        // than with another class's prototype-driven samples.
+        let cfg = SyntheticConfig { train_per_class: 2, test_per_class: 1, ..Default::default() };
+        let (train, _) = DatasetKind::Cifar10Like.generate(&cfg);
+        let mut by_class: Vec<Vec<&Tensor>> = vec![Vec::new(); 10];
+        for (img, label) in &train.samples {
+            by_class[*label].push(img);
+        }
+        let corr = |a: &Tensor, b: &Tensor| -> f64 {
+            let (mut dot, mut na, mut nb) = (0.0f64, 0.0f64, 0.0f64);
+            for (&x, &y) in a.data().iter().zip(b.data()) {
+                dot += f64::from(x) * f64::from(y);
+                na += f64::from(x) * f64::from(x);
+                nb += f64::from(y) * f64::from(y);
+            }
+            dot / (na.sqrt() * nb.sqrt()).max(1e-12)
+        };
+        // Average over classes to avoid flakiness from a single shift.
+        let mut same = 0.0;
+        let mut cross = 0.0;
+        for c in 0..9 {
+            same += corr(by_class[c][0], by_class[c][1]);
+            cross += corr(by_class[c][0], by_class[c + 1][0]);
+        }
+        assert!(same > cross, "same-class {same:.3} <= cross-class {cross:.3}");
+    }
+
+    #[test]
+    fn miranda_series_is_smooth_compared_to_noise() {
+        let smooth = miranda_like_series(1, 4096);
+        let mut rng = seeded(2);
+        let noisy: Vec<f32> = (0..4096).map(|_| rng::normal(&mut rng)).collect();
+        // Normalize by std so the comparison is scale-free.
+        let std = |v: &[f32]| {
+            let m = v.iter().map(|&x| f64::from(x)).sum::<f64>() / v.len() as f64;
+            (v.iter().map(|&x| (f64::from(x) - m).powi(2)).sum::<f64>() / v.len() as f64).sqrt()
+        };
+        let s1 = mean_abs_diff(&smooth) / std(&smooth);
+        let s2 = mean_abs_diff(&noisy) / std(&noisy);
+        assert!(s1 * 10.0 < s2, "smooth {s1:.4} vs noisy {s2:.4}");
+    }
+
+    #[test]
+    fn paper_characteristics_match_table_iv() {
+        assert_eq!(DatasetKind::Cifar10Like.paper_characteristics(), (60_000, 32, 10));
+        assert_eq!(DatasetKind::FashionMnistLike.paper_characteristics(), (70_000, 28, 10));
+        assert_eq!(DatasetKind::Caltech101Like.paper_characteristics(), (9_000, 224, 101));
+    }
+}
+
+#[cfg(test)]
+mod noniid_tests {
+    use super::*;
+
+    fn train() -> Dataset {
+        let cfg = SyntheticConfig { seed: 9, train_per_class: 20, test_per_class: 1, resolution: 16 };
+        DatasetKind::Cifar10Like.generate(&cfg).0
+    }
+
+    #[test]
+    fn dirichlet_partitions_everything() {
+        let data = train();
+        let shards = data.shard_dirichlet(4, 0.5, 7);
+        assert_eq!(shards.iter().map(Dataset::len).sum::<usize>(), data.len());
+        assert!(shards.iter().all(|s| !s.is_empty()));
+    }
+
+    #[test]
+    fn small_alpha_is_more_skewed_than_large() {
+        let data = train();
+        // Skew metric: mean max-class share across clients.
+        let skew = |alpha: f64| -> f64 {
+            let shards = data.shard_dirichlet(4, alpha, 11);
+            shards
+                .iter()
+                .map(|s| {
+                    let h = s.label_histogram();
+                    let max = *h.iter().max().unwrap() as f64;
+                    max / s.len() as f64
+                })
+                .sum::<f64>()
+                / 4.0
+        };
+        let skewed = skew(0.05);
+        let near_iid = skew(100.0);
+        assert!(
+            skewed > near_iid + 0.1,
+            "alpha 0.05 skew {skewed:.3} should exceed alpha 100 skew {near_iid:.3}"
+        );
+    }
+
+    #[test]
+    fn dirichlet_is_deterministic_per_seed() {
+        let data = train();
+        let a = data.shard_dirichlet(3, 0.3, 5);
+        let b = data.shard_dirichlet(3, 0.3, 5);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.label_histogram(), y.label_histogram());
+        }
+    }
+
+    #[test]
+    fn label_histogram_counts() {
+        let data = train();
+        let h = data.label_histogram();
+        assert_eq!(h.len(), 10);
+        assert_eq!(h.iter().sum::<usize>(), 200);
+        assert!(h.iter().all(|&c| c == 20));
+    }
+}

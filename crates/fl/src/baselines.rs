@@ -1,0 +1,239 @@
+//! Baseline FL update-reduction methods: top-k gradient sparsification
+//! and QSGD-style stochastic quantization.
+//!
+//! Section III-C of the paper argues FedSZ is a *last step* that
+//! composes with these techniques rather than competing with them, but
+//! cannot compare directly because the originals are closed-source. This
+//! module implements both families from their published descriptions
+//! (Aji & Heafield 2017 for top-k; Alistarh et al. 2017 for QSGD) so the
+//! `ablation_composition` bench can measure exactly that composition:
+//! FedSZ further compresses sparsified or quantized updates.
+//!
+//! Both transforms operate on the *weight delta* (update − global) and
+//! apply only to tensors the Algorithm 1 rule marks lossy; metadata is
+//! left untouched, mirroring how these methods treat non-gradient state.
+
+use fedsz::partition;
+use fedsz_nn::StateDict;
+use fedsz_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Top-k sparsification: keep the `fraction` largest-magnitude entries
+/// of each lossy tensor's delta, zero the rest, and return
+/// `global + sparse_delta`.
+///
+/// # Panics
+///
+/// Panics if `fraction` is not in `(0, 1]`, or the dicts disagree on
+/// structure.
+pub fn top_k_sparsify(
+    update: &StateDict,
+    global: &StateDict,
+    fraction: f64,
+    threshold: usize,
+) -> StateDict {
+    assert!(fraction > 0.0 && fraction <= 1.0, "fraction must be in (0, 1]");
+    let mut out = StateDict::new();
+    for (name, tensor) in update.iter() {
+        if !partition::is_lossy(name, tensor.len(), threshold) {
+            out.insert(name.to_owned(), tensor.clone());
+            continue;
+        }
+        let base = global
+            .get(name)
+            .unwrap_or_else(|| panic!("global dict missing `{name}`"));
+        assert_eq!(base.shape(), tensor.shape(), "shape mismatch for `{name}`");
+        let delta: Vec<f32> =
+            tensor.data().iter().zip(base.data()).map(|(&u, &g)| u - g).collect();
+        let k = ((delta.len() as f64 * fraction).ceil() as usize).clamp(1, delta.len());
+        // Threshold = k-th largest magnitude.
+        let mut mags: Vec<f32> = delta.iter().map(|d| d.abs()).collect();
+        mags.sort_unstable_by(|a, b| b.partial_cmp(a).expect("finite deltas"));
+        let cut = mags[k - 1];
+        let mut kept = 0usize;
+        let sparse: Vec<f32> = delta
+            .iter()
+            .zip(tensor.data().iter().zip(base.data()))
+            .map(|(&d, (&u, &g))| {
+                // `>= cut` with a running cap handles ties deterministically.
+                // Kept entries carry the client's value bit-exactly.
+                if d.abs() >= cut && kept < k {
+                    kept += 1;
+                    u
+                } else {
+                    g
+                }
+            })
+            .collect();
+        out.insert(name.to_owned(), Tensor::from_vec(tensor.shape().to_vec(), sparse));
+    }
+    out
+}
+
+/// QSGD-style stochastic quantization with `levels` quantization levels
+/// per tensor (unbiased: `E[Q(x)] = x`), applied to each lossy tensor's
+/// delta. Returns `global + quantized_delta`.
+///
+/// # Panics
+///
+/// Panics if `levels < 2` or the dicts disagree on structure.
+pub fn qsgd_quantize(
+    update: &StateDict,
+    global: &StateDict,
+    levels: u32,
+    threshold: usize,
+    seed: u64,
+) -> StateDict {
+    assert!(levels >= 2, "need at least two quantization levels");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let s = (levels - 1) as f64;
+    let mut out = StateDict::new();
+    for (name, tensor) in update.iter() {
+        if !partition::is_lossy(name, tensor.len(), threshold) {
+            out.insert(name.to_owned(), tensor.clone());
+            continue;
+        }
+        let base = global
+            .get(name)
+            .unwrap_or_else(|| panic!("global dict missing `{name}`"));
+        assert_eq!(base.shape(), tensor.shape(), "shape mismatch for `{name}`");
+        let delta: Vec<f64> = tensor
+            .data()
+            .iter()
+            .zip(base.data())
+            .map(|(&u, &g)| f64::from(u) - f64::from(g))
+            .collect();
+        let norm = delta.iter().map(|d| d * d).sum::<f64>().sqrt();
+        let quantized: Vec<f32> = delta
+            .iter()
+            .zip(base.data())
+            .map(|(&d, &g)| {
+                if norm == 0.0 {
+                    return g;
+                }
+                // QSGD: |d|/norm lands between two levels l/s and (l+1)/s;
+                // round up with probability proportional to the remainder.
+                let scaled = d.abs() / norm * s;
+                let floor = scaled.floor();
+                let level =
+                    if rng.gen::<f64>() < scaled - floor { floor + 1.0 } else { floor };
+                let q = d.signum() * norm * level / s;
+                (f64::from(g) + q) as f32
+            })
+            .collect();
+        out.insert(name.to_owned(), Tensor::from_vec(tensor.shape().to_vec(), quantized));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedsz_tensor::rng::{randn, seeded};
+
+    fn pair(n: usize) -> (StateDict, StateDict) {
+        let mut rng = seeded(3);
+        let mut global = StateDict::new();
+        global.insert("l.weight", randn(&mut rng, vec![n], 0.1));
+        global.insert("l.bias", randn(&mut rng, vec![4], 0.1));
+        let mut update = StateDict::new();
+        update.insert("l.weight", randn(&mut rng, vec![n], 0.1));
+        update.insert("l.bias", randn(&mut rng, vec![4], 0.1));
+        (update, global)
+    }
+
+    #[test]
+    fn top_k_keeps_exactly_k_changes() {
+        let (update, global) = pair(2000);
+        let sparse = top_k_sparsify(&update, &global, 0.1, 100);
+        let changed = sparse
+            .get("l.weight")
+            .unwrap()
+            .data()
+            .iter()
+            .zip(global.get("l.weight").unwrap().data())
+            .filter(|(a, b)| a != b)
+            .count();
+        assert_eq!(changed, 200, "10% of 2000 entries should change");
+        // Metadata untouched.
+        assert_eq!(sparse.get("l.bias").unwrap(), update.get("l.bias").unwrap());
+    }
+
+    #[test]
+    fn top_k_keeps_largest_magnitudes() {
+        let mut global = StateDict::new();
+        global.insert("l.weight", Tensor::zeros(vec![2000]));
+        let mut update = StateDict::new();
+        let vals: Vec<f32> = (0..2000).map(|i| if i == 7 { 5.0 } else { 0.001 }).collect();
+        update.insert("l.weight", Tensor::from_vec(vec![2000], vals));
+        let sparse = top_k_sparsify(&update, &global, 0.0005, 100); // k = 1
+        let data = sparse.get("l.weight").unwrap().data();
+        assert_eq!(data[7], 5.0);
+        assert!(data.iter().enumerate().all(|(i, &v)| i == 7 || v == 0.0));
+    }
+
+    #[test]
+    fn top_k_full_fraction_is_identity() {
+        let (update, global) = pair(1500);
+        let sparse = top_k_sparsify(&update, &global, 1.0, 100);
+        assert_eq!(&sparse, &update);
+    }
+
+    #[test]
+    fn qsgd_is_approximately_unbiased() {
+        let (update, global) = pair(4000);
+        // Average many quantizations: the mean approaches the update.
+        // QSGD's per-draw variance is large by design (that is the price
+        // of unbiasedness), so use many levels and trials with a loose
+        // tolerance that still catches any systematic bias.
+        let mut acc = vec![0.0f64; 4000];
+        let trials = 100u32;
+        for seed in 0..trials {
+            let q = qsgd_quantize(&update, &global, 16, 100, u64::from(seed));
+            for (a, &v) in acc.iter_mut().zip(q.get("l.weight").unwrap().data()) {
+                *a += f64::from(v);
+            }
+        }
+        let truth = update.get("l.weight").unwrap().data();
+        let norm: f64 = truth.iter().map(|&v| f64::from(v).powi(2)).sum::<f64>().sqrt();
+        let mut err = 0.0f64;
+        for (a, &t) in acc.iter().zip(truth) {
+            err += (a / f64::from(trials) - f64::from(t)).powi(2);
+        }
+        let rel = err.sqrt() / norm;
+        assert!(rel < 0.3, "QSGD mean deviates {rel:.3} from the true update");
+    }
+
+    #[test]
+    fn qsgd_deltas_sit_on_the_quantization_grid() {
+        let (update, global) = pair(3000);
+        let levels = 3u32;
+        let q = qsgd_quantize(&update, &global, levels, 100, 1);
+        let g = global.get("l.weight").unwrap().data();
+        let u = update.get("l.weight").unwrap().data();
+        let norm: f64 = u
+            .iter()
+            .zip(g)
+            .map(|(&a, &b)| (f64::from(a) - f64::from(b)).powi(2))
+            .sum::<f64>()
+            .sqrt();
+        let step = norm / f64::from(levels - 1);
+        for (&a, &b) in q.get("l.weight").unwrap().data().iter().zip(g) {
+            let d = f64::from(a) - f64::from(b);
+            let multiple = d / step;
+            assert!(
+                (multiple - multiple.round()).abs() < 1e-3,
+                "delta {d} is not a grid multiple of {step}"
+            );
+            assert!(multiple.abs() <= f64::from(levels - 1) + 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction must be in (0, 1]")]
+    fn zero_fraction_rejected() {
+        let (update, global) = pair(100);
+        let _ = top_k_sparsify(&update, &global, 0.0, 10);
+    }
+}

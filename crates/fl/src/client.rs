@@ -1,0 +1,143 @@
+//! A federated-learning client: a local model, a data shard and an SGD
+//! loop.
+
+use fedsz_data::Dataset;
+use fedsz_nn::loss::softmax_cross_entropy;
+use fedsz_nn::models::tiny::TinyModel;
+use fedsz_nn::optim::Sgd;
+use fedsz_nn::{Model, NnError, StateDict};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// One FL client.
+pub struct Client {
+    id: usize,
+    model: TinyModel,
+    data: Dataset,
+    batch_size: usize,
+    optimizer: Sgd,
+    rng: StdRng,
+}
+
+impl Client {
+    /// Creates a client over its local data shard.
+    pub fn new(
+        id: usize,
+        model: TinyModel,
+        data: Dataset,
+        batch_size: usize,
+        lr: f32,
+        seed: u64,
+    ) -> Self {
+        Self {
+            id,
+            model,
+            data,
+            batch_size: batch_size.max(1),
+            optimizer: Sgd::new(lr, 0.9, 0.0),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Client identifier.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Number of local samples.
+    pub fn samples(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Loads the global model into the local one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError`] when the dict does not match the architecture.
+    pub fn load_global(&mut self, global: &StateDict) -> Result<(), NnError> {
+        self.model.load_state_dict(global)
+    }
+
+    /// Runs one epoch of local SGD over a shuffled pass of the shard,
+    /// returning the mean training loss.
+    pub fn train_epoch(&mut self) -> f64 {
+        let n = self.data.len();
+        if n == 0 {
+            return 0.0;
+        }
+        let mut order: Vec<usize> = (0..n).collect();
+        order.shuffle(&mut self.rng);
+        let mut total = 0.0f64;
+        let mut batches = 0usize;
+        for chunk in order.chunks(self.batch_size) {
+            let (inputs, targets) = self.data.batch(chunk);
+            let logits = self.model.forward(inputs, true);
+            let (loss, grad) = softmax_cross_entropy(&logits, &targets);
+            self.model.backward(grad);
+            self.optimizer.step(&mut self.model.params_mut());
+            self.model.zero_grad();
+            total += loss;
+            batches += 1;
+        }
+        total / batches.max(1) as f64
+    }
+
+    /// Snapshots the locally-trained model — the update FedSZ compresses.
+    pub fn update(&self) -> StateDict {
+        self.model.state_dict()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedsz_data::{DatasetKind, SyntheticConfig};
+    use fedsz_nn::models::tiny::TinyArch;
+
+    fn make_client() -> Client {
+        let cfg = SyntheticConfig { seed: 1, train_per_class: 6, test_per_class: 1, resolution: 16 };
+        let (train, _) = DatasetKind::Cifar10Like.generate(&cfg);
+        Client::new(0, TinyArch::AlexNet.build(3, 3, 16, 10), train, 8, 0.05, 9)
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let mut client = make_client();
+        let first = client.train_epoch();
+        let mut last = first;
+        for _ in 0..4 {
+            last = client.train_epoch();
+        }
+        assert!(last < first, "loss {first:.4} -> {last:.4} did not improve");
+    }
+
+    #[test]
+    fn update_reflects_training() {
+        let mut client = make_client();
+        let before = client.update();
+        client.train_epoch();
+        let after = client.update();
+        assert_ne!(before, after, "training must change the state dict");
+        assert_eq!(
+            before.names().collect::<Vec<_>>(),
+            after.names().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn load_global_overrides_local_weights() {
+        let mut client = make_client();
+        client.train_epoch();
+        let fresh = TinyArch::AlexNet.build(3, 3, 16, 10).state_dict();
+        client.load_global(&fresh).unwrap();
+        assert_eq!(client.update(), fresh);
+    }
+
+    #[test]
+    fn mismatched_global_is_rejected() {
+        let mut client = make_client();
+        let wrong = TinyArch::ResNet.build(3, 3, 16, 10).state_dict();
+        assert!(client.load_global(&wrong).is_err());
+    }
+}

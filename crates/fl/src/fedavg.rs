@@ -1,0 +1,121 @@
+//! Federated Averaging (McMahan et al., AISTATS 2017).
+
+use fedsz_nn::StateDict;
+use fedsz_tensor::Tensor;
+
+/// Averages client state dicts entry-wise with uniform weights.
+///
+/// All dicts must share the same entry names and shapes (the FedAvg
+/// setting: every client trains the same architecture). Buffers such as
+/// batch-norm running statistics are averaged along with the weights,
+/// matching APPFL's server behaviour.
+///
+/// # Panics
+///
+/// Panics if `updates` is empty or the dicts disagree on structure.
+pub fn fedavg(updates: &[StateDict]) -> StateDict {
+    weighted_fedavg(updates, &vec![1.0; updates.len()])
+}
+
+/// Weighted FedAvg: `global = Σ w_i * update_i / Σ w_i`.
+///
+/// Weights are typically client sample counts.
+///
+/// # Panics
+///
+/// Panics if inputs are empty, lengths mismatch, weights are
+/// non-positive, or the dicts disagree on structure.
+pub fn weighted_fedavg(updates: &[StateDict], weights: &[f64]) -> StateDict {
+    assert!(!updates.is_empty(), "cannot average zero updates");
+    assert_eq!(updates.len(), weights.len(), "one weight per update");
+    let total: f64 = weights.iter().sum();
+    assert!(total > 0.0 && weights.iter().all(|&w| w > 0.0), "weights must be positive");
+
+    let mut out = StateDict::new();
+    for (name, first) in updates[0].iter() {
+        let mut acc = vec![0.0f64; first.len()];
+        for (update, &w) in updates.iter().zip(weights) {
+            let tensor = update
+                .get(name)
+                .unwrap_or_else(|| panic!("update missing entry `{name}`"));
+            assert_eq!(tensor.shape(), first.shape(), "shape mismatch for `{name}`");
+            for (a, &v) in acc.iter_mut().zip(tensor.data()) {
+                *a += w * f64::from(v);
+            }
+        }
+        let data: Vec<f32> = acc.into_iter().map(|v| (v / total) as f32).collect();
+        out.insert(name.to_owned(), Tensor::from_vec(first.shape().to_vec(), data));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dict(value: f32) -> StateDict {
+        let mut sd = StateDict::new();
+        sd.insert("w.weight", Tensor::filled(vec![4], value));
+        sd.insert("w.bias", Tensor::filled(vec![2], value * 2.0));
+        sd
+    }
+
+    #[test]
+    fn uniform_average() {
+        let avg = fedavg(&[dict(1.0), dict(3.0)]);
+        assert_eq!(avg.get("w.weight").unwrap().data(), &[2.0; 4]);
+        assert_eq!(avg.get("w.bias").unwrap().data(), &[4.0; 2]);
+    }
+
+    #[test]
+    fn single_client_is_identity() {
+        let d = dict(0.7);
+        assert_eq!(fedavg(std::slice::from_ref(&d)), d);
+    }
+
+    #[test]
+    fn weighted_average_respects_weights() {
+        let avg = weighted_fedavg(&[dict(0.0), dict(4.0)], &[3.0, 1.0]);
+        assert_eq!(avg.get("w.weight").unwrap().data(), &[1.0; 4]);
+    }
+
+    #[test]
+    fn linearity_property() {
+        // avg(a + c, b + c) == avg(a, b) + c for a constant shift c.
+        let a = dict(1.0);
+        let b = dict(2.0);
+        let shift = 5.0f32;
+        let shifted: Vec<StateDict> = [&a, &b]
+            .iter()
+            .map(|d| {
+                d.iter()
+                    .map(|(n, t)| (n.to_owned(), t.map(|v| v + shift)))
+                    .collect::<StateDict>()
+            })
+            .collect();
+        let lhs = fedavg(&shifted);
+        let rhs = fedavg(&[a, b]);
+        for (name, t) in lhs.iter() {
+            let r = rhs.get(name).unwrap();
+            for (&x, &y) in t.data().iter().zip(r.data()) {
+                assert!((x - (y + shift)).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot average zero updates")]
+    fn empty_input_panics() {
+        let _ = fedavg(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn mismatched_shapes_panic() {
+        let a = dict(1.0);
+        let mut b = StateDict::new();
+        b.insert("w.weight", Tensor::filled(vec![3], 1.0));
+        b.insert("w.bias", Tensor::filled(vec![2], 1.0));
+        let _ = fedavg(&[a, b]);
+    }
+}

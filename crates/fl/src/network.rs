@@ -1,0 +1,85 @@
+//! Simulated-bandwidth network model.
+//!
+//! The paper emulates constrained links (e.g. 10 Mbps edge uplinks) by
+//! measuring MPI point-to-point bandwidth and sleeping for the remaining
+//! transfer time. This model computes the same quantity analytically:
+//! `seconds = bytes * 8 / bandwidth`, optionally with a fixed per-message
+//! latency. Results are identical in expectation and free to evaluate,
+//! which lets the scaling benches sweep 2–128 clients in seconds.
+
+/// A fixed-bandwidth, fixed-latency point-to-point link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimulatedNetwork {
+    bandwidth_bps: f64,
+    latency_secs: f64,
+}
+
+impl SimulatedNetwork {
+    /// Creates a link with the given bandwidth (bits/second) and zero
+    /// latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the bandwidth is positive and finite.
+    pub fn new(bandwidth_bps: f64) -> Self {
+        Self::with_latency(bandwidth_bps, 0.0)
+    }
+
+    /// Creates a link with bandwidth and a per-message latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless bandwidth is positive/finite and latency is
+    /// non-negative/finite.
+    pub fn with_latency(bandwidth_bps: f64, latency_secs: f64) -> Self {
+        assert!(
+            bandwidth_bps.is_finite() && bandwidth_bps > 0.0,
+            "bandwidth must be positive"
+        );
+        assert!(latency_secs.is_finite() && latency_secs >= 0.0, "latency must be non-negative");
+        Self { bandwidth_bps, latency_secs }
+    }
+
+    /// Link bandwidth in bits/second.
+    pub fn bandwidth_bps(&self) -> f64 {
+        self.bandwidth_bps
+    }
+
+    /// Simulated seconds to transfer `bytes`.
+    pub fn transfer_secs(&self, bytes: usize) -> f64 {
+        self.latency_secs + bytes as f64 * 8.0 / self.bandwidth_bps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_matches_arithmetic() {
+        // 10 Mbps, 230 MB -> 184 s (the paper's uncompressed AlexNet).
+        let net = SimulatedNetwork::new(10e6);
+        let t = net.transfer_secs(230_000_000);
+        assert!((t - 184.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_adds_per_message() {
+        let net = SimulatedNetwork::with_latency(1e9, 0.050);
+        assert!((net.transfer_secs(0) - 0.050).abs() < 1e-12);
+        assert!(net.transfer_secs(1_000_000) > 0.050);
+    }
+
+    #[test]
+    fn faster_links_transfer_faster() {
+        let slow = SimulatedNetwork::new(10e6);
+        let fast = SimulatedNetwork::new(10e9);
+        assert!(fast.transfer_secs(1 << 20) < slow.transfer_secs(1 << 20));
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn zero_bandwidth_rejected() {
+        let _ = SimulatedNetwork::new(0.0);
+    }
+}

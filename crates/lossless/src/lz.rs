@@ -1,0 +1,351 @@
+//! Shared LZ77 match finder.
+//!
+//! All four lossless compressors in this crate are LZ-based; they differ
+//! in window size, search effort and entropy stage. This module provides
+//! the hash-chain match finder they share, parameterized so each codec
+//! gets its characteristic speed/ratio trade-off.
+
+/// One element of an LZ token stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Token {
+    /// A run of bytes copied verbatim: `input[start..start+len]`.
+    Literals {
+        /// Start offset into the original input.
+        start: usize,
+        /// Number of literal bytes.
+        len: usize,
+    },
+    /// A back-reference: copy `len` bytes from `dist` bytes behind the
+    /// current output position.
+    Match {
+        /// Match length in bytes (>= the finder's `min_match`).
+        len: usize,
+        /// Backward distance in bytes (>= 1).
+        dist: usize,
+    },
+}
+
+/// Tuning knobs for [`tokenize`].
+#[derive(Debug, Clone, Copy)]
+pub struct MatchParams {
+    /// Maximum backward distance considered (the LZ window).
+    pub window: usize,
+    /// Minimum match length worth emitting.
+    pub min_match: usize,
+    /// Maximum match length the format can represent.
+    pub max_match: usize,
+    /// How many hash-chain candidates to inspect per position.
+    pub max_chain: usize,
+    /// Stop searching once a match of at least this length is found.
+    pub nice_len: usize,
+    /// Whether to defer emitting a match by one byte when the next
+    /// position has a longer one (zlib's lazy matching).
+    pub lazy: bool,
+    /// LZ4-style skip acceleration: after `1 << k` consecutive literal
+    /// bytes, start stepping by `1 + run >> k`. Keeps fast codecs fast on
+    /// incompressible data at a tiny ratio cost. `None` disables it.
+    pub accel_log: Option<u32>,
+}
+
+impl MatchParams {
+    /// Fast, small-window profile (blosc-lz class).
+    pub fn fast() -> Self {
+        Self {
+            window: 1 << 13,
+            min_match: 4,
+            max_match: 270,
+            max_chain: 4,
+            nice_len: 32,
+            lazy: false,
+            accel_log: Some(4),
+        }
+    }
+
+    /// Balanced profile (deflate class: 32 KiB window).
+    pub fn balanced() -> Self {
+        Self {
+            window: 1 << 15,
+            min_match: 3,
+            max_match: 258,
+            max_chain: 32,
+            nice_len: 128,
+            lazy: true,
+            accel_log: None,
+        }
+    }
+
+    /// Large-window profile (zstd class: 1 MiB window).
+    pub fn large_window() -> Self {
+        Self {
+            window: 1 << 20,
+            min_match: 4,
+            max_match: 1 << 16,
+            max_chain: 16,
+            nice_len: 192,
+            lazy: true,
+            accel_log: Some(6),
+        }
+    }
+
+    /// Exhaustive profile (xz class: large window, deep chains).
+    pub fn thorough() -> Self {
+        Self {
+            window: 1 << 22,
+            min_match: 3,
+            max_match: 1 << 16,
+            max_chain: 192,
+            nice_len: 512,
+            lazy: true,
+            accel_log: None,
+        }
+    }
+}
+
+const HASH_LOG: u32 = 16;
+
+#[inline]
+fn hash4(data: &[u8], pos: usize) -> usize {
+    let v = u32::from_le_bytes([data[pos], data[pos + 1], data[pos + 2], data[pos + 3]]);
+    ((v.wrapping_mul(2654435761)) >> (32 - HASH_LOG)) as usize
+}
+
+/// Hash-chain search state.
+struct Chains {
+    head: Vec<i64>,
+    prev: Vec<i64>,
+}
+
+impl Chains {
+    fn new(len: usize) -> Self {
+        Self { head: vec![-1i64; 1 << HASH_LOG], prev: vec![-1i64; len] }
+    }
+
+    #[inline]
+    fn insert(&mut self, data: &[u8], pos: usize) {
+        if pos + 4 <= data.len() {
+            let h = hash4(data, pos);
+            self.prev[pos] = self.head[h];
+            self.head[h] = pos as i64;
+        }
+    }
+
+    /// Longest match at `pos`, returning `(len, dist)`.
+    #[inline]
+    fn best_match(&self, data: &[u8], pos: usize, params: &MatchParams) -> Option<(usize, usize)> {
+        if pos + 4 > data.len() {
+            return None;
+        }
+        let mut best_len = params.min_match - 1;
+        let mut best_dist = 0usize;
+        let mut cand = self.head[hash4(data, pos)];
+        let limit = pos.saturating_sub(params.window);
+        let max_len = params.max_match.min(data.len() - pos);
+        let mut chain = params.max_chain;
+        while cand >= 0 && chain > 0 {
+            let c = cand as usize;
+            if c < limit {
+                break;
+            }
+            // Cheap reject: compare the byte just past the current best.
+            if best_len < max_len && data[c + best_len] == data[pos + best_len] {
+                let mut len = 0usize;
+                while len < max_len && data[c + len] == data[pos + len] {
+                    len += 1;
+                }
+                if len > best_len {
+                    best_len = len;
+                    best_dist = pos - c;
+                    if len >= params.nice_len {
+                        break;
+                    }
+                }
+            }
+            cand = self.prev[c];
+            chain -= 1;
+        }
+        (best_dist > 0).then_some((best_len, best_dist))
+    }
+}
+
+/// Greedy/lazy LZ77 parse of `data` into a token stream.
+///
+/// The concatenation of all tokens reproduces `data` exactly (verified by
+/// [`reconstruct`], which decoders mirror).
+pub fn tokenize(data: &[u8], params: &MatchParams) -> Vec<Token> {
+    let mut tokens = Vec::new();
+    if data.is_empty() {
+        return tokens;
+    }
+    let mut chains = Chains::new(data.len());
+    let mut lit_start = 0usize;
+    let mut pos = 0usize;
+    while pos < data.len() {
+        let found = chains.best_match(data, pos, params);
+        let mut emit = found;
+        if params.lazy {
+            if let Some((len, _)) = found {
+                if len < params.nice_len && pos + 1 < data.len() {
+                    // Peek: if the next position has a strictly longer
+                    // match, emit this byte as a literal instead.
+                    chains.insert(data, pos);
+                    let next = chains.best_match(data, pos + 1, params);
+                    if let Some((next_len, _)) = next {
+                        if next_len > len {
+                            emit = None;
+                        }
+                    }
+                    if let Some((len, dist)) = emit {
+                        if lit_start < pos {
+                            tokens.push(Token::Literals { start: lit_start, len: pos - lit_start });
+                        }
+                        tokens.push(Token::Match { len, dist });
+                        for p in pos + 1..(pos + len).min(data.len()) {
+                            chains.insert(data, p);
+                        }
+                        pos += len;
+                        lit_start = pos;
+                    } else {
+                        pos += 1;
+                    }
+                    continue;
+                }
+            }
+        }
+        if let Some((len, dist)) = emit {
+            if lit_start < pos {
+                tokens.push(Token::Literals { start: lit_start, len: pos - lit_start });
+            }
+            tokens.push(Token::Match { len, dist });
+            for p in pos..(pos + len).min(data.len()) {
+                chains.insert(data, p);
+            }
+            pos += len;
+            lit_start = pos;
+        } else {
+            chains.insert(data, pos);
+            // Skip acceleration: long literal runs mean the data is not
+            // matching; probe progressively sparser positions. The step
+            // is capped so a long incompressible stretch cannot make the
+            // finder leap over a compressible region that follows it.
+            let step = match params.accel_log {
+                Some(k) => 1 + ((pos - lit_start) >> k).min(15),
+                None => 1,
+            };
+            pos += step;
+        }
+    }
+    if lit_start < data.len() {
+        tokens.push(Token::Literals { start: lit_start, len: data.len() - lit_start });
+    }
+    tokens
+}
+
+/// Reapplies a token stream to rebuild the original bytes (test helper
+/// and reference for decoder implementations).
+pub fn reconstruct(data: &[u8], tokens: &[Token]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len());
+    for token in tokens {
+        match *token {
+            Token::Literals { start, len } => out.extend_from_slice(&data[start..start + len]),
+            Token::Match { len, dist } => {
+                let from = out.len() - dist;
+                for i in 0..len {
+                    out.push(out[from + i]);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Copies an LZ match into `out`, handling overlapping matches
+/// (`dist < len`) byte by byte. Decoder-side helper shared by all codecs.
+///
+/// Returns `false` when the distance reaches before the start of `out`,
+/// which signals a corrupt stream.
+#[inline]
+pub fn copy_match(out: &mut Vec<u8>, len: usize, dist: usize) -> bool {
+    if dist == 0 || dist > out.len() {
+        return false;
+    }
+    let from = out.len() - dist;
+    out.reserve(len);
+    for i in 0..len {
+        let byte = out[from + i];
+        out.push(byte);
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8], params: &MatchParams) {
+        let tokens = tokenize(data, params);
+        assert_eq!(reconstruct(data, &tokens), data);
+        for t in &tokens {
+            if let Token::Match { len, dist } = t {
+                assert!(*len >= params.min_match);
+                assert!(*len <= params.max_match);
+                assert!(*dist >= 1 && *dist <= params.window.max(*dist));
+            }
+        }
+    }
+
+    #[test]
+    fn all_profiles_reconstruct() {
+        let mut data = Vec::new();
+        for i in 0..5000u32 {
+            data.push((i % 251) as u8);
+            if i % 7 == 0 {
+                data.extend_from_slice(b"repeated-chunk-of-text");
+            }
+        }
+        for params in
+            [MatchParams::fast(), MatchParams::balanced(), MatchParams::large_window(), MatchParams::thorough()]
+        {
+            roundtrip(&data, &params);
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let params = MatchParams::balanced();
+        roundtrip(&[], &params);
+        roundtrip(&[1], &params);
+        roundtrip(&[1, 2, 3], &params);
+    }
+
+    #[test]
+    fn run_of_identical_bytes_uses_overlapping_match() {
+        let data = vec![7u8; 4096];
+        let tokens = tokenize(&data, &MatchParams::balanced());
+        // One literal token plus matches; far fewer tokens than bytes.
+        assert!(tokens.len() < 64, "RLE-like input should collapse, got {} tokens", tokens.len());
+        assert_eq!(reconstruct(&data, &tokens), data);
+    }
+
+    #[test]
+    fn incompressible_input_is_mostly_literals() {
+        // A simple LCG gives byte soup with no 4-byte repeats to speak of.
+        let mut state = 0x12345678u64;
+        let data: Vec<u8> = (0..4096)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (state >> 33) as u8
+            })
+            .collect();
+        let tokens = tokenize(&data, &MatchParams::balanced());
+        assert_eq!(reconstruct(&data, &tokens), data);
+    }
+
+    #[test]
+    fn copy_match_rejects_bad_distance() {
+        let mut out = vec![1u8, 2, 3];
+        assert!(!copy_match(&mut out, 2, 4));
+        assert!(!copy_match(&mut out, 2, 0));
+        assert!(copy_match(&mut out, 5, 2));
+        assert_eq!(out, vec![1, 2, 3, 2, 3, 2, 3, 2]);
+    }
+}

@@ -1,0 +1,288 @@
+//! Zstd-class compressor: large-window LZ with Huffman-coded sequences.
+//!
+//! Mirrors zstd's architecture — literals and `(literal_len, match_len,
+//! offset)` sequences are separated, lengths/offsets are coded as
+//! logarithmic "slots" plus raw extra bits, and each stream gets its own
+//! entropy table. (Real zstd uses FSE; canonical Huffman plays the same
+//! role here.) The 1 MiB window and deeper search give it a better ratio
+//! than DEFLATE at a modest speed cost, matching its slot in Table II.
+
+use crate::frame;
+use crate::lz::{copy_match, tokenize, MatchParams, Token};
+use crate::{Lossless, LosslessKind};
+use fedsz_codec::bitio::{BitReader, BitWriter};
+use fedsz_codec::checksum::crc32;
+use fedsz_codec::huffman::HuffmanTable;
+use fedsz_codec::varint::{read_u32, read_uvarint, write_u32, write_uvarint};
+use fedsz_codec::{CodecError, Result};
+
+/// Slot-codes a value: values < 16 are their own slot; larger values use
+/// slot `12 + floor(log2 v)` with `floor(log2 v)` extra bits.
+#[inline]
+fn slot_of(v: u32) -> (u16, u8, u32) {
+    if v < 16 {
+        (v as u16, 0, 0)
+    } else {
+        let k = 31 - v.leading_zeros();
+        ((12 + k) as u16, k as u8, v - (1 << k))
+    }
+}
+
+/// Inverse of [`slot_of`]: returns `(base, extra_bits)` for a slot.
+#[inline]
+fn slot_base(slot: u16) -> Result<(u32, u8)> {
+    if slot < 16 {
+        Ok((u32::from(slot), 0))
+    } else {
+        let k = u32::from(slot) - 12;
+        if k >= 32 {
+            return Err(CodecError::Corrupt("slot out of range"));
+        }
+        Ok((1 << k, k as u8))
+    }
+}
+
+/// One LZ sequence: a literal run followed by a match.
+struct Sequence {
+    lit_start: usize,
+    lit_len: u32,
+    match_len: u32,
+    offset: u32,
+}
+
+/// Large-window LZ + Huffman compressor (zstd class).
+///
+/// # Examples
+///
+/// ```
+/// use fedsz_lossless::{Lossless, ZstdLike};
+///
+/// let data = b"sequences of sequences of sequences".repeat(8);
+/// let codec = ZstdLike::new();
+/// assert_eq!(codec.decompress(&codec.compress(&data)).unwrap(), data);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ZstdLike {
+    _private: (),
+}
+
+impl ZstdLike {
+    /// Creates the codec.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Lossless for ZstdLike {
+    fn kind(&self) -> LosslessKind {
+        LosslessKind::Zstd
+    }
+
+    fn compress(&self, data: &[u8]) -> Vec<u8> {
+        let tokens = tokenize(data, &MatchParams::large_window());
+
+        // Regroup the token stream into zstd-style sequences plus a tail
+        // of trailing literals.
+        let mut sequences = Vec::new();
+        let mut pending: Option<(usize, u32)> = None;
+        let mut tail: Option<(usize, u32)> = None;
+        for token in &tokens {
+            match *token {
+                Token::Literals { start, len } => pending = Some((start, len as u32)),
+                Token::Match { len, dist } => {
+                    let (lit_start, lit_len) = pending.take().unwrap_or((0, 0));
+                    sequences.push(Sequence {
+                        lit_start,
+                        lit_len,
+                        match_len: len as u32,
+                        offset: dist as u32,
+                    });
+                }
+            }
+        }
+        if let Some((start, len)) = pending {
+            tail = Some((start, len));
+        }
+
+        // Frequencies for the four entropy streams.
+        let mut lit_freq = vec![0u64; 256];
+        let mut ll_freq = vec![0u64; 48];
+        let mut ml_freq = vec![0u64; 48];
+        let mut of_freq = vec![0u64; 48];
+        let mut count_lits = |start: usize, len: u32| {
+            for &b in &data[start..start + len as usize] {
+                lit_freq[b as usize] += 1;
+            }
+        };
+        for seq in &sequences {
+            count_lits(seq.lit_start, seq.lit_len);
+            ll_freq[slot_of(seq.lit_len).0 as usize] += 1;
+            ml_freq[slot_of(seq.match_len).0 as usize] += 1;
+            of_freq[slot_of(seq.offset).0 as usize] += 1;
+        }
+        if let Some((start, len)) = tail {
+            count_lits(start, len);
+        }
+
+        let lit_table = HuffmanTable::from_frequencies(&lit_freq, 15);
+        let ll_table = HuffmanTable::from_frequencies(&ll_freq, 15);
+        let ml_table = HuffmanTable::from_frequencies(&ml_freq, 15);
+        let of_table = HuffmanTable::from_frequencies(&of_freq, 15);
+
+        let mut payload = Vec::with_capacity(data.len() / 2 + 64);
+        lit_table.write_header(&mut payload);
+        ll_table.write_header(&mut payload);
+        ml_table.write_header(&mut payload);
+        of_table.write_header(&mut payload);
+        write_uvarint(&mut payload, sequences.len() as u64);
+        write_uvarint(&mut payload, tail.map(|(_, l)| u64::from(l)).unwrap_or(0));
+
+        let mut w = BitWriter::with_capacity(data.len() / 2);
+        for seq in &sequences {
+            let (ll_slot, ll_bits, ll_extra) = slot_of(seq.lit_len);
+            ll_table.write_symbol(ll_slot, &mut w);
+            if ll_bits > 0 {
+                w.write_bits(u64::from(ll_extra), u32::from(ll_bits));
+            }
+            for &b in &data[seq.lit_start..seq.lit_start + seq.lit_len as usize] {
+                lit_table.write_symbol(u16::from(b), &mut w);
+            }
+            let (ml_slot, ml_bits, ml_extra) = slot_of(seq.match_len);
+            ml_table.write_symbol(ml_slot, &mut w);
+            if ml_bits > 0 {
+                w.write_bits(u64::from(ml_extra), u32::from(ml_bits));
+            }
+            let (of_slot, of_bits, of_extra) = slot_of(seq.offset);
+            of_table.write_symbol(of_slot, &mut w);
+            if of_bits > 0 {
+                w.write_bits(u64::from(of_extra), u32::from(of_bits));
+            }
+        }
+        if let Some((start, len)) = tail {
+            for &b in &data[start..start + len as usize] {
+                lit_table.write_symbol(u16::from(b), &mut w);
+            }
+        }
+        let bits = w.into_bytes();
+        write_uvarint(&mut payload, bits.len() as u64);
+        payload.extend_from_slice(&bits);
+        write_u32(&mut payload, crc32(data));
+        frame::pick(data, payload)
+    }
+
+    fn decompress(&self, data: &[u8]) -> Result<Vec<u8>> {
+        let (stored, raw_len, payload) = frame::open(data)?;
+        if stored {
+            return Ok(payload.to_vec());
+        }
+        let mut pos = 0usize;
+        let lit_table = HuffmanTable::read_header(payload, &mut pos)?;
+        let ll_table = HuffmanTable::read_header(payload, &mut pos)?;
+        let ml_table = HuffmanTable::read_header(payload, &mut pos)?;
+        let of_table = HuffmanTable::read_header(payload, &mut pos)?;
+        let n_seq = read_uvarint(payload, &mut pos)? as usize;
+        let tail_len = read_uvarint(payload, &mut pos)? as usize;
+        let nbits = read_uvarint(payload, &mut pos)? as usize;
+        let bits_end = pos + nbits;
+        let bits = payload.get(pos..bits_end).ok_or(CodecError::UnexpectedEof)?;
+        let mut r = BitReader::new(bits);
+        let mut out = Vec::with_capacity(raw_len);
+
+        let read_value = |r: &mut BitReader<'_>, table: &HuffmanTable| -> Result<u32> {
+            let slot = table.read_symbol(r)?;
+            let (base, extra_bits) = slot_base(slot)?;
+            let extra = if extra_bits > 0 { r.read_bits(u32::from(extra_bits))? as u32 } else { 0 };
+            Ok(base + extra)
+        };
+
+        for _ in 0..n_seq {
+            let lit_len = read_value(&mut r, &ll_table)? as usize;
+            if out.len() + lit_len > raw_len {
+                return Err(CodecError::Corrupt("literal run exceeds declared length"));
+            }
+            for _ in 0..lit_len {
+                out.push(lit_table.read_symbol(&mut r)? as u8);
+            }
+            let match_len = read_value(&mut r, &ml_table)? as usize;
+            let offset = read_value(&mut r, &of_table)? as usize;
+            if out.len() + match_len > raw_len {
+                return Err(CodecError::Corrupt("match exceeds declared length"));
+            }
+            if !copy_match(&mut out, match_len, offset) {
+                return Err(CodecError::Corrupt("offset out of range"));
+            }
+        }
+        if out.len() + tail_len != raw_len {
+            return Err(CodecError::Corrupt("tail length mismatch"));
+        }
+        for _ in 0..tail_len {
+            out.push(lit_table.read_symbol(&mut r)? as u8);
+        }
+
+        let mut tpos = bits_end;
+        let stored_sum = read_u32(payload, &mut tpos)?;
+        let computed = crc32(&out);
+        if stored_sum != computed {
+            return Err(CodecError::ChecksumMismatch { stored: stored_sum, computed });
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slots_invert() {
+        for v in [0u32, 1, 15, 16, 17, 255, 256, 65535, 1 << 20] {
+            let (slot, bits, extra) = slot_of(v);
+            let (base, bits2) = slot_base(slot).unwrap();
+            assert_eq!(bits, bits2);
+            assert_eq!(base + extra, v);
+        }
+    }
+
+    #[test]
+    fn round_trip_text() {
+        let data = b"zstandard-like sequences, zstandard-like sequences".repeat(40);
+        let codec = ZstdLike::new();
+        let packed = codec.compress(&data);
+        assert!(packed.len() < data.len() / 3);
+        assert_eq!(codec.decompress(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn round_trip_distant_matches() {
+        // Repeats separated by ~64 KiB only pay off with a large window.
+        let unit: Vec<u8> = (0..65_536u32).map(|i| (i % 253) as u8).collect();
+        let mut data = unit.clone();
+        data.extend_from_slice(&unit);
+        let codec = ZstdLike::new();
+        let packed = codec.compress(&data);
+        assert!(
+            packed.len() < data.len() / 2 + 1024,
+            "large-window match should halve: {}",
+            packed.len()
+        );
+        assert_eq!(codec.decompress(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn checksum_detects_bit_flip() {
+        let data = b"integrity matters".repeat(64);
+        let codec = ZstdLike::new();
+        let mut packed = codec.compress(&data);
+        let mid = packed.len() / 2;
+        packed[mid] ^= 0x01;
+        assert!(codec.decompress(&packed).is_err());
+    }
+
+    #[test]
+    fn pure_literals_round_trip() {
+        // Input with no matches at all: exercises the tail-only path.
+        let data: Vec<u8> = (0..=255u8).collect();
+        let codec = ZstdLike::new();
+        assert_eq!(codec.decompress(&codec.compress(&data)).unwrap(), data);
+    }
+}

@@ -1,0 +1,233 @@
+//! Pointwise-relative error bounding via logarithmic transform.
+//!
+//! The paper uses SZ's *value-range* relative mode (`|x − x'| ≤
+//! eb·(max−min)`); real SZ also offers a pointwise-relative mode
+//! (`|x − x'| ≤ eb·|x|`) implemented by the classic log-transform trick,
+//! which this module provides on top of *any* [`ErrorBounded`] codec:
+//!
+//! 1. split out signs and (near-)zeros,
+//! 2. compress `ln|x|` with the absolute bound `ln(1 + eb)`,
+//! 3. reconstruct `x' = sign · exp(y')`, so
+//!    `|x' − x| = |x|·|exp(y'−y) − 1| ≤ |x|·eb`.
+//!
+//! Pointwise bounds matter for FL weights precisely because their
+//! magnitudes span decades (Fig 3): a value-range bound can be larger
+//! than most of the weights it protects.
+
+use crate::{ErrorBound, ErrorBounded, LossyError};
+use fedsz_codec::bitio::{BitReader, BitWriter};
+use fedsz_codec::varint::{read_f64, read_uvarint, write_f64, write_uvarint};
+use fedsz_codec::{CodecError, Result};
+
+/// Stream magic for the pointwise-relative container.
+const MAGIC: u8 = 0x50; // 'P'
+
+/// Magnitudes below this are stored as exact zeros (their pointwise
+/// bound would demand sub-denormal precision anyway).
+const ZERO_CUTOFF: f32 = 1e-30;
+
+/// Compresses `data` such that every element satisfies
+/// `|x - x'| <= pwrel * |x|`.
+///
+/// # Errors
+///
+/// Returns [`LossyError::NonFiniteInput`] for NaN/infinite input and
+/// [`LossyError::InvalidBound`] when `pwrel` is not in `(0, 1)`.
+pub fn compress(
+    codec: &dyn ErrorBounded,
+    data: &[f32],
+    pwrel: f64,
+) -> std::result::Result<Vec<u8>, LossyError> {
+    if !(pwrel.is_finite() && pwrel > 0.0 && pwrel < 1.0) {
+        return Err(LossyError::InvalidBound(ErrorBound::Relative(pwrel)));
+    }
+    if data.iter().any(|v| !v.is_finite()) {
+        return Err(LossyError::NonFiniteInput);
+    }
+    let mut out = Vec::with_capacity(data.len() / 2 + 32);
+    out.push(MAGIC);
+    out.push(codec.kind().id());
+    write_uvarint(&mut out, data.len() as u64);
+    write_f64(&mut out, pwrel);
+
+    // Bitmaps: per element, "is zero"; for nonzero, "is negative".
+    let mut flags = BitWriter::with_capacity(data.len() / 4);
+    let mut logs = Vec::new();
+    for &v in data {
+        let zero = v.abs() < ZERO_CUTOFF;
+        flags.write_bit(zero);
+        if !zero {
+            flags.write_bit(v < 0.0);
+            logs.push(v.abs().ln());
+        }
+    }
+    let flag_bytes = flags.into_bytes();
+    write_uvarint(&mut out, flag_bytes.len() as u64);
+    out.extend_from_slice(&flag_bytes);
+
+    // ln(1 + eb) bounds the log-domain absolute error from both sides:
+    // exp(+d) - 1 <= eb and 1 - exp(-d) < eb for d = ln(1 + eb). The
+    // 0.5% haircut leaves room for the f32 ln/exp round trips.
+    let log_bound = (pwrel * 0.995).ln_1p();
+    let inner = codec.compress(&logs, ErrorBound::Absolute(log_bound))?;
+    write_uvarint(&mut out, inner.len() as u64);
+    out.extend_from_slice(&inner);
+    Ok(out)
+}
+
+/// Reverses [`compress`].
+///
+/// # Errors
+///
+/// Returns a [`CodecError`] for truncated or corrupt streams, including
+/// streams produced with a different inner codec than `codec`.
+pub fn decompress(codec: &dyn ErrorBounded, bytes: &[u8]) -> Result<Vec<f32>> {
+    let mut pos = 0usize;
+    if *bytes.first().ok_or(CodecError::UnexpectedEof)? != MAGIC {
+        return Err(CodecError::Corrupt("not a pointwise-relative stream"));
+    }
+    pos += 1;
+    let inner_kind = *bytes.get(pos).ok_or(CodecError::UnexpectedEof)?;
+    if inner_kind != codec.kind().id() {
+        return Err(CodecError::Corrupt("inner codec mismatch"));
+    }
+    pos += 1;
+    let n = read_uvarint(bytes, &mut pos)? as usize;
+    let _pwrel = read_f64(bytes, &mut pos)?;
+    let flag_len = read_uvarint(bytes, &mut pos)? as usize;
+    let flag_bytes = bytes.get(pos..pos + flag_len).ok_or(CodecError::UnexpectedEof)?;
+    pos += flag_len;
+    let inner_len = read_uvarint(bytes, &mut pos)? as usize;
+    let inner = bytes.get(pos..pos + inner_len).ok_or(CodecError::UnexpectedEof)?;
+    let logs = codec.decompress(inner)?;
+
+    let mut flags = BitReader::new(flag_bytes);
+    let mut out = Vec::with_capacity(n);
+    let mut li = 0usize;
+    for _ in 0..n {
+        if flags.read_bit()? {
+            out.push(0.0);
+        } else {
+            let negative = flags.read_bit()?;
+            let mag = logs
+                .get(li)
+                .copied()
+                .ok_or(CodecError::Corrupt("log stream shorter than flags"))?
+                .exp();
+            li += 1;
+            out.push(if negative { -mag } else { mag });
+        }
+    }
+    if li != logs.len() {
+        return Err(CodecError::Corrupt("log stream longer than flags"));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LossyKind;
+
+    fn multi_scale_data() -> Vec<f32> {
+        (0..8000)
+            .map(|i| {
+                let mag = 10f32.powi((i % 7) - 4); // 1e-4 .. 1e2
+                let sign = if i % 3 == 0 { -1.0 } else { 1.0 };
+                sign * mag * (1.0 + 0.3 * ((i as f32) * 0.11).sin())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pointwise_bound_holds_across_magnitudes() {
+        let data = multi_scale_data();
+        for kind in [LossyKind::Sz2, LossyKind::Sz3, LossyKind::Szx] {
+            let codec = kind.codec();
+            for pwrel in [1e-2f64, 1e-3] {
+                let packed = compress(codec.as_ref(), &data, pwrel).unwrap();
+                let restored = decompress(codec.as_ref(), &packed).unwrap();
+                assert_eq!(restored.len(), data.len());
+                for (&x, &x2) in data.iter().zip(&restored) {
+                    let tol = pwrel * f64::from(x.abs()) * (1.0 + 1e-5) + 1e-30;
+                    assert!(
+                        f64::from((x - x2).abs()) <= tol,
+                        "{kind} pwrel {pwrel}: {x} -> {x2}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn value_range_mode_fails_where_pointwise_succeeds() {
+        // The motivating case: tiny values next to huge ones. REL 1e-2
+        // of the range destroys the tiny values' relative precision;
+        // pointwise keeps every element within 1% of itself.
+        let data: Vec<f32> = (0..2000)
+            .map(|i| if i % 100 == 0 { 1000.0 } else { 1e-4 * (1.0 + (i as f32) * 1e-5) })
+            .collect();
+        let codec = LossyKind::Sz2.codec();
+        let vr = codec.compress(&data, ErrorBound::Relative(1e-2)).unwrap();
+        let vr_restored = codec.decompress(&vr).unwrap();
+        let worst_rel = data
+            .iter()
+            .zip(&vr_restored)
+            .filter(|(&x, _)| x.abs() > 0.0 && x.abs() < 1.0)
+            .map(|(&x, &x2)| f64::from((x - x2).abs()) / f64::from(x.abs()))
+            .fold(0.0f64, f64::max);
+        assert!(worst_rel > 1.0, "range mode should wreck small values: {worst_rel}");
+
+        let pw = compress(codec.as_ref(), &data, 1e-2).unwrap();
+        let pw_restored = decompress(codec.as_ref(), &pw).unwrap();
+        for (&x, &x2) in data.iter().zip(&pw_restored) {
+            assert!(f64::from((x - x2).abs()) <= 1e-2 * f64::from(x.abs()) * 1.00001 + 1e-30);
+        }
+    }
+
+    #[test]
+    fn zeros_and_signs_are_exact() {
+        let data = vec![0.0f32, -1.5, 0.0, 2.5, -0.25, 0.0];
+        let codec = LossyKind::Szx.codec();
+        let packed = compress(codec.as_ref(), &data, 1e-3).unwrap();
+        let restored = decompress(codec.as_ref(), &packed).unwrap();
+        assert_eq!(restored[0], 0.0);
+        assert_eq!(restored[2], 0.0);
+        assert_eq!(restored[5], 0.0);
+        assert!(restored[1] < 0.0 && restored[4] < 0.0);
+        assert!(restored[3] > 0.0);
+    }
+
+    #[test]
+    fn invalid_bounds_and_inputs_rejected() {
+        let codec = LossyKind::Sz2.codec();
+        assert!(compress(codec.as_ref(), &[1.0], 0.0).is_err());
+        assert!(compress(codec.as_ref(), &[1.0], 1.5).is_err());
+        assert!(compress(codec.as_ref(), &[f32::NAN], 1e-2).is_err());
+    }
+
+    #[test]
+    fn codec_mismatch_detected() {
+        let data = vec![1.0f32, 2.0, 3.0];
+        let sz2 = LossyKind::Sz2.codec();
+        let szx = LossyKind::Szx.codec();
+        let packed = compress(sz2.as_ref(), &data, 1e-2).unwrap();
+        assert!(decompress(szx.as_ref(), &packed).is_err());
+    }
+
+    #[test]
+    fn truncation_errors() {
+        let data = multi_scale_data();
+        let codec = LossyKind::Sz2.codec();
+        let packed = compress(codec.as_ref(), &data, 1e-2).unwrap();
+        assert!(decompress(codec.as_ref(), &packed[..packed.len() / 2]).is_err());
+        assert!(decompress(codec.as_ref(), &[]).is_err());
+    }
+
+    #[test]
+    fn empty_input_round_trips() {
+        let codec = LossyKind::Sz2.codec();
+        let packed = compress(codec.as_ref(), &[], 1e-2).unwrap();
+        assert!(decompress(codec.as_ref(), &packed).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,376 @@
+//! SZ2-class compressor: block prediction + quantization + Huffman + LZ.
+//!
+//! Mirrors the published SZ2 design (Liang et al., IEEE Big Data 2018)
+//! restricted to 1D data, which is how FedSZ uses it on flattened weight
+//! tensors: data is cut into small blocks, each block chooses between a
+//! Lorenzo predictor (previous reconstructed value) and a least-squares
+//! linear fit, prediction residuals are quantized into `2*eb` bins,
+//! quantization codes are Huffman-coded and the whole stream is passed
+//! through a zstd-class lossless backend. Residuals outside the
+//! quantizer's range are stored verbatim ("unpredictable" values).
+
+use crate::{resolve_bound, ErrorBound, ErrorBounded, LossyError, LossyKind};
+use fedsz_codec::bitio::{BitReader, BitWriter};
+use fedsz_codec::huffman;
+use fedsz_codec::quantizer::{Quantized, Quantizer};
+use fedsz_codec::varint::{read_f32, read_f64, read_uvarint, write_f32, write_f64, write_uvarint};
+use fedsz_codec::{CodecError, Result};
+use fedsz_lossless::{Lossless, ZstdLike};
+
+/// Stream format version.
+const VERSION: u8 = 1;
+/// Elements per prediction block.
+const BLOCK: usize = 128;
+
+/// Per-block predictor choice.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Predictor {
+    /// Previous reconstructed value.
+    Lorenzo,
+    /// `a * i + b` over the block-local index.
+    Regression { a: f32, b: f32 },
+}
+
+/// SZ2-class error-bounded compressor.
+///
+/// # Examples
+///
+/// ```
+/// use fedsz_lossy::{ErrorBound, ErrorBounded, Sz2};
+///
+/// let data: Vec<f32> = (0..512).map(|i| 0.01 * (i as f32).sqrt()).collect();
+/// let codec = Sz2::new();
+/// let packed = codec.compress(&data, ErrorBound::Absolute(1e-4)).unwrap();
+/// let restored = codec.decompress(&packed).unwrap();
+/// assert!(data.iter().zip(&restored).all(|(a, b)| (a - b).abs() <= 1e-4));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sz2 {
+    block: usize,
+    use_regression: bool,
+}
+
+impl Sz2 {
+    /// Creates the codec with the default block size (128) and the
+    /// hybrid Lorenzo/regression predictor.
+    pub fn new() -> Self {
+        Self { block: BLOCK, use_regression: true }
+    }
+
+    /// Creates the codec with a custom block size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is smaller than 4.
+    pub fn with_block_size(block: usize) -> Self {
+        assert!(block >= 4, "block size must be at least 4");
+        Self { block, use_regression: true }
+    }
+
+    /// Disables the linear-regression predictor, leaving pure Lorenzo —
+    /// the ablation knob for SZ2's hybrid-prediction design choice.
+    pub fn lorenzo_only(mut self) -> Self {
+        self.use_regression = false;
+        self
+    }
+}
+
+impl Default for Sz2 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Least-squares line fit over `(0..len, values)`.
+fn fit_line(values: &[f32]) -> (f32, f32) {
+    let n = values.len() as f64;
+    if values.len() < 2 {
+        return (0.0, values.first().copied().unwrap_or(0.0));
+    }
+    let mean_x = (n - 1.0) / 2.0;
+    let mean_y: f64 = values.iter().map(|&v| f64::from(v)).sum::<f64>() / n;
+    let mut sxy = 0.0f64;
+    let mut sxx = 0.0f64;
+    for (i, &v) in values.iter().enumerate() {
+        let dx = i as f64 - mean_x;
+        sxy += dx * (f64::from(v) - mean_y);
+        sxx += dx * dx;
+    }
+    let a = if sxx > 0.0 { sxy / sxx } else { 0.0 };
+    let b = mean_y - a * mean_x;
+    (a as f32, b as f32)
+}
+
+impl ErrorBounded for Sz2 {
+    fn kind(&self) -> LossyKind {
+        LossyKind::Sz2
+    }
+
+    fn compress(&self, data: &[f32], bound: ErrorBound) -> std::result::Result<Vec<u8>, LossyError> {
+        let eb = resolve_bound(data, bound)? as f32;
+        let eb = if eb > 0.0 { eb } else { f32::MIN_POSITIVE };
+
+        let mut out = Vec::with_capacity(data.len() + 32);
+        out.push(self.kind().id());
+        out.push(VERSION);
+        write_uvarint(&mut out, data.len() as u64);
+        write_f64(&mut out, f64::from(eb));
+        write_uvarint(&mut out, self.block as u64);
+        if data.is_empty() {
+            return Ok(out);
+        }
+
+        let quantizer = Quantizer::new(eb);
+        let mut codes: Vec<u16> = Vec::with_capacity(data.len());
+        let mut unpredictable: Vec<f32> = Vec::new();
+        let mut flags = BitWriter::new();
+        let mut coeffs: Vec<u8> = Vec::new();
+        let mut last_recon = 0.0f32;
+
+        for chunk in data.chunks(self.block) {
+            // Predictor selection on original values: Lorenzo cost uses
+            // the previous original as a stand-in for the reconstruction.
+            let mut lorenzo_cost = (f64::from(chunk[0]) - f64::from(last_recon)).abs();
+            for w in chunk.windows(2) {
+                lorenzo_cost += (f64::from(w[1]) - f64::from(w[0])).abs();
+            }
+            let (a, b) = fit_line(chunk);
+            let mut reg_cost = 0.0f64;
+            for (i, &v) in chunk.iter().enumerate() {
+                reg_cost += (f64::from(v) - (f64::from(a) * i as f64 + f64::from(b))).abs();
+            }
+            // The regression stores two f32 coefficients; require a clear
+            // win before paying for them (mirrors SZ2's sampling choice).
+            let predictor = if self.use_regression && reg_cost < 0.9 * lorenzo_cost {
+                Predictor::Regression { a, b }
+            } else {
+                Predictor::Lorenzo
+            };
+            match predictor {
+                Predictor::Lorenzo => flags.write_bit(false),
+                Predictor::Regression { a, b } => {
+                    flags.write_bit(true);
+                    write_f32(&mut coeffs, a);
+                    write_f32(&mut coeffs, b);
+                }
+            }
+            for (i, &v) in chunk.iter().enumerate() {
+                let pred = match predictor {
+                    Predictor::Lorenzo => last_recon,
+                    Predictor::Regression { a, b } => a * i as f32 + b,
+                };
+                match quantizer.quantize(pred, v) {
+                    Quantized::Code { code, reconstructed } => {
+                        codes.push(code);
+                        last_recon = reconstructed;
+                    }
+                    Quantized::Unpredictable(raw) => {
+                        codes.push(Quantizer::UNPREDICTABLE);
+                        unpredictable.push(raw);
+                        last_recon = raw;
+                    }
+                }
+            }
+        }
+
+        // Inner container: flags, coefficients, Huffman codes, raw values.
+        let mut inner = Vec::new();
+        let flag_bytes = flags.into_bytes();
+        write_uvarint(&mut inner, flag_bytes.len() as u64);
+        inner.extend_from_slice(&flag_bytes);
+        write_uvarint(&mut inner, coeffs.len() as u64);
+        inner.extend_from_slice(&coeffs);
+        inner.extend_from_slice(&huffman::encode_block(&codes));
+        write_uvarint(&mut inner, unpredictable.len() as u64);
+        for &v in &unpredictable {
+            write_f32(&mut inner, v);
+        }
+
+        // SZ2 passes its Huffman output through zstd; so do we.
+        let packed = ZstdLike::new().compress(&inner);
+        write_uvarint(&mut out, packed.len() as u64);
+        out.extend_from_slice(&packed);
+        Ok(out)
+    }
+
+    fn decompress(&self, bytes: &[u8]) -> Result<Vec<f32>> {
+        let mut pos = 0usize;
+        let id = *bytes.first().ok_or(CodecError::UnexpectedEof)?;
+        if id != self.kind().id() {
+            return Err(CodecError::Corrupt("not an SZ2 stream"));
+        }
+        pos += 1;
+        let version = *bytes.get(pos).ok_or(CodecError::UnexpectedEof)?;
+        if version != VERSION {
+            return Err(CodecError::UnsupportedVersion(version));
+        }
+        pos += 1;
+        let n = read_uvarint(bytes, &mut pos)? as usize;
+        let eb = read_f64(bytes, &mut pos)? as f32;
+        let block = read_uvarint(bytes, &mut pos)? as usize;
+        if n == 0 {
+            return Ok(Vec::new());
+        }
+        if !(eb.is_finite() && eb > 0.0) {
+            return Err(CodecError::Corrupt("invalid error bound in header"));
+        }
+        if block < 4 {
+            return Err(CodecError::Corrupt("invalid block size in header"));
+        }
+        let packed_len = read_uvarint(bytes, &mut pos)? as usize;
+        let packed = bytes.get(pos..pos + packed_len).ok_or(CodecError::UnexpectedEof)?;
+        let inner = ZstdLike::new().decompress(packed)?;
+
+        let mut ipos = 0usize;
+        let flag_len = read_uvarint(&inner, &mut ipos)? as usize;
+        let flag_bytes = inner.get(ipos..ipos + flag_len).ok_or(CodecError::UnexpectedEof)?;
+        ipos += flag_len;
+        let coeff_len = read_uvarint(&inner, &mut ipos)? as usize;
+        let coeff_bytes = inner.get(ipos..ipos + coeff_len).ok_or(CodecError::UnexpectedEof)?;
+        ipos += coeff_len;
+        let codes = huffman::decode_block(&inner, &mut ipos)?;
+        if codes.len() != n {
+            return Err(CodecError::Corrupt("code count mismatch"));
+        }
+        let n_unpred = read_uvarint(&inner, &mut ipos)? as usize;
+        let mut unpredictable = Vec::with_capacity(n_unpred);
+        for _ in 0..n_unpred {
+            unpredictable.push(read_f32(&inner, &mut ipos)?);
+        }
+
+        let quantizer = Quantizer::new(eb);
+        let mut flags = BitReader::new(flag_bytes);
+        let mut cpos = 0usize;
+        let mut out = Vec::with_capacity(n);
+        let mut upos = 0usize;
+        let mut last_recon = 0.0f32;
+        let mut idx = 0usize;
+        while idx < n {
+            let chunk_len = block.min(n - idx);
+            let predictor = if flags.read_bit()? {
+                let a = read_f32(coeff_bytes, &mut cpos)?;
+                let b = read_f32(coeff_bytes, &mut cpos)?;
+                Predictor::Regression { a, b }
+            } else {
+                Predictor::Lorenzo
+            };
+            for i in 0..chunk_len {
+                let pred = match predictor {
+                    Predictor::Lorenzo => last_recon,
+                    Predictor::Regression { a, b } => a * i as f32 + b,
+                };
+                let code = codes[idx + i];
+                let value = if code == Quantizer::UNPREDICTABLE {
+                    let v = *unpredictable.get(upos).ok_or(CodecError::Corrupt(
+                        "missing unpredictable value",
+                    ))?;
+                    upos += 1;
+                    v
+                } else {
+                    quantizer.dequantize(pred, code)
+                };
+                out.push(value);
+                last_recon = value;
+            }
+            idx += chunk_len;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedsz_codec::stats::max_abs_error;
+
+    fn check_bound(data: &[f32], eb: f32) {
+        let codec = Sz2::new();
+        let packed = codec.compress(data, ErrorBound::Absolute(f64::from(eb))).unwrap();
+        let restored = codec.decompress(&packed).unwrap();
+        assert_eq!(restored.len(), data.len());
+        assert!(
+            max_abs_error(data, &restored) <= eb * (1.0 + 1e-5),
+            "bound violated: {} > {}",
+            max_abs_error(data, &restored),
+            eb
+        );
+    }
+
+    #[test]
+    fn smooth_data_tight_bounds() {
+        let data: Vec<f32> = (0..4096).map(|i| (i as f32 * 0.01).sin()).collect();
+        for eb in [1e-2f32, 1e-3, 1e-5] {
+            check_bound(&data, eb);
+        }
+    }
+
+    #[test]
+    fn linear_data_prefers_regression() {
+        // A perfect ramp: the regression predictor should make nearly all
+        // residuals zero, giving an excellent ratio.
+        let data: Vec<f32> = (0..8192).map(|i| 0.5 + i as f32 * 1e-4).collect();
+        let codec = Sz2::new();
+        let packed = codec.compress(&data, ErrorBound::Absolute(1e-5)).unwrap();
+        let ratio = (data.len() * 4) as f64 / packed.len() as f64;
+        assert!(ratio > 10.0, "ramp should compress >10x, got {ratio:.1}");
+        check_bound(&data, 1e-5);
+    }
+
+    #[test]
+    fn spiky_data_stays_bounded() {
+        let data: Vec<f32> = (0..10_000)
+            .map(|i| if i % 31 == 0 { 1.0 } else { ((i * i) as f32).sin() * 0.01 })
+            .collect();
+        for eb in [1e-1f32, 1e-3] {
+            check_bound(&data, eb);
+        }
+    }
+
+    #[test]
+    fn relative_bound_uses_value_range() {
+        let data: Vec<f32> = (0..2048).map(|i| (i as f32 * 0.03).cos() * 5.0).collect();
+        let codec = Sz2::new();
+        let packed = codec.compress(&data, ErrorBound::Relative(1e-3)).unwrap();
+        let restored = codec.decompress(&packed).unwrap();
+        let range = 10.0f32; // cos * 5 spans [-5, 5]
+        assert!(max_abs_error(&data, &restored) <= 1e-3 * range * 1.01);
+    }
+
+    #[test]
+    fn unpredictable_heavy_input() {
+        // Huge jumps relative to a tiny bound force the unpredictable path.
+        let data: Vec<f32> = (0..1000).map(|i| if i % 2 == 0 { 1e6 } else { -1e6 }).collect();
+        check_bound(&data, 1e-6);
+    }
+
+    #[test]
+    fn single_element_and_block_boundaries() {
+        check_bound(&[0.75], 1e-3);
+        let data: Vec<f32> = (0..BLOCK * 2 + 1).map(|i| i as f32 * 0.1).collect();
+        check_bound(&data, 1e-4);
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let data: Vec<f32> = (0..512).map(|i| (i as f32).sin()).collect();
+        let codec = Sz2::new();
+        let packed = codec.compress(&data, ErrorBound::Absolute(1e-3)).unwrap();
+        assert!(codec.decompress(&packed[..packed.len() / 2]).is_err());
+    }
+
+    #[test]
+    fn wrong_kind_rejected() {
+        let codec = Sz2::new();
+        let mut stream = codec.compress(&[1.0, 2.0], ErrorBound::Absolute(1e-3)).unwrap();
+        stream[0] = LossyKind::Sz3.id();
+        assert!(codec.decompress(&stream).is_err());
+    }
+
+    #[test]
+    fn fit_line_recovers_slope() {
+        let values: Vec<f32> = (0..100).map(|i| 2.0 + 0.5 * i as f32).collect();
+        let (a, b) = fit_line(&values);
+        assert!((a - 0.5).abs() < 1e-4);
+        assert!((b - 2.0).abs() < 1e-3);
+    }
+}

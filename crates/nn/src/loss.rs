@@ -1,0 +1,139 @@
+//! Loss functions.
+
+use fedsz_tensor::Tensor;
+
+/// Softmax cross-entropy over a batch of logits.
+///
+/// `logits` is `[N, K]`, `targets` holds `N` class indices. Returns the
+/// mean loss and the gradient w.r.t. the logits (already divided by `N`),
+/// ready to feed into `Model::backward`.
+///
+/// # Panics
+///
+/// Panics if shapes disagree or a target index is out of range.
+///
+/// # Examples
+///
+/// ```
+/// use fedsz_nn::loss::softmax_cross_entropy;
+/// use fedsz_tensor::Tensor;
+///
+/// let logits = Tensor::from_vec(vec![1, 3], vec![2.0, 0.5, 0.1]);
+/// let (loss, grad) = softmax_cross_entropy(&logits, &[0]);
+/// assert!(loss > 0.0 && loss < 1.0); // confident, correct prediction
+/// assert_eq!(grad.shape(), &[1, 3]);
+/// ```
+pub fn softmax_cross_entropy(logits: &Tensor, targets: &[usize]) -> (f64, Tensor) {
+    let shape = logits.shape();
+    assert_eq!(shape.len(), 2, "logits must be [N, K]");
+    let (n, k) = (shape[0], shape[1]);
+    assert_eq!(n, targets.len(), "one target per row required");
+    let mut grad = Tensor::zeros(vec![n, k]);
+    let mut total = 0.0f64;
+    let x = logits.data();
+    let g = grad.data_mut();
+    for i in 0..n {
+        let row = &x[i * k..(i + 1) * k];
+        let target = targets[i];
+        assert!(target < k, "target {target} out of range for {k} classes");
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut denom = 0.0f64;
+        for &v in row {
+            denom += f64::from(v - max).exp();
+        }
+        let log_denom = denom.ln();
+        total += log_denom - f64::from(row[target] - max);
+        for j in 0..k {
+            let p = (f64::from(row[j] - max).exp() / denom) as f32;
+            g[i * k + j] = (p - if j == target { 1.0 } else { 0.0 }) / n as f32;
+        }
+    }
+    (total / n as f64, grad)
+}
+
+/// Top-1 accuracy of `logits` (`[N, K]`) against `targets`.
+///
+/// # Panics
+///
+/// Panics if shapes disagree.
+pub fn top1_accuracy(logits: &Tensor, targets: &[usize]) -> f64 {
+    let shape = logits.shape();
+    assert_eq!(shape.len(), 2, "logits must be [N, K]");
+    let (n, k) = (shape[0], shape[1]);
+    assert_eq!(n, targets.len());
+    if n == 0 {
+        return 0.0;
+    }
+    let x = logits.data();
+    let mut correct = 0usize;
+    for i in 0..n {
+        let row = &x[i * k..(i + 1) * k];
+        let mut best = 0usize;
+        for j in 1..k {
+            if row[j] > row[best] {
+                best = j;
+            }
+        }
+        if best == targets[i] {
+            correct += 1;
+        }
+    }
+    correct as f64 / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_give_log_k() {
+        let logits = Tensor::zeros(vec![2, 4]);
+        let (loss, _) = softmax_cross_entropy(&logits, &[0, 3]);
+        assert!((loss - (4.0f64).ln()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gradient_rows_sum_to_zero() {
+        let logits = Tensor::from_vec(vec![2, 3], vec![1.0, -2.0, 0.5, 3.0, 0.0, -1.0]);
+        let (_, grad) = softmax_cross_entropy(&logits, &[2, 0]);
+        for i in 0..2 {
+            let row: f64 = grad.data()[i * 3..(i + 1) * 3].iter().map(|&v| f64::from(v)).sum();
+            assert!(row.abs() < 1e-6, "row {i} sums to {row}");
+        }
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let logits = Tensor::from_vec(vec![1, 3], vec![0.3, -0.7, 1.1]);
+        let targets = [1usize];
+        let (_, grad) = softmax_cross_entropy(&logits, &targets);
+        let eps = 1e-3f32;
+        for j in 0..3 {
+            let mut lp = logits.clone();
+            lp.data_mut()[j] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[j] -= eps;
+            let (fp, _) = softmax_cross_entropy(&lp, &targets);
+            let (fm, _) = softmax_cross_entropy(&lm, &targets);
+            let num = (fp - fm) / (2.0 * f64::from(eps));
+            let ana = f64::from(grad.data()[j]);
+            assert!((num - ana).abs() < 1e-4, "{j}: {num} vs {ana}");
+        }
+    }
+
+    #[test]
+    fn large_logits_are_stable() {
+        let logits = Tensor::from_vec(vec![1, 2], vec![1000.0, -1000.0]);
+        let (loss, grad) = softmax_cross_entropy(&logits, &[0]);
+        assert!(loss.is_finite() && loss < 1e-6);
+        assert!(grad.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn accuracy_counts_correctly() {
+        let logits =
+            Tensor::from_vec(vec![3, 2], vec![0.9, 0.1, 0.2, 0.8, 0.6, 0.4]);
+        assert!((top1_accuracy(&logits, &[0, 1, 1]) - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(top1_accuracy(&Tensor::zeros(vec![0, 2]), &[]), 0.0);
+    }
+}

@@ -1,0 +1,15 @@
+//! Model definitions.
+//!
+//! Two families live here, mirroring the paper's two uses of models:
+//!
+//! * [`specs`] — *full-size parameter structures* for AlexNet,
+//!   MobileNetV2 and ResNet50 (exact torchvision tensor shapes and
+//!   names, "trained-looking" weight distributions). These are what the
+//!   compression experiments (Tables I, III, V; Figs 2, 3, 7, 8)
+//!   operate on; they are never trained.
+//! * [`tiny`] — *scaled-down trainable variants* of the same three
+//!   architectures, used by the FL training experiments (Figs 4, 5, 6,
+//!   9) where the paper used GPU clusters.
+
+pub mod specs;
+pub mod tiny;

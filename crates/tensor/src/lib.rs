@@ -1,0 +1,373 @@
+//! Dense `f32` tensors for the FedSZ reproduction.
+//!
+//! A deliberately small tensor library: row-major dense storage, shape
+//! arithmetic, the elementwise/matrix operations the neural-network crate
+//! needs, and seeded random initializers. FedSZ itself only ever sees
+//! tensors through flattened `&[f32]` views (Algorithm 1 flattens every
+//! state-dict entry before compression), which [`Tensor::data`] provides.
+//!
+//! # Examples
+//!
+//! ```
+//! use fedsz_tensor::Tensor;
+//!
+//! let a = Tensor::from_vec(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+//! let b = Tensor::eye(2);
+//! let c = a.matmul(&b);
+//! assert_eq!(c.data(), a.data());
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod rng;
+
+use std::fmt;
+
+/// A dense, row-major `f32` tensor.
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor(shape={:?}, len={})", self.shape, self.data.len())
+    }
+}
+
+impl Tensor {
+    /// Creates a tensor of zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape's element count overflows `usize`.
+    pub fn zeros(shape: Vec<usize>) -> Self {
+        let n = element_count(&shape);
+        Self { shape, data: vec![0.0; n] }
+    }
+
+    /// Creates a tensor filled with `value`.
+    pub fn filled(shape: Vec<usize>, value: f32) -> Self {
+        let n = element_count(&shape);
+        Self { shape, data: vec![value; n] }
+    }
+
+    /// Creates a tensor of ones.
+    pub fn ones(shape: Vec<usize>) -> Self {
+        Self::filled(shape, 1.0)
+    }
+
+    /// Creates the `n x n` identity matrix.
+    pub fn eye(n: usize) -> Self {
+        let mut t = Self::zeros(vec![n, n]);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// Wraps existing data in a tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not match the shape's element count.
+    pub fn from_vec(shape: Vec<usize>, data: Vec<f32>) -> Self {
+        assert_eq!(
+            element_count(&shape),
+            data.len(),
+            "shape {shape:?} does not match data length {}",
+            data.len()
+        );
+        Self { shape, data }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Flattened element view (row-major), as consumed by the compressors.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable flattened element view.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its storage.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Returns a reshaped copy sharing no storage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new shape's element count differs.
+    pub fn reshaped(&self, shape: Vec<usize>) -> Self {
+        assert_eq!(element_count(&shape), self.data.len(), "reshape must preserve element count");
+        Self { shape, data: self.data.clone() }
+    }
+
+    /// Reinterprets the shape in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new shape's element count differs.
+    pub fn reshape(&mut self, shape: Vec<usize>) {
+        assert_eq!(element_count(&shape), self.data.len(), "reshape must preserve element count");
+        self.shape = shape;
+    }
+
+    /// Element at a 2D index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not 2D or the index is out of bounds.
+    #[inline]
+    pub fn at2(&self, i: usize, j: usize) -> f32 {
+        debug_assert_eq!(self.shape.len(), 2);
+        self.data[i * self.shape[1] + j]
+    }
+
+    /// Applies `f` to every element, returning a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
+        Self { shape: self.shape.clone(), data: self.data.iter().map(|&v| f(v)).collect() }
+    }
+
+    /// In-place elementwise update.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Elementwise addition.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add(&self, other: &Tensor) -> Self {
+        self.zip(other, |a, b| a + b)
+    }
+
+    /// Elementwise subtraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn sub(&self, other: &Tensor) -> Self {
+        self.zip(other, |a, b| a - b)
+    }
+
+    /// Elementwise multiplication.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn mul(&self, other: &Tensor) -> Self {
+        self.zip(other, |a, b| a * b)
+    }
+
+    /// Elementwise combine with `f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Self {
+        assert_eq!(self.shape, other.shape, "shape mismatch: {:?} vs {:?}", self.shape, other.shape);
+        Self {
+            shape: self.shape.clone(),
+            data: self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect(),
+        }
+    }
+
+    /// `self += alpha * other`, the FedAvg/SGD workhorse.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn axpy(&mut self, alpha: f32, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "shape mismatch: {:?} vs {:?}", self.shape, other.shape);
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Multiplies every element by `s`.
+    pub fn scale(&mut self, s: f32) {
+        for v in &mut self.data {
+            *v *= s;
+        }
+    }
+
+    /// Sum of all elements (accumulated in f64).
+    pub fn sum(&self) -> f64 {
+        self.data.iter().map(|&v| f64::from(v)).sum()
+    }
+
+    /// Index of the largest element (ties broken by first occurrence);
+    /// `None` for empty tensors.
+    pub fn argmax(&self) -> Option<usize> {
+        if self.data.is_empty() {
+            return None;
+        }
+        let mut best = 0usize;
+        for (i, &v) in self.data.iter().enumerate() {
+            if v > self.data[best] {
+                best = i;
+            }
+        }
+        Some(best)
+    }
+
+    /// Matrix product of two 2D tensors: `[m, k] x [k, n] -> [m, n]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both tensors are 2D with compatible inner dims.
+    pub fn matmul(&self, other: &Tensor) -> Self {
+        assert_eq!(self.shape.len(), 2, "matmul lhs must be 2D");
+        assert_eq!(other.shape.len(), 2, "matmul rhs must be 2D");
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (k2, n) = (other.shape[0], other.shape[1]);
+        assert_eq!(k, k2, "matmul inner dimensions differ: {k} vs {k2}");
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let lhs_row = &self.data[i * k..(i + 1) * k];
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (p, &l) in lhs_row.iter().enumerate() {
+                if l == 0.0 {
+                    continue;
+                }
+                let rhs_row = &other.data[p * n..(p + 1) * n];
+                for (o, &r) in out_row.iter_mut().zip(rhs_row) {
+                    *o += l * r;
+                }
+            }
+        }
+        Self { shape: vec![m, n], data: out }
+    }
+
+    /// Transpose of a 2D tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the tensor is 2D.
+    pub fn transposed(&self) -> Self {
+        assert_eq!(self.shape.len(), 2, "transpose requires a 2D tensor");
+        let (m, n) = (self.shape[0], self.shape[1]);
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                out[j * m + i] = self.data[i * n + j];
+            }
+        }
+        Self { shape: vec![n, m], data: out }
+    }
+
+    /// Serializes shape + data as little-endian bytes (4 bytes/element).
+    pub fn byte_size(&self) -> usize {
+        self.data.len() * 4
+    }
+}
+
+/// Product of the dims, panicking on overflow.
+fn element_count(shape: &[usize]) -> usize {
+    shape.iter().copied().fold(1usize, |acc, d| acc.checked_mul(d).expect("shape overflows usize"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_views() {
+        let t = Tensor::zeros(vec![2, 3, 4]);
+        assert_eq!(t.len(), 24);
+        assert_eq!(t.shape(), &[2, 3, 4]);
+        assert!(t.data().iter().all(|&v| v == 0.0));
+        let u = Tensor::filled(vec![3], 2.5);
+        assert_eq!(u.data(), &[2.5, 2.5, 2.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match data length")]
+    fn from_vec_validates_length() {
+        let _ = Tensor::from_vec(vec![2, 2], vec![1.0]);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let mut t = Tensor::from_vec(vec![6], (0..6).map(|i| i as f32).collect());
+        t.reshape(vec![2, 3]);
+        assert_eq!(t.at2(1, 2), 5.0);
+        let r = t.reshaped(vec![3, 2]);
+        assert_eq!(r.shape(), &[3, 2]);
+        assert_eq!(r.data(), t.data());
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Tensor::from_vec(vec![3], vec![1.0, 2.0, 3.0]);
+        let b = Tensor::from_vec(vec![3], vec![0.5, 0.5, 0.5]);
+        assert_eq!(a.add(&b).data(), &[1.5, 2.5, 3.5]);
+        assert_eq!(a.sub(&b).data(), &[0.5, 1.5, 2.5]);
+        assert_eq!(a.mul(&b).data(), &[0.5, 1.0, 1.5]);
+        let mut c = a.clone();
+        c.axpy(2.0, &b);
+        assert_eq!(c.data(), &[2.0, 3.0, 4.0]);
+        c.scale(0.5);
+        assert_eq!(c.data(), &[1.0, 1.5, 2.0]);
+    }
+
+    #[test]
+    fn matmul_identity_and_known() {
+        let a = Tensor::from_vec(vec![2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let i3 = Tensor::eye(3);
+        assert_eq!(a.matmul(&i3).data(), a.data());
+        let b = Tensor::from_vec(vec![3, 1], vec![1.0, 1.0, 1.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), &[2, 1]);
+        assert_eq!(c.data(), &[6.0, 15.0]);
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        let a = Tensor::from_vec(vec![2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let t = a.transposed();
+        assert_eq!(t.shape(), &[3, 2]);
+        assert_eq!(t.at2(2, 1), 6.0);
+        assert_eq!(t.transposed(), a);
+    }
+
+    #[test]
+    fn argmax_and_sum() {
+        let a = Tensor::from_vec(vec![4], vec![0.1, 0.9, 0.3, 0.9]);
+        assert_eq!(a.argmax(), Some(1));
+        assert!((a.sum() - 2.2).abs() < 1e-6);
+        assert_eq!(Tensor::zeros(vec![0]).argmax(), None);
+    }
+
+    #[test]
+    fn map_and_zip() {
+        let a = Tensor::from_vec(vec![2], vec![-1.0, 2.0]);
+        assert_eq!(a.map(|v| v.max(0.0)).data(), &[0.0, 2.0]);
+        let mut b = a.clone();
+        b.map_inplace(|v| v * 10.0);
+        assert_eq!(b.data(), &[-10.0, 20.0]);
+    }
+}

@@ -1,0 +1,80 @@
+//! Algebraic property tests for the tensor primitives.
+
+use fedsz_tensor::Tensor;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// A small matrix as (rows, cols, data).
+fn matrix(max_dim: usize) -> impl Strategy<Value = (usize, usize, Vec<f32>)> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+        vec(-10.0f32..10.0, r * c).prop_map(move |data| (r, c, data))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn transpose_is_an_involution((r, c, data) in matrix(8)) {
+        let m = Tensor::from_vec(vec![r, c], data);
+        prop_assert_eq!(m.transposed().transposed(), m);
+    }
+
+    #[test]
+    fn matmul_transpose_identity((r, c, a) in matrix(6), k in 1usize..6) {
+        // (A B)^T == B^T A^T
+        let a = Tensor::from_vec(vec![r, c], a);
+        let b = Tensor::from_vec(vec![c, k], (0..c * k).map(|i| (i as f32 * 0.37).sin()).collect());
+        let lhs = a.matmul(&b).transposed();
+        let rhs = b.transposed().matmul(&a.transposed());
+        prop_assert_eq!(lhs.shape(), rhs.shape());
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() <= 1e-3 * (1.0 + x.abs()), "{} vs {}", x, y);
+        }
+    }
+
+    #[test]
+    fn identity_is_matmul_neutral((r, c, data) in matrix(8)) {
+        let m = Tensor::from_vec(vec![r, c], data);
+        prop_assert_eq!(m.matmul(&Tensor::eye(c)), m.clone());
+        prop_assert_eq!(Tensor::eye(r).matmul(&m), m);
+    }
+
+    #[test]
+    fn axpy_matches_scalar_arithmetic(data in vec(-5.0f32..5.0, 1..64), alpha in -2.0f32..2.0) {
+        let n = data.len();
+        let x = Tensor::from_vec(vec![n], data.clone());
+        let mut y = Tensor::filled(vec![n], 1.0);
+        y.axpy(alpha, &x);
+        for (out, orig) in y.data().iter().zip(&data) {
+            prop_assert!((out - (1.0 + alpha * orig)).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn add_sub_round_trip(data in vec(-100.0f32..100.0, 1..64)) {
+        let n = data.len();
+        let a = Tensor::from_vec(vec![n], data);
+        let b = Tensor::filled(vec![n], 3.5);
+        let back = a.add(&b).sub(&b);
+        for (x, y) in back.data().iter().zip(a.data()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn reshape_preserves_flat_order((r, c, data) in matrix(8)) {
+        let m = Tensor::from_vec(vec![r, c], data.clone());
+        let flat = m.reshaped(vec![r * c]);
+        prop_assert_eq!(flat.data(), &data[..]);
+    }
+
+    #[test]
+    fn sum_is_permutation_invariant(mut data in vec(-10.0f32..10.0, 2..64)) {
+        let n = data.len();
+        let a = Tensor::from_vec(vec![n], data.clone());
+        data.reverse();
+        let b = Tensor::from_vec(vec![n], data);
+        prop_assert!((a.sum() - b.sum()).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,68 @@
+//! Bandwidth planner: should this client compress its update?
+//!
+//! ```text
+//! cargo run --example bandwidth_planner -- --mbps 50
+//! ```
+//!
+//! Implements the paper's Eqn 1 as an operational tool: measures FedSZ
+//! compress/decompress cost for each model and each EBLC on this
+//! machine, then reports — for the requested bandwidth — whether
+//! compression pays off, the expected speedup, and the break-even
+//! bandwidth below which it always will.
+
+use fedsz::timing::{mbps, TransferPlan};
+use fedsz::{ErrorBound, FedSz, FedSzConfig, LossyKind};
+use fedsz_nn::models::specs::ModelSpec;
+use std::error::Error;
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let args: Vec<String> = std::env::args().collect();
+    let bw_mbps: f64 = args
+        .iter()
+        .position(|a| a == "--mbps")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse())
+        .transpose()?
+        .unwrap_or(10.0);
+    let bandwidth = mbps(bw_mbps);
+    let scale = 0.05;
+
+    println!("bandwidth: {bw_mbps} Mbps; model tensors sampled at {scale} (times rescaled)\n");
+    println!("{:<14} {:<6} {:>7} {:>12} {:>12} {:>10} {:>12}",
+        "model", "codec", "ratio", "plain (s)", "fedsz (s)", "speedup", "break-even");
+    for spec in ModelSpec::all() {
+        let dict = spec.instantiate_scaled(42, scale);
+        let inflate = spec.byte_size() as f64 / dict.byte_size() as f64;
+        for kind in [LossyKind::Sz2, LossyKind::Sz3, LossyKind::Szx, LossyKind::Zfp] {
+            let fedsz = FedSz::new(
+                FedSzConfig { lossy: kind, ..FedSzConfig::default() }
+                    .with_error_bound(ErrorBound::Relative(1e-2)),
+            );
+            let t0 = Instant::now();
+            let packed = fedsz.compress(&dict)?;
+            let c = t0.elapsed().as_secs_f64() * inflate;
+            let t1 = Instant::now();
+            let _ = fedsz.decompress(packed.bytes())?;
+            let d = t1.elapsed().as_secs_f64() * inflate;
+            let plan = TransferPlan {
+                compress_secs: c,
+                decompress_secs: d,
+                original_bytes: spec.byte_size(),
+                compressed_bytes: (packed.bytes().len() as f64 * inflate) as usize,
+            };
+            println!(
+                "{:<14} {:<6} {:>6.2}x {:>12.1} {:>12.1} {:>9.2}x {:>8.0} Mbps{}",
+                spec.name(),
+                kind.name(),
+                plan.ratio(),
+                plan.uncompressed_time(bandwidth),
+                plan.compressed_time(bandwidth),
+                plan.speedup(bandwidth),
+                plan.breakeven_bandwidth() / 1e6,
+                if plan.worthwhile(bandwidth) { "  <- compress" } else { "  (send raw)" },
+            );
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,69 @@
+//! Quickstart: compress one federated-learning model update with FedSZ.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+//!
+//! Builds a full-size MobileNetV2 state dictionary (sampled to 10% for
+//! speed), compresses it with the paper's recommended configuration
+//! (SZ2 + blosc-lz at REL 1e-2), verifies the error bound, and prints
+//! the size/time accounting plus the Eqn 1 decision at 10 Mbps.
+
+use fedsz::timing::{mbps, TransferPlan};
+use fedsz::{FedSz, FedSzConfig};
+use fedsz_codec::stats::{max_abs_error, value_range};
+use fedsz_nn::models::specs::ModelSpec;
+use std::error::Error;
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // 1. A client update: a state dict with PyTorch-style names.
+    let spec = ModelSpec::mobilenet_v2();
+    let update = spec.instantiate_scaled(42, 0.1);
+    println!("model: {} ({} tensors, {:.1} MB sampled)", spec.name(), update.len(),
+        update.byte_size() as f64 / 1e6);
+
+    // 2. Compress with the paper's recommended operating point.
+    let fedsz = FedSz::new(FedSzConfig::recommended());
+    let t0 = Instant::now();
+    let compressed = fedsz.compress(&update)?;
+    let compress_secs = t0.elapsed().as_secs_f64();
+    let stats = *compressed.stats();
+    println!(
+        "compressed {:.1} MB -> {:.2} MB (ratio {:.2}x, {:.0}% of elements lossy)",
+        stats.original_bytes as f64 / 1e6,
+        stats.compressed_bytes as f64 / 1e6,
+        stats.ratio(),
+        stats.lossy_fraction() * 100.0,
+    );
+
+    // 3. The server decompresses and gets the same structure back.
+    let t1 = Instant::now();
+    let restored = fedsz.decompress(compressed.bytes())?;
+    let decompress_secs = t1.elapsed().as_secs_f64();
+    assert_eq!(restored.len(), update.len());
+
+    // 4. Verify the error bound on one lossy tensor.
+    let name = "features.18.0.weight";
+    let (orig, rest) = (update.get(name).unwrap(), restored.get(name).unwrap());
+    let range = value_range(orig.data()).unwrap().span();
+    let err = max_abs_error(orig.data(), rest.data());
+    println!("max error on {name}: {err:.2e} (bound: {:.2e})", 1e-2 * range);
+    assert!(f64::from(err) <= 1e-2 * f64::from(range) * 1.000_01);
+
+    // 5. Eqn 1: is this worthwhile on a 10 Mbps uplink?
+    let plan = TransferPlan {
+        compress_secs,
+        decompress_secs,
+        original_bytes: stats.original_bytes,
+        compressed_bytes: stats.compressed_bytes,
+    };
+    println!(
+        "at 10 Mbps: {:.1}s uncompressed vs {:.1}s with FedSZ ({:.1}x speedup, break-even {:.0} Mbps)",
+        plan.uncompressed_time(mbps(10.0)),
+        plan.compressed_time(mbps(10.0)),
+        plan.speedup(mbps(10.0)),
+        plan.breakeven_bandwidth() / 1e6,
+    );
+    Ok(())
+}

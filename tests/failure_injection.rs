@@ -1,0 +1,112 @@
+//! Failure injection: corrupted, truncated and bit-flipped streams must
+//! produce errors (or, for payload-interior flips a lossy decoder cannot
+//! distinguish, garbage values) — never panics.
+
+use fedsz::{ErrorBound, FedSz, FedSzConfig, LossyKind};
+use fedsz_lossless::LosslessKind;
+use fedsz_nn::models::specs::ModelSpec;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn payload() -> Vec<u8> {
+    let dict = ModelSpec::mobilenet_v2().instantiate_scaled(5, 0.01);
+    FedSz::default().compress(&dict).expect("compress").into_bytes()
+}
+
+#[test]
+fn truncations_never_panic() {
+    let bytes = payload();
+    let fedsz = FedSz::default();
+    for cut in [0, 1, 4, 16, bytes.len() / 4, bytes.len() / 2, bytes.len() - 1] {
+        let result = std::panic::catch_unwind(|| fedsz.decompress(&bytes[..cut]));
+        let decoded = result.expect("decoder panicked on truncated input");
+        assert!(decoded.is_err(), "truncation at {cut} silently succeeded");
+    }
+}
+
+#[test]
+fn random_bit_flips_never_panic() {
+    let bytes = payload();
+    let fedsz = FedSz::default();
+    let mut rng = StdRng::seed_from_u64(17);
+    let mut detected = 0usize;
+    const TRIALS: usize = 200;
+    for _ in 0..TRIALS {
+        let mut mutated = bytes.clone();
+        let idx = rng.gen_range(0..mutated.len());
+        mutated[idx] ^= 1 << rng.gen_range(0..8);
+        let outcome = std::panic::catch_unwind(|| fedsz.decompress(&mutated))
+            .expect("decoder panicked on bit flip");
+        if outcome.is_err() {
+            detected += 1;
+        }
+    }
+    // Most flips hit entropy-coded payload and must be caught by
+    // structure or checksum validation; a small fraction lands in lossy
+    // float payloads where any bit pattern is a legal value.
+    assert_eq!(detected, TRIALS, "only {detected}/{TRIALS} corruptions detected by the CRC trailer");
+}
+
+#[test]
+fn random_garbage_never_panics_any_codec() {
+    let mut rng = StdRng::seed_from_u64(23);
+    for _ in 0..50 {
+        let len = rng.gen_range(0..512);
+        let garbage: Vec<u8> = (0..len).map(|_| rng.gen()).collect();
+        for kind in LossyKind::all() {
+            let garbage = garbage.clone();
+            let r = std::panic::catch_unwind(move || kind.codec().decompress(&garbage).is_err());
+            assert!(r.expect("lossy decoder panicked"));
+        }
+        for kind in LosslessKind::all() {
+            let garbage = garbage.clone();
+            let r =
+                std::panic::catch_unwind(move || kind.codec().decompress(&garbage).is_err());
+            let _ = r.expect("lossless decoder panicked");
+        }
+        let fedsz = FedSz::default();
+        let r = std::panic::catch_unwind(|| fedsz.decompress(&garbage));
+        assert!(r.expect("pipeline panicked").is_err());
+    }
+}
+
+#[test]
+fn cross_codec_streams_are_rejected() {
+    // A stream produced by one lossy codec must not decode as another.
+    let data: Vec<f32> = (0..5000).map(|i| (i as f32 * 0.01).sin()).collect();
+    for producer in LossyKind::all() {
+        let stream = producer.codec().compress(&data, ErrorBound::Absolute(1e-3));
+        let stream = match stream {
+            Ok(s) => s,
+            Err(_) => producer
+                .codec()
+                .compress(&data, ErrorBound::FixedPrecision(16))
+                .expect("zfp fixed precision"),
+        };
+        for consumer in LossyKind::all() {
+            if consumer != producer {
+                assert!(
+                    consumer.codec().decompress(&stream).is_err(),
+                    "{consumer} accepted a {producer} stream"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn mismatched_threshold_configs_still_decode() {
+    // The bitstream is self-describing: a receiver with a different
+    // default config must still decode correctly.
+    let dict = ModelSpec::mobilenet_v2().instantiate_scaled(5, 0.01);
+    let sender = FedSz::new(FedSzConfig {
+        lossy: LossyKind::Sz3,
+        lossless: LosslessKind::Xz,
+        error_bound: ErrorBound::Relative(1e-3),
+        threshold: 64,
+    });
+    let packed = sender.compress(&dict).expect("compress");
+    let receiver = FedSz::default();
+    let restored = receiver.decompress(packed.bytes()).expect("self-describing stream");
+    assert_eq!(restored.len(), dict.len());
+}
