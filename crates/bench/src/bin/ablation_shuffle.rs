@@ -18,10 +18,8 @@ fn main() {
         metadata.extend(lossless_partition_bytes(&spec.instantiate_scaled(42, 1.0), 1000));
     }
     let dict = ModelSpec::alexnet().instantiate_scaled(42, scale);
-    let weights: Vec<u8> = lossy_partition_values(&dict, 1000)
-        .iter()
-        .flat_map(|v| v.to_le_bytes())
-        .collect();
+    let weights: Vec<u8> =
+        lossy_partition_values(&dict, 1000).iter().flat_map(|v| v.to_le_bytes()).collect();
 
     let mut rows = Vec::new();
     for (label, data) in [("metadata bytes", &metadata), ("weight bytes", &weights)] {
@@ -38,11 +36,7 @@ fn main() {
             ]);
         }
     }
-    print_table(
-        "Ablation: blosc-lz byte shuffle",
-        &["Data", "Variant", "Ratio", "MB/s"],
-        &rows,
-    );
+    print_table("Ablation: blosc-lz byte shuffle", &["Data", "Variant", "Ratio", "MB/s"], &rows);
     println!("\nExpected shape: the shuffle buys most of blosc-lz's ratio on float");
     println!("data (exponent bytes group into runs); without it the LZ stage finds");
     println!("almost nothing in high-entropy mantissas.");

@@ -9,9 +9,26 @@
 use std::process::Command;
 
 const BINARIES: &[&str] = &[
-    "table1", "table2", "table3", "table4", "table5", "fig2", "fig3", "fig4", "fig5", "fig6",
-    "fig7", "fig8", "fig9", "fig10", "ablation_sz2", "ablation_shuffle", "ablation_threshold",
-    "ablation_composition", "extension_pwrel",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "ablation_sz2",
+    "ablation_shuffle",
+    "ablation_threshold",
+    "ablation_composition",
+    "extension_pwrel",
+    "hetero_links",
 ];
 
 fn main() {

@@ -34,10 +34,7 @@ fn main() {
         let report = analyze_noise(&errors);
         let spread = 3.0 * report.laplace.scale;
         let hist = Histogram::build(&errors, -spread, spread, 21);
-        println!(
-            "\n{}",
-            render_histogram(&format!("Figure 10: error density at REL {eb}"), &hist)
-        );
+        println!("\n{}", render_histogram(&format!("Figure 10: error density at REL {eb}"), &hist));
         rows.push(vec![
             format!("{eb}"),
             format!("{:.2e}", report.laplace.scale),

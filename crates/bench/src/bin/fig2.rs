@@ -27,16 +27,18 @@ fn main() {
     let weights = &weights[..miranda.len().min(weights.len())];
 
     // Snippets, as in the figure's panels.
-    let snippet =
-        |data: &[f32], from: usize| -> Vec<(String, f64)> {
-            data.iter()
-                .skip(from)
-                .take(8)
-                .enumerate()
-                .map(|(i, &v)| (format!("[{}]", from + i), f64::from(v)))
-                .collect()
-        };
-    println!("{}", render_series("FL weight snippet (AlexNet classifier.1)", &snippet(weights, 500)));
+    let snippet = |data: &[f32], from: usize| -> Vec<(String, f64)> {
+        data.iter()
+            .skip(from)
+            .take(8)
+            .enumerate()
+            .map(|(i, &v)| (format!("[{}]", from + i), f64::from(v)))
+            .collect()
+    };
+    println!(
+        "{}",
+        render_series("FL weight snippet (AlexNet classifier.1)", &snippet(weights, 500))
+    );
     println!("{}", render_series("Miranda-like field snippet", &snippet(&miranda, 500)));
 
     let codec = LossyKind::Sz2.codec();

@@ -34,14 +34,10 @@ fn main() {
                 let mut config = FlConfig::paper_default(arch, dataset);
                 config.rounds = rounds;
                 config.compression = Some(
-                    FlConfig::tiny_model_compression()
-                        .with_error_bound(ErrorBound::Relative(eb)),
+                    FlConfig::tiny_model_compression().with_error_bound(ErrorBound::Relative(eb)),
                 );
-                let acc = Experiment::new(config)
-                    .run()
-                    .last()
-                    .map(|m| m.test_accuracy)
-                    .unwrap_or(0.0);
+                let acc =
+                    Experiment::new(config).run().last().map(|m| m.test_accuracy).unwrap_or(0.0);
                 cells.push(format!("{:.1}", acc * 100.0));
             }
             rows.push(cells);

@@ -15,10 +15,7 @@ fn main() {
     let scale = args.scale(0.05);
     let bandwidth = mbps(args.get("--mbps", 10.0));
     let bounds = [1e-5f64, 1e-4, 1e-3, 1e-2];
-    println!(
-        "Figure 7 reproduction (scale = {scale}, bandwidth = {:.0} Mbps)",
-        bandwidth / 1e6
-    );
+    println!("Figure 7 reproduction (scale = {scale}, bandwidth = {:.0} Mbps)", bandwidth / 1e6);
 
     let mut rows = Vec::new();
     for spec in [ModelSpec::alexnet(), ModelSpec::mobilenet_v2(), ModelSpec::resnet50()] {

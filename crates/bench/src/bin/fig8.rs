@@ -26,7 +26,8 @@ fn main() {
     let mut plans = Vec::new();
     for kind in [LossyKind::Sz2, LossyKind::Sz3, LossyKind::Zfp] {
         let codec = kind.codec();
-        let (packed, c_secs) = timed(|| codec.compress(&weights, ErrorBound::Relative(1e-2)).unwrap());
+        let (packed, c_secs) =
+            timed(|| codec.compress(&weights, ErrorBound::Relative(1e-2)).unwrap());
         let (_, d_secs) = timed(|| codec.decompress(&packed).unwrap());
         plans.push((
             kind.name(),

@@ -62,11 +62,8 @@ fn main() {
                     let mut config = FlConfig::paper_default(arch, DatasetKind::Cifar10Like);
                     config.rounds = rounds;
                     config.compression = Some(
-                        FedSzConfig {
-                            lossy: kind,
-                            ..FlConfig::tiny_model_compression()
-                        }
-                        .with_error_bound(ErrorBound::Relative(eb)),
+                        FedSzConfig { lossy: kind, ..FlConfig::tiny_model_compression() }
+                            .with_error_bound(ErrorBound::Relative(eb)),
                     );
                     let metrics = Experiment::new(config).run();
                     let acc = metrics.last().map(|m| m.test_accuracy).unwrap_or(0.0);

@@ -26,9 +26,8 @@ fn main() {
             let dict = spec.instantiate_scaled(100 + d as u64, scale);
             let mut cells = vec![dataset.name().to_string(), spec.name().to_string()];
             for &eb in &bounds {
-                let fedsz = FedSz::new(
-                    FedSzConfig::default().with_error_bound(ErrorBound::Relative(eb)),
-                );
+                let fedsz =
+                    FedSz::new(FedSzConfig::default().with_error_bound(ErrorBound::Relative(eb)));
                 let packed = fedsz.compress(&dict).unwrap();
                 cells.push(format!("{:.2}", packed.stats().ratio()));
             }

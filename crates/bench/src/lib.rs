@@ -186,10 +186,7 @@ mod tests {
     fn tables_align() {
         let rendered = render_table(
             &["Model", "Ratio"],
-            &[
-                vec!["AlexNet".into(), "12.61".into()],
-                vec!["MobileNet-V2".into(), "5.39".into()],
-            ],
+            &[vec!["AlexNet".into(), "12.61".into()], vec!["MobileNet-V2".into(), "5.39".into()]],
         );
         let lines: Vec<&str> = rendered.lines().collect();
         assert_eq!(lines.len(), 4);
@@ -199,10 +196,7 @@ mod tests {
 
     #[test]
     fn series_renders_bars() {
-        let s = render_series(
-            "comm time",
-            &[("10".into(), 100.0), ("100".into(), 10.0)],
-        );
+        let s = render_series("comm time", &[("10".into(), 100.0), ("100".into(), 10.0)]);
         assert!(s.contains("##"));
     }
 

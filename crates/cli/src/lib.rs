@@ -1,12 +1,15 @@
 //! Command-line interface for the FedSZ pipeline.
 //!
-//! Ships a `fedsz` binary with four subcommands:
+//! Ships a `fedsz` binary with five subcommands:
 //!
 //! * `fedsz gen <model> <out.fsd>` — generate a full-size model state
 //!   dict (AlexNet / MobileNetV2 / ResNet50) for experimentation,
 //! * `fedsz compress <in.fsd> <out.fsz>` — run the FedSZ pipeline,
 //! * `fedsz decompress <in.fsz> <out.fsd>` — reverse it,
-//! * `fedsz inspect <file>` — describe either format.
+//! * `fedsz inspect <file>` — describe either format,
+//! * `fedsz fl` — run a federated session on the round engine, with
+//!   per-client heterogeneous links, straggler/drop injection and
+//!   synchronous or buffered-asynchronous aggregation.
 //!
 //! The library half exposes [`run`] so the whole surface is unit-tested
 //! without spawning processes.
@@ -14,7 +17,10 @@
 #![forbid(unsafe_code)]
 
 use fedsz::{ErrorBound, FedSz, FedSzConfig, LosslessKind, LossyKind};
+use fedsz_data::DatasetKind;
+use fedsz_fl::{AggregationPolicy, Experiment, FlConfig, LinkProfile};
 use fedsz_nn::models::specs::ModelSpec;
+use fedsz_nn::models::tiny::TinyArch;
 use fedsz_nn::StateDict;
 use std::fmt::Write as _;
 use std::path::Path;
@@ -48,6 +54,17 @@ USAGE:
                  [--lossless blosc-lz|zlib|gzip|zstd|xz] [--threshold N]
   fedsz decompress <in.fsz> <out.fsd>
   fedsz inspect <file>
+  fedsz fl [--clients N] [--rounds N] [--arch alexnet|mobilenetv2|resnet]
+           [--participation F] [--bandwidth MBPS] [--links MBPS,MBPS,...]
+           [--latency MS] [--straggler ID:FACTOR]... [--drop ID:PROB]...
+           [--policy sync|buffered:K] [--adaptive] [--non-iid ALPHA]
+           [--weighted] [--no-compress] [--seed N] [--train-per-class N]
+
+`fedsz fl` runs a federated session on the shared round engine. With
+--links each client gets its own simulated uplink (comm time comes from
+the virtual-time event queue, so fast links overlap instead of queueing
+on one pipe); --straggler slows a client's compute; --policy buffered:K
+aggregates after the first K arrivals and applies stragglers stale.
 ";
 
 /// Executes a CLI invocation (argv without the program name).
@@ -57,6 +74,7 @@ pub fn run(args: &[String]) -> Outcome {
         Some("compress") => compress(&args[1..]),
         Some("decompress") => decompress(&args[1..]),
         Some("inspect") => inspect(&args[1..]),
+        Some("fl") => fl(&args[1..]),
         Some("--help") | Some("-h") => Outcome::ok(USAGE.to_string()),
         _ => Outcome::fail(USAGE.to_string()),
     }
@@ -66,12 +84,24 @@ fn flag_value<'a>(args: &'a [String], key: &str) -> Option<&'a str> {
     args.iter().position(|a| a == key).and_then(|i| args.get(i + 1)).map(String::as_str)
 }
 
+/// Every value of a repeatable `--key v` flag, in order.
+fn flag_values<'a>(args: &'a [String], key: &str) -> Vec<&'a str> {
+    args.iter()
+        .enumerate()
+        .filter(|(_, a)| *a == key)
+        .filter_map(|(i, _)| args.get(i + 1))
+        .map(String::as_str)
+        .collect()
+}
+
 fn gen(args: &[String]) -> Outcome {
     let (Some(model), Some(out)) = (args.first(), args.get(1)) else {
         return Outcome::fail(USAGE.to_string());
     };
     let Some(spec) = ModelSpec::by_name(model) else {
-        return Outcome::fail(format!("unknown model `{model}`; try alexnet, mobilenetv2, resnet50"));
+        return Outcome::fail(format!(
+            "unknown model `{model}`; try alexnet, mobilenetv2, resnet50"
+        ));
     };
     let seed: u64 = match flag_value(args, "--seed").map(str::parse).transpose() {
         Ok(v) => v.unwrap_or(42),
@@ -254,6 +284,204 @@ fn inspect(args: &[String]) -> Outcome {
     }
 }
 
+fn parse_arch(name: &str) -> Option<TinyArch> {
+    match name.to_ascii_lowercase().as_str() {
+        "alexnet" => Some(TinyArch::AlexNet),
+        "mobilenetv2" | "mobilenet" => Some(TinyArch::MobileNetV2),
+        "resnet" | "resnet50" => Some(TinyArch::ResNet),
+        _ => None,
+    }
+}
+
+/// Parses repeatable `ID:VALUE` flags into `(client, value)` pairs.
+fn parse_client_pairs(values: &[&str], flag: &str) -> Result<Vec<(usize, f64)>, String> {
+    values
+        .iter()
+        .map(|spec| {
+            let (id, value) = spec
+                .split_once(':')
+                .ok_or_else(|| format!("{flag} expects ID:VALUE, got `{spec}`"))?;
+            let id = id.parse::<usize>().map_err(|_| format!("{flag}: bad client id `{id}`"))?;
+            let value = value.parse::<f64>().map_err(|_| format!("{flag}: bad value `{value}`"))?;
+            Ok((id, value))
+        })
+        .collect()
+}
+
+fn fl(args: &[String]) -> Outcome {
+    macro_rules! parsed_flag {
+        ($key:expr, $t:ty, $default:expr) => {
+            match flag_value(args, $key).map(str::parse::<$t>).transpose() {
+                Ok(v) => v.unwrap_or($default),
+                Err(_) => return Outcome::fail(format!("{} expects a number", $key)),
+            }
+        };
+    }
+    let clients: usize = parsed_flag!("--clients", usize, 4);
+    let rounds: usize = parsed_flag!("--rounds", usize, 5);
+    let seed: u64 = parsed_flag!("--seed", u64, 42);
+    let participation: f64 = parsed_flag!("--participation", f64, 1.0);
+    let bandwidth_mbps: f64 = parsed_flag!("--bandwidth", f64, 10.0);
+    let latency_ms: f64 = parsed_flag!("--latency", f64, 0.0);
+    let train_per_class: usize = parsed_flag!("--train-per-class", usize, 8);
+    if clients == 0 || rounds == 0 {
+        return Outcome::fail("--clients and --rounds must be positive".into());
+    }
+    if !(bandwidth_mbps.is_finite() && bandwidth_mbps > 0.0) {
+        return Outcome::fail("--bandwidth must be positive".into());
+    }
+    if !(participation.is_finite() && participation > 0.0 && participation <= 1.0) {
+        return Outcome::fail("--participation must be in (0, 1]".into());
+    }
+    if !(latency_ms.is_finite() && latency_ms >= 0.0) {
+        return Outcome::fail("--latency must be non-negative".into());
+    }
+    let arch = match flag_value(args, "--arch") {
+        None => TinyArch::AlexNet,
+        Some(name) => match parse_arch(name) {
+            Some(a) => a,
+            None => return Outcome::fail(format!("unknown arch `{name}`")),
+        },
+    };
+
+    let mut config = FlConfig::paper_default(arch, DatasetKind::Cifar10Like);
+    config.clients = clients;
+    config.rounds = rounds;
+    config.seed = seed;
+    config.participation = participation;
+    config.bandwidth_bps = Some(bandwidth_mbps * 1e6);
+    config.data.seed = seed;
+    config.data.train_per_class = train_per_class;
+    config.data.test_per_class = (train_per_class / 2).max(2);
+    config.data.resolution = 16;
+    config.weighted_aggregation = args.iter().any(|a| a == "--weighted");
+    config.adaptive_compression = args.iter().any(|a| a == "--adaptive");
+    if args.iter().any(|a| a == "--no-compress") {
+        config.compression = None;
+    }
+    if let Some(alpha) = flag_value(args, "--non-iid") {
+        match alpha.parse::<f64>() {
+            Ok(a) if a > 0.0 => config.non_iid_alpha = Some(a),
+            _ => return Outcome::fail("--non-iid expects a positive Dirichlet alpha".into()),
+        }
+    }
+
+    // Per-client links: a bandwidth list plus straggler/drop injection.
+    let stragglers = match parse_client_pairs(&flag_values(args, "--straggler"), "--straggler") {
+        Ok(v) => v,
+        Err(e) => return Outcome::fail(e),
+    };
+    let drops = match parse_client_pairs(&flag_values(args, "--drop"), "--drop") {
+        Ok(v) => v,
+        Err(e) => return Outcome::fail(e),
+    };
+    // --latency alone keeps the paper's shared pipe (with per-message
+    // latency); only per-client knobs switch to dedicated links.
+    config.latency_secs = latency_ms / 1e3;
+    let heterogeneous =
+        flag_value(args, "--links").is_some() || !stragglers.is_empty() || !drops.is_empty();
+    if heterogeneous {
+        let mut mbps: Vec<f64> = vec![bandwidth_mbps; clients];
+        if let Some(list) = flag_value(args, "--links") {
+            let parsed: Result<Vec<f64>, _> =
+                list.split(',').map(|v| v.trim().parse::<f64>()).collect();
+            match parsed {
+                Ok(values) if !values.is_empty() => {
+                    // Cycle the list so `--links 100,1` alternates fast/slow.
+                    for (i, m) in mbps.iter_mut().enumerate() {
+                        *m = values[i % values.len()];
+                    }
+                }
+                _ => return Outcome::fail("--links expects MBPS,MBPS,...".into()),
+            }
+        }
+        let mut links: Vec<LinkProfile> = match mbps
+            .iter()
+            .map(|&m| {
+                if m > 0.0 && m.is_finite() {
+                    Ok(LinkProfile::symmetric(m * 1e6).with_latency(latency_ms / 1e3))
+                } else {
+                    Err(format!("--links: bandwidth must be positive, got {m}"))
+                }
+            })
+            .collect()
+        {
+            Ok(l) => l,
+            Err(e) => return Outcome::fail(e),
+        };
+        for (id, factor) in stragglers {
+            let Some(link) = links.get_mut(id) else {
+                return Outcome::fail(format!("--straggler: no client {id}"));
+            };
+            if !(factor.is_finite() && factor >= 1.0) {
+                return Outcome::fail("--straggler factor must be >= 1".into());
+            }
+            *link = link.with_slowdown(factor);
+        }
+        for (id, prob) in drops {
+            let Some(link) = links.get_mut(id) else {
+                return Outcome::fail(format!("--drop: no client {id}"));
+            };
+            if !(0.0..=1.0).contains(&prob) {
+                return Outcome::fail("--drop probability must be in [0, 1]".into());
+            }
+            *link = link.with_drop_prob(prob);
+        }
+        config.links = Some(links);
+    }
+
+    if let Some(policy) = flag_value(args, "--policy") {
+        config.aggregation = match policy.to_ascii_lowercase().as_str() {
+            "sync" | "synchronous" => AggregationPolicy::Synchronous,
+            other => match other.strip_prefix("buffered:").map(str::parse::<usize>) {
+                Some(Ok(k)) if k > 0 => AggregationPolicy::Buffered { target: k },
+                _ => {
+                    return Outcome::fail(format!(
+                        "unknown policy `{policy}`; try sync or buffered:K"
+                    ))
+                }
+            },
+        };
+    }
+
+    let topology = if config.links.is_some() { "per-client links" } else { "shared pipe" };
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "fl: {clients} clients, {rounds} rounds, {:?} on {topology}, policy {:?}",
+        arch, config.aggregation
+    );
+    let _ = writeln!(
+        report,
+        "round    acc%  train(s)  codec(s)  comm(s)  round(s)     upKB  ratio  agg  stale  drop"
+    );
+    let metrics = Experiment::new(config).run();
+    for m in &metrics {
+        let _ = writeln!(
+            report,
+            "{:>5}  {:>5.1}  {:>8.3}  {:>8.3}  {:>7.3}  {:>8.3}  {:>7.1}  {:>5.2}  {:>3}  {:>5}  {:>4}",
+            m.round + 1,
+            m.test_accuracy * 100.0,
+            m.train_secs,
+            m.compress_secs + m.decompress_secs,
+            m.comm_secs,
+            m.round_secs,
+            m.upstream_bytes as f64 / 1e3,
+            m.ratio,
+            m.aggregated_updates,
+            m.stale_updates,
+            m.dropped_updates,
+        );
+    }
+    let total_comm: f64 = metrics.iter().map(|m| m.comm_secs).sum();
+    let total_round: f64 = metrics.iter().map(|m| m.round_secs).sum();
+    let _ = writeln!(
+        report,
+        "total simulated comm {total_comm:.3}s, virtual session time {total_round:.3}s"
+    );
+    Outcome::ok(report)
+}
+
 /// Test helper: a scratch file path in the OS temp dir.
 pub fn temp_path(tag: &str) -> String {
     let dir = std::env::temp_dir();
@@ -326,6 +554,69 @@ mod tests {
         assert_ne!(runv(&["inspect", &junk]).code, 0);
         assert_ne!(runv(&["compress", &junk, "/tmp/z.fsz"]).code, 0);
         cleanup(&[&junk]);
+    }
+
+    #[test]
+    fn fl_session_runs_with_heterogeneous_links() {
+        let out = runv(&[
+            "fl",
+            "--clients",
+            "2",
+            "--rounds",
+            "1",
+            "--train-per-class",
+            "2",
+            "--links",
+            "100,1",
+            "--straggler",
+            "1:4",
+            "--policy",
+            "buffered:1",
+        ]);
+        assert_eq!(out.code, 0, "{}", out.report);
+        assert!(out.report.contains("per-client links"), "{}", out.report);
+        assert!(out.report.contains("Buffered"), "{}", out.report);
+        assert!(out.report.contains("virtual session time"), "{}", out.report);
+    }
+
+    #[test]
+    fn fl_shared_pipe_and_flags_validate() {
+        let out = runv(&["fl", "--clients", "2", "--rounds", "1", "--train-per-class", "2"]);
+        assert_eq!(out.code, 0, "{}", out.report);
+        assert!(out.report.contains("shared pipe"), "{}", out.report);
+
+        // --latency alone must keep the paper's shared-pipe semantics,
+        // not silently switch to overlapping dedicated links.
+        let out = runv(&[
+            "fl",
+            "--clients",
+            "2",
+            "--rounds",
+            "1",
+            "--train-per-class",
+            "2",
+            "--latency",
+            "20",
+        ]);
+        assert_eq!(out.code, 0, "{}", out.report);
+        assert!(out.report.contains("shared pipe"), "{}", out.report);
+
+        assert_ne!(runv(&["fl", "--clients", "abc"]).code, 0);
+        assert_ne!(runv(&["fl", "--clients", "0"]).code, 0);
+        assert_ne!(runv(&["fl", "--bandwidth", "0"]).code, 0);
+        assert_ne!(runv(&["fl", "--bandwidth", "-5"]).code, 0);
+        assert_ne!(runv(&["fl", "--participation", "0"]).code, 0);
+        assert_ne!(runv(&["fl", "--participation", "1.5"]).code, 0);
+        assert_ne!(runv(&["fl", "--links", "10", "--latency", "-3", "--clients", "1"]).code, 0);
+        assert_ne!(runv(&["fl", "--arch", "vgg"]).code, 0);
+        assert_ne!(runv(&["fl", "--policy", "eventually"]).code, 0);
+        assert_ne!(runv(&["fl", "--policy", "buffered:0"]).code, 0);
+        assert_ne!(runv(&["fl", "--links", "10,-3"]).code, 0);
+        assert_ne!(runv(&["fl", "--straggler", "9:2", "--clients", "2"]).code, 0);
+        assert_ne!(runv(&["fl", "--straggler", "0:0.5", "--clients", "2"]).code, 0);
+        assert_ne!(runv(&["fl", "--drop", "0:1.5", "--clients", "2"]).code, 0);
+        assert_ne!(runv(&["fl", "--drop", "zero", "--clients", "2"]).code, 0);
+        assert_ne!(runv(&["fl", "--non-iid", "-1"]).code, 0);
     }
 
     #[test]

@@ -50,7 +50,8 @@ impl Crc32 {
     pub fn update(&mut self, data: &[u8]) {
         let table = crc_table();
         for &byte in data {
-            self.state = table[((self.state ^ u32::from(byte)) & 0xff) as usize] ^ (self.state >> 8);
+            self.state =
+                table[((self.state ^ u32::from(byte)) & 0xff) as usize] ^ (self.state >> 8);
         }
     }
 

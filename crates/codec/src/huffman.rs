@@ -298,8 +298,7 @@ fn build_lengths(freqs: &[u64], max_len: u8) -> Vec<u8> {
     }
 
     let mut lengths = vec![0u8; freqs.len()];
-    let used: Vec<u16> =
-        (0..freqs.len()).filter(|&s| freqs[s] > 0).map(|s| s as u16).collect();
+    let used: Vec<u16> = (0..freqs.len()).filter(|&s| freqs[s] > 0).map(|s| s as u16).collect();
     match used.len() {
         0 => return lengths,
         1 => {
@@ -484,10 +483,7 @@ mod adversarial_tests {
         // Three symbols of length 1 cannot coexist: 3 * 2^-1 > 1.
         let hdr = raw_header(&[(0, 1), (1, 1), (2, 1)]);
         let mut pos = 0;
-        assert!(matches!(
-            HuffmanTable::read_header(&hdr, &mut pos),
-            Err(CodecError::Corrupt(_))
-        ));
+        assert!(matches!(HuffmanTable::read_header(&hdr, &mut pos), Err(CodecError::Corrupt(_))));
     }
 
     #[test]

@@ -100,7 +100,8 @@ impl Advisor {
         let mut candidates = Vec::new();
         for &lossy in &self.lossy {
             for &bound in &self.bounds {
-                let config = FedSzConfig { lossy, ..FedSzConfig::default() }.with_error_bound(bound);
+                let config =
+                    FedSzConfig { lossy, ..FedSzConfig::default() }.with_error_bound(bound);
                 let fedsz = FedSz::new(config);
                 let t0 = Instant::now();
                 let packed = match fedsz.compress(sample) {
@@ -171,10 +172,8 @@ mod tests {
     #[test]
     fn candidates_cover_the_grid() {
         let (dict, full) = sample();
-        let advisor = Advisor::new(
-            vec![LossyKind::Sz2, LossyKind::Szx],
-            vec![ErrorBound::Relative(1e-2)],
-        );
+        let advisor =
+            Advisor::new(vec![LossyKind::Sz2, LossyKind::Szx], vec![ErrorBound::Relative(1e-2)]);
         let rec = advisor.recommend(&dict, full, mbps(10.0));
         assert_eq!(rec.candidates.len(), 2);
     }

@@ -229,10 +229,8 @@ impl FedSz {
         let lossy_codec = self.config.lossy.codec();
         let lossless_codec = self.config.lossless.codec();
 
-        let mut stats = CompressStats {
-            original_bytes: dict.byte_size(),
-            ..CompressStats::default()
-        };
+        let mut stats =
+            CompressStats { original_bytes: dict.byte_size(), ..CompressStats::default() };
 
         // Header: config + entry table (name, partition flag, shape).
         let mut out = Vec::with_capacity(dict.byte_size() / 4 + 256);
@@ -315,9 +313,8 @@ impl FedSz {
     ) -> std::result::Result<CompressedUpdate, LossyError> {
         let mut delta = StateDict::new();
         for (name, tensor) in update.iter() {
-            let base = reference
-                .get(name)
-                .unwrap_or_else(|| panic!("reference dict missing `{name}`"));
+            let base =
+                reference.get(name).unwrap_or_else(|| panic!("reference dict missing `{name}`"));
             assert_eq!(base.shape(), tensor.shape(), "shape mismatch for `{name}`");
             delta.insert(name.to_owned(), tensor.sub(base));
         }
@@ -560,10 +557,7 @@ mod tests {
         assert!(stats.ratio() > 2.0, "ratio {}", stats.ratio());
         assert!(stats.lossy_fraction() > 0.5, "lossy fraction {}", stats.lossy_fraction());
         assert_eq!(stats.compressed_bytes, packed.bytes().len());
-        assert_eq!(
-            stats.lossy_elements + stats.lossless_elements,
-            dict.total_elements()
-        );
+        assert_eq!(stats.lossy_elements + stats.lossless_elements, dict.total_elements());
     }
 
     #[test]
@@ -640,10 +634,8 @@ mod override_tests {
     #[test]
     fn overrides_tighten_selected_layers() {
         let dict = ModelSpec::alexnet().instantiate_scaled(8, 0.005);
-        let fedsz = FedSz::new(FedSzConfig::default()).with_bound_overrides(vec![(
-            "classifier.6".to_string(),
-            ErrorBound::Relative(1e-6),
-        )]);
+        let fedsz = FedSz::new(FedSzConfig::default())
+            .with_bound_overrides(vec![("classifier.6".to_string(), ErrorBound::Relative(1e-6))]);
         let packed = fedsz.compress(&dict).unwrap();
         let restored = fedsz.decompress(packed.bytes()).unwrap();
         let check = |name: &str, rel: f64| {

@@ -124,10 +124,7 @@ mod tests {
     fn report_totals_cover_everything() {
         let dict = ModelSpec::mobilenet_v2().instantiate_scaled(1, 0.01);
         let r = report(&dict, DEFAULT_THRESHOLD);
-        assert_eq!(
-            r.lossy_elements + r.lossless_elements,
-            dict.total_elements()
-        );
+        assert_eq!(r.lossy_elements + r.lossless_elements, dict.total_elements());
         assert_eq!(r.lossy_tensors + r.lossless_tensors, dict.len());
     }
 }

@@ -45,7 +45,9 @@ impl TransferPlan {
     /// Panics if `bandwidth_bps` is not positive.
     pub fn compressed_time(&self, bandwidth_bps: f64) -> f64 {
         assert!(bandwidth_bps > 0.0, "bandwidth must be positive");
-        self.compress_secs + self.decompress_secs + self.compressed_bytes as f64 * 8.0 / bandwidth_bps
+        self.compress_secs
+            + self.decompress_secs
+            + self.compressed_bytes as f64 * 8.0 / bandwidth_bps
     }
 
     /// Eqn 1's decision: true iff compressing is faster end to end.
@@ -84,7 +86,7 @@ mod tests {
         TransferPlan {
             compress_secs: 1.0,
             decompress_secs: 0.5,
-            original_bytes: 230_000_000, // AlexNet-sized
+            original_bytes: 230_000_000,  // AlexNet-sized
             compressed_bytes: 23_000_000, // 10x
         }
     }
@@ -127,10 +129,7 @@ mod tests {
             compressed_bytes: (230_000_000.0 / 12.61) as usize,
         };
         let speedup = p.speedup(mbps(10.0));
-        assert!(
-            (8.0..14.0).contains(&speedup),
-            "speedup {speedup:.2} out of the paper's ballpark"
-        );
+        assert!((8.0..14.0).contains(&speedup), "speedup {speedup:.2} out of the paper's ballpark");
     }
 
     #[test]

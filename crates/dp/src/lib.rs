@@ -112,8 +112,8 @@ pub fn laplace_mle(errors: &[f32]) -> LaplaceFit {
     let mut sorted: Vec<f32> = errors.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite errors"));
     let location = f64::from(sorted[sorted.len() / 2]);
-    let scale = errors.iter().map(|&e| (f64::from(e) - location).abs()).sum::<f64>()
-        / errors.len() as f64;
+    let scale =
+        errors.iter().map(|&e| (f64::from(e) - location).abs()).sum::<f64>() / errors.len() as f64;
     LaplaceFit { location, scale: scale.max(1e-300) }
 }
 
@@ -262,10 +262,7 @@ mod tests {
         let nonzero = errors.iter().filter(|e| e.abs() > 0.0).count();
         assert!(nonzero > errors.len() / 2, "errors should be nontrivial");
         let report = analyze_noise(&errors);
-        assert!(
-            report.laplace_preferred(),
-            "expected Laplace-like pooled errors: {report:?}"
-        );
+        assert!(report.laplace_preferred(), "expected Laplace-like pooled errors: {report:?}");
     }
 
     #[test]
@@ -294,10 +291,7 @@ mod tests {
 ///
 /// Panics unless `sensitivity` and `epsilon` are positive and finite.
 pub fn laplace_mechanism(data: &mut [f32], sensitivity: f64, epsilon: f64, seed: u64) {
-    assert!(
-        sensitivity.is_finite() && sensitivity > 0.0,
-        "sensitivity must be positive"
-    );
+    assert!(sensitivity.is_finite() && sensitivity > 0.0, "sensitivity must be positive");
     assert!(epsilon.is_finite() && epsilon > 0.0, "epsilon must be positive");
     let scale = (sensitivity / epsilon) as f32;
     let mut rng = fedsz_tensor::rng::seeded(seed);
@@ -351,9 +345,7 @@ mod mechanism_tests {
         let mut strong = vec![0.0f32; 20_000];
         laplace_mechanism(&mut weak, 1.0, 10.0, 1); // big epsilon = weak privacy
         laplace_mechanism(&mut strong, 1.0, 0.5, 1);
-        let var = |v: &[f32]| {
-            v.iter().map(|&x| f64::from(x).powi(2)).sum::<f64>() / v.len() as f64
-        };
+        let var = |v: &[f32]| v.iter().map(|&x| f64::from(x).powi(2)).sum::<f64>() / v.len() as f64;
         assert!(var(&strong) > 50.0 * var(&weak));
     }
 

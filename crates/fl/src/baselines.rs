@@ -40,12 +40,9 @@ pub fn top_k_sparsify(
             out.insert(name.to_owned(), tensor.clone());
             continue;
         }
-        let base = global
-            .get(name)
-            .unwrap_or_else(|| panic!("global dict missing `{name}`"));
+        let base = global.get(name).unwrap_or_else(|| panic!("global dict missing `{name}`"));
         assert_eq!(base.shape(), tensor.shape(), "shape mismatch for `{name}`");
-        let delta: Vec<f32> =
-            tensor.data().iter().zip(base.data()).map(|(&u, &g)| u - g).collect();
+        let delta: Vec<f32> = tensor.data().iter().zip(base.data()).map(|(&u, &g)| u - g).collect();
         let k = ((delta.len() as f64 * fraction).ceil() as usize).clamp(1, delta.len());
         // Threshold = k-th largest magnitude.
         let mut mags: Vec<f32> = delta.iter().map(|d| d.abs()).collect();
@@ -94,9 +91,7 @@ pub fn qsgd_quantize(
             out.insert(name.to_owned(), tensor.clone());
             continue;
         }
-        let base = global
-            .get(name)
-            .unwrap_or_else(|| panic!("global dict missing `{name}`"));
+        let base = global.get(name).unwrap_or_else(|| panic!("global dict missing `{name}`"));
         assert_eq!(base.shape(), tensor.shape(), "shape mismatch for `{name}`");
         let delta: Vec<f64> = tensor
             .data()
@@ -116,8 +111,7 @@ pub fn qsgd_quantize(
                 // round up with probability proportional to the remainder.
                 let scaled = d.abs() / norm * s;
                 let floor = scaled.floor();
-                let level =
-                    if rng.gen::<f64>() < scaled - floor { floor + 1.0 } else { floor };
+                let level = if rng.gen::<f64>() < scaled - floor { floor + 1.0 } else { floor };
                 let q = d.signum() * norm * level / s;
                 (f64::from(g) + q) as f32
             })

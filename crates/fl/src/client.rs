@@ -96,7 +96,8 @@ mod tests {
     use fedsz_nn::models::tiny::TinyArch;
 
     fn make_client() -> Client {
-        let cfg = SyntheticConfig { seed: 1, train_per_class: 6, test_per_class: 1, resolution: 16 };
+        let cfg =
+            SyntheticConfig { seed: 1, train_per_class: 6, test_per_class: 1, resolution: 16 };
         let (train, _) = DatasetKind::Cifar10Like.generate(&cfg);
         Client::new(0, TinyArch::AlexNet.build(3, 3, 16, 10), train, 8, 0.05, 9)
     }
@@ -119,10 +120,7 @@ mod tests {
         client.train_epoch();
         let after = client.update();
         assert_ne!(before, after, "training must change the state dict");
-        assert_eq!(
-            before.names().collect::<Vec<_>>(),
-            after.names().collect::<Vec<_>>()
-        );
+        assert_eq!(before.names().collect::<Vec<_>>(), after.names().collect::<Vec<_>>());
     }
 
     #[test]

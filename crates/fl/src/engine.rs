@@ -1,0 +1,722 @@
+//! The transport-abstracted federated round engine.
+//!
+//! Historically this repo implemented the paper's Fig. 1 round loop
+//! twice: `Experiment::run_round` with analytic communication accounting
+//! and `protocol::run_session` re-deriving the same loop at the wire
+//! level — and the two drifted (no partial participation, no weighted
+//! aggregation, different seed mixing on the wire path). [`RoundEngine`]
+//! is the single shared implementation: it owns cohort selection, local
+//! training, the per-client compress-or-not decision, payload movement
+//! through a pluggable [`Transport`], the virtual-time event queue over
+//! per-client [`LinkProfile`]s, aggregation under an
+//! [`AggregationPolicy`], and evaluation. `Experiment` and `run_session`
+//! are now thin adapters over this type with different transports.
+//!
+//! # Layering
+//!
+//! ```text
+//! Experiment / run_session / CLI        (adapters)
+//!        └── RoundEngine                (cohort, train, codec, aggregate)
+//!              ├── Transport            (in-memory | framed-wire + CRC)
+//!              ├── link::schedule       (virtual clock, per-client links)
+//!              └── fedsz::timing        (Eqn 1 compress-or-not advisor)
+//! ```
+//!
+//! # Aggregation policies
+//!
+//! * [`AggregationPolicy::Synchronous`] — classic FedAvg: wait for every
+//!   cohort upload, average, advance the round.
+//! * [`AggregationPolicy::Buffered`] — FedBuff-style: aggregate as soon
+//!   as the first `target` uploads complete on the virtual clock;
+//!   stragglers' updates are buffered and folded into the *next* round's
+//!   average with a staleness-discounted weight.
+
+use crate::client::Client;
+use crate::fedavg::weighted_fedavg;
+use crate::link::{self, Departure, LinkProfile, Topology};
+use crate::transport::Transport;
+use crate::{FlConfig, RoundMetrics};
+use fedsz::timing::TransferPlan;
+use fedsz::FedSz;
+use fedsz_nn::loss::top1_accuracy;
+use fedsz_nn::{Model, StateDict};
+use std::time::Instant;
+
+/// When the server aggregates a round's uploads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AggregationPolicy {
+    /// Wait for the whole cohort (classic FedAvg, the paper's setting).
+    #[default]
+    Synchronous,
+    /// Aggregate once `target` uploads have arrived on the virtual
+    /// clock; later arrivals are applied *stale* next round (FedBuff).
+    /// Stragglers from the final round remain buffered — inspect
+    /// [`RoundEngine::pending_updates`] to see what a longer session
+    /// would have folded in.
+    Buffered {
+        /// Uploads to wait for before aggregating (clamped to the
+        /// cohort size; at least 1).
+        target: usize,
+    },
+}
+
+/// A straggler update held over for the next aggregation.
+struct StaleUpdate {
+    client: usize,
+    dict: StateDict,
+    samples: usize,
+    round: usize,
+}
+
+/// Exponentially-weighted codec cost estimate feeding the Eqn 1
+/// per-client compress-or-not decision.
+#[derive(Debug, Clone, Copy)]
+struct CodecProfile {
+    compress_secs_per_byte: f64,
+    decompress_secs_per_byte: f64,
+    ratio: f64,
+}
+
+/// Result of one client's local work for a round.
+struct ClientOutcome {
+    id: usize,
+    /// Taken (emptied) when the payload moves into the transport.
+    payload: Vec<u8>,
+    payload_len: usize,
+    compressed: bool,
+    train_secs: f64,
+    compress_secs: f64,
+    raw_bytes: usize,
+    samples: usize,
+}
+
+/// One decompressed upload as the server holds it.
+struct ServerUpdate {
+    id: usize,
+    dict: StateDict,
+    samples: usize,
+    dropped: bool,
+}
+
+/// The shared federated round loop: one global model, sharded clients,
+/// a transport and a link topology.
+pub struct RoundEngine {
+    config: FlConfig,
+    clients: Vec<Client>,
+    global: StateDict,
+    eval_model: Box<dyn Model>,
+    test_inputs: fedsz_tensor::Tensor,
+    test_targets: Vec<usize>,
+    transport: Box<dyn Transport>,
+    topology: Option<Topology>,
+    pending: Vec<StaleUpdate>,
+    codec_profile: Option<CodecProfile>,
+}
+
+impl RoundEngine {
+    /// Builds the engine: generates data, shards it across clients
+    /// (IID round-robin or Dirichlet non-IID), initializes the global
+    /// model and resolves the link topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.links` is present but does not provide exactly
+    /// one profile per client, or if `config.clients == 0`.
+    pub fn new(config: FlConfig, transport: Box<dyn Transport>) -> Self {
+        assert!(config.clients > 0, "need at least one client");
+        let (train, test) = config.dataset.generate(&config.data);
+        let shards = match config.non_iid_alpha {
+            Some(alpha) => train.shard_dirichlet(config.clients, alpha, config.seed),
+            None => train.shard(config.clients),
+        };
+        let channels = config.dataset.channels();
+        let classes = config.dataset.classes();
+        let hw = config.data.resolution;
+        let clients: Vec<Client> = shards
+            .into_iter()
+            .enumerate()
+            .map(|(id, shard)| {
+                Client::new(
+                    id,
+                    config.arch.build(config.seed, channels, hw, classes),
+                    shard,
+                    config.batch_size,
+                    config.lr,
+                    config.client_seed(id),
+                )
+            })
+            .collect();
+        let eval_model = Box::new(config.arch.build(config.seed, channels, hw, classes));
+        let global = eval_model.state_dict();
+        let (test_inputs, test_targets) = test.full_batch();
+        let topology = match (&config.links, config.bandwidth_bps) {
+            (Some(links), _) => {
+                assert_eq!(
+                    links.len(),
+                    config.clients,
+                    "need one link profile per client ({} links for {} clients)",
+                    links.len(),
+                    config.clients
+                );
+                Some(Topology::Dedicated(links.clone()))
+            }
+            (None, Some(bw)) => {
+                Some(Topology::Shared(LinkProfile::symmetric(bw).with_latency(config.latency_secs)))
+            }
+            (None, None) => None,
+        };
+        Self {
+            config,
+            clients,
+            global,
+            eval_model,
+            test_inputs,
+            test_targets,
+            transport,
+            topology,
+            pending: Vec::new(),
+            codec_profile: None,
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &FlConfig {
+        &self.config
+    }
+
+    /// Current global state dictionary.
+    pub fn global_state(&self) -> &StateDict {
+        &self.global
+    }
+
+    /// The transport in use.
+    pub fn transport_name(&self) -> &'static str {
+        self.transport.name()
+    }
+
+    /// Straggler updates currently buffered for the next round.
+    pub fn pending_updates(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Runs all configured rounds, returning per-round metrics.
+    pub fn run(&mut self) -> Vec<RoundMetrics> {
+        (0..self.config.rounds).map(|r| self.run_round(r)).collect()
+    }
+
+    /// The deterministic rotating cohort for `round`, as a boolean mask
+    /// plus the ascending list of selected client ids.
+    fn select_cohort(&self, round: usize) -> Vec<usize> {
+        let total = self.clients.len();
+        let cohort = ((self.config.participation.clamp(0.0, 1.0) * total as f64).ceil() as usize)
+            .clamp(1, total);
+        let first = (round * cohort) % total;
+        // A mask keeps selection O(total) instead of the old
+        // O(cohort * total) `selected.contains` scan per client.
+        let mut mask = vec![false; total];
+        for i in 0..cohort {
+            mask[(first + i) % total] = true;
+        }
+        (0..total).filter(|&id| mask[id]).collect()
+    }
+
+    /// Eqn 1 per-client decision: compress iff the estimated codec time
+    /// plus compressed transfer beats sending raw over this client's
+    /// link. Falls back to "always compress" until a cost profile exists
+    /// (the first compressed round measures one).
+    fn should_compress(&self, client: usize) -> bool {
+        if self.config.compression.is_none() {
+            return false;
+        }
+        if !self.config.adaptive_compression {
+            return true;
+        }
+        let (Some(topology), Some(profile)) = (&self.topology, &self.codec_profile) else {
+            return true;
+        };
+        let raw = self.global.byte_size();
+        let link = topology.link(client);
+        // Compression runs on the client's hardware — a straggler pays
+        // its slowdown on codec time too. Decompression is server-side.
+        let plan = TransferPlan {
+            compress_secs: profile.compress_secs_per_byte * raw as f64 * link.compute_slowdown,
+            decompress_secs: profile.decompress_secs_per_byte * raw as f64,
+            original_bytes: raw,
+            compressed_bytes: ((raw as f64 / profile.ratio) as usize).max(1),
+        };
+        plan.worthwhile(link.bandwidth_bps)
+    }
+
+    /// Deterministic uniform coin in `[0, 1)` for transit-loss decisions
+    /// (a pure function of seed, round and client, so both transports
+    /// and repeated runs agree).
+    fn transit_coin(&self, round: usize, client: usize) -> f64 {
+        let mut x = self
+            .config
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((round as u64) << 32)
+            .wrapping_add(client as u64 + 1);
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        (x ^ (x >> 31)) as f64 / (u64::MAX as f64 + 1.0)
+    }
+
+    /// Runs a single communication round.
+    ///
+    /// # Panics
+    ///
+    /// Panics on transport protocol violations or malformed
+    /// self-produced payloads (this is a research harness, not a
+    /// hardened server).
+    pub fn run_round(&mut self, round: usize) -> RoundMetrics {
+        let selected = self.select_cohort(round);
+        let fedsz = self.config.compression.map(FedSz::new);
+        let epochs = self.config.local_epochs;
+
+        // Broadcast: the global model crosses the transport once per
+        // cohort client, exactly as it would on a real network. A
+        // verbatim delivery lets every client share one parsed dict
+        // instead of re-parsing `O(clients)` identical copies; only a
+        // transport that altered the bytes forces a per-client parse.
+        let dict_bytes = self.global.to_bytes();
+        let mut downstream_bytes = 0usize;
+        let mut delivered_globals: Vec<Option<StateDict>> = Vec::with_capacity(selected.len());
+        for &id in &selected {
+            let delivered = self
+                .transport
+                .broadcast(round as u32, id as u64, &dict_bytes)
+                .expect("transport delivers broadcast");
+            downstream_bytes += delivered.wire_bytes;
+            delivered_globals.push(if delivered.verbatim {
+                None // byte-identical delivery: share `self.global`
+            } else {
+                Some(
+                    StateDict::from_bytes(&delivered.payload).expect("broadcast bytes form a dict"),
+                )
+            });
+        }
+        let decisions: Vec<bool> = selected.iter().map(|&id| self.should_compress(id)).collect();
+
+        // Local work runs in parallel threads (clients own disjoint
+        // state); wall time is measured per client and later scaled by
+        // the link's straggler factor on the virtual clock.
+        let mask = {
+            let mut mask = vec![false; self.clients.len()];
+            for &id in &selected {
+                mask[id] = true;
+            }
+            mask
+        };
+        let shared_global = &self.global;
+        let mut outcomes: Vec<ClientOutcome> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .clients
+                .iter_mut()
+                .enumerate()
+                .filter(|(id, _)| mask[*id])
+                .zip(delivered_globals.into_iter().zip(&decisions))
+                .map(|((id, client), (delivered, &compress))| {
+                    let fedsz = fedsz.clone();
+                    scope.spawn(move || {
+                        let global = delivered.as_ref().unwrap_or(shared_global);
+                        client.load_global(global).expect("global dict matches client model");
+                        let t0 = Instant::now();
+                        for _ in 0..epochs {
+                            client.train_epoch();
+                        }
+                        let train_secs = t0.elapsed().as_secs_f64();
+                        let update = client.update();
+                        let raw_bytes = update.byte_size();
+                        let t1 = Instant::now();
+                        let (payload, compressed) = match (&fedsz, compress) {
+                            (Some(f), true) => {
+                                (f.compress(&update).expect("finite weights").into_bytes(), true)
+                            }
+                            _ => (update.to_bytes(), false),
+                        };
+                        let compress_secs = t1.elapsed().as_secs_f64();
+                        let samples = client.samples();
+                        let payload_len = payload.len();
+                        ClientOutcome {
+                            id,
+                            payload,
+                            payload_len,
+                            compressed,
+                            train_secs,
+                            compress_secs,
+                            raw_bytes,
+                            samples,
+                        }
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("client thread panicked")).collect()
+        });
+        outcomes.sort_by_key(|o| o.id);
+
+        // Uploads cross the transport; the wire size (frames included)
+        // is what the virtual clock charges to the link.
+        let mut upstream_bytes = 0usize;
+        let mut wire_sizes: Vec<usize> = Vec::with_capacity(outcomes.len());
+        let mut server_payloads: Vec<(Vec<u8>, bool)> = Vec::with_capacity(outcomes.len());
+        for outcome in &mut outcomes {
+            let payload = std::mem::take(&mut outcome.payload);
+            let delivered = self
+                .transport
+                .upload(round as u32, outcome.id as u64, payload, outcome.compressed)
+                .expect("transport delivers upload");
+            upstream_bytes += delivered.wire_bytes;
+            wire_sizes.push(delivered.wire_bytes);
+            server_payloads.push((delivered.payload, delivered.compressed));
+        }
+
+        // Virtual-time event queue: departures -> arrivals per link.
+        let departures: Vec<Departure> = outcomes
+            .iter()
+            .zip(&wire_sizes)
+            .map(|(o, &bytes)| {
+                let (slowdown, drop_prob) = match &self.topology {
+                    Some(t) => {
+                        let l = t.link(o.id);
+                        (l.compute_slowdown, l.drop_prob)
+                    }
+                    None => (1.0, 0.0),
+                };
+                Departure {
+                    client: o.id,
+                    ready_secs: (o.train_secs + o.compress_secs) * slowdown,
+                    bytes,
+                    dropped: drop_prob > 0.0 && self.transit_coin(round, o.id) < drop_prob,
+                }
+            })
+            .collect();
+        let arrivals = match &self.topology {
+            Some(topology) => link::schedule(&departures, topology),
+            None => {
+                // No network model: uploads "arrive" when computed.
+                let mut a: Vec<link::Arrival> = departures
+                    .iter()
+                    .map(|d| link::Arrival {
+                        client: d.client,
+                        ready_secs: d.ready_secs,
+                        done_secs: d.ready_secs,
+                        transfer_secs: 0.0,
+                        dropped: false,
+                    })
+                    .collect();
+                a.sort_by(|x, y| x.done_secs.total_cmp(&y.done_secs));
+                a
+            }
+        };
+        let comm_secs = match &self.topology {
+            Some(topology) => link::comm_secs(&arrivals, topology),
+            None => 0.0,
+        };
+
+        // Server-side decode of everything that survived transit. The
+        // FedSZ share of the time is tracked separately so the Eqn 1
+        // cost profile is not polluted by raw-payload parse time.
+        let dropped_mask = {
+            let mut m = vec![false; self.clients.len()];
+            for a in arrivals.iter().filter(|a| a.dropped) {
+                m[a.client] = true;
+            }
+            m
+        };
+        let dropped_count = dropped_mask.iter().filter(|&&d| d).count();
+        let mut decompress_secs = 0.0f64;
+        let mut fedsz_decompress_secs = 0.0f64;
+        let server_updates: Vec<ServerUpdate> = outcomes
+            .iter()
+            .zip(server_payloads)
+            .map(|(o, (payload, compressed))| {
+                let dropped = dropped_mask[o.id];
+                let t_dec = Instant::now();
+                let dict = if dropped {
+                    StateDict::new()
+                } else if compressed {
+                    fedsz
+                        .as_ref()
+                        .expect("compressed payload without codec config")
+                        .decompress(&payload)
+                        .expect("self-produced stream")
+                } else {
+                    StateDict::from_bytes(&payload).expect("self-produced bytes")
+                };
+                let elapsed = t_dec.elapsed().as_secs_f64();
+                decompress_secs += elapsed;
+                if compressed && !dropped {
+                    fedsz_decompress_secs += elapsed;
+                }
+                ServerUpdate { id: o.id, dict, samples: o.samples, dropped }
+            })
+            .collect();
+
+        // Aggregation under the configured policy.
+        let (aggregated_updates, stale_updates, round_secs) =
+            self.aggregate(round, server_updates, &arrivals);
+
+        let t_val = Instant::now();
+        let test_accuracy = self.evaluate();
+        let validation_secs = t_val.elapsed().as_secs_f64();
+
+        // Refresh the Eqn 1 cost profile from this round's measurements.
+        self.observe_codec_costs(&outcomes, &dropped_mask, fedsz_decompress_secs);
+
+        let n = outcomes.len().max(1) as f64;
+        let train_secs = outcomes.iter().map(|o| o.train_secs).sum::<f64>() / n;
+        let compress_secs = outcomes.iter().map(|o| o.compress_secs).sum::<f64>() / n;
+        let update_bytes = outcomes.iter().map(|o| o.payload_len as f64).sum::<f64>() / n;
+        let ratio =
+            outcomes.iter().map(|o| o.raw_bytes as f64 / o.payload_len.max(1) as f64).sum::<f64>()
+                / n;
+        RoundMetrics {
+            round,
+            test_accuracy,
+            train_secs,
+            compress_secs,
+            decompress_secs,
+            comm_secs,
+            round_secs,
+            validation_secs,
+            update_bytes,
+            ratio,
+            downstream_bytes,
+            upstream_bytes,
+            aggregated_updates,
+            stale_updates,
+            dropped_updates: dropped_count,
+        }
+    }
+
+    /// Applies the aggregation policy, returning `(fresh + stale count
+    /// aggregated, stale count, virtual round completion time)`.
+    fn aggregate(
+        &mut self,
+        round: usize,
+        server_updates: Vec<ServerUpdate>,
+        arrivals: &[link::Arrival],
+    ) -> (usize, usize, f64) {
+        // Which delivered uploads the policy waits for, and when the
+        // round completes on the virtual clock.
+        let delivered: Vec<&link::Arrival> = arrivals.iter().filter(|a| !a.dropped).collect();
+        let (accepted, round_secs): (&[&link::Arrival], f64) = match self.config.aggregation {
+            AggregationPolicy::Synchronous => {
+                (&delivered[..], delivered.iter().map(|a| a.done_secs).fold(0.0, f64::max))
+            }
+            AggregationPolicy::Buffered { target } => {
+                let k = target.clamp(1, delivered.len().max(1)).min(delivered.len());
+                let taken = &delivered[..k];
+                (taken, taken.iter().map(|a| a.done_secs).fold(0.0, f64::max))
+            }
+        };
+        // O(1) membership per client (this loop is per-client; a
+        // `Vec::contains` scan here would make the round quadratic).
+        let accepted_mask = {
+            let mut m = vec![false; self.clients.len()];
+            for a in accepted {
+                m[a.client] = true;
+            }
+            m
+        };
+
+        let mut dicts: Vec<StateDict> = Vec::new();
+        let mut weights: Vec<f64> = Vec::new();
+        let mut stragglers: Vec<StaleUpdate> = Vec::new();
+        for update in server_updates {
+            if update.dropped {
+                continue;
+            }
+            if accepted_mask[update.id] {
+                let w = if self.config.weighted_aggregation {
+                    update.samples.max(1) as f64
+                } else {
+                    1.0
+                };
+                dicts.push(update.dict);
+                weights.push(w);
+            } else {
+                stragglers.push(StaleUpdate {
+                    client: update.id,
+                    dict: update.dict,
+                    samples: update.samples,
+                    round,
+                });
+            }
+        }
+        // Fold in stragglers buffered from earlier rounds, discounted by
+        // staleness (an update from `age` rounds ago moved a model that
+        // has since advanced `age` times).
+        let stale_applied = self.pending.len();
+        let mut stale: Vec<StaleUpdate> = std::mem::take(&mut self.pending);
+        stale.sort_by_key(|s| (s.round, s.client));
+        for s in stale {
+            let age = round.saturating_sub(s.round) as f64;
+            let base = if self.config.weighted_aggregation { s.samples.max(1) as f64 } else { 1.0 };
+            dicts.push(s.dict);
+            weights.push(base / (1.0 + age));
+        }
+        self.pending = stragglers;
+
+        let aggregated = dicts.len();
+        if aggregated > 0 {
+            self.global = weighted_fedavg(&dicts, &weights);
+        }
+        (aggregated, stale_applied, round_secs)
+    }
+
+    /// Folds measured codec costs into the EWMA profile the Eqn 1
+    /// decision uses. `fedsz_decompress_secs` must cover FedSZ streams
+    /// only (raw-payload parse time would bias the estimate upward),
+    /// and dropped uploads are excluded throughout: they were never
+    /// decompressed, so keeping their bytes in the denominator would
+    /// bias the per-byte decompress cost downward.
+    fn observe_codec_costs(
+        &mut self,
+        outcomes: &[ClientOutcome],
+        dropped_mask: &[bool],
+        fedsz_decompress_secs: f64,
+    ) {
+        let compressed: Vec<&ClientOutcome> =
+            outcomes.iter().filter(|o| o.compressed && !dropped_mask[o.id]).collect();
+        if compressed.is_empty() {
+            return;
+        }
+        let bytes: f64 = compressed.iter().map(|o| o.raw_bytes as f64).sum();
+        if bytes <= 0.0 {
+            return;
+        }
+        let c_per_byte = compressed.iter().map(|o| o.compress_secs).sum::<f64>() / bytes;
+        let d_per_byte = fedsz_decompress_secs / bytes;
+        let ratio = compressed
+            .iter()
+            .map(|o| o.raw_bytes as f64 / o.payload_len.max(1) as f64)
+            .sum::<f64>()
+            / compressed.len() as f64;
+        self.codec_profile = Some(match self.codec_profile {
+            None => CodecProfile {
+                compress_secs_per_byte: c_per_byte,
+                decompress_secs_per_byte: d_per_byte,
+                ratio,
+            },
+            Some(prev) => CodecProfile {
+                compress_secs_per_byte: 0.5 * prev.compress_secs_per_byte + 0.5 * c_per_byte,
+                decompress_secs_per_byte: 0.5 * prev.decompress_secs_per_byte + 0.5 * d_per_byte,
+                ratio: 0.5 * prev.ratio + 0.5 * ratio,
+            },
+        });
+    }
+
+    /// Evaluates the current global model on the test split, in chunks
+    /// to bound peak memory.
+    pub fn evaluate(&mut self) -> f64 {
+        self.eval_model.load_state_dict(&self.global).expect("aggregated dict matches model");
+        let n = self.test_targets.len();
+        if n == 0 {
+            return 0.0;
+        }
+        let shape = self.test_inputs.shape().to_vec();
+        let sample = shape[1] * shape[2] * shape[3];
+        let chunk = 64usize;
+        let mut correct_weighted = 0.0f64;
+        let mut start = 0usize;
+        while start < n {
+            let end = (start + chunk).min(n);
+            let data = self.test_inputs.data()[start * sample..end * sample].to_vec();
+            let batch = fedsz_tensor::Tensor::from_vec(
+                vec![end - start, shape[1], shape[2], shape[3]],
+                data,
+            );
+            let logits = self.eval_model.forward(batch, false);
+            let acc = top1_accuracy(&logits, &self.test_targets[start..end]);
+            correct_weighted += acc * (end - start) as f64;
+            start = end;
+        }
+        correct_weighted / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::{InMemoryTransport, WireTransport};
+
+    fn engine(config: FlConfig) -> RoundEngine {
+        RoundEngine::new(config, Box::<InMemoryTransport>::default())
+    }
+
+    #[test]
+    fn cohort_mask_matches_rotating_selection() {
+        let mut config = FlConfig::smoke_test();
+        config.clients = 5;
+        config.participation = 0.4; // cohort of 2
+        let e = engine(config);
+        assert_eq!(e.select_cohort(0), vec![0, 1]);
+        assert_eq!(e.select_cohort(1), vec![2, 3]);
+        assert_eq!(e.select_cohort(2), vec![0, 4]);
+    }
+
+    #[test]
+    fn transit_coin_is_deterministic_and_uniformish() {
+        let e = engine(FlConfig::smoke_test());
+        let a = e.transit_coin(3, 1);
+        assert_eq!(a, e.transit_coin(3, 1));
+        assert_ne!(a, e.transit_coin(3, 0));
+        let mean: f64 = (0..1000).map(|c| e.transit_coin(0, c)).sum::<f64>() / 1000.0;
+        assert!((0.4..0.6).contains(&mean), "coin mean {mean:.3} not uniform-ish");
+    }
+
+    #[test]
+    fn buffered_policy_buffers_stragglers() {
+        let mut config = FlConfig::smoke_test();
+        config.clients = 3;
+        config.rounds = 2;
+        // Client 2 is a heavy straggler on a slow link.
+        config.links = Some(vec![
+            LinkProfile::symmetric(100e6),
+            LinkProfile::symmetric(100e6),
+            LinkProfile::symmetric(1e6).with_slowdown(50.0),
+        ]);
+        config.aggregation = AggregationPolicy::Buffered { target: 2 };
+        let mut e = engine(config);
+        let m0 = e.run_round(0);
+        assert_eq!(m0.aggregated_updates, 2, "buffered round must take exactly K uploads");
+        assert_eq!(e.pending_updates(), 1, "the straggler should be buffered");
+        let m1 = e.run_round(1);
+        assert_eq!(m1.stale_updates, 1, "the stale update must be applied next round");
+        assert_eq!(m1.aggregated_updates, 3, "2 fresh + 1 stale");
+    }
+
+    #[test]
+    fn dropped_uploads_shrink_the_aggregate() {
+        let mut config = FlConfig::smoke_test();
+        config.clients = 4;
+        config.rounds = 1;
+        config.links = Some(vec![
+            LinkProfile::symmetric(10e6),
+            LinkProfile::symmetric(10e6).with_drop_prob(1.0),
+            LinkProfile::symmetric(10e6),
+            LinkProfile::symmetric(10e6).with_drop_prob(1.0),
+        ]);
+        let mut e = engine(config);
+        let m = e.run_round(0);
+        assert_eq!(m.dropped_updates, 2);
+        assert_eq!(m.aggregated_updates, 2);
+    }
+
+    #[test]
+    fn wire_transport_reports_its_name() {
+        let e = RoundEngine::new(FlConfig::smoke_test(), Box::new(WireTransport::new()));
+        assert_eq!(e.transport_name(), "framed-wire");
+    }
+
+    #[test]
+    #[should_panic(expected = "one link profile per client")]
+    fn mismatched_link_count_rejected() {
+        let mut config = FlConfig::smoke_test();
+        config.clients = 3;
+        config.links = Some(vec![LinkProfile::default()]);
+        let _ = engine(config);
+    }
+}

@@ -35,9 +35,8 @@ pub fn weighted_fedavg(updates: &[StateDict], weights: &[f64]) -> StateDict {
     for (name, first) in updates[0].iter() {
         let mut acc = vec![0.0f64; first.len()];
         for (update, &w) in updates.iter().zip(weights) {
-            let tensor = update
-                .get(name)
-                .unwrap_or_else(|| panic!("update missing entry `{name}`"));
+            let tensor =
+                update.get(name).unwrap_or_else(|| panic!("update missing entry `{name}`"));
             assert_eq!(tensor.shape(), first.shape(), "shape mismatch for `{name}`");
             for (a, &v) in acc.iter_mut().zip(tensor.data()) {
                 *a += w * f64::from(v);
@@ -88,9 +87,7 @@ mod tests {
         let shifted: Vec<StateDict> = [&a, &b]
             .iter()
             .map(|d| {
-                d.iter()
-                    .map(|(n, t)| (n.to_owned(), t.map(|v| v + shift)))
-                    .collect::<StateDict>()
+                d.iter().map(|(n, t)| (n.to_owned(), t.map(|v| v + shift))).collect::<StateDict>()
             })
             .collect();
         let lhs = fedavg(&shifted);

@@ -1,15 +1,22 @@
 //! Federated-learning substrate for the FedSZ reproduction.
 //!
 //! Plays the role APPFL + gRPC/MPI play in the paper: a FedAvg server,
-//! local-SGD clients, a simulated-bandwidth network model, an experiment
-//! driver that produces per-round metrics (accuracy, train time,
-//! compression time, communication time), and weak/strong scaling
-//! harnesses.
+//! local-SGD clients, per-client simulated links, an experiment driver
+//! that produces per-round metrics (accuracy, train time, compression
+//! time, communication time), and weak/strong scaling harnesses.
 //!
 //! The paper emulates constrained networks by sleeping inside MPI sends;
-//! this crate instead *accounts* transfer time analytically
-//! (`bytes * 8 / bandwidth`) on a simulated clock while measuring compute
-//! and codec times for real — same methodology, no wasted wall-clock.
+//! this crate instead *accounts* transfer time analytically on a
+//! virtual-time event queue ([`link`]) while measuring compute and codec
+//! times for real — same methodology, no wasted wall-clock.
+//!
+//! Every entry point — [`Experiment`], [`protocol::run_session`], the
+//! scaling harness and the CLI — drives the same
+//! [`engine::RoundEngine`], parameterized by a [`transport::Transport`]
+//! (analytic in-memory, or framed-wire with CRC accounting), a link
+//! [`link::Topology`] (one shared pipe or per-client heterogeneous
+//! links) and an [`engine::AggregationPolicy`] (synchronous FedAvg or
+//! FedBuff-style buffered-asynchronous aggregation).
 //!
 //! # Examples
 //!
@@ -28,22 +35,25 @@
 
 pub mod baselines;
 pub mod client;
+pub mod engine;
 pub mod fedavg;
+pub mod link;
 pub mod network;
 pub mod protocol;
 pub mod scaling;
+pub mod transport;
 
 pub use client::Client;
+pub use engine::{AggregationPolicy, RoundEngine};
 pub use fedavg::fedavg;
+pub use link::LinkProfile;
 pub use network::SimulatedNetwork;
 
-use fedsz::{FedSz, FedSzConfig};
+use fedsz::FedSzConfig;
 use fedsz_data::{DatasetKind, SyntheticConfig};
-use fedsz_nn::loss::top1_accuracy;
 use fedsz_nn::models::tiny::TinyArch;
-use fedsz_nn::Model;
 use fedsz_nn::StateDict;
-use std::time::Instant;
+use transport::InMemoryTransport;
 
 /// Configuration of one federated-learning experiment.
 #[derive(Debug, Clone)]
@@ -66,9 +76,14 @@ pub struct FlConfig {
     pub seed: u64,
     /// FedSZ configuration; `None` disables compression.
     pub compression: Option<FedSzConfig>,
-    /// Simulated uplink bandwidth in bits/s; `None` skips the network
-    /// model (communication time reported as zero).
+    /// Simulated shared uplink bandwidth in bits/s; ignored when
+    /// [`FlConfig::links`] provides per-client profiles, and `None`
+    /// (with no links) skips the network model entirely.
     pub bandwidth_bps: Option<f64>,
+    /// Per-message latency of the shared pipe in seconds (the paper's
+    /// pipe is latency-free). Ignored when [`FlConfig::links`] is set —
+    /// each profile carries its own latency.
+    pub latency_secs: f64,
     /// Synthetic dataset geometry.
     pub data: SyntheticConfig,
     /// Dirichlet label-skew parameter for non-IID sharding; `None` uses
@@ -80,6 +95,18 @@ pub struct FlConfig {
     /// Fraction of clients participating each round (cross-device FL
     /// samples a subset). 1.0 = everyone, the paper's setting.
     pub participation: f64,
+    /// Per-client heterogeneous links (bandwidth, latency, drop
+    /// probability, straggler slowdown), one profile per client. `None`
+    /// falls back to one [`FlConfig::bandwidth_bps`] pipe shared by the
+    /// whole cohort.
+    pub links: Option<Vec<LinkProfile>>,
+    /// When the server aggregates: classic synchronous FedAvg or
+    /// FedBuff-style buffered-asynchronous aggregation.
+    pub aggregation: AggregationPolicy,
+    /// Decide compress-or-not per client per round with the paper's
+    /// Eqn 1 (slow links compress, fast links send raw) instead of
+    /// compressing unconditionally.
+    pub adaptive_compression: bool,
 }
 
 impl FlConfig {
@@ -105,10 +132,14 @@ impl FlConfig {
             seed: 42,
             compression: Some(Self::tiny_model_compression()),
             bandwidth_bps: Some(10e6),
+            latency_secs: 0.0,
             data: SyntheticConfig::default(),
             non_iid_alpha: None,
             weighted_aggregation: false,
             participation: 1.0,
+            links: None,
+            aggregation: AggregationPolicy::Synchronous,
+            adaptive_compression: false,
         }
     }
 
@@ -125,11 +156,29 @@ impl FlConfig {
             seed: 7,
             compression: Some(Self::tiny_model_compression()),
             bandwidth_bps: Some(10e6),
-            data: SyntheticConfig { seed: 7, train_per_class: 4, test_per_class: 2, resolution: 16 },
+            latency_secs: 0.0,
+            data: SyntheticConfig {
+                seed: 7,
+                train_per_class: 4,
+                test_per_class: 2,
+                resolution: 16,
+            },
             non_iid_alpha: None,
             weighted_aggregation: false,
             participation: 1.0,
+            links: None,
+            aggregation: AggregationPolicy::Synchronous,
+            adaptive_compression: false,
         }
+    }
+
+    /// The seed for client `id`'s local RNG stream.
+    ///
+    /// One definition for every entry point: the analytic and wire
+    /// paths historically mixed seeds differently (`seed + id` could
+    /// even overflow); this helper is the single source of truth.
+    pub fn client_seed(&self, id: usize) -> u64 {
+        self.seed.wrapping_add(id as u64)
     }
 }
 
@@ -148,209 +197,75 @@ pub struct RoundMetrics {
     pub compress_secs: f64,
     /// Server-side decompression wall time summed over clients.
     pub decompress_secs: f64,
-    /// Simulated total client→server transfer time (seconds; the server
-    /// link is shared, so transfers serialize).
+    /// Network busy time for this round's uploads from the virtual-time
+    /// event queue: the serialized sum on a shared pipe (the legacy
+    /// `SimulatedNetwork` accounting), the slowest single transfer when
+    /// per-client links overlap.
     pub comm_secs: f64,
+    /// Virtual wall-clock time until the aggregation condition was met
+    /// (straggler-scaled compute + queueing + transfer of every upload
+    /// the policy waited for). Without a network model this is the
+    /// compute makespan alone — no transfer component.
+    pub round_secs: f64,
     /// Server-side validation wall time (seconds, measured).
     pub validation_secs: f64,
     /// Mean update payload size in bytes (compressed when enabled).
     pub update_bytes: f64,
     /// Mean compression ratio across clients (1.0 when disabled).
     pub ratio: f64,
+    /// Server→client bytes on the wire this round (framing included on
+    /// the wire transport).
+    pub downstream_bytes: usize,
+    /// Client→server bytes on the wire this round.
+    pub upstream_bytes: usize,
+    /// Updates folded into this round's average (fresh + stale).
+    pub aggregated_updates: usize,
+    /// Stale straggler updates applied this round (buffered policy).
+    pub stale_updates: usize,
+    /// Uploads lost in transit this round.
+    pub dropped_updates: usize,
 }
 
-/// A FedAvg experiment: a global model, sharded clients and a test set.
+/// A FedAvg experiment over the analytic in-memory transport: a global
+/// model, sharded clients and a test set.
+///
+/// This is a thin adapter over [`engine::RoundEngine`]; the wire-level
+/// twin is [`protocol::run_session`], which drives the *same* engine
+/// over the framed-wire transport.
 pub struct Experiment {
-    config: FlConfig,
-    clients: Vec<Client>,
-    global: StateDict,
-    eval_model: Box<dyn Model>,
-    test_inputs: fedsz_tensor::Tensor,
-    test_targets: Vec<usize>,
+    engine: RoundEngine,
 }
 
 impl Experiment {
-    /// Builds the experiment: generates data, shards it IID across
-    /// clients, and initializes the global model.
+    /// Builds the experiment: generates data, shards it across clients,
+    /// and initializes the global model.
     pub fn new(config: FlConfig) -> Self {
-        let (train, test) = config.dataset.generate(&config.data);
-        let shards = match config.non_iid_alpha {
-            Some(alpha) => train.shard_dirichlet(config.clients, alpha, config.seed),
-            None => train.shard(config.clients),
-        };
-        let channels = config.dataset.channels();
-        let classes = config.dataset.classes();
-        let hw = config.data.resolution;
-        let clients: Vec<Client> = shards
-            .into_iter()
-            .enumerate()
-            .map(|(id, shard)| {
-                Client::new(
-                    id,
-                    config.arch.build(config.seed, channels, hw, classes),
-                    shard,
-                    config.batch_size,
-                    config.lr,
-                    config.seed.wrapping_add(id as u64),
-                )
-            })
-            .collect();
-        let eval_model = Box::new(config.arch.build(config.seed, channels, hw, classes));
-        let global = eval_model.state_dict();
-        let (test_inputs, test_targets) = test.full_batch();
-        Self { config, clients, global, eval_model, test_inputs, test_targets }
+        Self { engine: RoundEngine::new(config, Box::<InMemoryTransport>::default()) }
     }
 
     /// The experiment's configuration.
     pub fn config(&self) -> &FlConfig {
-        &self.config
+        self.engine.config()
     }
 
     /// Current global state dictionary.
     pub fn global_state(&self) -> &StateDict {
-        &self.global
+        self.engine.global_state()
     }
 
     /// Runs all configured rounds, returning per-round metrics.
     pub fn run(&mut self) -> Vec<RoundMetrics> {
-        (0..self.config.rounds).map(|r| self.run_round(r)).collect()
+        self.engine.run()
     }
 
     /// Runs a single communication round.
     pub fn run_round(&mut self, round: usize) -> RoundMetrics {
-        // Partial participation: a deterministic rotating cohort, as in
-        // cross-device FL where only a fraction of clients are reachable
-        // per round.
-        let total = self.clients.len();
-        let cohort = ((self.config.participation.clamp(0.0, 1.0) * total as f64).ceil()
-            as usize)
-            .clamp(1, total);
-        let first = (round * cohort) % total;
-        let selected: Vec<usize> = (0..cohort).map(|i| (first + i) % total).collect();
-        let fedsz = self.config.compression.map(FedSz::new);
-        let epochs = self.config.local_epochs;
-        let global = &self.global;
-
-        // Clients train in parallel threads (they own disjoint state).
-        struct ClientResult {
-            payload: Vec<u8>,
-            train_secs: f64,
-            compress_secs: f64,
-            raw_bytes: usize,
-            samples: usize,
-        }
-        let results: Vec<ClientResult> = std::thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .clients
-                .iter_mut()
-                .enumerate()
-                .filter(|(i, _)| selected.contains(i))
-                .map(|(_, client)| {
-                    let fedsz = fedsz.clone();
-                    scope.spawn(move || {
-                        client.load_global(global).expect("global dict matches client model");
-                        let t0 = Instant::now();
-                        for _ in 0..epochs {
-                            client.train_epoch();
-                        }
-                        let train_secs = t0.elapsed().as_secs_f64();
-                        let update = client.update();
-                        let raw_bytes = update.byte_size();
-                        let t1 = Instant::now();
-                        let payload = match &fedsz {
-                            Some(f) => {
-                                f.compress(&update).expect("finite weights").into_bytes()
-                            }
-                            None => update.to_bytes(),
-                        };
-                        let compress_secs = t1.elapsed().as_secs_f64();
-                        let samples = client.samples();
-                        ClientResult { payload, train_secs, compress_secs, raw_bytes, samples }
-                    })
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("client thread panicked")).collect()
-        });
-
-        // Server: simulated transfers (shared link), decompression,
-        // aggregation, validation.
-        let mut comm_secs = 0.0;
-        if let Some(bw) = self.config.bandwidth_bps {
-            let net = SimulatedNetwork::new(bw);
-            for r in &results {
-                comm_secs += net.transfer_secs(r.payload.len());
-            }
-        }
-        let t_dec = Instant::now();
-        let updates: Vec<StateDict> = results
-            .iter()
-            .map(|r| match &fedsz {
-                Some(f) => f.decompress(&r.payload).expect("self-produced stream"),
-                None => StateDict::from_bytes(&r.payload).expect("self-produced bytes"),
-            })
-            .collect();
-        let decompress_secs = t_dec.elapsed().as_secs_f64();
-        self.global = if self.config.weighted_aggregation {
-            let weights: Vec<f64> =
-                results.iter().map(|r| (r.samples.max(1)) as f64).collect();
-            fedavg::weighted_fedavg(&updates, &weights)
-        } else {
-            fedavg(&updates)
-        };
-
-        let t_val = Instant::now();
-        let test_accuracy = self.evaluate();
-        let validation_secs = t_val.elapsed().as_secs_f64();
-
-        let n = results.len();
-        let mean = |f: fn(&ClientResult) -> f64| -> f64 {
-            results.iter().map(f).sum::<f64>() / n as f64
-        };
-        let update_bytes = mean(|r| r.payload.len() as f64);
-        let ratio = results
-            .iter()
-            .map(|r| r.raw_bytes as f64 / r.payload.len().max(1) as f64)
-            .sum::<f64>()
-            / n as f64;
-        RoundMetrics {
-            round,
-            test_accuracy,
-            train_secs: mean(|r| r.train_secs),
-            compress_secs: mean(|r| r.compress_secs),
-            decompress_secs,
-            comm_secs,
-            validation_secs,
-            update_bytes,
-            ratio,
-        }
+        self.engine.run_round(round)
     }
 
     /// Evaluates the current global model on the test split.
     pub fn evaluate(&mut self) -> f64 {
-        self.eval_model.load_state_dict(&self.global).expect("aggregated dict matches model");
-        // Evaluate in chunks to bound peak memory.
-        let n = self.test_targets.len();
-        if n == 0 {
-            return 0.0;
-        }
-        let shape = self.test_inputs.shape().to_vec();
-        let sample = shape[1] * shape[2] * shape[3];
-        let chunk = 64usize;
-        let mut correct_weighted = 0.0f64;
-        let mut start = 0usize;
-        while start < n {
-            let end = (start + chunk).min(n);
-            let data = self.test_inputs.data()[start * sample..end * sample].to_vec();
-            let batch = fedsz_tensor::Tensor::from_vec(
-                vec![end - start, shape[1], shape[2], shape[3]],
-                data,
-            );
-            let logits = self.eval_model.forward(batch, false);
-            let acc = top1_accuracy(&logits, &self.test_targets[start..end]);
-            correct_weighted += acc * (end - start) as f64;
-            start = end;
-        }
-        correct_weighted / n as f64
+        self.engine.evaluate()
     }
 }
 
@@ -378,6 +293,7 @@ mod tests {
         // Compression must actually compress.
         assert!(last.ratio > 1.5, "ratio {:.2}", last.ratio);
         assert!(last.comm_secs > 0.0);
+        assert!(last.round_secs >= last.comm_secs, "round time includes compute");
     }
 
     #[test]
@@ -399,6 +315,9 @@ mod tests {
         let mut base = FlConfig::smoke_test();
         base.rounds = 4;
         base.data.train_per_class = 8;
+        // A 20-sample test split quantizes accuracy in 0.05 steps;
+        // widen it so the comparison measures convergence, not noise.
+        base.data.test_per_class = 8;
         base.compression = None;
         let acc_plain = Experiment::new(base.clone()).run().last().unwrap().test_accuracy;
         base.compression =
@@ -426,6 +345,14 @@ mod tests {
             clean + 0.02 >= noisy,
             "clean {clean:.3} should be at least as good as noisy {noisy:.3}"
         );
+    }
+
+    #[test]
+    fn client_seed_mixing_never_overflows() {
+        let mut config = FlConfig::smoke_test();
+        config.seed = u64::MAX;
+        assert_eq!(config.client_seed(0), u64::MAX);
+        assert_eq!(config.client_seed(3), 2, "wrapping add, not panicking add");
     }
 }
 

@@ -32,10 +32,7 @@ impl SimulatedNetwork {
     /// Panics unless bandwidth is positive/finite and latency is
     /// non-negative/finite.
     pub fn with_latency(bandwidth_bps: f64, latency_secs: f64) -> Self {
-        assert!(
-            bandwidth_bps.is_finite() && bandwidth_bps > 0.0,
-            "bandwidth must be positive"
-        );
+        assert!(bandwidth_bps.is_finite() && bandwidth_bps > 0.0, "bandwidth must be positive");
         assert!(latency_secs.is_finite() && latency_secs >= 0.0, "latency must be non-negative");
         Self { bandwidth_bps, latency_secs }
     }

@@ -2,28 +2,41 @@
 //!
 //! The paper's implementation rides on APPFL's gRPC/MPI layer; this
 //! module is that layer's stand-in: a small framed message format
-//! (magic + type tag + fields + CRC-32 trailer) and a
-//! [`run_session`] driver that runs a real FedAvg session over
-//! crossbeam channels, with every model crossing the "network" as
-//! serialized bytes — exactly the boundary FedSZ compresses in Fig 1.
+//! (magic + type tag + fields + CRC-32 trailer) and a [`run_session`]
+//! driver that runs a real FedAvg session with every model crossing the
+//! "network" as serialized, CRC-checked frames — exactly the boundary
+//! FedSZ compresses in Fig 1.
+//!
+//! [`run_session`] is a thin adapter: it drives the shared
+//! [`RoundEngine`](crate::engine::RoundEngine) over the
+//! [`WireTransport`](crate::transport::WireTransport), so the wire path
+//! supports everything the analytic path does — partial participation,
+//! non-IID sharding, weighted aggregation, heterogeneous links and
+//! buffered-asynchronous rounds. Under the synchronous policy the wire
+//! and analytic paths byte-for-byte produce the same global models (the
+//! engine parity tests assert exactly that). Two features are
+//! measurement-driven and therefore exempt from bit-parity:
+//! `adaptive_compression` (Eqn 1 decisions use *measured* codec times)
+//! and `AggregationPolicy::Buffered` (which uploads are buffered depends
+//! on measured compute times and on wire byte counts, which include
+//! framing here).
 
-use crate::client::Client;
-use crate::fedavg::fedavg;
+use crate::engine::RoundEngine;
+use crate::transport::WireTransport;
 use crate::FlConfig;
-use fedsz::FedSz;
 use fedsz_codec::checksum::crc32;
 use fedsz_codec::varint::{read_u32, read_uvarint, write_u32, write_uvarint};
 use fedsz_codec::{CodecError, Result};
-use fedsz_nn::loss::top1_accuracy;
-use fedsz_nn::{Model, StateDict};
-
-/// A byte-frame channel pair (sender, receiver).
-type FramePipe = (crossbeam::channel::Sender<Vec<u8>>, crossbeam::channel::Receiver<Vec<u8>>);
 
 /// Frame magic.
 const MAGIC: &[u8; 4] = b"FMSG";
 
 /// A protocol message.
+///
+/// The engine-backed session only exchanges [`Message::GlobalModel`]
+/// and [`Message::Update`]; `Join`/`Shutdown` are kept as wire-format
+/// surface reserved for a future multi-process transport, where the
+/// handshake and teardown happen over a real socket.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Message {
     /// Client announces itself.
@@ -35,7 +48,7 @@ pub enum Message {
     GlobalModel {
         /// Round index.
         round: u32,
-        /// Serialized [`StateDict`].
+        /// Serialized [`StateDict`](fedsz_nn::StateDict).
         dict_bytes: Vec<u8>,
     },
     /// Client returns its (possibly FedSZ-compressed) update.
@@ -127,8 +140,7 @@ impl Message {
                 let compressed = *body.get(pos).ok_or(CodecError::UnexpectedEof)? == 1;
                 pos += 1;
                 let len = read_uvarint(body, &mut pos)? as usize;
-                let payload =
-                    body.get(pos..pos + len).ok_or(CodecError::UnexpectedEof)?.to_vec();
+                let payload = body.get(pos..pos + len).ok_or(CodecError::UnexpectedEof)?.to_vec();
                 pos += len;
                 Message::Update { round, client_id, payload, compressed }
             }
@@ -155,140 +167,33 @@ pub struct SessionRound {
     pub accuracy: f64,
 }
 
-/// Runs a complete FedAvg session over the wire protocol: a server
-/// thread and one thread per client exchanging *encoded messages*
-/// through channels. Every byte that would cross the network is
-/// accounted.
+/// Runs a complete FedAvg session over the wire protocol: the shared
+/// round engine drives every broadcast and upload through *encoded,
+/// CRC-verified frames*, so every byte that would cross the network is
+/// accounted (framing overhead included).
 ///
 /// # Panics
 ///
 /// Panics on protocol violations (this is a test/bench harness, not a
 /// hardened server) and if `config.clients == 0`.
 pub fn run_session(config: &FlConfig) -> Vec<SessionRound> {
-    assert!(config.clients > 0, "need at least one client");
-    let (train, test) = config.dataset.generate(&config.data);
-    let shards = train.shard(config.clients);
-    let channels_up: Vec<FramePipe> =
-        (0..config.clients).map(|_| crossbeam::channel::unbounded()).collect();
-    let channels_down: Vec<FramePipe> =
-        (0..config.clients).map(|_| crossbeam::channel::unbounded()).collect();
-
-    let hw = config.data.resolution;
-    let channels = config.dataset.channels();
-    let classes = config.dataset.classes();
-    let fedsz = config.compression.map(FedSz::new);
-    let rounds = config.rounds as u32;
-    let epochs = config.local_epochs;
-
-    std::thread::scope(|scope| {
-        // Client threads: wait for GlobalModel, train, reply with Update.
-        for (id, shard) in shards.into_iter().enumerate() {
-            let rx = channels_down[id].1.clone();
-            let tx = channels_up[id].0.clone();
-            let fedsz = fedsz.clone();
-            let model = config.arch.build(config.seed, channels, hw, classes);
-            let mut client =
-                Client::new(id, model, shard, config.batch_size, config.lr, config.seed + id as u64);
-            scope.spawn(move || {
-                tx.send(Message::Join { client_id: id as u64 }.encode()).expect("server alive");
-                loop {
-                    let frame = rx.recv().expect("server alive");
-                    match Message::decode(&frame).expect("well-formed server message") {
-                        Message::GlobalModel { round, dict_bytes } => {
-                            let global =
-                                StateDict::from_bytes(&dict_bytes).expect("valid dict bytes");
-                            client.load_global(&global).expect("matching architecture");
-                            for _ in 0..epochs {
-                                client.train_epoch();
-                            }
-                            let update = client.update();
-                            let (payload, compressed) = match &fedsz {
-                                Some(f) => {
-                                    (f.compress(&update).expect("finite weights").into_bytes(), true)
-                                }
-                                None => (update.to_bytes(), false),
-                            };
-                            let reply = Message::Update {
-                                round,
-                                client_id: id as u64,
-                                payload,
-                                compressed,
-                            };
-                            tx.send(reply.encode()).expect("server alive");
-                        }
-                        Message::Shutdown => return,
-                        other => panic!("client {id} got unexpected message {other:?}"),
-                    }
-                }
-            });
-        }
-
-        // Server inline: collect joins, run rounds, shut down.
-        let mut eval_model = config.arch.build(config.seed, channels, hw, classes);
-        let mut global = eval_model.state_dict();
-        let (test_inputs, test_targets) = test.full_batch();
-        for up in &channels_up {
-            let frame = up.1.recv().expect("client alive");
-            assert!(matches!(
-                Message::decode(&frame).expect("well-formed join"),
-                Message::Join { .. }
-            ));
-        }
-
-        let mut report = Vec::with_capacity(rounds as usize);
-        for round in 0..rounds {
-            let mut downstream = 0usize;
-            let dict_bytes = global.to_bytes();
-            for down in &channels_down {
-                let frame = Message::GlobalModel { round, dict_bytes: dict_bytes.clone() }.encode();
-                downstream += frame.len();
-                down.0.send(frame).expect("client alive");
+    let mut engine = RoundEngine::new(config.clone(), Box::new(WireTransport::new()));
+    (0..config.rounds)
+        .map(|round| {
+            let metrics = engine.run_round(round);
+            SessionRound {
+                round: round as u32,
+                downstream_bytes: metrics.downstream_bytes,
+                upstream_bytes: metrics.upstream_bytes,
+                accuracy: metrics.test_accuracy,
             }
-            let mut upstream = 0usize;
-            let mut updates = Vec::with_capacity(config.clients);
-            for up in &channels_up {
-                let frame = up.1.recv().expect("client alive");
-                upstream += frame.len();
-                match Message::decode(&frame).expect("well-formed update") {
-                    Message::Update { round: r, payload, compressed, .. } => {
-                        assert_eq!(r, round, "round mismatch");
-                        let dict = if compressed {
-                            fedsz
-                                .as_ref()
-                                .expect("compressed update without config")
-                                .decompress(&payload)
-                                .expect("valid FedSZ stream")
-                        } else {
-                            StateDict::from_bytes(&payload).expect("valid dict bytes")
-                        };
-                        updates.push(dict);
-                    }
-                    other => panic!("server got unexpected message {other:?}"),
-                }
-            }
-            global = fedavg(&updates);
-            eval_model.load_state_dict(&global).expect("aggregated dict matches");
-            let logits = eval_model.forward(test_inputs.clone(), false);
-            let accuracy = top1_accuracy(&logits, &test_targets);
-            report.push(SessionRound {
-                round,
-                downstream_bytes: downstream,
-                upstream_bytes: upstream,
-                accuracy,
-            });
-        }
-        for down in &channels_down {
-            down.0.send(Message::Shutdown.encode()).expect("client alive");
-        }
-        report
-    })
+        })
+        .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    
-    
 
     #[test]
     fn messages_round_trip() {
@@ -306,13 +211,9 @@ mod tests {
 
     #[test]
     fn corrupt_frames_rejected() {
-        let frame = Message::Update {
-            round: 1,
-            client_id: 2,
-            payload: vec![5; 64],
-            compressed: false,
-        }
-        .encode();
+        let frame =
+            Message::Update { round: 1, client_id: 2, payload: vec![5; 64], compressed: false }
+                .encode();
         // Bit flip anywhere must be caught by the CRC.
         for idx in [0usize, 5, 20, frame.len() - 1] {
             let mut bad = frame.clone();
@@ -349,9 +250,30 @@ mod tests {
         // FedSZ must shrink upstream traffic measured at the wire.
         let up_c: usize = compressed.iter().map(|r| r.upstream_bytes).sum();
         let up_p: usize = plain.iter().map(|r| r.upstream_bytes).sum();
+        assert!(up_c * 2 < up_p, "wire-level upstream should at least halve: {up_c} vs {up_p}");
+    }
+
+    #[test]
+    fn wire_path_supports_partial_participation_and_weighting() {
+        // The old hand-rolled session silently ignored these knobs; the
+        // engine-backed one must honour them.
+        let mut config = FlConfig::smoke_test();
+        config.clients = 4;
+        config.rounds = 2;
+        config.participation = 0.5;
+        config.non_iid_alpha = Some(0.5);
+        config.weighted_aggregation = true;
+        let rounds = run_session(&config);
+        assert_eq!(rounds.len(), 2);
+        // Half the cohort uploads per round: upstream must be well below
+        // a full-participation session's.
+        config.participation = 1.0;
+        let full = run_session(&config);
+        let up_half: usize = rounds.iter().map(|r| r.upstream_bytes).sum();
+        let up_full: usize = full.iter().map(|r| r.upstream_bytes).sum();
         assert!(
-            up_c * 2 < up_p,
-            "wire-level upstream should at least halve: {up_c} vs {up_p}"
+            up_half * 3 < up_full * 2,
+            "half cohort should upload well under 2/3 of full: {up_half} vs {up_full}"
         );
     }
 }

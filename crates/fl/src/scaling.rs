@@ -8,7 +8,7 @@
 //! the uncompressed curves blow up and the FedSZ curves stay flat.
 
 use crate::client::Client;
-use crate::network::SimulatedNetwork;
+use crate::link::{self, Departure, LinkProfile, Topology};
 use fedsz::{FedSz, FedSzConfig};
 use fedsz_data::{DatasetKind, SyntheticConfig};
 use fedsz_nn::models::tiny::TinyArch;
@@ -60,7 +60,12 @@ impl Default for ScalingConfig {
             dataset: DatasetKind::Cifar10Like,
             bandwidth_bps: 10e6,
             compression: Some(FedSzConfig { threshold: 128, ..FedSzConfig::default() }),
-            data: SyntheticConfig { seed: 3, train_per_class: 4, test_per_class: 1, resolution: 16 },
+            data: SyntheticConfig {
+                seed: 3,
+                train_per_class: 4,
+                test_per_class: 1,
+                resolution: 16,
+            },
             seed: 3,
         }
     }
@@ -116,15 +121,21 @@ pub fn run_round(config: &ScalingConfig, clients: usize, workers: usize) -> Scal
                 sizes
             }));
         }
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("worker thread panicked"))
-            .collect()
+        handles.into_iter().flat_map(|h| h.join().expect("worker thread panicked")).collect()
     });
     let compute_secs = t0.elapsed().as_secs_f64();
 
-    let net = SimulatedNetwork::new(config.bandwidth_bps);
-    let comm_secs: f64 = payload_sizes.iter().map(|&b| net.transfer_secs(b)).sum();
+    // Serialized shared-pipe accounting via the virtual-time event
+    // queue (equivalent to summing per-payload transfer times, but the
+    // same machinery the round engine uses).
+    let topology = Topology::Shared(LinkProfile::symmetric(config.bandwidth_bps));
+    let departures: Vec<Departure> = payload_sizes
+        .iter()
+        .enumerate()
+        .map(|(client, &bytes)| Departure { client, ready_secs: 0.0, bytes, dropped: false })
+        .collect();
+    let arrivals = link::schedule(&departures, &topology);
+    let comm_secs = link::comm_secs(&arrivals, &topology);
     ScalingPoint { workers, clients, compute_secs, comm_secs }
 }
 
@@ -150,7 +161,12 @@ mod tests {
     fn tiny_config(compress: bool) -> ScalingConfig {
         ScalingConfig {
             compression: compress.then(|| FedSzConfig { threshold: 128, ..FedSzConfig::default() }),
-            data: SyntheticConfig { seed: 5, train_per_class: 2, test_per_class: 1, resolution: 16 },
+            data: SyntheticConfig {
+                seed: 5,
+                train_per_class: 2,
+                test_per_class: 1,
+                resolution: 16,
+            },
             ..ScalingConfig::default()
         }
     }

@@ -246,7 +246,9 @@ mod codec_class_tests {
     fn corpus() -> Vec<u8> {
         let mut data = Vec::new();
         for i in 0..400 {
-            data.extend_from_slice(format!("client {} sent an update of size {}\n", i % 37, i).as_bytes());
+            data.extend_from_slice(
+                format!("client {} sent an update of size {}\n", i % 37, i).as_bytes(),
+            );
         }
         data
     }

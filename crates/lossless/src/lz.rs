@@ -302,9 +302,12 @@ mod tests {
                 data.extend_from_slice(b"repeated-chunk-of-text");
             }
         }
-        for params in
-            [MatchParams::fast(), MatchParams::balanced(), MatchParams::large_window(), MatchParams::thorough()]
-        {
+        for params in [
+            MatchParams::fast(),
+            MatchParams::balanced(),
+            MatchParams::large_window(),
+            MatchParams::thorough(),
+        ] {
             roundtrip(&data, &params);
         }
     }

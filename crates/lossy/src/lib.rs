@@ -410,10 +410,7 @@ mod monotonicity_tests {
 
     fn weight_like(n: usize) -> Vec<f32> {
         (0..n)
-            .map(|i| {
-                ((i as f32 * 0.37).sin() * 0.05)
-                    + if i % 71 == 0 { 0.4 } else { 0.0 }
-            })
+            .map(|i| ((i as f32 * 0.37).sin() * 0.05) + if i % 71 == 0 { 0.4 } else { 0.0 })
             .collect()
     }
 
@@ -465,10 +462,7 @@ mod monotonicity_tests {
                 let packed = codec.compress(&data, ErrorBound::Relative(rel)).unwrap();
                 let restored = codec.decompress(&packed).unwrap();
                 let err = fedsz_codec::stats::max_abs_error(&data, &restored);
-                assert!(
-                    err <= last_err,
-                    "{kind}: error grew when tightening to {rel:e}"
-                );
+                assert!(err <= last_err, "{kind}: error grew when tightening to {rel:e}");
                 last_err = err;
             }
         }
@@ -480,10 +474,8 @@ mod monotonicity_tests {
         let codec = LossyKind::Sz2.codec();
         let loose = codec.compress(&data, ErrorBound::Relative(1e-1)).unwrap();
         let tight = codec.compress(&data, ErrorBound::Relative(1e-4)).unwrap();
-        let psnr_loose =
-            fedsz_codec::stats::psnr(&data, &codec.decompress(&loose).unwrap());
-        let psnr_tight =
-            fedsz_codec::stats::psnr(&data, &codec.decompress(&tight).unwrap());
+        let psnr_loose = fedsz_codec::stats::psnr(&data, &codec.decompress(&loose).unwrap());
+        let psnr_tight = fedsz_codec::stats::psnr(&data, &codec.decompress(&tight).unwrap());
         assert!(psnr_tight > psnr_loose + 20.0, "{psnr_loose:.1} vs {psnr_tight:.1} dB");
     }
 }

@@ -150,10 +150,7 @@ mod tests {
                 assert_eq!(restored.len(), data.len());
                 for (&x, &x2) in data.iter().zip(&restored) {
                     let tol = pwrel * f64::from(x.abs()) * (1.0 + 1e-5) + 1e-30;
-                    assert!(
-                        f64::from((x - x2).abs()) <= tol,
-                        "{kind} pwrel {pwrel}: {x} -> {x2}"
-                    );
+                    assert!(f64::from((x - x2).abs()) <= tol, "{kind} pwrel {pwrel}: {x} -> {x2}");
                 }
             }
         }

@@ -106,7 +106,11 @@ impl ErrorBounded for Sz2 {
         LossyKind::Sz2
     }
 
-    fn compress(&self, data: &[f32], bound: ErrorBound) -> std::result::Result<Vec<u8>, LossyError> {
+    fn compress(
+        &self,
+        data: &[f32],
+        bound: ErrorBound,
+    ) -> std::result::Result<Vec<u8>, LossyError> {
         let eb = resolve_bound(data, bound)? as f32;
         let eb = if eb > 0.0 { eb } else { f32::MIN_POSITIVE };
 
@@ -261,9 +265,9 @@ impl ErrorBounded for Sz2 {
                 };
                 let code = codes[idx + i];
                 let value = if code == Quantizer::UNPREDICTABLE {
-                    let v = *unpredictable.get(upos).ok_or(CodecError::Corrupt(
-                        "missing unpredictable value",
-                    ))?;
+                    let v = *unpredictable
+                        .get(upos)
+                        .ok_or(CodecError::Corrupt("missing unpredictable value"))?;
                     upos += 1;
                     v
                 } else {

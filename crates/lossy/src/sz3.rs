@@ -104,7 +104,11 @@ impl ErrorBounded for Sz3 {
         LossyKind::Sz3
     }
 
-    fn compress(&self, data: &[f32], bound: ErrorBound) -> std::result::Result<Vec<u8>, LossyError> {
+    fn compress(
+        &self,
+        data: &[f32],
+        bound: ErrorBound,
+    ) -> std::result::Result<Vec<u8>, LossyError> {
         let eb = resolve_bound(data, bound)? as f32;
         let eb = if eb > 0.0 { eb } else { f32::MIN_POSITIVE };
 

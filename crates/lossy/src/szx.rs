@@ -78,7 +78,11 @@ impl ErrorBounded for Szx {
         LossyKind::Szx
     }
 
-    fn compress(&self, data: &[f32], bound: ErrorBound) -> std::result::Result<Vec<u8>, LossyError> {
+    fn compress(
+        &self,
+        data: &[f32],
+        bound: ErrorBound,
+    ) -> std::result::Result<Vec<u8>, LossyError> {
         let eb = resolve_bound(data, bound)?;
         let eb = eb.max(f64::from(f32::MIN_POSITIVE));
 

@@ -215,7 +215,11 @@ impl ErrorBounded for Zfp {
         LossyKind::Zfp
     }
 
-    fn compress(&self, data: &[f32], bound: ErrorBound) -> std::result::Result<Vec<u8>, LossyError> {
+    fn compress(
+        &self,
+        data: &[f32],
+        bound: ErrorBound,
+    ) -> std::result::Result<Vec<u8>, LossyError> {
         if data.iter().any(|v| !v.is_finite()) {
             return Err(LossyError::NonFiniteInput);
         }
@@ -383,12 +387,8 @@ mod tests {
         // The integer lifting transform rounds with `>>1`, so the inverse
         // recovers values only up to a few units — exactly like real ZFP,
         // whose error analysis absorbs this in the accuracy-mode slack.
-        let cases = [
-            [0i32, 0, 0, 0],
-            [1, 2, 3, 4],
-            [1 << 29, -(1 << 29), 12345, -98765],
-            [-1, 1, -1, 1],
-        ];
+        let cases =
+            [[0i32, 0, 0, 0], [1, 2, 3, 4], [1 << 29, -(1 << 29), 12345, -98765], [-1, 1, -1, 1]];
         for case in cases {
             let mut p = case;
             fwd_lift(&mut p);
@@ -413,12 +413,8 @@ mod tests {
 
     #[test]
     fn bitplane_coder_round_trips() {
-        let blocks = [
-            [0u32; 4],
-            [1, 2, 3, 4],
-            [u32::MAX, 0, u32::MAX / 3, 7],
-            [0x8000_0000, 1, 0, 0xffff],
-        ];
+        let blocks =
+            [[0u32; 4], [1, 2, 3, 4], [u32::MAX, 0, u32::MAX / 3, 7], [0x8000_0000, 1, 0, 0xffff]];
         for block in blocks {
             for maxprec in [32u32, 16, 8] {
                 let mut w = BitWriter::new();

@@ -68,7 +68,12 @@ pub trait Layer: Send {
 }
 
 /// Fetches `prefix + name` from a dict, validating the shape.
-fn fetch(dict: &StateDict, prefix: &str, name: &str, expected: &[usize]) -> Result<Tensor, NnError> {
+fn fetch(
+    dict: &StateDict,
+    prefix: &str,
+    name: &str,
+    expected: &[usize],
+) -> Result<Tensor, NnError> {
     let full = format!("{prefix}{name}");
     let t = dict.get(&full).ok_or_else(|| NnError::MissingEntry(full.clone()))?;
     if t.shape() != expected {
@@ -115,13 +120,14 @@ impl Conv2d {
         padding: usize,
         groups: usize,
     ) -> Self {
-        assert!(groups >= 1 && in_channels.is_multiple_of(groups) && out_channels.is_multiple_of(groups));
-        let fan_in = (in_channels / groups) * kernel * kernel;
-        let weight = rng::kaiming(
-            rng,
-            vec![out_channels, in_channels / groups, kernel, kernel],
-            fan_in,
+        assert!(
+            groups >= 1
+                && in_channels.is_multiple_of(groups)
+                && out_channels.is_multiple_of(groups)
         );
+        let fan_in = (in_channels / groups) * kernel * kernel;
+        let weight =
+            rng::kaiming(rng, vec![out_channels, in_channels / groups, kernel, kernel], fan_in);
         Self {
             weight: Param::new(weight),
             bias: Param::new(Tensor::zeros(vec![out_channels])),
@@ -430,9 +436,8 @@ impl Layer for BatchNorm2d {
                     for wi in 0..w {
                         let i = idx4(ni, ci, hi, wi, c, h, w);
                         dxd[i] = (scale
-                            * (m * f64::from(dy[i])
-                                - dbeta[ci]
-                                - f64::from(xh[i]) * dgamma[ci])) as f32;
+                            * (m * f64::from(dy[i]) - dbeta[ci] - f64::from(xh[i]) * dgamma[ci]))
+                            as f32;
                     }
                 }
             }
@@ -1075,10 +1080,7 @@ mod tests {
     #[test]
     fn maxpool_forward_backward() {
         let mut pool = MaxPool2d::new();
-        let x = Tensor::from_vec(
-            vec![1, 1, 2, 2],
-            vec![1.0, 5.0, 3.0, 2.0],
-        );
+        let x = Tensor::from_vec(vec![1, 1, 2, 2], vec![1.0, 5.0, 3.0, 2.0]);
         let y = pool.forward(x, true);
         assert_eq!(y.data(), &[5.0]);
         let dx = pool.backward(Tensor::ones(vec![1, 1, 1, 1]));
@@ -1113,8 +1115,8 @@ mod tests {
                 }
             }
             let mean: f64 = vals.iter().map(|&v| f64::from(v)).sum::<f64>() / vals.len() as f64;
-            let var: f64 =
-                vals.iter().map(|&v| (f64::from(v) - mean).powi(2)).sum::<f64>() / vals.len() as f64;
+            let var: f64 = vals.iter().map(|&v| (f64::from(v) - mean).powi(2)).sum::<f64>()
+                / vals.len() as f64;
             assert!(mean.abs() < 1e-4, "mean {mean}");
             assert!((var - 1.0).abs() < 1e-3, "var {var}");
         }

@@ -131,8 +131,7 @@ mod tests {
 
     #[test]
     fn accuracy_counts_correctly() {
-        let logits =
-            Tensor::from_vec(vec![3, 2], vec![0.9, 0.1, 0.2, 0.8, 0.6, 0.4]);
+        let logits = Tensor::from_vec(vec![3, 2], vec![0.9, 0.1, 0.2, 0.8, 0.6, 0.4]);
         assert!((top1_accuracy(&logits, &[0, 1, 1]) - 2.0 / 3.0).abs() < 1e-9);
         assert_eq!(top1_accuracy(&Tensor::zeros(vec![0, 2]), &[]), 0.0);
     }

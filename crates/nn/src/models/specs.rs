@@ -123,10 +123,7 @@ impl ModelSpec {
     /// and value statistics are preserved, so compression behaviour is
     /// representative of the full model at a fraction of the runtime.
     pub fn instantiate_scaled(&self, seed: u64, fraction: f64) -> StateDict {
-        assert!(
-            fraction > 0.0 && fraction <= 1.0,
-            "fraction must be in (0, 1], got {fraction}"
-        );
+        assert!(fraction > 0.0 && fraction <= 1.0, "fraction must be in (0, 1], got {fraction}");
         let full = self.instantiate(seed);
         let mut out = StateDict::new();
         for (name, tensor) in full.iter() {
@@ -161,15 +158,8 @@ impl ModelSpec {
         b.conv("features.0.0", 32, 3, 3);
         b.bn("features.0.1", 32);
         // Inverted residual settings (t, c, n, s) from the paper.
-        let settings: [(usize, usize, usize); 7] = [
-            (1, 16, 1),
-            (6, 24, 2),
-            (6, 32, 3),
-            (6, 64, 4),
-            (6, 96, 3),
-            (6, 160, 3),
-            (6, 320, 1),
-        ];
+        let settings: [(usize, usize, usize); 7] =
+            [(1, 16, 1), (6, 24, 2), (6, 32, 3), (6, 64, 4), (6, 96, 3), (6, 160, 3), (6, 320, 1)];
         let mut in_c = 32usize;
         let mut feature_idx = 1usize;
         for (t, c, n) in settings {
@@ -249,7 +239,11 @@ impl SpecBuilder {
     /// Bias-free convolution (modern CNN style).
     fn conv(&mut self, name: &str, out_c: usize, in_c: usize, k: usize) {
         let fan_in = in_c * k * k;
-        self.push(format!("{name}.weight"), vec![out_c, in_c, k, k], Init::TrainedWeight { fan_in });
+        self.push(
+            format!("{name}.weight"),
+            vec![out_c, in_c, k, k],
+            Init::TrainedWeight { fan_in },
+        );
     }
 
     /// Depthwise convolution: `groups == channels`.
@@ -269,7 +263,11 @@ impl SpecBuilder {
 
     /// Linear layer with bias.
     fn linear(&mut self, name: &str, out_f: usize, in_f: usize) {
-        self.push(format!("{name}.weight"), vec![out_f, in_f], Init::TrainedWeight { fan_in: in_f });
+        self.push(
+            format!("{name}.weight"),
+            vec![out_f, in_f],
+            Init::TrainedWeight { fan_in: in_f },
+        );
         self.push(format!("{name}.bias"), vec![out_f], Init::Bias);
     }
 

@@ -10,8 +10,8 @@
 //! convergence behaviour) exercise the same code paths.
 
 use crate::layers::{
-    BatchNorm2d, Conv2d, Flatten, GlobalAvgPool, InvertedResidual, Layer, Linear, MaxPool2d,
-    Param, ReLU, Residual, Sequential,
+    BatchNorm2d, Conv2d, Flatten, GlobalAvgPool, InvertedResidual, Layer, Linear, MaxPool2d, Param,
+    ReLU, Residual, Sequential,
 };
 use crate::state_dict::StateDict;
 use crate::{Model, NnError};

@@ -5,9 +5,7 @@
 //! running statistics, step counters). The binary wire format here plays
 //! the role of the paper's pickle serialization.
 
-use fedsz_codec::varint::{
-    read_f32, read_str, read_uvarint, write_f32, write_str, write_uvarint,
-};
+use fedsz_codec::varint::{read_f32, read_str, read_uvarint, write_f32, write_str, write_uvarint};
 use fedsz_codec::{CodecError, Result};
 use fedsz_tensor::Tensor;
 use std::collections::HashMap;
@@ -162,7 +160,10 @@ mod tests {
 
     fn sample() -> StateDict {
         let mut sd = StateDict::new();
-        sd.insert("conv.weight", Tensor::from_vec(vec![2, 1, 2, 2], (0..8).map(|i| i as f32).collect()));
+        sd.insert(
+            "conv.weight",
+            Tensor::from_vec(vec![2, 1, 2, 2], (0..8).map(|i| i as f32).collect()),
+        );
         sd.insert("conv.bias", Tensor::zeros(vec![2]));
         sd.insert("bn.running_mean", Tensor::filled(vec![2], 0.5));
         sd.insert("bn.num_batches_tracked", Tensor::filled(vec![], 7.0));
@@ -242,10 +243,12 @@ mod tests {
 
     #[test]
     fn from_iterator_collects() {
-        let sd: StateDict =
-            vec![("a".to_string(), Tensor::zeros(vec![1])), ("b".to_string(), Tensor::ones(vec![2]))]
-                .into_iter()
-                .collect();
+        let sd: StateDict = vec![
+            ("a".to_string(), Tensor::zeros(vec![1])),
+            ("b".to_string(), Tensor::ones(vec![2])),
+        ]
+        .into_iter()
+        .collect();
         assert_eq!(sd.len(), 2);
         assert!(sd.get("b").is_some());
     }

@@ -188,7 +188,11 @@ impl Tensor {
     ///
     /// Panics on shape mismatch.
     pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Self {
-        assert_eq!(self.shape, other.shape, "shape mismatch: {:?} vs {:?}", self.shape, other.shape);
+        assert_eq!(
+            self.shape, other.shape,
+            "shape mismatch: {:?} vs {:?}",
+            self.shape, other.shape
+        );
         Self {
             shape: self.shape.clone(),
             data: self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect(),
@@ -201,7 +205,11 @@ impl Tensor {
     ///
     /// Panics on shape mismatch.
     pub fn axpy(&mut self, alpha: f32, other: &Tensor) {
-        assert_eq!(self.shape, other.shape, "shape mismatch: {:?} vs {:?}", self.shape, other.shape);
+        assert_eq!(
+            self.shape, other.shape,
+            "shape mismatch: {:?} vs {:?}",
+            self.shape, other.shape
+        );
         for (a, &b) in self.data.iter_mut().zip(&other.data) {
             *a += alpha * b;
         }

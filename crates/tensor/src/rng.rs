@@ -62,11 +62,8 @@ pub fn trained_like(rng: &mut StdRng, shape: Vec<usize>, fan_in: usize) -> Tenso
     let std = (2.0 / fan_in.max(1) as f32).sqrt();
     let mut t = Tensor::zeros(shape);
     for v in t.data_mut() {
-        *v = if rng.gen::<f32>() < 0.08 {
-            laplace(rng, std * 2.0)
-        } else {
-            normal(rng) * std * 0.7
-        };
+        *v =
+            if rng.gen::<f32>() < 0.08 { laplace(rng, std * 2.0) } else { normal(rng) * std * 0.7 };
     }
     t
 }

@@ -6,9 +6,8 @@ use proptest::prelude::*;
 
 /// A small matrix as (rows, cols, data).
 fn matrix(max_dim: usize) -> impl Strategy<Value = (usize, usize, Vec<f32>)> {
-    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
-        vec(-10.0f32..10.0, r * c).prop_map(move |data| (r, c, data))
-    })
+    (1..=max_dim, 1..=max_dim)
+        .prop_flat_map(|(r, c)| vec(-10.0f32..10.0, r * c).prop_map(move |data| (r, c, data)))
 }
 
 proptest! {

@@ -29,8 +29,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     let scale = 0.05;
 
     println!("bandwidth: {bw_mbps} Mbps; model tensors sampled at {scale} (times rescaled)\n");
-    println!("{:<14} {:<6} {:>7} {:>12} {:>12} {:>10} {:>12}",
-        "model", "codec", "ratio", "plain (s)", "fedsz (s)", "speedup", "break-even");
+    println!(
+        "{:<14} {:<6} {:>7} {:>12} {:>12} {:>10} {:>12}",
+        "model", "codec", "ratio", "plain (s)", "fedsz (s)", "speedup", "break-even"
+    );
     for spec in ModelSpec::all() {
         let dict = spec.instantiate_scaled(42, scale);
         let inflate = spec.byte_size() as f64 / dict.byte_size() as f64;

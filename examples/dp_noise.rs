@@ -18,8 +18,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     let dict = ModelSpec::mobilenet_v2().instantiate_scaled(42, 0.1);
     let codec = LossyKind::Sz2.codec();
 
-    println!("{:<10} {:>12} {:>12} {:>12} {:>10} {:>12}",
-        "REL bound", "Laplace b", "KS Laplace", "KS Gauss", "better", "eps(sens=1)");
+    println!(
+        "{:<10} {:>12} {:>12} {:>12} {:>10} {:>12}",
+        "REL bound", "Laplace b", "KS Laplace", "KS Gauss", "better", "eps(sens=1)"
+    );
     for eb in [0.5f64, 0.1, 0.05, 0.01] {
         let mut errors = Vec::new();
         for (name, tensor) in dict.iter() {

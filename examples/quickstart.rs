@@ -20,8 +20,12 @@ fn main() -> Result<(), Box<dyn Error>> {
     // 1. A client update: a state dict with PyTorch-style names.
     let spec = ModelSpec::mobilenet_v2();
     let update = spec.instantiate_scaled(42, 0.1);
-    println!("model: {} ({} tensors, {:.1} MB sampled)", spec.name(), update.len(),
-        update.byte_size() as f64 / 1e6);
+    println!(
+        "model: {} ({} tensors, {:.1} MB sampled)",
+        spec.name(),
+        update.len(),
+        update.byte_size() as f64 / 1e6
+    );
 
     // 2. Compress with the paper's recommended operating point.
     let fedsz = FedSz::new(FedSzConfig::recommended());

@@ -1,0 +1,190 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no network access, so the workspace's
+//! `cargo bench` targets link against this minimal implementation: it
+//! runs each benchmark closure for a fixed number of timed iterations
+//! (after warmup) and prints mean wall-clock time plus throughput. No
+//! statistics, plots or baselines — just honest numbers, offline.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer value pass-through.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A `function/parameter` id.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        Self { label: format!("{function}/{parameter}") }
+    }
+
+    /// An id carrying only the parameter.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self { label: parameter.to_string() }
+    }
+}
+
+/// Timing driver handed to benchmark closures.
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup round to populate caches and lazy state.
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: u64,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Sets how many timed iterations each benchmark runs.
+    pub fn sample_size(&mut self, samples: usize) {
+        self.samples = samples.max(1) as u64;
+    }
+
+    /// Runs one benchmark with an explicit input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let mut bencher = Bencher { iterations: self.samples, elapsed: Duration::ZERO };
+        f(&mut bencher, input);
+        self.report(&id.label, &bencher);
+    }
+
+    /// Runs one benchmark without an input value.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: BenchmarkId, mut f: F) {
+        let mut bencher = Bencher { iterations: self.samples, elapsed: Duration::ZERO };
+        f(&mut bencher);
+        self.report(&id.label, &bencher);
+    }
+
+    /// Prints the group trailer.
+    pub fn finish(self) {}
+
+    fn report(&self, label: &str, bencher: &Bencher) {
+        let mean = bencher.elapsed.as_secs_f64() / bencher.iterations.max(1) as f64;
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(bytes)) if mean > 0.0 => {
+                format!("  {:>9.1} MB/s", bytes as f64 / mean / 1e6)
+            }
+            Some(Throughput::Elements(n)) if mean > 0.0 => {
+                format!("  {:>9.1} elem/s", n as f64 / mean)
+            }
+            _ => String::new(),
+        };
+        println!("{}/{label}: {:.3} ms/iter{rate}", self.name, mean * 1e3);
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), samples: 10, throughput: None, _criterion: self }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        let mut bencher = Bencher { iterations: 10, elapsed: Duration::ZERO };
+        f(&mut bencher);
+        let mean = bencher.elapsed.as_secs_f64() / bencher.iterations.max(1) as f64;
+        println!("{name}: {:.3} ms/iter", mean * 1e3);
+    }
+}
+
+/// Declares a benchmark group function list.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_times() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("shim");
+        group.throughput(Throughput::Bytes(1024));
+        group.sample_size(3);
+        let mut ran = 0u32;
+        group.bench_with_input(BenchmarkId::new("work", 1), &7u64, |b, &x| {
+            b.iter(|| {
+                ran += 1;
+                x * 2
+            });
+        });
+        group.finish();
+        // Warmup + 3 timed iterations.
+        assert_eq!(ran, 4);
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("f", "p").label, "f/p");
+        assert_eq!(BenchmarkId::from_parameter(42).label, "42");
+    }
+}

@@ -1,0 +1,609 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! The build environment has no network access, so this workspace ships a
+//! minimal implementation of the `proptest` API surface its property tests
+//! use: the [`proptest!`] macro (with `#![proptest_config(..)]`),
+//! [`strategy::Strategy`] with `prop_map`/`prop_flat_map`, range / tuple /
+//! [`collection::vec`] / [`prelude::Just`] / [`prop_oneof!`] strategies, a
+//! best-effort string strategy from `&str` patterns, and the
+//! `prop_assert*` family.
+//!
+//! Differences from upstream: cases are generated from a fixed seed (fully
+//! deterministic CI), there is no shrinking (failures report the offending
+//! input as-is), and `&str` strategies support the character-class subset
+//! of regex syntax the tests use rather than arbitrary regexes.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A recipe for generating values of `Self::Value`.
+    ///
+    /// Object-safe: `prop_oneof!` boxes heterogeneous strategy types.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn new_value(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Feeds generated values into a strategy-producing `f` and draws
+        /// from the result (dependent generation).
+        fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Type-erases the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut StdRng) -> T {
+            (**self).new_value(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn new_value(&self, rng: &mut StdRng) -> U {
+            (self.f)(self.inner.new_value(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+        type Value = T::Value;
+        fn new_value(&self, rng: &mut StdRng) -> T::Value {
+            (self.f)(self.inner.new_value(rng)).new_value(rng)
+        }
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn new_value(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice between boxed strategies (`prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union; `options` must be non-empty.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            Self { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut StdRng) -> T {
+            let idx = rng.gen_range(0..self.options.len());
+            self.options[idx].new_value(rng)
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*}
+    }
+    range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident : $idx:tt),+);)*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn new_value(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.new_value(rng),)+)
+                }
+            }
+        )*}
+    }
+    tuple_strategy! {
+        (A: 0);
+        (A: 0, B: 1);
+        (A: 0, B: 1, C: 2);
+        (A: 0, B: 1, C: 2, D: 3);
+    }
+
+    /// Best-effort string generation from a pattern literal.
+    ///
+    /// Supports the subset the tests use: literal characters, `[a-z]`
+    /// style classes with `{m,n}` repetition, `(alt1|alt2|..)?` optional
+    /// groups and `\.` escapes. Unrecognized syntax is emitted literally.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn new_value(&self, rng: &mut StdRng) -> String {
+            sample_pattern(self, rng)
+        }
+    }
+
+    fn sample_pattern(pattern: &str, rng: &mut StdRng) -> String {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut out = String::new();
+        let mut i = 0usize;
+        while i < chars.len() {
+            match chars[i] {
+                '[' => {
+                    let close = chars[i..].iter().position(|&c| c == ']').map(|p| i + p);
+                    let Some(close) = close else {
+                        out.push('[');
+                        i += 1;
+                        continue;
+                    };
+                    let class = expand_class(&chars[i + 1..close]);
+                    i = close + 1;
+                    let (lo, hi, next) = parse_repeat(&chars, i);
+                    i = next;
+                    let count = rng.gen_range(lo..=hi);
+                    for _ in 0..count {
+                        if !class.is_empty() {
+                            out.push(class[rng.gen_range(0..class.len())]);
+                        }
+                    }
+                }
+                '(' => {
+                    let close = matching_paren(&chars, i);
+                    let body: String = chars[i + 1..close].iter().collect();
+                    let alternatives = split_top_level(&body);
+                    let mut next = close + 1;
+                    let optional = chars.get(next) == Some(&'?');
+                    if optional {
+                        next += 1;
+                    }
+                    i = next;
+                    if !optional || rng.gen_range(0..2) == 1 {
+                        let alt = &alternatives[rng.gen_range(0..alternatives.len())];
+                        out.push_str(&sample_pattern(alt, rng));
+                    }
+                }
+                '\\' => {
+                    if let Some(&esc) = chars.get(i + 1) {
+                        out.push(esc);
+                    }
+                    i += 2;
+                }
+                c => {
+                    out.push(c);
+                    i += 1;
+                }
+            }
+        }
+        out
+    }
+
+    fn expand_class(body: &[char]) -> Vec<char> {
+        let mut class = Vec::new();
+        let mut j = 0usize;
+        while j < body.len() {
+            if j + 2 < body.len() && body[j + 1] == '-' {
+                let (lo, hi) = (body[j] as u32, body[j + 2] as u32);
+                for c in lo..=hi {
+                    if let Some(c) = char::from_u32(c) {
+                        class.push(c);
+                    }
+                }
+                j += 3;
+            } else {
+                class.push(body[j]);
+                j += 1;
+            }
+        }
+        class
+    }
+
+    fn parse_repeat(chars: &[char], at: usize) -> (usize, usize, usize) {
+        if chars.get(at) != Some(&'{') {
+            return (1, 1, at);
+        }
+        let Some(close) = chars[at..].iter().position(|&c| c == '}').map(|p| at + p) else {
+            return (1, 1, at);
+        };
+        let body: String = chars[at + 1..close].iter().collect();
+        let mut parts = body.splitn(2, ',');
+        let lo: usize = parts.next().and_then(|s| s.trim().parse().ok()).unwrap_or(1);
+        let hi: usize = parts.next().and_then(|s| s.trim().parse().ok()).unwrap_or(lo);
+        (lo, hi.max(lo), close + 1)
+    }
+
+    fn split_top_level(body: &str) -> Vec<String> {
+        let mut alternatives = vec![String::new()];
+        let mut depth = 0usize;
+        let mut escaped = false;
+        for c in body.chars() {
+            if escaped {
+                alternatives.last_mut().expect("non-empty").push(c);
+                escaped = false;
+                continue;
+            }
+            match c {
+                '\\' => {
+                    alternatives.last_mut().expect("non-empty").push(c);
+                    escaped = true;
+                }
+                '(' => {
+                    depth += 1;
+                    alternatives.last_mut().expect("non-empty").push(c);
+                }
+                ')' => {
+                    depth = depth.saturating_sub(1);
+                    alternatives.last_mut().expect("non-empty").push(c);
+                }
+                '|' if depth == 0 => alternatives.push(String::new()),
+                _ => alternatives.last_mut().expect("non-empty").push(c),
+            }
+        }
+        alternatives
+    }
+
+    fn matching_paren(chars: &[char], open: usize) -> usize {
+        let mut depth = 0usize;
+        for (j, &c) in chars.iter().enumerate().skip(open) {
+            match c {
+                '(' => depth += 1,
+                ')' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return j;
+                    }
+                }
+                _ => {}
+            }
+        }
+        chars.len().saturating_sub(1)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A size specification for [`vec`]: an exact length or a range.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi_exclusive: n + 1 }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self { lo: r.start, hi_exclusive: r.end }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            Self { lo: *r.start(), hi_exclusive: r.end() + 1 }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut StdRng) -> Self::Value {
+            let len = rng.gen_range(self.size.lo..self.size.hi_exclusive);
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Case execution plumbing used by the [`proptest!`](crate::proptest)
+    //! macro expansion.
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Why a test case did not pass.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum TestCaseError {
+        /// `prop_assume!` rejected the inputs; the case is skipped.
+        Reject(String),
+        /// A `prop_assert*!` failed; the test fails.
+        Fail(String),
+    }
+
+    /// Outcome of one generated case.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Runner configuration (`#![proptest_config(..)]`).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A configuration running `cases` cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Self { cases: 256 }
+        }
+    }
+
+    /// Runs `body` over `config.cases` generated cases.
+    ///
+    /// Rejections (from `prop_assume!`) retry with fresh inputs, bounded
+    /// by a global rejection budget so a too-strict assumption cannot
+    /// spin forever.
+    ///
+    /// # Panics
+    ///
+    /// Panics (failing the enclosing `#[test]`) on the first case that
+    /// returns [`TestCaseError::Fail`].
+    pub fn run(name: &str, config: &Config, mut body: impl FnMut(&mut StdRng) -> TestCaseResult) {
+        // Deterministic per test name so CI failures reproduce locally.
+        let seed = name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3)
+        });
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rejections = 0u32;
+        let max_rejections = config.cases.saturating_mul(16).max(1024);
+        let mut case = 0u32;
+        while case < config.cases {
+            match body(&mut rng) {
+                Ok(()) => case += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejections += 1;
+                    assert!(
+                        rejections <= max_rejections,
+                        "{name}: too many prop_assume! rejections ({rejections})"
+                    );
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!("{name}: property failed at case {case}: {msg}")
+                }
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop imports, mirroring `proptest::prelude`.
+
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    use rand::rngs::StdRng;
+
+    /// Full-range strategy for `T` (`any::<u8>()`, `any::<bool>()`, …).
+    pub fn any<T: rand::Standard>() -> Any<T> {
+        Any(core::marker::PhantomData)
+    }
+
+    /// See [`any`].
+    pub struct Any<T>(core::marker::PhantomData<T>);
+
+    impl<T: rand::Standard> Strategy for Any<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut StdRng) -> T {
+            T::sample(rng)
+        }
+    }
+}
+
+/// Uniform choice among strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {{
+        // Upstream proptest callers parenthesize range options (the
+        // syntax also admits `weight => strategy` pairs), so the parens
+        // are intentional at every call site.
+        #[allow(unused_parens)]
+        let options = vec![$($crate::strategy::Strategy::boxed($strategy)),+];
+        $crate::strategy::Union::new(options)
+    }};
+}
+
+/// Asserts a condition inside a property, failing the case (not
+/// panicking mid-generation) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::Fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "{:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "{:?} != {:?}: {}", l, r, format!($($fmt)*));
+    }};
+}
+
+/// Inequality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "{:?} == {:?}", l, r);
+    }};
+}
+
+/// Skips the current case unless the assumption holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::Reject(stringify!($cond).to_string()));
+        }
+    };
+}
+
+/// Declares property tests: each `fn name(bindings in strategies) { .. }`
+/// becomes a `#[test]` running the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest! { @run ($config) $($rest)* }
+    };
+    (@run ($config:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $config;
+                $crate::test_runner::run(stringify!($name), &config, |rng| {
+                    let ($($pat,)+) = (
+                        $($crate::strategy::Strategy::new_value(&($strategy), rng),)+
+                    );
+                    $body
+                    #[allow(unreachable_code)]
+                    Ok(())
+                });
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! { @run ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::collection::vec;
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in -5i32..5, y in 0usize..10, f in -1.0f32..1.0) {
+            prop_assert!((-5..5).contains(&x));
+            prop_assert!(y < 10);
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_lengths_respect_size(data in vec(any::<u8>(), 3..7)) {
+            prop_assert!((3..7).contains(&data.len()));
+        }
+
+        #[test]
+        fn tuples_and_flat_map((r, c, data) in (1usize..4, 1usize..4)
+            .prop_flat_map(|(r, c)| vec(0u8..9, r * c).prop_map(move |d| (r, c, d))))
+        {
+            prop_assert_eq!(data.len(), r * c);
+        }
+
+        #[test]
+        fn oneof_and_just(v in prop_oneof![Just(7i32), 0i32..3]) {
+            prop_assert!(v == 7 || (0..3).contains(&v));
+        }
+
+        #[test]
+        fn assume_rejects(n in 0u8..20) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+
+        #[test]
+        fn string_patterns_match_shape(s in "[a-z]{1,8}(\\.(weight|bias))?") {
+            let head: String = s.chars().take_while(|c| c.is_ascii_lowercase()).collect();
+            prop_assert!((1..=8).contains(&head.len()), "head `{}` in `{}`", head, s);
+            let tail = &s[head.len()..];
+            prop_assert!(
+                tail.is_empty() || tail == ".weight" || tail == ".bias",
+                "tail `{}`", tail
+            );
+        }
+    }
+}

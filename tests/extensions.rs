@@ -44,10 +44,7 @@ fn non_iid_shards_are_skewed_but_cover_all_data() {
 fn advisor_agrees_with_figure8_crossover() {
     let spec = ModelSpec::alexnet();
     let sample = spec.instantiate_scaled(3, 0.02);
-    let advisor = Advisor::new(
-        vec![LossyKind::Sz2],
-        vec![ErrorBound::Relative(1e-2)],
-    );
+    let advisor = Advisor::new(vec![LossyKind::Sz2], vec![ErrorBound::Relative(1e-2)]);
     // Well below break-even: compress. Far above: send raw.
     assert!(advisor.recommend(&sample, spec.byte_size(), mbps(10.0)).best.is_some());
     assert!(advisor.recommend(&sample, spec.byte_size(), mbps(1e6)).best.is_none());
@@ -72,7 +69,8 @@ fn delta_encoding_survives_fl_style_round_trip() {
     let restored = fedsz.decompress_delta(packed.bytes(), &reference).unwrap();
     assert_eq!(restored.len(), update.len());
     for (name, tensor) in update.iter() {
-        let err = fedsz_codec::stats::max_abs_error(tensor.data(), restored.get(name).unwrap().data());
+        let err =
+            fedsz_codec::stats::max_abs_error(tensor.data(), restored.get(name).unwrap().data());
         assert!(err <= 1e-3, "{name}: {err}");
     }
 }
@@ -99,10 +97,7 @@ fn compression_noise_vs_laplace_mechanism_comparison() {
     let implicit = analyze_noise(&errors);
     let explicit = analyze_noise(&synthetic);
     let ratio = implicit.laplace.scale / explicit.laplace.scale;
-    assert!(
-        (0.5..2.0).contains(&ratio),
-        "matched-epsilon noise scales should agree: {ratio:.2}"
-    );
+    assert!((0.5..2.0).contains(&ratio), "matched-epsilon noise scales should agree: {ratio:.2}");
 }
 
 #[test]

@@ -44,7 +44,10 @@ fn random_bit_flips_never_panic() {
     // Most flips hit entropy-coded payload and must be caught by
     // structure or checksum validation; a small fraction lands in lossy
     // float payloads where any bit pattern is a legal value.
-    assert_eq!(detected, TRIALS, "only {detected}/{TRIALS} corruptions detected by the CRC trailer");
+    assert_eq!(
+        detected, TRIALS,
+        "only {detected}/{TRIALS} corruptions detected by the CRC trailer"
+    );
 }
 
 #[test]
@@ -60,8 +63,7 @@ fn random_garbage_never_panics_any_codec() {
         }
         for kind in LosslessKind::all() {
             let garbage = garbage.clone();
-            let r =
-                std::panic::catch_unwind(move || kind.codec().decompress(&garbage).is_err());
+            let r = std::panic::catch_unwind(move || kind.codec().decompress(&garbage).is_err());
             let _ = r.expect("lossless decoder panicked");
         }
         let fedsz = FedSz::default();

@@ -29,12 +29,8 @@ fn all_archs_learn_above_chance_with_fedsz() {
             config.lr = 0.1;
         }
         let metrics = Experiment::new(config).run();
-        let best_acc =
-            metrics.iter().map(|m| m.test_accuracy).fold(0.0f64, f64::max);
-        assert!(
-            best_acc > 0.15,
-            "{arch}: best accuracy {best_acc:.3} not above chance (0.10)"
-        );
+        let best_acc = metrics.iter().map(|m| m.test_accuracy).fold(0.0f64, f64::max);
+        assert!(best_acc > 0.15, "{arch}: best accuracy {best_acc:.3} not above chance (0.10)");
         // Communication must be simulated and nonzero.
         assert!(metrics.iter().all(|m| m.comm_secs > 0.0), "{arch}");
     }
@@ -49,9 +45,8 @@ fn recommended_bound_tracks_uncompressed_accuracy() {
         Experiment::new(plain_cfg).run().iter().map(|m| m.test_accuracy).collect();
 
     let mut fedsz_cfg = quick_config(TinyArch::AlexNet);
-    fedsz_cfg.compression = Some(
-        FlConfig::tiny_model_compression().with_error_bound(ErrorBound::Relative(1e-2)),
-    );
+    fedsz_cfg.compression =
+        Some(FlConfig::tiny_model_compression().with_error_bound(ErrorBound::Relative(1e-2)));
     let compressed: Vec<f64> =
         Experiment::new(fedsz_cfg).run().iter().map(|m| m.test_accuracy).collect();
 
