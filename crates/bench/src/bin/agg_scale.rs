@@ -1,0 +1,146 @@
+//! Scale study of the sharded aggregation tree: 10^2 → 10^4 clients.
+//!
+//! The paper's Fig. 9 stops at 127 clients because the flat server
+//! merges one `O(clients · params)` serial loop behind one serialized
+//! link. This bench sweeps client counts two orders of magnitude past
+//! that and compares, per point:
+//!
+//! * flat aggregation (one serial exact merge in client-id order) vs
+//!   the sharded tree (parallel edge merges, streamed so peak memory
+//!   is one update per worker, not `N`),
+//! * root ingress bytes: `N` serialized updates vs `S` partial-sum
+//!   frames — the reduction the tree buys,
+//! * the downlink stage's broadcast compression ratio, and
+//! * a bit-parity check: the tree's global model must equal the flat
+//!   reference byte for byte.
+//!
+//! Client updates are synthesized (base model + deterministic per-client
+//! perturbation) instead of trained — aggregation throughput is the
+//! quantity under study, and training 10^4 clients would drown it.
+//!
+//! Output is JSON (one array of sweep points) for CI and plotting.
+//! Flags: `--clients 100,1000,10000` (sweep list), `--shards N`
+//! (default 16), `--scale F` (model-size fraction, default 0.001),
+//! `--seed N`.
+//!
+//! `merge_speedup` tracks the host's core count (each shard merges on
+//! its own worker thread); the JSON carries `worker_threads` so a
+//! single-core CI runner's ~1x reads as expected, not as a regression.
+//! The byte reductions and the parity bit are hardware-independent.
+
+use fedsz::{FedSzConfig, LossyKind};
+use fedsz_bench::Args;
+use fedsz_fl::agg::{Downlink, DownlinkMode, PartialSum, ShardPlan, ShardedTree};
+use fedsz_nn::models::specs::ModelSpec;
+use fedsz_nn::StateDict;
+use fedsz_tensor::Tensor;
+use std::time::Instant;
+
+/// Deterministic per-client perturbation of the base model (splitmix64
+/// stream keyed by client id), standing in for one round of local SGD.
+fn synth_update(base: &StateDict, client: usize, seed: u64) -> StateDict {
+    let mut state = seed ^ (client as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    base.iter()
+        .map(|(name, tensor)| {
+            let data: Vec<f32> = tensor
+                .data()
+                .iter()
+                .map(|&v| v + (next() as f32 / u64::MAX as f32 - 0.5) * 0.01)
+                .collect();
+            (name.to_owned(), Tensor::from_vec(tensor.shape().to_vec(), data))
+        })
+        .collect()
+}
+
+fn main() {
+    let args = Args::parse();
+    let shards: usize = args.get("--shards", 16);
+    let scale: f64 = args.get("--scale", 0.001);
+    let seed: u64 = args.get("--seed", 7);
+    let clients_list: Vec<usize> = args
+        .get("--clients", "100,1000,10000".to_string())
+        .split(',')
+        .map(|v| v.trim().parse().expect("--clients expects N,N,..."))
+        .collect();
+
+    let base = ModelSpec::alexnet().instantiate_scaled(seed, scale);
+    let params = base.total_elements();
+    let update_wire_bytes = base.to_bytes().len();
+
+    // The downlink leg: encode the "global" once, as the engine would
+    // each round, and report what the broadcast fan-out saves.
+    let downlink = Downlink::new(
+        DownlinkMode::Compressed,
+        Some(FedSzConfig { threshold: 128, lossy: LossyKind::Sz2, ..FedSzConfig::default() }),
+    );
+    let payload = downlink.encode(&base, None, 1);
+
+    let mut points = Vec::new();
+    for &clients in &clients_list {
+        let weight_of = |client: usize| 1.0 + (client % 7) as f64;
+        let make = |client: usize| (synth_update(&base, client, seed), weight_of(client));
+
+        // Flat reference: one serial exact merge in client-id order.
+        let t_flat = Instant::now();
+        let mut flat = PartialSum::new();
+        for client in 0..clients {
+            let (dict, weight) = make(client);
+            flat.accumulate(&dict, weight);
+        }
+        let flat_global = flat.finish().expect("non-empty cohort");
+        let flat_ms = t_flat.elapsed().as_secs_f64() * 1e3;
+        let flat_ingress = clients * update_wire_bytes;
+
+        // Sharded tree, streamed: parallel edge merges, one update in
+        // memory per worker.
+        let plan = ShardPlan::new(clients, shards);
+        let mut tree = ShardedTree::new(plan, None);
+        let t_tree = Instant::now();
+        let outcome = tree.aggregate_streamed(0, &make).expect("non-empty cohort");
+        let tree_ms = t_tree.elapsed().as_secs_f64() * 1e3;
+
+        let parity = outcome.global.to_bytes() == flat_global.to_bytes();
+        assert!(parity, "sharded tree diverged from the flat reference at {clients} clients");
+        let reduction = flat_ingress as f64 / outcome.root_ingress_bytes.max(1) as f64;
+
+        eprintln!(
+            "{clients} clients / {} shards: flat {flat_ms:.0} ms, tree {tree_ms:.0} ms, \
+             ingress {flat_ingress} -> {} ({reduction:.1}x)",
+            plan.shards(),
+            outcome.root_ingress_bytes
+        );
+        points.push(format!(
+            concat!(
+                "  {{\"clients\": {}, \"shards\": {}, \"params\": {}, \"worker_threads\": {}, ",
+                "\"flat_ms\": {:.1}, \"tree_ms\": {:.1}, \"merge_speedup\": {:.2}, ",
+                "\"flat_root_ingress_bytes\": {}, \"tree_root_ingress_bytes\": {}, ",
+                "\"ingress_reduction\": {:.2}, \"fan_in\": {}, ",
+                "\"downlink_ratio\": {:.2}, \"downlink_raw_bytes\": {}, ",
+                "\"downlink_encoded_bytes\": {}, \"parity\": {}}}"
+            ),
+            clients,
+            plan.shards(),
+            params,
+            std::thread::available_parallelism().map_or(1, usize::from),
+            flat_ms,
+            tree_ms,
+            flat_ms / tree_ms.max(1e-9),
+            flat_ingress,
+            outcome.root_ingress_bytes,
+            reduction,
+            plan.shards(),
+            payload.ratio(),
+            payload.raw_bytes,
+            payload.bytes.len(),
+            parity,
+        ));
+    }
+    println!("[\n{}\n]", points.join(",\n"));
+}

@@ -18,7 +18,7 @@
 
 use fedsz::{ErrorBound, FedSz, FedSzConfig, LosslessKind, LossyKind};
 use fedsz_data::DatasetKind;
-use fedsz_fl::{AggregationPolicy, Experiment, FlConfig, LinkProfile};
+use fedsz_fl::{AggregationPolicy, DownlinkMode, Experiment, FlConfig, LinkProfile};
 use fedsz_nn::models::specs::ModelSpec;
 use fedsz_nn::models::tiny::TinyArch;
 use fedsz_nn::StateDict;
@@ -59,12 +59,17 @@ USAGE:
            [--latency MS] [--straggler ID:FACTOR]... [--drop ID:PROB]...
            [--policy sync|buffered:K] [--adaptive] [--non-iid ALPHA]
            [--weighted] [--no-compress] [--seed N] [--train-per-class N]
+           [--shards S] [--downlink raw|fedsz|auto]
 
 `fedsz fl` runs a federated session on the shared round engine. With
 --links each client gets its own simulated uplink (comm time comes from
 the virtual-time event queue, so fast links overlap instead of queueing
 on one pipe); --straggler slows a client's compute; --policy buffered:K
 aggregates after the first K arrivals and applies stragglers stale.
+--shards S aggregates through a two-level tree of S edge aggregators
+(bit-identical to the flat server, but root ingress drops to S
+partial-sum frames); --downlink fedsz FedSZ-encodes the broadcast once
+per round, --downlink auto applies Eqn 1 with a raw fallback.
 ";
 
 /// Executes a CLI invocation (argv without the program name).
@@ -365,6 +370,29 @@ fn fl(args: &[String]) -> Outcome {
             _ => return Outcome::fail("--non-iid expects a positive Dirichlet alpha".into()),
         }
     }
+    if let Some(shards) = flag_value(args, "--shards") {
+        match shards.parse::<usize>() {
+            Ok(s) if s > 0 => config.shards = Some(s),
+            _ => return Outcome::fail("--shards expects a positive shard count".into()),
+        }
+    }
+    if let Some(mode) = flag_value(args, "--downlink") {
+        config.downlink = match mode.to_ascii_lowercase().as_str() {
+            "raw" => DownlinkMode::Raw,
+            "fedsz" => DownlinkMode::Compressed,
+            "auto" | "adaptive" => DownlinkMode::Adaptive,
+            other => {
+                return Outcome::fail(format!(
+                    "unknown downlink mode `{other}`; try raw, fedsz, auto"
+                ))
+            }
+        };
+        if config.downlink != DownlinkMode::Raw && config.compression.is_none() {
+            return Outcome::fail(
+                "--downlink fedsz/auto requires compression (drop --no-compress)".into(),
+            );
+        }
+    }
 
     // Per-client links: a bandwidth list plus straggler/drop injection.
     let stragglers = match parse_client_pairs(&flag_values(args, "--straggler"), "--straggler") {
@@ -444,22 +472,34 @@ fn fl(args: &[String]) -> Outcome {
         };
     }
 
-    let topology = if config.links.is_some() { "per-client links" } else { "shared pipe" };
+    // Sharding implies per-client last miles into the edges (the tree
+    // topology), even when no explicit link list was given.
+    let topology = if config.links.is_some() {
+        "per-client links"
+    } else if config.shards.is_some() {
+        "per-client last miles"
+    } else {
+        "shared pipe"
+    };
+    let server = match config.shards {
+        Some(s) => format!("{s}-shard tree"),
+        None => "flat server".to_string(),
+    };
     let mut report = String::new();
     let _ = writeln!(
         report,
-        "fl: {clients} clients, {rounds} rounds, {:?} on {topology}, policy {:?}",
-        arch, config.aggregation
+        "fl: {clients} clients, {rounds} rounds, {:?} on {topology}, {server}, policy {:?}, downlink {:?}",
+        arch, config.aggregation, config.downlink
     );
     let _ = writeln!(
         report,
-        "round    acc%  train(s)  codec(s)  comm(s)  round(s)     upKB  ratio  agg  stale  drop"
+        "round    acc%  train(s)  codec(s)  comm(s)  round(s)     upKB   downKB  ratio  agg  stale  drop"
     );
     let metrics = Experiment::new(config).run();
     for m in &metrics {
         let _ = writeln!(
             report,
-            "{:>5}  {:>5.1}  {:>8.3}  {:>8.3}  {:>7.3}  {:>8.3}  {:>7.1}  {:>5.2}  {:>3}  {:>5}  {:>4}",
+            "{:>5}  {:>5.1}  {:>8.3}  {:>8.3}  {:>7.3}  {:>8.3}  {:>7.1}  {:>7.1}  {:>5.2}  {:>3}  {:>5}  {:>4}",
             m.round + 1,
             m.test_accuracy * 100.0,
             m.train_secs,
@@ -467,6 +507,7 @@ fn fl(args: &[String]) -> Outcome {
             m.comm_secs,
             m.round_secs,
             m.upstream_bytes as f64 / 1e3,
+            m.downstream_bytes as f64 / 1e3,
             m.ratio,
             m.aggregated_updates,
             m.stale_updates,
@@ -478,6 +519,20 @@ fn fl(args: &[String]) -> Outcome {
     let _ = writeln!(
         report,
         "total simulated comm {total_comm:.3}s, virtual session time {total_round:.3}s"
+    );
+    let total_down: usize = metrics.iter().map(|m| m.downstream_bytes).sum();
+    let total_up: usize = metrics.iter().map(|m| m.upstream_bytes).sum();
+    let root_in: usize = metrics.iter().map(|m| m.root_ingress_bytes).sum();
+    let root_out: usize = metrics.iter().map(|m| m.root_egress_bytes).sum();
+    let n = metrics.len().max(1) as f64;
+    let downlink_ratio: f64 = metrics.iter().map(|m| m.downlink_ratio).sum::<f64>() / n;
+    let _ = writeln!(
+        report,
+        "bytes: up {:.1} KB, down {:.1} KB (downlink ratio {downlink_ratio:.2}x); root ingress {:.1} KB, egress {:.1} KB",
+        total_up as f64 / 1e3,
+        total_down as f64 / 1e3,
+        root_in as f64 / 1e3,
+        root_out as f64 / 1e3,
     );
     Outcome::ok(report)
 }
@@ -617,6 +672,32 @@ mod tests {
         assert_ne!(runv(&["fl", "--drop", "0:1.5", "--clients", "2"]).code, 0);
         assert_ne!(runv(&["fl", "--drop", "zero", "--clients", "2"]).code, 0);
         assert_ne!(runv(&["fl", "--non-iid", "-1"]).code, 0);
+        assert_ne!(runv(&["fl", "--shards", "0"]).code, 0);
+        assert_ne!(runv(&["fl", "--shards", "two"]).code, 0);
+        assert_ne!(runv(&["fl", "--downlink", "gzip"]).code, 0);
+        assert_ne!(runv(&["fl", "--downlink", "fedsz", "--no-compress"]).code, 0);
+    }
+
+    #[test]
+    fn fl_sharded_tree_with_downlink_compression() {
+        let out = runv(&[
+            "fl",
+            "--clients",
+            "4",
+            "--rounds",
+            "1",
+            "--train-per-class",
+            "2",
+            "--shards",
+            "2",
+            "--downlink",
+            "fedsz",
+        ]);
+        assert_eq!(out.code, 0, "{}", out.report);
+        assert!(out.report.contains("2-shard tree"), "{}", out.report);
+        assert!(out.report.contains("Compressed"), "{}", out.report);
+        assert!(out.report.contains("downKB"), "{}", out.report);
+        assert!(out.report.contains("root ingress"), "{}", out.report);
     }
 
     #[test]

@@ -1,0 +1,259 @@
+//! Download-path compression: encode the global model once, fan it out.
+//!
+//! The paper compresses only the upload leg, yet every round also
+//! broadcasts the full global model to every cohort client. This stage
+//! closes that gap: [`Downlink::encode`] FedSZ-encodes the global model
+//! *once per round* and the engine ships the same encoded bytes to all
+//! `N` clients (or, under a sharded tree, to `S` edge aggregators that
+//! fan it out) — so encode cost is paid once while transfer savings
+//! multiply by the fan-out.
+//!
+//! Because decoding is lossy, the clients train from the error-bounded
+//! reconstruction, exactly as the server trains from error-bounded
+//! uploads on the other leg; the configured bound applies element-wise
+//! (the downlink proptest pins this down).
+//!
+//! [`DownlinkMode::Adaptive`] applies the paper's Eqn 1 to the
+//! broadcast leg: using an EWMA profile of measured encode/decode costs
+//! it compares the compressed path (encode once + decode + compressed
+//! transfer) against raw transfer on the cohort's *bottleneck* link,
+//! and falls back to raw bytes whenever compression loses.
+
+use fedsz::timing::TransferPlan;
+use fedsz::{FedSz, FedSzConfig, Result};
+use fedsz_nn::StateDict;
+use std::time::Instant;
+
+/// How the global model travels server→client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DownlinkMode {
+    /// Raw state-dict bytes every round (the paper's setting).
+    #[default]
+    Raw,
+    /// FedSZ-encode the broadcast every round.
+    Compressed,
+    /// Eqn 1 per round: compress unless the cost model says the
+    /// bottleneck link would get the raw bytes there faster.
+    Adaptive,
+}
+
+/// EWMA cost profile of the broadcast codec (per-byte times + ratio).
+#[derive(Debug, Clone, Copy)]
+struct DownlinkProfile {
+    encode_secs_per_byte: f64,
+    decode_secs_per_byte: f64,
+    ratio: f64,
+}
+
+/// One round's encoded broadcast.
+#[derive(Debug, Clone)]
+pub struct DownlinkPayload {
+    /// The bytes every cohort client receives.
+    pub bytes: Vec<u8>,
+    /// Whether `bytes` is a FedSZ stream (else raw state-dict bytes).
+    pub compressed: bool,
+    /// Measured encode wall time (zero for raw).
+    pub encode_secs: f64,
+    /// In-memory size of the model being broadcast.
+    pub raw_bytes: usize,
+}
+
+impl DownlinkPayload {
+    /// Broadcast compression ratio (raw model bytes over payload
+    /// bytes; just under 1 for raw payloads, which carry a small
+    /// serialization header).
+    pub fn ratio(&self) -> f64 {
+        self.raw_bytes as f64 / self.bytes.len().max(1) as f64
+    }
+}
+
+/// The per-round broadcast encoder.
+#[derive(Debug, Clone)]
+pub struct Downlink {
+    mode: DownlinkMode,
+    codec: Option<FedSz>,
+    profile: Option<DownlinkProfile>,
+}
+
+impl Downlink {
+    /// Builds the stage.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a compressing mode is requested without a codec
+    /// configuration.
+    pub fn new(mode: DownlinkMode, codec: Option<FedSzConfig>) -> Self {
+        assert!(
+            mode == DownlinkMode::Raw || codec.is_some(),
+            "downlink compression requires a FedSZ configuration"
+        );
+        Self { mode, codec: codec.map(FedSz::new), profile: None }
+    }
+
+    /// The configured mode.
+    pub fn mode(&self) -> DownlinkMode {
+        self.mode
+    }
+
+    /// Eqn 1 on the broadcast leg: with a measured cost profile and a
+    /// known bottleneck bandwidth, compress iff encode + decode +
+    /// compressed transfer beats raw transfer *per cohort client*. The
+    /// model is encoded once for the whole fan-out, so the encode cost
+    /// is amortized over the cohort; decoding happens on every client.
+    /// Until a profile exists the first round compresses to measure
+    /// one.
+    fn should_compress(&self, raw: usize, bottleneck_bps: Option<f64>, cohort: usize) -> bool {
+        match self.mode {
+            DownlinkMode::Raw => false,
+            DownlinkMode::Compressed => true,
+            DownlinkMode::Adaptive => {
+                let (Some(profile), Some(bw)) = (&self.profile, bottleneck_bps) else {
+                    return true;
+                };
+                let plan = TransferPlan {
+                    compress_secs: profile.encode_secs_per_byte * raw as f64 / cohort.max(1) as f64,
+                    decompress_secs: profile.decode_secs_per_byte * raw as f64,
+                    original_bytes: raw,
+                    compressed_bytes: ((raw as f64 / profile.ratio) as usize).max(1),
+                };
+                plan.worthwhile(bw)
+            }
+        }
+    }
+
+    /// Encodes one round's broadcast. `bottleneck_bps` is the slowest
+    /// cohort downlink (drives the adaptive decision; `None` means no
+    /// network model, which adaptive treats as "compress") and
+    /// `cohort` the number of clients the one encode fans out to.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the global model holds non-finite weights (the
+    /// codec's contract).
+    pub fn encode(
+        &self,
+        global: &StateDict,
+        bottleneck_bps: Option<f64>,
+        cohort: usize,
+    ) -> DownlinkPayload {
+        let raw_bytes = global.byte_size();
+        if self.should_compress(raw_bytes, bottleneck_bps, cohort) {
+            let codec = self.codec.as_ref().expect("compressing mode implies a codec");
+            let t0 = Instant::now();
+            let bytes = codec.compress(global).expect("finite global weights").into_bytes();
+            DownlinkPayload {
+                bytes,
+                compressed: true,
+                encode_secs: t0.elapsed().as_secs_f64(),
+                raw_bytes,
+            }
+        } else {
+            DownlinkPayload {
+                bytes: global.to_bytes(),
+                compressed: false,
+                encode_secs: 0.0,
+                raw_bytes,
+            }
+        }
+    }
+
+    /// Decodes a received broadcast (FedSZ stream or raw dict bytes).
+    ///
+    /// # Errors
+    ///
+    /// Returns a codec error on malformed bytes.
+    pub fn decode(&self, bytes: &[u8], compressed: bool) -> Result<StateDict> {
+        if compressed {
+            self.codec.as_ref().expect("compressed broadcast without codec").decompress(bytes)
+        } else {
+            StateDict::from_bytes(bytes)
+        }
+    }
+
+    /// Folds one round's measured costs into the EWMA profile the
+    /// adaptive decision uses. No-op for raw rounds (nothing was
+    /// measured).
+    pub fn observe(&mut self, payload: &DownlinkPayload, decode_secs: f64) {
+        if !payload.compressed || payload.raw_bytes == 0 {
+            return;
+        }
+        let raw = payload.raw_bytes as f64;
+        let sample = DownlinkProfile {
+            encode_secs_per_byte: payload.encode_secs / raw,
+            decode_secs_per_byte: decode_secs / raw,
+            ratio: payload.ratio().max(f64::MIN_POSITIVE),
+        };
+        self.profile = Some(match self.profile {
+            None => sample,
+            Some(prev) => DownlinkProfile {
+                encode_secs_per_byte: 0.5 * prev.encode_secs_per_byte
+                    + 0.5 * sample.encode_secs_per_byte,
+                decode_secs_per_byte: 0.5 * prev.decode_secs_per_byte
+                    + 0.5 * sample.decode_secs_per_byte,
+                ratio: 0.5 * prev.ratio + 0.5 * sample.ratio,
+            },
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedsz_tensor::Tensor;
+
+    fn model() -> StateDict {
+        let mut dict = StateDict::new();
+        let data: Vec<f32> = (0..4096).map(|i| ((i as f32) * 0.01).sin()).collect();
+        dict.insert("enc.weight", Tensor::from_vec(vec![4096], data));
+        dict.insert("enc.bias", Tensor::filled(vec![16], 0.25));
+        dict
+    }
+
+    fn config() -> FedSzConfig {
+        FedSzConfig { threshold: 128, ..FedSzConfig::default() }
+    }
+
+    #[test]
+    fn raw_mode_ships_dict_bytes() {
+        let downlink = Downlink::new(DownlinkMode::Raw, None);
+        let payload = downlink.encode(&model(), Some(10e6), 4);
+        assert!(!payload.compressed);
+        assert_eq!(payload.bytes, model().to_bytes());
+        let back = downlink.decode(&payload.bytes, payload.compressed).unwrap();
+        assert_eq!(back, model());
+    }
+
+    #[test]
+    fn compressed_mode_shrinks_and_round_trips() {
+        let downlink = Downlink::new(DownlinkMode::Compressed, Some(config()));
+        let payload = downlink.encode(&model(), None, 4);
+        assert!(payload.compressed);
+        assert!(payload.ratio() > 1.5, "ratio {:.2}", payload.ratio());
+        let back = downlink.decode(&payload.bytes, payload.compressed).unwrap();
+        assert_eq!(back.len(), model().len());
+        // The lossless partition survives exactly.
+        assert_eq!(back.get("enc.bias").unwrap().data(), model().get("enc.bias").unwrap().data());
+    }
+
+    #[test]
+    fn adaptive_probes_then_respects_the_cost_model() {
+        let mut downlink = Downlink::new(DownlinkMode::Adaptive, Some(config()));
+        let probe = downlink.encode(&model(), Some(1e12), 2);
+        assert!(probe.compressed, "first round must probe");
+        let back = downlink.decode(&probe.bytes, true).unwrap();
+        assert_eq!(back.len(), model().len());
+        downlink.observe(&probe, 1e-3);
+        // Terabit downlink: transfer is free, codec time can never pay.
+        let fast = downlink.encode(&model(), Some(1e12), 2);
+        assert!(!fast.compressed, "terabit links should get raw broadcasts");
+        // Kilobit downlink: transfer dominates, compression must win.
+        let slow = downlink.encode(&model(), Some(1e3), 2);
+        assert!(slow.compressed, "crawling links should get compressed broadcasts");
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a FedSZ configuration")]
+    fn compressing_mode_without_codec_rejected() {
+        let _ = Downlink::new(DownlinkMode::Compressed, None);
+    }
+}

@@ -1,0 +1,51 @@
+//! Sharded hierarchical aggregation with download-path compression.
+//!
+//! The paper's server is flat: every client uploads to one process,
+//! which averages updates in a single `O(clients · params)` loop and
+//! re-broadcasts `N` raw copies of the global model. That shape caps
+//! the scaling study at 127 clients on one serialized link. This
+//! subsystem replaces it with a pluggable pipeline that stays
+//! bit-compatible with flat FedAvg while scaling to 10^4+ clients:
+//!
+//! ```text
+//!            clients 0..k      clients k..m        clients m..n
+//!                │  ▲              │  ▲                │  ▲
+//!                ▼  │ encoded      ▼  │ broadcast      ▼  │
+//!            ┌────────┐        ┌────────┐          ┌────────┐
+//!            │ edge 0 │        │ edge 1 │   ...    │ edge S │   tree.rs
+//!            └───┬────┘        └───┬────┘          └───┬────┘   shard.rs
+//!    partial sum │ (LinkProfile)   │                   │
+//!                ▼                 ▼                   ▼
+//!            ┌─────────────────────────────────────────────┐
+//!            │ root: exact merge in shard order → global   │
+//!            └───────────────────┬─────────────────────────┘
+//!                                │ FedSZ-encode ONCE per round
+//!                        downlink.rs (Eqn-1 raw fallback)
+//! ```
+//!
+//! **Determinism.** Each edge owns a *contiguous* client-id range
+//! ([`ShardPlan`]) and merges its cohort in ascending client-id order;
+//! the root merges edge partials in ascending shard order. On top of
+//! that fixed order, [`shard::ExactAcc`] accumulates every `w·x` term
+//! in 128-bit fixed-point arithmetic, which is associative — so the
+//! sharded global model is **bit-identical** to the flat synchronous
+//! FedAvg result for *any* shard count (the parity tests assert
+//! exactly this for shards ∈ {1, 2, 7, 16}).
+//!
+//! **Cost model.** Root ingress drops from `N` update payloads to `S`
+//! partial-sum frames; the edge→root hop is priced on each edge's own
+//! [`LinkProfile`](crate::link::LinkProfile) by the same virtual-time
+//! model the client links use. On the download path, [`Downlink`]
+//! encodes the global model once per round and the tree fans the
+//! encoded stream out through the edges instead of the server
+//! re-sending `N` raw copies; the paper's Eqn 1 (via an EWMA of
+//! measured codec costs) falls back to raw bytes whenever the
+//! bottleneck link would get them there faster.
+
+pub mod downlink;
+pub mod shard;
+pub mod tree;
+
+pub use downlink::{Downlink, DownlinkMode, DownlinkPayload};
+pub use shard::{ExactAcc, PartialSum, ShardPlan};
+pub use tree::{AggOutcome, Aggregator, Contribution, FlatAggregator, ShardedTree};

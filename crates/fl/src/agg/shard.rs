@@ -1,0 +1,540 @@
+//! Shard planning and exact, merge-order-invariant partial sums.
+//!
+//! The sharded tree only works as a drop-in replacement for flat FedAvg
+//! if splitting the cohort across edge aggregators cannot change the
+//! aggregated model by even one bit. Floating-point addition is not
+//! associative, so naively summing per shard and then summing the shard
+//! partials would make the global model depend on the shard count. The
+//! fix here is [`ExactAcc`]: every term `w_i · x_i` is quantized onto a
+//! fixed `2^-80` binary grid (exact for every practically-scaled term —
+//! quantization only discards magnitude below `2^-80`, far beneath an
+//! `f32` model weight's resolution) and accumulated in 128-bit integer
+//! arithmetic. Integer addition is associative and commutative, so a
+//! [`PartialSum`] merge is bitwise independent of how clients were
+//! grouped into shards and of the order edges report in. The merge
+//! still runs in ascending client-id order per shard and ascending
+//! shard order at the root, so the bytes a debugger sees are stable
+//! too, not merely the final model.
+//!
+//! [`ShardPlan`] assigns each edge aggregator a contiguous client-id
+//! range (balanced to within one client), which keeps shard membership
+//! a pure function of the client id — no routing table to ship.
+
+use fedsz_codec::varint::{read_str, read_uvarint, write_str, write_uvarint};
+use fedsz_codec::{CodecError, Result};
+use fedsz_nn::StateDict;
+use fedsz_tensor::Tensor;
+use std::ops::Range;
+
+/// Fractional bits of the fixed-point accumulation grid: terms are
+/// summed exactly as multiples of `2^-80`.
+pub const FRAC_BITS: i32 = 80;
+
+/// Quantizes one `f64` term onto the `2^-80` grid (truncating toward
+/// zero), exactly — the shift arithmetic never rounds twice.
+///
+/// # Panics
+///
+/// Panics when the term is non-finite or its magnitude reaches `2^47`
+/// (far beyond any sane weighted model entry; a silent wrap would
+/// corrupt the aggregate).
+fn quantize(term: f64) -> i128 {
+    if term == 0.0 {
+        return 0;
+    }
+    assert!(term.is_finite(), "non-finite term in aggregation");
+    let bits = term.to_bits();
+    let negative = bits >> 63 == 1;
+    let biased = ((bits >> 52) & 0x7FF) as i32;
+    let frac = bits & ((1u64 << 52) - 1);
+    // value = ±m · 2^e with m in [2^52, 2^53) for normal numbers.
+    let (m, e) = if biased == 0 { (frac, -1074) } else { (frac | (1 << 52), biased - 1075) };
+    let shift = e + FRAC_BITS;
+    let magnitude: i128 = if shift >= 0 {
+        assert!(shift <= 74, "aggregation term magnitude {term:e} exceeds the fixed-point range");
+        i128::from(m) << shift
+    } else if shift > -64 {
+        i128::from(m >> (-shift) as u32)
+    } else {
+        0
+    };
+    if negative {
+        -magnitude
+    } else {
+        magnitude
+    }
+}
+
+/// An order- and grouping-invariant accumulator for `f64` terms.
+///
+/// Internally a signed 128-bit fixed-point integer at [`FRAC_BITS`]
+/// fractional bits; see the module docs for why this makes sharded
+/// aggregation bit-identical to flat aggregation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExactAcc(i128);
+
+impl ExactAcc {
+    /// Folds one term into the sum.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-finite terms, on terms with magnitude `>= 2^47`,
+    /// and on accumulator overflow (which would need astronomically
+    /// large weights).
+    pub fn add(&mut self, term: f64) {
+        self.0 = self.0.checked_add(quantize(term)).expect("partial-sum overflow");
+    }
+
+    /// Merges another accumulator exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics on overflow.
+    pub fn merge(&mut self, other: ExactAcc) {
+        self.0 = self.0.checked_add(other.0).expect("partial-sum overflow");
+    }
+
+    /// The accumulated value, rounded once to `f64`.
+    pub fn value(self) -> f64 {
+        // 2^-80, constructed bit-exactly (a decimal literal could be
+        // off by an ulp).
+        let scale = f64::from_bits(((1023 - FRAC_BITS as u64) & 0x7FF) << 52);
+        self.0 as f64 * scale
+    }
+
+    /// Whether nothing has been accumulated (or everything cancelled).
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// Contiguous, balanced assignment of client ids to edge shards.
+///
+/// Shard `s` owns [`ShardPlan::range`]`(s)`; the first `clients %
+/// shards` shards hold one extra client. Membership is a pure function
+/// of the client id, so every tier of the tree derives the same plan
+/// from `(clients, shards)` alone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardPlan {
+    clients: usize,
+    shards: usize,
+}
+
+impl ShardPlan {
+    /// Builds a plan; `shards` is clamped to `[1, clients]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `clients == 0`.
+    pub fn new(clients: usize, shards: usize) -> Self {
+        assert!(clients > 0, "need at least one client to shard");
+        Self { clients, shards: shards.clamp(1, clients) }
+    }
+
+    /// Total clients covered by the plan.
+    pub fn clients(&self) -> usize {
+        self.clients
+    }
+
+    /// Number of edge shards.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard that owns `client`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `client` is outside the plan.
+    pub fn shard_of(&self, client: usize) -> usize {
+        assert!(client < self.clients, "client {client} outside plan of {}", self.clients);
+        let base = self.clients / self.shards;
+        let extra = self.clients % self.shards;
+        let wide = extra * (base + 1);
+        if client < wide {
+            client / (base + 1)
+        } else {
+            extra + (client - wide) / base
+        }
+    }
+
+    /// The contiguous client-id range shard `shard` owns.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shard >= self.shards()`.
+    pub fn range(&self, shard: usize) -> Range<usize> {
+        assert!(shard < self.shards, "shard {shard} outside plan of {}", self.shards);
+        let base = self.clients / self.shards;
+        let extra = self.clients % self.shards;
+        let start = shard * base + shard.min(extra);
+        let len = base + usize::from(shard < extra);
+        start..start + len
+    }
+}
+
+/// One decoded partial-sum frame entry: `(name, shape, f64 sums)`.
+pub type DecodedPartialEntry = (String, Vec<usize>, Vec<f64>);
+
+/// A weighted partial sum of state dicts, held exactly.
+///
+/// This is what an edge aggregator forwards to the root: one
+/// accumulator per model element plus the total weight, `Σ w_i · x_i`
+/// and `Σ w_i`. Merging two partial sums is exact ([`ExactAcc`]), so
+/// `finish` yields the same bytes no matter how contributions were
+/// grouped.
+#[derive(Debug, Clone, Default)]
+pub struct PartialSum {
+    entries: Vec<(String, Vec<usize>, Vec<ExactAcc>)>,
+    weight: ExactAcc,
+    contributions: usize,
+}
+
+impl PartialSum {
+    /// An empty partial sum.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of contributions folded in so far.
+    pub fn contributions(&self) -> usize {
+        self.contributions
+    }
+
+    /// Whether no contribution has been folded in.
+    pub fn is_empty(&self) -> bool {
+        self.contributions == 0
+    }
+
+    /// Total model elements per contribution.
+    pub fn total_elements(&self) -> usize {
+        self.entries.iter().map(|(_, _, accs)| accs.len()).sum()
+    }
+
+    /// Total accumulated weight.
+    pub fn weight_total(&self) -> f64 {
+        self.weight.value()
+    }
+
+    /// Folds one weighted state dict into the sum. The first
+    /// contribution fixes the entry names and shapes; later ones must
+    /// match it (the FedAvg setting: every client trains the same
+    /// architecture).
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive weights, on a missing entry, or on a
+    /// shape mismatch.
+    pub fn accumulate(&mut self, dict: &StateDict, weight: f64) {
+        assert!(weight.is_finite() && weight > 0.0, "weights must be positive");
+        if self.entries.is_empty() {
+            self.entries = dict
+                .iter()
+                .map(|(name, t)| {
+                    (name.to_owned(), t.shape().to_vec(), vec![ExactAcc::default(); t.len()])
+                })
+                .collect();
+        }
+        for (name, shape, accs) in &mut self.entries {
+            let tensor = dict.get(name).unwrap_or_else(|| panic!("update missing entry `{name}`"));
+            assert_eq!(tensor.shape(), &shape[..], "shape mismatch for `{name}`");
+            for (acc, &v) in accs.iter_mut().zip(tensor.data()) {
+                acc.add(weight * f64::from(v));
+            }
+        }
+        self.weight.add(weight);
+        self.contributions += 1;
+    }
+
+    /// Merges another partial sum exactly. Either side may be empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics when both sides are non-empty and disagree on entry names
+    /// or shapes.
+    pub fn merge(&mut self, other: PartialSum) {
+        if other.is_empty() {
+            return;
+        }
+        if self.is_empty() {
+            *self = other;
+            return;
+        }
+        assert_eq!(self.entries.len(), other.entries.len(), "partial sums disagree on entries");
+        for ((name, shape, accs), (oname, oshape, oaccs)) in
+            self.entries.iter_mut().zip(other.entries)
+        {
+            assert_eq!(*name, oname, "partial sums disagree on entry order");
+            assert_eq!(*shape, oshape, "shape mismatch for `{name}`");
+            for (acc, oacc) in accs.iter_mut().zip(oaccs) {
+                acc.merge(oacc);
+            }
+        }
+        self.weight.merge(other.weight);
+        self.contributions += other.contributions;
+    }
+
+    /// Divides by the total weight and rounds to `f32`, producing the
+    /// aggregated state dict. Returns `None` when nothing was
+    /// accumulated.
+    pub fn finish(&self) -> Option<StateDict> {
+        if self.is_empty() {
+            return None;
+        }
+        let total = self.weight.value();
+        assert!(total > 0.0, "aggregate weight must be positive");
+        let mut out = StateDict::new();
+        for (name, shape, accs) in &self.entries {
+            let data: Vec<f32> = accs.iter().map(|a| (a.value() / total) as f32).collect();
+            out.insert(name.clone(), Tensor::from_vec(shape.clone(), data));
+        }
+        Some(out)
+    }
+
+    /// Serializes the sums as the payload an edge would ship to the
+    /// root: entry names, shapes and the `f64`-rounded accumulator
+    /// values. (The in-process tree merges the exact accumulators
+    /// instead — shipping rounded sums would re-introduce
+    /// shard-dependent rounding — but this is the byte image the wire
+    /// accounting charges for.)
+    pub fn encode_payload(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.total_elements() * 8 + 64);
+        write_uvarint(&mut out, self.entries.len() as u64);
+        for (name, shape, accs) in &self.entries {
+            write_str(&mut out, name);
+            write_uvarint(&mut out, shape.len() as u64);
+            for &d in shape {
+                write_uvarint(&mut out, d as u64);
+            }
+            for acc in accs {
+                out.extend_from_slice(&acc.value().to_bits().to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Parses an [`PartialSum::encode_payload`] image back into `(name,
+    /// shape, sums)` triples — the far side of the partial-sum frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] on truncated or malformed input.
+    pub fn decode_payload(bytes: &[u8]) -> Result<Vec<DecodedPartialEntry>> {
+        let mut pos = 0usize;
+        let count = read_uvarint(bytes, &mut pos)? as usize;
+        // Header-claimed sizes bound allocations *before* reserving:
+        // a corrupt frame must fail with a CodecError, not abort in
+        // the allocator on a terabyte `with_capacity`.
+        if count > bytes.len().saturating_sub(pos) {
+            return Err(CodecError::Corrupt("entry count larger than remaining input"));
+        }
+        let mut entries = Vec::with_capacity(count);
+        for _ in 0..count {
+            let name = read_str(bytes, &mut pos)?.to_owned();
+            let rank = read_uvarint(bytes, &mut pos)? as usize;
+            if rank > 8 {
+                return Err(CodecError::Corrupt("tensor rank too large"));
+            }
+            let mut shape = Vec::with_capacity(rank);
+            let mut elems = 1usize;
+            for _ in 0..rank {
+                let d = read_uvarint(bytes, &mut pos)? as usize;
+                elems = elems.checked_mul(d).ok_or(CodecError::Corrupt("shape overflow"))?;
+                shape.push(d);
+            }
+            if elems > bytes.len().saturating_sub(pos) / 8 {
+                return Err(CodecError::Corrupt("tensor larger than remaining input"));
+            }
+            let mut sums = Vec::with_capacity(elems);
+            for _ in 0..elems {
+                let raw = bytes.get(pos..pos + 8).ok_or(CodecError::UnexpectedEof)?;
+                sums.push(f64::from_bits(u64::from_le_bytes(raw.try_into().expect("8 bytes"))));
+                pos += 8;
+            }
+            entries.push((name, shape, sums));
+        }
+        if pos != bytes.len() {
+            return Err(CodecError::Corrupt("trailing bytes in partial-sum payload"));
+        }
+        Ok(entries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dict(values: &[f32]) -> StateDict {
+        let mut sd = StateDict::new();
+        sd.insert("w.weight", Tensor::from_vec(vec![values.len()], values.to_vec()));
+        sd
+    }
+
+    #[test]
+    fn quantize_is_exact_for_weight_scale_values() {
+        // Exactness needs every mantissa bit on or above the 2^-80
+        // grid, which holds for all weight-scale magnitudes (an f32
+        // promoted to f64 keeps a 24-bit mantissa, so even 1e-6-scale
+        // values bottom out near 2^-44).
+        for v in [1.0f64, -1.0, 0.5, 3.75, f64::from(-1e-6f32), 123.456, 2f64.powi(-40)] {
+            let mut acc = ExactAcc::default();
+            acc.add(v);
+            assert_eq!(acc.value(), v, "value {v} should round-trip exactly");
+        }
+    }
+
+    #[test]
+    fn tiny_terms_truncate_deterministically() {
+        // Magnitude below the 2^-80 grid vanishes — by design, and
+        // deterministically (2^-80 is far beneath any f32 weight's
+        // contribution to an average).
+        let mut acc = ExactAcc::default();
+        acc.add(1e-40);
+        assert_eq!(acc.value(), 0.0);
+        acc.add(f64::from(f32::MIN_POSITIVE));
+        assert_eq!(acc.value(), 0.0);
+        // Partially representable terms keep their on-grid part.
+        let mut partial = ExactAcc::default();
+        partial.add(1.0 + 2f64.powi(-100));
+        assert_eq!(partial.value(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "fixed-point range")]
+    fn huge_terms_rejected() {
+        let mut acc = ExactAcc::default();
+        acc.add(1e30);
+    }
+
+    #[test]
+    fn accumulation_is_grouping_invariant() {
+        // The property the whole tree rests on: any grouping of the same
+        // terms produces the same bits.
+        let terms: Vec<f64> =
+            (0..257).map(|i| ((i * 2654435761u64 as usize) as f64).sin() * 0.37).collect();
+        let mut flat = ExactAcc::default();
+        for &t in &terms {
+            flat.add(t);
+        }
+        for split in [1usize, 2, 7, 100, 256] {
+            let mut left = ExactAcc::default();
+            let mut right = ExactAcc::default();
+            for &t in &terms[..split] {
+                left.add(t);
+            }
+            for &t in &terms[split..] {
+                right.add(t);
+            }
+            left.merge(right);
+            assert_eq!(left, flat, "split at {split} changed the sum");
+        }
+    }
+
+    #[test]
+    fn shard_plan_partitions_contiguously() {
+        for (clients, shards) in [(10, 3), (16, 16), (7, 2), (100, 7), (5, 9)] {
+            let plan = ShardPlan::new(clients, shards);
+            let mut covered = 0usize;
+            for s in 0..plan.shards() {
+                let range = plan.range(s);
+                assert_eq!(range.start, covered, "ranges must be contiguous");
+                for c in range.clone() {
+                    assert_eq!(plan.shard_of(c), s, "shard_of must invert range");
+                }
+                covered = range.end;
+            }
+            assert_eq!(covered, clients, "ranges must cover every client");
+        }
+    }
+
+    #[test]
+    fn shard_plan_balances_within_one() {
+        let plan = ShardPlan::new(10, 3);
+        let sizes: Vec<usize> = (0..3).map(|s| plan.range(s).len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 10);
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn partial_sum_matches_manual_average() {
+        let mut sum = PartialSum::new();
+        sum.accumulate(&dict(&[1.0, 2.0]), 1.0);
+        sum.accumulate(&dict(&[3.0, 6.0]), 1.0);
+        let avg = sum.finish().unwrap();
+        assert_eq!(avg.get("w.weight").unwrap().data(), &[2.0, 4.0]);
+        assert_eq!(sum.contributions(), 2);
+    }
+
+    #[test]
+    fn partial_sum_merge_is_shard_invariant() {
+        let dicts: Vec<StateDict> =
+            (0..13).map(|i| dict(&[(i as f32).sin(), 0.01 * i as f32, -1.7])).collect();
+        let mut flat = PartialSum::new();
+        for (i, d) in dicts.iter().enumerate() {
+            flat.accumulate(d, 1.0 + i as f64);
+        }
+        let flat_bytes = flat.finish().unwrap().to_bytes();
+        for shards in [1usize, 2, 5, 13] {
+            let plan = ShardPlan::new(dicts.len(), shards);
+            let mut root = PartialSum::new();
+            for s in 0..plan.shards() {
+                let mut partial = PartialSum::new();
+                for c in plan.range(s) {
+                    partial.accumulate(&dicts[c], 1.0 + c as f64);
+                }
+                root.merge(partial);
+            }
+            assert_eq!(
+                root.finish().unwrap().to_bytes(),
+                flat_bytes,
+                "{shards} shards changed the model"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_partial_sum_finishes_to_none() {
+        assert!(PartialSum::new().finish().is_none());
+        let mut sum = PartialSum::new();
+        sum.merge(PartialSum::new());
+        assert!(sum.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn mismatched_shapes_rejected() {
+        let mut sum = PartialSum::new();
+        sum.accumulate(&dict(&[1.0, 2.0]), 1.0);
+        sum.accumulate(&dict(&[1.0]), 1.0);
+    }
+
+    #[test]
+    fn corrupt_payload_size_claims_rejected_before_allocating() {
+        use fedsz_codec::varint::{write_str, write_uvarint};
+        // An absurd entry-count claim must error, not abort in the
+        // allocator.
+        let mut huge_count = Vec::new();
+        write_uvarint(&mut huge_count, u64::MAX >> 1);
+        assert!(PartialSum::decode_payload(&huge_count).is_err());
+        // Same for a single entry claiming a terabyte-scale dimension.
+        let mut giant_dim = Vec::new();
+        write_uvarint(&mut giant_dim, 1);
+        write_str(&mut giant_dim, "w.weight");
+        write_uvarint(&mut giant_dim, 1);
+        write_uvarint(&mut giant_dim, 1 << 40);
+        assert!(PartialSum::decode_payload(&giant_dim).is_err());
+    }
+
+    #[test]
+    fn payload_round_trips() {
+        let mut sum = PartialSum::new();
+        sum.accumulate(&dict(&[0.25, -3.5, 11.0]), 2.0);
+        let payload = sum.encode_payload();
+        let entries = PartialSum::decode_payload(&payload).unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].0, "w.weight");
+        assert_eq!(entries[0].1, vec![3]);
+        assert_eq!(entries[0].2, vec![0.5, -7.0, 22.0]);
+        assert!(PartialSum::decode_payload(&payload[..payload.len() - 1]).is_err());
+    }
+}

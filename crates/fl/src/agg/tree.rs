@@ -1,0 +1,387 @@
+//! The [`Aggregator`] trait and its flat and sharded-tree backends.
+//!
+//! The round engine no longer averages uploads in an inline loop; it
+//! hands the decoded, policy-accepted contributions to an `Aggregator`:
+//!
+//! * [`FlatAggregator`] — the paper's topology: every client reports
+//!   straight to the root, which merges in ascending client-id order.
+//!   Root ingress is every upload's wire bytes.
+//! * [`ShardedTree`] — a two-level tree: a [`ShardPlan`] assigns each
+//!   edge aggregator a contiguous client-id range, each edge merges its
+//!   cohort's updates in client-id order on its own worker thread, and
+//!   forwards a single weighted [`PartialSum`] frame over its own
+//!   [`LinkProfile`]. Root ingress drops from `N` updates to `S`
+//!   partial-sum frames, and the virtual clock prices the edge→root hop
+//!   (edge ready time + measured merge time + frame transfer).
+//!
+//! Both backends accumulate with [`PartialSum`]'s exact fixed-point
+//! arithmetic, so the sharded tree's global model is bit-identical to
+//! the flat result for any shard count — the property the parity tests
+//! pin down.
+
+use crate::agg::shard::{PartialSum, ShardPlan};
+use crate::link::LinkProfile;
+use crate::protocol::Message;
+use fedsz_nn::StateDict;
+use std::time::Instant;
+
+/// One policy-accepted, already-decoded update as aggregation input.
+#[derive(Debug, Clone)]
+pub struct Contribution {
+    /// Client id (stable across rounds; routes the update to its shard).
+    pub client: usize,
+    /// The decoded update.
+    pub dict: StateDict,
+    /// Aggregation weight (sample count, staleness-discounted, or 1).
+    pub weight: f64,
+    /// Wire bytes this update cost on its first hop (0 for stale
+    /// updates already held at the server).
+    pub wire_bytes: usize,
+    /// Virtual time the update reached its first-hop aggregator.
+    pub done_secs: f64,
+}
+
+/// What one round of aggregation produced.
+#[derive(Debug, Clone)]
+pub struct AggOutcome {
+    /// The merged global model.
+    pub global: StateDict,
+    /// Contributions folded in.
+    pub merged: usize,
+    /// Bytes arriving at the root: all update wire bytes (flat) or the
+    /// partial-sum frames (tree).
+    pub root_ingress_bytes: usize,
+    /// Virtual time the root holds the merged model: the last accepted
+    /// arrival (flat), or the slowest edge's ready + merge + forward
+    /// time (tree).
+    pub root_done_secs: f64,
+    /// Measured wall-clock spent merging (edge workers run in
+    /// parallel, so this tracks the slowest shard, not the sum).
+    pub merge_secs: f64,
+}
+
+/// Merges a round's accepted contributions into the next global model.
+pub trait Aggregator {
+    /// Short human-readable backend name (for reports).
+    fn name(&self) -> &'static str;
+
+    /// Distinct first-hop destinations a broadcast to `cohort` fans out
+    /// from the root: the cohort itself (flat) or its shards (tree).
+    fn fanout(&self, cohort: &[usize]) -> usize;
+
+    /// Merges one round's contributions; `None` when there are none
+    /// (the global model then stays put).
+    fn aggregate(&mut self, round: usize, contributions: Vec<Contribution>) -> Option<AggOutcome>;
+}
+
+/// Every client reports straight to the root (classic FedAvg).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FlatAggregator;
+
+impl Aggregator for FlatAggregator {
+    fn name(&self) -> &'static str {
+        "flat"
+    }
+
+    fn fanout(&self, cohort: &[usize]) -> usize {
+        cohort.len()
+    }
+
+    fn aggregate(
+        &mut self,
+        _round: usize,
+        mut contributions: Vec<Contribution>,
+    ) -> Option<AggOutcome> {
+        if contributions.is_empty() {
+            return None;
+        }
+        contributions.sort_by_key(|c| c.client);
+        let root_ingress_bytes = contributions.iter().map(|c| c.wire_bytes).sum();
+        let root_done_secs = contributions.iter().map(|c| c.done_secs).fold(0.0, f64::max);
+        let t0 = Instant::now();
+        let mut sum = PartialSum::new();
+        for c in &contributions {
+            sum.accumulate(&c.dict, c.weight);
+        }
+        let global = sum.finish().expect("non-empty contributions");
+        Some(AggOutcome {
+            global,
+            merged: contributions.len(),
+            root_ingress_bytes,
+            root_done_secs,
+            merge_secs: t0.elapsed().as_secs_f64(),
+        })
+    }
+}
+
+/// Two-level sharded tree: contiguous client ranges per edge, parallel
+/// edge merges, one partial-sum frame per edge to the root.
+#[derive(Debug, Clone)]
+pub struct ShardedTree {
+    plan: ShardPlan,
+    /// One uplink profile per edge aggregator; `None` skips the timing
+    /// model (edge→root forwards are free, as when the engine runs
+    /// without a network model).
+    edges: Option<Vec<LinkProfile>>,
+}
+
+impl ShardedTree {
+    /// Builds the tree over `plan` with optional per-edge uplinks.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `edges` is present but not one profile per shard.
+    pub fn new(plan: ShardPlan, edges: Option<Vec<LinkProfile>>) -> Self {
+        if let Some(edges) = &edges {
+            assert_eq!(
+                edges.len(),
+                plan.shards(),
+                "need one edge link per shard ({} links for {} shards)",
+                edges.len(),
+                plan.shards()
+            );
+        }
+        Self { plan, edges }
+    }
+
+    /// The shard plan in force.
+    pub fn plan(&self) -> ShardPlan {
+        self.plan
+    }
+
+    /// Seconds to move `bytes` over edge `shard`'s uplink (0 without a
+    /// timing model).
+    fn forward_secs(&self, shard: usize, bytes: usize) -> f64 {
+        match &self.edges {
+            Some(edges) => edges[shard].transfer_secs(bytes),
+            None => 0.0,
+        }
+    }
+
+    /// The wire size of the partial-sum frame edge `shard` would ship.
+    fn frame_bytes(&self, round: usize, shard: usize, sum: &PartialSum) -> usize {
+        Message::PartialSum {
+            round: round as u32,
+            shard: shard as u32,
+            clients: sum.contributions() as u32,
+            weight: sum.weight_total(),
+            payload: sum.encode_payload(),
+        }
+        .encode()
+        .len()
+    }
+
+    /// Streams synthesized updates through the tree without holding the
+    /// whole cohort in memory: each shard worker calls `make` for the
+    /// clients it owns (ascending) and folds the result straight into
+    /// its partial sum. This is what lets the scale bench sweep 10^4
+    /// clients — peak memory is one update per worker, not `N`.
+    pub fn aggregate_streamed<F>(&mut self, round: usize, make: &F) -> Option<AggOutcome>
+    where
+        F: Fn(usize) -> (StateDict, f64) + Sync,
+    {
+        let plan = self.plan;
+        let t0 = Instant::now();
+        let partials: Vec<PartialSum> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..plan.shards())
+                .map(|s| {
+                    scope.spawn(move || {
+                        let mut sum = PartialSum::new();
+                        for client in plan.range(s) {
+                            let (dict, weight) = make(client);
+                            sum.accumulate(&dict, weight);
+                        }
+                        sum
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("shard worker panicked")).collect()
+        });
+        self.reduce(round, partials, vec![0.0; plan.shards()], t0)
+    }
+
+    /// Root-side reduction shared by the engine and streamed paths:
+    /// accounts each non-empty edge's frame, prices its forward hop and
+    /// merges the partials in ascending shard order.
+    fn reduce(
+        &self,
+        round: usize,
+        partials: Vec<PartialSum>,
+        edge_ready: Vec<f64>,
+        t0: Instant,
+    ) -> Option<AggOutcome> {
+        let mut root = PartialSum::new();
+        let mut root_ingress_bytes = 0usize;
+        let mut root_done_secs = 0.0f64;
+        let mut merged = 0usize;
+        for (shard, partial) in partials.into_iter().enumerate() {
+            if partial.is_empty() {
+                continue;
+            }
+            let frame = self.frame_bytes(round, shard, &partial);
+            root_ingress_bytes += frame;
+            root_done_secs =
+                root_done_secs.max(edge_ready[shard] + self.forward_secs(shard, frame));
+            merged += partial.contributions();
+            root.merge(partial);
+        }
+        let global = root.finish()?;
+        Some(AggOutcome {
+            global,
+            merged,
+            root_ingress_bytes,
+            root_done_secs,
+            merge_secs: t0.elapsed().as_secs_f64(),
+        })
+    }
+}
+
+impl Aggregator for ShardedTree {
+    fn name(&self) -> &'static str {
+        "sharded-tree"
+    }
+
+    fn fanout(&self, cohort: &[usize]) -> usize {
+        let mut seen = vec![false; self.plan.shards()];
+        for &client in cohort {
+            seen[self.plan.shard_of(client)] = true;
+        }
+        seen.iter().filter(|&&s| s).count()
+    }
+
+    fn aggregate(&mut self, round: usize, contributions: Vec<Contribution>) -> Option<AggOutcome> {
+        if contributions.is_empty() {
+            return None;
+        }
+        let plan = self.plan;
+        let mut per_shard: Vec<Vec<Contribution>> =
+            (0..plan.shards()).map(|_| Vec::new()).collect();
+        for c in contributions {
+            per_shard[plan.shard_of(c.client)].push(c);
+        }
+        let t0 = Instant::now();
+        // Each edge merges its cohort in ascending client-id order on
+        // its own worker thread; the edge is "ready" once its slowest
+        // accepted member arrived and the merge itself completed.
+        let merged_shards: Vec<(PartialSum, f64)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = per_shard
+                .into_iter()
+                .map(|mut cohort| {
+                    scope.spawn(move || {
+                        cohort.sort_by_key(|c| c.client);
+                        let ready = cohort.iter().map(|c| c.done_secs).fold(0.0, f64::max);
+                        let t_edge = Instant::now();
+                        let mut sum = PartialSum::new();
+                        for c in &cohort {
+                            sum.accumulate(&c.dict, c.weight);
+                        }
+                        (sum, ready + t_edge.elapsed().as_secs_f64())
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("shard worker panicked")).collect()
+        });
+        let (partials, edge_ready): (Vec<_>, Vec<_>) = merged_shards.into_iter().unzip();
+        self.reduce(round, partials, edge_ready, t0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedsz_tensor::Tensor;
+
+    fn contribution(client: usize, value: f32, done_secs: f64) -> Contribution {
+        let mut dict = StateDict::new();
+        dict.insert("w.weight", Tensor::filled(vec![4], value));
+        Contribution { client, dict, weight: 1.0, wire_bytes: 100, done_secs }
+    }
+
+    #[test]
+    fn flat_and_tree_agree_bitwise() {
+        let contribs: Vec<Contribution> =
+            (0..11).map(|c| contribution(c, (c as f32).sin(), c as f64)).collect();
+        let flat = FlatAggregator.aggregate(0, contribs.clone()).unwrap().global.to_bytes();
+        for shards in [1usize, 2, 3, 7, 11] {
+            let mut tree = ShardedTree::new(ShardPlan::new(11, shards), None);
+            let out = tree.aggregate(0, contribs.clone()).unwrap();
+            assert_eq!(out.global.to_bytes(), flat, "{shards} shards diverged");
+            assert_eq!(out.merged, 11);
+        }
+    }
+
+    #[test]
+    fn tree_root_ingress_is_frames_not_uploads() {
+        let contribs: Vec<Contribution> = (0..8).map(|c| contribution(c, 1.0, 0.0)).collect();
+        let flat = FlatAggregator.aggregate(0, contribs.clone()).unwrap();
+        assert_eq!(flat.root_ingress_bytes, 800, "flat ingress sums upload wire bytes");
+        let mut tree = ShardedTree::new(ShardPlan::new(8, 4), None);
+        let out = tree.aggregate(0, contribs).unwrap();
+        // 4 frames of a 4-element partial sum each: well under 800 per
+        // frame-count scaling, and exactly 4 frames' worth.
+        let one_frame = out.root_ingress_bytes / 4;
+        assert_eq!(out.root_ingress_bytes, one_frame * 4);
+    }
+
+    #[test]
+    fn edge_links_price_the_forward_hop() {
+        let contribs: Vec<Contribution> = (0..4).map(|c| contribution(c, 1.0, 2.0)).collect();
+        let slow = vec![LinkProfile::symmetric(8.0); 2]; // 1 byte/s
+        let mut tree = ShardedTree::new(ShardPlan::new(4, 2), Some(slow));
+        let out = tree.aggregate(0, contribs.clone()).unwrap();
+        // Edges become ready at 2.0 virtual seconds, then a frame of F
+        // bytes takes F seconds at 8 bps.
+        let frame = out.root_ingress_bytes / 2;
+        assert!(
+            out.root_done_secs >= 2.0 + frame as f64 - 1.0,
+            "root_done {:.1}s must include the {frame}-byte forward",
+            out.root_done_secs
+        );
+        let mut free = ShardedTree::new(ShardPlan::new(4, 2), None);
+        let out_free = free.aggregate(0, contribs).unwrap();
+        assert!(out_free.root_done_secs < 3.0, "no timing model: forwards are free");
+    }
+
+    #[test]
+    fn fanout_counts_distinct_shards() {
+        let tree = ShardedTree::new(ShardPlan::new(8, 4), None);
+        assert_eq!(tree.fanout(&[0, 1]), 1, "same shard");
+        assert_eq!(tree.fanout(&[0, 7]), 2);
+        assert_eq!(tree.fanout(&[0, 2, 4, 6]), 4);
+        assert_eq!(FlatAggregator.fanout(&[0, 2, 4]), 3);
+    }
+
+    #[test]
+    fn streamed_matches_materialized() {
+        let make = |client: usize| {
+            let mut dict = StateDict::new();
+            dict.insert("w.weight", Tensor::filled(vec![3], client as f32 * 0.1));
+            (dict, 1.0 + client as f64)
+        };
+        let contribs: Vec<Contribution> = (0..10)
+            .map(|c| {
+                let (dict, weight) = make(c);
+                Contribution { client: c, dict, weight, wire_bytes: 0, done_secs: 0.0 }
+            })
+            .collect();
+        let mut tree = ShardedTree::new(ShardPlan::new(10, 3), None);
+        let materialized = tree.aggregate(0, contribs).unwrap();
+        let mut streamed_tree = ShardedTree::new(ShardPlan::new(10, 3), None);
+        let streamed = streamed_tree.aggregate_streamed(0, &make).unwrap();
+        assert_eq!(streamed.global.to_bytes(), materialized.global.to_bytes());
+        assert_eq!(streamed.merged, 10);
+    }
+
+    #[test]
+    fn empty_contributions_yield_none() {
+        assert!(FlatAggregator.aggregate(0, Vec::new()).is_none());
+        let mut tree = ShardedTree::new(ShardPlan::new(4, 2), None);
+        assert!(tree.aggregate(0, Vec::new()).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "one edge link per shard")]
+    fn mismatched_edge_links_rejected() {
+        let _ = ShardedTree::new(ShardPlan::new(4, 2), Some(vec![LinkProfile::default()]));
+    }
+}

@@ -16,9 +16,11 @@
 //!
 //! ```text
 //! Experiment / run_session / CLI        (adapters)
-//!        └── RoundEngine                (cohort, train, codec, aggregate)
+//!        └── RoundEngine                (cohort, train, codec, policy)
 //!              ├── Transport            (in-memory | framed-wire + CRC)
 //!              ├── link::schedule       (virtual clock, per-client links)
+//!              ├── agg::Aggregator      (flat | sharded tree, exact merge)
+//!              ├── agg::Downlink        (broadcast codec, Eqn 1 fallback)
 //!              └── fedsz::timing        (Eqn 1 compress-or-not advisor)
 //! ```
 //!
@@ -31,16 +33,21 @@
 //!   stragglers' updates are buffered and folded into the *next* round's
 //!   average with a staleness-discounted weight.
 
-use crate::client::Client;
-use crate::fedavg::weighted_fedavg;
+use crate::agg::{
+    Aggregator, Contribution, Downlink, DownlinkMode, FlatAggregator, ShardPlan, ShardedTree,
+};
 use crate::link::{self, Departure, LinkProfile, Topology};
 use crate::transport::Transport;
-use crate::{FlConfig, RoundMetrics};
+use crate::{Client, FlConfig, RoundMetrics};
 use fedsz::timing::TransferPlan;
 use fedsz::FedSz;
 use fedsz_nn::loss::top1_accuracy;
 use fedsz_nn::{Model, StateDict};
 use std::time::Instant;
+
+/// Default edge-aggregator uplink: edges sit in well-provisioned tiers
+/// (1 Gbps), unlike last-mile clients.
+const DEFAULT_EDGE_BPS: f64 = 1e9;
 
 /// When the server aggregates a round's uploads.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -109,6 +116,8 @@ pub struct RoundEngine {
     test_targets: Vec<usize>,
     transport: Box<dyn Transport>,
     topology: Option<Topology>,
+    aggregator: Box<dyn Aggregator>,
+    downlink: Downlink,
     pending: Vec<StaleUpdate>,
     codec_profile: Option<CodecProfile>,
 }
@@ -149,22 +158,60 @@ impl RoundEngine {
         let eval_model = Box::new(config.arch.build(config.seed, channels, hw, classes));
         let global = eval_model.state_dict();
         let (test_inputs, test_targets) = test.full_batch();
-        let topology = match (&config.links, config.bandwidth_bps) {
-            (Some(links), _) => {
-                assert_eq!(
-                    links.len(),
-                    config.clients,
-                    "need one link profile per client ({} links for {} clients)",
-                    links.len(),
-                    config.clients
-                );
-                Some(Topology::Dedicated(links.clone()))
+        // Shard plan and per-edge uplinks (sharded-tree mode only).
+        let plan = config.shards.map(|s| ShardPlan::new(config.clients, s));
+        let edge_links: Option<Vec<LinkProfile>> = plan.map(|plan| {
+            let edges = config
+                .edge_links
+                .clone()
+                .unwrap_or_else(|| vec![LinkProfile::symmetric(DEFAULT_EDGE_BPS); plan.shards()]);
+            assert_eq!(
+                edges.len(),
+                plan.shards(),
+                "need one edge link per shard ({} links for {} shards)",
+                edges.len(),
+                plan.shards()
+            );
+            edges
+        });
+        if let Some(links) = &config.links {
+            assert_eq!(
+                links.len(),
+                config.clients,
+                "need one link profile per client ({} links for {} clients)",
+                links.len(),
+                config.clients
+            );
+        }
+        let topology = match (&config.links, config.bandwidth_bps, &edge_links) {
+            // Sharded mode: every client keeps its own last mile to its
+            // edge; the tree variant carries both tiers' profiles.
+            (Some(links), _, Some(edges)) => {
+                Some(Topology::Tree { clients: links.clone(), edges: edges.clone() })
             }
-            (None, Some(bw)) => {
+            (None, Some(bw), Some(edges)) => Some(Topology::Tree {
+                clients: vec![
+                    LinkProfile::symmetric(bw).with_latency(config.latency_secs);
+                    config.clients
+                ],
+                edges: edges.clone(),
+            }),
+            (Some(links), _, None) => Some(Topology::Dedicated(links.clone())),
+            (None, Some(bw), None) => {
                 Some(Topology::Shared(LinkProfile::symmetric(bw).with_latency(config.latency_secs)))
             }
-            (None, None) => None,
+            (None, None, _) => None,
         };
+        let aggregator: Box<dyn Aggregator> = match plan {
+            // Edge forwards are only priced when a network model exists.
+            Some(plan) => Box::new(ShardedTree::new(plan, topology.as_ref().and(edge_links))),
+            None => Box::new(FlatAggregator),
+        };
+        let downlink_codec = match config.downlink {
+            DownlinkMode::Raw => None,
+            DownlinkMode::Compressed | DownlinkMode::Adaptive => config.compression,
+        };
+        let downlink = Downlink::new(config.downlink, downlink_codec);
         Self {
             config,
             clients,
@@ -174,6 +221,8 @@ impl RoundEngine {
             test_targets,
             transport,
             topology,
+            aggregator,
+            downlink,
             pending: Vec::new(),
             codec_profile: None,
         }
@@ -192,6 +241,11 @@ impl RoundEngine {
     /// The transport in use.
     pub fn transport_name(&self) -> &'static str {
         self.transport.name()
+    }
+
+    /// The aggregation backend in use (`"flat"` or `"sharded-tree"`).
+    pub fn aggregator_name(&self) -> &'static str {
+        self.aggregator.name()
     }
 
     /// Straggler updates currently buffered for the next round.
@@ -274,28 +328,59 @@ impl RoundEngine {
         let fedsz = self.config.compression.map(FedSz::new);
         let epochs = self.config.local_epochs;
 
-        // Broadcast: the global model crosses the transport once per
+        // Downlink stage: encode the global model ONCE for the whole
+        // round (Eqn 1 may fall back to raw on fast cohorts), then fan
+        // the same bytes out. The adaptive decision keys on the
+        // cohort's bottleneck downlink.
+        let bottleneck_bps = self.topology.as_ref().map(|t| {
+            selected.iter().map(|&id| t.link(id).bandwidth_bps).fold(f64::INFINITY, f64::min)
+        });
+        let payload = self.downlink.encode(&self.global, bottleneck_bps, selected.len());
+
+        // Broadcast: the encoded model crosses the transport once per
         // cohort client, exactly as it would on a real network. A
-        // verbatim delivery lets every client share one parsed dict
-        // instead of re-parsing `O(clients)` identical copies; only a
-        // transport that altered the bytes forces a per-client parse.
-        let dict_bytes = self.global.to_bytes();
+        // verbatim delivery lets every client share one decoded dict
+        // instead of re-decoding `O(clients)` identical copies; only a
+        // transport that altered the bytes forces a per-client decode.
         let mut downstream_bytes = 0usize;
+        let mut copy_wire_bytes = 0usize;
         let mut delivered_globals: Vec<Option<StateDict>> = Vec::with_capacity(selected.len());
         for &id in &selected {
             let delivered = self
                 .transport
-                .broadcast(round as u32, id as u64, &dict_bytes)
+                .broadcast(round as u32, id as u64, &payload.bytes, payload.compressed)
                 .expect("transport delivers broadcast");
             downstream_bytes += delivered.wire_bytes;
+            copy_wire_bytes = delivered.wire_bytes;
             delivered_globals.push(if delivered.verbatim {
-                None // byte-identical delivery: share `self.global`
+                None // byte-identical delivery: share one decode
             } else {
                 Some(
-                    StateDict::from_bytes(&delivered.payload).expect("broadcast bytes form a dict"),
+                    self.downlink
+                        .decode(&delivered.payload, delivered.compressed)
+                        .expect("broadcast bytes decode to a dict"),
                 )
             });
         }
+        // Under a sharded tree the root sends one copy per active
+        // shard and the edges fan out; flat servers send one per
+        // client.
+        let root_egress_bytes = self.aggregator.fanout(&selected) * copy_wire_bytes;
+        // One decode stands in for every verbatim client's (they all
+        // see identical bytes); the virtual clock still charges each
+        // client its own straggler-scaled share below.
+        let (decoded_global, decode_secs) = if payload.compressed {
+            let t0 = Instant::now();
+            let dict =
+                self.downlink.decode(&payload.bytes, true).expect("self-produced downlink stream");
+            (Some(dict), t0.elapsed().as_secs_f64())
+        } else {
+            (None, 0.0)
+        };
+        let downlink_ratio = payload.ratio();
+        let downlink_secs = payload.encode_secs + decode_secs;
+        self.downlink.observe(&payload, decode_secs);
+        let shared_downlink_global = decoded_global.as_ref();
         let decisions: Vec<bool> = selected.iter().map(|&id| self.should_compress(id)).collect();
 
         // Local work runs in parallel threads (clients own disjoint
@@ -308,7 +393,7 @@ impl RoundEngine {
             }
             mask
         };
-        let shared_global = &self.global;
+        let shared_global: &StateDict = shared_downlink_global.unwrap_or(&self.global);
         let mut outcomes: Vec<ClientOutcome> = std::thread::scope(|scope| {
             let handles: Vec<_> = self
                 .clients
@@ -372,6 +457,8 @@ impl RoundEngine {
         }
 
         // Virtual-time event queue: departures -> arrivals per link.
+        // A compressed broadcast charges every client its own
+        // straggler-scaled decode before training can start.
         let departures: Vec<Departure> = outcomes
             .iter()
             .zip(&wire_sizes)
@@ -385,7 +472,7 @@ impl RoundEngine {
                 };
                 Departure {
                     client: o.id,
-                    ready_secs: (o.train_secs + o.compress_secs) * slowdown,
+                    ready_secs: (decode_secs + o.train_secs + o.compress_secs) * slowdown,
                     bytes,
                     dropped: drop_prob > 0.0 && self.transit_coin(round, o.id) < drop_prob,
                 }
@@ -453,9 +540,9 @@ impl RoundEngine {
             })
             .collect();
 
-        // Aggregation under the configured policy.
-        let (aggregated_updates, stale_updates, round_secs) =
-            self.aggregate(round, server_updates, &arrivals);
+        // Aggregation under the configured policy and backend.
+        let (aggregated_updates, stale_updates, round_secs, root_ingress_bytes) =
+            self.aggregate(round, server_updates, &arrivals, &wire_sizes);
 
         let t_val = Instant::now();
         let test_accuracy = self.evaluate();
@@ -484,47 +571,49 @@ impl RoundEngine {
             ratio,
             downstream_bytes,
             upstream_bytes,
+            root_ingress_bytes,
+            root_egress_bytes,
+            downlink_ratio,
+            downlink_secs,
             aggregated_updates,
             stale_updates,
             dropped_updates: dropped_count,
         }
     }
 
-    /// Applies the aggregation policy, returning `(fresh + stale count
-    /// aggregated, stale count, virtual round completion time)`.
+    /// Applies the aggregation policy and backend, returning `(fresh +
+    /// stale count aggregated, stale count, virtual round completion
+    /// time, root ingress bytes)`. `wire_sizes` is aligned with
+    /// `server_updates`.
     fn aggregate(
         &mut self,
         round: usize,
         server_updates: Vec<ServerUpdate>,
         arrivals: &[link::Arrival],
-    ) -> (usize, usize, f64) {
-        // Which delivered uploads the policy waits for, and when the
-        // round completes on the virtual clock.
+        wire_sizes: &[usize],
+    ) -> (usize, usize, f64, usize) {
+        // Which delivered uploads the policy waits for.
         let delivered: Vec<&link::Arrival> = arrivals.iter().filter(|a| !a.dropped).collect();
-        let (accepted, round_secs): (&[&link::Arrival], f64) = match self.config.aggregation {
-            AggregationPolicy::Synchronous => {
-                (&delivered[..], delivered.iter().map(|a| a.done_secs).fold(0.0, f64::max))
-            }
+        let accepted: &[&link::Arrival] = match self.config.aggregation {
+            AggregationPolicy::Synchronous => &delivered[..],
             AggregationPolicy::Buffered { target } => {
                 let k = target.clamp(1, delivered.len().max(1)).min(delivered.len());
-                let taken = &delivered[..k];
-                (taken, taken.iter().map(|a| a.done_secs).fold(0.0, f64::max))
+                &delivered[..k]
             }
         };
-        // O(1) membership per client (this loop is per-client; a
-        // `Vec::contains` scan here would make the round quadratic).
-        let accepted_mask = {
-            let mut m = vec![false; self.clients.len()];
-            for a in accepted {
-                m[a.client] = true;
-            }
-            m
-        };
+        // O(1) membership and arrival-time lookups per client (these
+        // loops are per-client; a `Vec::contains` scan here would make
+        // the round quadratic).
+        let mut accepted_mask = vec![false; self.clients.len()];
+        let mut done_secs = vec![0.0f64; self.clients.len()];
+        for a in accepted {
+            accepted_mask[a.client] = true;
+            done_secs[a.client] = a.done_secs;
+        }
 
-        let mut dicts: Vec<StateDict> = Vec::new();
-        let mut weights: Vec<f64> = Vec::new();
+        let mut contributions: Vec<Contribution> = Vec::new();
         let mut stragglers: Vec<StaleUpdate> = Vec::new();
-        for update in server_updates {
+        for (update, &wire_bytes) in server_updates.into_iter().zip(wire_sizes) {
             if update.dropped {
                 continue;
             }
@@ -534,8 +623,13 @@ impl RoundEngine {
                 } else {
                     1.0
                 };
-                dicts.push(update.dict);
-                weights.push(w);
+                contributions.push(Contribution {
+                    client: update.id,
+                    dict: update.dict,
+                    weight: w,
+                    wire_bytes,
+                    done_secs: done_secs[update.id],
+                });
             } else {
                 stragglers.push(StaleUpdate {
                     client: update.id,
@@ -547,23 +641,32 @@ impl RoundEngine {
         }
         // Fold in stragglers buffered from earlier rounds, discounted by
         // staleness (an update from `age` rounds ago moved a model that
-        // has since advanced `age` times).
+        // has since advanced `age` times). They already reached the
+        // server, so they cost no fresh wire bytes and don't gate the
+        // round clock.
         let stale_applied = self.pending.len();
         let mut stale: Vec<StaleUpdate> = std::mem::take(&mut self.pending);
         stale.sort_by_key(|s| (s.round, s.client));
         for s in stale {
             let age = round.saturating_sub(s.round) as f64;
             let base = if self.config.weighted_aggregation { s.samples.max(1) as f64 } else { 1.0 };
-            dicts.push(s.dict);
-            weights.push(base / (1.0 + age));
+            contributions.push(Contribution {
+                client: s.client,
+                dict: s.dict,
+                weight: base / (1.0 + age),
+                wire_bytes: 0,
+                done_secs: 0.0,
+            });
         }
         self.pending = stragglers;
 
-        let aggregated = dicts.len();
-        if aggregated > 0 {
-            self.global = weighted_fedavg(&dicts, &weights);
+        match self.aggregator.aggregate(round, contributions) {
+            Some(outcome) => {
+                self.global = outcome.global;
+                (outcome.merged, stale_applied, outcome.root_done_secs, outcome.root_ingress_bytes)
+            }
+            None => (0, stale_applied, 0.0, 0),
         }
-        (aggregated, stale_applied, round_secs)
     }
 
     /// Folds measured codec costs into the EWMA profile the Eqn 1
@@ -717,6 +820,77 @@ mod tests {
         let mut config = FlConfig::smoke_test();
         config.clients = 3;
         config.links = Some(vec![LinkProfile::default()]);
+        let _ = engine(config);
+    }
+
+    #[test]
+    fn sharded_engine_cuts_root_traffic_both_ways() {
+        let mut config = FlConfig::smoke_test();
+        config.clients = 8;
+        config.rounds = 1;
+        let mut flat = engine(config.clone());
+        let flat_m = flat.run_round(0);
+        assert_eq!(flat.aggregator_name(), "flat");
+        assert_eq!(flat_m.root_ingress_bytes, flat_m.upstream_bytes);
+        assert_eq!(flat_m.root_egress_bytes, flat_m.downstream_bytes);
+
+        config.shards = Some(4);
+        let mut sharded = engine(config);
+        let m = sharded.run_round(0);
+        assert_eq!(sharded.aggregator_name(), "sharded-tree");
+        // The root receives 4 partial-sum frames instead of 8 uploads,
+        // and sends 4 broadcast copies (the edges fan out) instead of 8.
+        assert!(m.root_ingress_bytes > 0);
+        assert_eq!(m.root_egress_bytes * 2, m.downstream_bytes);
+        // Client-facing traffic is unchanged: sharding reshapes the
+        // server side only.
+        assert_eq!(m.upstream_bytes, flat_m.upstream_bytes);
+        assert_eq!(m.downstream_bytes, flat_m.downstream_bytes);
+    }
+
+    #[test]
+    fn downlink_compression_shrinks_broadcasts() {
+        let mut config = FlConfig::smoke_test();
+        config.rounds = 1;
+        let raw = engine(config.clone()).run_round(0);
+        assert!(raw.downlink_ratio <= 1.0, "raw broadcasts carry a small header");
+        assert_eq!(raw.downlink_secs, 0.0);
+
+        config.downlink = DownlinkMode::Compressed;
+        let packed = engine(config).run_round(0);
+        assert!(
+            packed.downstream_bytes * 2 < raw.downstream_bytes,
+            "encoded broadcasts should at least halve downstream: {} vs {}",
+            packed.downstream_bytes,
+            raw.downstream_bytes
+        );
+        assert!(packed.downlink_ratio > 1.5, "ratio {:.2}", packed.downlink_ratio);
+        assert!(packed.downlink_secs > 0.0);
+    }
+
+    #[test]
+    fn adaptive_downlink_goes_raw_on_fast_links() {
+        let mut config = FlConfig::smoke_test();
+        config.rounds = 3;
+        config.links = Some(vec![LinkProfile::symmetric(1e12); 2]);
+        config.downlink = DownlinkMode::Adaptive;
+        let metrics = engine(config).run();
+        assert!(metrics[0].downlink_ratio > 1.2, "first round must probe the codec");
+        let last = metrics.last().unwrap();
+        assert!(
+            last.downlink_ratio <= 1.0,
+            "terabit links should fall back to raw broadcasts, ratio {:.2}",
+            last.downlink_ratio
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "one edge link per shard")]
+    fn mismatched_edge_link_count_rejected() {
+        let mut config = FlConfig::smoke_test();
+        config.clients = 4;
+        config.shards = Some(2);
+        config.edge_links = Some(vec![LinkProfile::default()]);
         let _ = engine(config);
     }
 }

@@ -1,7 +1,13 @@
 //! Federated Averaging (McMahan et al., AISTATS 2017).
+//!
+//! Both entry points accumulate through the
+//! [`agg`](crate::agg) subsystem's exact fixed-point kernel
+//! ([`PartialSum`]), so the result is independent of summation order
+//! and grouping — the property that lets the sharded aggregation tree
+//! stay bit-identical to this flat reference.
 
+use crate::agg::PartialSum;
 use fedsz_nn::StateDict;
-use fedsz_tensor::Tensor;
 
 /// Averages client state dicts entry-wise with uniform weights.
 ///
@@ -28,29 +34,19 @@ pub fn fedavg(updates: &[StateDict]) -> StateDict {
 pub fn weighted_fedavg(updates: &[StateDict], weights: &[f64]) -> StateDict {
     assert!(!updates.is_empty(), "cannot average zero updates");
     assert_eq!(updates.len(), weights.len(), "one weight per update");
-    let total: f64 = weights.iter().sum();
-    assert!(total > 0.0 && weights.iter().all(|&w| w > 0.0), "weights must be positive");
+    assert!(weights.iter().all(|&w| w > 0.0), "weights must be positive");
 
-    let mut out = StateDict::new();
-    for (name, first) in updates[0].iter() {
-        let mut acc = vec![0.0f64; first.len()];
-        for (update, &w) in updates.iter().zip(weights) {
-            let tensor =
-                update.get(name).unwrap_or_else(|| panic!("update missing entry `{name}`"));
-            assert_eq!(tensor.shape(), first.shape(), "shape mismatch for `{name}`");
-            for (a, &v) in acc.iter_mut().zip(tensor.data()) {
-                *a += w * f64::from(v);
-            }
-        }
-        let data: Vec<f32> = acc.into_iter().map(|v| (v / total) as f32).collect();
-        out.insert(name.to_owned(), Tensor::from_vec(first.shape().to_vec(), data));
+    let mut sum = PartialSum::new();
+    for (update, &w) in updates.iter().zip(weights) {
+        sum.accumulate(update, w);
     }
-    out
+    sum.finish().expect("non-empty updates")
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fedsz_tensor::Tensor;
 
     fn dict(value: f32) -> StateDict {
         let mut sd = StateDict::new();

@@ -14,9 +14,13 @@
 //! scaling harness and the CLI — drives the same
 //! [`engine::RoundEngine`], parameterized by a [`transport::Transport`]
 //! (analytic in-memory, or framed-wire with CRC accounting), a link
-//! [`link::Topology`] (one shared pipe or per-client heterogeneous
-//! links) and an [`engine::AggregationPolicy`] (synchronous FedAvg or
-//! FedBuff-style buffered-asynchronous aggregation).
+//! [`link::Topology`] (one shared pipe, per-client heterogeneous
+//! links, or a two-level aggregation tree), an
+//! [`engine::AggregationPolicy`] (synchronous FedAvg or FedBuff-style
+//! buffered-asynchronous aggregation), an [`agg::Aggregator`] backend
+//! (flat server or [`agg::ShardedTree`] with bit-identical results)
+//! and an [`agg::Downlink`] stage (raw, FedSZ-encoded, or Eqn-1
+//! adaptive broadcasts).
 //!
 //! # Examples
 //!
@@ -33,21 +37,21 @@
 
 #![forbid(unsafe_code)]
 
+pub mod agg;
 pub mod baselines;
 pub mod client;
 pub mod engine;
 pub mod fedavg;
 pub mod link;
-pub mod network;
 pub mod protocol;
 pub mod scaling;
 pub mod transport;
 
+pub use agg::{DownlinkMode, ShardPlan};
 pub use client::Client;
 pub use engine::{AggregationPolicy, RoundEngine};
 pub use fedavg::fedavg;
 pub use link::LinkProfile;
-pub use network::SimulatedNetwork;
 
 use fedsz::FedSzConfig;
 use fedsz_data::{DatasetKind, SyntheticConfig};
@@ -107,6 +111,19 @@ pub struct FlConfig {
     /// Eqn 1 (slow links compress, fast links send raw) instead of
     /// compressing unconditionally.
     pub adaptive_compression: bool,
+    /// Edge-aggregator shard count for the two-level
+    /// [`agg::ShardedTree`]; `None` keeps the paper's flat server. The
+    /// sharded global model is bit-identical to the flat synchronous
+    /// result for any value here (clamped to the client count).
+    pub shards: Option<usize>,
+    /// Per-edge uplink profiles for the sharded tree, one per shard.
+    /// `None` gives every edge a 1 Gbps backbone link (edge
+    /// aggregators live in well-provisioned tiers, unlike clients).
+    pub edge_links: Option<Vec<LinkProfile>>,
+    /// How the global model travels server→client: raw every round
+    /// (the paper's setting), FedSZ-encoded once per round, or Eqn-1
+    /// adaptive with a raw fallback.
+    pub downlink: DownlinkMode,
 }
 
 impl FlConfig {
@@ -140,6 +157,9 @@ impl FlConfig {
             links: None,
             aggregation: AggregationPolicy::Synchronous,
             adaptive_compression: false,
+            shards: None,
+            edge_links: None,
+            downlink: DownlinkMode::Raw,
         }
     }
 
@@ -169,6 +189,9 @@ impl FlConfig {
             links: None,
             aggregation: AggregationPolicy::Synchronous,
             adaptive_compression: false,
+            shards: None,
+            edge_links: None,
+            downlink: DownlinkMode::Raw,
         }
     }
 
@@ -198,14 +221,16 @@ pub struct RoundMetrics {
     /// Server-side decompression wall time summed over clients.
     pub decompress_secs: f64,
     /// Network busy time for this round's uploads from the virtual-time
-    /// event queue: the serialized sum on a shared pipe (the legacy
-    /// `SimulatedNetwork` accounting), the slowest single transfer when
-    /// per-client links overlap.
+    /// event queue: the serialized sum on a shared pipe, the slowest
+    /// single transfer when per-client links overlap (dedicated links
+    /// or a tree's client→edge hop).
     pub comm_secs: f64,
     /// Virtual wall-clock time until the aggregation condition was met
     /// (straggler-scaled compute + queueing + transfer of every upload
-    /// the policy waited for). Without a network model this is the
-    /// compute makespan alone — no transfer component.
+    /// the policy waited for; under a sharded tree this also covers
+    /// each edge's merge and its partial-sum forward to the root).
+    /// Without a network model this is the compute makespan alone — no
+    /// transfer component.
     pub round_secs: f64,
     /// Server-side validation wall time (seconds, measured).
     pub validation_secs: f64,
@@ -213,11 +238,26 @@ pub struct RoundMetrics {
     pub update_bytes: f64,
     /// Mean compression ratio across clients (1.0 when disabled).
     pub ratio: f64,
-    /// Server→client bytes on the wire this round (framing included on
-    /// the wire transport).
+    /// Server→client bytes on the wire this round — one (possibly
+    /// downlink-encoded) copy per cohort client, framing included on
+    /// the wire transport.
     pub downstream_bytes: usize,
     /// Client→server bytes on the wire this round.
     pub upstream_bytes: usize,
+    /// Bytes arriving at the root aggregator: every update's wire
+    /// bytes on a flat server, or one partial-sum frame per active
+    /// shard under the sharded tree (where it drops by the fan-in).
+    pub root_ingress_bytes: usize,
+    /// Bytes leaving the root on the broadcast: one copy per cohort
+    /// client on a flat server, one per active shard under the tree
+    /// (the edges fan the encoded stream out).
+    pub root_egress_bytes: usize,
+    /// Broadcast compression ratio (raw model bytes over shipped
+    /// payload; just under 1 when the downlink sends raw bytes).
+    pub downlink_ratio: f64,
+    /// Measured downlink codec wall time this round (one encode + one
+    /// decode; zero for raw broadcasts).
+    pub downlink_secs: f64,
     /// Updates folded into this round's average (fresh + stale).
     pub aggregated_updates: usize,
     /// Stale straggler updates applied this round (buffered policy).

@@ -7,8 +7,11 @@
 //! optional drop probability and a compute-slowdown factor for
 //! stragglers), and [`Topology`] states how those paths compose: a
 //! single [`Topology::Shared`] pipe that serializes every upload (the
-//! paper's setting, and the legacy `SimulatedNetwork` behaviour) or
-//! [`Topology::Dedicated`] per-client links that overlap in time.
+//! paper's setting), [`Topology::Dedicated`] per-client links that
+//! overlap in time, or a [`Topology::Tree`] whose clients talk to edge
+//! aggregators over their own last miles while the edges forward
+//! partial sums to the root over their own uplinks (the
+//! [`agg`](crate::agg) subsystem prices that second hop).
 //!
 //! [`schedule`] is the virtual clock: it turns "client `i` finished
 //! computing at `t_i` with `b_i` bytes to send" departure events into
@@ -16,8 +19,10 @@
 //! without ever sleeping. The round engine aggregates from this queue —
 //! synchronously (wait for everyone) or in FedBuff style (aggregate
 //! after the first `K` arrivals).
-
-use crate::network::SimulatedNetwork;
+//!
+//! This module is the repo's one timing model: the legacy
+//! `SimulatedNetwork` type computed the same `latency + bytes·8/bw`
+//! quantity and was folded into [`LinkProfile::transfer_secs`].
 
 /// One client's network path to the server.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -90,12 +95,6 @@ impl LinkProfile {
     }
 }
 
-impl From<SimulatedNetwork> for LinkProfile {
-    fn from(net: SimulatedNetwork) -> Self {
-        LinkProfile::symmetric(net.bandwidth_bps())
-    }
-}
-
 /// How client links compose at the server.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Topology {
@@ -104,18 +103,32 @@ pub enum Topology {
     Shared(LinkProfile),
     /// One independent link per client: uploads overlap in virtual time.
     Dedicated(Vec<LinkProfile>),
+    /// A two-level aggregation tree: each client has its own last mile
+    /// to its edge aggregator (so client transfers overlap, as with
+    /// dedicated links), and each edge forwards one partial-sum frame
+    /// to the root over its own uplink. The
+    /// [`ShardedTree`](crate::agg::ShardedTree) aggregator prices the
+    /// edge→root hop; this variant carries the profiles.
+    Tree {
+        /// One last-mile profile per client.
+        clients: Vec<LinkProfile>,
+        /// One uplink profile per edge aggregator.
+        edges: Vec<LinkProfile>,
+    },
 }
 
 impl Topology {
-    /// The link a given client transmits over.
+    /// The link a given client transmits over (its last mile, for a
+    /// tree).
     ///
     /// # Panics
     ///
-    /// Panics when a dedicated topology has no profile for `client`.
+    /// Panics when a dedicated or tree topology has no profile for
+    /// `client`.
     pub fn link(&self, client: usize) -> &LinkProfile {
         match self {
             Topology::Shared(link) => link,
-            Topology::Dedicated(links) => {
+            Topology::Dedicated(links) | Topology::Tree { clients: links, .. } => {
                 links.get(client).unwrap_or_else(|| panic!("no link profile for client {client}"))
             }
         }
@@ -160,7 +173,10 @@ pub struct Arrival {
 pub fn schedule(departures: &[Departure], topology: &Topology) -> Vec<Arrival> {
     let mut arrivals: Vec<Arrival> = Vec::with_capacity(departures.len());
     match topology {
-        Topology::Dedicated(_) => {
+        // Tree clients own their last miles, so the client→edge hop
+        // behaves like dedicated links; the edge→root hop is priced by
+        // the aggregator on top of these arrival times.
+        Topology::Dedicated(_) | Topology::Tree { .. } => {
             for d in departures {
                 let transfer = topology.link(d.client).transfer_secs(d.bytes);
                 arrivals.push(Arrival {
@@ -213,15 +229,17 @@ pub fn schedule(departures: &[Departure], topology: &Topology) -> Vec<Arrival> {
 }
 
 /// Time the network is busy with the round's uploads: the serialized sum
-/// on a shared pipe, the slowest single transfer on dedicated links.
-///
-/// This is the engine's `comm_secs` metric — on a shared pipe it matches
-/// the legacy `SimulatedNetwork` accounting exactly.
+/// on a shared pipe, the slowest single transfer when links overlap
+/// (dedicated links, or a tree's client→edge hop — the tree's
+/// edge→root forwards are accounted in the round-completion time, not
+/// here).
 pub fn comm_secs(arrivals: &[Arrival], topology: &Topology) -> f64 {
     let delivered = arrivals.iter().filter(|a| !a.dropped);
     match topology {
         Topology::Shared(_) => delivered.map(|a| a.transfer_secs).sum(),
-        Topology::Dedicated(_) => delivered.map(|a| a.transfer_secs).fold(0.0, f64::max),
+        Topology::Dedicated(_) | Topology::Tree { .. } => {
+            delivered.map(|a| a.transfer_secs).fold(0.0, f64::max)
+        }
     }
 }
 
@@ -318,9 +336,22 @@ mod tests {
     }
 
     #[test]
-    fn simulated_network_converts() {
-        let link: LinkProfile = SimulatedNetwork::new(5e6).into();
-        assert_eq!(link.bandwidth_bps, 5e6);
-        assert_eq!(link.drop_prob, 0.0);
+    fn tree_clients_overlap_like_dedicated_links() {
+        let topo = Topology::Tree {
+            clients: vec![LinkProfile::symmetric(8e6); 4],
+            edges: vec![LinkProfile::symmetric(1e9); 2],
+        };
+        let arrivals = schedule(&departures(4, 1_000_000), &topo);
+        assert!(arrivals.iter().all(|a| (a.done_secs - 1.0).abs() < 1e-9));
+        assert!((comm_secs(&arrivals, &topo) - 1.0).abs() < 1e-9);
+        assert_eq!(topo.link(3).bandwidth_bps, 8e6);
+    }
+
+    #[test]
+    fn paper_transfer_time_matches_arithmetic() {
+        // 10 Mbps, 230 MB -> 184 s (the paper's uncompressed AlexNet);
+        // this was the legacy SimulatedNetwork's defining check.
+        let link = LinkProfile::symmetric(10e6);
+        assert!((link.transfer_secs(230_000_000) - 184.0).abs() < 1e-9);
     }
 }

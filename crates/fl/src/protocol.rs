@@ -8,8 +8,8 @@
 //! FedSZ compresses in Fig 1.
 //!
 //! [`run_session`] is a thin adapter: it drives the shared
-//! [`RoundEngine`](crate::engine::RoundEngine) over the
-//! [`WireTransport`](crate::transport::WireTransport), so the wire path
+//! [`RoundEngine`] over the
+//! [`WireTransport`], so the wire path
 //! supports everything the analytic path does — partial participation,
 //! non-IID sharding, weighted aggregation, heterogeneous links and
 //! buffered-asynchronous rounds. Under the synchronous policy the wire
@@ -25,7 +25,7 @@ use crate::engine::RoundEngine;
 use crate::transport::WireTransport;
 use crate::FlConfig;
 use fedsz_codec::checksum::crc32;
-use fedsz_codec::varint::{read_u32, read_uvarint, write_u32, write_uvarint};
+use fedsz_codec::varint::{read_f64, read_u32, read_uvarint, write_f64, write_u32, write_uvarint};
 use fedsz_codec::{CodecError, Result};
 
 /// Frame magic.
@@ -64,6 +64,31 @@ pub enum Message {
     },
     /// Server ends the session.
     Shutdown,
+    /// Server ships a FedSZ-encoded global model for a round (the
+    /// download-path twin of [`Message::GlobalModel`]; encoded once,
+    /// fanned out to the whole cohort).
+    EncodedGlobal {
+        /// Round index.
+        round: u32,
+        /// FedSZ bitstream of the global model.
+        payload: Vec<u8>,
+    },
+    /// An edge aggregator forwards its shard's weighted partial sum to
+    /// the root (see [`PartialSum`](crate::agg::PartialSum), whose
+    /// `encode_payload` produces the payload image).
+    PartialSum {
+        /// Round index.
+        round: u32,
+        /// Shard index within the [`ShardPlan`](crate::agg::ShardPlan).
+        shard: u32,
+        /// Contributions merged into this partial.
+        clients: u32,
+        /// Total aggregation weight of the partial.
+        weight: f64,
+        /// `Σ w_i · x_i` per element, as encoded by
+        /// `PartialSum::encode_payload`.
+        payload: Vec<u8>,
+    },
 }
 
 impl Message {
@@ -73,6 +98,8 @@ impl Message {
             Message::GlobalModel { .. } => 2,
             Message::Update { .. } => 3,
             Message::Shutdown => 4,
+            Message::EncodedGlobal { .. } => 5,
+            Message::PartialSum { .. } => 6,
         }
     }
 
@@ -96,6 +123,19 @@ impl Message {
                 out.extend_from_slice(payload);
             }
             Message::Shutdown => {}
+            Message::EncodedGlobal { round, payload } => {
+                write_u32(&mut out, *round);
+                write_uvarint(&mut out, payload.len() as u64);
+                out.extend_from_slice(payload);
+            }
+            Message::PartialSum { round, shard, clients, weight, payload } => {
+                write_u32(&mut out, *round);
+                write_uvarint(&mut out, u64::from(*shard));
+                write_uvarint(&mut out, u64::from(*clients));
+                write_f64(&mut out, *weight);
+                write_uvarint(&mut out, payload.len() as u64);
+                out.extend_from_slice(payload);
+            }
         }
         let crc = crc32(&out);
         write_u32(&mut out, crc);
@@ -145,6 +185,25 @@ impl Message {
                 Message::Update { round, client_id, payload, compressed }
             }
             4 => Message::Shutdown,
+            5 => {
+                let round = read_u32(body, &mut pos)?;
+                let len = read_uvarint(body, &mut pos)? as usize;
+                let payload = body.get(pos..pos + len).ok_or(CodecError::UnexpectedEof)?.to_vec();
+                pos += len;
+                Message::EncodedGlobal { round, payload }
+            }
+            6 => {
+                let round = read_u32(body, &mut pos)?;
+                let shard = u32::try_from(read_uvarint(body, &mut pos)?)
+                    .map_err(|_| CodecError::Corrupt("shard index overflow"))?;
+                let clients = u32::try_from(read_uvarint(body, &mut pos)?)
+                    .map_err(|_| CodecError::Corrupt("client count overflow"))?;
+                let weight = read_f64(body, &mut pos)?;
+                let len = read_uvarint(body, &mut pos)? as usize;
+                let payload = body.get(pos..pos + len).ok_or(CodecError::UnexpectedEof)?.to_vec();
+                pos += len;
+                Message::PartialSum { round, shard, clients, weight, payload }
+            }
             _ => return Err(CodecError::Corrupt("unknown message tag")),
         };
         if pos != body.len() {
@@ -202,6 +261,14 @@ mod tests {
             Message::GlobalModel { round: 3, dict_bytes: vec![1, 2, 3, 4] },
             Message::Update { round: 3, client_id: 7, payload: vec![9; 100], compressed: true },
             Message::Shutdown,
+            Message::EncodedGlobal { round: 4, payload: vec![8; 33] },
+            Message::PartialSum {
+                round: 4,
+                shard: 2,
+                clients: 61,
+                weight: 61.5,
+                payload: vec![1, 2, 3],
+            },
         ];
         for msg in msgs {
             let frame = msg.encode();

@@ -6,14 +6,26 @@
 //! training and compression, while the shared 10 Mbps server link is
 //! simulated — transfers serialize at the server, which is what makes
 //! the uncompressed curves blow up and the FedSZ curves stay flat.
+//!
+//! [`ScalingConfig::shards`] extends the study past the paper: with `S`
+//! edge aggregators the cohort splits into contiguous shards, each
+//! edge's ingress pipe serializes only its own cohort, and the root
+//! receives `S` partial-sum frames over a fast backbone instead of `N`
+//! updates over the one constrained link — the sharded curves stay
+//! flat where the flat server's serialize-everything curve blows up.
 
+use crate::agg::{PartialSum, ShardPlan};
 use crate::client::Client;
 use crate::link::{self, Departure, LinkProfile, Topology};
+use crate::protocol::Message;
 use fedsz::{FedSz, FedSzConfig};
 use fedsz_data::{DatasetKind, SyntheticConfig};
 use fedsz_nn::models::tiny::TinyArch;
-use fedsz_nn::Model;
+use fedsz_nn::{Model, StateDict};
 use std::time::Instant;
+
+/// Backbone bandwidth of an edge aggregator's uplink to the root.
+const EDGE_BACKBONE_BPS: f64 = 1e9;
 
 /// One point of a scaling curve.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -24,8 +36,13 @@ pub struct ScalingPoint {
     pub clients: usize,
     /// Measured parallel compute time (train + compress) in seconds.
     pub compute_secs: f64,
-    /// Simulated serialized transfer time at the server in seconds.
+    /// Simulated serialized transfer time at the server in seconds
+    /// (under sharding: the slowest edge pipe plus the edge→root
+    /// forward).
     pub comm_secs: f64,
+    /// Bytes arriving at the root: every payload (flat) or one
+    /// partial-sum frame per shard (sharded).
+    pub root_ingress_bytes: usize,
 }
 
 impl ScalingPoint {
@@ -51,6 +68,11 @@ pub struct ScalingConfig {
     pub data: SyntheticConfig,
     /// Base seed.
     pub seed: u64,
+    /// Edge-aggregator count; `None` is the paper's flat server with
+    /// one shared pipe, `Some(s)` splits the cohort over `s` edge
+    /// ingress pipes (each at [`ScalingConfig::bandwidth_bps`]) that
+    /// forward partial sums over a 1 Gbps backbone.
+    pub shards: Option<usize>,
 }
 
 impl Default for ScalingConfig {
@@ -67,6 +89,7 @@ impl Default for ScalingConfig {
                 resolution: 16,
             },
             seed: 3,
+            shards: None,
         }
     }
 }
@@ -125,18 +148,64 @@ pub fn run_round(config: &ScalingConfig, clients: usize, workers: usize) -> Scal
     });
     let compute_secs = t0.elapsed().as_secs_f64();
 
-    // Serialized shared-pipe accounting via the virtual-time event
-    // queue (equivalent to summing per-payload transfer times, but the
-    // same machinery the round engine uses).
-    let topology = Topology::Shared(LinkProfile::symmetric(config.bandwidth_bps));
-    let departures: Vec<Departure> = payload_sizes
-        .iter()
-        .enumerate()
-        .map(|(client, &bytes)| Departure { client, ready_secs: 0.0, bytes, dropped: false })
-        .collect();
-    let arrivals = link::schedule(&departures, &topology);
-    let comm_secs = link::comm_secs(&arrivals, &topology);
-    ScalingPoint { workers, clients, compute_secs, comm_secs }
+    let (comm_secs, root_ingress_bytes) = match config.shards {
+        None => {
+            // Serialized shared-pipe accounting via the virtual-time
+            // event queue (equivalent to summing per-payload transfer
+            // times, but the same machinery the round engine uses).
+            let topology = Topology::Shared(LinkProfile::symmetric(config.bandwidth_bps));
+            let departures: Vec<Departure> = payload_sizes
+                .iter()
+                .enumerate()
+                .map(|(client, &bytes)| Departure {
+                    client,
+                    ready_secs: 0.0,
+                    bytes,
+                    dropped: false,
+                })
+                .collect();
+            let arrivals = link::schedule(&departures, &topology);
+            (link::comm_secs(&arrivals, &topology), payload_sizes.iter().sum())
+        }
+        Some(shards) => sharded_comm(config, &global, &payload_sizes, shards),
+    };
+    ScalingPoint { workers, clients, compute_secs, comm_secs, root_ingress_bytes }
+}
+
+/// Sharded accounting: each edge's ingress pipe serializes only its own
+/// cohort's payloads, then forwards one partial-sum frame over the
+/// backbone; the round's comm time is the slowest edge chain, and root
+/// ingress is the frames, not the payloads.
+fn sharded_comm(
+    config: &ScalingConfig,
+    global: &StateDict,
+    payload_sizes: &[usize],
+    shards: usize,
+) -> (f64, usize) {
+    let plan = ShardPlan::new(payload_sizes.len(), shards);
+    // The frame an edge ships is a function of the model geometry, not
+    // of the cohort, so one exemplar partial — framed exactly as the
+    // tree aggregator frames it — prices every edge.
+    let mut exemplar = PartialSum::new();
+    exemplar.accumulate(global, 1.0);
+    let frame_bytes = Message::PartialSum {
+        round: 0,
+        shard: 0,
+        clients: 1,
+        weight: exemplar.weight_total(),
+        payload: exemplar.encode_payload(),
+    }
+    .encode()
+    .len();
+    let edge_pipe = LinkProfile::symmetric(config.bandwidth_bps);
+    let backbone = LinkProfile::symmetric(EDGE_BACKBONE_BPS);
+    let mut slowest_edge = 0.0f64;
+    for s in 0..plan.shards() {
+        let ingress: f64 =
+            plan.range(s).map(|client| edge_pipe.transfer_secs(payload_sizes[client])).sum();
+        slowest_edge = slowest_edge.max(ingress + backbone.transfer_secs(frame_bytes));
+    }
+    (slowest_edge, plan.shards() * frame_bytes)
 }
 
 /// Weak scaling: one client per worker, workers in `worker_counts`.
@@ -189,6 +258,30 @@ mod tests {
             "compressed {:.3}s vs plain {:.3}s",
             packed.comm_secs,
             plain.comm_secs
+        );
+    }
+
+    #[test]
+    fn sharded_edges_cut_comm_and_root_ingress() {
+        // 16 uncompressed clients over 4 edge pipes: each edge
+        // serializes 4 payloads instead of 16, and the root sees 4
+        // partial-sum frames (8 B/element) instead of 16 payloads
+        // (4 B/element) — a 2x ingress cut at this fan-in.
+        let flat = run_round(&tiny_config(false), 16, 2);
+        let mut config = tiny_config(false);
+        config.shards = Some(4);
+        let sharded = run_round(&config, 16, 2);
+        assert!(
+            sharded.comm_secs < flat.comm_secs / 2.0,
+            "edge pipes must overlap: sharded {:.3}s vs flat {:.3}s",
+            sharded.comm_secs,
+            flat.comm_secs
+        );
+        assert!(
+            sharded.root_ingress_bytes * 3 < flat.root_ingress_bytes * 2,
+            "root ingress should drop: {} vs {}",
+            sharded.root_ingress_bytes,
+            flat.root_ingress_bytes
         );
     }
 

@@ -9,7 +9,7 @@
 //!   untouched and the wire cost is the payload size. This is what
 //!   `Experiment` always modelled.
 //! * [`WireTransport`] — the protocol path: every payload is framed as a
-//!   [`Message`](crate::protocol::Message) (magic + tag + CRC-32
+//!   [`Message`] (magic + tag + CRC-32
 //!   trailer), pushed through a loopback byte pipe, decoded and
 //!   checksum-verified on the far side. The wire cost is the full frame,
 //!   so framing overhead is part of the accounting — exactly what the
@@ -29,8 +29,8 @@ pub struct Delivered {
     /// `verbatim` is set on a broadcast: the receiver observes the
     /// sender's bytes unchanged, so no copy is materialized.
     pub payload: Vec<u8>,
-    /// Whether the payload is a FedSZ stream (uploads only; broadcasts
-    /// always carry raw state-dict bytes).
+    /// Whether the payload is a FedSZ stream (a compressed upload, or a
+    /// downlink-encoded broadcast).
     pub compressed: bool,
     /// Bytes that crossed the wire, including any framing.
     pub wire_bytes: usize,
@@ -47,13 +47,21 @@ pub trait Transport {
     /// Short human-readable transport name (for reports).
     fn name(&self) -> &'static str;
 
-    /// Ships the serialized global model to one client.
+    /// Ships the (possibly downlink-encoded) global model to one
+    /// client; `compressed` states whether `dict_bytes` is a FedSZ
+    /// stream rather than raw state-dict bytes.
     ///
     /// # Errors
     ///
     /// Returns a [`CodecError`] when the transport corrupts or rejects
     /// the frame (cannot happen on the in-memory path).
-    fn broadcast(&mut self, round: u32, client_id: u64, dict_bytes: &[u8]) -> Result<Delivered>;
+    fn broadcast(
+        &mut self,
+        round: u32,
+        client_id: u64,
+        dict_bytes: &[u8],
+        compressed: bool,
+    ) -> Result<Delivered>;
 
     /// Ships one client's (possibly compressed) update to the server.
     ///
@@ -81,12 +89,18 @@ impl Transport for InMemoryTransport {
         "in-memory"
     }
 
-    fn broadcast(&mut self, _round: u32, _client_id: u64, dict_bytes: &[u8]) -> Result<Delivered> {
+    fn broadcast(
+        &mut self,
+        _round: u32,
+        _client_id: u64,
+        dict_bytes: &[u8],
+        compressed: bool,
+    ) -> Result<Delivered> {
         // Verbatim delivery: the receiver reads the sender's bytes, so
         // copying them here would be O(model) dead allocation per client.
         Ok(Delivered {
             payload: Vec::new(),
-            compressed: false,
+            compressed,
             wire_bytes: dict_bytes.len(),
             verbatim: true,
         })
@@ -128,13 +142,26 @@ impl Transport for WireTransport {
         "framed-wire"
     }
 
-    fn broadcast(&mut self, round: u32, _client_id: u64, dict_bytes: &[u8]) -> Result<Delivered> {
-        let message = Message::GlobalModel { round, dict_bytes: dict_bytes.to_vec() };
+    fn broadcast(
+        &mut self,
+        round: u32,
+        _client_id: u64,
+        dict_bytes: &[u8],
+        compressed: bool,
+    ) -> Result<Delivered> {
+        let message = if compressed {
+            Message::EncodedGlobal { round, payload: dict_bytes.to_vec() }
+        } else {
+            Message::GlobalModel { round, dict_bytes: dict_bytes.to_vec() }
+        };
+        // Decode of a CRC-verified frame reproduces the sender's bytes
+        // exactly, so either frame kind delivers verbatim.
         match self.send_and_receive(message)? {
             (Message::GlobalModel { dict_bytes, .. }, wire_bytes) => {
-                // Decode of a CRC-verified frame reproduces the sender's
-                // bytes exactly.
                 Ok(Delivered { payload: dict_bytes, compressed: false, wire_bytes, verbatim: true })
+            }
+            (Message::EncodedGlobal { payload, .. }, wire_bytes) => {
+                Ok(Delivered { payload, compressed: true, wire_bytes, verbatim: true })
             }
             _ => Err(CodecError::Corrupt("broadcast decoded to a different message")),
         }
@@ -172,10 +199,12 @@ mod tests {
         assert!(delivered.compressed);
         assert_eq!(delivered.wire_bytes, 100);
         assert!(delivered.verbatim);
-        let b = transport.broadcast(3, 1, &[1, 2, 3]).unwrap();
+        let b = transport.broadcast(3, 1, &[1, 2, 3], false).unwrap();
         assert!(b.verbatim, "in-memory broadcast is verbatim");
         assert!(b.payload.is_empty(), "verbatim broadcast skips the copy");
         assert_eq!(b.wire_bytes, 3);
+        let enc = transport.broadcast(3, 1, &[1, 2, 3], true).unwrap();
+        assert!(enc.compressed, "the encoded flag must survive delivery");
     }
 
     #[test]
@@ -197,9 +226,14 @@ mod tests {
     fn wire_broadcast_round_trips() {
         let mut transport = WireTransport::new();
         let dict_bytes = vec![42u8; 64];
-        let delivered = transport.broadcast(0, 0, &dict_bytes).unwrap();
+        let delivered = transport.broadcast(0, 0, &dict_bytes, false).unwrap();
         assert_eq!(delivered.payload, dict_bytes);
+        assert!(!delivered.compressed);
         assert!(delivered.wire_bytes > dict_bytes.len());
+        let encoded = transport.broadcast(0, 0, &dict_bytes, true).unwrap();
+        assert_eq!(encoded.payload, dict_bytes);
+        assert!(encoded.compressed, "encoded broadcasts ride the EncodedGlobal frame");
+        assert!(encoded.wire_bytes > dict_bytes.len());
     }
 
     #[test]
