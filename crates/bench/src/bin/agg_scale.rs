@@ -1,36 +1,45 @@
-//! Scale study of the sharded aggregation tree: 10^2 → 10^4 clients.
+//! Scale study of the hierarchical aggregation tree: 10^2 → 10^4
+//! clients at depths 2 → 4.
 //!
 //! The paper's Fig. 9 stops at 127 clients because the flat server
 //! merges one `O(clients · params)` serial loop behind one serialized
 //! link. This bench sweeps client counts two orders of magnitude past
-//! that and compares, per point:
+//! that and, per point, sweeps the tree depth, comparing:
 //!
 //! * flat aggregation (one serial exact merge in client-id order) vs
-//!   the sharded tree (parallel edge merges, streamed so peak memory
-//!   is one update per worker, not `N`),
-//! * root ingress bytes: `N` serialized updates vs `S` partial-sum
-//!   frames — the reduction the tree buys,
-//! * the downlink stage's broadcast compression ratio, and
-//! * a bit-parity check: the tree's global model must equal the flat
-//!   reference byte for byte.
+//!   the tree (parallel leaf merges, streamed so peak memory is one
+//!   update per worker, not `N`),
+//! * per-level ingress bytes: `N` serialized updates at the flat root
+//!   vs partial-sum frames climbing the hierarchy — with the lossless
+//!   psum codec on, so the frames ship compressed,
+//! * the break-even arithmetic from `agg::shard`'s docs: with raw
+//!   `f32` uploads of `U` bytes and frames of `2·U/ratio` bytes, root
+//!   ingress shrinks by `fan-in · ratio / 2` — the bench asserts the
+//!   measured reduction tracks that closed form (so the "fan-in must
+//!   exceed `2/ratio`" break-even claim stays an invariant, not a
+//!   footnote),
+//! * a bit-parity check: every tree's global model must equal the flat
+//!   reference byte for byte, lossless frames included.
 //!
-//! Client updates are synthesized (base model + deterministic per-client
-//! perturbation) instead of trained — aggregation throughput is the
-//! quantity under study, and training 10^4 clients would drown it.
+//! Client updates are synthesized (base model + deterministic
+//! per-client perturbation) instead of trained — aggregation
+//! throughput is the quantity under study, and training 10^4 clients
+//! would drown it.
 //!
 //! Output is JSON (one array of sweep points) for CI and plotting.
-//! Flags: `--clients 100,1000,10000` (sweep list), `--shards N`
-//! (default 16), `--scale F` (model-size fraction, default 0.001),
-//! `--seed N`.
+//! Flags: `--clients 100,1000,10000` (sweep list), `--shards N` (leaf
+//! aggregator count, default 16), `--depths 2,3,4` (tree depths to
+//! sweep), `--psum lossless|raw` (frame codec, default lossless),
+//! `--scale F` (model-size fraction, default 0.001), `--seed N`.
 //!
-//! `merge_speedup` tracks the host's core count (each shard merges on
+//! `merge_speedup` tracks the host's core count (each leaf merges on
 //! its own worker thread); the JSON carries `worker_threads` so a
 //! single-core CI runner's ~1x reads as expected, not as a regression.
 //! The byte reductions and the parity bit are hardware-independent.
 
 use fedsz::{FedSzConfig, LossyKind};
 use fedsz_bench::Args;
-use fedsz_fl::agg::{Downlink, DownlinkMode, PartialSum, ShardPlan, ShardedTree};
+use fedsz_fl::agg::{Downlink, DownlinkMode, PartialSum, PsumMode, ShardedTree, TreePlan};
 use fedsz_nn::models::specs::ModelSpec;
 use fedsz_nn::StateDict;
 use fedsz_tensor::Tensor;
@@ -59,6 +68,28 @@ fn synth_update(base: &StateDict, client: usize, seed: u64) -> StateDict {
         .collect()
 }
 
+/// Splits `leaves` into `levels` fan-out factors, each as close to the
+/// geometric mean as its divisors allow (root downward; the last level
+/// absorbs the remainder so the product is exactly `leaves`).
+fn fanouts_for(leaves: usize, levels: usize) -> Vec<usize> {
+    let mut fanouts = Vec::with_capacity(levels);
+    let mut rest = leaves;
+    for remaining in (1..=levels).rev() {
+        if remaining == 1 {
+            fanouts.push(rest);
+            break;
+        }
+        let target = (rest as f64).powf(1.0 / remaining as f64);
+        let best = (1..=rest)
+            .filter(|&d| rest.is_multiple_of(d))
+            .min_by(|&a, &b| (a as f64 - target).abs().total_cmp(&(b as f64 - target).abs()))
+            .unwrap_or(1);
+        fanouts.push(best);
+        rest /= best;
+    }
+    fanouts
+}
+
 fn main() {
     let args = Args::parse();
     let shards: usize = args.get("--shards", 16);
@@ -69,6 +100,20 @@ fn main() {
         .split(',')
         .map(|v| v.trim().parse().expect("--clients expects N,N,..."))
         .collect();
+    let depths: Vec<usize> = args
+        .get("--depths", "2,3,4".to_string())
+        .split(',')
+        .map(|v| {
+            let d: usize = v.trim().parse().expect("--depths expects D,D,...");
+            assert!(d >= 2, "a tree is at least depth 2 (root + leaves)");
+            d
+        })
+        .collect();
+    let psum = match args.get("--psum", "lossless".to_string()).as_str() {
+        "lossless" => PsumMode::Lossless,
+        "raw" => PsumMode::Raw,
+        other => panic!("--psum expects lossless or raw, got `{other}`"),
+    };
 
     let base = ModelSpec::alexnet().instantiate_scaled(seed, scale);
     let params = base.total_elements();
@@ -98,49 +143,82 @@ fn main() {
         let flat_ms = t_flat.elapsed().as_secs_f64() * 1e3;
         let flat_ingress = clients * update_wire_bytes;
 
-        // Sharded tree, streamed: parallel edge merges, one update in
-        // memory per worker.
-        let plan = ShardPlan::new(clients, shards);
-        let mut tree = ShardedTree::new(plan, None);
-        let t_tree = Instant::now();
-        let outcome = tree.aggregate_streamed(0, &make).expect("non-empty cohort");
-        let tree_ms = t_tree.elapsed().as_secs_f64() * 1e3;
+        for &depth in &depths {
+            let fanouts = fanouts_for(shards, depth - 1);
+            let plan = TreePlan::new(clients, fanouts.clone());
+            let root_children = plan.nodes_at(1);
+            let mut tree = ShardedTree::new(plan, None, psum);
+            let t_tree = Instant::now();
+            let outcome = tree.aggregate_streamed(0, &make).expect("non-empty cohort");
+            let tree_ms = t_tree.elapsed().as_secs_f64() * 1e3;
 
-        let parity = outcome.global.to_bytes() == flat_global.to_bytes();
-        assert!(parity, "sharded tree diverged from the flat reference at {clients} clients");
-        let reduction = flat_ingress as f64 / outcome.root_ingress_bytes.max(1) as f64;
+            let parity = outcome.global.to_bytes() == flat_global.to_bytes();
+            assert!(parity, "depth-{depth} tree diverged from flat at {clients} clients");
+            let reduction = flat_ingress as f64 / outcome.root_ingress_bytes.max(1) as f64;
+            let psum_ratio = outcome.psum_ratio();
 
-        eprintln!(
-            "{clients} clients / {} shards: flat {flat_ms:.0} ms, tree {tree_ms:.0} ms, \
-             ingress {flat_ingress} -> {} ({reduction:.1}x)",
-            plan.shards(),
-            outcome.root_ingress_bytes
-        );
-        points.push(format!(
-            concat!(
-                "  {{\"clients\": {}, \"shards\": {}, \"params\": {}, \"worker_threads\": {}, ",
-                "\"flat_ms\": {:.1}, \"tree_ms\": {:.1}, \"merge_speedup\": {:.2}, ",
-                "\"flat_root_ingress_bytes\": {}, \"tree_root_ingress_bytes\": {}, ",
-                "\"ingress_reduction\": {:.2}, \"fan_in\": {}, ",
-                "\"downlink_ratio\": {:.2}, \"downlink_raw_bytes\": {}, ",
-                "\"downlink_encoded_bytes\": {}, \"parity\": {}}}"
-            ),
-            clients,
-            plan.shards(),
-            params,
-            std::thread::available_parallelism().map_or(1, usize::from),
-            flat_ms,
-            tree_ms,
-            flat_ms / tree_ms.max(1e-9),
-            flat_ingress,
-            outcome.root_ingress_bytes,
-            reduction,
-            plan.shards(),
-            payload.ratio(),
-            payload.raw_bytes,
-            payload.bytes.len(),
-            parity,
-        ));
+            // The break-even claim from agg::shard's docs, measured
+            // with the codec on: raw f32 uploads carry ~4 B/element,
+            // frames ~8 B/element over the lossless ratio, so the
+            // root-ingress reduction must track fan-in · ratio / 2
+            // (headers and entry names smear it by a few percent).
+            let fan_in = clients as f64 / root_children as f64;
+            let predicted = fan_in * psum_ratio / 2.0;
+            assert!(
+                (reduction / predicted - 1.0).abs() < 0.2,
+                "reduction {reduction:.2}x strays from the fan-in·ratio/2 closed form \
+                 ({predicted:.2}x) at {clients} clients depth {depth}"
+            );
+            assert!(
+                psum != PsumMode::Lossless || psum_ratio > 1.2,
+                "lossless psum ratio {psum_ratio:.2} below the 1.2x floor"
+            );
+
+            let level_ingress = outcome
+                .level_ingress_bytes
+                .iter()
+                .map(usize::to_string)
+                .collect::<Vec<_>>()
+                .join(", ");
+            eprintln!(
+                "{clients} clients / depth {depth} ({}): flat {flat_ms:.0} ms, tree {tree_ms:.0} ms, \
+                 ingress {flat_ingress} -> {} ({reduction:.1}x, psum {psum_ratio:.2}x)",
+                fanouts.iter().map(usize::to_string).collect::<Vec<_>>().join("x"),
+                outcome.root_ingress_bytes
+            );
+            points.push(format!(
+                concat!(
+                    "  {{\"clients\": {}, \"depth\": {}, \"fanouts\": \"{}\", \"params\": {}, ",
+                    "\"worker_threads\": {}, ",
+                    "\"flat_ms\": {:.1}, \"tree_ms\": {:.1}, \"merge_speedup\": {:.2}, ",
+                    "\"flat_root_ingress_bytes\": {}, \"tree_root_ingress_bytes\": {}, ",
+                    "\"level_ingress_bytes\": [{}], ",
+                    "\"ingress_reduction\": {:.2}, \"fan_in\": {:.1}, ",
+                    "\"psum_mode\": \"{}\", \"psum_ratio\": {:.3}, ",
+                    "\"downlink_ratio\": {:.2}, \"downlink_raw_bytes\": {}, ",
+                    "\"downlink_encoded_bytes\": {}, \"parity\": {}}}"
+                ),
+                clients,
+                depth,
+                fanouts.iter().map(usize::to_string).collect::<Vec<_>>().join("x"),
+                params,
+                std::thread::available_parallelism().map_or(1, usize::from),
+                flat_ms,
+                tree_ms,
+                flat_ms / tree_ms.max(1e-9),
+                flat_ingress,
+                outcome.root_ingress_bytes,
+                level_ingress,
+                reduction,
+                fan_in,
+                psum.name(),
+                psum_ratio,
+                payload.ratio(),
+                payload.raw_bytes,
+                payload.bytes.len(),
+                parity,
+            ));
+        }
     }
     println!("[\n{}\n]", points.join(",\n"));
 }

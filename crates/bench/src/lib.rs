@@ -12,6 +12,7 @@
 //! `--rounds <n>`.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 use std::time::Instant;
 

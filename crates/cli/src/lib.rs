@@ -15,10 +15,13 @@
 //! without spawning processes.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 use fedsz::{ErrorBound, FedSz, FedSzConfig, LosslessKind, LossyKind};
 use fedsz_data::DatasetKind;
-use fedsz_fl::{AggregationPolicy, DownlinkMode, Experiment, FlConfig, LinkProfile};
+use fedsz_fl::{
+    AggregationPolicy, DownlinkMode, Experiment, FlConfig, LinkProfile, PsumMode, TreePlan,
+};
 use fedsz_nn::models::specs::ModelSpec;
 use fedsz_nn::models::tiny::TinyArch;
 use fedsz_nn::StateDict;
@@ -59,7 +62,8 @@ USAGE:
            [--latency MS] [--straggler ID:FACTOR]... [--drop ID:PROB]...
            [--policy sync|buffered:K] [--adaptive] [--non-iid ALPHA]
            [--weighted] [--no-compress] [--seed N] [--train-per-class N]
-           [--shards S] [--downlink raw|fedsz|auto]
+           [--shards S] [--tree F1xF2x...] [--psum raw|lossless|auto]
+           [--downlink raw|fedsz|auto]
 
 `fedsz fl` runs a federated session on the shared round engine. With
 --links each client gets its own simulated uplink (comm time comes from
@@ -68,8 +72,12 @@ on one pipe); --straggler slows a client's compute; --policy buffered:K
 aggregates after the first K arrivals and applies stragglers stale.
 --shards S aggregates through a two-level tree of S edge aggregators
 (bit-identical to the flat server, but root ingress drops to S
-partial-sum frames); --downlink fedsz FedSZ-encodes the broadcast once
-per round, --downlink auto applies Eqn 1 with a raw fallback.
+partial-sum frames); --tree 4x8 builds an arbitrary-depth hierarchy
+(4 mid-tier nodes over 32 leaves, still bit-identical); --psum
+lossless compresses the inter-aggregator partial-sum frames with the
+byte-shuffle codec, --psum auto decides per edge with Eqn 1.
+--downlink fedsz FedSZ-encodes the broadcast once per round,
+--downlink auto applies Eqn 1 with a raw fallback.
 ";
 
 /// Executes a CLI invocation (argv without the program name).
@@ -376,6 +384,27 @@ fn fl(args: &[String]) -> Outcome {
             _ => return Outcome::fail("--shards expects a positive shard count".into()),
         }
     }
+    if let Some(spec) = flag_value(args, "--tree") {
+        match TreePlan::parse_fanouts(spec) {
+            Ok(fanouts) => config.tree = Some(fanouts),
+            Err(e) => return Outcome::fail(format!("--tree: {e}")),
+        }
+    }
+    if let Some(mode) = flag_value(args, "--psum") {
+        config.psum = match mode.to_ascii_lowercase().as_str() {
+            "raw" => PsumMode::Raw,
+            "lossless" => PsumMode::Lossless,
+            "auto" | "adaptive" => PsumMode::Adaptive,
+            other => {
+                return Outcome::fail(format!(
+                    "unknown psum mode `{other}`; try raw, lossless, auto"
+                ))
+            }
+        };
+        if config.psum != PsumMode::Raw && config.tree_fanouts().is_none() {
+            return Outcome::fail("--psum needs an aggregation tree (--shards or --tree)".into());
+        }
+    }
     if let Some(mode) = flag_value(args, "--downlink") {
         config.downlink = match mode.to_ascii_lowercase().as_str() {
             "raw" => DownlinkMode::Raw,
@@ -472,24 +501,30 @@ fn fl(args: &[String]) -> Outcome {
         };
     }
 
-    // Sharding implies per-client last miles into the edges (the tree
+    // A tree implies per-client last miles into the leaves (the tree
     // topology), even when no explicit link list was given.
+    let fanouts = config.tree_fanouts();
     let topology = if config.links.is_some() {
         "per-client links"
-    } else if config.shards.is_some() {
+    } else if fanouts.is_some() {
         "per-client last miles"
     } else {
         "shared pipe"
     };
-    let server = match config.shards {
-        Some(s) => format!("{s}-shard tree"),
+    let server = match &fanouts {
+        Some(f) if f.len() == 1 => format!("{}-shard tree", f[0]),
+        Some(f) => format!(
+            "depth-{} tree ({})",
+            f.len() + 1,
+            f.iter().map(usize::to_string).collect::<Vec<_>>().join("x")
+        ),
         None => "flat server".to_string(),
     };
     let mut report = String::new();
     let _ = writeln!(
         report,
-        "fl: {clients} clients, {rounds} rounds, {:?} on {topology}, {server}, policy {:?}, downlink {:?}",
-        arch, config.aggregation, config.downlink
+        "fl: {clients} clients, {rounds} rounds, {:?} on {topology}, {server}, policy {:?}, downlink {:?}, psum {}",
+        arch, config.aggregation, config.downlink, config.psum.name()
     );
     let _ = writeln!(
         report,
@@ -526,9 +561,10 @@ fn fl(args: &[String]) -> Outcome {
     let root_out: usize = metrics.iter().map(|m| m.root_egress_bytes).sum();
     let n = metrics.len().max(1) as f64;
     let downlink_ratio: f64 = metrics.iter().map(|m| m.downlink_ratio).sum::<f64>() / n;
+    let psum_ratio: f64 = metrics.iter().map(|m| m.psum_ratio).sum::<f64>() / n;
     let _ = writeln!(
         report,
-        "bytes: up {:.1} KB, down {:.1} KB (downlink ratio {downlink_ratio:.2}x); root ingress {:.1} KB, egress {:.1} KB",
+        "bytes: up {:.1} KB, down {:.1} KB (downlink ratio {downlink_ratio:.2}x); root ingress {:.1} KB (psum ratio {psum_ratio:.2}x), egress {:.1} KB",
         total_up as f64 / 1e3,
         total_down as f64 / 1e3,
         root_in as f64 / 1e3,
@@ -674,8 +710,33 @@ mod tests {
         assert_ne!(runv(&["fl", "--non-iid", "-1"]).code, 0);
         assert_ne!(runv(&["fl", "--shards", "0"]).code, 0);
         assert_ne!(runv(&["fl", "--shards", "two"]).code, 0);
+        assert_ne!(runv(&["fl", "--tree", "4x0"]).code, 0);
+        assert_ne!(runv(&["fl", "--tree", "4xtwo"]).code, 0);
+        assert_ne!(runv(&["fl", "--psum", "gzip", "--shards", "2"]).code, 0);
+        assert_ne!(runv(&["fl", "--psum", "lossless"]).code, 0, "--psum needs a tree");
         assert_ne!(runv(&["fl", "--downlink", "gzip"]).code, 0);
         assert_ne!(runv(&["fl", "--downlink", "fedsz", "--no-compress"]).code, 0);
+    }
+
+    #[test]
+    fn fl_deep_tree_with_lossless_psum() {
+        let out = runv(&[
+            "fl",
+            "--clients",
+            "8",
+            "--rounds",
+            "1",
+            "--train-per-class",
+            "2",
+            "--tree",
+            "2x4",
+            "--psum",
+            "lossless",
+        ]);
+        assert_eq!(out.code, 0, "{}", out.report);
+        assert!(out.report.contains("depth-3 tree (2x4)"), "{}", out.report);
+        assert!(out.report.contains("psum lossless"), "{}", out.report);
+        assert!(out.report.contains("psum ratio"), "{}", out.report);
     }
 
     #[test]

@@ -26,6 +26,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub mod bitio;
 pub mod checksum;
@@ -50,7 +51,12 @@ pub enum CodecError {
     /// A structural invariant of the format was violated.
     Corrupt(&'static str),
     /// A stored checksum did not match the recomputed one.
-    ChecksumMismatch { stored: u32, computed: u32 },
+    ChecksumMismatch {
+        /// The checksum recorded in the stream.
+        stored: u32,
+        /// The checksum recomputed over the received bytes.
+        computed: u32,
+    },
     /// The stream was produced by an unsupported format version.
     UnsupportedVersion(u8),
 }

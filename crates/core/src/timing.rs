@@ -73,6 +73,56 @@ impl TransferPlan {
     }
 }
 
+/// Exponentially-weighted moving profile of a codec's measured
+/// per-byte costs, feeding Eqn-1 decisions when the *next* payload's
+/// costs must be predicted before paying them.
+///
+/// One definition for every adaptive stage in the FL pipeline — the
+/// per-client upload decision, the broadcast downlink stage and the
+/// partial-sum forwarding stage all fold their measurements into this
+/// type and price candidate transfers through [`CostProfile::plan`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostProfile {
+    /// Seconds of compression time per input byte.
+    pub compress_secs_per_byte: f64,
+    /// Seconds of decompression time per input byte.
+    pub decompress_secs_per_byte: f64,
+    /// Observed compression ratio (original over compressed size).
+    pub ratio: f64,
+}
+
+impl CostProfile {
+    /// Folds a fresh measurement into an optional previous profile with
+    /// a 50/50 exponential blend (`None` adopts the sample outright).
+    pub fn blend(prev: Option<CostProfile>, sample: CostProfile) -> CostProfile {
+        match prev {
+            None => sample,
+            Some(prev) => CostProfile {
+                compress_secs_per_byte: 0.5 * prev.compress_secs_per_byte
+                    + 0.5 * sample.compress_secs_per_byte,
+                decompress_secs_per_byte: 0.5 * prev.decompress_secs_per_byte
+                    + 0.5 * sample.decompress_secs_per_byte,
+                ratio: 0.5 * prev.ratio + 0.5 * sample.ratio,
+            },
+        }
+    }
+
+    /// Predicts a [`TransferPlan`] for a payload of `raw_bytes` from
+    /// the profiled per-byte costs. Callers scale the estimate for
+    /// their own setting (a straggler multiplies `compress_secs` by its
+    /// slowdown; a broadcast divides it by the fan-out it amortizes
+    /// over).
+    pub fn plan(&self, raw_bytes: usize) -> TransferPlan {
+        TransferPlan {
+            compress_secs: self.compress_secs_per_byte * raw_bytes as f64,
+            decompress_secs: self.decompress_secs_per_byte * raw_bytes as f64,
+            original_bytes: raw_bytes,
+            compressed_bytes: ((raw_bytes as f64 / self.ratio.max(f64::MIN_POSITIVE)) as usize)
+                .max(1),
+        }
+    }
+}
+
 /// Convenience: megabits per second to bits per second.
 pub fn mbps(v: f64) -> f64 {
     v * 1e6
@@ -148,5 +198,27 @@ mod tests {
     #[test]
     fn mbps_converts() {
         assert_eq!(mbps(10.0), 1e7);
+    }
+
+    #[test]
+    fn cost_profile_blends_and_plans() {
+        let first = CostProfile {
+            compress_secs_per_byte: 2e-9,
+            decompress_secs_per_byte: 1e-9,
+            ratio: 4.0,
+        };
+        assert_eq!(CostProfile::blend(None, first), first, "no history adopts the sample");
+        let second = CostProfile {
+            compress_secs_per_byte: 4e-9,
+            decompress_secs_per_byte: 3e-9,
+            ratio: 2.0,
+        };
+        let blended = CostProfile::blend(Some(first), second);
+        assert!((blended.compress_secs_per_byte - 3e-9).abs() < 1e-18);
+        assert!((blended.ratio - 3.0).abs() < 1e-12);
+        let plan = blended.plan(1_000_000);
+        assert_eq!(plan.original_bytes, 1_000_000);
+        assert_eq!(plan.compressed_bytes, 333_333);
+        assert!((plan.compress_secs - 3e-3).abs() < 1e-12);
     }
 }

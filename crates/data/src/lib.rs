@@ -28,6 +28,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 use fedsz_tensor::rng::{self, seeded};
 use fedsz_tensor::Tensor;

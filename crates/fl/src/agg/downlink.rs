@@ -19,7 +19,7 @@
 //! transfer) against raw transfer on the cohort's *bottleneck* link,
 //! and falls back to raw bytes whenever compression loses.
 
-use fedsz::timing::TransferPlan;
+use fedsz::timing::CostProfile;
 use fedsz::{FedSz, FedSzConfig, Result};
 use fedsz_nn::StateDict;
 use std::time::Instant;
@@ -35,14 +35,6 @@ pub enum DownlinkMode {
     /// Eqn 1 per round: compress unless the cost model says the
     /// bottleneck link would get the raw bytes there faster.
     Adaptive,
-}
-
-/// EWMA cost profile of the broadcast codec (per-byte times + ratio).
-#[derive(Debug, Clone, Copy)]
-struct DownlinkProfile {
-    encode_secs_per_byte: f64,
-    decode_secs_per_byte: f64,
-    ratio: f64,
 }
 
 /// One round's encoded broadcast.
@@ -72,7 +64,9 @@ impl DownlinkPayload {
 pub struct Downlink {
     mode: DownlinkMode,
     codec: Option<FedSz>,
-    profile: Option<DownlinkProfile>,
+    /// EWMA cost profile of the broadcast codec (the same
+    /// [`CostProfile`] type the uplink and partial-sum stages use).
+    profile: Option<CostProfile>,
 }
 
 impl Downlink {
@@ -110,12 +104,10 @@ impl Downlink {
                 let (Some(profile), Some(bw)) = (&self.profile, bottleneck_bps) else {
                     return true;
                 };
-                let plan = TransferPlan {
-                    compress_secs: profile.encode_secs_per_byte * raw as f64 / cohort.max(1) as f64,
-                    decompress_secs: profile.decode_secs_per_byte * raw as f64,
-                    original_bytes: raw,
-                    compressed_bytes: ((raw as f64 / profile.ratio) as usize).max(1),
-                };
+                // One encode serves the whole cohort, so its cost
+                // amortizes over the fan-out; every client decodes.
+                let mut plan = profile.plan(raw);
+                plan.compress_secs /= cohort.max(1) as f64;
                 plan.worthwhile(bw)
             }
         }
@@ -178,21 +170,12 @@ impl Downlink {
             return;
         }
         let raw = payload.raw_bytes as f64;
-        let sample = DownlinkProfile {
-            encode_secs_per_byte: payload.encode_secs / raw,
-            decode_secs_per_byte: decode_secs / raw,
+        let sample = CostProfile {
+            compress_secs_per_byte: payload.encode_secs / raw,
+            decompress_secs_per_byte: decode_secs / raw,
             ratio: payload.ratio().max(f64::MIN_POSITIVE),
         };
-        self.profile = Some(match self.profile {
-            None => sample,
-            Some(prev) => DownlinkProfile {
-                encode_secs_per_byte: 0.5 * prev.encode_secs_per_byte
-                    + 0.5 * sample.encode_secs_per_byte,
-                decode_secs_per_byte: 0.5 * prev.decode_secs_per_byte
-                    + 0.5 * sample.decode_secs_per_byte,
-                ratio: 0.5 * prev.ratio + 0.5 * sample.ratio,
-            },
-        });
+        self.profile = Some(CostProfile::blend(self.profile, sample));
     }
 }
 

@@ -1,4 +1,5 @@
-//! Sharded hierarchical aggregation with download-path compression.
+//! Hierarchical aggregation with aggregation-path and download-path
+//! compression.
 //!
 //! The paper's server is flat: every client uploads to one process,
 //! which averages updates in a single `O(clients · params)` loop and
@@ -8,44 +9,63 @@
 //! bit-compatible with flat FedAvg while scaling to 10^4+ clients:
 //!
 //! ```text
-//!            clients 0..k      clients k..m        clients m..n
-//!                │  ▲              │  ▲                │  ▲
-//!                ▼  │ encoded      ▼  │ broadcast      ▼  │
-//!            ┌────────┐        ┌────────┐          ┌────────┐
-//!            │ edge 0 │        │ edge 1 │   ...    │ edge S │   tree.rs
-//!            └───┬────┘        └───┬────┘          └───┬────┘   shard.rs
-//!    partial sum │ (LinkProfile)   │                   │
-//!                ▼                 ▼                   ▼
-//!            ┌─────────────────────────────────────────────┐
-//!            │ root: exact merge in shard order → global   │
-//!            └───────────────────┬─────────────────────────┘
-//!                                │ FedSZ-encode ONCE per round
-//!                        downlink.rs (Eqn-1 raw fallback)
+//!          clients 0..j   clients j..k     clients k..m   clients m..n
+//!              │  ▲           │  ▲             │  ▲           │  ▲
+//!              ▼  │ encoded   ▼  │ broadcast   ▼  │           ▼  │
+//!          ┌────────┐     ┌────────┐       ┌────────┐     ┌────────┐
+//!          │ leaf 0 │     │ leaf 1 │  ...  │ leaf L-1│    │ leaf L │  plan.rs
+//!          └───┬────┘     └───┬────┘       └───┬────┘     └───┬────┘  shard.rs
+//!  partial-sum │ frame        │                │               │
+//!  (raw or     ▼              ▼                ▼               ▼
+//!   lossless,  ┌──────────────────┐        ┌──────────────────┐
+//!   psum.rs)   │   mid node 0     │  ...   │   mid node M     │      tree.rs
+//!              └────────┬─────────┘        └────────┬─────────┘
+//!                       │ (per-edge LinkProfile)    │
+//!                       ▼                           ▼
+//!          ┌─────────────────────────────────────────────────────┐
+//!          │  root: exact merge in ascending child order → global │
+//!          └──────────────────────────┬──────────────────────────┘
+//!                                     │ FedSZ-encode ONCE per round
+//!                             downlink.rs (Eqn-1 raw fallback)
 //! ```
 //!
-//! **Determinism.** Each edge owns a *contiguous* client-id range
-//! ([`ShardPlan`]) and merges its cohort in ascending client-id order;
-//! the root merges edge partials in ascending shard order. On top of
-//! that fixed order, [`shard::ExactAcc`] accumulates every `w·x` term
-//! in 128-bit fixed-point arithmetic, which is associative — so the
-//! sharded global model is **bit-identical** to the flat synchronous
-//! FedAvg result for *any* shard count (the parity tests assert
-//! exactly this for shards ∈ {1, 2, 7, 16}).
+//! **Shape.** [`TreePlan`] describes an arbitrary-depth hierarchy as a
+//! list of per-level fan-outs (`--tree 4x8x32`); the two-level
+//! `--shards S` tree is the one-entry special case. Clients partition
+//! contiguously and balanced across the *leaf* aggregators, and every
+//! internal node owns the union of its children's ranges.
 //!
-//! **Cost model.** Root ingress drops from `N` update payloads to `S`
-//! partial-sum frames; the edge→root hop is priced on each edge's own
-//! [`LinkProfile`](crate::link::LinkProfile) by the same virtual-time
-//! model the client links use. On the download path, [`Downlink`]
-//! encodes the global model once per round and the tree fans the
-//! encoded stream out through the edges instead of the server
-//! re-sending `N` raw copies; the paper's Eqn 1 (via an EWMA of
-//! measured codec costs) falls back to raw bytes whenever the
-//! bottleneck link would get them there faster.
+//! **Determinism.** Each leaf merges its cohort in ascending client-id
+//! order and every parent merges its children in ascending child
+//! order; on top of that fixed order, [`shard::ExactAcc`] accumulates
+//! every `w·x` term in 128-bit fixed-point arithmetic, which is
+//! associative — so the tree's global model is **bit-identical** to
+//! the flat synchronous FedAvg result at *any* depth and fan-out (the
+//! parity tests assert exactly this for two-level shards ∈ {1, 2, 7,
+//! 16} and for depth-3/4 trees with uneven fan-outs).
+//!
+//! **Cost model.** Root ingress drops from `N` update payloads to the
+//! root's fan-out in partial-sum frames; every hop is priced on the
+//! forwarding node's own [`LinkProfile`](crate::link::LinkProfile) by
+//! the same virtual-time model the client links use, and per-level
+//! ingress bytes are reported in [`AggOutcome`]. Frames ship `f64`
+//! sums — 2x a raw `f32` payload per element — so [`PsumForwarder`]
+//! can compress them *losslessly* (bit-parity survives) with
+//! [`PsumCodec`](fedsz_lossless::PsumCodec), choosing per edge via the
+//! paper's Eqn 1. On the download path, [`Downlink`] encodes the
+//! global model once per round and the tree fans the encoded stream
+//! out through its levels instead of the server re-sending `N` raw
+//! copies; Eqn 1 (via an EWMA of measured codec costs) falls back to
+//! raw bytes whenever the bottleneck link would get them there faster.
 
 pub mod downlink;
+pub mod plan;
+pub mod psum;
 pub mod shard;
 pub mod tree;
 
 pub use downlink::{Downlink, DownlinkMode, DownlinkPayload};
+pub use plan::TreePlan;
+pub use psum::{PsumForwarder, PsumFrame, PsumMode};
 pub use shard::{ExactAcc, PartialSum, ShardPlan};
 pub use tree::{AggOutcome, Aggregator, Contribution, FlatAggregator, ShardedTree};

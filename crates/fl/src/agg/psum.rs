@@ -1,0 +1,253 @@
+//! Partial-sum frame forwarding: raw, lossless, or Eqn-1 adaptive.
+//!
+//! Every non-root aggregator in a tree ships its merged
+//! [`PartialSum`] to its parent once per round.
+//! The payload is a stream of `f64` sums — 2x the bytes of the raw
+//! `f32` uploads it summarizes — and, unlike the uploads, it must
+//! survive the hop *bit-exactly* or the tree loses its parity guarantee
+//! with flat FedAvg. That rules out FedSZ's lossy stage but not
+//! compression altogether: [`PsumCodec`] (byte shuffle over the `f64`
+//! planes + an LZ/entropy stage) shrinks the frames losslessly.
+//!
+//! [`PsumForwarder`] is the per-edge policy. [`PsumMode::Adaptive`]
+//! replays the paper's Eqn 1 on the aggregator backbone: an EWMA
+//! [`CostProfile`] of measured encode/decode costs prices the
+//! compressed path against raw transfer on each edge's own uplink, and
+//! slow edges compress while fast ones send raw — the same decision
+//! the downlink stage makes for the broadcast leg, pointed at the
+//! aggregation path instead.
+
+use crate::agg::shard::PartialSum;
+use crate::protocol::Message;
+use fedsz::timing::CostProfile;
+use fedsz_lossless::PsumCodec;
+use std::time::Instant;
+
+/// How partial-sum frames travel between aggregator levels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PsumMode {
+    /// Raw `f64` payloads every hop (PR 2's behavior).
+    #[default]
+    Raw,
+    /// Losslessly compress every frame with [`PsumCodec`].
+    Lossless,
+    /// Eqn 1 per edge: compress unless the edge's uplink would move
+    /// the raw frame faster than codec time + compressed transfer.
+    Adaptive,
+}
+
+impl PsumMode {
+    /// Short human-readable name (for reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            PsumMode::Raw => "raw",
+            PsumMode::Lossless => "lossless",
+            PsumMode::Adaptive => "adaptive",
+        }
+    }
+}
+
+/// One priced partial-sum frame, ready for the wire accounting.
+#[derive(Debug, Clone)]
+pub struct PsumFrame {
+    /// The full encoded wire frame (header + payload + CRC).
+    pub wire_bytes: usize,
+    /// The raw (uncompressed) payload size.
+    pub payload_bytes: usize,
+    /// The payload size actually shipped (equals `payload_bytes` for
+    /// raw frames).
+    pub shipped_payload_bytes: usize,
+    /// Whether the frame rides [`Message::PartialSumCompressed`].
+    pub compressed: bool,
+    /// Measured codec wall time for this frame (compress at the child
+    /// plus decompress at the parent; zero for raw frames).
+    pub codec_secs: f64,
+    /// The measured cost sample behind `codec_secs` (compressed frames
+    /// only). [`PsumForwarder::price`] leaves folding it into the EWMA
+    /// profile to the caller — via [`PsumForwarder::observe`] — so
+    /// independent frames can be priced in parallel and observed in a
+    /// deterministic order afterwards.
+    pub sample: Option<CostProfile>,
+}
+
+/// The per-edge compress-or-not stage for partial-sum frames.
+#[derive(Debug, Clone, Default)]
+pub struct PsumForwarder {
+    mode: PsumMode,
+    codec: PsumCodec,
+    profile: Option<CostProfile>,
+}
+
+impl PsumForwarder {
+    /// Builds the forwarder in the given mode.
+    pub fn new(mode: PsumMode) -> Self {
+        Self { mode, codec: PsumCodec::new(), profile: None }
+    }
+
+    /// The configured mode.
+    pub fn mode(&self) -> PsumMode {
+        self.mode
+    }
+
+    /// Eqn 1 on one edge: with a measured cost profile and the edge's
+    /// uplink bandwidth, compress iff encode + decode + compressed
+    /// transfer beats raw transfer. Until a profile exists (or without
+    /// a network model) the frame compresses, which measures one.
+    fn should_compress(&self, raw: usize, bandwidth_bps: Option<f64>) -> bool {
+        match self.mode {
+            PsumMode::Raw => false,
+            PsumMode::Lossless => true,
+            PsumMode::Adaptive => match (&self.profile, bandwidth_bps) {
+                (Some(profile), Some(bw)) => profile.plan(raw).worthwhile(bw),
+                _ => true,
+            },
+        }
+    }
+
+    /// Encodes (and prices) the frame node `node` ships for `partial`,
+    /// measuring real codec costs. Takes `&self` so independent frames
+    /// can be priced on parallel workers; fold each frame's
+    /// [`PsumFrame::sample`] back with [`PsumForwarder::observe`] (in
+    /// a deterministic order) to advance the EWMA profile. The
+    /// in-process tree merges exact accumulators, so the decompressed
+    /// bytes are only used to *verify* the codec round trip — a
+    /// mismatch would break bit-parity and panics immediately.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lossless codec fails to reproduce its input (a
+    /// codec bug, never data-dependent).
+    pub fn price(
+        &self,
+        round: usize,
+        node: usize,
+        partial: &PartialSum,
+        bandwidth_bps: Option<f64>,
+    ) -> PsumFrame {
+        let payload = partial.encode_payload();
+        let payload_bytes = payload.len();
+        let clients = partial.contributions() as u32;
+        let weight = partial.weight_total();
+        if self.should_compress(payload_bytes, bandwidth_bps) {
+            let t0 = Instant::now();
+            let packed = self.codec.compress(&payload);
+            let compress_secs = t0.elapsed().as_secs_f64();
+            let t1 = Instant::now();
+            let back = self.codec.decompress(&packed).expect("self-produced psum frame");
+            let decompress_secs = t1.elapsed().as_secs_f64();
+            assert_eq!(back, payload, "lossless psum codec must round-trip bit-exactly");
+            let shipped_payload_bytes = packed.len();
+            let sample = CostProfile {
+                compress_secs_per_byte: compress_secs / payload_bytes.max(1) as f64,
+                decompress_secs_per_byte: decompress_secs / payload_bytes.max(1) as f64,
+                ratio: payload_bytes as f64 / shipped_payload_bytes.max(1) as f64,
+            };
+            let wire_bytes = Message::PartialSumCompressed {
+                round: round as u32,
+                shard: node as u32,
+                clients,
+                weight,
+                payload: packed,
+            }
+            .encode()
+            .len();
+            PsumFrame {
+                wire_bytes,
+                payload_bytes,
+                shipped_payload_bytes,
+                compressed: true,
+                codec_secs: compress_secs + decompress_secs,
+                sample: Some(sample),
+            }
+        } else {
+            let wire_bytes = Message::PartialSum {
+                round: round as u32,
+                shard: node as u32,
+                clients,
+                weight,
+                payload,
+            }
+            .encode()
+            .len();
+            PsumFrame {
+                wire_bytes,
+                payload_bytes,
+                shipped_payload_bytes: payload_bytes,
+                compressed: false,
+                codec_secs: 0.0,
+                sample: None,
+            }
+        }
+    }
+
+    /// Folds one priced frame's measured costs into the EWMA profile
+    /// (no-op for raw frames, which measured nothing).
+    pub fn observe(&mut self, frame: &PsumFrame) {
+        if let Some(sample) = frame.sample {
+            self.profile = Some(CostProfile::blend(self.profile, sample));
+        }
+    }
+
+    /// Prices a frame and immediately observes its costs — the
+    /// convenience path when frames are produced one at a time.
+    pub fn frame(
+        &mut self,
+        round: usize,
+        node: usize,
+        partial: &PartialSum,
+        bandwidth_bps: Option<f64>,
+    ) -> PsumFrame {
+        let frame = self.price(round, node, partial, bandwidth_bps);
+        self.observe(&frame);
+        frame
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedsz_nn::StateDict;
+    use fedsz_tensor::Tensor;
+
+    fn partial(n: usize) -> PartialSum {
+        let mut dict = StateDict::new();
+        let data: Vec<f32> = (0..n).map(|i| ((i as f32) * 0.37).sin() * 3.0).collect();
+        dict.insert("w.weight", Tensor::from_vec(vec![n], data));
+        let mut sum = PartialSum::new();
+        sum.accumulate(&dict, 2.0);
+        sum
+    }
+
+    #[test]
+    fn raw_mode_ships_plain_frames() {
+        let mut fwd = PsumForwarder::new(PsumMode::Raw);
+        let frame = fwd.frame(0, 3, &partial(256), Some(1e6));
+        assert!(!frame.compressed);
+        assert_eq!(frame.shipped_payload_bytes, frame.payload_bytes);
+        assert_eq!(frame.codec_secs, 0.0);
+        assert!(frame.wire_bytes > frame.payload_bytes, "framing must be accounted");
+    }
+
+    #[test]
+    fn lossless_mode_shrinks_frames() {
+        let mut fwd = PsumForwarder::new(PsumMode::Lossless);
+        let frame = fwd.frame(0, 0, &partial(4096), None);
+        assert!(frame.compressed);
+        let ratio = frame.payload_bytes as f64 / frame.shipped_payload_bytes as f64;
+        assert!(ratio > 1.2, "psum ratio {ratio:.2} below the 1.2x floor");
+        assert!(frame.codec_secs > 0.0);
+    }
+
+    #[test]
+    fn adaptive_probes_then_respects_the_edge_bandwidth() {
+        let mut fwd = PsumForwarder::new(PsumMode::Adaptive);
+        let probe = fwd.frame(0, 0, &partial(4096), Some(1e12));
+        assert!(probe.compressed, "first frame must probe the codec");
+        // Terabit backbone: codec time can never pay for itself.
+        let fast = fwd.frame(1, 0, &partial(4096), Some(1e12));
+        assert!(!fast.compressed, "terabit uplinks should ship raw frames");
+        // Kilobit uplink: transfer dominates, compression must win.
+        let slow = fwd.frame(2, 0, &partial(4096), Some(1e3));
+        assert!(slow.compressed, "crawling uplinks should compress");
+    }
+}

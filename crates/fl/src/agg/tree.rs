@@ -1,4 +1,4 @@
-//! The [`Aggregator`] trait and its flat and sharded-tree backends.
+//! The [`Aggregator`] trait and its flat and hierarchical backends.
 //!
 //! The round engine no longer averages uploads in an inline loop; it
 //! hands the decoded, policy-accepted contributions to an `Aggregator`:
@@ -6,22 +6,26 @@
 //! * [`FlatAggregator`] — the paper's topology: every client reports
 //!   straight to the root, which merges in ascending client-id order.
 //!   Root ingress is every upload's wire bytes.
-//! * [`ShardedTree`] — a two-level tree: a [`ShardPlan`] assigns each
-//!   edge aggregator a contiguous client-id range, each edge merges its
-//!   cohort's updates in client-id order on its own worker thread, and
-//!   forwards a single weighted [`PartialSum`] frame over its own
-//!   [`LinkProfile`]. Root ingress drops from `N` updates to `S`
-//!   partial-sum frames, and the virtual clock prices the edge→root hop
-//!   (edge ready time + measured merge time + frame transfer).
+//! * [`ShardedTree`] — an arbitrary-depth aggregation hierarchy: a
+//!   [`TreePlan`] assigns each *leaf* aggregator a contiguous client-id
+//!   range, each leaf merges its cohort's updates in client-id order on
+//!   its own worker thread, and partial sums then climb the tree level
+//!   by level — every non-root node forwards one (possibly
+//!   losslessly-compressed, see [`PsumForwarder`]) partial-sum frame
+//!   over its own [`LinkProfile`] uplink. Root ingress drops from `N`
+//!   updates to the root's fan-out in frames, and the virtual clock
+//!   prices every hop (leaf ready time + measured merge time + codec
+//!   time + frame transfer, maxed up each level).
 //!
 //! Both backends accumulate with [`PartialSum`]'s exact fixed-point
-//! arithmetic, so the sharded tree's global model is bit-identical to
-//! the flat result for any shard count — the property the parity tests
-//! pin down.
+//! arithmetic, and the frame codec is lossless, so the tree's global
+//! model is bit-identical to the flat result for any depth and any
+//! fan-outs — the property the parity tests pin down.
 
+use crate::agg::plan::TreePlan;
+use crate::agg::psum::{PsumForwarder, PsumFrame, PsumMode};
 use crate::agg::shard::{PartialSum, ShardPlan};
 use crate::link::LinkProfile;
-use crate::protocol::Message;
 use fedsz_nn::StateDict;
 use std::time::Instant;
 
@@ -49,15 +53,38 @@ pub struct AggOutcome {
     /// Contributions folded in.
     pub merged: usize,
     /// Bytes arriving at the root: all update wire bytes (flat) or the
-    /// partial-sum frames (tree).
+    /// root's children's partial-sum frames (tree).
     pub root_ingress_bytes: usize,
+    /// Partial-sum frame bytes arriving at each aggregator level from
+    /// the level below, root first (`[0]` equals
+    /// [`AggOutcome::root_ingress_bytes`] for a tree). Empty for the
+    /// flat backend, which has no inter-aggregator hops.
+    pub level_ingress_bytes: Vec<usize>,
+    /// Uncompressed partial-sum payload bytes across all tree hops
+    /// (zero for the flat backend).
+    pub psum_payload_bytes: usize,
+    /// Partial-sum payload bytes actually shipped (equals
+    /// `psum_payload_bytes` when frames travel raw).
+    pub psum_wire_bytes: usize,
     /// Virtual time the root holds the merged model: the last accepted
-    /// arrival (flat), or the slowest edge's ready + merge + forward
-    /// time (tree).
+    /// arrival (flat), or the slowest leaf-to-root chain of merge +
+    /// codec + forward hops (tree).
     pub root_done_secs: f64,
-    /// Measured wall-clock spent merging (edge workers run in
-    /// parallel, so this tracks the slowest shard, not the sum).
+    /// Measured wall-clock spent merging (leaf workers run in
+    /// parallel, so this tracks the slowest chain, not the sum).
     pub merge_secs: f64,
+}
+
+impl AggOutcome {
+    /// Lossless compression ratio of the partial-sum frames (payload
+    /// over shipped bytes; 1.0 when nothing was compressed or the
+    /// backend is flat).
+    pub fn psum_ratio(&self) -> f64 {
+        if self.psum_wire_bytes == 0 {
+            return 1.0;
+        }
+        self.psum_payload_bytes as f64 / self.psum_wire_bytes as f64
+    }
 }
 
 /// Merges a round's accepted contributions into the next global model.
@@ -66,7 +93,8 @@ pub trait Aggregator {
     fn name(&self) -> &'static str;
 
     /// Distinct first-hop destinations a broadcast to `cohort` fans out
-    /// from the root: the cohort itself (flat) or its shards (tree).
+    /// from the root: the cohort itself (flat) or the root's active
+    /// children (tree — the lower levels fan the copy onward).
     fn fanout(&self, cohort: &[usize]) -> usize;
 
     /// Merges one round's contributions; `None` when there are none
@@ -108,71 +136,82 @@ impl Aggregator for FlatAggregator {
             global,
             merged: contributions.len(),
             root_ingress_bytes,
+            level_ingress_bytes: Vec::new(),
+            psum_payload_bytes: 0,
+            psum_wire_bytes: 0,
             root_done_secs,
             merge_secs: t0.elapsed().as_secs_f64(),
         })
     }
 }
 
-/// Two-level sharded tree: contiguous client ranges per edge, parallel
-/// edge merges, one partial-sum frame per edge to the root.
+/// Arbitrary-depth aggregation hierarchy: contiguous client ranges per
+/// leaf, parallel leaf merges, and one partial-sum frame per node per
+/// hop climbing to the root.
 #[derive(Debug, Clone)]
 pub struct ShardedTree {
-    plan: ShardPlan,
-    /// One uplink profile per edge aggregator; `None` skips the timing
-    /// model (edge→root forwards are free, as when the engine runs
-    /// without a network model).
-    edges: Option<Vec<LinkProfile>>,
+    plan: TreePlan,
+    /// Per-level uplink profiles: `levels[l - 1]` holds one profile per
+    /// node at tree level `l` (the link that node forwards its frame
+    /// over). `None` skips the timing model entirely.
+    levels: Option<Vec<Vec<LinkProfile>>>,
+    forwarder: PsumForwarder,
 }
 
 impl ShardedTree {
-    /// Builds the tree over `plan` with optional per-edge uplinks.
+    /// Builds the tree over `plan` with optional per-level uplinks and
+    /// a partial-sum forwarding mode.
     ///
     /// # Panics
     ///
-    /// Panics when `edges` is present but not one profile per shard.
-    pub fn new(plan: ShardPlan, edges: Option<Vec<LinkProfile>>) -> Self {
-        if let Some(edges) = &edges {
+    /// Panics when `levels` is present but does not provide exactly one
+    /// profile per non-root node, level by level.
+    pub fn new(plan: TreePlan, levels: Option<Vec<Vec<LinkProfile>>>, psum: PsumMode) -> Self {
+        if let Some(levels) = &levels {
             assert_eq!(
-                edges.len(),
-                plan.shards(),
-                "need one edge link per shard ({} links for {} shards)",
-                edges.len(),
-                plan.shards()
+                levels.len(),
+                plan.depth() - 1,
+                "need one link tier per non-root level ({} tiers for depth {})",
+                levels.len(),
+                plan.depth()
             );
+            for (i, tier) in levels.iter().enumerate() {
+                assert_eq!(
+                    tier.len(),
+                    plan.nodes_at(i + 1),
+                    "need one edge link per shard at level {} ({} links for {} nodes)",
+                    i + 1,
+                    tier.len(),
+                    plan.nodes_at(i + 1)
+                );
+            }
         }
-        Self { plan, edges }
+        Self { plan, levels, forwarder: PsumForwarder::new(psum) }
     }
 
-    /// The shard plan in force.
-    pub fn plan(&self) -> ShardPlan {
-        self.plan
+    /// PR 2's two-level shape: one tier of edge aggregators over a
+    /// [`ShardPlan`], raw partial-sum frames.
+    pub fn two_level(plan: ShardPlan, edges: Option<Vec<LinkProfile>>) -> Self {
+        Self::new(
+            TreePlan::new(plan.clients(), vec![plan.shards()]),
+            edges.map(|e| vec![e]),
+            PsumMode::Raw,
+        )
     }
 
-    /// Seconds to move `bytes` over edge `shard`'s uplink (0 without a
-    /// timing model).
-    fn forward_secs(&self, shard: usize, bytes: usize) -> f64 {
-        match &self.edges {
-            Some(edges) => edges[shard].transfer_secs(bytes),
-            None => 0.0,
-        }
+    /// The tree plan in force.
+    pub fn plan(&self) -> &TreePlan {
+        &self.plan
     }
 
-    /// The wire size of the partial-sum frame edge `shard` would ship.
-    fn frame_bytes(&self, round: usize, shard: usize, sum: &PartialSum) -> usize {
-        Message::PartialSum {
-            round: round as u32,
-            shard: shard as u32,
-            clients: sum.contributions() as u32,
-            weight: sum.weight_total(),
-            payload: sum.encode_payload(),
-        }
-        .encode()
-        .len()
+    /// The uplink of node `node` at tree level `level` (`None` without
+    /// a timing model).
+    fn uplink(&self, level: usize, node: usize) -> Option<&LinkProfile> {
+        self.levels.as_ref().map(|tiers| &tiers[level - 1][node])
     }
 
     /// Streams synthesized updates through the tree without holding the
-    /// whole cohort in memory: each shard worker calls `make` for the
+    /// whole cohort in memory: each leaf worker calls `make` for the
     /// clients it owns (ascending) and folds the result straight into
     /// its partial sum. This is what lets the scale bench sweep 10^4
     /// clients — peak memory is one update per worker, not `N`.
@@ -180,14 +219,15 @@ impl ShardedTree {
     where
         F: Fn(usize) -> (StateDict, f64) + Sync,
     {
-        let plan = self.plan;
+        let plan = self.plan.clone();
         let t0 = Instant::now();
         let partials: Vec<PartialSum> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..plan.shards())
-                .map(|s| {
+            let handles: Vec<_> = (0..plan.leaves())
+                .map(|leaf| {
+                    let plan = &plan;
                     scope.spawn(move || {
                         let mut sum = PartialSum::new();
-                        for client in plan.range(s) {
+                        for client in plan.leaf_range(leaf) {
                             let (dict, weight) = make(client);
                             sum.accumulate(&dict, weight);
                         }
@@ -195,42 +235,83 @@ impl ShardedTree {
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("shard worker panicked")).collect()
+            handles.into_iter().map(|h| h.join().expect("leaf worker panicked")).collect()
         });
-        self.reduce(round, partials, vec![0.0; plan.shards()], t0)
+        self.reduce(round, partials, vec![0.0; plan.leaves()], t0)
     }
 
-    /// Root-side reduction shared by the engine and streamed paths:
-    /// accounts each non-empty edge's frame, prices its forward hop and
-    /// merges the partials in ascending shard order.
+    /// Climbs the hierarchy: starting from the leaf partials, each
+    /// level's non-empty nodes frame their sums (raw or compressed, per
+    /// the forwarder's Eqn-1 decision), their parents merge the *exact*
+    /// accumulators in ascending child order, and per-level ingress and
+    /// arrival times are maxed up the chain until one partial remains
+    /// at the root.
     fn reduce(
-        &self,
+        &mut self,
         round: usize,
-        partials: Vec<PartialSum>,
-        edge_ready: Vec<f64>,
+        mut partials: Vec<PartialSum>,
+        mut ready: Vec<f64>,
         t0: Instant,
     ) -> Option<AggOutcome> {
-        let mut root = PartialSum::new();
-        let mut root_ingress_bytes = 0usize;
-        let mut root_done_secs = 0.0f64;
-        let mut merged = 0usize;
-        for (shard, partial) in partials.into_iter().enumerate() {
-            if partial.is_empty() {
-                continue;
+        let depth = self.plan.depth();
+        let mut level_ingress_bytes = vec![0usize; depth - 1];
+        let mut psum_payload_bytes = 0usize;
+        let mut psum_wire_bytes = 0usize;
+        for level in (1..depth).rev() {
+            let fanout = self.plan.fanouts()[level - 1];
+            let parents = self.plan.nodes_at(level - 1);
+            // Frame pricing (including the lossless codec work, the
+            // expensive part) is independent per node, so it runs on
+            // parallel workers like the leaf merges do; the measured
+            // cost samples are folded back in ascending node order
+            // below, keeping the EWMA profile deterministic.
+            let forwarder = &self.forwarder;
+            let frames: Vec<Option<PsumFrame>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = partials
+                    .iter()
+                    .enumerate()
+                    .map(|(node, partial)| {
+                        let bandwidth = self.uplink(level, node).map(|l| l.bandwidth_bps);
+                        scope.spawn(move || {
+                            (!partial.is_empty())
+                                .then(|| forwarder.price(round, node, partial, bandwidth))
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("frame worker panicked")).collect()
+            });
+            let mut parent_partials = vec![PartialSum::new(); parents];
+            let mut parent_ready = vec![0.0f64; parents];
+            for ((node, partial), frame) in partials.into_iter().enumerate().zip(frames) {
+                let Some(frame) = frame else { continue };
+                self.forwarder.observe(&frame);
+                level_ingress_bytes[level - 1] += frame.wire_bytes;
+                psum_payload_bytes += frame.payload_bytes;
+                psum_wire_bytes += frame.shipped_payload_bytes;
+                let transfer =
+                    self.uplink(level, node).map_or(0.0, |l| l.transfer_secs(frame.wire_bytes));
+                let parent = node / fanout;
+                parent_ready[parent] =
+                    parent_ready[parent].max(ready[node] + frame.codec_secs + transfer);
+                // Ascending-node iteration gives the ascending-child
+                // merge order; exact accumulators make the grouping
+                // irrelevant to the bits anyway.
+                parent_partials[parent].merge(partial);
             }
-            let frame = self.frame_bytes(round, shard, &partial);
-            root_ingress_bytes += frame;
-            root_done_secs =
-                root_done_secs.max(edge_ready[shard] + self.forward_secs(shard, frame));
-            merged += partial.contributions();
-            root.merge(partial);
+            partials = parent_partials;
+            ready = parent_ready;
         }
+        let root = partials.pop().expect("a tree always has a root");
+        let merged = root.contributions();
         let global = root.finish()?;
         Some(AggOutcome {
             global,
             merged,
-            root_ingress_bytes,
-            root_done_secs,
+            root_ingress_bytes: level_ingress_bytes[0],
+            level_ingress_bytes,
+            psum_payload_bytes,
+            psum_wire_bytes,
+            root_done_secs: ready[0],
             merge_secs: t0.elapsed().as_secs_f64(),
         })
     }
@@ -242,9 +323,12 @@ impl Aggregator for ShardedTree {
     }
 
     fn fanout(&self, cohort: &[usize]) -> usize {
-        let mut seen = vec![false; self.plan.shards()];
+        // The root sends one broadcast copy per *active child*; that
+        // child's subtree fans it out from there.
+        let stride: usize = self.plan.fanouts()[1..].iter().product();
+        let mut seen = vec![false; self.plan.fanouts()[0]];
         for &client in cohort {
-            seen[self.plan.shard_of(client)] = true;
+            seen[self.plan.leaf_of(client) / stride] = true;
         }
         seen.iter().filter(|&&s| s).count()
     }
@@ -253,36 +337,35 @@ impl Aggregator for ShardedTree {
         if contributions.is_empty() {
             return None;
         }
-        let plan = self.plan;
-        let mut per_shard: Vec<Vec<Contribution>> =
-            (0..plan.shards()).map(|_| Vec::new()).collect();
+        let plan = self.plan.clone();
+        let mut per_leaf: Vec<Vec<Contribution>> = (0..plan.leaves()).map(|_| Vec::new()).collect();
         for c in contributions {
-            per_shard[plan.shard_of(c.client)].push(c);
+            per_leaf[plan.leaf_of(c.client)].push(c);
         }
         let t0 = Instant::now();
-        // Each edge merges its cohort in ascending client-id order on
-        // its own worker thread; the edge is "ready" once its slowest
+        // Each leaf merges its cohort in ascending client-id order on
+        // its own worker thread; the leaf is "ready" once its slowest
         // accepted member arrived and the merge itself completed.
-        let merged_shards: Vec<(PartialSum, f64)> = std::thread::scope(|scope| {
-            let handles: Vec<_> = per_shard
+        let merged_leaves: Vec<(PartialSum, f64)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = per_leaf
                 .into_iter()
                 .map(|mut cohort| {
                     scope.spawn(move || {
                         cohort.sort_by_key(|c| c.client);
                         let ready = cohort.iter().map(|c| c.done_secs).fold(0.0, f64::max);
-                        let t_edge = Instant::now();
+                        let t_leaf = Instant::now();
                         let mut sum = PartialSum::new();
                         for c in &cohort {
                             sum.accumulate(&c.dict, c.weight);
                         }
-                        (sum, ready + t_edge.elapsed().as_secs_f64())
+                        (sum, ready + t_leaf.elapsed().as_secs_f64())
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("shard worker panicked")).collect()
+            handles.into_iter().map(|h| h.join().expect("leaf worker panicked")).collect()
         });
-        let (partials, edge_ready): (Vec<_>, Vec<_>) = merged_shards.into_iter().unzip();
-        self.reduce(round, partials, edge_ready, t0)
+        let (partials, ready): (Vec<_>, Vec<_>) = merged_leaves.into_iter().unzip();
+        self.reduce(round, partials, ready, t0)
     }
 }
 
@@ -303,10 +386,31 @@ mod tests {
             (0..11).map(|c| contribution(c, (c as f32).sin(), c as f64)).collect();
         let flat = FlatAggregator.aggregate(0, contribs.clone()).unwrap().global.to_bytes();
         for shards in [1usize, 2, 3, 7, 11] {
-            let mut tree = ShardedTree::new(ShardPlan::new(11, shards), None);
+            let mut tree = ShardedTree::two_level(ShardPlan::new(11, shards), None);
             let out = tree.aggregate(0, contribs.clone()).unwrap();
             assert_eq!(out.global.to_bytes(), flat, "{shards} shards diverged");
             assert_eq!(out.merged, 11);
+        }
+    }
+
+    #[test]
+    fn deep_trees_agree_bitwise_for_any_fanouts() {
+        let contribs: Vec<Contribution> =
+            (0..23).map(|c| contribution(c, (c as f32).cos(), c as f64)).collect();
+        let flat = FlatAggregator.aggregate(0, contribs.clone()).unwrap().global.to_bytes();
+        for fanouts in [vec![2, 3], vec![3, 2, 2], vec![5, 5], vec![2, 2, 2, 2]] {
+            for psum in [PsumMode::Raw, PsumMode::Lossless] {
+                let mut tree = ShardedTree::new(TreePlan::new(23, fanouts.clone()), None, psum);
+                let out = tree.aggregate(0, contribs.clone()).unwrap();
+                assert_eq!(
+                    out.global.to_bytes(),
+                    flat,
+                    "fan-outs {fanouts:?} with {} frames diverged",
+                    psum.name()
+                );
+                assert_eq!(out.merged, 23);
+                assert_eq!(out.level_ingress_bytes.len(), fanouts.len());
+            }
         }
     }
 
@@ -315,19 +419,65 @@ mod tests {
         let contribs: Vec<Contribution> = (0..8).map(|c| contribution(c, 1.0, 0.0)).collect();
         let flat = FlatAggregator.aggregate(0, contribs.clone()).unwrap();
         assert_eq!(flat.root_ingress_bytes, 800, "flat ingress sums upload wire bytes");
-        let mut tree = ShardedTree::new(ShardPlan::new(8, 4), None);
+        assert!(flat.level_ingress_bytes.is_empty(), "flat has no inter-aggregator hops");
+        let mut tree = ShardedTree::two_level(ShardPlan::new(8, 4), None);
         let out = tree.aggregate(0, contribs).unwrap();
         // 4 frames of a 4-element partial sum each: well under 800 per
         // frame-count scaling, and exactly 4 frames' worth.
         let one_frame = out.root_ingress_bytes / 4;
         assert_eq!(out.root_ingress_bytes, one_frame * 4);
+        assert_eq!(out.level_ingress_bytes, vec![out.root_ingress_bytes]);
+    }
+
+    #[test]
+    fn deeper_levels_carry_more_frames_than_the_root() {
+        let contribs: Vec<Contribution> = (0..16).map(|c| contribution(c, 0.5, 0.0)).collect();
+        let mut tree = ShardedTree::new(TreePlan::new(16, vec![2, 4]), None, PsumMode::Raw);
+        let out = tree.aggregate(0, contribs).unwrap();
+        assert_eq!(out.level_ingress_bytes.len(), 2);
+        // 8 leaf frames feed level 1; 2 frames feed the root.
+        assert!(
+            out.level_ingress_bytes[1] > out.level_ingress_bytes[0],
+            "leaf tier {} should out-byte the root tier {}",
+            out.level_ingress_bytes[1],
+            out.level_ingress_bytes[0]
+        );
+        assert_eq!(out.root_ingress_bytes, out.level_ingress_bytes[0]);
+    }
+
+    #[test]
+    fn lossless_frames_shrink_the_wire_image() {
+        let contribs: Vec<Contribution> = (0..12)
+            .map(|c| {
+                let mut dict = StateDict::new();
+                let data: Vec<f32> = (0..2048).map(|i| ((i + c) as f32 * 0.017).sin()).collect();
+                dict.insert("w.weight", Tensor::from_vec(vec![2048], data));
+                Contribution { client: c, dict, weight: 1.0, wire_bytes: 0, done_secs: 0.0 }
+            })
+            .collect();
+        let mut raw = ShardedTree::new(TreePlan::new(12, vec![4]), None, PsumMode::Raw);
+        let raw_out = raw.aggregate(0, contribs.clone()).unwrap();
+        let mut packed = ShardedTree::new(TreePlan::new(12, vec![4]), None, PsumMode::Lossless);
+        let packed_out = packed.aggregate(0, contribs).unwrap();
+        assert_eq!(
+            packed_out.global.to_bytes(),
+            raw_out.global.to_bytes(),
+            "lossless frames must not move a bit of the model"
+        );
+        assert!((raw_out.psum_ratio() - 1.0).abs() < 1e-12);
+        assert!(
+            packed_out.psum_ratio() > 1.2,
+            "psum ratio {:.2} below the 1.2x floor",
+            packed_out.psum_ratio()
+        );
+        assert!(packed_out.root_ingress_bytes < raw_out.root_ingress_bytes);
     }
 
     #[test]
     fn edge_links_price_the_forward_hop() {
         let contribs: Vec<Contribution> = (0..4).map(|c| contribution(c, 1.0, 2.0)).collect();
         let slow = vec![LinkProfile::symmetric(8.0); 2]; // 1 byte/s
-        let mut tree = ShardedTree::new(ShardPlan::new(4, 2), Some(slow));
+        let mut tree = ShardedTree::two_level(ShardPlan::new(4, 2), Some(slow));
         let out = tree.aggregate(0, contribs.clone()).unwrap();
         // Edges become ready at 2.0 virtual seconds, then a frame of F
         // bytes takes F seconds at 8 bps.
@@ -337,18 +487,40 @@ mod tests {
             "root_done {:.1}s must include the {frame}-byte forward",
             out.root_done_secs
         );
-        let mut free = ShardedTree::new(ShardPlan::new(4, 2), None);
+        let mut free = ShardedTree::two_level(ShardPlan::new(4, 2), None);
         let out_free = free.aggregate(0, contribs).unwrap();
         assert!(out_free.root_done_secs < 3.0, "no timing model: forwards are free");
     }
 
     #[test]
-    fn fanout_counts_distinct_shards() {
-        let tree = ShardedTree::new(ShardPlan::new(8, 4), None);
+    fn multi_level_links_compound_the_chain() {
+        let contribs: Vec<Contribution> = (0..4).map(|c| contribution(c, 1.0, 0.0)).collect();
+        // Leaves forward at 1 byte/s, the mid tier at 1 byte/s again:
+        // the root's ready time must cover both hops in sequence.
+        let tiers =
+            vec![vec![LinkProfile::symmetric(8.0); 2], vec![LinkProfile::symmetric(8.0); 4]];
+        let mut tree = ShardedTree::new(TreePlan::new(4, vec![2, 2]), Some(tiers), PsumMode::Raw);
+        let out = tree.aggregate(0, contribs.clone()).unwrap();
+        let leaf_frame = out.level_ingress_bytes[1] / 4;
+        let mid_frame = out.level_ingress_bytes[0] / 2;
+        assert!(
+            out.root_done_secs >= (leaf_frame + mid_frame) as f64 - 1.0,
+            "root_done {:.1}s must chain the {leaf_frame}+{mid_frame} byte hops",
+            out.root_done_secs
+        );
+    }
+
+    #[test]
+    fn fanout_counts_active_root_children() {
+        let tree = ShardedTree::two_level(ShardPlan::new(8, 4), None);
         assert_eq!(tree.fanout(&[0, 1]), 1, "same shard");
         assert_eq!(tree.fanout(&[0, 7]), 2);
         assert_eq!(tree.fanout(&[0, 2, 4, 6]), 4);
         assert_eq!(FlatAggregator.fanout(&[0, 2, 4]), 3);
+        // Depth 3: the root has 2 children regardless of 8 leaves.
+        let deep = ShardedTree::new(TreePlan::new(16, vec![2, 4]), None, PsumMode::Raw);
+        assert_eq!(deep.fanout(&(0..16).collect::<Vec<_>>()), 2);
+        assert_eq!(deep.fanout(&[0, 1]), 1, "both in the first child's subtree");
     }
 
     #[test]
@@ -364,9 +536,10 @@ mod tests {
                 Contribution { client: c, dict, weight, wire_bytes: 0, done_secs: 0.0 }
             })
             .collect();
-        let mut tree = ShardedTree::new(ShardPlan::new(10, 3), None);
+        let mut tree = ShardedTree::new(TreePlan::new(10, vec![3, 2]), None, PsumMode::Raw);
         let materialized = tree.aggregate(0, contribs).unwrap();
-        let mut streamed_tree = ShardedTree::new(ShardPlan::new(10, 3), None);
+        let mut streamed_tree =
+            ShardedTree::new(TreePlan::new(10, vec![3, 2]), None, PsumMode::Raw);
         let streamed = streamed_tree.aggregate_streamed(0, &make).unwrap();
         assert_eq!(streamed.global.to_bytes(), materialized.global.to_bytes());
         assert_eq!(streamed.merged, 10);
@@ -375,13 +548,23 @@ mod tests {
     #[test]
     fn empty_contributions_yield_none() {
         assert!(FlatAggregator.aggregate(0, Vec::new()).is_none());
-        let mut tree = ShardedTree::new(ShardPlan::new(4, 2), None);
+        let mut tree = ShardedTree::two_level(ShardPlan::new(4, 2), None);
         assert!(tree.aggregate(0, Vec::new()).is_none());
     }
 
     #[test]
     #[should_panic(expected = "one edge link per shard")]
     fn mismatched_edge_links_rejected() {
-        let _ = ShardedTree::new(ShardPlan::new(4, 2), Some(vec![LinkProfile::default()]));
+        let _ = ShardedTree::two_level(ShardPlan::new(4, 2), Some(vec![LinkProfile::default()]));
+    }
+
+    #[test]
+    #[should_panic(expected = "one link tier per non-root level")]
+    fn mismatched_level_count_rejected() {
+        let _ = ShardedTree::new(
+            TreePlan::new(8, vec![2, 2]),
+            Some(vec![vec![LinkProfile::default(); 2]]),
+            PsumMode::Raw,
+        );
     }
 }

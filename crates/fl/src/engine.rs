@@ -34,12 +34,13 @@
 //!   average with a staleness-discounted weight.
 
 use crate::agg::{
-    Aggregator, Contribution, Downlink, DownlinkMode, FlatAggregator, ShardPlan, ShardedTree,
+    AggOutcome, Aggregator, Contribution, Downlink, DownlinkMode, FlatAggregator, ShardedTree,
+    TreePlan,
 };
 use crate::link::{self, Departure, LinkProfile, Topology};
 use crate::transport::Transport;
 use crate::{Client, FlConfig, RoundMetrics};
-use fedsz::timing::TransferPlan;
+use fedsz::timing::CostProfile;
 use fedsz::FedSz;
 use fedsz_nn::loss::top1_accuracy;
 use fedsz_nn::{Model, StateDict};
@@ -73,15 +74,6 @@ struct StaleUpdate {
     dict: StateDict,
     samples: usize,
     round: usize,
-}
-
-/// Exponentially-weighted codec cost estimate feeding the Eqn 1
-/// per-client compress-or-not decision.
-#[derive(Debug, Clone, Copy)]
-struct CodecProfile {
-    compress_secs_per_byte: f64,
-    decompress_secs_per_byte: f64,
-    ratio: f64,
 }
 
 /// Result of one client's local work for a round.
@@ -119,7 +111,7 @@ pub struct RoundEngine {
     aggregator: Box<dyn Aggregator>,
     downlink: Downlink,
     pending: Vec<StaleUpdate>,
-    codec_profile: Option<CodecProfile>,
+    codec_profile: Option<CostProfile>,
 }
 
 impl RoundEngine {
@@ -158,21 +150,25 @@ impl RoundEngine {
         let eval_model = Box::new(config.arch.build(config.seed, channels, hw, classes));
         let global = eval_model.state_dict();
         let (test_inputs, test_targets) = test.full_batch();
-        // Shard plan and per-edge uplinks (sharded-tree mode only).
-        let plan = config.shards.map(|s| ShardPlan::new(config.clients, s));
-        let edge_links: Option<Vec<LinkProfile>> = plan.map(|plan| {
-            let edges = config
-                .edge_links
-                .clone()
-                .unwrap_or_else(|| vec![LinkProfile::symmetric(DEFAULT_EDGE_BPS); plan.shards()]);
-            assert_eq!(
-                edges.len(),
-                plan.shards(),
-                "need one edge link per shard ({} links for {} shards)",
-                edges.len(),
-                plan.shards()
-            );
-            edges
+        // Tree plan and per-level aggregator uplinks (tree mode only).
+        // Explicit `edge_links` profiles apply to the leaf tier; inner
+        // tiers always sit on the well-provisioned backbone.
+        let plan = config.tree_fanouts().map(|fanouts| TreePlan::new(config.clients, fanouts));
+        let level_links: Option<Vec<Vec<LinkProfile>>> = plan.as_ref().map(|plan| {
+            let mut levels: Vec<Vec<LinkProfile>> = (1..plan.depth())
+                .map(|l| vec![LinkProfile::symmetric(DEFAULT_EDGE_BPS); plan.nodes_at(l)])
+                .collect();
+            if let Some(edges) = &config.edge_links {
+                assert_eq!(
+                    edges.len(),
+                    plan.leaves(),
+                    "need one edge link per shard ({} links for {} leaf aggregators)",
+                    edges.len(),
+                    plan.leaves()
+                );
+                *levels.last_mut().expect("depth >= 2") = edges.clone();
+            }
+            levels
         });
         if let Some(links) = &config.links {
             assert_eq!(
@@ -183,18 +179,19 @@ impl RoundEngine {
                 config.clients
             );
         }
-        let topology = match (&config.links, config.bandwidth_bps, &edge_links) {
-            // Sharded mode: every client keeps its own last mile to its
-            // edge; the tree variant carries both tiers' profiles.
-            (Some(links), _, Some(edges)) => {
-                Some(Topology::Tree { clients: links.clone(), edges: edges.clone() })
+        let topology = match (&config.links, config.bandwidth_bps, &level_links) {
+            // Tree mode: every client keeps its own last mile to its
+            // leaf aggregator; the tree variant carries every tier's
+            // profiles.
+            (Some(links), _, Some(levels)) => {
+                Some(Topology::Tree { clients: links.clone(), levels: levels.clone() })
             }
-            (None, Some(bw), Some(edges)) => Some(Topology::Tree {
+            (None, Some(bw), Some(levels)) => Some(Topology::Tree {
                 clients: vec![
                     LinkProfile::symmetric(bw).with_latency(config.latency_secs);
                     config.clients
                 ],
-                edges: edges.clone(),
+                levels: levels.clone(),
             }),
             (Some(links), _, None) => Some(Topology::Dedicated(links.clone())),
             (None, Some(bw), None) => {
@@ -203,8 +200,11 @@ impl RoundEngine {
             (None, None, _) => None,
         };
         let aggregator: Box<dyn Aggregator> = match plan {
-            // Edge forwards are only priced when a network model exists.
-            Some(plan) => Box::new(ShardedTree::new(plan, topology.as_ref().and(edge_links))),
+            // Aggregator forwards are only priced when a network model
+            // exists.
+            Some(plan) => {
+                Box::new(ShardedTree::new(plan, topology.as_ref().and(level_links), config.psum))
+            }
             None => Box::new(FlatAggregator),
         };
         let downlink_codec = match config.downlink {
@@ -292,12 +292,8 @@ impl RoundEngine {
         let link = topology.link(client);
         // Compression runs on the client's hardware — a straggler pays
         // its slowdown on codec time too. Decompression is server-side.
-        let plan = TransferPlan {
-            compress_secs: profile.compress_secs_per_byte * raw as f64 * link.compute_slowdown,
-            decompress_secs: profile.decompress_secs_per_byte * raw as f64,
-            original_bytes: raw,
-            compressed_bytes: ((raw as f64 / profile.ratio) as usize).max(1),
-        };
+        let mut plan = profile.plan(raw);
+        plan.compress_secs *= link.compute_slowdown;
         plan.worthwhile(link.bandwidth_bps)
     }
 
@@ -541,8 +537,12 @@ impl RoundEngine {
             .collect();
 
         // Aggregation under the configured policy and backend.
-        let (aggregated_updates, stale_updates, round_secs, root_ingress_bytes) =
+        let (outcome, stale_updates) =
             self.aggregate(round, server_updates, &arrivals, &wire_sizes);
+        let (aggregated_updates, round_secs, root_ingress_bytes, psum_ratio) = match &outcome {
+            Some(o) => (o.merged, o.root_done_secs, o.root_ingress_bytes, o.psum_ratio()),
+            None => (0, 0.0, 0, 1.0),
+        };
 
         let t_val = Instant::now();
         let test_accuracy = self.evaluate();
@@ -575,23 +575,24 @@ impl RoundEngine {
             root_egress_bytes,
             downlink_ratio,
             downlink_secs,
+            psum_ratio,
             aggregated_updates,
             stale_updates,
             dropped_updates: dropped_count,
         }
     }
 
-    /// Applies the aggregation policy and backend, returning `(fresh +
-    /// stale count aggregated, stale count, virtual round completion
-    /// time, root ingress bytes)`. `wire_sizes` is aligned with
-    /// `server_updates`.
+    /// Applies the aggregation policy and backend, returning the
+    /// backend's outcome (`None` when nothing aggregated) and the
+    /// number of stale straggler updates applied. `wire_sizes` is
+    /// aligned with `server_updates`.
     fn aggregate(
         &mut self,
         round: usize,
         server_updates: Vec<ServerUpdate>,
         arrivals: &[link::Arrival],
         wire_sizes: &[usize],
-    ) -> (usize, usize, f64, usize) {
+    ) -> (Option<AggOutcome>, usize) {
         // Which delivered uploads the policy waits for.
         let delivered: Vec<&link::Arrival> = arrivals.iter().filter(|a| !a.dropped).collect();
         let accepted: &[&link::Arrival] = match self.config.aggregation {
@@ -661,11 +662,13 @@ impl RoundEngine {
         self.pending = stragglers;
 
         match self.aggregator.aggregate(round, contributions) {
-            Some(outcome) => {
-                self.global = outcome.global;
-                (outcome.merged, stale_applied, outcome.root_done_secs, outcome.root_ingress_bytes)
+            Some(mut outcome) => {
+                // The merged model moves into the engine; the returned
+                // outcome keeps only the accounting fields.
+                self.global = std::mem::replace(&mut outcome.global, StateDict::new());
+                (Some(outcome), stale_applied)
             }
-            None => (0, stale_applied, 0.0, 0),
+            None => (None, stale_applied),
         }
     }
 
@@ -697,18 +700,14 @@ impl RoundEngine {
             .map(|o| o.raw_bytes as f64 / o.payload_len.max(1) as f64)
             .sum::<f64>()
             / compressed.len() as f64;
-        self.codec_profile = Some(match self.codec_profile {
-            None => CodecProfile {
+        self.codec_profile = Some(CostProfile::blend(
+            self.codec_profile,
+            CostProfile {
                 compress_secs_per_byte: c_per_byte,
                 decompress_secs_per_byte: d_per_byte,
                 ratio,
             },
-            Some(prev) => CodecProfile {
-                compress_secs_per_byte: 0.5 * prev.compress_secs_per_byte + 0.5 * c_per_byte,
-                decompress_secs_per_byte: 0.5 * prev.decompress_secs_per_byte + 0.5 * d_per_byte,
-                ratio: 0.5 * prev.ratio + 0.5 * ratio,
-            },
-        });
+        ));
     }
 
     /// Evaluates the current global model on the test split, in chunks
@@ -846,6 +845,44 @@ mod tests {
         // server side only.
         assert_eq!(m.upstream_bytes, flat_m.upstream_bytes);
         assert_eq!(m.downstream_bytes, flat_m.downstream_bytes);
+    }
+
+    #[test]
+    fn zero_and_oversized_shard_counts_are_clamped() {
+        // The legacy ShardPlan clamped `shards` to [1, clients];
+        // the TreePlan path must keep accepting those configs.
+        let mut config = FlConfig::smoke_test();
+        config.clients = 2;
+        config.rounds = 1;
+        config.shards = Some(0);
+        assert_eq!(config.tree_fanouts(), Some(vec![1]));
+        config.shards = Some(99);
+        assert_eq!(config.tree_fanouts(), Some(vec![2]));
+        let mut e = engine(config);
+        let m = e.run_round(0);
+        assert_eq!(m.aggregated_updates, 2);
+    }
+
+    #[test]
+    fn deep_tree_engine_prices_levels_and_compresses_frames() {
+        let mut config = FlConfig::smoke_test();
+        config.clients = 8;
+        config.rounds = 1;
+        config.tree = Some(vec![2, 4]); // depth 3: 2 mid nodes, 8 leaves
+        config.psum = crate::agg::PsumMode::Lossless;
+        let mut deep = engine(config.clone());
+        let m = deep.run_round(0);
+        assert_eq!(deep.aggregator_name(), "sharded-tree");
+        // The root has 2 children, so it sends 2 broadcast copies for
+        // the 8-client cohort.
+        assert_eq!(m.root_egress_bytes * 4, m.downstream_bytes);
+        assert!(m.root_ingress_bytes > 0);
+        assert!(m.psum_ratio > 1.0, "lossless frames should compress, got {}", m.psum_ratio);
+
+        // `tree` takes precedence over `shards`.
+        config.shards = Some(4);
+        let e = engine(config);
+        assert_eq!(e.aggregator_name(), "sharded-tree");
     }
 
     #[test]

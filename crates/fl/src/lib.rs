@@ -15,12 +15,16 @@
 //! [`engine::RoundEngine`], parameterized by a [`transport::Transport`]
 //! (analytic in-memory, or framed-wire with CRC accounting), a link
 //! [`link::Topology`] (one shared pipe, per-client heterogeneous
-//! links, or a two-level aggregation tree), an
+//! links, or an aggregation tree of any depth), an
 //! [`engine::AggregationPolicy`] (synchronous FedAvg or FedBuff-style
 //! buffered-asynchronous aggregation), an [`agg::Aggregator`] backend
-//! (flat server or [`agg::ShardedTree`] with bit-identical results)
-//! and an [`agg::Downlink`] stage (raw, FedSZ-encoded, or Eqn-1
-//! adaptive broadcasts).
+//! (flat server or an [`agg::ShardedTree`] hierarchy with
+//! bit-identical results at any depth, optionally forwarding
+//! losslessly-compressed partial-sum frames) and an [`agg::Downlink`]
+//! stage (raw, FedSZ-encoded, or Eqn-1 adaptive broadcasts).
+//!
+//! See `ARCHITECTURE.md` at the repository root for the full layer
+//! walk-through and the wire-frame formats.
 //!
 //! # Examples
 //!
@@ -36,6 +40,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub mod agg;
 pub mod baselines;
@@ -47,7 +52,7 @@ pub mod protocol;
 pub mod scaling;
 pub mod transport;
 
-pub use agg::{DownlinkMode, ShardPlan};
+pub use agg::{DownlinkMode, PsumMode, ShardPlan, TreePlan};
 pub use client::Client;
 pub use engine::{AggregationPolicy, RoundEngine};
 pub use fedavg::fedavg;
@@ -111,15 +116,30 @@ pub struct FlConfig {
     /// Eqn 1 (slow links compress, fast links send raw) instead of
     /// compressing unconditionally.
     pub adaptive_compression: bool,
-    /// Edge-aggregator shard count for the two-level
+    /// Edge-aggregator shard count for a two-level
     /// [`agg::ShardedTree`]; `None` keeps the paper's flat server. The
     /// sharded global model is bit-identical to the flat synchronous
-    /// result for any value here (clamped to the client count).
+    /// result for any value here (clamped to `[1, clients]`).
+    /// Shorthand for `tree: Some(vec![s])`; ignored when
+    /// [`FlConfig::tree`] is set.
     pub shards: Option<usize>,
-    /// Per-edge uplink profiles for the sharded tree, one per shard.
-    /// `None` gives every edge a 1 Gbps backbone link (edge
-    /// aggregators live in well-provisioned tiers, unlike clients).
+    /// Per-level fan-outs of an arbitrary-depth aggregation hierarchy,
+    /// root downward (`--tree 4x8` is `Some(vec![4, 8])`: the root
+    /// merges 4 mid-tier nodes, each merging 8 leaf aggregators).
+    /// Takes precedence over [`FlConfig::shards`]. Bit-parity with the
+    /// flat server holds at any depth.
+    pub tree: Option<Vec<usize>>,
+    /// Per-leaf uplink profiles for the aggregation tree, one per leaf
+    /// aggregator. `None` gives every non-root aggregator a 1 Gbps
+    /// backbone link (aggregators live in well-provisioned tiers,
+    /// unlike clients); when set, the *inner* levels still default to
+    /// the backbone.
     pub edge_links: Option<Vec<LinkProfile>>,
+    /// How partial-sum frames travel between aggregator levels: raw
+    /// `f64` payloads, losslessly compressed
+    /// ([`fedsz_lossless::PsumCodec`]), or per-edge Eqn-1 adaptive.
+    /// Lossless by construction, so bit-parity is unaffected.
+    pub psum: PsumMode,
     /// How the global model travels server→client: raw every round
     /// (the paper's setting), FedSZ-encoded once per round, or Eqn-1
     /// adaptive with a raw fallback.
@@ -158,7 +178,9 @@ impl FlConfig {
             aggregation: AggregationPolicy::Synchronous,
             adaptive_compression: false,
             shards: None,
+            tree: None,
             edge_links: None,
+            psum: PsumMode::Raw,
             downlink: DownlinkMode::Raw,
         }
     }
@@ -190,9 +212,19 @@ impl FlConfig {
             aggregation: AggregationPolicy::Synchronous,
             adaptive_compression: false,
             shards: None,
+            tree: None,
             edge_links: None,
+            psum: PsumMode::Raw,
             downlink: DownlinkMode::Raw,
         }
+    }
+
+    /// Per-level fan-outs of the configured aggregation hierarchy:
+    /// [`FlConfig::tree`] verbatim when set, else [`FlConfig::shards`]
+    /// as a one-level tree (clamped to `[1, clients]`, preserving the
+    /// legacy `ShardPlan` semantics), else `None` (flat server).
+    pub fn tree_fanouts(&self) -> Option<Vec<usize>> {
+        self.tree.clone().or_else(|| self.shards.map(|s| vec![s.clamp(1, self.clients.max(1))]))
     }
 
     /// The seed for client `id`'s local RNG stream.
@@ -255,6 +287,10 @@ pub struct RoundMetrics {
     /// Broadcast compression ratio (raw model bytes over shipped
     /// payload; just under 1 when the downlink sends raw bytes).
     pub downlink_ratio: f64,
+    /// Lossless compression ratio of the tree's partial-sum frames
+    /// (payload over shipped bytes; 1.0 for a flat server or raw
+    /// frames).
+    pub psum_ratio: f64,
     /// Measured downlink codec wall time this round (one encode + one
     /// decode; zero for raw broadcasts).
     pub downlink_secs: f64,

@@ -8,10 +8,11 @@
 //! stragglers), and [`Topology`] states how those paths compose: a
 //! single [`Topology::Shared`] pipe that serializes every upload (the
 //! paper's setting), [`Topology::Dedicated`] per-client links that
-//! overlap in time, or a [`Topology::Tree`] whose clients talk to edge
-//! aggregators over their own last miles while the edges forward
-//! partial sums to the root over their own uplinks (the
-//! [`agg`](crate::agg) subsystem prices that second hop).
+//! overlap in time, or a [`Topology::Tree`] of any depth whose clients
+//! talk to leaf aggregators over their own last miles while every
+//! non-root aggregator forwards partial sums to its parent over its
+//! own uplink (the [`agg`](crate::agg) subsystem prices those
+//! inter-aggregator hops level by level).
 //!
 //! [`schedule`] is the virtual clock: it turns "client `i` finished
 //! computing at `t_i` with `b_i` bytes to send" departure events into
@@ -103,17 +104,22 @@ pub enum Topology {
     Shared(LinkProfile),
     /// One independent link per client: uploads overlap in virtual time.
     Dedicated(Vec<LinkProfile>),
-    /// A two-level aggregation tree: each client has its own last mile
-    /// to its edge aggregator (so client transfers overlap, as with
-    /// dedicated links), and each edge forwards one partial-sum frame
-    /// to the root over its own uplink. The
-    /// [`ShardedTree`](crate::agg::ShardedTree) aggregator prices the
-    /// edge→root hop; this variant carries the profiles.
+    /// An aggregation tree of any depth: each client has its own last
+    /// mile to its leaf aggregator (so client transfers overlap, as
+    /// with dedicated links), and each non-root aggregator forwards
+    /// one partial-sum frame to its parent over its own uplink. The
+    /// [`ShardedTree`](crate::agg::ShardedTree) aggregator prices
+    /// those inter-aggregator hops level by level; this variant
+    /// carries the profiles.
     Tree {
         /// One last-mile profile per client.
         clients: Vec<LinkProfile>,
-        /// One uplink profile per edge aggregator.
-        edges: Vec<LinkProfile>,
+        /// One uplink tier per non-root aggregator level, root
+        /// downward: `levels[l]` holds one profile per node at tree
+        /// level `l + 1` (the last tier is the leaf aggregators'). A
+        /// two-level `--shards S` tree has a single tier of `S` edge
+        /// profiles.
+        levels: Vec<Vec<LinkProfile>>,
     },
 }
 
@@ -339,7 +345,7 @@ mod tests {
     fn tree_clients_overlap_like_dedicated_links() {
         let topo = Topology::Tree {
             clients: vec![LinkProfile::symmetric(8e6); 4],
-            edges: vec![LinkProfile::symmetric(1e9); 2],
+            levels: vec![vec![LinkProfile::symmetric(1e9); 2]],
         };
         let arrivals = schedule(&departures(4, 1_000_000), &topo);
         assert!(arrivals.iter().all(|a| (a.done_secs - 1.0).abs() < 1e-9));

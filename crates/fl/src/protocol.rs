@@ -79,7 +79,9 @@ pub enum Message {
     PartialSum {
         /// Round index.
         round: u32,
-        /// Shard index within the [`ShardPlan`](crate::agg::ShardPlan).
+        /// Shard index within the [`ShardPlan`](crate::agg::ShardPlan)
+        /// (or the node's index within its level for a deep
+        /// [`TreePlan`](crate::agg::TreePlan)).
         shard: u32,
         /// Contributions merged into this partial.
         clients: u32,
@@ -87,6 +89,25 @@ pub enum Message {
         weight: f64,
         /// `Σ w_i · x_i` per element, as encoded by
         /// `PartialSum::encode_payload`.
+        payload: Vec<u8>,
+    },
+    /// [`Message::PartialSum`]'s losslessly-compressed twin: the same
+    /// metadata, but the payload is a
+    /// [`PsumCodec`](fedsz_lossless::PsumCodec) frame (byte-shuffled
+    /// `f64` planes + entropy stage) that decompresses bit-exactly to
+    /// the `PartialSum::encode_payload` image. Which variant an edge
+    /// ships is the per-edge Eqn-1 decision made by
+    /// [`PsumForwarder`](crate::agg::PsumForwarder).
+    PartialSumCompressed {
+        /// Round index.
+        round: u32,
+        /// The forwarding node's index within its tree level.
+        shard: u32,
+        /// Contributions merged into this partial.
+        clients: u32,
+        /// Total aggregation weight of the partial.
+        weight: f64,
+        /// `PsumCodec`-compressed `PartialSum::encode_payload` image.
         payload: Vec<u8>,
     },
 }
@@ -100,6 +121,7 @@ impl Message {
             Message::Shutdown => 4,
             Message::EncodedGlobal { .. } => 5,
             Message::PartialSum { .. } => 6,
+            Message::PartialSumCompressed { .. } => 7,
         }
     }
 
@@ -128,7 +150,8 @@ impl Message {
                 write_uvarint(&mut out, payload.len() as u64);
                 out.extend_from_slice(payload);
             }
-            Message::PartialSum { round, shard, clients, weight, payload } => {
+            Message::PartialSum { round, shard, clients, weight, payload }
+            | Message::PartialSumCompressed { round, shard, clients, weight, payload } => {
                 write_u32(&mut out, *round);
                 write_uvarint(&mut out, u64::from(*shard));
                 write_uvarint(&mut out, u64::from(*clients));
@@ -192,7 +215,7 @@ impl Message {
                 pos += len;
                 Message::EncodedGlobal { round, payload }
             }
-            6 => {
+            6 | 7 => {
                 let round = read_u32(body, &mut pos)?;
                 let shard = u32::try_from(read_uvarint(body, &mut pos)?)
                     .map_err(|_| CodecError::Corrupt("shard index overflow"))?;
@@ -202,7 +225,11 @@ impl Message {
                 let len = read_uvarint(body, &mut pos)? as usize;
                 let payload = body.get(pos..pos + len).ok_or(CodecError::UnexpectedEof)?.to_vec();
                 pos += len;
-                Message::PartialSum { round, shard, clients, weight, payload }
+                if tag == 6 {
+                    Message::PartialSum { round, shard, clients, weight, payload }
+                } else {
+                    Message::PartialSumCompressed { round, shard, clients, weight, payload }
+                }
             }
             _ => return Err(CodecError::Corrupt("unknown message tag")),
         };
@@ -268,6 +295,13 @@ mod tests {
                 clients: 61,
                 weight: 61.5,
                 payload: vec![1, 2, 3],
+            },
+            Message::PartialSumCompressed {
+                round: 9,
+                shard: 5,
+                clients: 200,
+                weight: 199.25,
+                payload: vec![0xF5, 9, 8, 7],
             },
         ];
         for msg in msgs {

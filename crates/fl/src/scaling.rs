@@ -13,11 +13,14 @@
 //! receives `S` partial-sum frames over a fast backbone instead of `N`
 //! updates over the one constrained link — the sharded curves stay
 //! flat where the flat server's serialize-everything curve blows up.
+//! [`ScalingConfig::tree`] deepens the hierarchy (fan-outs root
+//! downward): frames then hop level by level over the backbone, and
+//! [`ScalingConfig::psum_lossless`] prices them through the lossless
+//! partial-sum codec instead of as raw `f64` streams.
 
-use crate::agg::{PartialSum, ShardPlan};
+use crate::agg::{PartialSum, PsumForwarder, PsumMode, TreePlan};
 use crate::client::Client;
 use crate::link::{self, Departure, LinkProfile, Topology};
-use crate::protocol::Message;
 use fedsz::{FedSz, FedSzConfig};
 use fedsz_data::{DatasetKind, SyntheticConfig};
 use fedsz_nn::models::tiny::TinyArch;
@@ -37,11 +40,11 @@ pub struct ScalingPoint {
     /// Measured parallel compute time (train + compress) in seconds.
     pub compute_secs: f64,
     /// Simulated serialized transfer time at the server in seconds
-    /// (under sharding: the slowest edge pipe plus the edge→root
-    /// forward).
+    /// (under a tree: the slowest leaf pipe plus one backbone forward
+    /// per level).
     pub comm_secs: f64,
     /// Bytes arriving at the root: every payload (flat) or one
-    /// partial-sum frame per shard (sharded).
+    /// partial-sum frame per root child (tree).
     pub root_ingress_bytes: usize,
 }
 
@@ -71,8 +74,19 @@ pub struct ScalingConfig {
     /// Edge-aggregator count; `None` is the paper's flat server with
     /// one shared pipe, `Some(s)` splits the cohort over `s` edge
     /// ingress pipes (each at [`ScalingConfig::bandwidth_bps`]) that
-    /// forward partial sums over a 1 Gbps backbone.
+    /// forward partial sums over a 1 Gbps backbone. Shorthand for
+    /// `tree: Some(vec![s])`; ignored when [`ScalingConfig::tree`] is
+    /// set.
     pub shards: Option<usize>,
+    /// Per-level fan-outs of a deeper aggregation hierarchy, root
+    /// downward (`Some(vec![4, 8])` puts 32 leaf pipes under 4
+    /// mid-tier nodes). Takes precedence over
+    /// [`ScalingConfig::shards`].
+    pub tree: Option<Vec<usize>>,
+    /// Price partial-sum frames through the lossless
+    /// [`PsumCodec`](fedsz_lossless::PsumCodec) instead of as raw
+    /// `f64` streams.
+    pub psum_lossless: bool,
 }
 
 impl Default for ScalingConfig {
@@ -90,7 +104,20 @@ impl Default for ScalingConfig {
             },
             seed: 3,
             shards: None,
+            tree: None,
+            psum_lossless: false,
         }
+    }
+}
+
+impl ScalingConfig {
+    /// Per-level fan-outs of the configured hierarchy:
+    /// [`ScalingConfig::tree`] verbatim when set, else
+    /// [`ScalingConfig::shards`] as a one-level tree (a zero shard
+    /// count degrades to one shard, as the legacy `ShardPlan` clamp
+    /// did), else `None` (flat server).
+    pub fn tree_fanouts(&self) -> Option<Vec<usize>> {
+        self.tree.clone().or_else(|| self.shards.map(|s| vec![s.max(1)]))
     }
 }
 
@@ -148,7 +175,7 @@ pub fn run_round(config: &ScalingConfig, clients: usize, workers: usize) -> Scal
     });
     let compute_secs = t0.elapsed().as_secs_f64();
 
-    let (comm_secs, root_ingress_bytes) = match config.shards {
+    let (comm_secs, root_ingress_bytes) = match config.tree_fanouts() {
         None => {
             // Serialized shared-pipe accounting via the virtual-time
             // event queue (equivalent to summing per-payload transfer
@@ -167,45 +194,57 @@ pub fn run_round(config: &ScalingConfig, clients: usize, workers: usize) -> Scal
             let arrivals = link::schedule(&departures, &topology);
             (link::comm_secs(&arrivals, &topology), payload_sizes.iter().sum())
         }
-        Some(shards) => sharded_comm(config, &global, &payload_sizes, shards),
+        Some(fanouts) => tree_comm(config, &global, &payload_sizes, fanouts),
     };
     ScalingPoint { workers, clients, compute_secs, comm_secs, root_ingress_bytes }
 }
 
-/// Sharded accounting: each edge's ingress pipe serializes only its own
-/// cohort's payloads, then forwards one partial-sum frame over the
-/// backbone; the round's comm time is the slowest edge chain, and root
-/// ingress is the frames, not the payloads.
-fn sharded_comm(
+/// Hierarchical accounting: each leaf's ingress pipe serializes only
+/// its own cohort's payloads, then one partial-sum frame hops up every
+/// level of the tree over the backbone; the round's comm time is the
+/// slowest leaf chain, and root ingress is the root's children's
+/// frames, not the payloads.
+fn tree_comm(
     config: &ScalingConfig,
     global: &StateDict,
     payload_sizes: &[usize],
-    shards: usize,
+    fanouts: Vec<usize>,
 ) -> (f64, usize) {
-    let plan = ShardPlan::new(payload_sizes.len(), shards);
-    // The frame an edge ships is a function of the model geometry, not
-    // of the cohort, so one exemplar partial — framed exactly as the
-    // tree aggregator frames it — prices every edge.
+    let plan = TreePlan::new(payload_sizes.len(), fanouts);
+    // The frame a node ships is a function of the model geometry, not
+    // of the cohort, so one exemplar partial — framed by the same
+    // `PsumForwarder` the tree aggregator uses, so the byte accounting
+    // cannot drift from what the tree actually ships — prices every
+    // hop.
     let mut exemplar = PartialSum::new();
     exemplar.accumulate(global, 1.0);
-    let frame_bytes = Message::PartialSum {
-        round: 0,
-        shard: 0,
-        clients: 1,
-        weight: exemplar.weight_total(),
-        payload: exemplar.encode_payload(),
-    }
-    .encode()
-    .len();
+    let mode = if config.psum_lossless { PsumMode::Lossless } else { PsumMode::Raw };
+    let frame = PsumForwarder::new(mode).frame(0, 0, &exemplar, None);
     let edge_pipe = LinkProfile::symmetric(config.bandwidth_bps);
     let backbone = LinkProfile::symmetric(EDGE_BACKBONE_BPS);
-    let mut slowest_edge = 0.0f64;
-    for s in 0..plan.shards() {
-        let ingress: f64 =
-            plan.range(s).map(|client| edge_pipe.transfer_secs(payload_sizes[client])).sum();
-        slowest_edge = slowest_edge.max(ingress + backbone.transfer_secs(frame_bytes));
+    let mut slowest_leaf = 0.0f64;
+    for leaf in 0..plan.leaves() {
+        let ingress: f64 = plan
+            .leaf_range(leaf)
+            .map(|client| edge_pipe.transfer_secs(payload_sizes[client]))
+            .sum();
+        slowest_leaf = slowest_leaf.max(ingress);
     }
-    (slowest_edge, plan.shards() * frame_bytes)
+    // Every level's forward rides the same backbone with an
+    // identically-sized frame, so the chain adds one hop per level —
+    // and when the frames are compressed, each hop also pays the
+    // *measured* codec time (compress at the child, decompress at the
+    // parent), exactly as the engine's tree prices it; a fast backbone
+    // can therefore make the lossless frames a net loss here, which is
+    // the trade-off the flag exists to study. Empty nodes never
+    // forward (the aggregator skips them), so only the root's
+    // *non-empty* children contribute ingress frames.
+    let frame_bytes = frame.wire_bytes;
+    let hops = (plan.depth() - 1) as f64;
+    let comm = slowest_leaf + hops * (backbone.transfer_secs(frame_bytes) + frame.codec_secs);
+    let active_children =
+        (0..plan.nodes_at(1)).filter(|&node| !plan.node_range(1, node).is_empty()).count();
+    (comm, active_children * frame_bytes)
 }
 
 /// Weak scaling: one client per worker, workers in `worker_counts`.
@@ -282,6 +321,52 @@ mod tests {
             "root ingress should drop: {} vs {}",
             sharded.root_ingress_bytes,
             flat.root_ingress_bytes
+        );
+    }
+
+    #[test]
+    fn deep_tree_accounting_chains_hops_and_shrinks_frames() {
+        // Depth 3 with the same 4 leaves: leaf serialization matches
+        // the two-level case, the chain just adds one backbone hop and
+        // the root sees 2 frames instead of 4.
+        let mut two = tiny_config(false);
+        two.shards = Some(4);
+        let flat2 = run_round(&two, 16, 2);
+        let mut three = tiny_config(false);
+        three.tree = Some(vec![2, 2]);
+        let deep = run_round(&three, 16, 2);
+        assert!(
+            deep.root_ingress_bytes < flat2.root_ingress_bytes,
+            "2 root frames ({}) must undercut 4 ({})",
+            deep.root_ingress_bytes,
+            flat2.root_ingress_bytes
+        );
+        // The lossless psum codec shrinks every frame on the books.
+        let mut packed = three.clone();
+        packed.psum_lossless = true;
+        let packed_point = run_round(&packed, 16, 2);
+        assert!(
+            packed_point.root_ingress_bytes < deep.root_ingress_bytes,
+            "lossless frames ({}) must undercut raw ({})",
+            packed_point.root_ingress_bytes,
+            deep.root_ingress_bytes
+        );
+    }
+
+    #[test]
+    fn oversized_shard_count_counts_only_active_edges() {
+        // 64 shards over 4 clients leaves 60 empty edges; the real
+        // aggregator skips them, so the accounting must too — root
+        // ingress matches a 4-shard run's, frame for frame.
+        let mut few = tiny_config(false);
+        few.shards = Some(4);
+        let four = run_round(&few, 4, 2);
+        let mut many = tiny_config(false);
+        many.shards = Some(64);
+        let sixty_four = run_round(&many, 4, 2);
+        assert_eq!(
+            four.root_ingress_bytes, sixty_four.root_ingress_bytes,
+            "empty edges must not forward frames"
         );
     }
 

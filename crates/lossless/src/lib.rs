@@ -13,6 +13,11 @@
 //! | [`ZstdLike`] | 1 MiB | lazy, deeper | Huffman over literals + slot-coded sequences | fast, good ratio |
 //! | [`XzLike`] | 4 MiB | lazy, deepest | adaptive binary range coder | slowest, best ratio |
 //!
+//! Beyond the paper's five, [`PsumCodec`] is a special-purpose lossless
+//! codec for the `f64` partial-sum streams an aggregation tree forwards
+//! between aggregators (byte-shuffle at element width 8 + the zstd-class
+//! entropy stage); see [`psum`].
+//!
 //! # Examples
 //!
 //! ```
@@ -25,16 +30,19 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub mod blosclz;
 pub mod deflate;
 pub mod lz;
+pub mod psum;
 pub mod xzlike;
 pub mod zstdlike;
 
 pub use blosclz::BloscLz;
 pub use deflate::{Gzip, Zlib};
 pub use fedsz_codec::{CodecError, Result};
+pub use psum::PsumCodec;
 pub use xzlike::XzLike;
 pub use zstdlike::ZstdLike;
 

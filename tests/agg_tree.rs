@@ -3,9 +3,11 @@
 //! any shard count) and the downlink stage's error-bound contract.
 
 use fedsz::{ErrorBound, FedSzConfig};
+use fedsz_fl::agg::PartialSum;
 use fedsz_fl::engine::RoundEngine;
 use fedsz_fl::transport::{InMemoryTransport, WireTransport};
-use fedsz_fl::{DownlinkMode, FlConfig};
+use fedsz_fl::{DownlinkMode, FlConfig, PsumMode};
+use fedsz_lossless::PsumCodec;
 use fedsz_nn::StateDict;
 use fedsz_tensor::Tensor;
 use proptest::collection::vec;
@@ -48,6 +50,37 @@ fn sharded_tree_is_bit_identical_to_flat_fedavg() {
     }
 }
 
+/// Deep trees inherit the bit-parity guarantee: depths 3 and 4 with
+/// uneven fan-outs, a cohort the leaf count does not divide (16
+/// clients over 6 or 12 leaves), and more leaves than clients — all
+/// with lossless partial-sum frames on, which must not move a bit
+/// either.
+#[test]
+fn deep_trees_are_bit_identical_to_flat_fedavg() {
+    let config = parity_config();
+    let mut flat = RoundEngine::new(config.clone(), Box::<InMemoryTransport>::default());
+    let mut flat_rounds: Vec<Vec<u8>> = Vec::new();
+    for round in 0..config.rounds {
+        flat.run_round(round);
+        flat_rounds.push(flat.global_state().to_bytes());
+    }
+    for fanouts in [vec![2, 3], vec![3, 4], vec![2, 2, 3], vec![3, 2, 4]] {
+        let mut deep_config = config.clone();
+        deep_config.tree = Some(fanouts.clone());
+        deep_config.psum = PsumMode::Lossless;
+        let mut tree = RoundEngine::new(deep_config, Box::<InMemoryTransport>::default());
+        for (round, flat_bytes) in flat_rounds.iter().enumerate() {
+            tree.run_round(round);
+            assert_eq!(
+                &tree.global_state().to_bytes(),
+                flat_bytes,
+                "depth-{} tree {fanouts:?} diverged from flat FedAvg at round {round}",
+                fanouts.len() + 1
+            );
+        }
+    }
+}
+
 /// Parity must also survive the harder configurations: weighted
 /// non-IID aggregation with partial participation, downlink-encoded
 /// broadcasts, and the framed-wire transport.
@@ -62,6 +95,7 @@ fn sharded_parity_holds_with_weighting_downlink_and_wire() {
     let mut flat = RoundEngine::new(config.clone(), Box::<InMemoryTransport>::default());
     let mut sharded_config = config.clone();
     sharded_config.shards = Some(3);
+    sharded_config.psum = PsumMode::Adaptive;
     let mut tree = RoundEngine::new(sharded_config.clone(), Box::<InMemoryTransport>::default());
     let mut wire_tree = RoundEngine::new(sharded_config, Box::new(WireTransport::new()));
     for round in 0..config.rounds {
@@ -123,6 +157,35 @@ fn downlink_for(bound: ErrorBound) -> fedsz_fl::agg::Downlink {
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The lossless partial-sum codec's contract: the frame an edge
+    /// ships decompresses to the exact `encode_payload` image — every
+    /// `f64` bit pattern of the sums survives, so compressing frames
+    /// can never break the tree's bit-parity with flat FedAvg.
+    #[test]
+    fn psum_frames_encode_decode_bit_exactly(
+        data in weights(),
+        weights in vec(0.25f64..50.0, 1..5),
+    ) {
+        let mut sum = PartialSum::new();
+        for (i, w) in weights.iter().enumerate() {
+            let mut dict = StateDict::new();
+            let shifted: Vec<f32> = data.iter().map(|&v| v + i as f32 * 0.125).collect();
+            dict.insert("enc.weight", Tensor::from_vec(vec![shifted.len()], shifted));
+            sum.accumulate(&dict, *w);
+        }
+        let payload = sum.encode_payload();
+        let codec = PsumCodec::new();
+        let frame = codec.compress(&payload);
+        let restored = codec.decompress(&frame).unwrap();
+        prop_assert_eq!(&restored, &payload, "frame must round-trip bit-exactly");
+        // And the restored image still parses as the far side would
+        // parse it, down to the exact f64 sums.
+        let entries = PartialSum::decode_payload(&restored).unwrap();
+        prop_assert_eq!(entries.len(), 1);
+        let direct = PartialSum::decode_payload(&payload).unwrap();
+        prop_assert_eq!(entries, direct);
+    }
 
     /// The downlink contract: a broadcast round-trip respects the
     /// configured error bound element-wise on the lossy partition and
