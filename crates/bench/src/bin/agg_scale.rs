@@ -30,7 +30,9 @@
 //! Flags: `--clients 100,1000,10000` (sweep list), `--shards N` (leaf
 //! aggregator count, default 16), `--depths 2,3,4` (tree depths to
 //! sweep), `--psum lossless|raw` (frame codec, default lossless),
-//! `--scale F` (model-size fraction, default 0.001), `--seed N`.
+//! `--scale F` (model-size fraction, default 0.001), `--seed N`,
+//! `--out PATH` (stable-schema JSON report the repo tracks across PRs,
+//! default `BENCH_agg_scale.json`; `-` disables the file).
 //!
 //! `merge_speedup` tracks the host's core count (each leaf merges on
 //! its own worker thread); the JSON carries `worker_threads` so a
@@ -220,5 +222,15 @@ fn main() {
             ));
         }
     }
-    println!("[\n{}\n]", points.join(",\n"));
+    let body = points.join(",\n");
+    println!("[\n{body}\n]");
+    // The perf-trajectory file: same points, wrapped in a stable
+    // versioned schema so PR-over-PR diffs stay meaningful.
+    let out_path: String = args.get("--out", "BENCH_agg_scale.json".to_string());
+    if out_path != "-" {
+        let wrapped =
+            format!("{{\n\"schema\": \"fedsz.agg_scale.v1\",\n\"points\": [\n{body}\n]\n}}\n");
+        std::fs::write(&out_path, wrapped).expect("write --out report");
+        eprintln!("wrote {out_path}");
+    }
 }

@@ -1,0 +1,161 @@
+//! Loopback benchmark of the multi-process socket runtime: one
+//! `NetServer` root plus N `run_worker` clients over real TCP
+//! connections on `127.0.0.1`, timed wall-clock.
+//!
+//! The simulator *prices* communication analytically; this bench
+//! measures what the real runtime costs — session setup, framing,
+//! kernel socket hops, the round barrier — and pins the bit-parity
+//! contract at the same time: every sweep point asserts the socket
+//! run's global checksum equals the in-memory engine's for the same
+//! config (the run aborts on divergence, so CI cannot silently ship a
+//! runtime that drifts).
+//!
+//! Flags: `--workers 2,4` (cohort sweep), `--rounds N` (default 2),
+//! `--shards S` (adds a relay tier: S relay servers between root and
+//! workers, forwarding lossless `PartialSumCompressed` frames),
+//! `--train-per-class N`, `--seed N`, `--out PATH` (stable-schema JSON
+//! report, default `BENCH_net_round.json`, `-` disables).
+//!
+//! Output: a JSON array of sweep points on stdout (matching the other
+//! bench bins), plus the schema-wrapped `--out` file the repo tracks
+//! across PRs.
+
+use fedsz_bench::Args;
+use fedsz_fl::net::{global_checksum, run_worker, NetServer, ServeConfig, WorkerConfig};
+use fedsz_fl::{Experiment, FlConfig, PsumMode};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// The bench's base configuration: the CLI smoke shape, parameterized.
+fn base_config(clients: usize, rounds: usize, train_per_class: usize, seed: u64) -> FlConfig {
+    let mut config = FlConfig::smoke_test();
+    config.clients = clients;
+    config.rounds = rounds;
+    config.seed = seed;
+    config.data.seed = seed;
+    config.data.train_per_class = train_per_class;
+    config.data.test_per_class = (train_per_class / 2).max(2);
+    config
+}
+
+/// One loopback deployment: root (+ optional relay tier) + workers,
+/// all threads, every hop a real TCP connection. Returns (checksum,
+/// total wall seconds, root upstream bytes, root downstream bytes).
+fn run_deployment(config: &FlConfig, shards: Option<usize>) -> (u32, f64, usize, usize) {
+    let timeout = Duration::from_secs(120);
+    let mut fl = config.clone();
+    fl.shards = shards;
+    if shards.is_some() {
+        fl.psum = PsumMode::Lossless;
+    }
+    let t0 = Instant::now();
+    let root = NetServer::bind("127.0.0.1:0").expect("bind loopback root");
+    let root_addr = root.local_addr().to_string();
+    let mut serve_config = ServeConfig::root(fl.clone());
+    serve_config.accept_timeout = timeout;
+    serve_config.round_timeout = timeout;
+    let root_thread = thread::spawn(move || root.run(serve_config));
+
+    let mut workers = Vec::new();
+    let mut relays = Vec::new();
+    match shards {
+        None => {
+            for id in 0..fl.clients {
+                let worker_config = WorkerConfig::new(fl.clone(), id, root_addr.clone());
+                workers.push(thread::spawn(move || run_worker(worker_config)));
+            }
+        }
+        Some(shards) => {
+            let plan = fedsz_fl::ShardPlan::new(fl.clients, shards);
+            for shard in 0..plan.shards() {
+                let relay = NetServer::bind("127.0.0.1:0").expect("bind loopback relay");
+                let relay_addr = relay.local_addr().to_string();
+                let mut relay_config =
+                    ServeConfig::relay(fl.clone(), shard as u32, root_addr.clone());
+                relay_config.accept_timeout = timeout;
+                relay_config.round_timeout = timeout;
+                relays.push(thread::spawn(move || relay.run(relay_config)));
+                for id in plan.range(shard) {
+                    let worker_config = WorkerConfig::new(fl.clone(), id, relay_addr.clone());
+                    workers.push(thread::spawn(move || run_worker(worker_config)));
+                }
+            }
+        }
+    }
+    let report = root_thread.join().expect("root thread").expect("serve succeeds");
+    for relay in relays {
+        relay.join().expect("relay thread").expect("relay succeeds");
+    }
+    for worker in workers {
+        worker.join().expect("worker thread").expect("worker succeeds");
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    assert_eq!(report.evicted, 0, "loopback deployment must not evict anyone");
+    let up: usize = report.rounds.iter().map(|r| r.upstream_bytes).sum();
+    let down: usize = report.rounds.iter().map(|r| r.downstream_bytes).sum();
+    (report.checksum, wall, up, down)
+}
+
+fn main() {
+    let args = Args::parse();
+    let rounds: usize = args.get("--rounds", 2);
+    let train_per_class: usize = args.get("--train-per-class", 4);
+    let seed: u64 = args.get("--seed", 9);
+    let shards: usize = args.get("--shards", 0);
+    let out_path: String = args.get("--out", "BENCH_net_round.json".to_string());
+    let workers_list: Vec<usize> = args
+        .get("--workers", "2,4".to_string())
+        .split(',')
+        .map(|v| v.trim().parse().expect("--workers expects N,N,..."))
+        .collect();
+
+    let mut points = Vec::new();
+    for &clients in &workers_list {
+        let config = base_config(clients, rounds, train_per_class, seed);
+
+        // The in-memory reference the socket run must reproduce.
+        let t_mem = Instant::now();
+        let mut reference = Experiment::new(config.clone());
+        reference.run();
+        let mem_secs = t_mem.elapsed().as_secs_f64();
+        let want = global_checksum(reference.global_state());
+
+        let shard_plan = (shards > 0).then_some(shards);
+        let (checksum, wall, up, down) = run_deployment(&config, shard_plan);
+        assert_eq!(
+            checksum, want,
+            "socket runtime diverged from the in-memory engine at {clients} workers"
+        );
+        eprintln!(
+            "{clients} workers{}: {rounds} rounds in {wall:.2} s (in-memory {mem_secs:.2} s), \
+             root up {up} B / down {down} B, checksum 0x{checksum:08x} (parity ok)",
+            if shards > 0 { format!(" via {shards} relays") } else { String::new() },
+        );
+        points.push(format!(
+            concat!(
+                "  {{\"workers\": {}, \"rounds\": {}, \"relays\": {}, ",
+                "\"wall_secs\": {:.3}, \"in_memory_secs\": {:.3}, ",
+                "\"secs_per_round\": {:.3}, ",
+                "\"root_upstream_bytes\": {}, \"root_downstream_bytes\": {}, ",
+                "\"checksum\": \"0x{:08x}\", \"parity\": true}}"
+            ),
+            clients,
+            rounds,
+            shards,
+            wall,
+            mem_secs,
+            wall / rounds.max(1) as f64,
+            up,
+            down,
+            checksum,
+        ));
+    }
+    let body = points.join(",\n");
+    println!("[\n{body}\n]");
+    if out_path != "-" {
+        let wrapped =
+            format!("{{\n\"schema\": \"fedsz.net_round.v1\",\n\"points\": [\n{body}\n]\n}}\n");
+        std::fs::write(&out_path, wrapped).expect("write --out report");
+        eprintln!("wrote {out_path}");
+    }
+}

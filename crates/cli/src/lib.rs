@@ -1,15 +1,26 @@
 //! Command-line interface for the FedSZ pipeline.
 //!
-//! Ships a `fedsz` binary with five subcommands:
+//! Ships a `fedsz` binary with seven subcommands:
 //!
 //! * `fedsz gen <model> <out.fsd>` — generate a full-size model state
 //!   dict (AlexNet / MobileNetV2 / ResNet50) for experimentation,
 //! * `fedsz compress <in.fsd> <out.fsz>` — run the FedSZ pipeline,
 //! * `fedsz decompress <in.fsz> <out.fsd>` — reverse it,
 //! * `fedsz inspect <file>` — describe either format,
-//! * `fedsz fl` — run a federated session on the round engine, with
-//!   per-client heterogeneous links, straggler/drop injection and
-//!   synchronous or buffered-asynchronous aggregation.
+//! * `fedsz fl` — run a *simulated* federated session on the round
+//!   engine, with per-client heterogeneous links, straggler/drop
+//!   injection and synchronous or buffered-asynchronous aggregation,
+//! * `fedsz serve` — run a *real* federated server: a blocking TCP
+//!   listener that aggregates worker processes' updates (or, with
+//!   `--shard`, an edge relay forwarding partial-sum frames upstream),
+//! * `fedsz worker` — one real training client process, connecting to
+//!   a `serve` over TCP.
+//!
+//! `fl`, `serve` and `worker` share one config parser for every flag
+//! that shapes the *bits* of the run (seeds, data geometry, codec,
+//! architecture), so a loopback `serve` + `worker` deployment prints
+//! the same `global checksum` as the in-memory `fl` run — the
+//! bit-parity contract the CI smoke job asserts across processes.
 //!
 //! The library half exposes [`run`] so the whole surface is unit-tested
 //! without spawning processes.
@@ -19,14 +30,17 @@
 
 use fedsz::{ErrorBound, FedSz, FedSzConfig, LosslessKind, LossyKind};
 use fedsz_data::DatasetKind;
+use fedsz_fl::net::{global_checksum, run_worker, NetServer, Role, ServeConfig, WorkerConfig};
 use fedsz_fl::{
-    AggregationPolicy, DownlinkMode, Experiment, FlConfig, LinkProfile, PsumMode, TreePlan,
+    AggregationPolicy, DownlinkMode, Experiment, FlConfig, LinkProfile, PsumMode, ShardPlan,
+    TreePlan,
 };
 use fedsz_nn::models::specs::ModelSpec;
 use fedsz_nn::models::tiny::TinyArch;
 use fedsz_nn::StateDict;
 use std::fmt::Write as _;
 use std::path::Path;
+use std::time::Duration;
 
 /// Outcome of a CLI invocation: the text to print and the exit code.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -64,6 +78,14 @@ USAGE:
            [--weighted] [--no-compress] [--seed N] [--train-per-class N]
            [--shards S] [--tree F1xF2x...] [--psum raw|lossless|auto]
            [--downlink raw|fedsz|auto]
+  fedsz serve [--bind ADDR] [--clients N] [--rounds N] [--seed N]
+              [--train-per-class N] [--arch ...] [--no-compress]
+              [--downlink raw|fedsz] [--shards S] [--psum raw|lossless]
+              [--shard I --connect ADDR] [--accept-timeout SECS]
+              [--round-timeout SECS]
+  fedsz worker --id K [--connect ADDR] [--clients N] [--rounds N]
+               [--seed N] [--train-per-class N] [--arch ...]
+               [--no-compress] [--adaptive] [--timeout SECS]
 
 `fedsz fl` runs a federated session on the shared round engine. With
 --links each client gets its own simulated uplink (comm time comes from
@@ -78,6 +100,19 @@ lossless compresses the inter-aggregator partial-sum frames with the
 byte-shuffle codec, --psum auto decides per edge with Eqn 1.
 --downlink fedsz FedSZ-encodes the broadcast once per round,
 --downlink auto applies Eqn 1 with a raw fallback.
+
+`fedsz serve` + `fedsz worker` run the SAME round across real
+processes over TCP: `serve` listens (default 127.0.0.1:7070), waits
+for every worker's Join, then drives rounds of framed broadcast →
+barrier → exact aggregation, evicting children that miss the round
+timeout. With --shards S the root expects S relay servers instead of
+workers; each relay runs `fedsz serve --shard I --connect ROOT` and
+forwards one PartialSum[Compressed] frame per round. Config flags that
+shape the bits (seed, data, arch, codec) must match across every
+process; both `fl` and `serve` print a `global checksum` line so
+parity is a diff away. A worker with --adaptive applies Eqn 1 to its
+own MEASURED send bandwidth and codec times instead of a simulated
+link profile.
 ";
 
 /// Executes a CLI invocation (argv without the program name).
@@ -88,6 +123,8 @@ pub fn run(args: &[String]) -> Outcome {
         Some("decompress") => decompress(&args[1..]),
         Some("inspect") => inspect(&args[1..]),
         Some("fl") => fl(&args[1..]),
+        Some("serve") => serve(&args[1..]),
+        Some("worker") => worker(&args[1..]),
         Some("--help") | Some("-h") => Outcome::ok(USAGE.to_string()),
         _ => Outcome::fail(USAGE.to_string()),
     }
@@ -321,25 +358,114 @@ fn parse_client_pairs(values: &[&str], flag: &str) -> Result<Vec<(usize, f64)>, 
         .collect()
 }
 
+/// Parses a numeric `--key value` flag, falling back to `default`.
+fn parse_flag<T: std::str::FromStr>(args: &[String], key: &str, default: T) -> Result<T, String> {
+    match flag_value(args, key).map(str::parse::<T>).transpose() {
+        Ok(v) => Ok(v.unwrap_or(default)),
+        Err(_) => Err(format!("{key} expects a number")),
+    }
+}
+
+/// Parses the flags shared by `fl`, `serve` and `worker`: everything
+/// that shapes the *bits* of the run (cohort and data geometry, seeds,
+/// architecture, codec, topology, downlink/psum modes). Multi-process
+/// deployments must pass identical values of these to every process;
+/// parsing them in one place is what lets the `serve`/`worker`
+/// checksum be compared against the in-memory `fl` run's.
+fn shared_fl_config(args: &[String]) -> Result<FlConfig, String> {
+    let clients: usize = parse_flag(args, "--clients", 4)?;
+    let rounds: usize = parse_flag(args, "--rounds", 5)?;
+    let seed: u64 = parse_flag(args, "--seed", 42)?;
+    let train_per_class: usize = parse_flag(args, "--train-per-class", 8)?;
+    if clients == 0 || rounds == 0 {
+        return Err("--clients and --rounds must be positive".into());
+    }
+    let arch = match flag_value(args, "--arch") {
+        None => TinyArch::AlexNet,
+        Some(name) => match parse_arch(name) {
+            Some(a) => a,
+            None => return Err(format!("unknown arch `{name}`")),
+        },
+    };
+
+    let mut config = FlConfig::paper_default(arch, DatasetKind::Cifar10Like);
+    config.clients = clients;
+    config.rounds = rounds;
+    config.seed = seed;
+    config.data.seed = seed;
+    config.data.train_per_class = train_per_class;
+    config.data.test_per_class = (train_per_class / 2).max(2);
+    config.data.resolution = 16;
+    if args.iter().any(|a| a == "--no-compress") {
+        config.compression = None;
+    }
+    if let Some(alpha) = flag_value(args, "--non-iid") {
+        match alpha.parse::<f64>() {
+            Ok(a) if a > 0.0 => config.non_iid_alpha = Some(a),
+            _ => return Err("--non-iid expects a positive Dirichlet alpha".into()),
+        }
+    }
+    let has_shards = flag_value(args, "--shards").is_some();
+    let has_tree = flag_value(args, "--tree").is_some();
+    if has_shards && has_tree {
+        return Err("contradictory topology flags: --shards and --tree both set; \
+                    pick one (--tree S is the two-level equivalent of --shards S)"
+            .into());
+    }
+    if let Some(shards) = flag_value(args, "--shards") {
+        match shards.parse::<usize>() {
+            Ok(s) if s > 0 => config.shards = Some(s),
+            _ => return Err("--shards expects a positive shard count".into()),
+        }
+    }
+    if let Some(spec) = flag_value(args, "--tree") {
+        match TreePlan::parse_fanouts(spec) {
+            Ok(fanouts) => config.tree = Some(fanouts),
+            Err(e) => return Err(format!("--tree: {e}")),
+        }
+    }
+    if let Some(mode) = flag_value(args, "--psum") {
+        config.psum = match mode.to_ascii_lowercase().as_str() {
+            "raw" => PsumMode::Raw,
+            "lossless" => PsumMode::Lossless,
+            "auto" | "adaptive" => PsumMode::Adaptive,
+            other => return Err(format!("unknown psum mode `{other}`; try raw, lossless, auto")),
+        };
+        if config.psum != PsumMode::Raw && config.tree_fanouts().is_none() {
+            return Err("--psum needs an aggregation tree (--shards or --tree)".into());
+        }
+    }
+    if let Some(mode) = flag_value(args, "--downlink") {
+        config.downlink = match mode.to_ascii_lowercase().as_str() {
+            "raw" => DownlinkMode::Raw,
+            "fedsz" => DownlinkMode::Compressed,
+            "auto" | "adaptive" => DownlinkMode::Adaptive,
+            other => return Err(format!("unknown downlink mode `{other}`; try raw, fedsz, auto")),
+        };
+        if config.downlink != DownlinkMode::Raw && config.compression.is_none() {
+            return Err("--downlink fedsz/auto requires compression (drop --no-compress)".into());
+        }
+    }
+    Ok(config)
+}
+
 fn fl(args: &[String]) -> Outcome {
     macro_rules! parsed_flag {
         ($key:expr, $t:ty, $default:expr) => {
-            match flag_value(args, $key).map(str::parse::<$t>).transpose() {
-                Ok(v) => v.unwrap_or($default),
-                Err(_) => return Outcome::fail(format!("{} expects a number", $key)),
+            match parse_flag::<$t>(args, $key, $default) {
+                Ok(v) => v,
+                Err(e) => return Outcome::fail(e),
             }
         };
     }
-    let clients: usize = parsed_flag!("--clients", usize, 4);
-    let rounds: usize = parsed_flag!("--rounds", usize, 5);
-    let seed: u64 = parsed_flag!("--seed", u64, 42);
+    let mut config = match shared_fl_config(args) {
+        Ok(config) => config,
+        Err(e) => return Outcome::fail(e),
+    };
+    let clients = config.clients;
     let participation: f64 = parsed_flag!("--participation", f64, 1.0);
     let bandwidth_mbps: f64 = parsed_flag!("--bandwidth", f64, 10.0);
     let latency_ms: f64 = parsed_flag!("--latency", f64, 0.0);
-    let train_per_class: usize = parsed_flag!("--train-per-class", usize, 8);
-    if clients == 0 || rounds == 0 {
-        return Outcome::fail("--clients and --rounds must be positive".into());
-    }
     if !(bandwidth_mbps.is_finite() && bandwidth_mbps > 0.0) {
         return Outcome::fail("--bandwidth must be positive".into());
     }
@@ -349,79 +475,11 @@ fn fl(args: &[String]) -> Outcome {
     if !(latency_ms.is_finite() && latency_ms >= 0.0) {
         return Outcome::fail("--latency must be non-negative".into());
     }
-    let arch = match flag_value(args, "--arch") {
-        None => TinyArch::AlexNet,
-        Some(name) => match parse_arch(name) {
-            Some(a) => a,
-            None => return Outcome::fail(format!("unknown arch `{name}`")),
-        },
-    };
-
-    let mut config = FlConfig::paper_default(arch, DatasetKind::Cifar10Like);
-    config.clients = clients;
-    config.rounds = rounds;
-    config.seed = seed;
+    let arch = config.arch;
     config.participation = participation;
     config.bandwidth_bps = Some(bandwidth_mbps * 1e6);
-    config.data.seed = seed;
-    config.data.train_per_class = train_per_class;
-    config.data.test_per_class = (train_per_class / 2).max(2);
-    config.data.resolution = 16;
     config.weighted_aggregation = args.iter().any(|a| a == "--weighted");
     config.adaptive_compression = args.iter().any(|a| a == "--adaptive");
-    if args.iter().any(|a| a == "--no-compress") {
-        config.compression = None;
-    }
-    if let Some(alpha) = flag_value(args, "--non-iid") {
-        match alpha.parse::<f64>() {
-            Ok(a) if a > 0.0 => config.non_iid_alpha = Some(a),
-            _ => return Outcome::fail("--non-iid expects a positive Dirichlet alpha".into()),
-        }
-    }
-    if let Some(shards) = flag_value(args, "--shards") {
-        match shards.parse::<usize>() {
-            Ok(s) if s > 0 => config.shards = Some(s),
-            _ => return Outcome::fail("--shards expects a positive shard count".into()),
-        }
-    }
-    if let Some(spec) = flag_value(args, "--tree") {
-        match TreePlan::parse_fanouts(spec) {
-            Ok(fanouts) => config.tree = Some(fanouts),
-            Err(e) => return Outcome::fail(format!("--tree: {e}")),
-        }
-    }
-    if let Some(mode) = flag_value(args, "--psum") {
-        config.psum = match mode.to_ascii_lowercase().as_str() {
-            "raw" => PsumMode::Raw,
-            "lossless" => PsumMode::Lossless,
-            "auto" | "adaptive" => PsumMode::Adaptive,
-            other => {
-                return Outcome::fail(format!(
-                    "unknown psum mode `{other}`; try raw, lossless, auto"
-                ))
-            }
-        };
-        if config.psum != PsumMode::Raw && config.tree_fanouts().is_none() {
-            return Outcome::fail("--psum needs an aggregation tree (--shards or --tree)".into());
-        }
-    }
-    if let Some(mode) = flag_value(args, "--downlink") {
-        config.downlink = match mode.to_ascii_lowercase().as_str() {
-            "raw" => DownlinkMode::Raw,
-            "fedsz" => DownlinkMode::Compressed,
-            "auto" | "adaptive" => DownlinkMode::Adaptive,
-            other => {
-                return Outcome::fail(format!(
-                    "unknown downlink mode `{other}`; try raw, fedsz, auto"
-                ))
-            }
-        };
-        if config.downlink != DownlinkMode::Raw && config.compression.is_none() {
-            return Outcome::fail(
-                "--downlink fedsz/auto requires compression (drop --no-compress)".into(),
-            );
-        }
-    }
 
     // Per-client links: a bandwidth list plus straggler/drop injection.
     let stragglers = match parse_client_pairs(&flag_values(args, "--straggler"), "--straggler") {
@@ -523,14 +581,15 @@ fn fl(args: &[String]) -> Outcome {
     let mut report = String::new();
     let _ = writeln!(
         report,
-        "fl: {clients} clients, {rounds} rounds, {:?} on {topology}, {server}, policy {:?}, downlink {:?}, psum {}",
-        arch, config.aggregation, config.downlink, config.psum.name()
+        "fl: {clients} clients, {} rounds, {:?} on {topology}, {server}, policy {:?}, downlink {:?}, psum {}",
+        config.rounds, arch, config.aggregation, config.downlink, config.psum.name()
     );
     let _ = writeln!(
         report,
         "round    acc%  train(s)  codec(s)  comm(s)  round(s)     upKB   downKB  ratio  agg  stale  drop"
     );
-    let metrics = Experiment::new(config).run();
+    let mut experiment = Experiment::new(config);
+    let metrics = experiment.run();
     for m in &metrics {
         let _ = writeln!(
             report,
@@ -570,7 +629,206 @@ fn fl(args: &[String]) -> Outcome {
         root_in as f64 / 1e3,
         root_out as f64 / 1e3,
     );
+    // The bit-parity fingerprint a loopback `serve` + `worker` run of
+    // the same config must reproduce.
+    let _ =
+        writeln!(report, "global checksum: 0x{:08x}", global_checksum(experiment.global_state()));
     Outcome::ok(report)
+}
+
+/// Rejects flags the socket runtime cannot honor. Several of them
+/// shape the bits of the run (`--weighted` changes aggregation
+/// weights, `--participation` the cohort, `--policy` the barrier,
+/// `--drop` loses uploads), so silently ignoring them would let a
+/// `serve`/`worker` deployment print a checksum that can never match
+/// the `fl` run it claims to mirror; the rest price a simulated
+/// network that does not exist here.
+fn reject_simulator_flags(args: &[String], subcommand: &str, extra: &[&str]) -> Result<(), String> {
+    let simulator_only = [
+        "--weighted",
+        "--participation",
+        "--policy",
+        "--links",
+        "--straggler",
+        "--drop",
+        "--bandwidth",
+        "--latency",
+    ];
+    for flag in simulator_only.iter().chain(extra) {
+        if args.iter().any(|a| a == flag) {
+            return Err(format!(
+                "{flag} is simulator-only: `fedsz {subcommand}` cannot honor it (use `fedsz fl`)"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Parses a `--key SECS` duration flag.
+fn parse_secs(args: &[String], key: &str, default: f64) -> Result<Duration, String> {
+    let secs: f64 = match flag_value(args, key).map(str::parse).transpose() {
+        Ok(v) => v.unwrap_or(default),
+        Err(_) => return Err(format!("{key} expects seconds")),
+    };
+    if !(secs.is_finite() && secs > 0.0) {
+        return Err(format!("{key} must be positive"));
+    }
+    Ok(Duration::from_secs_f64(secs))
+}
+
+fn serve(args: &[String]) -> Outcome {
+    let config = match shared_fl_config(args) {
+        Ok(config) => config,
+        Err(e) => return Outcome::fail(e),
+    };
+    // `--adaptive` is a per-worker measured decision; on the server it
+    // would be a silent no-op.
+    if let Err(e) = reject_simulator_flags(args, "serve", &["--adaptive"]) {
+        return Outcome::fail(e);
+    }
+    if config.tree_fanouts().is_some_and(|f| f.len() > 1) {
+        return Outcome::fail(
+            "the socket runtime runs two-level trees: use --shards S \
+             (deeper --tree hierarchies are simulator-only for now)"
+                .into(),
+        );
+    }
+    if config.downlink == DownlinkMode::Adaptive {
+        return Outcome::fail(
+            "serve supports --downlink raw|fedsz (auto needs the simulator's link model)".into(),
+        );
+    }
+    let accept_timeout = match parse_secs(args, "--accept-timeout", 30.0) {
+        Ok(t) => t,
+        Err(e) => return Outcome::fail(e),
+    };
+    let round_timeout = match parse_secs(args, "--round-timeout", 120.0) {
+        Ok(t) => t,
+        Err(e) => return Outcome::fail(e),
+    };
+    let role = match flag_value(args, "--shard") {
+        None => Role::Root,
+        Some(spec) => {
+            let Ok(shard) = spec.parse::<u32>() else {
+                return Outcome::fail("--shard expects a shard index".into());
+            };
+            let Some(upstream) = flag_value(args, "--connect") else {
+                return Outcome::fail("--shard requires --connect UPSTREAM".into());
+            };
+            let Some(fanouts) = config.tree_fanouts() else {
+                return Outcome::fail("--shard requires --shards S (the full tree shape)".into());
+            };
+            // The plan's own clamp, checked here so a typo'd index
+            // fails as a CLI error instead of a panic later.
+            let shards = ShardPlan::new(config.clients, fanouts[0]).shards();
+            if shard as usize >= shards {
+                return Outcome::fail(format!(
+                    "--shard {shard} outside the {shards}-shard plan (valid: 0..{shards})"
+                ));
+            }
+            Role::Relay { shard, upstream: upstream.to_string() }
+        }
+    };
+    let serve_config = ServeConfig { fl: config, role, accept_timeout, round_timeout };
+    let expected = serve_config.expected_children().len();
+    let bind = flag_value(args, "--bind").unwrap_or("127.0.0.1:7070");
+    let server = match NetServer::bind(bind) {
+        Ok(server) => server,
+        Err(e) => return Outcome::fail(format!("cannot bind {bind}: {e}")),
+    };
+    // Announced before the blocking run so scripts can synchronize on
+    // it (stderr keeps stdout reserved for the final report).
+    eprintln!("serve: listening on {} ({expected} children expected)", server.local_addr());
+    let relay = matches!(serve_config.role, Role::Relay { .. });
+    let report = match server.run(serve_config) {
+        Ok(report) => report,
+        Err(e) => return Outcome::fail(format!("serve failed: {e}")),
+    };
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "serve: {} rounds, {} children expected, {} evicted",
+        report.rounds.len(),
+        expected,
+        report.evicted
+    );
+    let _ = writeln!(out, "round  merged  evicted     upKB   downKB  wall(s)  checksum");
+    for r in &report.rounds {
+        let _ = writeln!(
+            out,
+            "{:>5}  {:>6}  {:>7}  {:>7.1}  {:>7.1}  {:>7.3}  0x{:08x}",
+            r.round + 1,
+            r.merged,
+            r.evicted,
+            r.upstream_bytes as f64 / 1e3,
+            r.downstream_bytes as f64 / 1e3,
+            r.wall_secs,
+            r.checksum,
+        );
+    }
+    for (id, round, reason) in &report.evictions {
+        let _ = writeln!(out, "evicted child {id} at round {}: {reason}", round + 1);
+    }
+    if report.psum_raw_frames + report.psum_compressed_frames > 0 {
+        let _ = writeln!(
+            out,
+            "psum frames: {} compressed, {} raw",
+            report.psum_compressed_frames, report.psum_raw_frames
+        );
+    }
+    if !relay {
+        let _ = writeln!(out, "global checksum: 0x{:08x}", report.checksum);
+    }
+    Outcome::ok(out)
+}
+
+fn worker(args: &[String]) -> Outcome {
+    let mut config = match shared_fl_config(args) {
+        Ok(config) => config,
+        Err(e) => return Outcome::fail(e),
+    };
+    if let Err(e) = reject_simulator_flags(args, "worker", &[]) {
+        return Outcome::fail(e);
+    }
+    config.adaptive_compression = args.iter().any(|a| a == "--adaptive");
+    let Some(id_spec) = flag_value(args, "--id") else {
+        return Outcome::fail("worker requires --id K (the client id to embody)".into());
+    };
+    let Ok(id) = id_spec.parse::<usize>() else {
+        return Outcome::fail("--id expects a client index".into());
+    };
+    if id >= config.clients {
+        return Outcome::fail(format!(
+            "--id {id} outside the cohort of {} (set --clients to the full cohort size)",
+            config.clients
+        ));
+    }
+    let timeout = match parse_secs(args, "--timeout", 120.0) {
+        Ok(t) => t,
+        Err(e) => return Outcome::fail(e),
+    };
+    let connect = flag_value(args, "--connect").unwrap_or("127.0.0.1:7070").to_string();
+    let fl = config.clone();
+    let report = match run_worker(WorkerConfig { fl, id, connect, timeout }) {
+        Ok(report) => report,
+        Err(e) => return Outcome::fail(format!("worker {id} failed: {e}")),
+    };
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "worker {id}: {} rounds, up {:.1} KB, down {:.1} KB, compressed {}/{} rounds{}",
+        report.rounds,
+        report.uploaded_bytes as f64 / 1e3,
+        report.downloaded_bytes as f64 / 1e3,
+        report.compressed_rounds,
+        report.rounds,
+        if config.adaptive_compression {
+            format!(", measured uplink {:.0} Mbps", report.measured_bps / 1e6)
+        } else {
+            String::new()
+        }
+    );
+    Outcome::ok(out)
 }
 
 /// Test helper: a scratch file path in the OS temp dir.
@@ -716,6 +974,65 @@ mod tests {
         assert_ne!(runv(&["fl", "--psum", "lossless"]).code, 0, "--psum needs a tree");
         assert_ne!(runv(&["fl", "--downlink", "gzip"]).code, 0);
         assert_ne!(runv(&["fl", "--downlink", "fedsz", "--no-compress"]).code, 0);
+    }
+
+    #[test]
+    fn contradictory_topology_flags_rejected() {
+        // --shards and --tree silently disagreeing was a footgun: the
+        // config preferred --tree and ignored --shards. Now it's an
+        // error, on every subcommand sharing the parser.
+        for cmd in ["fl", "serve", "worker"] {
+            let out = runv(&[cmd, "--shards", "2", "--tree", "2x2", "--clients", "4"]);
+            assert_ne!(out.code, 0, "{cmd} accepted --shards with --tree");
+            assert!(out.report.contains("contradictory"), "{}", out.report);
+        }
+    }
+
+    #[test]
+    fn fl_prints_the_parity_checksum() {
+        let out = runv(&["fl", "--clients", "2", "--rounds", "1", "--train-per-class", "2"]);
+        assert_eq!(out.code, 0, "{}", out.report);
+        assert!(out.report.contains("global checksum: 0x"), "{}", out.report);
+        // Same config, same checksum — the line is a stable fingerprint.
+        let again = runv(&["fl", "--clients", "2", "--rounds", "1", "--train-per-class", "2"]);
+        let line =
+            |r: &str| r.lines().find(|l| l.starts_with("global checksum")).map(str::to_owned);
+        assert_eq!(line(&out.report), line(&again.report));
+    }
+
+    #[test]
+    fn serve_and_worker_flags_validate() {
+        // Worker: id is mandatory and must be inside the cohort.
+        assert_ne!(runv(&["worker"]).code, 0);
+        assert_ne!(runv(&["worker", "--id", "abc"]).code, 0);
+        assert_ne!(runv(&["worker", "--id", "9", "--clients", "4"]).code, 0);
+        assert_ne!(runv(&["worker", "--id", "0", "--timeout", "-5"]).code, 0);
+        // Serve: relay mode needs the tree shape and an upstream.
+        assert_ne!(runv(&["serve", "--shard", "0", "--clients", "4"]).code, 0);
+        assert_ne!(runv(&["serve", "--shard", "0", "--shards", "2", "--clients", "4"]).code, 0);
+        assert_ne!(runv(&["serve", "--shard", "x", "--connect", "h:1", "--shards", "2"]).code, 0);
+        // A relay shard index outside the plan is a CLI error, not a
+        // later panic.
+        let out =
+            runv(&["serve", "--shard", "7", "--connect", "h:1", "--shards", "2", "--clients", "4"]);
+        assert_ne!(out.code, 0);
+        assert!(out.report.contains("outside the 2-shard plan"), "{}", out.report);
+        // Deep trees and adaptive downlink are simulator-only.
+        assert_ne!(runv(&["serve", "--tree", "2x2", "--clients", "4"]).code, 0);
+        assert_ne!(runv(&["serve", "--downlink", "auto"]).code, 0);
+        // Bit-shaping simulator flags must be rejected, not silently
+        // ignored with a checksum that can never match `fedsz fl`.
+        for flag in ["--weighted", "--policy", "--drop"] {
+            let out = runv(&["serve", flag, "x", "--clients", "2"]);
+            assert_ne!(out.code, 0, "serve accepted {flag}");
+            assert!(out.report.contains("simulator-only"), "{}", out.report);
+            let out = runv(&["worker", "--id", "0", flag, "x", "--clients", "2"]);
+            assert_ne!(out.code, 0, "worker accepted {flag}");
+        }
+        assert_ne!(runv(&["serve", "--participation", "0.5", "--clients", "2"]).code, 0);
+        assert_ne!(runv(&["serve", "--adaptive", "--clients", "2"]).code, 0);
+        // And a bad bind fails cleanly instead of hanging.
+        assert_ne!(runv(&["serve", "--bind", "256.0.0.1:1", "--clients", "1"]).code, 0);
     }
 
     #[test]

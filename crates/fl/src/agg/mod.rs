@@ -67,5 +67,5 @@ pub mod tree;
 pub use downlink::{Downlink, DownlinkMode, DownlinkPayload};
 pub use plan::TreePlan;
 pub use psum::{PsumForwarder, PsumFrame, PsumMode};
-pub use shard::{ExactAcc, PartialSum, ShardPlan};
+pub use shard::{template_matches, ExactAcc, PartialSum, ShardPlan};
 pub use tree::{AggOutcome, Aggregator, Contribution, FlatAggregator, ShardedTree};

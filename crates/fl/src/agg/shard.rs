@@ -114,6 +114,14 @@ impl ExactAcc {
         self.0 = self.0.checked_add(other.0).expect("partial-sum overflow");
     }
 
+    /// Non-panicking [`ExactAcc::merge`]: `None` on overflow. The
+    /// remote-ingress path uses this so a hostile frame with extreme
+    /// accumulator bits evicts its sender instead of aborting the
+    /// server.
+    pub fn checked_merge(self, other: ExactAcc) -> Option<ExactAcc> {
+        self.0.checked_add(other.0).map(ExactAcc)
+    }
+
     /// The accumulated value, rounded once to `f64`.
     pub fn value(self) -> f64 {
         // 2^-80, constructed bit-exactly (a decimal literal could be
@@ -125,6 +133,17 @@ impl ExactAcc {
     /// Whether nothing has been accumulated (or everything cancelled).
     pub fn is_zero(self) -> bool {
         self.0 == 0
+    }
+
+    /// The raw fixed-point state, for exact serialization
+    /// ([`PartialSum::encode_exact`]).
+    pub fn to_bits(self) -> i128 {
+        self.0
+    }
+
+    /// Rebuilds an accumulator from [`ExactAcc::to_bits`] output.
+    pub fn from_bits(bits: i128) -> Self {
+        Self(bits)
     }
 }
 
@@ -195,6 +214,22 @@ impl ShardPlan {
 
 /// One decoded partial-sum frame entry: `(name, shape, f64 sums)`.
 pub type DecodedPartialEntry = (String, Vec<usize>, Vec<f64>);
+
+/// Order-sensitive `(name, shape)` agreement between an architecture
+/// template and any entry sequence — the one definition every remote
+/// ingress validator uses (decoded update dicts and partial-sum frames
+/// alike), guarding the merge asserts.
+pub fn template_matches<'a>(
+    template: &StateDict,
+    count: usize,
+    entries: impl Iterator<Item = (&'a str, &'a [usize])>,
+) -> bool {
+    count == template.len()
+        && template
+            .iter()
+            .zip(entries)
+            .all(|((tname, tensor), (name, shape))| tname == name && tensor.shape() == shape)
+}
 
 /// A weighted partial sum of state dicts, held exactly.
 ///
@@ -311,6 +346,66 @@ impl PartialSum {
         Some(out)
     }
 
+    /// Whether this partial sum's entries agree with `template` — same
+    /// entry names, same order, same shapes. Remote aggregators
+    /// validate frames against the architecture-derived template
+    /// *before* merging, so a misconfigured (or hostile) child gets
+    /// evicted instead of tripping the merge asserts and killing the
+    /// server.
+    pub fn shape_matches(&self, template: &StateDict) -> bool {
+        template_matches(
+            template,
+            self.entries.len(),
+            self.entries.iter().map(|(name, shape, _)| (name.as_str(), &shape[..])),
+        )
+    }
+
+    /// Non-panicking [`PartialSum::merge`] for remote input: verifies
+    /// entry agreement and checks every accumulator addition, leaving
+    /// `self` untouched on failure so the caller can evict the sender
+    /// and keep aggregating. (The in-process tree keeps the asserting
+    /// `merge` — its inputs are self-produced, so a violation there is
+    /// a bug, not a bad peer.)
+    ///
+    /// # Errors
+    ///
+    /// Returns the reason the frame is unusable (entry mismatch or
+    /// accumulator overflow).
+    pub fn try_merge(&mut self, other: PartialSum) -> std::result::Result<(), &'static str> {
+        if other.is_empty() {
+            return Ok(());
+        }
+        if self.is_empty() {
+            *self = other;
+            return Ok(());
+        }
+        if self.entries.len() != other.entries.len() {
+            return Err("partial sums disagree on entries");
+        }
+        for ((name, shape, _), (oname, oshape, _)) in self.entries.iter().zip(&other.entries) {
+            if name != oname || shape != oshape {
+                return Err("partial sums disagree on entry order or shapes");
+            }
+        }
+        let weight = self.weight.checked_merge(other.weight).ok_or("weight overflow")?;
+        // Validate every addition before committing any, so a failed
+        // merge cannot leave `self` half-updated.
+        let mut merged: Vec<Vec<ExactAcc>> = Vec::with_capacity(self.entries.len());
+        for ((_, _, accs), (_, _, oaccs)) in self.entries.iter().zip(&other.entries) {
+            let mut out = Vec::with_capacity(accs.len());
+            for (acc, oacc) in accs.iter().zip(oaccs) {
+                out.push(acc.checked_merge(*oacc).ok_or("partial-sum overflow")?);
+            }
+            merged.push(out);
+        }
+        for ((_, _, accs), out) in self.entries.iter_mut().zip(merged) {
+            *accs = out;
+        }
+        self.weight = weight;
+        self.contributions += other.contributions;
+        Ok(())
+    }
+
     /// Serializes the sums as the payload an edge would ship to the
     /// root: entry names, shapes and the `f64`-rounded accumulator
     /// values. (The in-process tree merges the exact accumulators
@@ -377,6 +472,89 @@ impl PartialSum {
             return Err(CodecError::Corrupt("trailing bytes in partial-sum payload"));
         }
         Ok(entries)
+    }
+
+    /// Serializes the *exact* accumulator state — the 128-bit
+    /// fixed-point integers themselves, not their `f64` roundings — so
+    /// a partial sum can cross a process boundary and be merged on the
+    /// far side with the same bits an in-process merge produces.
+    ///
+    /// This is what a real relay aggregator ships upstream (see
+    /// [`crate::net`]): [`PartialSum::encode_payload`] rounds each
+    /// accumulator to `f64`, which is fine for byte *accounting* but
+    /// would re-introduce shard-dependent rounding if a remote parent
+    /// re-quantized the rounded sums. At 16 bytes per element the exact
+    /// image is 2x the `f64` one; the lossless psum codec claws most of
+    /// that back (the high bytes are sign extension).
+    pub fn encode_exact(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.total_elements() * 16 + 64);
+        write_uvarint(&mut out, self.entries.len() as u64);
+        for (name, shape, accs) in &self.entries {
+            write_str(&mut out, name);
+            write_uvarint(&mut out, shape.len() as u64);
+            for &d in shape {
+                write_uvarint(&mut out, d as u64);
+            }
+            for acc in accs {
+                out.extend_from_slice(&acc.to_bits().to_le_bytes());
+            }
+        }
+        out.extend_from_slice(&self.weight.to_bits().to_le_bytes());
+        write_uvarint(&mut out, self.contributions as u64);
+        out
+    }
+
+    /// Parses an [`PartialSum::encode_exact`] image back into a
+    /// mergeable partial sum, bit-for-bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] on truncated or malformed input
+    /// (size claims are validated before any allocation).
+    pub fn decode_exact(bytes: &[u8]) -> Result<PartialSum> {
+        let mut pos = 0usize;
+        let count = read_uvarint(bytes, &mut pos)? as usize;
+        if count > bytes.len().saturating_sub(pos) {
+            return Err(CodecError::Corrupt("entry count larger than remaining input"));
+        }
+        let mut entries = Vec::with_capacity(count);
+        for _ in 0..count {
+            let name = read_str(bytes, &mut pos)?.to_owned();
+            let rank = read_uvarint(bytes, &mut pos)? as usize;
+            if rank > 8 {
+                return Err(CodecError::Corrupt("tensor rank too large"));
+            }
+            let mut shape = Vec::with_capacity(rank);
+            let mut elems = 1usize;
+            for _ in 0..rank {
+                let d = read_uvarint(bytes, &mut pos)? as usize;
+                elems = elems.checked_mul(d).ok_or(CodecError::Corrupt("shape overflow"))?;
+                shape.push(d);
+            }
+            if elems > bytes.len().saturating_sub(pos) / 16 {
+                return Err(CodecError::Corrupt("tensor larger than remaining input"));
+            }
+            let mut accs = Vec::with_capacity(elems);
+            for _ in 0..elems {
+                let raw = bytes.get(pos..pos + 16).ok_or(CodecError::UnexpectedEof)?;
+                accs.push(ExactAcc::from_bits(i128::from_le_bytes(
+                    raw.try_into().expect("16 bytes"),
+                )));
+                pos += 16;
+            }
+            entries.push((name, shape, accs));
+        }
+        let raw = bytes.get(pos..pos + 16).ok_or(CodecError::UnexpectedEof)?;
+        let weight = ExactAcc::from_bits(i128::from_le_bytes(raw.try_into().expect("16 bytes")));
+        pos += 16;
+        let contributions = read_uvarint(bytes, &mut pos)? as usize;
+        if pos != bytes.len() {
+            return Err(CodecError::Corrupt("trailing bytes in partial-sum payload"));
+        }
+        if contributions == 0 && !entries.is_empty() {
+            return Err(CodecError::Corrupt("non-empty partial sum with zero contributions"));
+        }
+        Ok(PartialSum { entries, weight, contributions })
     }
 }
 
@@ -543,6 +721,41 @@ mod tests {
         write_uvarint(&mut giant_dim, 1);
         write_uvarint(&mut giant_dim, 1 << 40);
         assert!(PartialSum::decode_payload(&giant_dim).is_err());
+    }
+
+    #[test]
+    fn exact_payload_round_trips_the_accumulator_bits() {
+        // A partial sum shipped through `encode_exact` and merged
+        // remotely must be indistinguishable from an in-process merge —
+        // the property the multi-process relay path rests on.
+        let dicts: Vec<StateDict> =
+            (0..9).map(|i| dict(&[(i as f32).sin() * 0.3, -0.07 * i as f32])).collect();
+        let mut local = PartialSum::new();
+        let mut left = PartialSum::new();
+        let mut right = PartialSum::new();
+        for (i, d) in dicts.iter().enumerate() {
+            local.accumulate(d, 1.0 + i as f64);
+            if i < 4 {
+                left.accumulate(d, 1.0 + i as f64)
+            } else {
+                right.accumulate(d, 1.0 + i as f64)
+            }
+        }
+        let mut remote = PartialSum::decode_exact(&left.encode_exact()).unwrap();
+        remote.merge(PartialSum::decode_exact(&right.encode_exact()).unwrap());
+        assert_eq!(remote.contributions(), local.contributions());
+        assert_eq!(remote.weight_total().to_bits(), local.weight_total().to_bits());
+        assert_eq!(
+            remote.finish().unwrap().to_bytes(),
+            local.finish().unwrap().to_bytes(),
+            "remote merge must be bit-identical to the in-process merge"
+        );
+        // Truncation and trailing garbage are rejected.
+        let image = local.encode_exact();
+        assert!(PartialSum::decode_exact(&image[..image.len() - 1]).is_err());
+        let mut long = image.clone();
+        long.push(0);
+        assert!(PartialSum::decode_exact(&long).is_err());
     }
 
     #[test]

@@ -126,28 +126,21 @@ impl RoundEngine {
     pub fn new(config: FlConfig, transport: Box<dyn Transport>) -> Self {
         assert!(config.clients > 0, "need at least one client");
         let (train, test) = config.dataset.generate(&config.data);
-        let shards = match config.non_iid_alpha {
-            Some(alpha) => train.shard_dirichlet(config.clients, alpha, config.seed),
-            None => train.shard(config.clients),
-        };
-        let channels = config.dataset.channels();
-        let classes = config.dataset.classes();
-        let hw = config.data.resolution;
-        let clients: Vec<Client> = shards
+        // Client construction is shared with the multi-process worker
+        // path (`FlConfig::build_client`): both must produce the same
+        // models and RNG streams or socket runs lose bit-parity.
+        let clients: Vec<Client> = config
+            .shard_training_data(&train)
             .into_iter()
             .enumerate()
-            .map(|(id, shard)| {
-                Client::new(
-                    id,
-                    config.arch.build(config.seed, channels, hw, classes),
-                    shard,
-                    config.batch_size,
-                    config.lr,
-                    config.client_seed(id),
-                )
-            })
+            .map(|(id, shard)| config.make_client(id, shard))
             .collect();
-        let eval_model = Box::new(config.arch.build(config.seed, channels, hw, classes));
+        let eval_model = Box::new(config.arch.build(
+            config.seed,
+            config.dataset.channels(),
+            config.data.resolution,
+            config.dataset.classes(),
+        ));
         let global = eval_model.state_dict();
         let (test_inputs, test_targets) = test.full_batch();
         // Tree plan and per-level aggregator uplinks (tree mode only).

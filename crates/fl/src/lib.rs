@@ -48,6 +48,7 @@ pub mod client;
 pub mod engine;
 pub mod fedavg;
 pub mod link;
+pub mod net;
 pub mod protocol;
 pub mod scaling;
 pub mod transport;
@@ -234,6 +235,56 @@ impl FlConfig {
     /// even overflow); this helper is the single source of truth.
     pub fn client_seed(&self, id: usize) -> u64 {
         self.seed.wrapping_add(id as u64)
+    }
+
+    /// Shards the training split across the cohort (IID round-robin,
+    /// or Dirichlet label-skew when [`FlConfig::non_iid_alpha`] is
+    /// set) — the one sharding rule both the in-process engine and the
+    /// worker processes use.
+    pub fn shard_training_data(&self, train: &fedsz_data::Dataset) -> Vec<fedsz_data::Dataset> {
+        match self.non_iid_alpha {
+            Some(alpha) => train.shard_dirichlet(self.clients, alpha, self.seed),
+            None => train.shard(self.clients),
+        }
+    }
+
+    /// Builds client `id` over its data shard: same architecture, same
+    /// model-init seed and same local-RNG seed everywhere. The round
+    /// engine and the multi-process worker both construct clients
+    /// through here, which is what makes a worker process's training
+    /// bit-identical to the in-memory simulation of the same client.
+    pub fn make_client(&self, id: usize, shard: fedsz_data::Dataset) -> Client {
+        Client::new(
+            id,
+            self.arch.build(
+                self.seed,
+                self.dataset.channels(),
+                self.data.resolution,
+                self.dataset.classes(),
+            ),
+            shard,
+            self.batch_size,
+            self.lr,
+            self.client_seed(id),
+        )
+    }
+
+    /// Builds client `id` standalone — the worker-process entry point:
+    /// generates the dataset, takes the client's shard and constructs
+    /// the client exactly as [`engine::RoundEngine::new`] would.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` is outside the cohort.
+    pub fn build_client(&self, id: usize) -> Client {
+        assert!(id < self.clients, "client {id} outside cohort of {}", self.clients);
+        let (train, _test) = self.dataset.generate(&self.data);
+        let shard = self
+            .shard_training_data(&train)
+            .into_iter()
+            .nth(id)
+            .expect("sharding covers every client id");
+        self.make_client(id, shard)
     }
 }
 

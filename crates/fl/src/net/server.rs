@@ -1,0 +1,921 @@
+//! The blocking TCP server: `fedsz serve` as root or relay aggregator.
+//!
+//! One [`NetServer`] owns a listener, accepts its expected children
+//! (workers, or downstream relays), runs the Join handshake, then
+//! spawns **one session thread per connection**. Each round the main
+//! thread hands every live session a broadcast command; the session
+//! thread writes the `GlobalModel`/`EncodedGlobal` frame, blocks on
+//! the child's reply with the round timeout, and reports either a
+//! contribution or the child's demise over an mpsc channel. The main
+//! thread is the round barrier: it waits for every live child or the
+//! deadline — whichever comes first — evicts the silent, merges what
+//! arrived, and moves on.
+//!
+//! Aggregation reuses the simulator's exact machinery: updates are
+//! folded into a [`PartialSum`] in ascending client-id order, relay
+//! frames are [`PartialSum::decode_exact`]-ed and merged, and the
+//! fixed-point accumulator makes the result independent of process
+//! placement — the bit-parity the integration tests pin down.
+
+use crate::agg::{template_matches, Downlink, DownlinkMode, PartialSum, PsumMode, ShardPlan};
+use crate::net::global_checksum;
+use crate::FlConfig;
+use fedsz::FedSz;
+use fedsz_lossless::PsumCodec;
+use fedsz_net::{Message, NetError, Session};
+use fedsz_nn::{Model, StateDict};
+use std::collections::BTreeMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Longest one connection may sit in the handshake before it is
+/// dropped (kept well under any sane accept window so a stalled
+/// connection cannot starve the join barrier).
+const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// What this server is in the aggregation hierarchy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Role {
+    /// The root: owns the global model and finishes every round.
+    Root,
+    /// An edge aggregator: serves a contiguous worker shard, relays
+    /// one exact partial-sum frame per round to its parent.
+    Relay {
+        /// This relay's shard index within the
+        /// [`ShardPlan`] over the full cohort.
+        shard: u32,
+        /// The parent server's `host:port`.
+        upstream: String,
+    },
+}
+
+/// Configuration of one `fedsz serve` process.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// The federated-learning configuration — **must match every
+    /// worker's and relay's** (data seeds, architecture, codec and
+    /// cohort size all shape the bits).
+    pub fl: FlConfig,
+    /// Root or relay.
+    pub role: Role,
+    /// How long to wait for the expected children to connect and join.
+    pub accept_timeout: Duration,
+    /// Per-round barrier: children silent for longer are evicted.
+    pub round_timeout: Duration,
+}
+
+impl ServeConfig {
+    /// A root server over `fl` with test-friendly timeouts.
+    pub fn root(fl: FlConfig) -> Self {
+        Self {
+            fl,
+            role: Role::Root,
+            accept_timeout: Duration::from_secs(30),
+            round_timeout: Duration::from_secs(60),
+        }
+    }
+
+    /// A relay for `shard`, reporting to `upstream`.
+    pub fn relay(fl: FlConfig, shard: u32, upstream: String) -> Self {
+        Self { role: Role::Relay { shard, upstream }, ..Self::root(fl) }
+    }
+
+    /// The client ids this server expects as direct children: the
+    /// whole cohort (flat root), one id per relay shard (sharded
+    /// root), or the relay's contiguous worker range.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a relay role is combined with a flat (unsharded)
+    /// config or an out-of-range shard index.
+    pub fn expected_children(&self) -> Vec<u64> {
+        match &self.role {
+            Role::Root => match self.fl.tree_fanouts() {
+                // The plan's own clamp: a root asked for more shards
+                // than clients must not wait for relay ids that can
+                // never legally join.
+                Some(fanouts) => {
+                    (0..ShardPlan::new(self.fl.clients, fanouts[0]).shards() as u64).collect()
+                }
+                None => (0..self.fl.clients as u64).collect(),
+            },
+            Role::Relay { shard, .. } => {
+                let fanouts =
+                    self.fl.tree_fanouts().expect("a relay requires --shards on the config");
+                let plan = ShardPlan::new(self.fl.clients, fanouts[0]);
+                assert!(
+                    (*shard as usize) < plan.shards(),
+                    "shard {shard} outside the {}-shard plan",
+                    plan.shards()
+                );
+                plan.range(*shard as usize).map(|c| c as u64).collect()
+            }
+        }
+    }
+}
+
+/// One finished round as the server observed it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetRound {
+    /// Round index.
+    pub round: u32,
+    /// Bytes this server sent to its children (framed broadcasts).
+    pub downstream_bytes: usize,
+    /// Bytes this server received from its children (framed updates
+    /// or partial-sum frames).
+    pub upstream_bytes: usize,
+    /// Client contributions folded into the aggregate (through relays
+    /// included).
+    pub merged: usize,
+    /// Children evicted during this round.
+    pub evicted: usize,
+    /// Wall-clock duration of the round at this server.
+    pub wall_secs: f64,
+    /// [`global_checksum`] of the post-round global model (0 for a
+    /// relay, which never holds the global).
+    pub checksum: u32,
+}
+
+/// What a completed `serve` run produced.
+#[derive(Debug)]
+pub struct ServeReport {
+    /// Per-round accounting.
+    pub rounds: Vec<NetRound>,
+    /// The final global model (root only).
+    pub global: Option<StateDict>,
+    /// [`global_checksum`] of the final global model (0 for a relay).
+    pub checksum: u32,
+    /// Children evicted across the whole session.
+    pub evicted: usize,
+    /// Why each evicted child was dropped: `(child id, round, reason)`.
+    /// Children that simply went silent past the barrier deadline are
+    /// recorded as `"silent past the round deadline"`.
+    pub evictions: Vec<(u64, u32, String)>,
+    /// Raw partial-sum frames this server received from relays.
+    pub psum_raw_frames: usize,
+    /// Losslessly-compressed partial-sum frames received from relays.
+    pub psum_compressed_frames: usize,
+}
+
+/// What a session thread got back from its child for one round.
+enum Upload {
+    /// A leaf worker's (possibly FedSZ-compressed) update.
+    Update { payload: Vec<u8>, compressed: bool },
+    /// A relay's partial-sum frame (exact accumulator image, possibly
+    /// `PsumCodec`-compressed).
+    Partial { payload: Vec<u8>, compressed: bool },
+}
+
+/// Session-thread → main-thread events.
+enum EventKind {
+    Contribution { upload: Upload, wire_in: usize, wire_out: usize },
+    Gone { reason: String },
+}
+
+struct Event {
+    id: u64,
+    round: u32,
+    kind: EventKind,
+}
+
+/// Main-thread → session-thread commands. The broadcast carries the
+/// fully encoded frame: identical bytes for every child, encoded once.
+enum Cmd {
+    Broadcast { round: u32, frame: Arc<Vec<u8>> },
+    Shutdown,
+}
+
+struct Child {
+    id: u64,
+    cmd: mpsc::Sender<Cmd>,
+    handle: thread::JoinHandle<()>,
+    alive: bool,
+}
+
+/// A bound, not-yet-running `fedsz serve` listener. Splitting bind
+/// from [`NetServer::run`] lets callers bind port 0 and learn the
+/// ephemeral address before spawning workers (how the loopback tests
+/// and benches avoid port races).
+#[derive(Debug)]
+pub struct NetServer {
+    listener: TcpListener,
+}
+
+impl NetServer {
+    /// Binds the listener (e.g. `127.0.0.1:7070`, or `127.0.0.1:0`
+    /// for an ephemeral port).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(addr: &str) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        // Non-blocking accepts let the handshake phase enforce its
+        // deadline; accepted streams are switched back to blocking.
+        listener.set_nonblocking(true)?;
+        Ok(Self { listener })
+    }
+
+    /// The bound address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the OS cannot report the listener's address (cannot
+    /// happen for a successfully bound socket).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.listener.local_addr().expect("bound listener has an address")
+    }
+
+    /// Runs the full session: handshake barrier, `fl.rounds` rounds of
+    /// broadcast → barrier → aggregate (→ relay upstream), teardown.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`NetError`] when no child joins before the accept
+    /// deadline, when a relay loses its upstream, or on unrecoverable
+    /// protocol corruption. A child failing mid-session is *not* an
+    /// error — it is evicted and the session continues.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invariant violations in self-produced state (e.g. a
+    /// merged aggregate with non-positive weight).
+    pub fn run(self, config: ServeConfig) -> Result<ServeReport, NetError> {
+        let expected = config.expected_children();
+        // A relay announces itself upstream before accepting its own
+        // children, so a deep deployment can start in any order.
+        let mut upstream = match &config.role {
+            Role::Root => None,
+            Role::Relay { shard, upstream } => {
+                let mut session =
+                    Session::connect(upstream, config.accept_timeout).map_err(NetError::Io)?;
+                session.send(&Message::Join { client_id: u64::from(*shard), round: 0 })?;
+                Some(session)
+            }
+        };
+
+        let (event_tx, event_rx) = mpsc::channel::<Event>();
+        let mut children = self.accept_children(&config, &expected, &event_tx)?;
+        drop(event_tx);
+        if children.is_empty() {
+            return Err(NetError::Protocol(
+                "no expected child joined before the accept deadline".into(),
+            ));
+        }
+
+        // Root state. A relay never materializes the global — it
+        // forwards the broadcast bytes verbatim.
+        let fedsz = config.fl.compression.map(FedSz::new);
+        let downlink_codec = match config.fl.downlink {
+            DownlinkMode::Raw => None,
+            DownlinkMode::Compressed | DownlinkMode::Adaptive => config.fl.compression,
+        };
+        let downlink = Downlink::new(config.fl.downlink, downlink_codec);
+        let psum_codec = PsumCodec::new();
+        // The architecture-derived shape template every child's
+        // contribution is validated against before it may touch the
+        // merge (whose asserts would otherwise panic the server on a
+        // misconfigured child). For the root it doubles as the initial
+        // global model, exactly as the engine builds it.
+        let template: StateDict = config
+            .fl
+            .arch
+            .build(
+                config.fl.seed,
+                config.fl.dataset.channels(),
+                config.fl.data.resolution,
+                config.fl.dataset.classes(),
+            )
+            .state_dict();
+        let mut global = match config.role {
+            Role::Root => Some(template.clone()),
+            Role::Relay { .. } => None,
+        };
+
+        // A sharded root's children are relays speaking partial-sum
+        // frames; everyone else's children are workers speaking
+        // updates. Frames of the wrong kind evict their sender.
+        let expect_partial =
+            matches!(config.role, Role::Root) && config.fl.tree_fanouts().is_some();
+        let mut rounds = Vec::new();
+        let mut evicted_total = 0usize;
+        let mut evictions: Vec<(u64, u32, String)> = Vec::new();
+        let mut psum_raw_frames = 0usize;
+        let mut psum_compressed_frames = 0usize;
+        let mut round = 0u32;
+        loop {
+            // Round source: the root drives `fl.rounds` rounds; a relay
+            // follows its upstream until Shutdown.
+            let (bytes, compressed) = match (&mut upstream, &global) {
+                (None, Some(global)) => {
+                    if round as usize >= config.fl.rounds {
+                        break;
+                    }
+                    let live = children.iter().filter(|c| c.alive).count();
+                    let payload = downlink.encode(global, None, live);
+                    (payload.bytes, payload.compressed)
+                }
+                (Some(upstream), _) => match upstream.recv(Some(config.round_timeout))? {
+                    Message::GlobalModel { round: r, dict_bytes } => {
+                        round = r;
+                        (dict_bytes, false)
+                    }
+                    Message::EncodedGlobal { round: r, payload } => {
+                        round = r;
+                        (payload, true)
+                    }
+                    Message::Shutdown => break,
+                    other => {
+                        return Err(NetError::Protocol(format!(
+                            "relay expected a broadcast, got {other:?}"
+                        )))
+                    }
+                },
+                (None, None) => unreachable!("a root always holds the global"),
+            };
+
+            // One encode serves the whole fan-out: every child receives
+            // byte-identical frames, so session threads write the shared
+            // bytes instead of cloning and re-framing per child.
+            let frame = Arc::new(
+                if compressed {
+                    Message::EncodedGlobal { round, payload: bytes }
+                } else {
+                    Message::GlobalModel { round, dict_bytes: bytes }
+                }
+                .encode(),
+            );
+
+            let t0 = Instant::now();
+            let (got, down_bytes, up_bytes, mut evicted_now) = broadcast_and_collect(
+                &mut children,
+                &event_rx,
+                round,
+                frame,
+                config.round_timeout,
+                &mut evictions,
+            );
+
+            // Merge in ascending child-id order (the exact accumulator
+            // makes grouping irrelevant to the bits; the fixed order
+            // keeps intermediate state reproducible too). A child whose
+            // contribution fails decoding or shape validation is
+            // evicted — never allowed near the merge asserts.
+            let mut partial = PartialSum::new();
+            let mut merged = 0usize;
+            for (id, upload) in got {
+                match fold_upload(
+                    upload,
+                    expect_partial,
+                    &template,
+                    fedsz.as_ref(),
+                    &psum_codec,
+                    &mut partial,
+                    &mut psum_raw_frames,
+                    &mut psum_compressed_frames,
+                ) {
+                    Ok(contributions) => merged += contributions,
+                    Err(reason) => {
+                        evict(&mut children, id);
+                        evictions.push((id, round, reason));
+                        evicted_now += 1;
+                    }
+                }
+            }
+            evicted_total += evicted_now;
+
+            let checksum = match (&mut upstream, &mut global) {
+                (None, Some(global)) => {
+                    // Root: an empty round keeps the previous global,
+                    // exactly like the engine with zero contributions.
+                    if let Some(next) = partial.finish() {
+                        *global = next;
+                    }
+                    global_checksum(global)
+                }
+                (Some(upstream), _) => {
+                    // Relay: ship the exact accumulator image upward
+                    // (empty partials included, so the parent's barrier
+                    // never waits on a silent relay).
+                    let image = partial.encode_exact();
+                    let clients = partial.contributions() as u32;
+                    let weight = partial.weight_total();
+                    let shard = match &config.role {
+                        Role::Relay { shard, .. } => *shard,
+                        Role::Root => unreachable!("only relays have an upstream"),
+                    };
+                    let message = match config.fl.psum {
+                        PsumMode::Raw => {
+                            Message::PartialSum { round, shard, clients, weight, payload: image }
+                        }
+                        // A relay has no per-edge LinkProfile to price
+                        // Eqn 1 against, so Adaptive degrades to
+                        // Lossless here (the conservative choice on an
+                        // unknown uplink).
+                        PsumMode::Lossless | PsumMode::Adaptive => Message::PartialSumCompressed {
+                            round,
+                            shard,
+                            clients,
+                            weight,
+                            payload: psum_codec.compress(&image),
+                        },
+                    };
+                    upstream.send(&message)?;
+                    0
+                }
+                (None, None) => unreachable!("a root always holds the global"),
+            };
+
+            rounds.push(NetRound {
+                round,
+                downstream_bytes: down_bytes,
+                upstream_bytes: up_bytes,
+                merged,
+                evicted: evicted_now,
+                wall_secs: t0.elapsed().as_secs_f64(),
+                checksum,
+            });
+            round += 1;
+            if children.iter().all(|c| !c.alive) {
+                break; // nobody left to serve
+            }
+        }
+
+        // Teardown: every live child gets a Shutdown frame.
+        for child in &mut children {
+            if child.alive {
+                let _ = child.cmd.send(Cmd::Shutdown);
+            }
+        }
+        for child in children {
+            // Dead children's threads have already returned (they exit
+            // after reporting Gone); live ones exit on the Shutdown
+            // command — either way this join is prompt.
+            drop(child.cmd);
+            let _ = child.handle.join();
+        }
+
+        let checksum = global.as_ref().map_or(0, global_checksum);
+        Ok(ServeReport {
+            rounds,
+            global,
+            checksum,
+            evicted: evicted_total,
+            evictions,
+            psum_raw_frames,
+            psum_compressed_frames,
+        })
+    }
+
+    /// The handshake barrier: accepts connections until every expected
+    /// child has joined or the deadline passes. A connection that
+    /// fails the handshake (unknown or duplicate id, wrong first
+    /// frame) is told to shut down and dropped; it does not count.
+    fn accept_children(
+        &self,
+        config: &ServeConfig,
+        expected: &[u64],
+        event_tx: &mpsc::Sender<Event>,
+    ) -> Result<Vec<Child>, NetError> {
+        let deadline = Instant::now() + config.accept_timeout;
+        let mut children: Vec<Child> = Vec::with_capacity(expected.len());
+        while children.len() < expected.len() && Instant::now() < deadline {
+            let stream = match self.listener.accept() {
+                Ok((stream, _)) => stream,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    thread::sleep(Duration::from_millis(5));
+                    continue;
+                }
+                Err(e) => return Err(NetError::Io(e)),
+            };
+            // The listener is non-blocking; the conversation is not.
+            if stream.set_nonblocking(false).is_err() {
+                continue;
+            }
+            let Ok(mut session) = Session::from_stream(stream) else { continue };
+            // Cap the per-connection handshake well below the accept
+            // window: a held-open connection that never sends its Join
+            // (port scanner, health probe) may stall this loop for one
+            // handshake slot, not starve every legitimate child.
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            let wait = remaining.min(HANDSHAKE_TIMEOUT).max(Duration::from_millis(10));
+            match session.recv(Some(wait)) {
+                Ok(Message::Join { client_id, .. })
+                    if expected.contains(&client_id)
+                        && !children.iter().any(|c| c.id == client_id) =>
+                {
+                    let (cmd_tx, cmd_rx) = mpsc::channel::<Cmd>();
+                    let events = event_tx.clone();
+                    let timeout = config.round_timeout;
+                    let handle = thread::spawn(move || {
+                        session_thread(session, client_id, cmd_rx, events, timeout)
+                    });
+                    children.push(Child { id: client_id, cmd: cmd_tx, handle, alive: true });
+                }
+                _ => {
+                    // Unknown id, duplicate, garbage or a stalled
+                    // handshake: reject politely and move on.
+                    let _ = session.send(&Message::Shutdown);
+                    session.close();
+                }
+            }
+        }
+        children.sort_by_key(|c| c.id);
+        Ok(children)
+    }
+}
+
+/// Fans one round's broadcast out to every live child and runs the
+/// round barrier: collects contributions until all have reported or
+/// the deadline hits, evicting the silent and the failed. Returns the
+/// contributions keyed (and therefore ordered) by child id, plus the
+/// round's byte and eviction accounting.
+fn broadcast_and_collect(
+    children: &mut [Child],
+    events: &mpsc::Receiver<Event>,
+    round: u32,
+    frame: Arc<Vec<u8>>,
+    round_timeout: Duration,
+    evictions: &mut Vec<(u64, u32, String)>,
+) -> (BTreeMap<u64, Upload>, usize, usize, usize) {
+    let mut live = 0usize;
+    for child in children.iter() {
+        if child.alive {
+            let cmd = Cmd::Broadcast { round, frame: Arc::clone(&frame) };
+            // A send failure means the thread is gone; the barrier
+            // below will evict the child when it stays silent.
+            if child.cmd.send(cmd).is_ok() {
+                live += 1;
+            }
+        }
+    }
+    let deadline = Instant::now() + round_timeout;
+    let mut got: BTreeMap<u64, Upload> = BTreeMap::new();
+    let mut down_bytes = 0usize;
+    let mut up_bytes = 0usize;
+    let mut evicted = 0usize;
+    let mut reported = 0usize;
+    while reported < live {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            break;
+        }
+        match events.recv_timeout(remaining) {
+            Ok(event) if event.round == round => {
+                reported += 1;
+                match event.kind {
+                    EventKind::Contribution { upload, wire_in, wire_out } => {
+                        up_bytes += wire_in;
+                        down_bytes += wire_out;
+                        got.insert(event.id, upload);
+                    }
+                    EventKind::Gone { reason } => {
+                        evict(children, event.id);
+                        evictions.push((event.id, round, reason));
+                        evicted += 1;
+                    }
+                }
+            }
+            // A stale report from an earlier round's evictee.
+            Ok(_) => {}
+            Err(mpsc::RecvTimeoutError::Timeout) => break,
+            Err(mpsc::RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    // Whoever neither contributed nor reported failure is evicted; its
+    // session thread will notice on its own and exit.
+    for child in children.iter_mut() {
+        if child.alive && !got.contains_key(&child.id) {
+            child.alive = false;
+            evictions.push((child.id, round, "silent past the round deadline".into()));
+            evicted += 1;
+        }
+    }
+    (got, down_bytes, up_bytes, evicted)
+}
+
+fn evict(children: &mut [Child], id: u64) {
+    if let Some(child) = children.iter_mut().find(|c| c.id == id) {
+        child.alive = false;
+    }
+}
+
+/// Largest weight magnitude a remote update may carry: safely inside
+/// the exact accumulator's `2^47` per-term range with generous
+/// headroom for cohort-sized sums, and far beyond any real model
+/// weight. Anything outside (or non-finite — diverged local training
+/// is the classic producer of NaN weights) evicts the sender; letting
+/// it reach the accumulator would trip `quantize`'s panic instead.
+const MAX_UPDATE_MAGNITUDE: f32 = 1e9;
+
+/// Order-sensitive shape agreement between a decoded update and the
+/// architecture template (the same [`template_matches`] rule the
+/// partial-sum validator uses). Order matters: the partial sum fixes
+/// its entry order from the first contribution, and the merge asserts
+/// on it — so an out-of-order (even if same-named) dict must be
+/// rejected here, not discovered by a panic mid-merge.
+fn dict_compatible(template: &StateDict, dict: &StateDict) -> bool {
+    template_matches(template, dict.len(), dict.iter().map(|(name, t)| (name, t.shape())))
+}
+
+/// Decodes and validates one child's upload against the architecture
+/// template, folding it into the round's partial sum. Returns the
+/// client contributions folded in, or the reason the sender must be
+/// evicted — wrong frame kinds for this server's role, undecodable
+/// payloads, shape mismatches and non-finite/extreme values all evict
+/// exactly one child instead of panicking the whole server inside the
+/// merge machinery.
+#[allow(clippy::too_many_arguments)]
+fn fold_upload(
+    upload: Upload,
+    expect_partial: bool,
+    template: &StateDict,
+    fedsz: Option<&FedSz>,
+    psum_codec: &PsumCodec,
+    partial: &mut PartialSum,
+    psum_raw_frames: &mut usize,
+    psum_compressed_frames: &mut usize,
+) -> Result<usize, String> {
+    match upload {
+        // A sharded root that accepts a stray worker's single update in
+        // a relay slot (operator pointed a worker at the root) would
+        // silently aggregate 1 client where a whole shard belonged —
+        // the checksum-divergence class these checks exist to prevent.
+        Upload::Update { .. } if expect_partial => {
+            Err("expected a partial-sum frame from a relay, got a worker update".into())
+        }
+        Upload::Partial { .. } if !expect_partial => {
+            Err("expected a worker update, got a partial-sum frame".into())
+        }
+        Upload::Update { payload, compressed } => {
+            let dict = if compressed {
+                fedsz
+                    .ok_or_else(|| "compressed update but compression is off".to_string())?
+                    .decompress(&payload)
+                    .map_err(|e| format!("undecodable update: {e}"))?
+            } else {
+                StateDict::from_bytes(&payload).map_err(|e| format!("malformed update: {e}"))?
+            };
+            if !dict_compatible(template, &dict) {
+                return Err("update disagrees with the configured architecture".into());
+            }
+            // NaNs fail `is_finite`, infinities and huge magnitudes
+            // fail the bound — both would panic inside `quantize`.
+            let poisoned = |v: f32| !v.is_finite() || v.abs() > MAX_UPDATE_MAGNITUDE;
+            if dict.iter().any(|(_, t)| t.data().iter().any(|&v| poisoned(v))) {
+                return Err("update carries non-finite or extreme weights".into());
+            }
+            partial.accumulate(&dict, 1.0);
+            Ok(1)
+        }
+        Upload::Partial { payload, compressed } => {
+            let image = if compressed {
+                psum_codec.decompress(&payload).map_err(|e| format!("undecodable psum: {e}"))?
+            } else {
+                payload
+            };
+            let remote = PartialSum::decode_exact(&image)
+                .map_err(|e| format!("malformed psum image: {e}"))?;
+            if !remote.is_empty() {
+                if !remote.shape_matches(template) {
+                    return Err("partial sum disagrees with the configured architecture".into());
+                }
+                if remote.weight_total() <= 0.0 {
+                    return Err("partial sum with non-positive weight".into());
+                }
+            }
+            let contributions = remote.contributions();
+            // Checked merge: extreme accumulator bits in a frame must
+            // evict the relay, not overflow-panic the server.
+            partial.try_merge(remote).map_err(|e| format!("unmergeable psum frame: {e}"))?;
+            if compressed {
+                *psum_compressed_frames += 1;
+            } else {
+                *psum_raw_frames += 1;
+            }
+            Ok(contributions)
+        }
+    }
+}
+
+/// One child's dedicated thread: forwards broadcasts, waits for the
+/// reply, reports the outcome. Exits after its first failure report or
+/// on the Shutdown command / channel closure.
+fn session_thread(
+    mut session: Session,
+    id: u64,
+    cmds: mpsc::Receiver<Cmd>,
+    events: mpsc::Sender<Event>,
+    round_timeout: Duration,
+) {
+    // Bound writes too: a child that stops *reading* would otherwise
+    // park this thread in write_all forever once the send buffer
+    // fills, and the teardown join would hang the whole server.
+    let _ = session.set_write_timeout(Some(round_timeout));
+    for cmd in cmds {
+        match cmd {
+            Cmd::Shutdown => {
+                let _ = session.send(&Message::Shutdown);
+                session.close();
+                return;
+            }
+            Cmd::Broadcast { round, frame } => {
+                let wire_out = match session.send_frame(&frame) {
+                    Ok(n) => n,
+                    Err(e) => {
+                        let _ = events.send(Event {
+                            id,
+                            round,
+                            kind: EventKind::Gone { reason: format!("broadcast failed: {e}") },
+                        });
+                        return;
+                    }
+                };
+                let before = session.bytes_received();
+                let kind = match session.recv(Some(round_timeout)) {
+                    Ok(Message::Update { round: r, client_id, payload, compressed })
+                        if r == round && client_id == id =>
+                    {
+                        EventKind::Contribution {
+                            upload: Upload::Update { payload, compressed },
+                            wire_in: (session.bytes_received() - before) as usize,
+                            wire_out,
+                        }
+                    }
+                    Ok(Message::PartialSum { round: r, shard, payload, .. })
+                        if r == round && u64::from(shard) == id =>
+                    {
+                        EventKind::Contribution {
+                            upload: Upload::Partial { payload, compressed: false },
+                            wire_in: (session.bytes_received() - before) as usize,
+                            wire_out,
+                        }
+                    }
+                    Ok(Message::PartialSumCompressed { round: r, shard, payload, .. })
+                        if r == round && u64::from(shard) == id =>
+                    {
+                        EventKind::Contribution {
+                            upload: Upload::Partial { payload, compressed: true },
+                            wire_in: (session.bytes_received() - before) as usize,
+                            wire_out,
+                        }
+                    }
+                    Ok(other) => EventKind::Gone { reason: format!("unexpected reply {other:?}") },
+                    Err(e) => EventKind::Gone { reason: e.to_string() },
+                };
+                let failed = matches!(kind, EventKind::Gone { .. });
+                let _ = events.send(Event { id, round, kind });
+                if failed {
+                    session.close();
+                    return;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedsz_tensor::Tensor;
+
+    fn dict(entries: &[(&str, usize)]) -> StateDict {
+        let mut out = StateDict::new();
+        for (name, len) in entries {
+            out.insert(*name, Tensor::filled(vec![*len], 1.0));
+        }
+        out
+    }
+
+    #[test]
+    fn root_shard_expectation_is_clamped_to_the_cohort() {
+        let mut fl = FlConfig::smoke_test();
+        fl.clients = 4;
+        fl.shards = Some(8);
+        // ShardPlan clamps 8 shards over 4 clients down to 4; the root
+        // must expect exactly those 4 relays, not 8 that cannot exist.
+        assert_eq!(ServeConfig::root(fl).expected_children(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn incompatible_uploads_are_rejected_not_panicked() {
+        let template = dict(&[("a.weight", 4), ("b.weight", 2)]);
+        let mut partial = PartialSum::new();
+        let (mut raw, mut packed) = (0usize, 0usize);
+        let mut fold = |upload| {
+            fold_upload(
+                upload,
+                false,
+                &template,
+                None,
+                &PsumCodec::new(),
+                &mut partial,
+                &mut raw,
+                &mut packed,
+            )
+        };
+        // Wrong shape, wrong entry count, garbage bytes: all evictions.
+        let wrong_shape = dict(&[("a.weight", 3), ("b.weight", 2)]);
+        let upload = Upload::Update { payload: wrong_shape.to_bytes(), compressed: false };
+        assert!(fold(upload).is_err());
+        let missing = dict(&[("a.weight", 4)]);
+        assert!(fold(Upload::Update { payload: missing.to_bytes(), compressed: false }).is_err());
+        assert!(fold(Upload::Update { payload: vec![9, 9, 9], compressed: false }).is_err());
+        // A partial-sum frame where a worker update belongs: eviction
+        // (this server's children are workers).
+        assert!(fold(Upload::Partial { payload: vec![1, 2], compressed: false }).is_err());
+        // A compressed update when the server has no codec: eviction.
+        assert!(fold(Upload::Update { payload: vec![0; 16], compressed: true }).is_err());
+        // Shape-correct but value-poisoned updates (diverged training):
+        // eviction, not a quantize panic.
+        let mut poisoned = StateDict::new();
+        poisoned.insert("a.weight", Tensor::filled(vec![4], f32::NAN));
+        poisoned.insert("b.weight", Tensor::filled(vec![2], 1.0));
+        assert!(fold(Upload::Update { payload: poisoned.to_bytes(), compressed: false }).is_err());
+        let mut huge = StateDict::new();
+        huge.insert("a.weight", Tensor::filled(vec![4], 1e30));
+        huge.insert("b.weight", Tensor::filled(vec![2], 1.0));
+        assert!(fold(Upload::Update { payload: huge.to_bytes(), compressed: false }).is_err());
+        // The matching dict folds cleanly after all those rejections.
+        let ok = dict(&[("a.weight", 4), ("b.weight", 2)]);
+        assert_eq!(fold(Upload::Update { payload: ok.to_bytes(), compressed: false }), Ok(1));
+        assert_eq!(partial.contributions(), 1);
+    }
+
+    #[test]
+    fn mismatched_psum_frames_are_rejected_not_panicked() {
+        let template = dict(&[("a.weight", 4)]);
+        let mut other = PartialSum::new();
+        other.accumulate(&dict(&[("a.weight", 5)]), 2.0);
+        let mut partial = PartialSum::new();
+        let (mut raw, mut packed) = (0usize, 0usize);
+        let mut fold = |upload, partial: &mut PartialSum| {
+            fold_upload(
+                upload,
+                true,
+                &template,
+                None,
+                &PsumCodec::new(),
+                partial,
+                &mut raw,
+                &mut packed,
+            )
+        };
+        let out = fold(
+            Upload::Partial { payload: other.encode_exact(), compressed: false },
+            &mut partial,
+        );
+        assert!(out.is_err(), "shape-mismatched frame must evict, got {out:?}");
+        assert!(partial.is_empty(), "nothing may leak into the merge");
+        // A worker update where a relay frame belongs: eviction.
+        let stray = dict(&[("a.weight", 4)]);
+        let out =
+            fold(Upload::Update { payload: stray.to_bytes(), compressed: false }, &mut partial);
+        assert!(out.is_err(), "stray worker update must evict, got {out:?}");
+        // An empty frame (a relay whose workers all died) is fine.
+        let empty = PsumCodec::new().compress(&PartialSum::new().encode_exact());
+        let out = fold(Upload::Partial { payload: empty, compressed: true }, &mut partial);
+        assert_eq!(out, Ok(0));
+        assert_eq!(packed, 1, "empty frames still count as received frames");
+    }
+
+    #[test]
+    fn overflowing_psum_frames_are_rejected_not_panicked() {
+        // Two frames whose accumulator bits are near i128::MAX merge to
+        // an overflow; try_merge must refuse the second frame and leave
+        // the first intact.
+        let template = dict(&[("a.weight", 1)]);
+        let extreme = {
+            let mut sum = PartialSum::new();
+            sum.accumulate(&dict(&[("a.weight", 1)]), 1.0);
+            let mut image = sum.encode_exact();
+            // Entry count varint, name, rank, dim are a short prefix;
+            // overwrite the single 16-byte accumulator with MAX bits.
+            let acc_at = image.len() - 16 - 16 - 1; // acc | weight | contributions
+            image[acc_at..acc_at + 16].copy_from_slice(&i128::MAX.to_le_bytes());
+            image
+        };
+        let mut partial = PartialSum::new();
+        let (mut raw, mut packed) = (0usize, 0usize);
+        let mut fold = |payload, partial: &mut PartialSum| {
+            fold_upload(
+                Upload::Partial { payload, compressed: false },
+                true,
+                &template,
+                None,
+                &PsumCodec::new(),
+                partial,
+                &mut raw,
+                &mut packed,
+            )
+        };
+        assert_eq!(fold(extreme.clone(), &mut partial), Ok(1), "one extreme frame still merges");
+        let out = fold(extreme, &mut partial);
+        assert!(out.is_err(), "the overflowing second frame must evict, got {out:?}");
+        assert_eq!(partial.contributions(), 1, "the failed merge must not corrupt the partial");
+    }
+}

@@ -1,0 +1,197 @@
+//! [`SocketTransport`]: the round engine's byte mover over a real TCP
+//! socket.
+//!
+//! The engine's [`Transport`] abstraction moves payloads and reports
+//! wire cost; [`WireTransport`](crate::transport::WireTransport)
+//! already proves the *framing* (every payload round-trips through an
+//! encoded, CRC-verified FMSG frame in memory). `SocketTransport`
+//! replaces the in-memory pipe with a connected TCP socket to a frame
+//! echo peer: every broadcast and upload is written to the kernel,
+//! crosses the loopback (or any real link), is decoded and re-encoded
+//! by the peer, and read back through the partial-read-safe
+//! [`FrameReader`](fedsz_net::FrameReader). The engine — cohort
+//! selection, training, Eqn-1 decisions, aggregation trees and
+//! [`RoundMetrics`](crate::RoundMetrics) byte accounting — runs
+//! unchanged, and because a CRC-verified decode reproduces the
+//! sender's bytes exactly, the results are bit-identical to both
+//! in-memory transports (asserted by the `net_loopback` tests).
+//!
+//! This is the single-process end of the socket story; the
+//! multi-process end (training in *separate* worker processes) is
+//! [`NetServer`](crate::net::NetServer) / [`run_worker`](crate::net::run_worker).
+//!
+//! [`Transport`]: crate::transport::Transport
+
+use crate::protocol::Message;
+use crate::transport::{Delivered, Transport};
+use fedsz_codec::{CodecError, Result};
+use fedsz_net::{NetError, Session};
+use std::io;
+use std::net::{SocketAddr, TcpListener};
+use std::thread;
+use std::time::Duration;
+
+/// How long a transport call may wait on the peer before the engine
+/// treats the transport as broken.
+const IO_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// A [`Transport`] whose frames cross a real TCP connection to a
+/// frame echo peer.
+#[derive(Debug)]
+pub struct SocketTransport {
+    session: Session,
+}
+
+impl SocketTransport {
+    /// Connects to an already-running echo peer (see [`spawn_echo`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connection failure.
+    pub fn connect(addr: &str) -> io::Result<Self> {
+        Ok(Self { session: Session::connect(addr, IO_TIMEOUT)? })
+    }
+
+    /// Spawns a loopback echo peer and connects to it — the one-call
+    /// way to run the engine over real sockets in tests and benches.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind/connect failures.
+    pub fn loopback() -> io::Result<Self> {
+        let (addr, _handle) = spawn_echo()?;
+        Self::connect(&addr.to_string())
+    }
+
+    fn send_and_receive(&mut self, message: Message) -> Result<(Message, usize)> {
+        let sent = self.session.send(&message).map_err(flatten)?;
+        let reply = self.session.recv(Some(IO_TIMEOUT)).map_err(flatten)?;
+        Ok((reply, sent))
+    }
+}
+
+/// Collapses socket-layer failures into the [`Transport`] trait's
+/// [`CodecError`] surface (the engine treats any of them as a broken
+/// transport).
+fn flatten(e: NetError) -> CodecError {
+    match e {
+        NetError::Codec(e) => e,
+        NetError::Timeout => CodecError::Corrupt("socket peer timed out"),
+        NetError::Closed => CodecError::Corrupt("socket peer closed the connection"),
+        NetError::Io(_) | NetError::Protocol(_) => CodecError::Corrupt("socket transport failed"),
+    }
+}
+
+impl Transport for SocketTransport {
+    fn name(&self) -> &'static str {
+        "socket"
+    }
+
+    fn broadcast(
+        &mut self,
+        round: u32,
+        _client_id: u64,
+        dict_bytes: &[u8],
+        compressed: bool,
+    ) -> Result<Delivered> {
+        let message = if compressed {
+            Message::EncodedGlobal { round, payload: dict_bytes.to_vec() }
+        } else {
+            Message::GlobalModel { round, dict_bytes: dict_bytes.to_vec() }
+        };
+        match self.send_and_receive(message)? {
+            (Message::GlobalModel { dict_bytes, .. }, wire_bytes) => {
+                Ok(Delivered { payload: dict_bytes, compressed: false, wire_bytes, verbatim: true })
+            }
+            (Message::EncodedGlobal { payload, .. }, wire_bytes) => {
+                Ok(Delivered { payload, compressed: true, wire_bytes, verbatim: true })
+            }
+            _ => Err(CodecError::Corrupt("broadcast echoed as a different message")),
+        }
+    }
+
+    fn upload(
+        &mut self,
+        round: u32,
+        client_id: u64,
+        payload: Vec<u8>,
+        compressed: bool,
+    ) -> Result<Delivered> {
+        let message = Message::Update { round, client_id, payload, compressed };
+        match self.send_and_receive(message)? {
+            (Message::Update { round: r, payload, compressed, .. }, wire_bytes) => {
+                if r != round {
+                    return Err(CodecError::Corrupt("round mismatch on the wire"));
+                }
+                Ok(Delivered { payload, compressed, wire_bytes, verbatim: true })
+            }
+            _ => Err(CodecError::Corrupt("upload echoed as a different message")),
+        }
+    }
+}
+
+/// Spawns a frame echo peer on an ephemeral loopback port: it accepts
+/// one connection and reflects every valid frame back (decoding and
+/// re-encoding it, as a remote server's receive path would), until the
+/// client closes or a frame fails CRC. Returns the address to connect
+/// to; the thread cleans itself up when its client disconnects.
+///
+/// # Errors
+///
+/// Propagates the bind failure.
+pub fn spawn_echo() -> io::Result<(SocketAddr, thread::JoinHandle<()>)> {
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let addr = listener.local_addr()?;
+    let handle = thread::spawn(move || {
+        let Ok((stream, _)) = listener.accept() else { return };
+        let Ok(mut session) = Session::from_stream(stream) else { return };
+        loop {
+            match session.recv(None) {
+                Ok(message) => {
+                    if session.send(&message).is_err() {
+                        return;
+                    }
+                }
+                Err(_) => return,
+            }
+        }
+    });
+    Ok((addr, handle))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn socket_transport_round_trips_and_counts_framing() {
+        let mut transport = SocketTransport::loopback().unwrap();
+        let payload = vec![7u8; 4096];
+        let delivered = transport.upload(2, 5, payload.clone(), false).unwrap();
+        assert_eq!(delivered.payload, payload);
+        assert!(!delivered.compressed);
+        assert!(delivered.wire_bytes > payload.len(), "framing must be accounted");
+        assert!(delivered.verbatim, "CRC-verified echo reproduces the bytes");
+
+        let dict_bytes = vec![42u8; 512];
+        let b = transport.broadcast(0, 0, &dict_bytes, true).unwrap();
+        assert_eq!(b.payload, dict_bytes);
+        assert!(b.compressed);
+    }
+
+    #[test]
+    fn socket_and_wire_transports_agree_on_bytes() {
+        use crate::transport::WireTransport;
+        // Deterministic encoding means the echoed frame has the same
+        // size as the in-memory pipe's, so RoundMetrics byte accounting
+        // is transport-independent.
+        let payload = (0u8..=255).collect::<Vec<_>>();
+        let mut socket = SocketTransport::loopback().unwrap();
+        let mut wire = WireTransport::new();
+        let s = socket.upload(1, 2, payload.clone(), true).unwrap();
+        let w = wire.upload(1, 2, payload, true).unwrap();
+        assert_eq!(s.payload, w.payload);
+        assert_eq!(s.wire_bytes, w.wire_bytes);
+        assert_eq!(s.compressed, w.compressed);
+    }
+}

@@ -1,0 +1,208 @@
+//! The `fedsz worker` client: one real training process per client.
+//!
+//! A worker owns exactly one [`Client`], built
+//! through [`FlConfig::make_client`] — the same constructor, seeds and
+//! data sharding the in-memory engine uses, which is what makes a
+//! worker's update bit-identical to the simulation of the same client.
+//! The loop is the client half of the round protocol: Join, then per
+//! round receive the (possibly FedSZ-encoded) global, train locally,
+//! and upload the update — raw or compressed.
+//!
+//! The compress-or-not decision is the paper's Eqn 1, but fed by
+//! **measurements** instead of simulated
+//! [`LinkProfile`](crate::link::LinkProfile)s: the worker times its
+//! own frame sends to estimate the link bandwidth, times its own codec
+//! to maintain a [`CostProfile`], and prices each upload with the same
+//! `plan(bytes).worthwhile(bandwidth)` rule every simulated stage
+//! uses. Until measurements exist it compresses (which is how the
+//! first measurements are taken), exactly like the engine's adaptive
+//! path.
+//!
+//! [`FlConfig::make_client`]: crate::FlConfig::make_client
+
+use crate::{Client, FlConfig};
+use fedsz::timing::CostProfile;
+use fedsz::FedSz;
+use fedsz_net::{Message, NetError, Session};
+use std::time::{Duration, Instant};
+
+/// Configuration of one `fedsz worker` process.
+#[derive(Debug, Clone)]
+pub struct WorkerConfig {
+    /// The federated-learning configuration — must match the server's.
+    pub fl: FlConfig,
+    /// This worker's client id within the cohort.
+    pub id: usize,
+    /// The server (root, or this shard's relay) as `host:port`.
+    pub connect: String,
+    /// Connect deadline, and how long to wait for each broadcast.
+    pub timeout: Duration,
+}
+
+impl WorkerConfig {
+    /// A worker for client `id` against `connect`, with a 60 s
+    /// timeout.
+    pub fn new(fl: FlConfig, id: usize, connect: String) -> Self {
+        Self { fl, id, connect, timeout: Duration::from_secs(60) }
+    }
+}
+
+/// What a completed worker session did.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkerReport {
+    /// Rounds trained.
+    pub rounds: usize,
+    /// Total framed bytes uploaded.
+    pub uploaded_bytes: usize,
+    /// Total framed bytes received.
+    pub downloaded_bytes: usize,
+    /// Rounds whose upload was FedSZ-compressed (under measured-Eqn-1
+    /// adaptive mode this can be fewer than `rounds`).
+    pub compressed_rounds: usize,
+    /// The measured uplink bandwidth estimate after the final round
+    /// (bits/second; 0.0 when nothing was sent).
+    pub measured_bps: f64,
+}
+
+/// EWMA of the measured wall-clock send bandwidth (the real-link
+/// replacement for a simulated `LinkProfile`).
+///
+/// Caveat: the sample times `write_all` + flush into the kernel, so an
+/// update smaller than the socket send buffer measures enqueue speed,
+/// not link drain — on a loopback or LAN that overestimates bandwidth
+/// and biases Eqn 1 toward raw (harmless there: fast links *should*
+/// send raw). The measurement becomes link-bound exactly when it
+/// matters: once payloads exceed the send buffer — full-size model
+/// updates on constrained links, the paper's regime — `write_all`
+/// blocks on drain. An application-level ack would measure small
+/// transfers honestly too; `ROADMAP.md` lists it as a next step.
+#[derive(Debug, Clone, Copy, Default)]
+struct MeasuredLink {
+    bps: Option<f64>,
+}
+
+impl MeasuredLink {
+    fn observe(&mut self, bytes: usize, secs: f64) {
+        if secs <= 0.0 || bytes == 0 {
+            return;
+        }
+        let sample = bytes as f64 * 8.0 / secs;
+        self.bps = Some(match self.bps {
+            None => sample,
+            Some(prev) => 0.5 * prev + 0.5 * sample,
+        });
+    }
+}
+
+/// Runs one worker session to completion (until the server's
+/// Shutdown frame).
+///
+/// # Errors
+///
+/// Returns a [`NetError`] when the server cannot be reached, times
+/// out, or violates the protocol.
+///
+/// # Panics
+///
+/// Panics when `config.id` is outside the configured cohort.
+pub fn run_worker(config: WorkerConfig) -> Result<WorkerReport, NetError> {
+    let mut client: Client = config.fl.build_client(config.id);
+    let fedsz = config.fl.compression.map(FedSz::new);
+    let mut session = Session::connect(&config.connect, config.timeout).map_err(NetError::Io)?;
+    session.send(&Message::Join { client_id: config.id as u64, round: 0 })?;
+
+    let mut link = MeasuredLink::default();
+    let mut profile: Option<CostProfile> = None;
+    let mut rounds = 0usize;
+    let mut compressed_rounds = 0usize;
+    loop {
+        let (round, dict) = match session.recv(Some(config.timeout))? {
+            Message::GlobalModel { round, dict_bytes } => {
+                (round, fedsz_nn::StateDict::from_bytes(&dict_bytes)?)
+            }
+            // The FedSZ stream embeds its codec config, so decoding
+            // needs no local configuration (and cannot drift from the
+            // server's).
+            Message::EncodedGlobal { round, payload } => {
+                (round, FedSz::decompress_with_config(&payload)?.0)
+            }
+            Message::Shutdown => break,
+            other => {
+                return Err(NetError::Protocol(format!(
+                    "worker expected a broadcast, got {other:?}"
+                )))
+            }
+        };
+
+        client
+            .load_global(&dict)
+            .map_err(|e| NetError::Protocol(format!("global dict rejected: {e}")))?;
+        for _ in 0..config.fl.local_epochs {
+            client.train_epoch();
+        }
+        let update = client.update();
+        let raw_bytes = update.byte_size();
+
+        // Eqn 1 on the measured link: compress iff measured codec time
+        // plus compressed transfer beats sending raw at the measured
+        // bandwidth. Probe (compress) until both measurements exist.
+        let compress = match (&fedsz, config.fl.adaptive_compression) {
+            (None, _) => false,
+            (Some(_), false) => true,
+            (Some(_), true) => match (profile, link.bps) {
+                (Some(profile), Some(bps)) => profile.plan(raw_bytes).worthwhile(bps),
+                _ => true,
+            },
+        };
+        let (payload, compressed) = if compress {
+            let codec = fedsz.as_ref().expect("compress implies a codec");
+            let t0 = Instant::now();
+            let packed = codec.compress(&update).expect("finite weights").into_bytes();
+            let compress_secs = t0.elapsed().as_secs_f64();
+            if config.fl.adaptive_compression {
+                let raw = raw_bytes.max(1) as f64;
+                // The decompression the server will pay is measured on
+                // the first compressed round only — it is a stable
+                // per-byte cost, and re-measuring it would mean one
+                // redundant full decompress of every later upload. The
+                // EWMA carries the sample forward.
+                let decompress_secs_per_byte = match profile {
+                    Some(prev) => prev.decompress_secs_per_byte,
+                    None => {
+                        let t1 = Instant::now();
+                        let _ = codec.decompress(&packed)?;
+                        t1.elapsed().as_secs_f64() / raw
+                    }
+                };
+                profile = Some(CostProfile::blend(
+                    profile,
+                    CostProfile {
+                        compress_secs_per_byte: compress_secs / raw,
+                        decompress_secs_per_byte,
+                        ratio: raw / packed.len().max(1) as f64,
+                    },
+                ));
+            }
+            (packed, true)
+        } else {
+            (update.to_bytes(), false)
+        };
+
+        let message = Message::Update { round, client_id: config.id as u64, payload, compressed };
+        let t_send = Instant::now();
+        let wire_bytes = session.send(&message)?;
+        link.observe(wire_bytes, t_send.elapsed().as_secs_f64());
+
+        rounds += 1;
+        if compressed {
+            compressed_rounds += 1;
+        }
+    }
+    Ok(WorkerReport {
+        rounds,
+        uploaded_bytes: session.bytes_sent() as usize,
+        downloaded_bytes: session.bytes_received() as usize,
+        compressed_rounds,
+        measured_bps: link.bps.unwrap_or(0.0),
+    })
+}

@@ -1,11 +1,13 @@
 //! Wire protocol for client↔server exchange.
 //!
-//! The paper's implementation rides on APPFL's gRPC/MPI layer; this
-//! module is that layer's stand-in: a small framed message format
-//! (magic + type tag + fields + CRC-32 trailer) and a [`run_session`]
-//! driver that runs a real FedAvg session with every model crossing the
-//! "network" as serialized, CRC-checked frames — exactly the boundary
-//! FedSZ compresses in Fig 1.
+//! The paper's implementation rides on APPFL's gRPC/MPI layer; the
+//! framed message format that stands in for it — magic + type tag +
+//! fields + CRC-32 trailer — now lives in the [`fedsz_net`] crate
+//! ([`Message`], `FrameReader`, `FrameWriter`), where the in-memory
+//! [`WireTransport`] and the
+//! real-socket runtime ([`crate::net`]) share one encode/decode path.
+//! This module re-exports the message type under its historical name
+//! and keeps the wire-level session driver.
 //!
 //! [`run_session`] is a thin adapter: it drives the shared
 //! [`RoundEngine`] over the
@@ -20,225 +22,14 @@
 //! and `AggregationPolicy::Buffered` (which uploads are buffered depends
 //! on measured compute times and on wire byte counts, which include
 //! framing here).
+//!
+//! [`WireTransport`]: crate::transport::WireTransport
 
 use crate::engine::RoundEngine;
 use crate::transport::WireTransport;
 use crate::FlConfig;
-use fedsz_codec::checksum::crc32;
-use fedsz_codec::varint::{read_f64, read_u32, read_uvarint, write_f64, write_u32, write_uvarint};
-use fedsz_codec::{CodecError, Result};
 
-/// Frame magic.
-const MAGIC: &[u8; 4] = b"FMSG";
-
-/// A protocol message.
-///
-/// The engine-backed session only exchanges [`Message::GlobalModel`]
-/// and [`Message::Update`]; `Join`/`Shutdown` are kept as wire-format
-/// surface reserved for a future multi-process transport, where the
-/// handshake and teardown happen over a real socket.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Message {
-    /// Client announces itself.
-    Join {
-        /// Client identifier.
-        client_id: u64,
-    },
-    /// Server ships the global model for a round (state-dict bytes).
-    GlobalModel {
-        /// Round index.
-        round: u32,
-        /// Serialized [`StateDict`](fedsz_nn::StateDict).
-        dict_bytes: Vec<u8>,
-    },
-    /// Client returns its (possibly FedSZ-compressed) update.
-    Update {
-        /// Round index.
-        round: u32,
-        /// Client identifier.
-        client_id: u64,
-        /// FedSZ bitstream or raw state-dict bytes.
-        payload: Vec<u8>,
-        /// Whether `payload` is a FedSZ stream.
-        compressed: bool,
-    },
-    /// Server ends the session.
-    Shutdown,
-    /// Server ships a FedSZ-encoded global model for a round (the
-    /// download-path twin of [`Message::GlobalModel`]; encoded once,
-    /// fanned out to the whole cohort).
-    EncodedGlobal {
-        /// Round index.
-        round: u32,
-        /// FedSZ bitstream of the global model.
-        payload: Vec<u8>,
-    },
-    /// An edge aggregator forwards its shard's weighted partial sum to
-    /// the root (see [`PartialSum`](crate::agg::PartialSum), whose
-    /// `encode_payload` produces the payload image).
-    PartialSum {
-        /// Round index.
-        round: u32,
-        /// Shard index within the [`ShardPlan`](crate::agg::ShardPlan)
-        /// (or the node's index within its level for a deep
-        /// [`TreePlan`](crate::agg::TreePlan)).
-        shard: u32,
-        /// Contributions merged into this partial.
-        clients: u32,
-        /// Total aggregation weight of the partial.
-        weight: f64,
-        /// `Σ w_i · x_i` per element, as encoded by
-        /// `PartialSum::encode_payload`.
-        payload: Vec<u8>,
-    },
-    /// [`Message::PartialSum`]'s losslessly-compressed twin: the same
-    /// metadata, but the payload is a
-    /// [`PsumCodec`](fedsz_lossless::PsumCodec) frame (byte-shuffled
-    /// `f64` planes + entropy stage) that decompresses bit-exactly to
-    /// the `PartialSum::encode_payload` image. Which variant an edge
-    /// ships is the per-edge Eqn-1 decision made by
-    /// [`PsumForwarder`](crate::agg::PsumForwarder).
-    PartialSumCompressed {
-        /// Round index.
-        round: u32,
-        /// The forwarding node's index within its tree level.
-        shard: u32,
-        /// Contributions merged into this partial.
-        clients: u32,
-        /// Total aggregation weight of the partial.
-        weight: f64,
-        /// `PsumCodec`-compressed `PartialSum::encode_payload` image.
-        payload: Vec<u8>,
-    },
-}
-
-impl Message {
-    fn tag(&self) -> u8 {
-        match self {
-            Message::Join { .. } => 1,
-            Message::GlobalModel { .. } => 2,
-            Message::Update { .. } => 3,
-            Message::Shutdown => 4,
-            Message::EncodedGlobal { .. } => 5,
-            Message::PartialSum { .. } => 6,
-            Message::PartialSumCompressed { .. } => 7,
-        }
-    }
-
-    /// Serializes the message into a framed byte vector.
-    pub fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::new();
-        out.extend_from_slice(MAGIC);
-        out.push(self.tag());
-        match self {
-            Message::Join { client_id } => write_uvarint(&mut out, *client_id),
-            Message::GlobalModel { round, dict_bytes } => {
-                write_u32(&mut out, *round);
-                write_uvarint(&mut out, dict_bytes.len() as u64);
-                out.extend_from_slice(dict_bytes);
-            }
-            Message::Update { round, client_id, payload, compressed } => {
-                write_u32(&mut out, *round);
-                write_uvarint(&mut out, *client_id);
-                out.push(u8::from(*compressed));
-                write_uvarint(&mut out, payload.len() as u64);
-                out.extend_from_slice(payload);
-            }
-            Message::Shutdown => {}
-            Message::EncodedGlobal { round, payload } => {
-                write_u32(&mut out, *round);
-                write_uvarint(&mut out, payload.len() as u64);
-                out.extend_from_slice(payload);
-            }
-            Message::PartialSum { round, shard, clients, weight, payload }
-            | Message::PartialSumCompressed { round, shard, clients, weight, payload } => {
-                write_u32(&mut out, *round);
-                write_uvarint(&mut out, u64::from(*shard));
-                write_uvarint(&mut out, u64::from(*clients));
-                write_f64(&mut out, *weight);
-                write_uvarint(&mut out, payload.len() as u64);
-                out.extend_from_slice(payload);
-            }
-        }
-        let crc = crc32(&out);
-        write_u32(&mut out, crc);
-        out
-    }
-
-    /// Parses a framed message.
-    ///
-    /// # Errors
-    ///
-    /// Returns a [`CodecError`] for truncation, bad magic, unknown tags
-    /// or checksum mismatches.
-    pub fn decode(bytes: &[u8]) -> Result<Message> {
-        if bytes.len() < 9 {
-            return Err(CodecError::UnexpectedEof);
-        }
-        let (body, trailer) = bytes.split_at(bytes.len() - 4);
-        let mut tpos = 0usize;
-        let stored = read_u32(trailer, &mut tpos)?;
-        let computed = crc32(body);
-        if stored != computed {
-            return Err(CodecError::ChecksumMismatch { stored, computed });
-        }
-        if &body[..4] != MAGIC {
-            return Err(CodecError::Corrupt("bad message magic"));
-        }
-        let tag = body[4];
-        let mut pos = 5usize;
-        let msg = match tag {
-            1 => Message::Join { client_id: read_uvarint(body, &mut pos)? },
-            2 => {
-                let round = read_u32(body, &mut pos)?;
-                let len = read_uvarint(body, &mut pos)? as usize;
-                let dict_bytes =
-                    body.get(pos..pos + len).ok_or(CodecError::UnexpectedEof)?.to_vec();
-                pos += len;
-                Message::GlobalModel { round, dict_bytes }
-            }
-            3 => {
-                let round = read_u32(body, &mut pos)?;
-                let client_id = read_uvarint(body, &mut pos)?;
-                let compressed = *body.get(pos).ok_or(CodecError::UnexpectedEof)? == 1;
-                pos += 1;
-                let len = read_uvarint(body, &mut pos)? as usize;
-                let payload = body.get(pos..pos + len).ok_or(CodecError::UnexpectedEof)?.to_vec();
-                pos += len;
-                Message::Update { round, client_id, payload, compressed }
-            }
-            4 => Message::Shutdown,
-            5 => {
-                let round = read_u32(body, &mut pos)?;
-                let len = read_uvarint(body, &mut pos)? as usize;
-                let payload = body.get(pos..pos + len).ok_or(CodecError::UnexpectedEof)?.to_vec();
-                pos += len;
-                Message::EncodedGlobal { round, payload }
-            }
-            6 | 7 => {
-                let round = read_u32(body, &mut pos)?;
-                let shard = u32::try_from(read_uvarint(body, &mut pos)?)
-                    .map_err(|_| CodecError::Corrupt("shard index overflow"))?;
-                let clients = u32::try_from(read_uvarint(body, &mut pos)?)
-                    .map_err(|_| CodecError::Corrupt("client count overflow"))?;
-                let weight = read_f64(body, &mut pos)?;
-                let len = read_uvarint(body, &mut pos)? as usize;
-                let payload = body.get(pos..pos + len).ok_or(CodecError::UnexpectedEof)?.to_vec();
-                pos += len;
-                if tag == 6 {
-                    Message::PartialSum { round, shard, clients, weight, payload }
-                } else {
-                    Message::PartialSumCompressed { round, shard, clients, weight, payload }
-                }
-            }
-            _ => return Err(CodecError::Corrupt("unknown message tag")),
-        };
-        if pos != body.len() {
-            return Err(CodecError::Corrupt("trailing bytes in message"));
-        }
-        Ok(msg)
-    }
-}
+pub use fedsz_net::Message;
 
 /// Per-round traffic and accuracy accounting from [`run_session`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -282,60 +73,6 @@ mod tests {
     use super::*;
 
     #[test]
-    fn messages_round_trip() {
-        let msgs = vec![
-            Message::Join { client_id: 7 },
-            Message::GlobalModel { round: 3, dict_bytes: vec![1, 2, 3, 4] },
-            Message::Update { round: 3, client_id: 7, payload: vec![9; 100], compressed: true },
-            Message::Shutdown,
-            Message::EncodedGlobal { round: 4, payload: vec![8; 33] },
-            Message::PartialSum {
-                round: 4,
-                shard: 2,
-                clients: 61,
-                weight: 61.5,
-                payload: vec![1, 2, 3],
-            },
-            Message::PartialSumCompressed {
-                round: 9,
-                shard: 5,
-                clients: 200,
-                weight: 199.25,
-                payload: vec![0xF5, 9, 8, 7],
-            },
-        ];
-        for msg in msgs {
-            let frame = msg.encode();
-            assert_eq!(Message::decode(&frame).unwrap(), msg);
-        }
-    }
-
-    #[test]
-    fn corrupt_frames_rejected() {
-        let frame =
-            Message::Update { round: 1, client_id: 2, payload: vec![5; 64], compressed: false }
-                .encode();
-        // Bit flip anywhere must be caught by the CRC.
-        for idx in [0usize, 5, 20, frame.len() - 1] {
-            let mut bad = frame.clone();
-            bad[idx] ^= 0x10;
-            assert!(Message::decode(&bad).is_err(), "flip at {idx} accepted");
-        }
-        assert!(Message::decode(&frame[..6]).is_err());
-        assert!(Message::decode(&[]).is_err());
-    }
-
-    #[test]
-    fn unknown_tag_rejected() {
-        let mut out = Vec::new();
-        out.extend_from_slice(MAGIC);
-        out.push(99);
-        let crc = crc32(&out);
-        write_u32(&mut out, crc);
-        assert!(matches!(Message::decode(&out), Err(CodecError::Corrupt(_))));
-    }
-
-    #[test]
     fn session_over_the_wire_learns_and_compresses() {
         let mut config = FlConfig::smoke_test();
         config.rounds = 3;
@@ -376,5 +113,14 @@ mod tests {
             up_half * 3 < up_full * 2,
             "half cohort should upload well under 2/3 of full: {up_half} vs {up_full}"
         );
+    }
+
+    #[test]
+    fn message_reexport_round_trips() {
+        // The historical `fedsz_fl::protocol::Message` path must keep
+        // working now that the type lives in `fedsz-net`.
+        let msg =
+            Message::Update { round: 1, client_id: 2, payload: vec![4; 32], compressed: true };
+        assert_eq!(Message::decode(&msg.encode()).unwrap(), msg);
     }
 }

@@ -21,6 +21,7 @@
 
 use crate::protocol::Message;
 use fedsz_codec::{CodecError, Result};
+use fedsz_net::{FrameReader, FrameWriter, NetError};
 
 /// Bytes delivered to the far side of a transport.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -119,8 +120,11 @@ impl Transport for InMemoryTransport {
 }
 
 /// The framed-wire transport: every payload round-trips through the
-/// `FMSG` message format — encoded, then decoded and CRC-verified as
-/// the far side would.
+/// `FMSG` message format — pushed through the shared
+/// [`FrameWriter`] into an in-memory pipe, then read back by the
+/// shared [`FrameReader`] exactly as a socket peer would. One framing
+/// implementation serves this loopback pipe and the real TCP runtime
+/// ([`crate::net`]); only the byte carrier differs.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct WireTransport;
 
@@ -131,9 +135,18 @@ impl WireTransport {
     }
 
     fn send_and_receive(&mut self, message: Message) -> Result<(Message, usize)> {
-        let frame = message.encode();
-        let wire_bytes = frame.len();
-        Ok((Message::decode(&frame)?, wire_bytes))
+        let mut pipe = Vec::new();
+        let wire_bytes = FrameWriter::new(&mut pipe)
+            .write_message(&message)
+            .expect("writes to a Vec cannot fail");
+        let decoded = match FrameReader::new(pipe.as_slice()).read_message() {
+            Ok(Some(decoded)) => decoded,
+            Ok(None) => return Err(CodecError::UnexpectedEof),
+            Err(NetError::Codec(e)) => return Err(e),
+            // An in-memory pipe has no socket to fail or time out.
+            Err(_) => unreachable!("Vec-backed pipe cannot fail at the I/O layer"),
+        };
+        Ok((decoded, wire_bytes))
     }
 }
 

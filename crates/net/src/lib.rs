@@ -1,0 +1,95 @@
+//! The FedSZ networking layer: the FMSG wire protocol and the framed
+//! stream I/O that moves it across OS processes.
+//!
+//! The paper's implementation rides on APPFL's gRPC/MPI stack; this
+//! crate is the repo's homegrown equivalent, shared by every byte
+//! mover in the workspace:
+//!
+//! * [`Message`] — the framed FMSG message format (magic + type tag +
+//!   fields + CRC-32 trailer). It started life inside
+//!   `fedsz-fl::protocol` as a loopback test format; it now lives here
+//!   so the in-memory wire transport and the real socket runtime
+//!   encode/decode through literally the same code. The per-tag field
+//!   table ([`frame_len`]) lives next to the encoder — one source of
+//!   truth for the framing rules documented in `ARCHITECTURE.md`.
+//! * [`FrameReader`] / [`FrameWriter`] — framed message I/O over any
+//!   [`std::io::Read`] / [`std::io::Write`]. The reader buffers
+//!   partial reads (a TCP segment boundary can land anywhere, even
+//!   mid-varint) and CRC-verifies every frame before handing it up.
+//! * [`Session`] — a connected TCP peer speaking FMSG: handshake-ready
+//!   `send`/`recv` with per-call timeouts, used by `fedsz serve`,
+//!   `fedsz worker` and the engine's `SocketTransport`.
+//!
+//! The crate deliberately knows nothing about federated learning:
+//! models, aggregation and round logic stay in `fedsz-fl`, which
+//! builds its multi-process runtime (`fedsz_fl::net`) on these
+//! primitives.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod frame;
+pub mod session;
+pub mod wire;
+
+pub use frame::{FrameReader, FrameWriter};
+pub use session::Session;
+pub use wire::{frame_len, Message, MAX_FRAME_BYTES};
+
+use fedsz_codec::CodecError;
+
+/// Errors from the framed-socket layer.
+#[derive(Debug)]
+pub enum NetError {
+    /// An OS-level socket failure.
+    Io(std::io::Error),
+    /// A malformed, corrupt or oversized frame.
+    Codec(CodecError),
+    /// The peer did not produce a full frame within the deadline.
+    Timeout,
+    /// The peer closed the connection at a frame boundary.
+    Closed,
+    /// A well-formed frame that violates the conversation (wrong
+    /// message kind, duplicate handshake, round mismatch, ...).
+    Protocol(String),
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "socket error: {e}"),
+            NetError::Codec(e) => write!(f, "frame error: {e}"),
+            NetError::Timeout => write!(f, "timed out waiting for a frame"),
+            NetError::Closed => write!(f, "peer closed the connection"),
+            NetError::Protocol(what) => write!(f, "protocol violation: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetError::Io(e) => Some(e),
+            NetError::Codec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for NetError {
+    /// Read/write timeouts surface as [`NetError::Timeout`] (the OS
+    /// reports them as `WouldBlock` or `TimedOut` depending on the
+    /// platform); everything else stays an I/O error.
+    fn from(e: std::io::Error) -> Self {
+        match e.kind() {
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => NetError::Timeout,
+            _ => NetError::Io(e),
+        }
+    }
+}
+
+impl From<CodecError> for NetError {
+    fn from(e: CodecError) -> Self {
+        NetError::Codec(e)
+    }
+}

@@ -1,0 +1,229 @@
+//! A connected TCP peer speaking framed FMSG.
+//!
+//! [`Session`] pairs a [`FrameReader`] and a [`FrameWriter`] over one
+//! `TcpStream` (cloned handles of the same socket), adding the two
+//! things a conversation needs beyond raw frames: connect/receive
+//! deadlines, and a distinction between a peer that *closed* and a
+//! peer that is merely *slow*. A receive that times out mid-frame
+//! keeps the partial bytes buffered, so retrying the call resumes the
+//! read instead of corrupting the stream.
+
+use crate::frame::{FrameReader, FrameWriter};
+use crate::wire::Message;
+use crate::NetError;
+use std::io;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// One framed FMSG conversation over a connected TCP socket.
+#[derive(Debug)]
+pub struct Session {
+    reader: FrameReader<TcpStream>,
+    writer: FrameWriter<TcpStream>,
+    peer: SocketAddr,
+}
+
+impl Session {
+    /// Connects to `addr` (a `host:port` string) within `timeout`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the resolution or connection failure.
+    pub fn connect(addr: &str, timeout: Duration) -> io::Result<Self> {
+        let target = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "unresolvable address"))?;
+        let stream = TcpStream::connect_timeout(&target, timeout)?;
+        Self::from_stream(stream)
+    }
+
+    /// Wraps an accepted connection.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the socket cannot be cloned or has no peer address.
+    pub fn from_stream(stream: TcpStream) -> io::Result<Self> {
+        // Frames are request/response sized; Nagle coalescing only adds
+        // latency at the round barrier.
+        let _ = stream.set_nodelay(true);
+        let peer = stream.peer_addr()?;
+        let writer = FrameWriter::new(stream.try_clone()?);
+        Ok(Self { reader: FrameReader::new(stream), writer, peer })
+    }
+
+    /// The remote end of the connection.
+    pub fn peer_addr(&self) -> SocketAddr {
+        self.peer
+    }
+
+    /// Total frame bytes received on this session (diff around a
+    /// `recv` to charge one message's wire cost).
+    pub fn bytes_received(&self) -> u64 {
+        self.reader.consumed()
+    }
+
+    /// Total frame bytes sent on this session.
+    pub fn bytes_sent(&self) -> u64 {
+        self.writer.written()
+    }
+
+    /// Sends one framed message, returning the frame's wire bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Io`] when the socket rejects the write (the
+    /// peer vanished mid-session).
+    pub fn send(&mut self, message: &Message) -> Result<usize, NetError> {
+        Ok(self.writer.write_message(message)?)
+    }
+
+    /// Sends an already-encoded frame verbatim (see
+    /// [`FrameWriter::write_frame`]): the fan-out path encodes a
+    /// broadcast once and writes the same bytes to every session.
+    ///
+    /// # Errors
+    ///
+    /// As [`Session::send`].
+    pub fn send_frame(&mut self, frame: &[u8]) -> Result<usize, NetError> {
+        Ok(self.writer.write_frame(frame)?)
+    }
+
+    /// Bounds every subsequent send: once the peer stops reading and
+    /// the socket send buffer fills, `send` fails with
+    /// [`NetError::Timeout`] instead of blocking the writer forever.
+    /// (A timed-out send leaves the stream mid-frame — treat the
+    /// session as broken afterwards.)
+    ///
+    /// # Errors
+    ///
+    /// Propagates the OS failure.
+    pub fn set_write_timeout(&self, timeout: Option<Duration>) -> Result<(), NetError> {
+        let timeout = timeout.map(|t| t.max(Duration::from_millis(1)));
+        self.writer.get_ref().set_write_timeout(timeout).map_err(NetError::Io)
+    }
+
+    /// Receives the next frame, waiting at most `timeout` for the
+    /// *whole call* (`None` blocks indefinitely). The deadline bounds
+    /// the complete frame, not each socket read — a peer trickling one
+    /// byte at a time cannot extend it.
+    ///
+    /// # Errors
+    ///
+    /// * [`NetError::Timeout`] — no full frame within the deadline;
+    ///   partial bytes stay buffered and a retry resumes cleanly.
+    /// * [`NetError::Closed`] — the peer closed at a frame boundary.
+    /// * [`NetError::Codec`] — the peer sent a corrupt frame.
+    pub fn recv(&mut self, timeout: Option<Duration>) -> Result<Message, NetError> {
+        // A zero Duration means "no timeout" to the OS; clamp up so a
+        // caller-supplied zero behaves as the shortest real deadline.
+        let deadline = timeout.map(|t| Instant::now() + t.max(Duration::from_millis(1)));
+        let message = self.reader.read_message_with(|stream| match deadline {
+            None => stream.set_read_timeout(None).map_err(NetError::Io),
+            Some(deadline) => {
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
+                    return Err(NetError::Timeout);
+                }
+                stream
+                    .set_read_timeout(Some(remaining.max(Duration::from_millis(1))))
+                    .map_err(NetError::Io)
+            }
+        })?;
+        match message {
+            Some(message) => Ok(message),
+            None => Err(NetError::Closed),
+        }
+    }
+
+    /// Shuts down both directions, signalling EOF to the peer. Errors
+    /// are ignored: the peer may already be gone.
+    pub fn close(&mut self) {
+        let _ = self.reader.get_ref().shutdown(std::net::Shutdown::Both);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+    use std::thread;
+
+    fn pair() -> (Session, Session) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = thread::spawn(move || {
+            Session::connect(&addr.to_string(), Duration::from_secs(5)).unwrap()
+        });
+        let server = Session::from_stream(listener.accept().unwrap().0).unwrap();
+        (server, client.join().unwrap())
+    }
+
+    #[test]
+    fn frames_cross_a_real_socket() {
+        let (mut server, mut client) = pair();
+        let msg =
+            Message::Update { round: 1, client_id: 9, payload: vec![3; 4096], compressed: true };
+        let sent = client.send(&msg).unwrap();
+        assert_eq!(sent, msg.encode().len());
+        let got = server.recv(Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(got, msg);
+        // And the other direction.
+        server.send(&Message::Shutdown).unwrap();
+        assert_eq!(client.recv(Some(Duration::from_secs(5))).unwrap(), Message::Shutdown);
+    }
+
+    #[test]
+    fn recv_times_out_without_corrupting_the_stream() {
+        let (mut server, mut client) = pair();
+        match server.recv(Some(Duration::from_millis(30))) {
+            Err(NetError::Timeout) => {}
+            other => panic!("expected a timeout, got {other:?}"),
+        }
+        // The stream still works after the timeout.
+        client.send(&Message::Join { client_id: 0, round: 0 }).unwrap();
+        assert!(matches!(
+            server.recv(Some(Duration::from_secs(5))).unwrap(),
+            Message::Join { client_id: 0, round: 0 }
+        ));
+    }
+
+    #[test]
+    fn trickled_bytes_cannot_extend_the_deadline() {
+        use std::io::Write;
+        // A peer dripping one byte per 20 ms keeps every individual
+        // socket read fast; only a total deadline can bound the call.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let drip = thread::spawn(move || {
+            let mut raw = TcpStream::connect(addr).unwrap();
+            let frame =
+                Message::Update { round: 0, client_id: 1, payload: vec![0; 64], compressed: false }
+                    .encode();
+            for chunk in frame.chunks(1) {
+                if raw.write_all(chunk).is_err() {
+                    return; // the receiver gave up, as it should
+                }
+                thread::sleep(Duration::from_millis(20));
+            }
+        });
+        let mut server = Session::from_stream(listener.accept().unwrap().0).unwrap();
+        let t0 = Instant::now();
+        let result = server.recv(Some(Duration::from_millis(150)));
+        assert!(matches!(result, Err(NetError::Timeout)), "got {result:?}");
+        assert!(
+            t0.elapsed() < Duration::from_secs(2),
+            "the deadline must bound the whole recv, not each read ({:?})",
+            t0.elapsed()
+        );
+        server.close();
+        drip.join().unwrap();
+    }
+
+    #[test]
+    fn closed_peer_is_reported_as_closed() {
+        let (mut server, client) = pair();
+        drop(client);
+        assert!(matches!(server.recv(Some(Duration::from_secs(5))), Err(NetError::Closed)));
+    }
+}

@@ -1,0 +1,179 @@
+//! Property tests of the FMSG stream layer: a frame stream split at
+//! *arbitrary* byte boundaries — the short reads a real TCP socket
+//! produces — must round-trip bit-exactly through `FrameReader`, and
+//! corruption anywhere must be rejected, never mis-decoded.
+
+use fedsz_net::{frame_len, FrameReader, FrameWriter, Message, NetError};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::io::Read;
+
+/// A reader that serves its bytes in caller-chosen slice sizes,
+/// cycling through `cuts` — so frame boundaries land mid-header,
+/// mid-varint, mid-payload and mid-CRC across cases.
+struct Chopped {
+    bytes: Vec<u8>,
+    cuts: Vec<usize>,
+    pos: usize,
+    turn: usize,
+}
+
+impl Read for Chopped {
+    fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+        let step = self.cuts[self.turn % self.cuts.len()].max(1);
+        self.turn += 1;
+        let n = step.min(self.bytes.len() - self.pos).min(out.len());
+        out[..n].copy_from_slice(&self.bytes[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+fn payload() -> impl Strategy<Value = Vec<u8>> + 'static {
+    vec(any::<u8>(), 0..900)
+}
+
+/// Every message kind, payload sizes drawn small-to-large so varint
+/// length prefixes cross width boundaries.
+fn message() -> impl Strategy<Value = Message> {
+    prop_oneof![
+        (any::<u64>(), any::<u32>())
+            .prop_map(|(client_id, round)| Message::Join { client_id, round })
+            .boxed(),
+        (0u32..9000, payload())
+            .prop_map(|(round, dict_bytes)| Message::GlobalModel { round, dict_bytes })
+            .boxed(),
+        ((0u32..9000, any::<u64>()), payload(), any::<bool>())
+            .prop_map(|((round, client_id), payload, compressed)| Message::Update {
+                round,
+                client_id,
+                payload,
+                compressed,
+            })
+            .boxed(),
+        Just(Message::Shutdown).boxed(),
+        (0u32..9000, payload())
+            .prop_map(|(round, payload)| Message::EncodedGlobal { round, payload })
+            .boxed(),
+        ((0u32..9000, 0u32..512), (0u32..100_000, 0.0f64..1e6), payload())
+            .prop_map(|((round, shard), (clients, weight), payload)| Message::PartialSum {
+                round,
+                shard,
+                clients,
+                weight,
+                payload,
+            })
+            .boxed(),
+        ((0u32..9000, 0u32..512), (0u32..100_000, 0.0f64..1e6), payload())
+            .prop_map(|((round, shard), (clients, weight), payload)| {
+                Message::PartialSumCompressed { round, shard, clients, weight, payload }
+            })
+            .boxed(),
+    ]
+}
+
+fn stream_of(messages: &[Message]) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    let mut writer = FrameWriter::new(&mut bytes);
+    for m in messages {
+        writer.write_message(m).expect("Vec sink cannot fail");
+    }
+    bytes
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn arbitrarily_split_streams_round_trip_bit_exactly(
+        messages in vec(message(), 1..8),
+        cuts in vec(1usize..64, 1..12),
+    ) {
+        let stream = stream_of(&messages);
+        let mut reader = FrameReader::new(Chopped { bytes: stream, cuts, pos: 0, turn: 0 });
+        for want in &messages {
+            let got = reader.read_message().expect("valid stream").expect("frame available");
+            prop_assert_eq!(&got, want);
+        }
+        prop_assert!(reader.read_message().expect("clean close").is_none());
+    }
+
+    #[test]
+    fn frame_len_never_lies_on_any_prefix(message in message()) {
+        // For every strict prefix, frame_len either asks for more or
+        // reports exactly the true frame length — the invariant the
+        // stream reader's buffering rests on.
+        let frame = message.encode();
+        for cut in 0..=frame.len() {
+            match frame_len(&frame[..cut]).expect("valid prefix never errors") {
+                Some(total) => prop_assert_eq!(total, frame.len()),
+                None => prop_assert!(cut < frame.len()),
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_byte_is_rejected_not_misdecoded(
+        messages in vec(message(), 1..5),
+        cuts in vec(1usize..48, 1..8),
+        flip_at in any::<u64>(),
+        flip_bit in 0u8..8,
+    ) {
+        let clean = stream_of(&messages);
+        let idx = (flip_at % clean.len() as u64) as usize;
+        let mut corrupt = clean.clone();
+        corrupt[idx] ^= 1 << flip_bit;
+        let mut reader =
+            FrameReader::new(Chopped { bytes: corrupt, cuts, pos: 0, turn: 0 });
+        // Frames before the flipped byte may decode fine, but every
+        // decoded frame must equal its original, and the stream must
+        // end in a codec error — never a clean close or a mis-decode.
+        // (The flip always lands: every byte of every frame is either
+        // CRC-covered or IS the CRC.)
+        let mut decoded = 0usize;
+        let outcome = loop {
+            match reader.read_message() {
+                Ok(Some(got)) => {
+                    prop_assert_eq!(&got, &messages[decoded], "frame {} mis-decoded", decoded);
+                    decoded += 1;
+                }
+                other => break other,
+            }
+        };
+        prop_assert!(decoded < messages.len());
+        match outcome {
+            Err(NetError::Codec(_)) => {}
+            other => return Err(TestCaseError::Fail(format!(
+                "corrupt stream ended with {other:?} after {decoded} frames"
+            ))),
+        }
+    }
+
+    #[test]
+    fn truncated_streams_error_at_the_cut(
+        messages in vec(message(), 1..5),
+        keep_fraction in 0.0f64..1.0,
+    ) {
+        let stream = stream_of(&messages);
+        let keep = ((stream.len() as f64) * keep_fraction) as usize;
+        let mut reader = FrameReader::new(&stream[..keep]);
+        let mut decoded = 0usize;
+        let ended = loop {
+            match reader.read_message() {
+                Ok(Some(got)) => {
+                    prop_assert_eq!(&got, &messages[decoded]);
+                    decoded += 1;
+                }
+                other => break other,
+            }
+        };
+        match ended {
+            // Cut exactly at a frame boundary: a clean close of a
+            // shorter-but-valid stream.
+            Ok(None) => prop_assert!(decoded <= messages.len()),
+            // Cut mid-frame: an explicit error.
+            Err(NetError::Codec(_)) => prop_assert!(decoded < messages.len()),
+            other => return Err(TestCaseError::Fail(format!("unexpected end: {other:?}"))),
+        }
+    }
+}
