@@ -228,8 +228,9 @@ fn main() {
     // versioned schema so PR-over-PR diffs stay meaningful.
     let out_path: String = args.get("--out", "BENCH_agg_scale.json".to_string());
     if out_path != "-" {
-        let wrapped =
-            format!("{{\n\"schema\": \"fedsz.agg_scale.v1\",\n\"points\": [\n{body}\n]\n}}\n");
+        let wrapped = format!(
+            "{{\n\"schema\": \"fedsz.agg_scale.v1\",\n\"schema_version\": 1,\n\"points\": [\n{body}\n]\n}}\n"
+        );
         std::fs::write(&out_path, wrapped).expect("write --out report");
         eprintln!("wrote {out_path}");
     }

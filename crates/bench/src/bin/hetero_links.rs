@@ -15,13 +15,14 @@ use fedsz_fl::{AggregationPolicy, Experiment, FlConfig, LinkProfile, RoundMetric
 use fedsz_nn::models::tiny::TinyArch;
 
 fn base_config(clients: usize, rounds: usize) -> FlConfig {
-    let mut config = FlConfig::paper_default(TinyArch::AlexNet, DatasetKind::Cifar10Like);
-    config.clients = clients;
-    config.rounds = rounds;
-    config.data.train_per_class = 8;
-    config.data.test_per_class = 4;
-    config.data.resolution = 16;
-    config
+    FlConfig::builder()
+        .arch(TinyArch::AlexNet)
+        .dataset(DatasetKind::Cifar10Like)
+        .clients(clients)
+        .rounds(rounds)
+        .train_per_class(8)
+        .test_per_class(4)
+        .build()
 }
 
 fn hetero_links(clients: usize, slowdown: f64) -> Vec<LinkProfile> {

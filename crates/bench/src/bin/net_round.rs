@@ -28,14 +28,16 @@ use std::time::{Duration, Instant};
 
 /// The bench's base configuration: the CLI smoke shape, parameterized.
 fn base_config(clients: usize, rounds: usize, train_per_class: usize, seed: u64) -> FlConfig {
-    let mut config = FlConfig::smoke_test();
-    config.clients = clients;
-    config.rounds = rounds;
-    config.seed = seed;
-    config.data.seed = seed;
-    config.data.train_per_class = train_per_class;
-    config.data.test_per_class = (train_per_class / 2).max(2);
-    config
+    FlConfig::builder()
+        .data(FlConfig::smoke_test().data)
+        .batch_size(8) // the smoke shape, not paper_default's 16
+        .clients(clients)
+        .rounds(rounds)
+        .seed(seed)
+        .train_per_class(train_per_class)
+        .test_per_class((train_per_class / 2).max(2))
+        .compression(Some(FlConfig::tiny_model_compression()))
+        .build()
 }
 
 /// One loopback deployment: root (+ optional relay tier) + workers,
@@ -153,8 +155,9 @@ fn main() {
     let body = points.join(",\n");
     println!("[\n{body}\n]");
     if out_path != "-" {
-        let wrapped =
-            format!("{{\n\"schema\": \"fedsz.net_round.v1\",\n\"points\": [\n{body}\n]\n}}\n");
+        let wrapped = format!(
+            "{{\n\"schema\": \"fedsz.net_round.v1\",\n\"schema_version\": 1,\n\"points\": [\n{body}\n]\n}}\n"
+        );
         std::fs::write(&out_path, wrapped).expect("write --out report");
         eprintln!("wrote {out_path}");
     }

@@ -21,6 +21,13 @@
 //! architecture), so a loopback `serve` + `worker` deployment prints
 //! the same `global checksum` as the in-memory `fl` run — the
 //! bit-parity contract the CI smoke job asserts across processes.
+//! All three also accept `--config run.toml` ([`spec`]): a declarative
+//! run spec whose keys are the same flags, with explicit command-line
+//! flags overriding file values. Every configuration is validated
+//! through [`FlConfig::plan`] before anything runs, so a bad spec
+//! fails with a [`PlanError`](fedsz_fl::PlanError) message instead of
+//! a clamp or a mid-round panic. `fl` and `serve` additionally emit
+//! one shared machine-readable schema with `--json` ([`report`]).
 //!
 //! The library half exposes [`run`] so the whole surface is unit-tested
 //! without spawning processes.
@@ -28,16 +35,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod report;
+pub mod spec;
+
 use fedsz::{ErrorBound, FedSz, FedSzConfig, LosslessKind, LossyKind};
 use fedsz_data::DatasetKind;
 use fedsz_fl::net::{global_checksum, run_worker, NetServer, Role, ServeConfig, WorkerConfig};
 use fedsz_fl::{
-    AggregationPolicy, DownlinkMode, Experiment, FlConfig, LinkProfile, PsumMode, ShardPlan,
-    TreePlan,
+    AggregationPolicy, DownlinkMode, Experiment, FlConfig, LinkProfile, PsumMode, TreePlan,
 };
 use fedsz_nn::models::specs::ModelSpec;
 use fedsz_nn::models::tiny::TinyArch;
 use fedsz_nn::StateDict;
+use report::{RoundRow, RunReport};
 use std::fmt::Write as _;
 use std::path::Path;
 use std::time::Duration;
@@ -71,20 +81,22 @@ USAGE:
                  [--lossless blosc-lz|zlib|gzip|zstd|xz] [--threshold N]
   fedsz decompress <in.fsz> <out.fsd>
   fedsz inspect <file>
-  fedsz fl [--clients N] [--rounds N] [--arch alexnet|mobilenetv2|resnet]
+  fedsz fl [--config FILE] [--json] [--clients N] [--rounds N]
+           [--arch alexnet|mobilenetv2|resnet]
            [--participation F] [--bandwidth MBPS] [--links MBPS,MBPS,...]
            [--latency MS] [--straggler ID:FACTOR]... [--drop ID:PROB]...
            [--policy sync|buffered:K] [--adaptive] [--non-iid ALPHA]
            [--weighted] [--no-compress] [--seed N] [--train-per-class N]
            [--shards S] [--tree F1xF2x...] [--psum raw|lossless|auto]
            [--downlink raw|fedsz|auto]
-  fedsz serve [--bind ADDR] [--clients N] [--rounds N] [--seed N]
+  fedsz serve [--config FILE] [--json] [--bind ADDR] [--clients N]
+              [--rounds N] [--seed N]
               [--train-per-class N] [--arch ...] [--no-compress]
               [--downlink raw|fedsz] [--shards S] [--psum raw|lossless]
               [--shard I --connect ADDR] [--accept-timeout SECS]
               [--round-timeout SECS]
-  fedsz worker --id K [--connect ADDR] [--clients N] [--rounds N]
-               [--seed N] [--train-per-class N] [--arch ...]
+  fedsz worker --id K [--config FILE] [--connect ADDR] [--clients N]
+               [--rounds N] [--seed N] [--train-per-class N] [--arch ...]
                [--no-compress] [--adaptive] [--timeout SECS]
 
 `fedsz fl` runs a federated session on the shared round engine. With
@@ -113,18 +125,36 @@ process; both `fl` and `serve` print a `global checksum` line so
 parity is a diff away. A worker with --adaptive applies Eqn 1 to its
 own MEASURED send bandwidth and codec times instead of a simulated
 link profile.
+
+`fl`, `serve` and `worker` all accept --config FILE: a flat TOML
+run spec whose keys are these flags (clients = 8, tree = \"2x4\",
+weighted = true, straggler = [\"0:4\"]...). Explicit flags override
+file values, so one spec can drive a whole fleet while each process
+sets only --id/--bind/--connect (see examples/configs/). Every
+configuration is validated up front — out-of-range shard counts,
+contradictory topology, bad participation and the like fail with an
+actionable message before anything runs. `fl` and `serve` emit one
+shared stable JSON schema (fedsz.run_report.v1: per-round metrics
+columns plus the global checksum) with --json.
 ";
 
 /// Executes a CLI invocation (argv without the program name).
 pub fn run(args: &[String]) -> Outcome {
+    // The run subcommands accept declarative specs: `--config FILE`
+    // expands to the file's equivalent flags, appended after the
+    // explicit ones so the command line wins.
+    let with_spec = |f: fn(&[String]) -> Outcome, args: &[String]| match spec::expand_config(args) {
+        Ok(expanded) => f(&expanded),
+        Err(e) => Outcome::fail(e),
+    };
     match args.first().map(String::as_str) {
         Some("gen") => gen(&args[1..]),
         Some("compress") => compress(&args[1..]),
         Some("decompress") => decompress(&args[1..]),
         Some("inspect") => inspect(&args[1..]),
-        Some("fl") => fl(&args[1..]),
-        Some("serve") => serve(&args[1..]),
-        Some("worker") => worker(&args[1..]),
+        Some("fl") => with_spec(fl, &args[1..]),
+        Some("serve") => with_spec(serve, &args[1..]),
+        Some("worker") => with_spec(worker, &args[1..]),
         Some("--help") | Some("-h") => Outcome::ok(USAGE.to_string()),
         _ => Outcome::fail(USAGE.to_string()),
     }
@@ -559,6 +589,14 @@ fn fl(args: &[String]) -> Outcome {
         };
     }
 
+    // One validation pass over the assembled configuration: anything
+    // the targeted flag checks above missed (out-of-range shard
+    // counts, contradictory topology, link-list mismatches) fails
+    // here with the plan's actionable message instead of a panic.
+    if let Err(e) = config.plan() {
+        return Outcome::fail(format!("invalid configuration: {e}"));
+    }
+
     // A tree implies per-client last miles into the leaves (the tree
     // topology), even when no explicit link list was given.
     let fanouts = config.tree_fanouts();
@@ -588,8 +626,27 @@ fn fl(args: &[String]) -> Outcome {
         report,
         "round    acc%  train(s)  codec(s)  comm(s)  round(s)     upKB   downKB  ratio  agg  stale  drop"
     );
+    let json = args.iter().any(|a| a == "--json");
     let mut experiment = Experiment::new(config);
     let metrics = experiment.run();
+    let checksum = global_checksum(experiment.global_state());
+    if json {
+        let rounds = metrics
+            .iter()
+            .map(|m| RoundRow {
+                round: m.round,
+                accuracy: Some(m.test_accuracy),
+                merged: m.aggregated_updates,
+                lost: m.dropped_updates,
+                upstream_bytes: m.upstream_bytes,
+                downstream_bytes: m.downstream_bytes,
+                secs: m.round_secs,
+                checksum: None,
+            })
+            .collect();
+        let report = RunReport { command: "fl", clients, rounds, checksum: Some(checksum) };
+        return Outcome::ok(report.to_json());
+    }
     for m in &metrics {
         let _ = writeln!(
             report,
@@ -631,8 +688,7 @@ fn fl(args: &[String]) -> Outcome {
     );
     // The bit-parity fingerprint a loopback `serve` + `worker` run of
     // the same config must reproduce.
-    let _ =
-        writeln!(report, "global checksum: 0x{:08x}", global_checksum(experiment.global_state()));
+    let _ = writeln!(report, "global checksum: 0x{checksum:08x}");
     Outcome::ok(report)
 }
 
@@ -686,7 +742,13 @@ fn serve(args: &[String]) -> Outcome {
     if let Err(e) = reject_simulator_flags(args, "serve", &["--adaptive"]) {
         return Outcome::fail(e);
     }
-    if config.tree_fanouts().is_some_and(|f| f.len() > 1) {
+    // Validate once; the socket runtime consumes the canonical plan,
+    // never the raw precedence-ridden knobs.
+    let plan = match config.plan() {
+        Ok(plan) => plan,
+        Err(e) => return Outcome::fail(format!("invalid configuration: {e}")),
+    };
+    if plan.tree_fanouts().is_some_and(|f| f.len() > 1) {
         return Outcome::fail(
             "the socket runtime runs two-level trees: use --shards S \
              (deeper --tree hierarchies are simulator-only for now)"
@@ -715,12 +777,11 @@ fn serve(args: &[String]) -> Outcome {
             let Some(upstream) = flag_value(args, "--connect") else {
                 return Outcome::fail("--shard requires --connect UPSTREAM".into());
             };
-            let Some(fanouts) = config.tree_fanouts() else {
+            let Some(shards) = plan.shard_count() else {
                 return Outcome::fail("--shard requires --shards S (the full tree shape)".into());
             };
-            // The plan's own clamp, checked here so a typo'd index
-            // fails as a CLI error instead of a panic later.
-            let shards = ShardPlan::new(config.clients, fanouts[0]).shards();
+            // Checked here so a typo'd index fails as a CLI error
+            // instead of a panic later.
             if shard as usize >= shards {
                 return Outcome::fail(format!(
                     "--shard {shard} outside the {shards}-shard plan (valid: 0..{shards})"
@@ -729,8 +790,18 @@ fn serve(args: &[String]) -> Outcome {
             Role::Relay { shard, upstream: upstream.to_string() }
         }
     };
+    let json = args.iter().any(|a| a == "--json");
+    let clients = config.clients;
     let serve_config = ServeConfig { fl: config, role, accept_timeout, round_timeout };
-    let expected = serve_config.expected_children().len();
+    // The socket runtime's own constraints (e.g. a `--tree S` spec
+    // that out-leafs the cohort — every shard here is a real relay
+    // process) live in one place: ServeConfig::plan. Reuse its plan
+    // for the child expectation instead of re-validating.
+    let serve_plan = match serve_config.plan() {
+        Ok(plan) => plan,
+        Err(e) => return Outcome::fail(e.to_string()),
+    };
+    let expected = ServeConfig::expected_children_of(&serve_plan, &serve_config.role).len();
     let bind = flag_value(args, "--bind").unwrap_or("127.0.0.1:7070");
     let server = match NetServer::bind(bind) {
         Ok(server) => server,
@@ -744,6 +815,32 @@ fn serve(args: &[String]) -> Outcome {
         Ok(report) => report,
         Err(e) => return Outcome::fail(format!("serve failed: {e}")),
     };
+    if json {
+        let rounds = report
+            .rounds
+            .iter()
+            .map(|r| RoundRow {
+                round: r.round as usize,
+                accuracy: None,
+                merged: r.merged,
+                lost: r.evicted,
+                upstream_bytes: r.upstream_bytes,
+                downstream_bytes: r.downstream_bytes,
+                secs: r.wall_secs,
+                // A relay never holds the global; null beats a bogus
+                // 0x00000000 fingerprint (mirrors the table output's
+                // suppressed `global checksum` line).
+                checksum: (!relay).then_some(r.checksum),
+            })
+            .collect();
+        let run_report = RunReport {
+            command: "serve",
+            clients,
+            rounds,
+            checksum: (!relay).then_some(report.checksum),
+        };
+        return Outcome::ok(run_report.to_json());
+    }
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -791,6 +888,9 @@ fn worker(args: &[String]) -> Outcome {
         return Outcome::fail(e);
     }
     config.adaptive_compression = args.iter().any(|a| a == "--adaptive");
+    if let Err(e) = config.plan() {
+        return Outcome::fail(format!("invalid configuration: {e}"));
+    }
     let Some(id_spec) = flag_value(args, "--id") else {
         return Outcome::fail("worker requires --id K (the client id to embody)".into());
     };
@@ -1017,9 +1117,13 @@ mod tests {
             runv(&["serve", "--shard", "7", "--connect", "h:1", "--shards", "2", "--clients", "4"]);
         assert_ne!(out.code, 0);
         assert!(out.report.contains("outside the 2-shard plan"), "{}", out.report);
-        // Deep trees and adaptive downlink are simulator-only.
+        // Deep trees and adaptive downlink are simulator-only, and a
+        // tree spec that out-leafs the cohort would stall empty relays.
         assert_ne!(runv(&["serve", "--tree", "2x2", "--clients", "4"]).code, 0);
         assert_ne!(runv(&["serve", "--downlink", "auto"]).code, 0);
+        let out = runv(&["serve", "--tree", "9", "--clients", "2"]);
+        assert_ne!(out.code, 0);
+        assert!(out.report.contains("shards <= clients"), "{}", out.report);
         // Bit-shaping simulator flags must be rejected, not silently
         // ignored with a checksum that can never match `fedsz fl`.
         for flag in ["--weighted", "--policy", "--drop"] {
@@ -1076,6 +1180,60 @@ mod tests {
         assert!(out.report.contains("Compressed"), "{}", out.report);
         assert!(out.report.contains("downKB"), "{}", out.report);
         assert!(out.report.contains("root ingress"), "{}", out.report);
+    }
+
+    #[test]
+    fn config_specs_drive_fl_and_flags_override() {
+        let path = temp_path("spec.toml");
+        std::fs::write(&path, "clients = 2\nrounds = 3\ntrain-per-class = 2\nseed = 5\n").unwrap();
+        let out = runv(&["fl", "--config", &path]);
+        assert_eq!(out.code, 0, "{}", out.report);
+        assert!(out.report.contains("2 clients, 3 rounds"), "{}", out.report);
+        // Explicit flags win over the file.
+        let out = runv(&["fl", "--rounds", "1", "--config", &path]);
+        assert_eq!(out.code, 0, "{}", out.report);
+        assert!(out.report.contains("2 clients, 1 rounds"), "{}", out.report);
+        // A typo'd key is a hard error naming the line.
+        std::fs::write(&path, "clientz = 2\n").unwrap();
+        let out = runv(&["fl", "--config", &path]);
+        assert_ne!(out.code, 0);
+        assert!(out.report.contains("unknown key"), "{}", out.report);
+        assert_ne!(runv(&["fl", "--config", "/nonexistent.toml"]).code, 0);
+        cleanup(&[&path]);
+    }
+
+    #[test]
+    fn json_report_carries_the_shared_schema_and_checksum() {
+        let out =
+            runv(&["fl", "--clients", "2", "--rounds", "1", "--train-per-class", "2", "--json"]);
+        assert_eq!(out.code, 0, "{}", out.report);
+        assert!(out.report.contains("\"schema\": \"fedsz.run_report.v1\""), "{}", out.report);
+        assert!(out.report.contains("\"command\": \"fl\""), "{}", out.report);
+        assert!(out.report.contains("\"checksum\": \"0x"), "{}", out.report);
+        // The JSON checksum equals the table output's parity line.
+        let table = runv(&["fl", "--clients", "2", "--rounds", "1", "--train-per-class", "2"]);
+        let fingerprint = table
+            .report
+            .lines()
+            .find(|l| l.starts_with("global checksum"))
+            .and_then(|l| l.split_whitespace().last())
+            .expect("table prints the checksum");
+        assert!(out.report.contains(fingerprint), "{} missing {fingerprint}", out.report);
+    }
+
+    #[test]
+    fn invalid_plans_fail_with_actionable_messages() {
+        // Out-of-range shard counts used to be clamped by the library;
+        // they now fail the plan with the range in the message.
+        let out = runv(&["fl", "--clients", "2", "--shards", "9"]);
+        assert_ne!(out.code, 0);
+        assert!(out.report.contains("9 shards for 2 clients"), "{}", out.report);
+        let out = runv(&["serve", "--clients", "2", "--shards", "9"]);
+        assert_ne!(out.code, 0);
+        assert!(out.report.contains("invalid configuration"), "{}", out.report);
+        let out = runv(&["worker", "--id", "0", "--clients", "2", "--shards", "9"]);
+        assert_ne!(out.code, 0);
+        assert!(out.report.contains("invalid configuration"), "{}", out.report);
     }
 
     #[test]

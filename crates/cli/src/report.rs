@@ -1,0 +1,238 @@
+//! The structured run report behind `--json` on `fedsz fl` and
+//! `fedsz serve`.
+//!
+//! Both subcommands print human tables by default; automation needs
+//! one stable, parseable schema instead — the config-smoke CI job
+//! parses every example spec's output and checks the checksum field.
+//! [`RunReport`] is that schema, shared by the simulator and the
+//! socket runtime so a parity harness can diff the two without
+//! scraping either one's table format:
+//!
+//! ```json
+//! {
+//!   "schema": "fedsz.run_report.v1",
+//!   "schema_version": 1,
+//!   "command": "fl",
+//!   "clients": 4,
+//!   "rounds": [
+//!     {"round": 0, "accuracy": 0.25, "merged": 4, "lost": 0,
+//!      "upstream_bytes": 1234, "downstream_bytes": 5678,
+//!      "secs": 0.125, "checksum": null},
+//!     ...
+//!   ],
+//!   "checksum": "0x82c3c3f4"
+//! }
+//! ```
+//!
+//! Fields a side cannot produce are `null`, never omitted: `fl` has
+//! accuracies but no per-round checksums, `serve` the reverse — the
+//! column set itself is identical, which is what makes the schema
+//! *one* schema. The top-level `checksum` is the same bit-parity
+//! fingerprint both subcommands print as `global checksum: 0x…` in
+//! table mode.
+//!
+//! The emitter is hand-rolled (no serde in the dependency-free
+//! workspace); every string that reaches it is machine-generated, but
+//! [`json_string`] escapes defensively anyway.
+
+use std::fmt::Write as _;
+
+/// One round's columns, shared by `fl` and `serve`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundRow {
+    /// Round index (0-based).
+    pub round: usize,
+    /// Post-round test accuracy (`None` for `serve`, which never
+    /// evaluates).
+    pub accuracy: Option<f64>,
+    /// Updates folded into the aggregate.
+    pub merged: usize,
+    /// Updates that never made it: simulator transit drops, or socket
+    /// evictions.
+    pub lost: usize,
+    /// Client/child → server bytes on the wire.
+    pub upstream_bytes: usize,
+    /// Server → client/child bytes on the wire.
+    pub downstream_bytes: usize,
+    /// Round duration: virtual seconds for the simulator, wall-clock
+    /// for the socket runtime.
+    pub secs: f64,
+    /// Post-round global checksum (`None` for `fl`, which fingerprints
+    /// only the final model).
+    pub checksum: Option<u32>,
+}
+
+/// The complete `--json` payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// Which subcommand produced the report (`"fl"` or `"serve"`).
+    pub command: &'static str,
+    /// Cohort size.
+    pub clients: usize,
+    /// Per-round columns.
+    pub rounds: Vec<RoundRow>,
+    /// The final global model's bit-parity fingerprint (`None` for a
+    /// relay `serve`, which never holds the global — emitting a zero
+    /// here would read as a bogus divergence to a parity harness).
+    pub checksum: Option<u32>,
+}
+
+/// The schema tag every report carries.
+pub const RUN_REPORT_SCHEMA: &str = "fedsz.run_report.v1";
+
+/// The schema version every report (and the BENCH emitters) carries.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Escapes a string for a JSON string literal.
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".to_string() // JSON has no Infinity/NaN
+    }
+}
+
+impl RunReport {
+    /// Renders the stable-schema JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{{");
+        let _ = writeln!(out, "  \"schema\": {},", json_string(RUN_REPORT_SCHEMA));
+        let _ = writeln!(out, "  \"schema_version\": {SCHEMA_VERSION},");
+        let _ = writeln!(out, "  \"command\": {},", json_string(self.command));
+        let _ = writeln!(out, "  \"clients\": {},", self.clients);
+        let _ = writeln!(out, "  \"rounds\": [");
+        for (i, row) in self.rounds.iter().enumerate() {
+            let accuracy = row.accuracy.map_or("null".to_string(), json_f64);
+            let checksum =
+                row.checksum.map_or("null".to_string(), |c| json_string(&format!("0x{c:08x}")));
+            let _ = write!(
+                out,
+                "    {{\"round\": {}, \"accuracy\": {}, \"merged\": {}, \"lost\": {}, \
+                 \"upstream_bytes\": {}, \"downstream_bytes\": {}, \"secs\": {}, \
+                 \"checksum\": {}}}",
+                row.round,
+                accuracy,
+                row.merged,
+                row.lost,
+                row.upstream_bytes,
+                row.downstream_bytes,
+                json_f64(row.secs),
+                checksum,
+            );
+            let _ = writeln!(out, "{}", if i + 1 < self.rounds.len() { "," } else { "" });
+        }
+        let _ = writeln!(out, "  ],");
+        let checksum =
+            self.checksum.map_or("null".to_string(), |c| json_string(&format!("0x{c:08x}")));
+        let _ = writeln!(out, "  \"checksum\": {checksum}");
+        let _ = writeln!(out, "}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunReport {
+        RunReport {
+            command: "fl",
+            clients: 2,
+            rounds: vec![
+                RoundRow {
+                    round: 0,
+                    accuracy: Some(0.25),
+                    merged: 2,
+                    lost: 0,
+                    upstream_bytes: 100,
+                    downstream_bytes: 200,
+                    secs: 0.5,
+                    checksum: None,
+                },
+                RoundRow {
+                    round: 1,
+                    accuracy: None,
+                    merged: 1,
+                    lost: 1,
+                    upstream_bytes: 50,
+                    downstream_bytes: 100,
+                    secs: f64::INFINITY,
+                    checksum: Some(0xdeadbeef),
+                },
+            ],
+            checksum: Some(0x82c3c3f4),
+        }
+    }
+
+    #[test]
+    fn report_carries_schema_and_checksum() {
+        let json = sample().to_json();
+        assert!(json.contains("\"schema\": \"fedsz.run_report.v1\""), "{json}");
+        assert!(json.contains("\"schema_version\": 1"), "{json}");
+        assert!(json.contains("\"checksum\": \"0x82c3c3f4\""), "{json}");
+        assert!(json.contains("\"checksum\": \"0xdeadbeef\""), "{json}");
+        // Missing columns are null, never omitted (one schema).
+        assert!(json.contains("\"accuracy\": null"), "{json}");
+        assert!(json.contains("\"checksum\": null"), "{json}");
+        // Non-finite values cannot leak into JSON.
+        assert!(json.contains("\"secs\": null"), "{json}");
+        assert!(!json.contains("inf"), "{json}");
+        // A relay report (no global model) nulls the fingerprint
+        // instead of printing a bogus 0x00000000.
+        let relay = RunReport { checksum: None, ..sample() };
+        assert!(relay.to_json().contains("\"checksum\": null"), "{}", relay.to_json());
+        assert!(!relay.to_json().contains("0x00000000"));
+    }
+
+    #[test]
+    fn json_strings_escape_control_characters() {
+        assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn report_is_structurally_valid_json() {
+        // A tiny structural walk: balanced braces/brackets outside
+        // strings — the full parse happens in the CI smoke with a real
+        // JSON parser.
+        let json = sample().to_json();
+        let (mut depth, mut in_string, mut escaped) = (0i32, false, false);
+        for c in json.chars() {
+            if escaped {
+                escaped = false;
+                continue;
+            }
+            match c {
+                '\\' if in_string => escaped = true,
+                '"' => in_string = !in_string,
+                '{' | '[' if !in_string => depth += 1,
+                '}' | ']' if !in_string => depth -= 1,
+                _ => {}
+            }
+            assert!(depth >= 0, "unbalanced close in {json}");
+        }
+        assert_eq!(depth, 0, "unbalanced braces in {json}");
+        assert!(!in_string, "unterminated string in {json}");
+    }
+}

@@ -1,0 +1,457 @@
+//! Declarative run specs: a dependency-free TOML-subset parser that
+//! turns `run.toml` files into the exact flag vocabulary the CLI
+//! already speaks.
+//!
+//! `fedsz fl|serve|worker --config run.toml` reads a key/value file
+//! and appends the equivalent flags after the command-line ones,
+//! dropping any file key whose flag the command line already set —
+//! command-line flags override file values (repeatable flags
+//! included: an explicit `--straggler` replaces the file's whole
+//! `straggler` list, it does not merge with it). The same config file
+//! can therefore drive a whole fleet while each process overrides
+//! only what differs (`--id`, `--bind`, `--connect`).
+//!
+//! The accepted grammar is the flat subset of TOML a run spec needs:
+//!
+//! ```toml
+//! # comments and blank lines
+//! clients = 8              # integers / floats stay verbatim
+//! tree = "2x4"             # quoted or bare strings
+//! psum = "lossless"
+//! weighted = true          # booleans become bare flags
+//! straggler = ["0:4", "1:2"]   # arrays repeat the flag
+//! ```
+//!
+//! No tables/sections, no multi-line values, no escapes — a `[table]`
+//! header or an unknown key is a *hard error*, because a silently
+//! ignored key in a run spec is exactly the class of misconfiguration
+//! the plan layer exists to reject. Keys may use `_` or `-`
+//! interchangeably (`train_per_class` = `train-per-class`).
+
+use std::fmt::Write as _;
+
+/// One parsed spec value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpecValue {
+    /// A scalar: number or string, kept verbatim for the flag parser
+    /// to re-parse (so the file and the flag path share one
+    /// validation).
+    Scalar(String),
+    /// A boolean: `true` appends the bare flag, `false` omits it.
+    Bool(bool),
+    /// An array of scalars: the flag is repeated once per element.
+    List(Vec<String>),
+}
+
+/// Every key a run spec may set, i.e. every `--flag` of the `fl`,
+/// `serve` and `worker` subcommands (bit-shaping flags shared by all
+/// three, simulator-only knobs for `fl`, socket knobs for
+/// `serve`/`worker`). A key behaves exactly like the equivalent flag
+/// on the invoked subcommand — including `serve`/`worker` *rejecting*
+/// simulator-only keys (`bandwidth`, `weighted`, `participation`, …),
+/// since several of them shape the bits and silently ignoring one
+/// would let a deployment print a checksum that can never match its
+/// `fl` twin. A spec meant to drive a whole serve+worker fleet must
+/// therefore stick to the bit-shaping keys (see
+/// `examples/configs/socket.toml`); fl-only specs may use everything.
+const KNOWN_KEYS: &[&str] = &[
+    // Shared bit-shaping configuration.
+    "clients",
+    "rounds",
+    "seed",
+    "train-per-class",
+    "arch",
+    "non-iid",
+    "shards",
+    "tree",
+    "psum",
+    "downlink",
+    // fl simulator knobs.
+    "participation",
+    "bandwidth",
+    "latency",
+    "links",
+    "straggler",
+    "drop",
+    "policy",
+    // Socket runtime knobs.
+    "bind",
+    "connect",
+    "shard",
+    "id",
+    "accept-timeout",
+    "round-timeout",
+    "timeout",
+];
+
+/// Keys that are bare boolean flags rather than `--key value` pairs.
+const BOOL_KEYS: &[&str] = &["no-compress", "adaptive", "weighted"];
+
+/// Keys whose flag is genuinely repeatable — the only ones an array
+/// value is legal for. Everything else takes one value (the CLI's
+/// flag parser reads only the first occurrence, so an array on a
+/// scalar key would silently drop all but its head — the exact silent
+/// misconfiguration run specs exist to reject).
+const REPEATABLE_KEYS: &[&str] = &["straggler", "drop"];
+
+fn normalize_key(key: &str) -> String {
+    key.replace('_', "-")
+}
+
+/// Parses one value token: quoted string, boolean, bare scalar, or a
+/// single-line array of those.
+fn parse_value(raw: &str, line_no: usize) -> Result<SpecValue, String> {
+    let raw = raw.trim();
+    if raw.is_empty() {
+        return Err(format!("line {line_no}: missing value"));
+    }
+    if let Some(body) = raw.strip_prefix('[') {
+        let Some(body) = body.strip_suffix(']') else {
+            return Err(format!("line {line_no}: unterminated array (arrays are single-line)"));
+        };
+        let mut items = Vec::new();
+        for item in body.split(',') {
+            let item = item.trim();
+            if item.is_empty() {
+                continue; // tolerate a trailing comma
+            }
+            match parse_value(item, line_no)? {
+                SpecValue::Scalar(s) => items.push(s),
+                SpecValue::Bool(_) => {
+                    return Err(format!("line {line_no}: arrays may not contain booleans"))
+                }
+                SpecValue::List(_) => {
+                    return Err(format!("line {line_no}: nested arrays are not supported"))
+                }
+            }
+        }
+        return Ok(SpecValue::List(items));
+    }
+    if let Some(body) = raw.strip_prefix('"') {
+        let Some(body) = body.strip_suffix('"') else {
+            return Err(format!("line {line_no}: unterminated string"));
+        };
+        if body.contains('"') || body.contains('\\') {
+            return Err(format!("line {line_no}: escapes are not supported in spec strings"));
+        }
+        return Ok(SpecValue::Scalar(body.to_string()));
+    }
+    match raw {
+        "true" => Ok(SpecValue::Bool(true)),
+        "false" => Ok(SpecValue::Bool(false)),
+        _ => {
+            if raw.contains('"') {
+                return Err(format!("line {line_no}: malformed value `{raw}`"));
+            }
+            Ok(SpecValue::Scalar(raw.to_string()))
+        }
+    }
+}
+
+/// Strips a `#` comment, respecting quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Parses a run spec into `(key, value)` entries, in file order.
+///
+/// # Errors
+///
+/// Returns a message naming the offending line for any syntax the
+/// subset does not cover, and for unknown keys (silently ignoring a
+/// typo'd key is exactly what run specs must not do).
+pub fn parse_spec(text: &str) -> Result<Vec<(String, SpecValue)>, String> {
+    let mut entries = Vec::new();
+    for (idx, raw_line) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = strip_comment(raw_line).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') {
+            return Err(format!(
+                "line {line_no}: tables like `{line}` are not supported (run specs are flat)"
+            ));
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!("line {line_no}: expected `key = value`, got `{line}`"));
+        };
+        let key = normalize_key(key.trim());
+        if key.is_empty() || !key.chars().all(|c| c.is_ascii_alphanumeric() || c == '-') {
+            return Err(format!("line {line_no}: bad key `{key}`"));
+        }
+        if !KNOWN_KEYS.contains(&key.as_str()) && !BOOL_KEYS.contains(&key.as_str()) {
+            return Err(format!(
+                "line {line_no}: unknown key `{key}` (see `fedsz --help` for the flag list)"
+            ));
+        }
+        if entries.iter().any(|(k, _)| *k == key) {
+            return Err(format!("line {line_no}: duplicate key `{key}`"));
+        }
+        let value = parse_value(value, line_no)?;
+        if BOOL_KEYS.contains(&key.as_str()) && !matches!(value, SpecValue::Bool(_)) {
+            return Err(format!("line {line_no}: `{key}` expects true or false"));
+        }
+        if KNOWN_KEYS.contains(&key.as_str()) && matches!(value, SpecValue::Bool(_)) {
+            return Err(format!("line {line_no}: `{key}` expects a value, not a boolean"));
+        }
+        if matches!(value, SpecValue::List(_)) && !REPEATABLE_KEYS.contains(&key.as_str()) {
+            return Err(format!(
+                "line {line_no}: `{key}` takes one value, not an array (arrays are only \
+                 legal for repeatable flags: {})",
+                REPEATABLE_KEYS.join(", ")
+            ));
+        }
+        entries.push((key, value));
+    }
+    Ok(entries)
+}
+
+/// Renders parsed entries as the flag vector they are equivalent to.
+pub fn spec_to_args(entries: &[(String, SpecValue)]) -> Vec<String> {
+    let mut args = Vec::new();
+    for (key, value) in entries {
+        let flag = format!("--{key}");
+        match value {
+            SpecValue::Scalar(v) => {
+                args.push(flag);
+                args.push(v.clone());
+            }
+            SpecValue::Bool(true) => args.push(flag),
+            SpecValue::Bool(false) => {}
+            SpecValue::List(items) => {
+                for item in items {
+                    args.push(flag.clone());
+                    args.push(item.clone());
+                }
+            }
+        }
+    }
+    args
+}
+
+/// Expands a `--config FILE` flag: returns the argument vector with
+/// the file's equivalent flags appended *after* the command-line ones.
+/// A file key whose `--flag` already appears on the command line is
+/// dropped entirely, so explicit flags override file values for
+/// scalars *and* for repeatable flags (where the flag parser would
+/// otherwise merge both sources and apply the file's values last).
+/// Without `--config` the args pass through untouched.
+///
+/// # Errors
+///
+/// Returns a message when the file cannot be read or fails to parse.
+pub fn expand_config(args: &[String]) -> Result<Vec<String>, String> {
+    let Some(pos) = args.iter().position(|a| a == "--config") else {
+        return Ok(args.to_vec());
+    };
+    let Some(path) = args.get(pos + 1) else {
+        return Err("--config requires a file path".into());
+    };
+    if args[pos + 2..].iter().any(|a| a == "--config") {
+        return Err("--config may be given at most once".into());
+    }
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut entries = parse_spec(&text).map_err(|e| format!("{path}: {e}"))?;
+    // `shards` and `tree` are two spellings of one logical topology
+    // setting (the plan layer rejects them together), so an explicit
+    // topology flag overrides the file's topology under either name —
+    // otherwise `--shards 4` against a spec with `tree = "2x4"` would
+    // hard-fail as a conflict the user cannot resolve from the CLI.
+    let cli_sets_topology = args.iter().any(|a| a == "--shards" || a == "--tree");
+    entries.retain(|(key, _)| {
+        if cli_sets_topology && (key == "shards" || key == "tree") {
+            return false;
+        }
+        !args.iter().any(|a| *a == format!("--{key}"))
+    });
+    let mut expanded: Vec<String> = Vec::with_capacity(args.len() + entries.len() * 2);
+    expanded.extend_from_slice(&args[..pos]);
+    expanded.extend_from_slice(&args[pos + 2..]);
+    expanded.extend(spec_to_args(&entries));
+    Ok(expanded)
+}
+
+/// Renders entries back as canonical spec text (used by tests to
+/// assert round-tripping, and handy for generating example files).
+pub fn render_spec(entries: &[(String, SpecValue)]) -> String {
+    let mut out = String::new();
+    for (key, value) in entries {
+        match value {
+            SpecValue::Scalar(v) => {
+                if v.parse::<f64>().is_ok() {
+                    let _ = writeln!(out, "{key} = {v}");
+                } else {
+                    let _ = writeln!(out, "{key} = \"{v}\"");
+                }
+            }
+            SpecValue::Bool(b) => {
+                let _ = writeln!(out, "{key} = {b}");
+            }
+            SpecValue::List(items) => {
+                let quoted: Vec<String> = items.iter().map(|i| format!("\"{i}\"")).collect();
+                let _ = writeln!(out, "{key} = [{}]", quoted.join(", "));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_documented_subset() {
+        let spec = r#"
+            # a run spec
+            clients = 8
+            tree = "2x4"            # inline comment
+            psum = lossless
+            weighted = true
+            adaptive = false
+            participation = 0.5
+            straggler = ["0:4", "1:2"]
+        "#;
+        let entries = parse_spec(spec).unwrap();
+        let args = spec_to_args(&entries);
+        assert_eq!(
+            args,
+            vec![
+                "--clients",
+                "8",
+                "--tree",
+                "2x4",
+                "--psum",
+                "lossless",
+                "--weighted",
+                "--participation",
+                "0.5",
+                "--straggler",
+                "0:4",
+                "--straggler",
+                "1:2",
+            ]
+        );
+    }
+
+    #[test]
+    fn underscores_normalize_to_dashes() {
+        let entries = parse_spec("train_per_class = 4").unwrap();
+        assert_eq!(spec_to_args(&entries), vec!["--train-per-class", "4"]);
+    }
+
+    #[test]
+    fn junk_is_rejected_with_line_numbers() {
+        for (spec, needle) in [
+            ("[section]\nclients = 2", "tables"),
+            ("clients 2", "key = value"),
+            ("frobnicate = 2", "unknown key"),
+            ("clients = ", "missing value"),
+            ("clients = \"2", "unterminated string"),
+            ("straggler = [\"0:1\"", "unterminated array"),
+            ("weighted = 3", "expects true or false"),
+            ("clients = true", "expects a value"),
+            ("clients = 2\nclients = 3", "duplicate"),
+            ("straggler = [true]", "booleans"),
+            ("tree = \"a\\\"b\"", "escapes"),
+            // An array on a scalar key would silently drop all but its
+            // first element at the flag parser; reject it outright.
+            ("links = [100, 1]", "takes one value"),
+            ("clients = [2, 4]", "takes one value"),
+        ] {
+            let err = parse_spec(spec).unwrap_err();
+            assert!(err.contains(needle), "spec {spec:?} gave `{err}`, wanted `{needle}`");
+            assert!(err.contains("line "), "error must name a line: {err}");
+        }
+    }
+
+    #[test]
+    fn expand_appends_file_flags_after_cli_flags() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("fedsz-spec-{}.toml", std::process::id()));
+        std::fs::write(&path, "clients = 8\nrounds = 3\n").unwrap();
+        let args: Vec<String> = ["--rounds", "1", "--config", path.to_str().unwrap()]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let expanded = expand_config(&args).unwrap();
+        // The CLI set --rounds, so the file's rounds entry is dropped.
+        assert_eq!(expanded, vec!["--rounds", "1", "--clients", "8"]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn cli_topology_flags_override_either_file_spelling() {
+        // `shards` and `tree` are one logical setting: an explicit
+        // --shards must displace a file's `tree` (and vice versa)
+        // instead of colliding into a contradictory-topology error.
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("fedsz-spec-topo-{}.toml", std::process::id()));
+        std::fs::write(&path, "tree = \"2x4\"\nrounds = 2\n").unwrap();
+        let args: Vec<String> = ["--shards", "4", "--config", path.to_str().unwrap()]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let expanded = expand_config(&args).unwrap();
+        assert_eq!(expanded, vec!["--shards", "4", "--rounds", "2"]);
+        std::fs::write(&path, "shards = 2\n").unwrap();
+        let args: Vec<String> = ["--tree", "2x2", "--config", path.to_str().unwrap()]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let expanded = expand_config(&args).unwrap();
+        assert_eq!(expanded, vec!["--tree", "2x2"]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn cli_flags_override_repeatable_file_flags_too() {
+        // Repeatable flags are applied in order by the CLI (last
+        // assignment to a client wins), so merging file values after
+        // the command line's would silently invert precedence — the
+        // whole file entry must be dropped instead.
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("fedsz-spec-rep-{}.toml", std::process::id()));
+        std::fs::write(&path, "straggler = [\"0:8\"]\ndrop = [\"1:0.5\"]\n").unwrap();
+        let args: Vec<String> = ["--straggler", "0:2", "--config", path.to_str().unwrap()]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let expanded = expand_config(&args).unwrap();
+        assert_eq!(
+            expanded,
+            vec!["--straggler", "0:2", "--drop", "1:0.5"],
+            "the file's straggler list must be dropped, its drop list kept"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn expand_without_config_is_identity_and_errors_are_clean() {
+        let args: Vec<String> = vec!["--clients".into(), "2".into()];
+        assert_eq!(expand_config(&args).unwrap(), args);
+        let missing: Vec<String> = vec!["--config".into()];
+        assert!(expand_config(&missing).unwrap_err().contains("file path"));
+        let nofile: Vec<String> = vec!["--config".into(), "/nonexistent.toml".into()];
+        assert!(expand_config(&nofile).unwrap_err().contains("cannot read"));
+        let twice: Vec<String> =
+            vec!["--config".into(), "/a".into(), "--config".into(), "/b".into()];
+        assert!(expand_config(&twice).unwrap_err().contains("at most once"));
+    }
+
+    #[test]
+    fn render_round_trips() {
+        let entries = parse_spec("clients = 4\narch = \"alexnet\"\nweighted = true\n").unwrap();
+        let rendered = render_spec(&entries);
+        assert_eq!(parse_spec(&rendered).unwrap(), entries);
+    }
+}

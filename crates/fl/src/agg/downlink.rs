@@ -19,6 +19,7 @@
 //! transfer) against raw transfer on the cohort's *bottleneck* link,
 //! and falls back to raw bytes whenever compression loses.
 
+use crate::plan::{PlanError, StageLeg, StagePolicy};
 use fedsz::timing::CostProfile;
 use fedsz::{FedSz, FedSzConfig, Result};
 use fedsz_nn::StateDict;
@@ -82,6 +83,25 @@ impl Downlink {
             "downlink compression requires a FedSZ configuration"
         );
         Self { mode, codec: codec.map(FedSz::new), profile: None }
+    }
+
+    /// Builds the stage from a validated plan-level [`StagePolicy`] —
+    /// the constructor the plan-based engine and socket runtime use.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PlanError`] when the policy is illegal on the
+    /// broadcast leg (lossless, adaptive-over-raw, …), so even a
+    /// hand-built plan cannot smuggle one in.
+    pub fn from_policy(policy: &StagePolicy) -> std::result::Result<Self, PlanError> {
+        policy.validate_for(StageLeg::Downlink)?;
+        let (mode, codec) = match policy {
+            StagePolicy::Raw => (DownlinkMode::Raw, None),
+            StagePolicy::Lossy(config) => (DownlinkMode::Compressed, Some(*config)),
+            StagePolicy::Adaptive { .. } => (DownlinkMode::Adaptive, policy.fedsz()),
+            StagePolicy::Lossless => unreachable!("rejected by validate_for"),
+        };
+        Ok(Self::new(mode, codec))
     }
 
     /// The configured mode.

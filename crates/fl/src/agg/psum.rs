@@ -18,6 +18,7 @@
 //! aggregation path instead.
 
 use crate::agg::shard::PartialSum;
+use crate::plan::{PlanError, StageLeg, StagePolicy};
 use crate::protocol::Message;
 use fedsz::timing::CostProfile;
 use fedsz_lossless::PsumCodec;
@@ -82,6 +83,25 @@ impl PsumForwarder {
     /// Builds the forwarder in the given mode.
     pub fn new(mode: PsumMode) -> Self {
         Self { mode, codec: PsumCodec::new(), profile: None }
+    }
+
+    /// Builds the forwarder from a validated plan-level
+    /// [`StagePolicy`] — the constructor the plan-based engine uses.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PlanError`] when the policy is illegal on the
+    /// partial-sum leg (a lossy policy here would break the tree's
+    /// bit-parity with flat FedAvg).
+    pub fn from_policy(policy: &StagePolicy) -> Result<Self, PlanError> {
+        policy.validate_for(StageLeg::Psum)?;
+        let mode = match policy {
+            StagePolicy::Raw => PsumMode::Raw,
+            StagePolicy::Lossless => PsumMode::Lossless,
+            StagePolicy::Adaptive { .. } => PsumMode::Adaptive,
+            StagePolicy::Lossy(_) => unreachable!("rejected by validate_for"),
+        };
+        Ok(Self::new(mode))
     }
 
     /// The configured mode.

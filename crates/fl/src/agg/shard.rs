@@ -160,14 +160,28 @@ pub struct ShardPlan {
 }
 
 impl ShardPlan {
-    /// Builds a plan; `shards` is clamped to `[1, clients]`.
+    /// Builds a plan over `shards` edge aggregators.
+    ///
+    /// Historically `shards` was silently clamped to `[1, clients]`,
+    /// which let a typo'd deployment "work" with a different topology
+    /// than asked for. Out-of-range counts are now rejected:
+    /// validated configurations go through
+    /// [`FlConfig::plan`](crate::FlConfig::plan), which surfaces the
+    /// same condition as a recoverable
+    /// [`PlanError::ShardsOutOfRange`](crate::plan::PlanError) before
+    /// this constructor ever runs.
     ///
     /// # Panics
     ///
-    /// Panics when `clients == 0`.
+    /// Panics when `clients == 0` or `shards` is outside
+    /// `[1, clients]`.
     pub fn new(clients: usize, shards: usize) -> Self {
         assert!(clients > 0, "need at least one client to shard");
-        Self { clients, shards: shards.clamp(1, clients) }
+        assert!(
+            (1..=clients).contains(&shards),
+            "shards must be in [1, clients], got {shards} shards for {clients} clients"
+        );
+        Self { clients, shards }
     }
 
     /// Total clients covered by the plan.
@@ -630,7 +644,7 @@ mod tests {
 
     #[test]
     fn shard_plan_partitions_contiguously() {
-        for (clients, shards) in [(10, 3), (16, 16), (7, 2), (100, 7), (5, 9)] {
+        for (clients, shards) in [(10, 3), (16, 16), (7, 2), (100, 7), (5, 1)] {
             let plan = ShardPlan::new(clients, shards);
             let mut covered = 0usize;
             for s in 0..plan.shards() {
@@ -651,6 +665,18 @@ mod tests {
         let sizes: Vec<usize> = (0..3).map(|s| plan.range(s).len()).collect();
         assert_eq!(sizes.iter().sum::<usize>(), 10);
         assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "shards must be in [1, clients]")]
+    fn zero_shards_are_rejected_not_clamped() {
+        let _ = ShardPlan::new(4, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shards must be in [1, clients]")]
+    fn oversized_shard_counts_are_rejected_not_clamped() {
+        let _ = ShardPlan::new(4, 5);
     }
 
     #[test]

@@ -26,6 +26,7 @@ use crate::agg::plan::TreePlan;
 use crate::agg::psum::{PsumForwarder, PsumFrame, PsumMode};
 use crate::agg::shard::{PartialSum, ShardPlan};
 use crate::link::LinkProfile;
+use crate::plan::{PlanError, StagePolicy};
 use fedsz_nn::StateDict;
 use std::time::Instant;
 
@@ -187,6 +188,30 @@ impl ShardedTree {
             }
         }
         Self { plan, levels, forwarder: PsumForwarder::new(psum) }
+    }
+
+    /// Builds the tree from a validated plan-level [`StagePolicy`] for
+    /// the partial-sum leg — the constructor the plan-based engine
+    /// uses.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PlanError`] when the policy is illegal on the
+    /// partial-sum leg (e.g. lossy, which would break bit-parity).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `levels` does not match the plan's shape (see
+    /// [`ShardedTree::new`]).
+    pub fn from_policy(
+        plan: TreePlan,
+        levels: Option<Vec<Vec<LinkProfile>>>,
+        psum: &StagePolicy,
+    ) -> Result<Self, PlanError> {
+        let forwarder = PsumForwarder::from_policy(psum)?;
+        let mut tree = Self::new(plan, levels, forwarder.mode());
+        tree.forwarder = forwarder;
+        Ok(tree)
     }
 
     /// PR 2's two-level shape: one tier of edge aggregators over a

@@ -8,7 +8,8 @@
 //! is the single shared implementation: it owns cohort selection, local
 //! training, the per-client compress-or-not decision, payload movement
 //! through a pluggable [`Transport`], the virtual-time event queue over
-//! per-client [`LinkProfile`]s, aggregation under an
+//! per-client [`LinkProfile`](crate::link::LinkProfile)s, aggregation
+//! under an
 //! [`AggregationPolicy`], and evaluation. `Experiment` and `run_session`
 //! are now thin adapters over this type with different transports.
 //!
@@ -33,11 +34,9 @@
 //!   stragglers' updates are buffered and folded into the *next* round's
 //!   average with a staleness-discounted weight.
 
-use crate::agg::{
-    AggOutcome, Aggregator, Contribution, Downlink, DownlinkMode, FlatAggregator, ShardedTree,
-    TreePlan,
-};
-use crate::link::{self, Departure, LinkProfile, Topology};
+use crate::agg::{AggOutcome, Aggregator, Contribution, Downlink, FlatAggregator, ShardedTree};
+use crate::link::{self, Departure, Topology};
+use crate::plan::{RoundPlan, StagePolicy};
 use crate::transport::Transport;
 use crate::{Client, FlConfig, RoundMetrics};
 use fedsz::timing::CostProfile;
@@ -45,10 +44,6 @@ use fedsz::FedSz;
 use fedsz_nn::loss::top1_accuracy;
 use fedsz_nn::{Model, StateDict};
 use std::time::Instant;
-
-/// Default edge-aggregator uplink: edges sit in well-provisioned tiers
-/// (1 Gbps), unlike last-mile clients.
-const DEFAULT_EDGE_BPS: f64 = 1e9;
 
 /// When the server aggregates a round's uploads.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -101,6 +96,9 @@ struct ServerUpdate {
 /// a transport and a link topology.
 pub struct RoundEngine {
     config: FlConfig,
+    /// Canonical upload-leg policy from the plan (the engine never
+    /// consults `config.compression`/`config.adaptive_compression`).
+    uplink: StagePolicy,
     clients: Vec<Client>,
     global: StateDict,
     eval_model: Box<dyn Model>,
@@ -115,16 +113,31 @@ pub struct RoundEngine {
 }
 
 impl RoundEngine {
-    /// Builds the engine: generates data, shards it across clients
-    /// (IID round-robin or Dirichlet non-IID), initializes the global
-    /// model and resolves the link topology.
+    /// Builds the engine from an ergonomic [`FlConfig`], validating it
+    /// through [`FlConfig::plan`] first.
     ///
     /// # Panics
     ///
-    /// Panics if `config.links` is present but does not provide exactly
-    /// one profile per client, or if `config.clients == 0`.
+    /// Panics with the [`PlanError`](crate::plan::PlanError) message
+    /// when the configuration is invalid (mismatched link lists,
+    /// out-of-range shard counts, …). Fallible callers should run
+    /// [`FlConfig::plan`] themselves and use
+    /// [`RoundEngine::from_plan`].
     pub fn new(config: FlConfig, transport: Box<dyn Transport>) -> Self {
-        assert!(config.clients > 0, "need at least one client");
+        let plan = config.plan().unwrap_or_else(|e| panic!("{e}"));
+        Self::from_plan(plan, transport)
+    }
+
+    /// Builds the engine from a validated [`RoundPlan`]: generates
+    /// data, shards it across clients (IID round-robin or Dirichlet
+    /// non-IID), initializes the global model and instantiates the
+    /// plan's canonical topology, aggregator and stage policies.
+    pub fn from_plan(plan: RoundPlan, transport: Box<dyn Transport>) -> Self {
+        let RoundPlan { config, tree, topology, level_links, uplink, downlink, psum } = plan;
+        // Every leg re-validates at executor construction (downlink
+        // and psum below via their from_policy constructors), so even
+        // a hand-built plan cannot smuggle an illegal policy in.
+        uplink.validate_for(crate::plan::StageLeg::Uplink).unwrap_or_else(|e| panic!("{e}"));
         let (train, test) = config.dataset.generate(&config.data);
         // Client construction is shared with the multi-process worker
         // path (`FlConfig::build_client`): both must produce the same
@@ -135,78 +148,23 @@ impl RoundEngine {
             .enumerate()
             .map(|(id, shard)| config.make_client(id, shard))
             .collect();
-        let eval_model = Box::new(config.arch.build(
-            config.seed,
-            config.dataset.channels(),
-            config.data.resolution,
-            config.dataset.classes(),
-        ));
+        // One model-construction rule everywhere (clients, this eval/
+        // global model, the socket server's template) or checksums
+        // diverge.
+        let eval_model = Box::new(config.build_model());
         let global = eval_model.state_dict();
         let (test_inputs, test_targets) = test.full_batch();
-        // Tree plan and per-level aggregator uplinks (tree mode only).
-        // Explicit `edge_links` profiles apply to the leaf tier; inner
-        // tiers always sit on the well-provisioned backbone.
-        let plan = config.tree_fanouts().map(|fanouts| TreePlan::new(config.clients, fanouts));
-        let level_links: Option<Vec<Vec<LinkProfile>>> = plan.as_ref().map(|plan| {
-            let mut levels: Vec<Vec<LinkProfile>> = (1..plan.depth())
-                .map(|l| vec![LinkProfile::symmetric(DEFAULT_EDGE_BPS); plan.nodes_at(l)])
-                .collect();
-            if let Some(edges) = &config.edge_links {
-                assert_eq!(
-                    edges.len(),
-                    plan.leaves(),
-                    "need one edge link per shard ({} links for {} leaf aggregators)",
-                    edges.len(),
-                    plan.leaves()
-                );
-                *levels.last_mut().expect("depth >= 2") = edges.clone();
-            }
-            levels
-        });
-        if let Some(links) = &config.links {
-            assert_eq!(
-                links.len(),
-                config.clients,
-                "need one link profile per client ({} links for {} clients)",
-                links.len(),
-                config.clients
-            );
-        }
-        let topology = match (&config.links, config.bandwidth_bps, &level_links) {
-            // Tree mode: every client keeps its own last mile to its
-            // leaf aggregator; the tree variant carries every tier's
-            // profiles.
-            (Some(links), _, Some(levels)) => {
-                Some(Topology::Tree { clients: links.clone(), levels: levels.clone() })
-            }
-            (None, Some(bw), Some(levels)) => Some(Topology::Tree {
-                clients: vec![
-                    LinkProfile::symmetric(bw).with_latency(config.latency_secs);
-                    config.clients
-                ],
-                levels: levels.clone(),
-            }),
-            (Some(links), _, None) => Some(Topology::Dedicated(links.clone())),
-            (None, Some(bw), None) => {
-                Some(Topology::Shared(LinkProfile::symmetric(bw).with_latency(config.latency_secs)))
-            }
-            (None, None, _) => None,
-        };
-        let aggregator: Box<dyn Aggregator> = match plan {
-            // Aggregator forwards are only priced when a network model
-            // exists.
-            Some(plan) => {
-                Box::new(ShardedTree::new(plan, topology.as_ref().and(level_links), config.psum))
-            }
+        let aggregator: Box<dyn Aggregator> = match tree {
+            Some(tree) => Box::new(
+                ShardedTree::from_policy(tree, level_links, &psum)
+                    .expect("plan validated the psum policy"),
+            ),
             None => Box::new(FlatAggregator),
         };
-        let downlink_codec = match config.downlink {
-            DownlinkMode::Raw => None,
-            DownlinkMode::Compressed | DownlinkMode::Adaptive => config.compression,
-        };
-        let downlink = Downlink::new(config.downlink, downlink_codec);
+        let downlink = Downlink::from_policy(&downlink).expect("plan validated the downlink");
         Self {
             config,
+            uplink,
             clients,
             global,
             eval_model,
@@ -267,16 +225,17 @@ impl RoundEngine {
         (0..total).filter(|&id| mask[id]).collect()
     }
 
-    /// Eqn 1 per-client decision: compress iff the estimated codec time
-    /// plus compressed transfer beats sending raw over this client's
-    /// link. Falls back to "always compress" until a cost profile exists
-    /// (the first compressed round measures one).
+    /// The plan's upload-leg decision for one client: `Raw` never
+    /// compresses, `Lossy` always does, and `Adaptive` runs Eqn 1 —
+    /// compress iff the estimated codec time plus compressed transfer
+    /// beats sending raw over this client's link, falling back to
+    /// "always compress" until a cost profile exists (the first
+    /// compressed round measures one).
     fn should_compress(&self, client: usize) -> bool {
-        if self.config.compression.is_none() {
-            return false;
-        }
-        if !self.config.adaptive_compression {
-            return true;
+        match &self.uplink {
+            StagePolicy::Raw | StagePolicy::Lossless => return false,
+            StagePolicy::Lossy(_) => return true,
+            StagePolicy::Adaptive { .. } => {}
         }
         let (Some(topology), Some(profile)) = (&self.topology, &self.codec_profile) else {
             return true;
@@ -314,7 +273,7 @@ impl RoundEngine {
     /// hardened server).
     pub fn run_round(&mut self, round: usize) -> RoundMetrics {
         let selected = self.select_cohort(round);
-        let fedsz = self.config.compression.map(FedSz::new);
+        let fedsz = self.uplink.fedsz().map(FedSz::new);
         let epochs = self.config.local_epochs;
 
         // Downlink stage: encode the global model ONCE for the whole
@@ -735,6 +694,8 @@ impl RoundEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::agg::DownlinkMode;
+    use crate::link::LinkProfile;
     use crate::transport::{InMemoryTransport, WireTransport};
 
     fn engine(config: FlConfig) -> RoundEngine {
@@ -841,16 +802,24 @@ mod tests {
     }
 
     #[test]
-    fn zero_and_oversized_shard_counts_are_clamped() {
-        // The legacy ShardPlan clamped `shards` to [1, clients];
-        // the TreePlan path must keep accepting those configs.
+    fn zero_and_oversized_shard_counts_are_plan_errors() {
+        // The legacy ShardPlan clamped `shards` to [1, clients]; the
+        // plan now rejects out-of-range counts at build time instead.
         let mut config = FlConfig::smoke_test();
         config.clients = 2;
         config.rounds = 1;
         config.shards = Some(0);
-        assert_eq!(config.tree_fanouts(), Some(vec![1]));
+        assert!(matches!(
+            config.plan(),
+            Err(crate::plan::PlanError::ShardsOutOfRange { shards: 0, clients: 2 })
+        ));
         config.shards = Some(99);
-        assert_eq!(config.tree_fanouts(), Some(vec![2]));
+        assert!(matches!(
+            config.plan(),
+            Err(crate::plan::PlanError::ShardsOutOfRange { shards: 99, clients: 2 })
+        ));
+        // The full-width count stays legal and aggregates everyone.
+        config.shards = Some(2);
         let mut e = engine(config);
         let m = e.run_round(0);
         assert_eq!(m.aggregated_updates, 2);
@@ -872,10 +841,10 @@ mod tests {
         assert!(m.root_ingress_bytes > 0);
         assert!(m.psum_ratio > 1.0, "lossless frames should compress, got {}", m.psum_ratio);
 
-        // `tree` takes precedence over `shards`.
+        // `tree` no longer silently outranks `shards`: setting both is
+        // a plan error (mirroring the CLI's --shards+--tree error).
         config.shards = Some(4);
-        let e = engine(config);
-        assert_eq!(e.aggregator_name(), "sharded-tree");
+        assert!(matches!(config.plan(), Err(crate::plan::PlanError::TopologyConflict)));
     }
 
     #[test]
@@ -912,6 +881,14 @@ mod tests {
             "terabit links should fall back to raw broadcasts, ratio {:.2}",
             last.downlink_ratio
         );
+    }
+
+    #[test]
+    #[should_panic(expected = "illegal on the uplink leg")]
+    fn hand_built_plans_cannot_smuggle_an_illegal_uplink_policy() {
+        let mut plan = FlConfig::smoke_test().plan().expect("valid config");
+        plan.uplink = crate::plan::StagePolicy::Lossless;
+        let _ = RoundEngine::from_plan(plan, Box::<InMemoryTransport>::default());
     }
 
     #[test]

@@ -49,6 +49,7 @@ pub mod engine;
 pub mod fedavg;
 pub mod link;
 pub mod net;
+pub mod plan;
 pub mod protocol;
 pub mod scaling;
 pub mod transport;
@@ -58,6 +59,7 @@ pub use client::Client;
 pub use engine::{AggregationPolicy, RoundEngine};
 pub use fedavg::fedavg;
 pub use link::LinkProfile;
+pub use plan::{PlanError, RoundPlan, StageLeg, StagePolicy};
 
 use fedsz::FedSzConfig;
 use fedsz_data::{DatasetKind, SyntheticConfig};
@@ -220,12 +222,21 @@ impl FlConfig {
         }
     }
 
-    /// Per-level fan-outs of the configured aggregation hierarchy:
-    /// [`FlConfig::tree`] verbatim when set, else [`FlConfig::shards`]
-    /// as a one-level tree (clamped to `[1, clients]`, preserving the
-    /// legacy `ShardPlan` semantics), else `None` (flat server).
+    /// A builder over [`FlConfig::paper_default`] so call sites name
+    /// only the fields they change instead of listing all twenty.
+    pub fn builder() -> FlConfigBuilder {
+        FlConfigBuilder::new()
+    }
+
+    /// Per-level fan-outs of the configured aggregation hierarchy as
+    /// *written*: [`FlConfig::tree`] when set, else [`FlConfig::shards`]
+    /// as a one-level tree, else `None` (flat server). This is the raw
+    /// knob surface — validation (out-of-range shard counts, `shards`
+    /// conflicting with `tree`) happens in [`FlConfig::plan`], whose
+    /// [`RoundPlan::tree`](plan::RoundPlan::tree) is the canonical
+    /// answer consumers should use.
     pub fn tree_fanouts(&self) -> Option<Vec<usize>> {
-        self.tree.clone().or_else(|| self.shards.map(|s| vec![s.clamp(1, self.clients.max(1))]))
+        self.tree.clone().or_else(|| self.shards.map(|s| vec![s]))
     }
 
     /// The seed for client `id`'s local RNG stream.
@@ -248,25 +259,29 @@ impl FlConfig {
         }
     }
 
+    /// Instantiates the configured architecture with the configured
+    /// init seed and data geometry — the one model-construction rule
+    /// every bit-parity surface shares: client models
+    /// ([`FlConfig::make_client`]), the engine's evaluation/global
+    /// model, and the socket server's shape-validation template and
+    /// initial global. A divergence between any two of those would
+    /// move the global checksum, so they all call through here.
+    pub fn build_model(&self) -> fedsz_nn::models::tiny::TinyModel {
+        self.arch.build(
+            self.seed,
+            self.dataset.channels(),
+            self.data.resolution,
+            self.dataset.classes(),
+        )
+    }
+
     /// Builds client `id` over its data shard: same architecture, same
     /// model-init seed and same local-RNG seed everywhere. The round
     /// engine and the multi-process worker both construct clients
     /// through here, which is what makes a worker process's training
     /// bit-identical to the in-memory simulation of the same client.
     pub fn make_client(&self, id: usize, shard: fedsz_data::Dataset) -> Client {
-        Client::new(
-            id,
-            self.arch.build(
-                self.seed,
-                self.dataset.channels(),
-                self.data.resolution,
-                self.dataset.classes(),
-            ),
-            shard,
-            self.batch_size,
-            self.lr,
-            self.client_seed(id),
-        )
+        Client::new(id, self.build_model(), shard, self.batch_size, self.lr, self.client_seed(id))
     }
 
     /// Builds client `id` standalone — the worker-process entry point:
@@ -285,6 +300,207 @@ impl FlConfig {
             .nth(id)
             .expect("sharding covers every client id");
         self.make_client(id, shard)
+    }
+}
+
+/// Builder for [`FlConfig`]: start from the paper's defaults, name
+/// only what differs, finish with [`FlConfigBuilder::build`] (the raw
+/// config) or [`FlConfigBuilder::plan`] (validated, canonical).
+///
+/// ```
+/// use fedsz_fl::FlConfig;
+///
+/// let config = FlConfig::builder().clients(8).rounds(2).shards(4).build();
+/// assert_eq!(config.clients, 8);
+/// let plan = config.plan().expect("valid");
+/// assert_eq!(plan.shard_count(), Some(4));
+/// ```
+#[derive(Debug, Clone)]
+pub struct FlConfigBuilder {
+    config: FlConfig,
+}
+
+impl Default for FlConfigBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FlConfigBuilder {
+    /// Starts from [`FlConfig::paper_default`] on the tiny AlexNet /
+    /// CIFAR-10-like task.
+    pub fn new() -> Self {
+        Self { config: FlConfig::paper_default(TinyArch::AlexNet, DatasetKind::Cifar10Like) }
+    }
+
+    /// Model architecture.
+    pub fn arch(mut self, arch: TinyArch) -> Self {
+        self.config.arch = arch;
+        self
+    }
+
+    /// Task to train on.
+    pub fn dataset(mut self, dataset: DatasetKind) -> Self {
+        self.config.dataset = dataset;
+        self
+    }
+
+    /// Cohort size.
+    pub fn clients(mut self, clients: usize) -> Self {
+        self.config.clients = clients;
+        self
+    }
+
+    /// Communication rounds.
+    pub fn rounds(mut self, rounds: usize) -> Self {
+        self.config.rounds = rounds;
+        self
+    }
+
+    /// Local epochs per round.
+    pub fn local_epochs(mut self, epochs: usize) -> Self {
+        self.config.local_epochs = epochs;
+        self
+    }
+
+    /// Mini-batch size for local SGD.
+    pub fn batch_size(mut self, batch_size: usize) -> Self {
+        self.config.batch_size = batch_size;
+        self
+    }
+
+    /// Local learning rate.
+    pub fn lr(mut self, lr: f32) -> Self {
+        self.config.lr = lr;
+        self
+    }
+
+    /// Base seed for data generation and model init (also seeds the
+    /// synthetic dataset, as the CLI does).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self.config.data.seed = seed;
+        self
+    }
+
+    /// FedSZ codec for the upload leg (`None` disables compression).
+    pub fn compression(mut self, compression: Option<FedSzConfig>) -> Self {
+        self.config.compression = compression;
+        self
+    }
+
+    /// Shared uplink bandwidth in bits/s (`None` with no links skips
+    /// the network model).
+    pub fn bandwidth_bps(mut self, bandwidth_bps: Option<f64>) -> Self {
+        self.config.bandwidth_bps = bandwidth_bps;
+        self
+    }
+
+    /// Per-message latency of the shared pipe in seconds.
+    pub fn latency_secs(mut self, latency_secs: f64) -> Self {
+        self.config.latency_secs = latency_secs;
+        self
+    }
+
+    /// Synthetic dataset geometry.
+    pub fn data(mut self, data: SyntheticConfig) -> Self {
+        self.config.data = data;
+        self
+    }
+
+    /// Training samples per class (the knob tests/benches actually
+    /// sweep; the rest of the data geometry keeps its defaults).
+    pub fn train_per_class(mut self, n: usize) -> Self {
+        self.config.data.train_per_class = n;
+        self
+    }
+
+    /// Held-out test samples per class.
+    pub fn test_per_class(mut self, n: usize) -> Self {
+        self.config.data.test_per_class = n;
+        self
+    }
+
+    /// Dirichlet label-skew parameter for non-IID shards.
+    pub fn non_iid_alpha(mut self, alpha: Option<f64>) -> Self {
+        self.config.non_iid_alpha = alpha;
+        self
+    }
+
+    /// Weight client updates by their sample counts.
+    pub fn weighted_aggregation(mut self, weighted: bool) -> Self {
+        self.config.weighted_aggregation = weighted;
+        self
+    }
+
+    /// Fraction of clients participating each round.
+    pub fn participation(mut self, participation: f64) -> Self {
+        self.config.participation = participation;
+        self
+    }
+
+    /// Per-client heterogeneous link profiles.
+    pub fn links(mut self, links: Vec<LinkProfile>) -> Self {
+        self.config.links = Some(links);
+        self
+    }
+
+    /// Aggregation policy (synchronous or buffered).
+    pub fn aggregation(mut self, policy: AggregationPolicy) -> Self {
+        self.config.aggregation = policy;
+        self
+    }
+
+    /// Eqn-1 per-client compress-or-not on the upload leg.
+    pub fn adaptive_compression(mut self, adaptive: bool) -> Self {
+        self.config.adaptive_compression = adaptive;
+        self
+    }
+
+    /// Two-level tree of `shards` edge aggregators.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.config.shards = Some(shards);
+        self
+    }
+
+    /// Arbitrary-depth aggregation tree (per-level fan-outs, root
+    /// downward).
+    pub fn tree(mut self, fanouts: Vec<usize>) -> Self {
+        self.config.tree = Some(fanouts);
+        self
+    }
+
+    /// Per-leaf uplink profiles for the aggregation tree.
+    pub fn edge_links(mut self, links: Vec<LinkProfile>) -> Self {
+        self.config.edge_links = Some(links);
+        self
+    }
+
+    /// Partial-sum frame mode between aggregator levels.
+    pub fn psum(mut self, psum: PsumMode) -> Self {
+        self.config.psum = psum;
+        self
+    }
+
+    /// Broadcast-leg mode.
+    pub fn downlink(mut self, downlink: DownlinkMode) -> Self {
+        self.config.downlink = downlink;
+        self
+    }
+
+    /// The configured [`FlConfig`], unvalidated (validation happens in
+    /// [`FlConfig::plan`], which every execution path runs through).
+    pub fn build(self) -> FlConfig {
+        self.config
+    }
+
+    /// Validates and canonicalizes in one step.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`plan::PlanError`] the configuration trips.
+    pub fn plan(self) -> Result<plan::RoundPlan, plan::PlanError> {
+        self.config.plan()
     }
 }
 

@@ -17,8 +17,9 @@
 //! fixed-point accumulator makes the result independent of process
 //! placement — the bit-parity the integration tests pin down.
 
-use crate::agg::{template_matches, Downlink, DownlinkMode, PartialSum, PsumMode, ShardPlan};
+use crate::agg::{template_matches, Downlink, PartialSum, ShardPlan};
 use crate::net::global_checksum;
+use crate::plan::{RoundPlan, StagePolicy};
 use crate::FlConfig;
 use fedsz::FedSz;
 use fedsz_lossless::PsumCodec;
@@ -84,35 +85,76 @@ impl ServeConfig {
         Self { role: Role::Relay { shard, upstream }, ..Self::root(fl) }
     }
 
+    /// Validates the configuration into its canonical [`RoundPlan`]
+    /// (the socket runtime consumes the plan, not the raw knobs).
+    ///
+    /// On top of [`FlConfig::plan`], this enforces the socket
+    /// runtime's own constraint: an explicit `tree` spec that
+    /// out-leafs the cohort is legal in the simulator (empty leaves
+    /// never forward) but would make a root wait for relay ids that
+    /// cannot exist — here every shard is a real process.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`PlanError`](crate::plan::PlanError) (or the
+    /// shards-vs-clients constraint above) as a [`NetError::Protocol`]
+    /// so `run` surfaces it before any socket work.
+    pub fn plan(&self) -> Result<RoundPlan, NetError> {
+        let plan = self
+            .fl
+            .plan()
+            .map_err(|e| NetError::Protocol(format!("invalid configuration: {e}")))?;
+        if let Some(shards) = plan.shard_count() {
+            if shards > plan.config.clients {
+                return Err(NetError::Protocol(format!(
+                    "invalid configuration: the socket runtime needs shards <= clients \
+                     ({shards} shards for {} clients); empty relay shards would stall \
+                     the round barrier",
+                    plan.config.clients
+                )));
+            }
+        }
+        Ok(plan)
+    }
+
     /// The client ids this server expects as direct children: the
     /// whole cohort (flat root), one id per relay shard (sharded
     /// root), or the relay's contiguous worker range.
     ///
     /// # Panics
     ///
-    /// Panics when a relay role is combined with a flat (unsharded)
-    /// config or an out-of-range shard index.
+    /// Panics when the configuration fails [`FlConfig::plan`]
+    /// validation, or when a relay role is combined with a flat
+    /// (unsharded) config or an out-of-range shard index. Fallible
+    /// callers should validate via [`ServeConfig::plan`] first (the
+    /// CLI does).
     pub fn expected_children(&self) -> Vec<u64> {
-        match &self.role {
-            Role::Root => match self.fl.tree_fanouts() {
-                // The plan's own clamp: a root asked for more shards
-                // than clients must not wait for relay ids that can
-                // never legally join.
-                Some(fanouts) => {
-                    (0..ShardPlan::new(self.fl.clients, fanouts[0]).shards() as u64).collect()
-                }
-                None => (0..self.fl.clients as u64).collect(),
+        let plan = self.plan().unwrap_or_else(|e| panic!("{e}"));
+        Self::expected_children_of(&plan, &self.role)
+    }
+
+    /// [`ServeConfig::expected_children`] over an already-validated
+    /// plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a relay role is combined with a flat (unsharded)
+    /// plan or an out-of-range shard index.
+    pub fn expected_children_of(plan: &RoundPlan, role: &Role) -> Vec<u64> {
+        match role {
+            Role::Root => match plan.shard_count() {
+                Some(shards) => (0..shards as u64).collect(),
+                None => (0..plan.config.clients as u64).collect(),
             },
             Role::Relay { shard, .. } => {
-                let fanouts =
-                    self.fl.tree_fanouts().expect("a relay requires --shards on the config");
-                let plan = ShardPlan::new(self.fl.clients, fanouts[0]);
+                let shards = plan.shard_count().expect("a relay requires --shards on the config");
+                let shard_plan = ShardPlan::new(plan.config.clients, shards);
                 assert!(
-                    (*shard as usize) < plan.shards(),
+                    (*shard as usize) < shard_plan.shards(),
                     "shard {shard} outside the {}-shard plan",
-                    plan.shards()
+                    shard_plan.shards()
                 );
-                plan.range(*shard as usize).map(|c| c as u64).collect()
+                shard_plan.range(*shard as usize).map(|c| c as u64).collect()
             }
         }
     }
@@ -245,7 +287,11 @@ impl NetServer {
     /// Panics on invariant violations in self-produced state (e.g. a
     /// merged aggregate with non-positive weight).
     pub fn run(self, config: ServeConfig) -> Result<ServeReport, NetError> {
-        let expected = config.expected_children();
+        // One validation pass up front: the rest of the session works
+        // off the canonical plan, never the raw precedence-ridden
+        // knobs.
+        let plan = config.plan()?;
+        let expected = ServeConfig::expected_children_of(&plan, &config.role);
         // A relay announces itself upstream before accepting its own
         // children, so a deep deployment can start in any order.
         let mut upstream = match &config.role {
@@ -269,28 +315,16 @@ impl NetServer {
 
         // Root state. A relay never materializes the global — it
         // forwards the broadcast bytes verbatim.
-        let fedsz = config.fl.compression.map(FedSz::new);
-        let downlink_codec = match config.fl.downlink {
-            DownlinkMode::Raw => None,
-            DownlinkMode::Compressed | DownlinkMode::Adaptive => config.fl.compression,
-        };
-        let downlink = Downlink::new(config.fl.downlink, downlink_codec);
+        let fedsz = plan.uplink.fedsz().map(FedSz::new);
+        let downlink = Downlink::from_policy(&plan.downlink)
+            .map_err(|e| NetError::Protocol(format!("invalid configuration: {e}")))?;
         let psum_codec = PsumCodec::new();
         // The architecture-derived shape template every child's
         // contribution is validated against before it may touch the
         // merge (whose asserts would otherwise panic the server on a
         // misconfigured child). For the root it doubles as the initial
         // global model, exactly as the engine builds it.
-        let template: StateDict = config
-            .fl
-            .arch
-            .build(
-                config.fl.seed,
-                config.fl.dataset.channels(),
-                config.fl.data.resolution,
-                config.fl.dataset.classes(),
-            )
-            .state_dict();
+        let template: StateDict = config.fl.build_model().state_dict();
         let mut global = match config.role {
             Role::Root => Some(template.clone()),
             Role::Relay { .. } => None,
@@ -299,8 +333,7 @@ impl NetServer {
         // A sharded root's children are relays speaking partial-sum
         // frames; everyone else's children are workers speaking
         // updates. Frames of the wrong kind evict their sender.
-        let expect_partial =
-            matches!(config.role, Role::Root) && config.fl.tree_fanouts().is_some();
+        let expect_partial = matches!(config.role, Role::Root) && plan.tree.is_some();
         let mut rounds = Vec::new();
         let mut evicted_total = 0usize;
         let mut evictions: Vec<(u64, u32, String)> = Vec::new();
@@ -408,21 +441,27 @@ impl NetServer {
                         Role::Relay { shard, .. } => *shard,
                         Role::Root => unreachable!("only relays have an upstream"),
                     };
-                    let message = match config.fl.psum {
-                        PsumMode::Raw => {
+                    let message = match &plan.psum {
+                        StagePolicy::Raw => {
                             Message::PartialSum { round, shard, clients, weight, payload: image }
                         }
                         // A relay has no per-edge LinkProfile to price
                         // Eqn 1 against, so Adaptive degrades to
                         // Lossless here (the conservative choice on an
-                        // unknown uplink).
-                        PsumMode::Lossless | PsumMode::Adaptive => Message::PartialSumCompressed {
-                            round,
-                            shard,
-                            clients,
-                            weight,
-                            payload: psum_codec.compress(&image),
-                        },
+                        // unknown uplink). Lossy psum policies cannot
+                        // exist past plan().
+                        StagePolicy::Lossless | StagePolicy::Adaptive { .. } => {
+                            Message::PartialSumCompressed {
+                                round,
+                                shard,
+                                clients,
+                                weight,
+                                payload: psum_codec.compress(&image),
+                            }
+                        }
+                        StagePolicy::Lossy(_) => {
+                            unreachable!("plan() rejects lossy psum policies")
+                        }
                     };
                     upstream.send(&message)?;
                     0
@@ -792,13 +831,26 @@ mod tests {
     }
 
     #[test]
-    fn root_shard_expectation_is_clamped_to_the_cohort() {
+    fn oversized_shard_expectation_is_a_plan_error_not_a_clamp() {
+        // ShardPlan used to clamp 8 shards over 4 clients down to 4;
+        // the plan now rejects the config outright, so a root can
+        // never wait for relay ids that cannot legally exist.
         let mut fl = FlConfig::smoke_test();
         fl.clients = 4;
         fl.shards = Some(8);
-        // ShardPlan clamps 8 shards over 4 clients down to 4; the root
-        // must expect exactly those 4 relays, not 8 that cannot exist.
-        assert_eq!(ServeConfig::root(fl).expected_children(), vec![0, 1, 2, 3]);
+        assert!(ServeConfig::root(fl.clone()).plan().is_err());
+        // The full-width count remains legal.
+        fl.shards = Some(4);
+        assert_eq!(ServeConfig::root(fl.clone()).expected_children(), vec![0, 1, 2, 3]);
+        // An explicit tree spec that out-leafs the cohort passes the
+        // simulator's plan (empty leaves are legal there) but not the
+        // socket runtime's: every shard here is a real relay process,
+        // and a root must never wait for relays that cannot exist.
+        fl.shards = None;
+        fl.tree = Some(vec![9]);
+        assert!(fl.plan().is_ok(), "the simulator accepts surplus-leaf trees");
+        let err = ServeConfig::root(fl).plan().unwrap_err();
+        assert!(err.to_string().contains("shards <= clients"), "{err}");
     }
 
     #[test]

@@ -20,6 +20,7 @@
 //!
 //! [`FlConfig::make_client`]: crate::FlConfig::make_client
 
+use crate::plan::StagePolicy;
 use crate::{Client, FlConfig};
 use fedsz::timing::CostProfile;
 use fedsz::FedSz;
@@ -106,8 +107,13 @@ impl MeasuredLink {
 ///
 /// Panics when `config.id` is outside the configured cohort.
 pub fn run_worker(config: WorkerConfig) -> Result<WorkerReport, NetError> {
+    // The worker consumes the validated plan's upload-leg policy, not
+    // the raw `compression`/`adaptive_compression` knobs.
+    let plan =
+        config.fl.plan().map_err(|e| NetError::Protocol(format!("invalid configuration: {e}")))?;
+    let uplink = plan.uplink.clone();
     let mut client: Client = config.fl.build_client(config.id);
-    let fedsz = config.fl.compression.map(FedSz::new);
+    let fedsz = uplink.fedsz().map(FedSz::new);
     let mut session = Session::connect(&config.connect, config.timeout).map_err(NetError::Io)?;
     session.send(&Message::Join { client_id: config.id as u64, round: 0 })?;
 
@@ -143,13 +149,15 @@ pub fn run_worker(config: WorkerConfig) -> Result<WorkerReport, NetError> {
         let update = client.update();
         let raw_bytes = update.byte_size();
 
-        // Eqn 1 on the measured link: compress iff measured codec time
-        // plus compressed transfer beats sending raw at the measured
-        // bandwidth. Probe (compress) until both measurements exist.
-        let compress = match (&fedsz, config.fl.adaptive_compression) {
-            (None, _) => false,
-            (Some(_), false) => true,
-            (Some(_), true) => match (profile, link.bps) {
+        // The plan's upload policy on the measured link: `Lossy`
+        // always compresses; `Adaptive` runs Eqn 1 — compress iff
+        // measured codec time plus compressed transfer beats sending
+        // raw at the measured bandwidth, probing (compressing) until
+        // both measurements exist.
+        let compress = match &uplink {
+            StagePolicy::Raw | StagePolicy::Lossless => false,
+            StagePolicy::Lossy(_) => true,
+            StagePolicy::Adaptive { .. } => match (profile, link.bps) {
                 (Some(profile), Some(bps)) => profile.plan(raw_bytes).worthwhile(bps),
                 _ => true,
             },
@@ -159,7 +167,7 @@ pub fn run_worker(config: WorkerConfig) -> Result<WorkerReport, NetError> {
             let t0 = Instant::now();
             let packed = codec.compress(&update).expect("finite weights").into_bytes();
             let compress_secs = t0.elapsed().as_secs_f64();
-            if config.fl.adaptive_compression {
+            if uplink.is_adaptive() {
                 let raw = raw_bytes.max(1) as f64;
                 // The decompression the server will pay is measured on
                 // the first compressed round only — it is a stable

@@ -1,0 +1,839 @@
+//! The validated execution plan: [`FlConfig`] in, [`RoundPlan`] out.
+//!
+//! [`FlConfig`] is the *ergonomic* input surface: a flat struct of
+//! knobs that grew one field per feature (`shards` next to `tree`,
+//! `links` next to `bandwidth_bps`, a `compression` option plus an
+//! `adaptive_compression` bool, separate `DownlinkMode`/`PsumMode`
+//! enums). Historically each consumer re-derived what those knobs
+//! *meant* — with silent precedence (`tree` over `shards`), silent
+//! clamping (`ShardPlan` used to clamp out-of-range shard counts) and
+//! scattered `assert!`s that fired mid-round instead of at build time.
+//!
+//! [`FlConfig::plan`] replaces all of that with one fallible
+//! canonicalization step:
+//!
+//! ```text
+//! FlConfig ──plan()──► Result<RoundPlan, PlanError>
+//!                            │
+//!                            ├── tree:      Option<TreePlan>      (shards/tree unified)
+//!                            ├── topology:  Option<Topology>      (links/bandwidth unified)
+//!                            ├── uplink:    StagePolicy           (compression + adaptive)
+//!                            ├── downlink:  StagePolicy           (DownlinkMode)
+//!                            └── psum:      StagePolicy           (PsumMode)
+//! ```
+//!
+//! Everything that used to be clamped or silently ignored is now a
+//! [`PlanError`]: zero/oversized shard counts, `--shards` with
+//! `--tree`, participation outside `(0, 1]`, non-positive learning
+//! rates, zero batch sizes or round counts, link lists that do not
+//! match the cohort, edge-link lists that do not match the leaf
+//! count, and compressing stages configured without a codec. The
+//! engine ([`RoundEngine`](crate::engine::RoundEngine)), the socket
+//! runtime ([`crate::net`]) and the scaling harness
+//! ([`crate::scaling`]) all consume the plan — none of them looks at
+//! the raw precedence-ridden fields anymore.
+//!
+//! # One policy type for every compression leg
+//!
+//! FedSZ is one algorithm applied at three wire legs — client upload,
+//! server broadcast, and partial-sum forwarding between aggregator
+//! tiers. [`StagePolicy`] is the single vocabulary for all three:
+//!
+//! | policy | upload | broadcast | partial sums |
+//! |---|---|---|---|
+//! | `Raw` | ✓ | ✓ | ✓ |
+//! | `Lossy(FedSzConfig)` | ✓ | ✓ | ✗ (breaks bit-parity) |
+//! | `Lossless` | ✗ (no dict codec) | ✗ | ✓ |
+//! | `Adaptive { compressed }` | over `Lossy` | over `Lossy` | over `Lossless` |
+//!
+//! The ✗ cells are *rejected by [`PlanError`]* — a lossy partial-sum
+//! leg would silently break the tree's bit-parity guarantee with flat
+//! FedAvg, so it cannot be expressed past `plan()`. The executors
+//! ([`Downlink`](crate::agg::Downlink),
+//! [`PsumForwarder`](crate::agg::PsumForwarder)) validate again at
+//! construction, so even hand-built plans cannot smuggle an illegal
+//! policy into a round.
+
+use crate::agg::{DownlinkMode, PsumMode, TreePlan};
+use crate::engine::AggregationPolicy;
+use crate::link::{LinkProfile, Topology};
+use crate::FlConfig;
+use fedsz::FedSzConfig;
+use std::fmt;
+
+/// Default edge-aggregator uplink: edges sit in well-provisioned tiers
+/// (1 Gbps), unlike last-mile clients.
+pub const DEFAULT_EDGE_BPS: f64 = 1e9;
+
+/// What one compression leg of the round does. See the module docs for
+/// the legality table; [`StagePolicy::validate_for`] enforces it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StagePolicy {
+    /// Ship raw bytes.
+    Raw,
+    /// FedSZ error-bounded lossy compression with the given codec
+    /// configuration.
+    Lossy(FedSzConfig),
+    /// Lossless byte-shuffle + entropy compression
+    /// ([`fedsz_lossless::PsumCodec`]) — safe on the partial-sum leg,
+    /// where bit-parity must survive the hop.
+    Lossless,
+    /// The paper's Eqn 1, per link and per round: ship raw when the
+    /// link would move raw bytes faster than codec time plus the
+    /// compressed transfer, else fall through to `compressed`.
+    Adaptive {
+        /// The compressed alternative Eqn 1 prices against raw
+        /// transfer (must itself be `Lossy` or `Lossless`).
+        compressed: Box<StagePolicy>,
+    },
+}
+
+/// The compression legs a [`StagePolicy`] can be attached to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StageLeg {
+    /// Client → server update uploads.
+    Uplink,
+    /// Server → client global-model broadcasts.
+    Downlink,
+    /// Aggregator → aggregator partial-sum frames.
+    Psum,
+}
+
+impl StageLeg {
+    /// Short human-readable leg name (for error messages).
+    pub fn name(self) -> &'static str {
+        match self {
+            StageLeg::Uplink => "uplink",
+            StageLeg::Downlink => "downlink",
+            StageLeg::Psum => "psum",
+        }
+    }
+}
+
+impl StagePolicy {
+    /// Short human-readable policy name (for reports).
+    pub fn name(&self) -> &'static str {
+        match self {
+            StagePolicy::Raw => "raw",
+            StagePolicy::Lossy(_) => "lossy",
+            StagePolicy::Lossless => "lossless",
+            StagePolicy::Adaptive { .. } => "adaptive",
+        }
+    }
+
+    /// The FedSZ configuration this policy may invoke (`None` for raw
+    /// and lossless legs).
+    pub fn fedsz(&self) -> Option<FedSzConfig> {
+        match self {
+            StagePolicy::Lossy(config) => Some(*config),
+            StagePolicy::Adaptive { compressed } => compressed.fedsz(),
+            StagePolicy::Raw | StagePolicy::Lossless => None,
+        }
+    }
+
+    /// Whether this policy ever compresses (unconditionally or
+    /// adaptively).
+    pub fn compresses(&self) -> bool {
+        !matches!(self, StagePolicy::Raw)
+    }
+
+    /// Whether the compress-or-not decision is made per link with
+    /// Eqn 1.
+    pub fn is_adaptive(&self) -> bool {
+        matches!(self, StagePolicy::Adaptive { .. })
+    }
+
+    /// Checks that this policy is legal on `leg` (the module-level
+    /// table): lossy policies would break bit-parity on the
+    /// partial-sum leg, the dict legs have no lossless codec, and
+    /// `Adaptive` must wrap an actual compressed policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`PlanError`] naming the illegal combination.
+    pub fn validate_for(&self, leg: StageLeg) -> Result<(), PlanError> {
+        let illegal = || PlanError::IllegalStagePolicy { leg, policy: self.name() };
+        match (self, leg) {
+            (StagePolicy::Raw, _) => Ok(()),
+            (StagePolicy::Lossy(_), StageLeg::Uplink | StageLeg::Downlink) => Ok(()),
+            (StagePolicy::Lossy(_), StageLeg::Psum) => Err(illegal()),
+            (StagePolicy::Lossless, StageLeg::Psum) => Ok(()),
+            (StagePolicy::Lossless, StageLeg::Uplink | StageLeg::Downlink) => Err(illegal()),
+            (StagePolicy::Adaptive { compressed }, leg) => match compressed.as_ref() {
+                StagePolicy::Raw | StagePolicy::Adaptive { .. } => Err(illegal()),
+                inner => inner.validate_for(leg),
+            },
+        }
+    }
+}
+
+/// Why an [`FlConfig`] cannot be turned into a [`RoundPlan`].
+///
+/// Every variant names the offending field and the legal range, so a
+/// config file typo surfaces as an actionable message at build time
+/// instead of a clamp, a silent preference, or a mid-round panic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanError {
+    /// `clients == 0`.
+    NoClients,
+    /// `rounds == 0`.
+    NoRounds,
+    /// `batch_size == 0`.
+    ZeroBatch,
+    /// Learning rate not finite and positive.
+    BadLearningRate(f32),
+    /// Participation outside `(0, 1]`.
+    BadParticipation(f64),
+    /// Shared-pipe bandwidth not finite and positive.
+    BadBandwidth(f64),
+    /// Shared-pipe latency negative or non-finite.
+    BadLatency(f64),
+    /// Dirichlet alpha not finite and positive.
+    BadNonIidAlpha(f64),
+    /// `Buffered { target: 0 }` can never aggregate.
+    ZeroBufferTarget,
+    /// A per-client [`LinkProfile`] with out-of-range fields.
+    BadLinkProfile {
+        /// The offending client id.
+        client: usize,
+    },
+    /// `shards` outside `[1, clients]` (the legacy `ShardPlan` used to
+    /// clamp this silently).
+    ShardsOutOfRange {
+        /// The configured shard count.
+        shards: usize,
+        /// The cohort size bounding it.
+        clients: usize,
+    },
+    /// `shards` and `tree` both set — the library analogue of the
+    /// CLI's `--shards`+`--tree` error (the config used to prefer
+    /// `tree` silently).
+    TopologyConflict,
+    /// `tree` set to an empty fan-out list.
+    EmptyTree,
+    /// A tree fan-out of zero at the given level.
+    ZeroFanout {
+        /// The offending level (0 = the root's own fan-out).
+        level: usize,
+    },
+    /// The tree's leaf count overflows `usize`.
+    LeafOverflow,
+    /// `links` does not provide exactly one profile per client.
+    LinkCountMismatch {
+        /// Profiles provided.
+        links: usize,
+        /// Cohort size.
+        clients: usize,
+    },
+    /// `edge_links` does not provide exactly one profile per leaf
+    /// aggregator.
+    EdgeLinkCountMismatch {
+        /// Profiles provided.
+        links: usize,
+        /// Leaf aggregators in the tree.
+        leaves: usize,
+    },
+    /// `edge_links` set without any aggregation tree to attach it to
+    /// (this used to be silently ignored).
+    EdgeLinksWithoutTree,
+    /// A non-raw `psum` mode without an aggregation tree — there are
+    /// no partial-sum frames to compress (this used to be silently
+    /// ignored by the library; only the CLI rejected it).
+    PsumWithoutTree,
+    /// A compressing stage configured while `compression` is `None`.
+    MissingCodec {
+        /// The leg that needs the codec.
+        leg: StageLeg,
+    },
+    /// A [`StagePolicy`] attached to a leg it is illegal on (e.g. a
+    /// lossy partial-sum policy, which would break bit-parity).
+    IllegalStagePolicy {
+        /// The leg.
+        leg: StageLeg,
+        /// The policy's name.
+        policy: &'static str,
+    },
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::NoClients => write!(f, "need at least one client"),
+            PlanError::NoRounds => write!(f, "rounds must be positive (got 0)"),
+            PlanError::ZeroBatch => write!(f, "batch_size must be positive (got 0)"),
+            PlanError::BadLearningRate(lr) => {
+                write!(f, "learning rate must be finite and positive, got {lr}")
+            }
+            PlanError::BadParticipation(p) => {
+                write!(f, "participation must be in (0, 1], got {p}")
+            }
+            PlanError::BadBandwidth(bw) => {
+                write!(f, "bandwidth must be finite and positive, got {bw} bps")
+            }
+            PlanError::BadLatency(l) => {
+                write!(f, "latency must be finite and non-negative, got {l} s")
+            }
+            PlanError::BadNonIidAlpha(a) => {
+                write!(f, "non-IID Dirichlet alpha must be finite and positive, got {a}")
+            }
+            PlanError::ZeroBufferTarget => {
+                write!(f, "buffered aggregation target must be at least 1")
+            }
+            PlanError::BadLinkProfile { client } => write!(
+                f,
+                "link profile for client {client} is out of range (want positive finite \
+                 bandwidth, non-negative latency, drop probability in [0, 1], slowdown >= 1)"
+            ),
+            PlanError::ShardsOutOfRange { shards, clients } => write!(
+                f,
+                "shards must be in [1, clients], got {shards} shards for {clients} clients"
+            ),
+            PlanError::TopologyConflict => write!(
+                f,
+                "contradictory topology: `shards` and `tree` both set; pick one \
+                 (tree [S] is the two-level equivalent of shards S)"
+            ),
+            PlanError::EmptyTree => write!(f, "a tree needs at least one aggregator level"),
+            PlanError::ZeroFanout { level } => {
+                write!(f, "tree fan-out at level {level} must be positive")
+            }
+            PlanError::LeafOverflow => write!(f, "tree leaf count overflows usize"),
+            PlanError::LinkCountMismatch { links, clients } => {
+                write!(f, "need one link profile per client ({links} links for {clients} clients)")
+            }
+            PlanError::EdgeLinkCountMismatch { links, leaves } => write!(
+                f,
+                "need one edge link per shard ({links} links for {leaves} leaf aggregators)"
+            ),
+            PlanError::EdgeLinksWithoutTree => {
+                write!(f, "edge_links set without an aggregation tree (set shards or tree)")
+            }
+            PlanError::PsumWithoutTree => {
+                write!(f, "a non-raw psum mode needs an aggregation tree (set shards or tree)")
+            }
+            PlanError::MissingCodec { leg } => write!(
+                f,
+                "{} compression requires a FedSZ configuration (compression is None)",
+                leg.name()
+            ),
+            PlanError::IllegalStagePolicy { leg, policy } => write!(
+                f,
+                "a {policy} policy is illegal on the {} leg (see the StagePolicy table)",
+                leg.name()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// The canonical, validated execution plan of one federated run.
+///
+/// Produced by [`FlConfig::plan`]; consumed by
+/// [`RoundEngine::from_plan`](crate::engine::RoundEngine::from_plan),
+/// the socket runtime and the scaling harness. Holding a `RoundPlan`
+/// is proof the configuration passed every build-time check — the
+/// executors can `expect` on it instead of re-validating.
+#[derive(Debug, Clone)]
+pub struct RoundPlan {
+    /// The validated source configuration (training geometry, seeds,
+    /// data). Canonical topology and stage decisions live in the
+    /// sibling fields — consumers must not re-derive them from the
+    /// raw `shards`/`tree`/`links`/`downlink`/`psum` knobs here.
+    pub config: FlConfig,
+    /// The canonical aggregation hierarchy: `shards`/`tree` unified
+    /// into one [`TreePlan`] (`None` = the paper's flat server).
+    pub tree: Option<TreePlan>,
+    /// The canonical link topology: `links`/`bandwidth_bps`/
+    /// `latency_secs` unified into concrete per-client
+    /// [`LinkProfile`]s (`None` = no network model).
+    pub topology: Option<Topology>,
+    /// Per-level aggregator uplinks for pricing partial-sum forwards,
+    /// present exactly when the plan has both a tree and a network
+    /// model: `level_links[l - 1]` holds one profile per node at tree
+    /// level `l`.
+    pub level_links: Option<Vec<Vec<LinkProfile>>>,
+    /// Policy for the client → server upload leg.
+    pub uplink: StagePolicy,
+    /// Policy for the server → client broadcast leg.
+    pub downlink: StagePolicy,
+    /// Policy for the aggregator → aggregator partial-sum leg.
+    pub psum: StagePolicy,
+}
+
+impl RoundPlan {
+    /// Number of first-tier aggregators under the root: the relay
+    /// count a sharded `fedsz serve` deployment expects, or `None` for
+    /// a flat server.
+    pub fn shard_count(&self) -> Option<usize> {
+        self.tree.as_ref().map(|tree| tree.nodes_at(1))
+    }
+
+    /// The per-level fan-outs of the canonical tree (root downward),
+    /// or `None` for a flat server.
+    pub fn tree_fanouts(&self) -> Option<&[usize]> {
+        self.tree.as_ref().map(TreePlan::fanouts)
+    }
+}
+
+/// Validates an explicit tree spec's per-level fan-outs: at least one
+/// level, every fan-out positive, leaf count representable. Shared by
+/// [`FlConfig::plan`] and
+/// [`ScalingConfig::plan`](crate::scaling::ScalingConfig::plan) so a
+/// new tree-shape rule applies to both.
+pub(crate) fn validate_tree_fanouts(fanouts: &[usize]) -> Result<(), PlanError> {
+    if fanouts.is_empty() {
+        return Err(PlanError::EmptyTree);
+    }
+    if let Some(level) = fanouts.iter().position(|&f| f == 0) {
+        return Err(PlanError::ZeroFanout { level });
+    }
+    if fanouts.iter().try_fold(1usize, |acc, &f| acc.checked_mul(f)).is_none() {
+        return Err(PlanError::LeafOverflow);
+    }
+    Ok(())
+}
+
+fn validate_link(profile: &LinkProfile) -> bool {
+    profile.bandwidth_bps.is_finite()
+        && profile.bandwidth_bps > 0.0
+        && profile.latency_secs.is_finite()
+        && profile.latency_secs >= 0.0
+        && (0.0..=1.0).contains(&profile.drop_prob)
+        && profile.compute_slowdown.is_finite()
+        && profile.compute_slowdown >= 1.0
+}
+
+/// Validates the tree-shaping fields and canonicalizes them into one
+/// [`TreePlan`], or `None` for the flat server.
+fn plan_tree(config: &FlConfig) -> Result<Option<TreePlan>, PlanError> {
+    let fanouts = match (&config.tree, config.shards) {
+        (Some(_), Some(_)) => return Err(PlanError::TopologyConflict),
+        (Some(fanouts), None) => {
+            validate_tree_fanouts(fanouts)?;
+            fanouts.clone()
+        }
+        (None, Some(shards)) => {
+            // The legacy ShardPlan clamped this to [1, clients]; a
+            // shard count the cohort cannot fill is now an error
+            // (surplus leaves remain legal for explicit `tree` specs,
+            // where empty leaves are a documented, deliberate shape).
+            if shards == 0 || shards > config.clients {
+                return Err(PlanError::ShardsOutOfRange { shards, clients: config.clients });
+            }
+            vec![shards]
+        }
+        (None, None) => return Ok(None),
+    };
+    Ok(Some(TreePlan::new(config.clients, fanouts)))
+}
+
+/// Canonicalizes `links`/`bandwidth_bps`/`edge_links` into the link
+/// topology and the per-level aggregator uplinks.
+#[allow(clippy::type_complexity)]
+fn plan_topology(
+    config: &FlConfig,
+    tree: Option<&TreePlan>,
+) -> Result<(Option<Topology>, Option<Vec<Vec<LinkProfile>>>), PlanError> {
+    if let Some(links) = &config.links {
+        if links.len() != config.clients {
+            return Err(PlanError::LinkCountMismatch {
+                links: links.len(),
+                clients: config.clients,
+            });
+        }
+        if let Some(client) = links.iter().position(|l| !validate_link(l)) {
+            return Err(PlanError::BadLinkProfile { client });
+        }
+    }
+    if let Some(bw) = config.bandwidth_bps {
+        if !(bw.is_finite() && bw > 0.0) {
+            return Err(PlanError::BadBandwidth(bw));
+        }
+    }
+    if !(config.latency_secs.is_finite() && config.latency_secs >= 0.0) {
+        return Err(PlanError::BadLatency(config.latency_secs));
+    }
+    if config.edge_links.is_some() && tree.is_none() {
+        return Err(PlanError::EdgeLinksWithoutTree);
+    }
+    // Per-level aggregator uplinks (tree mode only): explicit
+    // `edge_links` profiles apply to the leaf tier; inner tiers always
+    // sit on the well-provisioned backbone.
+    let level_links: Option<Vec<Vec<LinkProfile>>> = match tree {
+        None => None,
+        Some(plan) => {
+            let mut levels: Vec<Vec<LinkProfile>> = (1..plan.depth())
+                .map(|l| vec![LinkProfile::symmetric(DEFAULT_EDGE_BPS); plan.nodes_at(l)])
+                .collect();
+            if let Some(edges) = &config.edge_links {
+                if edges.len() != plan.leaves() {
+                    return Err(PlanError::EdgeLinkCountMismatch {
+                        links: edges.len(),
+                        leaves: plan.leaves(),
+                    });
+                }
+                if let Some(client) = edges.iter().position(|l| !validate_link(l)) {
+                    return Err(PlanError::BadLinkProfile { client });
+                }
+                *levels.last_mut().expect("depth >= 2") = edges.clone();
+            }
+            Some(levels)
+        }
+    };
+    let topology = match (&config.links, config.bandwidth_bps, &level_links) {
+        // Tree mode: every client keeps its own last mile to its leaf
+        // aggregator; the tree variant carries every tier's profiles.
+        (Some(links), _, Some(levels)) => {
+            Some(Topology::Tree { clients: links.clone(), levels: levels.clone() })
+        }
+        (None, Some(bw), Some(levels)) => Some(Topology::Tree {
+            clients: vec![
+                LinkProfile::symmetric(bw).with_latency(config.latency_secs);
+                config.clients
+            ],
+            levels: levels.clone(),
+        }),
+        (Some(links), _, None) => Some(Topology::Dedicated(links.clone())),
+        (None, Some(bw), None) => {
+            Some(Topology::Shared(LinkProfile::symmetric(bw).with_latency(config.latency_secs)))
+        }
+        (None, None, _) => None,
+    };
+    // Aggregator forwards are only priced when a network model exists.
+    let gated_levels = if topology.is_some() { level_links } else { None };
+    Ok((topology, gated_levels))
+}
+
+/// Canonicalizes the three per-leg knobs into [`StagePolicy`]s.
+fn plan_stages(
+    config: &FlConfig,
+    tree: Option<&TreePlan>,
+) -> Result<(StagePolicy, StagePolicy, StagePolicy), PlanError> {
+    // Uplink: `compression` + `adaptive_compression`. An adaptive flag
+    // with no codec canonicalizes to Raw (there is nothing Eqn 1 could
+    // choose over raw).
+    let uplink = match (&config.compression, config.adaptive_compression) {
+        (None, _) => StagePolicy::Raw,
+        (Some(codec), false) => StagePolicy::Lossy(*codec),
+        (Some(codec), true) => {
+            StagePolicy::Adaptive { compressed: Box::new(StagePolicy::Lossy(*codec)) }
+        }
+    };
+    let downlink = match config.downlink {
+        DownlinkMode::Raw => StagePolicy::Raw,
+        DownlinkMode::Compressed => StagePolicy::Lossy(
+            config.compression.ok_or(PlanError::MissingCodec { leg: StageLeg::Downlink })?,
+        ),
+        DownlinkMode::Adaptive => StagePolicy::Adaptive {
+            compressed: Box::new(StagePolicy::Lossy(
+                config.compression.ok_or(PlanError::MissingCodec { leg: StageLeg::Downlink })?,
+            )),
+        },
+    };
+    let psum = match config.psum {
+        PsumMode::Raw => StagePolicy::Raw,
+        PsumMode::Lossless | PsumMode::Adaptive if tree.is_none() => {
+            return Err(PlanError::PsumWithoutTree)
+        }
+        PsumMode::Lossless => StagePolicy::Lossless,
+        PsumMode::Adaptive => StagePolicy::Adaptive { compressed: Box::new(StagePolicy::Lossless) },
+    };
+    uplink.validate_for(StageLeg::Uplink)?;
+    downlink.validate_for(StageLeg::Downlink)?;
+    psum.validate_for(StageLeg::Psum)?;
+    Ok((uplink, downlink, psum))
+}
+
+impl FlConfig {
+    /// Validates this configuration and canonicalizes it into a
+    /// [`RoundPlan`]: `shards`/`tree` become one [`TreePlan`],
+    /// `links`/`bandwidth_bps` become a concrete [`Topology`], and the
+    /// three per-leg compression knobs become [`StagePolicy`]s.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`PlanError`] found — every condition that
+    /// was historically clamped, silently preferred, or discovered by
+    /// a mid-round panic.
+    pub fn plan(&self) -> Result<RoundPlan, PlanError> {
+        if self.clients == 0 {
+            return Err(PlanError::NoClients);
+        }
+        if self.rounds == 0 {
+            return Err(PlanError::NoRounds);
+        }
+        if self.batch_size == 0 {
+            return Err(PlanError::ZeroBatch);
+        }
+        if !(self.lr.is_finite() && self.lr > 0.0) {
+            return Err(PlanError::BadLearningRate(self.lr));
+        }
+        if !(self.participation.is_finite()
+            && self.participation > 0.0
+            && self.participation <= 1.0)
+        {
+            return Err(PlanError::BadParticipation(self.participation));
+        }
+        if let Some(alpha) = self.non_iid_alpha {
+            if !(alpha.is_finite() && alpha > 0.0) {
+                return Err(PlanError::BadNonIidAlpha(alpha));
+            }
+        }
+        if let AggregationPolicy::Buffered { target: 0 } = self.aggregation {
+            return Err(PlanError::ZeroBufferTarget);
+        }
+        let tree = plan_tree(self)?;
+        let (topology, level_links) = plan_topology(self, tree.as_ref())?;
+        let (uplink, downlink, psum) = plan_stages(self, tree.as_ref())?;
+        Ok(RoundPlan { config: self.clone(), tree, topology, level_links, uplink, downlink, psum })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedsz::ErrorBound;
+
+    fn base() -> FlConfig {
+        FlConfig::smoke_test()
+    }
+
+    #[test]
+    fn smoke_config_plans_cleanly() {
+        let plan = base().plan().expect("smoke config is valid");
+        assert!(plan.tree.is_none());
+        assert!(matches!(plan.topology, Some(Topology::Shared(_))));
+        assert!(matches!(plan.uplink, StagePolicy::Lossy(_)));
+        assert_eq!(plan.downlink, StagePolicy::Raw);
+        assert_eq!(plan.psum, StagePolicy::Raw);
+        assert!(plan.level_links.is_none());
+        assert_eq!(plan.shard_count(), None);
+    }
+
+    #[test]
+    fn shard_counts_outside_the_cohort_are_errors_not_clamps() {
+        // The satellite fix: the legacy ShardPlan clamped these.
+        let mut config = base();
+        config.clients = 4;
+        config.shards = Some(0);
+        assert_eq!(
+            config.plan().unwrap_err(),
+            PlanError::ShardsOutOfRange { shards: 0, clients: 4 }
+        );
+        config.shards = Some(5);
+        assert_eq!(
+            config.plan().unwrap_err(),
+            PlanError::ShardsOutOfRange { shards: 5, clients: 4 }
+        );
+        config.shards = Some(4);
+        let plan = config.plan().expect("full-width shard count is legal");
+        assert_eq!(plan.shard_count(), Some(4));
+    }
+
+    #[test]
+    fn shards_with_tree_is_a_conflict() {
+        let mut config = base();
+        config.clients = 4;
+        config.shards = Some(2);
+        config.tree = Some(vec![2, 2]);
+        assert_eq!(config.plan().unwrap_err(), PlanError::TopologyConflict);
+    }
+
+    #[test]
+    fn training_fields_are_validated() {
+        let mut config = base();
+        config.participation = 0.0;
+        assert_eq!(config.plan().unwrap_err(), PlanError::BadParticipation(0.0));
+        config.participation = 1.5;
+        assert_eq!(config.plan().unwrap_err(), PlanError::BadParticipation(1.5));
+        config.participation = f64::NAN;
+        assert!(matches!(config.plan().unwrap_err(), PlanError::BadParticipation(_)));
+
+        let mut config = base();
+        config.lr = 0.0;
+        assert_eq!(config.plan().unwrap_err(), PlanError::BadLearningRate(0.0));
+        config.lr = -0.1;
+        assert!(matches!(config.plan().unwrap_err(), PlanError::BadLearningRate(_)));
+
+        let mut config = base();
+        config.batch_size = 0;
+        assert_eq!(config.plan().unwrap_err(), PlanError::ZeroBatch);
+
+        let mut config = base();
+        config.rounds = 0;
+        assert_eq!(config.plan().unwrap_err(), PlanError::NoRounds);
+
+        let mut config = base();
+        config.clients = 0;
+        assert_eq!(config.plan().unwrap_err(), PlanError::NoClients);
+
+        let mut config = base();
+        config.non_iid_alpha = Some(-1.0);
+        assert_eq!(config.plan().unwrap_err(), PlanError::BadNonIidAlpha(-1.0));
+
+        let mut config = base();
+        config.aggregation = AggregationPolicy::Buffered { target: 0 };
+        assert_eq!(config.plan().unwrap_err(), PlanError::ZeroBufferTarget);
+    }
+
+    #[test]
+    fn link_lists_must_match_the_cohort() {
+        let mut config = base();
+        config.clients = 3;
+        config.links = Some(vec![LinkProfile::default()]);
+        assert_eq!(
+            config.plan().unwrap_err(),
+            PlanError::LinkCountMismatch { links: 1, clients: 3 }
+        );
+        // A hand-built profile with out-of-range fields is caught too.
+        config.links = Some(vec![
+            LinkProfile::default(),
+            LinkProfile { drop_prob: 2.0, ..LinkProfile::default() },
+            LinkProfile::default(),
+        ]);
+        assert_eq!(config.plan().unwrap_err(), PlanError::BadLinkProfile { client: 1 });
+    }
+
+    #[test]
+    fn edge_links_must_match_the_leaves_and_need_a_tree() {
+        let mut config = base();
+        config.clients = 4;
+        config.edge_links = Some(vec![LinkProfile::default(); 2]);
+        assert_eq!(config.plan().unwrap_err(), PlanError::EdgeLinksWithoutTree);
+        config.shards = Some(3);
+        assert_eq!(
+            config.plan().unwrap_err(),
+            PlanError::EdgeLinkCountMismatch { links: 2, leaves: 3 }
+        );
+        config.edge_links = Some(vec![LinkProfile::default(); 3]);
+        let plan = config.plan().expect("matching edge links are valid");
+        assert_eq!(plan.level_links.as_ref().map(|l| l[0].len()), Some(3));
+    }
+
+    #[test]
+    fn compressing_stages_need_a_codec() {
+        let mut config = base();
+        config.compression = None;
+        config.downlink = DownlinkMode::Compressed;
+        assert_eq!(config.plan().unwrap_err(), PlanError::MissingCodec { leg: StageLeg::Downlink });
+        config.downlink = DownlinkMode::Adaptive;
+        assert!(matches!(config.plan().unwrap_err(), PlanError::MissingCodec { .. }));
+    }
+
+    #[test]
+    fn psum_without_a_tree_is_rejected() {
+        let mut config = base();
+        config.psum = PsumMode::Lossless;
+        assert_eq!(config.plan().unwrap_err(), PlanError::PsumWithoutTree);
+        config.shards = Some(2);
+        let plan = config.plan().expect("psum over a tree is valid");
+        assert_eq!(plan.psum, StagePolicy::Lossless);
+    }
+
+    #[test]
+    fn stage_policy_legality_table_is_enforced() {
+        let lossy = StagePolicy::Lossy(FedSzConfig::default());
+        assert!(lossy.validate_for(StageLeg::Uplink).is_ok());
+        assert!(lossy.validate_for(StageLeg::Downlink).is_ok());
+        // Lossy psum frames would break bit-parity with flat FedAvg.
+        assert_eq!(
+            lossy.validate_for(StageLeg::Psum).unwrap_err(),
+            PlanError::IllegalStagePolicy { leg: StageLeg::Psum, policy: "lossy" }
+        );
+        assert!(StagePolicy::Lossless.validate_for(StageLeg::Psum).is_ok());
+        assert!(StagePolicy::Lossless.validate_for(StageLeg::Uplink).is_err());
+        assert!(StagePolicy::Lossless.validate_for(StageLeg::Downlink).is_err());
+        // Adaptive must wrap a real compressed policy and inherit its
+        // leg legality.
+        let adaptive_raw = StagePolicy::Adaptive { compressed: Box::new(StagePolicy::Raw) };
+        assert!(adaptive_raw.validate_for(StageLeg::Uplink).is_err());
+        let adaptive_lossy = StagePolicy::Adaptive { compressed: Box::new(lossy.clone()) };
+        assert!(adaptive_lossy.validate_for(StageLeg::Uplink).is_ok());
+        assert!(adaptive_lossy.validate_for(StageLeg::Psum).is_err());
+        for leg in [StageLeg::Uplink, StageLeg::Downlink, StageLeg::Psum] {
+            assert!(StagePolicy::Raw.validate_for(leg).is_ok());
+        }
+    }
+
+    #[test]
+    fn stage_policy_canonicalization_matches_the_legacy_knobs() {
+        // adaptive_compression with no codec canonicalizes to Raw (the
+        // engine's legacy should_compress returned false there).
+        let mut config = base();
+        config.compression = None;
+        config.adaptive_compression = true;
+        assert_eq!(config.plan().unwrap().uplink, StagePolicy::Raw);
+
+        let mut config = base();
+        config.adaptive_compression = true;
+        let plan = config.plan().unwrap();
+        assert!(plan.uplink.is_adaptive());
+        assert_eq!(plan.uplink.fedsz(), config.compression);
+
+        let mut config = base();
+        config.compression =
+            Some(FlConfig::tiny_model_compression().with_error_bound(ErrorBound::Relative(1e-3)));
+        config.downlink = DownlinkMode::Compressed;
+        let plan = config.plan().unwrap();
+        assert_eq!(plan.downlink, StagePolicy::Lossy(config.compression.unwrap()));
+        assert_eq!(plan.downlink.fedsz(), config.compression);
+    }
+
+    #[test]
+    fn tree_canonicalization_unifies_shards_and_tree() {
+        let mut config = base();
+        config.clients = 8;
+        config.shards = Some(4);
+        let plan = config.plan().unwrap();
+        assert_eq!(plan.tree_fanouts(), Some(&[4][..]));
+        assert_eq!(plan.shard_count(), Some(4));
+
+        let mut config = base();
+        config.clients = 8;
+        config.tree = Some(vec![2, 4]);
+        let plan = config.plan().unwrap();
+        assert_eq!(plan.tree_fanouts(), Some(&[2, 4][..]));
+        assert_eq!(plan.shard_count(), Some(2));
+        // Explicit tree specs may legally out-leaf the cohort (surplus
+        // leaves own empty ranges); only the `shards` shorthand is
+        // strict.
+        config.tree = Some(vec![2, 8]);
+        assert!(config.plan().is_ok());
+        config.tree = Some(vec![2, 0]);
+        assert_eq!(config.plan().unwrap_err(), PlanError::ZeroFanout { level: 1 });
+        config.tree = Some(Vec::new());
+        assert_eq!(config.plan().unwrap_err(), PlanError::EmptyTree);
+    }
+
+    #[test]
+    fn topology_canonicalization_prefers_links_over_the_shared_pipe() {
+        let mut config = base();
+        config.clients = 2;
+        config.links = Some(vec![LinkProfile::symmetric(1e6); 2]);
+        config.bandwidth_bps = Some(10e6);
+        let plan = config.plan().unwrap();
+        match plan.topology {
+            Some(Topology::Dedicated(links)) => assert_eq!(links[0].bandwidth_bps, 1e6),
+            other => panic!("expected dedicated links, got {other:?}"),
+        }
+        // No network model at all.
+        config.links = None;
+        config.bandwidth_bps = None;
+        let plan = config.plan().unwrap();
+        assert!(plan.topology.is_none());
+    }
+
+    #[test]
+    fn errors_render_actionable_messages() {
+        let mut config = base();
+        config.clients = 4;
+        config.shards = Some(9);
+        let message = config.plan().unwrap_err().to_string();
+        assert!(message.contains("9 shards for 4 clients"), "{message}");
+        config.shards = None;
+        config.participation = 2.0;
+        let message = config.plan().unwrap_err().to_string();
+        assert!(message.contains("(0, 1]"), "{message}");
+    }
+}

@@ -18,9 +18,10 @@
 //! [`ScalingConfig::psum_lossless`] prices them through the lossless
 //! partial-sum codec instead of as raw `f64` streams.
 
-use crate::agg::{PartialSum, PsumForwarder, PsumMode, TreePlan};
+use crate::agg::{PartialSum, PsumForwarder, TreePlan};
 use crate::client::Client;
 use crate::link::{self, Departure, LinkProfile, Topology};
+use crate::plan::{PlanError, StagePolicy};
 use fedsz::{FedSz, FedSzConfig};
 use fedsz_data::{DatasetKind, SyntheticConfig};
 use fedsz_nn::models::tiny::TinyArch;
@@ -111,20 +112,50 @@ impl Default for ScalingConfig {
 }
 
 impl ScalingConfig {
-    /// Per-level fan-outs of the configured hierarchy:
-    /// [`ScalingConfig::tree`] verbatim when set, else
-    /// [`ScalingConfig::shards`] as a one-level tree (a zero shard
-    /// count degrades to one shard, as the legacy `ShardPlan` clamp
-    /// did), else `None` (flat server).
-    pub fn tree_fanouts(&self) -> Option<Vec<usize>> {
-        self.tree.clone().or_else(|| self.shards.map(|s| vec![s.max(1)]))
+    /// Validates and canonicalizes the harness's topology and
+    /// partial-sum knobs for a `clients`-wide round: the
+    /// `shards`/`tree` pair becomes one [`TreePlan`] (`None` = flat
+    /// server) and `psum_lossless` becomes the partial-sum-leg
+    /// [`StagePolicy`] — the same plan-level vocabulary the round
+    /// engine consumes. Surplus leaves (more edges than clients) stay
+    /// legal here, as they are for explicit `tree` specs: empty edges
+    /// simply never forward a frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PlanError`] when `shards`/`tree` conflict, a shard
+    /// or fan-out count is zero, the bandwidth is not positive, or
+    /// `clients == 0` — conditions the harness used to clamp or
+    /// assert on mid-run.
+    pub fn plan(&self, clients: usize) -> Result<(Option<TreePlan>, StagePolicy), PlanError> {
+        if clients == 0 {
+            return Err(PlanError::NoClients);
+        }
+        if !(self.bandwidth_bps.is_finite() && self.bandwidth_bps > 0.0) {
+            return Err(PlanError::BadBandwidth(self.bandwidth_bps));
+        }
+        let fanouts = match (&self.tree, self.shards) {
+            (Some(_), Some(_)) => return Err(PlanError::TopologyConflict),
+            (Some(fanouts), None) => {
+                crate::plan::validate_tree_fanouts(fanouts)?;
+                Some(fanouts.clone())
+            }
+            (None, Some(0)) => return Err(PlanError::ShardsOutOfRange { shards: 0, clients }),
+            (None, Some(shards)) => Some(vec![shards]),
+            (None, None) => None,
+        };
+        let tree = fanouts.map(|f| TreePlan::new(clients, f));
+        let psum = if self.psum_lossless { StagePolicy::Lossless } else { StagePolicy::Raw };
+        psum.validate_for(crate::plan::StageLeg::Psum)?;
+        Ok((tree, psum))
     }
 }
 
 /// Runs one federated round with `clients` clients on `workers` threads,
 /// measuring compute and simulating communication.
 pub fn run_round(config: &ScalingConfig, clients: usize, workers: usize) -> ScalingPoint {
-    assert!(clients > 0 && workers > 0, "clients and workers must be positive");
+    assert!(workers > 0, "workers must be positive");
+    let (tree, psum) = config.plan(clients).unwrap_or_else(|e| panic!("{e}"));
     let (train, _) = config.dataset.generate(&config.data);
     let shards = train.shard(clients);
     let channels = config.dataset.channels();
@@ -175,7 +206,7 @@ pub fn run_round(config: &ScalingConfig, clients: usize, workers: usize) -> Scal
     });
     let compute_secs = t0.elapsed().as_secs_f64();
 
-    let (comm_secs, root_ingress_bytes) = match config.tree_fanouts() {
+    let (comm_secs, root_ingress_bytes) = match tree {
         None => {
             // Serialized shared-pipe accounting via the virtual-time
             // event queue (equivalent to summing per-payload transfer
@@ -194,7 +225,7 @@ pub fn run_round(config: &ScalingConfig, clients: usize, workers: usize) -> Scal
             let arrivals = link::schedule(&departures, &topology);
             (link::comm_secs(&arrivals, &topology), payload_sizes.iter().sum())
         }
-        Some(fanouts) => tree_comm(config, &global, &payload_sizes, fanouts),
+        Some(plan) => tree_comm(config, &global, &payload_sizes, plan, &psum),
     };
     ScalingPoint { workers, clients, compute_secs, comm_secs, root_ingress_bytes }
 }
@@ -208,9 +239,9 @@ fn tree_comm(
     config: &ScalingConfig,
     global: &StateDict,
     payload_sizes: &[usize],
-    fanouts: Vec<usize>,
+    plan: TreePlan,
+    psum: &StagePolicy,
 ) -> (f64, usize) {
-    let plan = TreePlan::new(payload_sizes.len(), fanouts);
     // The frame a node ships is a function of the model geometry, not
     // of the cohort, so one exemplar partial — framed by the same
     // `PsumForwarder` the tree aggregator uses, so the byte accounting
@@ -218,8 +249,9 @@ fn tree_comm(
     // hop.
     let mut exemplar = PartialSum::new();
     exemplar.accumulate(global, 1.0);
-    let mode = if config.psum_lossless { PsumMode::Lossless } else { PsumMode::Raw };
-    let frame = PsumForwarder::new(mode).frame(0, 0, &exemplar, None);
+    let frame = PsumForwarder::from_policy(psum)
+        .expect("scaling plan validated the psum policy")
+        .frame(0, 0, &exemplar, None);
     let edge_pipe = LinkProfile::symmetric(config.bandwidth_bps);
     let backbone = LinkProfile::symmetric(EDGE_BACKBONE_BPS);
     let mut slowest_leaf = 0.0f64;
@@ -368,6 +400,36 @@ mod tests {
             four.root_ingress_bytes, sixty_four.root_ingress_bytes,
             "empty edges must not forward frames"
         );
+    }
+
+    #[test]
+    fn scaling_plan_rejects_the_old_silent_degradations() {
+        let mut config = tiny_config(false);
+        config.shards = Some(0);
+        assert_eq!(
+            config.plan(4).unwrap_err(),
+            PlanError::ShardsOutOfRange { shards: 0, clients: 4 }
+        );
+        config.shards = Some(2);
+        config.tree = Some(vec![2, 2]);
+        assert_eq!(config.plan(4).unwrap_err(), PlanError::TopologyConflict);
+        config.shards = None;
+        config.tree = Some(vec![2, 0]);
+        assert_eq!(config.plan(4).unwrap_err(), PlanError::ZeroFanout { level: 1 });
+        config.tree = None;
+        config.bandwidth_bps = -1.0;
+        assert!(matches!(config.plan(4).unwrap_err(), PlanError::BadBandwidth(_)));
+        assert_eq!(tiny_config(false).plan(0).unwrap_err(), PlanError::NoClients);
+        // Surplus edges stay legal (empty leaves never forward).
+        let mut surplus = tiny_config(false);
+        surplus.shards = Some(64);
+        let (tree, psum) = surplus.plan(4).unwrap();
+        assert_eq!(tree.unwrap().leaves(), 64);
+        assert_eq!(psum, StagePolicy::Raw);
+        let mut lossless = tiny_config(false);
+        lossless.psum_lossless = true;
+        let (_, psum) = lossless.plan(4).unwrap();
+        assert_eq!(psum, StagePolicy::Lossless);
     }
 
     #[test]

@@ -22,11 +22,13 @@ use std::error::Error;
 fn main() -> Result<(), Box<dyn Error>> {
     let rounds = 5;
 
-    let mut base = FlConfig::paper_default(TinyArch::ResNet, DatasetKind::Cifar10Like);
-    base.rounds = rounds;
+    let base = FlConfig::builder()
+        .arch(TinyArch::ResNet)
+        .dataset(DatasetKind::Cifar10Like)
+        .rounds(rounds)
+        .build();
 
-    let mut plain_cfg = base.clone();
-    plain_cfg.compression = None;
+    let plain_cfg = FlConfig { compression: None, ..base.clone() };
     let plain = Experiment::new(plain_cfg).run();
     let fedsz = Experiment::new(base.clone()).run();
 

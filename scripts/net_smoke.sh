@@ -8,7 +8,9 @@ set -euo pipefail
 
 BIN=${BIN:-target/release/fedsz}
 PORT=${PORT:-7453}
-FLAGS=(--clients 4 --rounds 2 --train-per-class 4 --seed 9)
+# One declarative run spec drives every process (clients 4, rounds 2,
+# train-per-class 4, seed 9); per-process flags add only the role.
+FLAGS=(--config examples/configs/socket.toml)
 WORKDIR=$(mktemp -d)
 trap 'rm -rf "$WORKDIR"' EXIT
 

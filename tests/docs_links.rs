@@ -92,9 +92,56 @@ fn architecture_names_real_modules() {
         ("agg::TreePlan", "crates/fl/src/agg/plan.rs"),
         ("PsumForwarder", "crates/fl/src/agg/psum.rs"),
         ("protocol::Message", "crates/fl/src/protocol.rs"),
+        ("RoundPlan", "crates/fl/src/plan.rs"),
+        ("StagePolicy", "crates/fl/src/plan.rs"),
+        ("PlanError", "crates/fl/src/plan.rs"),
     ] {
         assert!(doc.contains(token), "ARCHITECTURE.md no longer mentions `{token}`");
         assert!(root().join(path).exists(), "`{token}` documented but `{path}` is gone");
+    }
+}
+
+#[test]
+fn example_run_specs_exist_parse_and_are_documented() {
+    // Every shipped run spec must parse under the CLI's spec grammar
+    // (a stale key after a flag rename must fail this test, not the
+    // user), and the docs must mention the directory so the specs are
+    // discoverable.
+    let dir = root().join("examples/configs");
+    let mut specs = 0usize;
+    for entry in std::fs::read_dir(&dir).expect("examples/configs/ must exist") {
+        let path = entry.expect("readable dir entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("toml") {
+            continue;
+        }
+        specs += 1;
+        let text = std::fs::read_to_string(&path).expect("readable spec");
+        let entries = fedsz_cli::spec::parse_spec(&text)
+            .unwrap_or_else(|e| panic!("{} does not parse: {e}", path.display()));
+        assert!(!entries.is_empty(), "{} is an empty spec", path.display());
+        // Specs must expand to flags the CLI accepts end to end.
+        let mut args = vec!["fl".to_string(), "--rounds".into(), "1".into()];
+        args.push("--config".into());
+        args.push(path.to_string_lossy().into_owned());
+        // Only validate the parse/validation path cheaply: a spec that
+        // fails flag parsing or plan validation reports code != 0 with
+        // a message; a valid one would train, which is the CI smoke
+        // job's (not this test's) budget. Parse-only: expand + config.
+        let expanded = fedsz_cli::spec::expand_config(&args)
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        assert!(expanded.len() >= args.len() - 2, "expansion lost arguments");
+    }
+    assert!(specs >= 3, "expected the paper/tree/socket example specs, found {specs}");
+    for doc_name in ["README.md", "ARCHITECTURE.md"] {
+        let doc = read(doc_name);
+        assert!(
+            doc.contains("examples/configs"),
+            "{doc_name} must point readers at the example run specs"
+        );
+    }
+    // The named examples the docs walk through must exist.
+    for name in ["paper.toml", "tree_depth3.toml", "socket.toml"] {
+        assert!(dir.join(name).exists(), "examples/configs/{name} is documented but missing");
     }
 }
 
@@ -114,6 +161,8 @@ fn readme_fl_flags_match_the_cli_usage() {
         "--downlink",
         "--tree",
         "--psum",
+        "--config",
+        "--json",
     ] {
         assert!(readme.contains(flag), "README quickstart lost the `{flag}` example");
         assert!(

@@ -1,0 +1,337 @@
+//! The config/plan split's contract tests.
+//!
+//! Three layers:
+//!
+//! 1. **Golden bit-parity.** The checksums below were captured by
+//!    running the *pre-redesign* engine (the field-by-field
+//!    `RoundEngine::new` that read `shards`/`tree`/`links`/
+//!    `downlink`/`psum` directly) on a spread of representative
+//!    configurations. The plan-based engine must reproduce every one
+//!    bit for bit — the redesign is an API change, not a numerics
+//!    change.
+//! 2. **Canonicalization parity.** For arbitrary configurations, the
+//!    plan either fails with a typed [`PlanError`] or its canonical
+//!    tree/topology agree with the legacy field-by-field derivation
+//!    rules (reimplemented here as the reference), and the
+//!    `RoundEngine::new` (config) and `RoundEngine::from_plan` (plan)
+//!    construction paths produce bit-identical rounds.
+//! 3. **Builder equivalence.** `FlConfig::builder()` chains produce
+//!    the same configs (and therefore the same bits) as field-by-field
+//!    struct mutation.
+
+use fedsz_fl::engine::RoundEngine;
+use fedsz_fl::link::Topology;
+use fedsz_fl::net::global_checksum;
+use fedsz_fl::plan::{PlanError, StagePolicy};
+use fedsz_fl::transport::InMemoryTransport;
+use fedsz_fl::{DownlinkMode, Experiment, FlConfig, LinkProfile, PsumMode};
+use proptest::prelude::*;
+
+fn checksum_of(config: FlConfig) -> u32 {
+    let mut exp = Experiment::new(config);
+    exp.run();
+    global_checksum(exp.global_state())
+}
+
+/// Checksums captured from the pre-redesign engine (same seed, same
+/// shim RNG, synchronous deterministic configurations only — adaptive
+/// and buffered modes key on measured wall time and are exempt from
+/// bit-parity by design, as they were across transports).
+#[test]
+fn plan_based_engine_reproduces_pre_redesign_checksums() {
+    let base = FlConfig::smoke_test;
+    let mut configs: Vec<(&str, FlConfig, u32)> = Vec::new();
+    configs.push(("smoke", base(), 0x82c3c3f4));
+    {
+        let mut c = base();
+        c.clients = 8;
+        c.shards = Some(4);
+        configs.push(("shards4", c, 0xf4b41e60));
+    }
+    {
+        let mut c = base();
+        c.clients = 8;
+        c.tree = Some(vec![2, 4]);
+        c.psum = PsumMode::Lossless;
+        configs.push(("tree2x4-lossless", c, 0xf4b41e60));
+    }
+    {
+        let mut c = base();
+        c.downlink = DownlinkMode::Compressed;
+        configs.push(("downlink", c, 0xe49849c8));
+    }
+    {
+        let mut c = base();
+        c.clients = 4;
+        c.participation = 0.5;
+        configs.push(("participation", c, 0x8848b4fb));
+    }
+    {
+        let mut c = base();
+        c.clients = 4;
+        c.weighted_aggregation = true;
+        c.non_iid_alpha = Some(0.5);
+        configs.push(("weighted-noniid", c, 0xf05591f1));
+    }
+    {
+        let mut c = base();
+        c.clients = 3;
+        c.links = Some(vec![
+            LinkProfile::symmetric(100e6),
+            LinkProfile::symmetric(1e6).with_drop_prob(1.0),
+            LinkProfile::symmetric(10e6),
+        ]);
+        configs.push(("links-drop", c, 0x8185b97a));
+    }
+    {
+        let mut c = base();
+        c.compression = None;
+        configs.push(("plain", c, 0x7ab2a739));
+    }
+    {
+        let mut c = base();
+        c.latency_secs = 0.02;
+        configs.push(("latency", c, 0x82c3c3f4));
+    }
+    {
+        let mut c = base();
+        c.clients = 6;
+        c.shards = Some(3);
+        c.edge_links = Some(vec![LinkProfile::symmetric(1e9); 3]);
+        c.psum = PsumMode::Lossless;
+        c.downlink = DownlinkMode::Compressed;
+        configs.push(("edges-all-stages", c, 0x6bb28c83));
+    }
+    for (name, config, want) in configs {
+        let got = checksum_of(config);
+        assert_eq!(
+            got, want,
+            "`{name}`: plan-based engine produced 0x{got:08x}, pre-redesign code produced \
+             0x{want:08x}"
+        );
+    }
+}
+
+/// The construction paths are one path: `RoundEngine::new(config)` is
+/// `from_plan(config.plan()?)`, bit for bit.
+#[test]
+fn config_and_plan_construction_paths_are_bit_identical() {
+    let mut config = FlConfig::smoke_test();
+    config.clients = 4;
+    config.shards = Some(2);
+    config.psum = PsumMode::Lossless;
+    config.downlink = DownlinkMode::Compressed;
+    let mut via_config = RoundEngine::new(config.clone(), Box::<InMemoryTransport>::default());
+    let plan = config.plan().expect("valid config");
+    let mut via_plan = RoundEngine::from_plan(plan, Box::<InMemoryTransport>::default());
+    for round in 0..config.rounds {
+        via_config.run_round(round);
+        via_plan.run_round(round);
+        assert_eq!(
+            via_config.global_state().to_bytes(),
+            via_plan.global_state().to_bytes(),
+            "construction paths diverged at round {round}"
+        );
+    }
+}
+
+/// The builder names only what differs and produces the exact same
+/// config (hence the exact same bits) as struct mutation.
+#[test]
+fn builder_matches_field_by_field_configuration() {
+    let built = FlConfig::builder()
+        .clients(8)
+        .rounds(2)
+        .seed(7)
+        .train_per_class(4)
+        .tree(vec![2, 4])
+        .psum(PsumMode::Lossless)
+        .downlink(DownlinkMode::Compressed)
+        .build();
+    let mut manual = FlConfig::paper_default(built.arch, built.dataset);
+    manual.clients = 8;
+    manual.rounds = 2;
+    manual.seed = 7;
+    manual.data.seed = 7;
+    manual.data.train_per_class = 4;
+    manual.tree = Some(vec![2, 4]);
+    manual.psum = PsumMode::Lossless;
+    manual.downlink = DownlinkMode::Compressed;
+    assert_eq!(format!("{built:?}"), format!("{manual:?}"));
+    let plan = built.plan().expect("builder output is valid");
+    assert_eq!(plan.shard_count(), Some(2));
+    assert_eq!(plan.psum, StagePolicy::Lossless);
+}
+
+/// The legacy (pre-redesign) field-by-field canonicalization rules,
+/// reimplemented as the proptest reference: `tree` silently outranked
+/// `shards`, `shards` was clamped into `[1, clients]`, and `links`
+/// outranked `bandwidth_bps`.
+fn legacy_fanouts(config: &FlConfig) -> Option<Vec<usize>> {
+    config.tree.clone().or_else(|| config.shards.map(|s| vec![s.clamp(1, config.clients.max(1))]))
+}
+
+#[derive(Debug, PartialEq)]
+enum LegacyTopology {
+    None,
+    Shared,
+    Dedicated,
+    Tree,
+}
+
+fn legacy_topology(config: &FlConfig) -> LegacyTopology {
+    let tree = legacy_fanouts(config).is_some();
+    match (&config.links, config.bandwidth_bps, tree) {
+        (Some(_), _, true) | (None, Some(_), true) => LegacyTopology::Tree,
+        (Some(_), _, false) => LegacyTopology::Dedicated,
+        (None, Some(_), false) => LegacyTopology::Shared,
+        (None, None, _) => LegacyTopology::None,
+    }
+}
+
+/// A tiny config so each generated case trains in milliseconds.
+fn tiny_base() -> FlConfig {
+    let mut config = FlConfig::smoke_test();
+    config.rounds = 1;
+    config.data.train_per_class = 1;
+    config.data.test_per_class = 1;
+    config
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Arbitrary configurations either fail `plan()` with a typed
+    /// `PlanError`, or the plan's canonical topology agrees with the
+    /// legacy field-by-field rules and the engine completes a round.
+    #[test]
+    fn arbitrary_configs_plan_or_fail_cleanly(
+        clients in 1usize..5,
+        shards in prop_oneof![
+            Just(None),
+            (0usize..7).prop_map(Some),
+        ],
+        tree in prop_oneof![
+            Just(None),
+            Just(Some(vec![2usize])),
+            Just(Some(vec![2usize, 2])),
+            Just(Some(vec![0usize, 2])),
+            Just(Some(Vec::new())),
+        ],
+        participation in prop_oneof![
+            Just(-0.5f64), Just(0.0), Just(0.4), Just(1.0), Just(1.5)
+        ],
+        lr in prop_oneof![Just(0.05f32), Just(0.0), Just(-1.0)],
+        batch in prop_oneof![Just(8usize), Just(0)],
+        compressed in any::<bool>(),
+        adaptive in any::<bool>(),
+        psum in prop_oneof![
+            Just(PsumMode::Raw), Just(PsumMode::Lossless), Just(PsumMode::Adaptive)
+        ],
+        downlink in prop_oneof![
+            Just(DownlinkMode::Raw),
+            Just(DownlinkMode::Compressed),
+            Just(DownlinkMode::Adaptive),
+        ],
+        link_count in prop_oneof![Just(None), (0usize..6).prop_map(Some)],
+        bandwidth in prop_oneof![Just(None), Just(Some(10e6)), Just(Some(-1.0))],
+    ) {
+        let mut config = tiny_base();
+        config.clients = clients;
+        config.shards = shards;
+        config.tree = tree;
+        config.participation = participation;
+        config.lr = lr;
+        config.batch_size = batch;
+        if !compressed {
+            config.compression = None;
+        }
+        config.adaptive_compression = adaptive;
+        config.psum = psum;
+        config.downlink = downlink;
+        config.links = link_count.map(|n| vec![LinkProfile::symmetric(5e6); n]);
+        config.bandwidth_bps = bandwidth;
+
+        match config.plan() {
+            Err(e) => {
+                // Errors are typed and actionable, never panics: the
+                // Display impl names the offending field.
+                let message = e.to_string();
+                prop_assert!(!message.is_empty());
+                // And the panicking construction path reports the same
+                // condition rather than clamping it away.
+                let result = std::panic::catch_unwind(|| {
+                    let _ = RoundEngine::new(
+                        config.clone(),
+                        Box::<InMemoryTransport>::default(),
+                    );
+                });
+                prop_assert!(
+                    result.is_err(),
+                    "plan rejected ({e:?}) but RoundEngine::new accepted the config"
+                );
+            }
+            Ok(plan) => {
+                // Canonical tree agrees with the legacy rules wherever
+                // the legacy rules did not clamp or prefer (any such
+                // config fails plan() and cannot reach this branch).
+                prop_assert_eq!(
+                    plan.tree_fanouts().map(<[usize]>::to_vec),
+                    legacy_fanouts(&config),
+                    "canonical tree diverged from the legacy derivation"
+                );
+                let got = match &plan.topology {
+                    None => LegacyTopology::None,
+                    Some(Topology::Shared(_)) => LegacyTopology::Shared,
+                    Some(Topology::Dedicated(_)) => LegacyTopology::Dedicated,
+                    Some(Topology::Tree { .. }) => LegacyTopology::Tree,
+                };
+                prop_assert_eq!(
+                    got,
+                    legacy_topology(&config),
+                    "canonical topology diverged from the legacy derivation"
+                );
+                // And the plan actually runs: one full round, no panic.
+                let mut engine =
+                    RoundEngine::from_plan(plan, Box::<InMemoryTransport>::default());
+                let metrics = engine.run_round(0);
+                prop_assert!(metrics.aggregated_updates + metrics.dropped_updates <= clients);
+            }
+        }
+    }
+
+    /// Deterministic (non-measurement-driven) valid configs are
+    /// bit-identical between the config-path and plan-path engines.
+    #[test]
+    fn valid_configs_are_bit_identical_across_construction_paths(
+        clients in 1usize..5,
+        shards in prop_oneof![Just(None), (1usize..4).prop_map(Some)],
+        compressed in any::<bool>(),
+        weighted in any::<bool>(),
+        seed in 0u64..1000,
+    ) {
+        let mut config = tiny_base();
+        config.clients = clients;
+        config.seed = seed;
+        config.data.seed = seed;
+        config.shards = shards.filter(|&s| s <= clients);
+        if !compressed {
+            config.compression = None;
+        }
+        config.weighted_aggregation = weighted;
+        let plan = match config.plan() {
+            Ok(plan) => plan,
+            Err(PlanError::ShardsOutOfRange { .. }) => return Ok(()),
+            Err(e) => return Err(TestCaseError::Fail(format!("unexpected plan error: {e}"))),
+        };
+        let mut via_config =
+            RoundEngine::new(config.clone(), Box::<InMemoryTransport>::default());
+        let mut via_plan = RoundEngine::from_plan(plan, Box::<InMemoryTransport>::default());
+        via_config.run_round(0);
+        via_plan.run_round(0);
+        prop_assert_eq!(
+            via_config.global_state().to_bytes(),
+            via_plan.global_state().to_bytes()
+        );
+    }
+}
