@@ -1,14 +1,17 @@
-//! Scale study of the hierarchical aggregation tree: 10^2 → 10^4
+//! Scale study of the hierarchical aggregation tree: 10^2 → 10^6
 //! clients at depths 2 → 4.
 //!
 //! The paper's Fig. 9 stops at 127 clients because the flat server
 //! merges one `O(clients · params)` serial loop behind one serialized
-//! link. This bench sweeps client counts two orders of magnitude past
+//! link. This bench sweeps client counts four orders of magnitude past
 //! that and, per point, sweeps the tree depth, comparing:
 //!
 //! * flat aggregation (one serial exact merge in client-id order) vs
-//!   the tree (parallel leaf merges, streamed so peak memory is one
-//!   update per worker, not `N`),
+//!   the tree (leaf merges spread across a worker pool, streamed so
+//!   peak memory is one update *per worker thread*, not `N` — the
+//!   cohort is synthesized in place into per-worker scratch dicts, so
+//!   a 10^6-client point costs the same resident memory as a
+//!   10^2-client one),
 //! * per-level ingress bytes: `N` serialized updates at the flat root
 //!   vs partial-sum frames climbing the hierarchy — with the lossless
 //!   psum codec on, so the frames ship compressed,
@@ -23,33 +26,39 @@
 //!
 //! Client updates are synthesized (base model + deterministic
 //! per-client perturbation) instead of trained — aggregation
-//! throughput is the quantity under study, and training 10^4 clients
+//! throughput is the quantity under study, and training 10^6 clients
 //! would drown it.
 //!
 //! Output is JSON (one array of sweep points) for CI and plotting.
-//! Flags: `--clients 100,1000,10000` (sweep list), `--shards N` (leaf
-//! aggregator count, default 16), `--depths 2,3,4` (tree depths to
-//! sweep), `--psum lossless|raw` (frame codec, default lossless),
-//! `--scale F` (model-size fraction, default 0.001), `--seed N`,
+//! Flags: `--clients 100,1000,10000` (sweep list; points at 10^5–10^6
+//! are practical because of the streaming generator), `--shards N`
+//! (leaf aggregator count, default 16), `--depths 2,3,4` (tree depths
+//! to sweep), `--threads N` (merge worker pool width, default the
+//! host's available parallelism), `--psum lossless|raw` (frame codec,
+//! default lossless), `--scale F` (model-size fraction, default
+//! 0.001), `--seed N`, `--min-speedup F` (assert `merge_speedup >= F`
+//! on every point — the CI perf gate; omitted means no assertion),
 //! `--out PATH` (stable-schema JSON report the repo tracks across PRs,
 //! default `BENCH_agg_scale.json`; `-` disables the file).
 //!
-//! `merge_speedup` tracks the host's core count (each leaf merges on
-//! its own worker thread); the JSON carries `worker_threads` so a
-//! single-core CI runner's ~1x reads as expected, not as a regression.
-//! The byte reductions and the parity bit are hardware-independent.
+//! `merge_speedup` tracks `--threads` (each leaf merges on a pool
+//! worker); the JSON carries `worker_threads` so a single-core CI
+//! runner's ~1x reads as expected, not as a regression. The byte
+//! reductions and the parity bit are hardware-independent.
 
 use fedsz::{FedSzConfig, LossyKind};
 use fedsz_bench::Args;
 use fedsz_fl::agg::{Downlink, DownlinkMode, PartialSum, PsumMode, ShardedTree, TreePlan};
 use fedsz_nn::models::specs::ModelSpec;
 use fedsz_nn::StateDict;
-use fedsz_tensor::Tensor;
 use std::time::Instant;
 
 /// Deterministic per-client perturbation of the base model (splitmix64
 /// stream keyed by client id), standing in for one round of local SGD.
-fn synth_update(base: &StateDict, client: usize, seed: u64) -> StateDict {
+/// Written *into* `scratch` so the sweep's streaming paths synthesize
+/// every client into one reused per-worker dict — zero allocations per
+/// client, and peak update memory is one dict per worker thread.
+fn synth_update_into(base: &StateDict, scratch: &mut StateDict, client: usize, seed: u64) {
     let mut state = seed ^ (client as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
     let mut next = move || {
         state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -58,21 +67,21 @@ fn synth_update(base: &StateDict, client: usize, seed: u64) -> StateDict {
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         z ^ (z >> 31)
     };
-    base.iter()
-        .map(|(name, tensor)| {
-            let data: Vec<f32> = tensor
-                .data()
-                .iter()
-                .map(|&v| v + (next() as f32 / u64::MAX as f32 - 0.5) * 0.01)
-                .collect();
-            (name.to_owned(), Tensor::from_vec(tensor.shape().to_vec(), data))
-        })
-        .collect()
+    for (name, tensor) in base.iter() {
+        let out = scratch.get_mut(name).expect("scratch is a clone of base");
+        for (dst, &v) in out.data_mut().iter_mut().zip(tensor.data()) {
+            *dst = v + (next() as f32 / u64::MAX as f32 - 0.5) * 0.01;
+        }
+    }
 }
 
 /// Splits `leaves` into `levels` fan-out factors, each as close to the
 /// geometric mean as its divisors allow (root downward; the last level
-/// absorbs the remainder so the product is exactly `leaves`).
+/// absorbs the remainder so the product is exactly `leaves`). Divisors
+/// are enumerated in complement pairs up to `√rest`, so a level costs
+/// `O(√rest)` instead of the old `O(rest)` trial division — the
+/// difference between microseconds and minutes once shard counts reach
+/// the 10^5–10^6 sweep's scale.
 fn fanouts_for(leaves: usize, levels: usize) -> Vec<usize> {
     let mut fanouts = Vec::with_capacity(levels);
     let mut rest = leaves;
@@ -82,10 +91,36 @@ fn fanouts_for(leaves: usize, levels: usize) -> Vec<usize> {
             break;
         }
         let target = (rest as f64).powf(1.0 / remaining as f64);
-        let best = (1..=rest)
-            .filter(|&d| rest.is_multiple_of(d))
-            .min_by(|&a, &b| (a as f64 - target).abs().total_cmp(&(b as f64 - target).abs()))
-            .unwrap_or(1);
+        let mut best = 1usize;
+        let mut best_gap = f64::INFINITY;
+        let mut consider = |d: usize| {
+            let gap = (d as f64 - target).abs();
+            // Strict `<` keeps the old full-scan tie-break (smallest
+            // divisor wins a tie) as long as candidates arrive in
+            // ascending order — see the loop below.
+            if gap < best_gap {
+                best = d;
+                best_gap = gap;
+            }
+        };
+        // Ascending low divisors, then ascending high complements:
+        // every candidate ≤ √rest before any > √rest, and each half is
+        // itself ascending, so ties resolve exactly as the old
+        // smallest-first scan did.
+        let mut high = Vec::new();
+        let mut d = 1usize;
+        while d * d <= rest {
+            if rest.is_multiple_of(d) {
+                consider(d);
+                if d != rest / d {
+                    high.push(rest / d);
+                }
+            }
+            d += 1;
+        }
+        for d in high.into_iter().rev() {
+            consider(d);
+        }
         fanouts.push(best);
         rest /= best;
     }
@@ -97,6 +132,10 @@ fn main() {
     let shards: usize = args.get("--shards", 16);
     let scale: f64 = args.get("--scale", 0.001);
     let seed: u64 = args.get("--seed", 7);
+    let threads: usize =
+        args.get("--threads", std::thread::available_parallelism().map_or(1, usize::from)).max(1);
+    let min_speedup: Option<f64> =
+        args.has("--min-speedup").then(|| args.get("--min-speedup", 1.0));
     let clients_list: Vec<usize> = args
         .get("--clients", "100,1000,10000".to_string())
         .split(',')
@@ -120,6 +159,9 @@ fn main() {
     let base = ModelSpec::alexnet().instantiate_scaled(seed, scale);
     let params = base.total_elements();
     let update_wire_bytes = base.to_bytes().len();
+    // Streaming peak: each pool worker owns one scratch update; the
+    // cohort never materializes. (The flat reference uses one.)
+    let peak_update_mem_bytes = threads * base.byte_size();
 
     // The downlink leg: encode the "global" once, as the engine would
     // each round, and report what the broadcast fan-out saves.
@@ -132,30 +174,49 @@ fn main() {
     let mut points = Vec::new();
     for &clients in &clients_list {
         let weight_of = |client: usize| 1.0 + (client % 7) as f64;
-        let make = |client: usize| (synth_update(&base, client, seed), weight_of(client));
 
-        // Flat reference: one serial exact merge in client-id order.
+        // Flat reference: one serial exact merge in client-id order,
+        // synthesized through a single reused scratch dict.
         let t_flat = Instant::now();
         let mut flat = PartialSum::new();
+        let mut scratch = base.clone();
         for client in 0..clients {
-            let (dict, weight) = make(client);
-            flat.accumulate(&dict, weight);
+            synth_update_into(&base, &mut scratch, client, seed);
+            flat.accumulate(&scratch, weight_of(client));
         }
         let flat_global = flat.finish().expect("non-empty cohort");
         let flat_ms = t_flat.elapsed().as_secs_f64() * 1e3;
         let flat_ingress = clients * update_wire_bytes;
+        drop(scratch);
 
         for &depth in &depths {
             let fanouts = fanouts_for(shards, depth - 1);
             let plan = TreePlan::new(clients, fanouts.clone());
             let root_children = plan.nodes_at(1);
-            let mut tree = ShardedTree::new(plan, None, psum);
+            let mut tree = ShardedTree::new(plan, None, psum).with_threads(threads);
             let t_tree = Instant::now();
-            let outcome = tree.aggregate_streamed(0, &make).expect("non-empty cohort");
+            let outcome = tree
+                .aggregate_streamed_with(
+                    0,
+                    || base.clone(),
+                    |client, scratch: &mut StateDict| {
+                        synth_update_into(&base, scratch, client, seed);
+                        (&*scratch, weight_of(client))
+                    },
+                )
+                .expect("non-empty cohort");
             let tree_ms = t_tree.elapsed().as_secs_f64() * 1e3;
+            let merge_speedup = flat_ms / tree_ms.max(1e-9);
 
             let parity = outcome.global.to_bytes() == flat_global.to_bytes();
             assert!(parity, "depth-{depth} tree diverged from flat at {clients} clients");
+            if let Some(floor) = min_speedup {
+                assert!(
+                    merge_speedup >= floor,
+                    "merge_speedup {merge_speedup:.2} below the --min-speedup {floor:.2} floor \
+                     at {clients} clients depth {depth} ({threads} threads)"
+                );
+            }
             let reduction = flat_ingress as f64 / outcome.root_ingress_bytes.max(1) as f64;
             let psum_ratio = outcome.psum_ratio();
 
@@ -191,7 +252,7 @@ fn main() {
             points.push(format!(
                 concat!(
                     "  {{\"clients\": {}, \"depth\": {}, \"fanouts\": \"{}\", \"params\": {}, ",
-                    "\"worker_threads\": {}, ",
+                    "\"worker_threads\": {}, \"peak_update_mem_bytes\": {}, ",
                     "\"flat_ms\": {:.1}, \"tree_ms\": {:.1}, \"merge_speedup\": {:.2}, ",
                     "\"flat_root_ingress_bytes\": {}, \"tree_root_ingress_bytes\": {}, ",
                     "\"level_ingress_bytes\": [{}], ",
@@ -204,10 +265,11 @@ fn main() {
                 depth,
                 fanouts.iter().map(usize::to_string).collect::<Vec<_>>().join("x"),
                 params,
-                std::thread::available_parallelism().map_or(1, usize::from),
+                threads,
+                peak_update_mem_bytes,
                 flat_ms,
                 tree_ms,
-                flat_ms / tree_ms.max(1e-9),
+                merge_speedup,
                 flat_ingress,
                 outcome.root_ingress_bytes,
                 level_ingress,
@@ -229,7 +291,7 @@ fn main() {
     let out_path: String = args.get("--out", "BENCH_agg_scale.json".to_string());
     if out_path != "-" {
         let wrapped = format!(
-            "{{\n\"schema\": \"fedsz.agg_scale.v1\",\n\"schema_version\": 1,\n\"points\": [\n{body}\n]\n}}\n"
+            "{{\n\"schema\": \"fedsz.agg_scale.v2\",\n\"schema_version\": 2,\n\"points\": [\n{body}\n]\n}}\n"
         );
         std::fs::write(&out_path, wrapped).expect("write --out report");
         eprintln!("wrote {out_path}");

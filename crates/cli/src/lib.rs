@@ -88,13 +88,13 @@ USAGE:
            [--policy sync|buffered:K] [--adaptive] [--non-iid ALPHA]
            [--weighted] [--no-compress] [--seed N] [--train-per-class N]
            [--shards S] [--tree F1xF2x...] [--psum raw|lossless|auto]
-           [--downlink raw|fedsz|auto]
+           [--downlink raw|fedsz|auto] [--threads N]
   fedsz serve [--config FILE] [--json] [--bind ADDR] [--clients N]
               [--rounds N] [--seed N]
               [--train-per-class N] [--arch ...] [--no-compress]
               [--downlink raw|fedsz] [--shards S] [--psum raw|lossless]
               [--shard I --connect ADDR] [--accept-timeout SECS]
-              [--round-timeout SECS]
+              [--round-timeout SECS] [--threads N]
   fedsz worker --id K [--config FILE] [--connect ADDR] [--clients N]
                [--rounds N] [--seed N] [--train-per-class N] [--arch ...]
                [--no-compress] [--adaptive] [--timeout SECS]
@@ -111,7 +111,9 @@ partial-sum frames); --tree 4x8 builds an arbitrary-depth hierarchy
 lossless compresses the inter-aggregator partial-sum frames with the
 byte-shuffle codec, --psum auto decides per edge with Eqn 1.
 --downlink fedsz FedSZ-encodes the broadcast once per round,
---downlink auto applies Eqn 1 with a raw fallback.
+--downlink auto applies Eqn 1 with a raw fallback. --threads N sets
+the tree's merge worker-pool width (default: host parallelism); it
+changes wall-clock only — any width produces identical bits.
 
 `fedsz serve` + `fedsz worker` run the SAME round across real
 processes over TCP: `serve` listens (default 127.0.0.1:7070), waits
@@ -474,6 +476,16 @@ fn shared_fl_config(args: &[String]) -> Result<FlConfig, String> {
         };
         if config.downlink != DownlinkMode::Raw && config.compression.is_none() {
             return Err("--downlink fedsz/auto requires compression (drop --no-compress)".into());
+        }
+    }
+    // Execution width, not semantics: the aggregation tree merges its
+    // leaves/levels on this many worker threads (default: the host's
+    // available parallelism). Any width produces identical bits, so
+    // multi-process peers need not agree on it.
+    if let Some(threads) = flag_value(args, "--threads") {
+        match threads.parse::<usize>() {
+            Ok(t) if t > 0 => config.worker_threads = Some(t),
+            _ => return Err("--threads expects a positive worker-thread count".into()),
         }
     }
     Ok(config)

@@ -66,6 +66,9 @@ const KNOWN_KEYS: &[&str] = &[
     "tree",
     "psum",
     "downlink",
+    // Execution width (wall-clock only — never shapes the bits, so
+    // multi-process peers may differ).
+    "threads",
     // fl simulator knobs.
     "participation",
     "bandwidth",

@@ -27,6 +27,25 @@ pub fn write_uvarint(out: &mut Vec<u8>, mut value: u64) {
     }
 }
 
+/// The byte length [`write_uvarint`] would append for `value`, without
+/// writing anything — the sizing half of the encoding, for callers
+/// that account for frames they never materialize.
+///
+/// # Examples
+///
+/// ```
+/// use fedsz_codec::varint::{uvarint_len, write_uvarint};
+///
+/// for value in [0, 1, 127, 128, 300, u64::MAX] {
+///     let mut buf = Vec::new();
+///     write_uvarint(&mut buf, value);
+///     assert_eq!(uvarint_len(value), buf.len());
+/// }
+/// ```
+pub fn uvarint_len(value: u64) -> usize {
+    (1 + 63u32.saturating_sub(value.leading_zeros()) / 7) as usize
+}
+
 /// Reads an unsigned LEB128 integer, advancing `pos`.
 ///
 /// # Errors

@@ -227,6 +227,25 @@ impl FedSz {
     /// Returns [`LossyError`] when a lossy tensor contains non-finite
     /// values or the configured bound is unusable.
     pub fn compress(&self, dict: &StateDict) -> std::result::Result<CompressedUpdate, LossyError> {
+        let mut bytes = Vec::new();
+        let stats = self.compress_into(dict, &mut bytes)?;
+        Ok(CompressedUpdate { bytes, stats })
+    }
+
+    /// Compresses into a caller-owned buffer, clearing it first — the
+    /// allocation-reusing form of [`FedSz::compress`] for hot loops
+    /// that encode every round (e.g. the broadcast leg). Produces the
+    /// same bitstream byte for byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LossyError`] when a lossy tensor contains non-finite
+    /// values or the configured bound is unusable.
+    pub fn compress_into(
+        &self,
+        dict: &StateDict,
+        out: &mut Vec<u8>,
+    ) -> std::result::Result<CompressStats, LossyError> {
         let lossy_codec = self.config.lossy.codec();
         let lossless_codec = self.config.lossless.codec();
 
@@ -234,24 +253,25 @@ impl FedSz {
             CompressStats { original_bytes: dict.byte_size(), ..CompressStats::default() };
 
         // Header: config + entry table (name, partition flag, shape).
-        let mut out = Vec::with_capacity(dict.byte_size() / 4 + 256);
+        out.clear();
+        out.reserve(dict.byte_size() / 4 + 256);
         out.extend_from_slice(MAGIC);
         out.push(VERSION);
         out.push(self.config.lossy.id());
         out.push(self.config.lossless.id());
-        write_error_bound(&mut out, self.config.error_bound);
-        write_uvarint(&mut out, self.config.threshold as u64);
-        write_uvarint(&mut out, dict.len() as u64);
+        write_error_bound(out, self.config.error_bound);
+        write_uvarint(out, self.config.threshold as u64);
+        write_uvarint(out, dict.len() as u64);
 
         let mut lossless_blob = Vec::new();
         let mut lossy_streams: Vec<Vec<u8>> = Vec::new();
         for (name, tensor) in dict.iter() {
             let lossy = partition::is_lossy(name, tensor.len(), self.config.threshold);
-            write_str(&mut out, name);
+            write_str(out, name);
             out.push(u8::from(lossy));
-            write_uvarint(&mut out, tensor.shape().len() as u64);
+            write_uvarint(out, tensor.shape().len() as u64);
             for &d in tensor.shape() {
-                write_uvarint(&mut out, d as u64);
+                write_uvarint(out, d as u64);
             }
             if lossy {
                 stats.lossy_elements += tensor.len();
@@ -270,23 +290,23 @@ impl FedSz {
         }
 
         for stream in &lossy_streams {
-            write_uvarint(&mut out, stream.len() as u64);
+            write_uvarint(out, stream.len() as u64);
             out.extend_from_slice(stream);
             stats.lossy_bytes += stream.len();
         }
         let packed_blob = lossless_codec.compress(&lossless_blob);
-        write_uvarint(&mut out, packed_blob.len() as u64);
+        write_uvarint(out, packed_blob.len() as u64);
         out.extend_from_slice(&packed_blob);
         stats.lossless_bytes += packed_blob.len();
 
         // Whole-stream CRC trailer: lossy payloads accept any bit
         // pattern as a "valid" float, so without this a corrupted update
         // could silently poison the server's aggregate.
-        let crc = fedsz_codec::checksum::crc32(&out);
-        fedsz_codec::varint::write_u32(&mut out, crc);
+        let crc = fedsz_codec::checksum::crc32(out);
+        fedsz_codec::varint::write_u32(out, crc);
 
         stats.compressed_bytes = out.len();
-        Ok(CompressedUpdate { bytes: out, stats })
+        Ok(stats)
     }
 
     /// Compresses the *difference* between `update` and a `reference`

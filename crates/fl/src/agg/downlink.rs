@@ -148,11 +148,31 @@ impl Downlink {
         bottleneck_bps: Option<f64>,
         cohort: usize,
     ) -> DownlinkPayload {
+        self.encode_reusing(global, bottleneck_bps, cohort, Vec::new())
+    }
+
+    /// [`Downlink::encode`] with a recycled byte buffer: `bytes` is
+    /// cleared and refilled, so a caller that hands last round's
+    /// [`DownlinkPayload::bytes`] back in pays zero broadcast
+    /// allocations at steady state. Output is byte-identical to
+    /// [`Downlink::encode`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the global model holds non-finite weights (the
+    /// codec's contract).
+    pub fn encode_reusing(
+        &self,
+        global: &StateDict,
+        bottleneck_bps: Option<f64>,
+        cohort: usize,
+        mut bytes: Vec<u8>,
+    ) -> DownlinkPayload {
         let raw_bytes = global.byte_size();
         if self.should_compress(raw_bytes, bottleneck_bps, cohort) {
             let codec = self.codec.as_ref().expect("compressing mode implies a codec");
             let t0 = Instant::now();
-            let bytes = codec.compress(global).expect("finite global weights").into_bytes();
+            codec.compress_into(global, &mut bytes).expect("finite global weights");
             DownlinkPayload {
                 bytes,
                 compressed: true,
@@ -160,12 +180,8 @@ impl Downlink {
                 raw_bytes,
             }
         } else {
-            DownlinkPayload {
-                bytes: global.to_bytes(),
-                compressed: false,
-                encode_secs: 0.0,
-                raw_bytes,
-            }
+            global.to_bytes_into(&mut bytes);
+            DownlinkPayload { bytes, compressed: false, encode_secs: 0.0, raw_bytes }
         }
     }
 
@@ -258,5 +274,24 @@ mod tests {
     #[should_panic(expected = "requires a FedSZ configuration")]
     fn compressing_mode_without_codec_rejected() {
         let _ = Downlink::new(DownlinkMode::Compressed, None);
+    }
+
+    #[test]
+    fn encode_reusing_is_byte_identical_and_reuses_capacity() {
+        for (downlink, label) in [
+            (Downlink::new(DownlinkMode::Raw, None), "raw"),
+            (Downlink::new(DownlinkMode::Compressed, Some(config())), "compressed"),
+        ] {
+            let fresh = downlink.encode(&model(), Some(10e6), 4);
+            let recycled = downlink.encode_reusing(&model(), Some(10e6), 4, vec![0xFF; 7]);
+            assert_eq!(recycled.bytes, fresh.bytes, "{label}");
+            assert_eq!(recycled.compressed, fresh.compressed, "{label}");
+            // Round-trip the buffer: steady state must not reallocate.
+            let warm = downlink.encode_reusing(&model(), Some(10e6), 4, recycled.bytes);
+            let cap = warm.bytes.capacity();
+            let steady = downlink.encode_reusing(&model(), Some(10e6), 4, warm.bytes);
+            assert_eq!(steady.bytes.capacity(), cap, "{label} reallocated at steady state");
+            assert_eq!(steady.bytes, fresh.bytes, "{label}");
+        }
     }
 }

@@ -60,12 +60,14 @@
 
 pub mod downlink;
 pub mod plan;
+pub mod pool;
 pub mod psum;
 pub mod shard;
 pub mod tree;
 
 pub use downlink::{Downlink, DownlinkMode, DownlinkPayload};
 pub use plan::TreePlan;
-pub use psum::{PsumForwarder, PsumFrame, PsumMode};
+pub use pool::WorkerPool;
+pub use psum::{PsumForwarder, PsumFrame, PsumMode, PsumScratch};
 pub use shard::{template_matches, ExactAcc, PartialSum, ShardPlan};
 pub use tree::{AggOutcome, Aggregator, Contribution, FlatAggregator, ShardedTree};

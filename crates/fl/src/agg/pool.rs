@@ -1,0 +1,157 @@
+//! A bounded fork-join worker pool for the aggregation hot path.
+//!
+//! The tree's per-level work — leaf cohort accumulation, sibling-shard
+//! merges, per-node frame pricing — is embarrassingly parallel *and*
+//! order-invariant once results are folded back in index order:
+//! [`ExactAcc`](crate::agg::ExactAcc) arithmetic is associative and
+//! commutative, so splitting the element-wise adds across threads
+//! cannot move a bit as long as the serial fold that consumes the
+//! results walks nodes in ascending order (which
+//! [`ShardedTree`](crate::agg::ShardedTree) does).
+//!
+//! [`WorkerPool::run`] is deliberately tiny: scoped threads pull task
+//! indices off one atomic counter and write results into pre-sized
+//! slots, so there is no unsafe code, no channel allocation per task,
+//! and results come back in task order regardless of which worker ran
+//! what. [`WorkerPool::run_with`] adds per-worker scratch state (one
+//! synthesis buffer or frame-pricing scratch per *thread*, not per
+//! task) — the mechanism behind the streaming cohort generator's
+//! "peak memory = one update per worker" guarantee.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A fixed-width fork-join helper: `threads` workers drain an indexed
+/// task list and return results in task order.
+///
+/// Width 0 is normalized to 1; width 1 (or a single task) runs inline
+/// on the caller's thread with no spawning at all, so serial configs
+/// pay nothing for the abstraction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerPool {
+    threads: usize,
+}
+
+impl WorkerPool {
+    /// A pool of `threads` workers (0 is treated as 1).
+    pub fn new(threads: usize) -> Self {
+        Self { threads: threads.max(1) }
+    }
+
+    /// A pool as wide as the host: `std::thread::available_parallelism`,
+    /// or 1 when the host cannot say.
+    pub fn host_wide() -> Self {
+        Self::new(std::thread::available_parallelism().map_or(1, usize::from))
+    }
+
+    /// Configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `f(0..tasks)` across the pool and returns the results in
+    /// task order.
+    pub fn run<T, F>(&self, tasks: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        self.run_with(tasks, || (), |task, ()| f(task))
+    }
+
+    /// Runs `f(task, &mut scratch)` across the pool with one `scratch`
+    /// (from `init`) per worker thread, returning results in task
+    /// order. Scratch state lives exactly as long as its worker, so a
+    /// run over `n` tasks allocates at most `min(threads, n)` scratch
+    /// buffers no matter how large `n` is.
+    pub fn run_with<T, S, I, F>(&self, tasks: usize, init: I, f: F) -> Vec<T>
+    where
+        T: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(usize, &mut S) -> T + Sync,
+    {
+        if tasks == 0 {
+            return Vec::new();
+        }
+        let width = self.threads.min(tasks);
+        if width <= 1 {
+            let mut scratch = init();
+            return (0..tasks).map(|task| f(task, &mut scratch)).collect();
+        }
+        // One atomic cursor hands out task indices; each worker writes
+        // into its tasks' pre-sized slots. No unsafe, no per-task
+        // channel traffic, deterministic result order.
+        let cursor = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<T>>> = (0..tasks).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..width {
+                scope.spawn(|| {
+                    let mut scratch = init();
+                    loop {
+                        let task = cursor.fetch_add(1, Ordering::Relaxed);
+                        if task >= tasks {
+                            break;
+                        }
+                        let result = f(task, &mut scratch);
+                        *slots[task].lock().expect("worker slot poisoned") = Some(result);
+                    }
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("worker slot poisoned")
+                    .expect("every task index was claimed and completed")
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_width_is_normalized() {
+        assert_eq!(WorkerPool::new(0).threads(), 1);
+    }
+
+    #[test]
+    fn results_come_back_in_task_order_at_any_width() {
+        for threads in [1, 2, 3, 8, 64] {
+            let pool = WorkerPool::new(threads);
+            let got = pool.run(100, |task| task * task);
+            let want: Vec<usize> = (0..100).map(|t| t * t).collect();
+            assert_eq!(got, want, "width {threads}");
+        }
+    }
+
+    #[test]
+    fn empty_task_lists_are_fine() {
+        let got: Vec<usize> = WorkerPool::new(4).run(0, |t| t);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn scratch_is_per_worker_not_per_task() {
+        use std::sync::atomic::AtomicUsize;
+        let inits = AtomicUsize::new(0);
+        let pool = WorkerPool::new(3);
+        let got = pool.run_with(
+            50,
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+                Vec::<usize>::new()
+            },
+            |task, scratch| {
+                scratch.push(task);
+                task
+            },
+        );
+        assert_eq!(got, (0..50).collect::<Vec<_>>());
+        let created = inits.load(Ordering::Relaxed);
+        assert!(created <= 3, "expected at most one scratch per worker, got {created}");
+    }
+}

@@ -71,6 +71,45 @@ pub struct PsumFrame {
     pub sample: Option<CostProfile>,
 }
 
+/// Sizes the wire frame a partial sum would ride without building it:
+/// the payload is lent to a [`Message`] just long enough for
+/// [`Message::encoded_len`] and handed back, so the caller's scratch
+/// buffer survives.
+fn psum_wire_len(
+    compressed: bool,
+    round: usize,
+    node: usize,
+    clients: u32,
+    weight: f64,
+    payload: &mut Vec<u8>,
+) -> usize {
+    let round = round as u32;
+    let shard = node as u32;
+    let lent = std::mem::take(payload);
+    let msg = if compressed {
+        Message::PartialSumCompressed { round, shard, clients, weight, payload: lent }
+    } else {
+        Message::PartialSum { round, shard, clients, weight, payload: lent }
+    };
+    let len = msg.encoded_len();
+    match msg {
+        Message::PartialSum { payload: lent, .. }
+        | Message::PartialSumCompressed { payload: lent, .. } => *payload = lent,
+        _ => unreachable!("constructed above"),
+    }
+    len
+}
+
+/// Reusable per-worker buffers for frame pricing: the encoded payload
+/// image and the compressed frame. One scratch per pricing worker
+/// (not per frame) keeps steady-state rounds free of per-frame `Vec`
+/// growth.
+#[derive(Debug, Clone, Default)]
+pub struct PsumScratch {
+    payload: Vec<u8>,
+    packed: Vec<u8>,
+}
+
 /// The per-edge compress-or-not stage for partial-sum frames.
 #[derive(Debug, Clone, Default)]
 pub struct PsumForwarder {
@@ -144,33 +183,64 @@ impl PsumForwarder {
         partial: &PartialSum,
         bandwidth_bps: Option<f64>,
     ) -> PsumFrame {
-        let payload = partial.encode_payload();
-        let payload_bytes = payload.len();
+        self.price_with(round, node, partial, bandwidth_bps, &mut PsumScratch::default())
+    }
+
+    /// [`PsumForwarder::price`] with caller-owned scratch buffers, the
+    /// steady-state form: the payload image and compressed frame are
+    /// built in `scratch` instead of freshly-allocated vectors, and the
+    /// wire size comes from [`Message::encoded_len`] so no frame is
+    /// materialized just to be measured.
+    ///
+    /// The codec round trip is *verified* on every frame in debug
+    /// builds (the bit-parity guarantee the test suite pins) but only
+    /// until a cost profile exists in release builds: the parent-side
+    /// decompress is work an in-process tree never otherwise does, and
+    /// re-checking a deterministic codec per frame was a large slice of
+    /// the tree's single-thread overhead at 10^3+ clients. Once the
+    /// EWMA profile is seeded, release builds charge the profiled
+    /// decompress cost instead of measuring one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a verified round trip fails to reproduce its input (a
+    /// codec bug, never data-dependent).
+    pub fn price_with(
+        &self,
+        round: usize,
+        node: usize,
+        partial: &PartialSum,
+        bandwidth_bps: Option<f64>,
+        scratch: &mut PsumScratch,
+    ) -> PsumFrame {
+        partial.encode_payload_into(&mut scratch.payload);
+        let payload_bytes = scratch.payload.len();
         let clients = partial.contributions() as u32;
         let weight = partial.weight_total();
         if self.should_compress(payload_bytes, bandwidth_bps) {
             let t0 = Instant::now();
-            let packed = self.codec.compress(&payload);
+            self.codec.compress_into(&scratch.payload, &mut scratch.packed);
             let compress_secs = t0.elapsed().as_secs_f64();
-            let t1 = Instant::now();
-            let back = self.codec.decompress(&packed).expect("self-produced psum frame");
-            let decompress_secs = t1.elapsed().as_secs_f64();
-            assert_eq!(back, payload, "lossless psum codec must round-trip bit-exactly");
-            let shipped_payload_bytes = packed.len();
+            let shipped_payload_bytes = scratch.packed.len();
+            let decompress_secs = if cfg!(debug_assertions) || self.profile.is_none() {
+                let t1 = Instant::now();
+                let back =
+                    self.codec.decompress(&scratch.packed).expect("self-produced psum frame");
+                let secs = t1.elapsed().as_secs_f64();
+                assert_eq!(
+                    back, scratch.payload,
+                    "lossless psum codec must round-trip bit-exactly"
+                );
+                secs
+            } else {
+                self.profile.map_or(0.0, |p| p.decompress_secs_per_byte * payload_bytes as f64)
+            };
             let sample = CostProfile {
                 compress_secs_per_byte: compress_secs / payload_bytes.max(1) as f64,
                 decompress_secs_per_byte: decompress_secs / payload_bytes.max(1) as f64,
                 ratio: payload_bytes as f64 / shipped_payload_bytes.max(1) as f64,
             };
-            let wire_bytes = Message::PartialSumCompressed {
-                round: round as u32,
-                shard: node as u32,
-                clients,
-                weight,
-                payload: packed,
-            }
-            .encode()
-            .len();
+            let wire_bytes = psum_wire_len(true, round, node, clients, weight, &mut scratch.packed);
             PsumFrame {
                 wire_bytes,
                 payload_bytes,
@@ -180,15 +250,8 @@ impl PsumForwarder {
                 sample: Some(sample),
             }
         } else {
-            let wire_bytes = Message::PartialSum {
-                round: round as u32,
-                shard: node as u32,
-                clients,
-                weight,
-                payload,
-            }
-            .encode()
-            .len();
+            let wire_bytes =
+                psum_wire_len(false, round, node, clients, weight, &mut scratch.payload);
             PsumFrame {
                 wire_bytes,
                 payload_bytes,
@@ -256,6 +319,43 @@ mod tests {
         let ratio = frame.payload_bytes as f64 / frame.shipped_payload_bytes as f64;
         assert!(ratio > 1.2, "psum ratio {ratio:.2} below the 1.2x floor");
         assert!(frame.codec_secs > 0.0);
+    }
+
+    #[test]
+    fn scratch_pricing_matches_real_frames_and_reuses_buffers() {
+        let fwd = PsumForwarder::new(PsumMode::Lossless);
+        let sum = partial(2048);
+        let mut scratch = PsumScratch::default();
+        let frame = fwd.price_with(0, 1, &sum, None, &mut scratch);
+        // The claimed wire size must equal a genuinely encoded frame.
+        let real = Message::PartialSumCompressed {
+            round: 0,
+            shard: 1,
+            clients: sum.contributions() as u32,
+            weight: sum.weight_total(),
+            payload: scratch.packed.clone(),
+        }
+        .encode()
+        .len();
+        assert_eq!(frame.wire_bytes, real);
+        // A second pricing on the same scratch reuses the allocations.
+        let cap = (scratch.payload.capacity(), scratch.packed.capacity());
+        let again = fwd.price_with(1, 1, &sum, None, &mut scratch);
+        assert_eq!(again.wire_bytes, frame.wire_bytes);
+        assert_eq!((scratch.payload.capacity(), scratch.packed.capacity()), cap);
+        // Raw pricing agrees with a real raw frame too.
+        let raw_fwd = PsumForwarder::new(PsumMode::Raw);
+        let raw = raw_fwd.price_with(2, 3, &sum, Some(1e6), &mut scratch);
+        let real_raw = Message::PartialSum {
+            round: 2,
+            shard: 3,
+            clients: sum.contributions() as u32,
+            weight: sum.weight_total(),
+            payload: sum.encode_payload(),
+        }
+        .encode()
+        .len();
+        assert_eq!(raw.wire_bytes, real_raw);
     }
 
     #[test]

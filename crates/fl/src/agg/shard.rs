@@ -145,6 +145,88 @@ impl ExactAcc {
     pub fn from_bits(bits: i128) -> Self {
         Self(bits)
     }
+
+    /// Folds `weight * values[i]` into `accs[i]` across a contiguous
+    /// slice — the batched form of [`ExactAcc::add`], bit-identical to
+    /// it by construction.
+    ///
+    /// The hot case (a normal finite term whose quantized shift lands
+    /// in `[0, 74]`) is a single biased-exponent range check followed by
+    /// one mask, one shift and one add; everything else — zeros,
+    /// subnormal products, magnitudes below the grid or past the `2^47`
+    /// ceiling, non-finite terms — falls through to the scalar
+    /// [`quantize`] path, which carries the range panics. There is no
+    /// separate rounding step to diverge: the fast path computes the
+    /// same `(frac | 2^52) << (e + FRAC_BITS)` the scalar path does.
+    ///
+    /// # Panics
+    ///
+    /// Panics on slice length mismatch, and wherever [`ExactAcc::add`]
+    /// panics (non-finite terms, magnitude `>= 2^47`, overflow).
+    pub fn add_slice(accs: &mut [ExactAcc], values: &[f32], weight: f64) {
+        assert_eq!(accs.len(), values.len(), "kernel slice length mismatch");
+        // shift = (biased - 1075) + FRAC_BITS must land in [0, 74].
+        const FAST_LO: i32 = 1075 - FRAC_BITS;
+        const FAST_HI: i32 = FAST_LO + 74;
+        for (acc, &v) in accs.iter_mut().zip(values) {
+            let term = weight * f64::from(v);
+            let bits = term.to_bits();
+            let biased = ((bits >> 52) & 0x7FF) as i32;
+            if (FAST_LO..=FAST_HI).contains(&biased) {
+                let m = (bits & ((1u64 << 52) - 1)) | (1 << 52);
+                let mag = i128::from(m) << (biased - FAST_LO);
+                let q = if bits >> 63 == 1 { -mag } else { mag };
+                acc.0 = acc.0.checked_add(q).expect("partial-sum overflow");
+            } else {
+                acc.add(term);
+            }
+        }
+    }
+
+    /// Merges `src[i]` into `dst[i]` across a contiguous slice — the
+    /// batched form of [`ExactAcc::merge`], shared by the in-process
+    /// tree levels and the remote relay's exact-frame ingestion.
+    ///
+    /// # Panics
+    ///
+    /// Panics on slice length mismatch or accumulator overflow.
+    pub fn merge_slice(dst: &mut [ExactAcc], src: &[ExactAcc]) {
+        assert_eq!(dst.len(), src.len(), "kernel slice length mismatch");
+        for (d, &s) in dst.iter_mut().zip(src) {
+            d.0 = d.0.checked_add(s.0).expect("partial-sum overflow");
+        }
+    }
+
+    /// Checked [`ExactAcc::merge_slice`]: adds `src` into `dst`
+    /// element-wise, and on the first overflow rolls the committed
+    /// prefix back to its exact prior bits and returns `false`.
+    /// (`i128` addition forms a group, so subtracting what was added
+    /// restores every element bit-for-bit — no validation scratch
+    /// buffer needed.)
+    ///
+    /// # Panics
+    ///
+    /// Panics on slice length mismatch.
+    pub fn try_merge_slice(dst: &mut [ExactAcc], src: &[ExactAcc]) -> bool {
+        assert_eq!(dst.len(), src.len(), "kernel slice length mismatch");
+        for i in 0..dst.len() {
+            match dst[i].0.checked_add(src[i].0) {
+                Some(sum) => dst[i].0 = sum,
+                None => {
+                    Self::unmerge_slice(&mut dst[..i], &src[..i]);
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Exact inverse of a committed [`ExactAcc::merge_slice`] prefix.
+    fn unmerge_slice(dst: &mut [ExactAcc], src: &[ExactAcc]) {
+        for (d, &s) in dst.iter_mut().zip(src) {
+            d.0 = d.0.wrapping_sub(s.0);
+        }
+    }
 }
 
 /// Contiguous, balanced assignment of client ids to edge shards.
@@ -296,7 +378,10 @@ impl PartialSum {
     /// shape mismatch.
     pub fn accumulate(&mut self, dict: &StateDict, weight: f64) {
         assert!(weight.is_finite() && weight > 0.0, "weights must be positive");
-        if self.entries.is_empty() {
+        // A recycled ([`PartialSum::reset`]) buffer whose zeroed entries
+        // already match the dict is reused as-is; anything else
+        // (re)builds the entry layout from the first contribution.
+        if self.entries.is_empty() || (self.is_empty() && !self.shape_matches(dict)) {
             self.entries = dict
                 .iter()
                 .map(|(name, t)| {
@@ -307,9 +392,7 @@ impl PartialSum {
         for (name, shape, accs) in &mut self.entries {
             let tensor = dict.get(name).unwrap_or_else(|| panic!("update missing entry `{name}`"));
             assert_eq!(tensor.shape(), &shape[..], "shape mismatch for `{name}`");
-            for (acc, &v) in accs.iter_mut().zip(tensor.data()) {
-                acc.add(weight * f64::from(v));
-            }
+            ExactAcc::add_slice(accs, tensor.data(), weight);
         }
         self.weight.add(weight);
         self.contributions += 1;
@@ -325,22 +408,69 @@ impl PartialSum {
         if other.is_empty() {
             return;
         }
-        if self.is_empty() {
+        if self.is_empty() && !self.layout_matches(&other) {
             *self = other;
+            return;
+        }
+        self.merge_from(&other);
+    }
+
+    /// Borrowing [`PartialSum::merge`]: folds `other` in without taking
+    /// ownership, so tree levels can recycle child buffers instead of
+    /// moving them. An empty `self` whose recycled (zeroed) entries
+    /// already match `other`'s layout merges in place — adding into
+    /// zeros reproduces `other`'s bits exactly — while a layout
+    /// mismatch rebuilds the entries by cloning.
+    ///
+    /// # Panics
+    ///
+    /// Panics when both sides hold contributions and disagree on entry
+    /// names or shapes, or on accumulator overflow.
+    pub fn merge_from(&mut self, other: &PartialSum) {
+        if other.is_empty() {
+            return;
+        }
+        if self.is_empty() && !self.layout_matches(other) {
+            self.entries.clear();
+            self.entries.extend(other.entries.iter().cloned());
+            self.weight = other.weight;
+            self.contributions = other.contributions;
             return;
         }
         assert_eq!(self.entries.len(), other.entries.len(), "partial sums disagree on entries");
         for ((name, shape, accs), (oname, oshape, oaccs)) in
-            self.entries.iter_mut().zip(other.entries)
+            self.entries.iter_mut().zip(&other.entries)
         {
-            assert_eq!(*name, oname, "partial sums disagree on entry order");
-            assert_eq!(*shape, oshape, "shape mismatch for `{name}`");
-            for (acc, oacc) in accs.iter_mut().zip(oaccs) {
-                acc.merge(oacc);
-            }
+            assert_eq!(name, oname, "partial sums disagree on entry order");
+            assert_eq!(shape, oshape, "shape mismatch for `{name}`");
+            ExactAcc::merge_slice(accs, oaccs);
         }
         self.weight.merge(other.weight);
         self.contributions += other.contributions;
+    }
+
+    /// Whether `self` and `other` agree on entry names, order, shapes
+    /// and element counts — the reuse test for pooled buffers,
+    /// independent of how many contributions either side holds.
+    pub fn layout_matches(&self, other: &PartialSum) -> bool {
+        self.entries.len() == other.entries.len()
+            && self.entries.iter().zip(&other.entries).all(
+                |((name, shape, accs), (oname, oshape, oaccs))| {
+                    name == oname && shape == oshape && accs.len() == oaccs.len()
+                },
+            )
+    }
+
+    /// Clears the sum for reuse while keeping every allocation: entry
+    /// names, shapes and accumulator buffers survive, so the next
+    /// round on a pooled buffer does no `Vec` growth when the model
+    /// layout repeats.
+    pub fn reset(&mut self) {
+        for (_, _, accs) in &mut self.entries {
+            accs.fill(ExactAcc::default());
+        }
+        self.weight = ExactAcc::default();
+        self.contributions = 0;
     }
 
     /// Divides by the total weight and rounds to `f32`, producing the
@@ -402,18 +532,17 @@ impl PartialSum {
             }
         }
         let weight = self.weight.checked_merge(other.weight).ok_or("weight overflow")?;
-        // Validate every addition before committing any, so a failed
-        // merge cannot leave `self` half-updated.
-        let mut merged: Vec<Vec<ExactAcc>> = Vec::with_capacity(self.entries.len());
-        for ((_, _, accs), (_, _, oaccs)) in self.entries.iter().zip(&other.entries) {
-            let mut out = Vec::with_capacity(accs.len());
-            for (acc, oacc) in accs.iter().zip(oaccs) {
-                out.push(acc.checked_merge(*oacc).ok_or("partial-sum overflow")?);
+        // Commit in place; on overflow, roll the committed prefix back
+        // bit-exactly (see [`ExactAcc::try_merge_slice`]) so a failed
+        // merge leaves `self` untouched without the old
+        // validate-then-commit pass's full-model scratch allocation.
+        for e in 0..self.entries.len() {
+            if !ExactAcc::try_merge_slice(&mut self.entries[e].2, &other.entries[e].2) {
+                for (done, (_, _, oaccs)) in self.entries[..e].iter_mut().zip(&other.entries) {
+                    ExactAcc::unmerge_slice(&mut done.2, oaccs);
+                }
+                return Err("partial-sum overflow");
             }
-            merged.push(out);
-        }
-        for ((_, _, accs), out) in self.entries.iter_mut().zip(merged) {
-            *accs = out;
         }
         self.weight = weight;
         self.contributions += other.contributions;
@@ -427,19 +556,35 @@ impl PartialSum {
     /// shard-dependent rounding — but this is the byte image the wire
     /// accounting charges for.)
     pub fn encode_payload(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(self.total_elements() * 8 + 64);
-        write_uvarint(&mut out, self.entries.len() as u64);
+        let mut out = Vec::new();
+        self.encode_payload_into(&mut out);
+        out
+    }
+
+    /// [`PartialSum::encode_payload`] into a caller-owned buffer
+    /// (cleared first), so per-frame pricing can reuse one allocation
+    /// across nodes and rounds.
+    pub fn encode_payload_into(&self, out: &mut Vec<u8>) {
+        out.clear();
+        // A reset/pooled buffer with zeroed entries is semantically the
+        // empty sum: ship the canonical empty image, not model-sized
+        // zeros.
+        if self.is_empty() {
+            write_uvarint(out, 0);
+            return;
+        }
+        out.reserve(self.total_elements() * 8 + 64);
+        write_uvarint(out, self.entries.len() as u64);
         for (name, shape, accs) in &self.entries {
-            write_str(&mut out, name);
-            write_uvarint(&mut out, shape.len() as u64);
+            write_str(out, name);
+            write_uvarint(out, shape.len() as u64);
             for &d in shape {
-                write_uvarint(&mut out, d as u64);
+                write_uvarint(out, d as u64);
             }
             for acc in accs {
                 out.extend_from_slice(&acc.value().to_bits().to_le_bytes());
             }
         }
-        out
     }
 
     /// Parses an [`PartialSum::encode_payload`] image back into `(name,
@@ -501,21 +646,38 @@ impl PartialSum {
     /// image is 2x the `f64` one; the lossless psum codec claws most of
     /// that back (the high bytes are sign extension).
     pub fn encode_exact(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(self.total_elements() * 16 + 64);
-        write_uvarint(&mut out, self.entries.len() as u64);
+        let mut out = Vec::new();
+        self.encode_exact_into(&mut out);
+        out
+    }
+
+    /// [`PartialSum::encode_exact`] into a caller-owned buffer (cleared
+    /// first), the relay path's per-round reusable variant.
+    pub fn encode_exact_into(&self, out: &mut Vec<u8>) {
+        out.clear();
+        // Canonical empty image for reset/pooled buffers (zeroed
+        // entries are semantically the empty sum) — byte-identical to
+        // encoding a fresh `PartialSum::new()`.
+        if self.is_empty() {
+            write_uvarint(out, 0);
+            out.extend_from_slice(&ExactAcc::default().to_bits().to_le_bytes());
+            write_uvarint(out, 0);
+            return;
+        }
+        out.reserve(self.total_elements() * 16 + 64);
+        write_uvarint(out, self.entries.len() as u64);
         for (name, shape, accs) in &self.entries {
-            write_str(&mut out, name);
-            write_uvarint(&mut out, shape.len() as u64);
+            write_str(out, name);
+            write_uvarint(out, shape.len() as u64);
             for &d in shape {
-                write_uvarint(&mut out, d as u64);
+                write_uvarint(out, d as u64);
             }
             for acc in accs {
                 out.extend_from_slice(&acc.to_bits().to_le_bytes());
             }
         }
         out.extend_from_slice(&self.weight.to_bits().to_le_bytes());
-        write_uvarint(&mut out, self.contributions as u64);
-        out
+        write_uvarint(out, self.contributions as u64);
     }
 
     /// Parses an [`PartialSum::encode_exact`] image back into a
@@ -795,5 +957,152 @@ mod tests {
         assert_eq!(entries[0].1, vec![3]);
         assert_eq!(entries[0].2, vec![0.5, -7.0, 22.0]);
         assert!(PartialSum::decode_payload(&payload[..payload.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn batched_kernel_matches_scalar_add_bit_for_bit() {
+        // Values spanning every kernel branch: fast-path normals, exact
+        // zeros, f32 subnormals, values whose weighted product goes
+        // subnormal, and magnitudes just under the 2^47 panic ceiling.
+        let values: Vec<f32> = vec![
+            0.0,
+            -0.0,
+            1.0,
+            -1.0,
+            0.127,
+            -3.75e4,
+            f32::MIN_POSITIVE,
+            -f32::MIN_POSITIVE,
+            1.0e-45, // f32 subnormal
+            1.0e38,
+            -1.0e38,
+            6.5e-30,
+        ];
+        for weight in [1.0, 1.0 / 3.0, 7.25e-9, 1.0e-290, 1.0e8] {
+            let mut batched = vec![ExactAcc::default(); values.len()];
+            let mut scalar = vec![ExactAcc::default(); values.len()];
+            // Skip weight/value combos the scalar path rejects; the
+            // panic-parity test below covers those.
+            if values.iter().any(|&v| (weight * f64::from(v)).abs() >= 2f64.powi(47)) {
+                continue;
+            }
+            ExactAcc::add_slice(&mut batched, &values, weight);
+            for (acc, &v) in scalar.iter_mut().zip(&values) {
+                acc.add(weight * f64::from(v));
+            }
+            for (b, s) in batched.iter().zip(&scalar) {
+                assert_eq!(b.to_bits(), s.to_bits(), "weight {weight:e}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_kernel_handles_threshold_magnitudes() {
+        // Just under the 2^47 ceiling quantizes; the fast-path bound
+        // (biased exponent 1069, shift 74) is inclusive.
+        let below = (2f64.powi(47) - 2f64.powi(20)) as f32;
+        let mut accs = vec![ExactAcc::default()];
+        ExactAcc::add_slice(&mut accs, &[below], 0.99);
+        let mut scalar = ExactAcc::default();
+        scalar.add(0.99 * f64::from(below));
+        assert_eq!(accs[0].to_bits(), scalar.to_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "fixed-point range")]
+    fn batched_kernel_keeps_the_range_panic() {
+        let mut accs = vec![ExactAcc::default()];
+        ExactAcc::add_slice(&mut accs, &[1.0e30], 1.0e30);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn batched_kernel_keeps_the_finite_panic() {
+        let mut accs = vec![ExactAcc::default()];
+        ExactAcc::add_slice(&mut accs, &[f32::INFINITY], 1.0);
+    }
+
+    #[test]
+    fn try_merge_slice_rolls_back_exactly() {
+        let mut dst = vec![
+            ExactAcc::from_bits(7),
+            ExactAcc::from_bits(i128::MAX - 1),
+            ExactAcc::from_bits(3),
+        ];
+        let src = vec![ExactAcc::from_bits(5), ExactAcc::from_bits(9), ExactAcc::from_bits(1)];
+        let before: Vec<i128> = dst.iter().map(|a| a.to_bits()).collect();
+        assert!(!ExactAcc::try_merge_slice(&mut dst, &src), "middle element must overflow");
+        let after: Vec<i128> = dst.iter().map(|a| a.to_bits()).collect();
+        assert_eq!(before, after, "failed merge must restore every element");
+        let ok = vec![ExactAcc::from_bits(1); 3];
+        assert!(ExactAcc::try_merge_slice(&mut dst, &ok));
+        assert_eq!(dst[0].to_bits(), 8);
+    }
+
+    #[test]
+    fn reset_recycles_the_buffer_without_moving_bits() {
+        let mut pooled = PartialSum::new();
+        pooled.accumulate(&dict(&[1.0, 2.0, 3.0]), 2.0);
+        pooled.reset();
+        assert!(pooled.is_empty());
+        assert_eq!(pooled.weight_total(), 0.0);
+
+        // Recycled accumulate must equal a fresh one bit-for-bit.
+        let mut fresh = PartialSum::new();
+        for sum in [&mut pooled, &mut fresh] {
+            sum.accumulate(&dict(&[0.5, -0.25, 9.0]), 3.0);
+        }
+        assert_eq!(pooled.finish().unwrap().to_bytes(), fresh.finish().unwrap().to_bytes());
+
+        // A recycled buffer accepts a *different* layout by rebuilding.
+        pooled.reset();
+        let mut other_arch = StateDict::new();
+        other_arch.insert("b.bias", Tensor::from_vec(vec![2], vec![1.0, -1.0]));
+        pooled.accumulate(&other_arch, 1.0);
+        assert_eq!(pooled.finish().unwrap().get("b.bias").unwrap().data(), &[1.0, -1.0]);
+    }
+
+    #[test]
+    fn merge_from_into_recycled_buffer_matches_moving_merge() {
+        let mut a = PartialSum::new();
+        a.accumulate(&dict(&[1.0, 2.0, 3.0]), 1.5);
+        let mut b = PartialSum::new();
+        b.accumulate(&dict(&[-0.5, 0.25, 7.0]), 2.5);
+
+        let mut moved = a.clone();
+        moved.merge(b.clone());
+
+        // Borrow-merge through a recycled, layout-matching buffer.
+        let mut pooled = a.clone();
+        pooled.reset();
+        pooled.merge_from(&a);
+        pooled.merge_from(&b);
+        assert_eq!(pooled.contributions(), moved.contributions());
+        assert_eq!(pooled.finish().unwrap().to_bytes(), moved.finish().unwrap().to_bytes());
+
+        // Borrow-merge into a fresh (layout-less) buffer clones.
+        let mut fresh = PartialSum::new();
+        fresh.merge_from(&a);
+        fresh.merge_from(&b);
+        assert_eq!(fresh.finish().unwrap().to_bytes(), moved.finish().unwrap().to_bytes());
+    }
+
+    #[test]
+    fn try_merge_overflow_leaves_self_untouched() {
+        let mut near_max = PartialSum::new();
+        near_max.accumulate(&dict(&[1.0, 2.0, 3.0]), 1.0);
+        // Push a mid-entry accumulator to the ceiling so the in-place
+        // commit overflows after a prefix has already landed.
+        near_max.entries[0].2[1] = ExactAcc::from_bits(i128::MAX - 1);
+        let before = near_max.encode_exact();
+
+        let mut hostile = PartialSum::new();
+        hostile.accumulate(&dict(&[4.0, 5.0, 6.0]), 1.0);
+        assert!(near_max.try_merge(hostile.clone()).is_err());
+        assert_eq!(near_max.encode_exact(), before, "failed merge must not corrupt the partial");
+
+        // A sane frame still merges afterwards.
+        hostile.entries[0].2[1] = ExactAcc::from_bits(0);
+        assert!(near_max.try_merge(hostile).is_ok());
     }
 }

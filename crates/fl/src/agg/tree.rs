@@ -23,11 +23,13 @@
 //! fan-outs — the property the parity tests pin down.
 
 use crate::agg::plan::TreePlan;
-use crate::agg::psum::{PsumForwarder, PsumFrame, PsumMode};
+use crate::agg::pool::WorkerPool;
+use crate::agg::psum::{PsumForwarder, PsumFrame, PsumMode, PsumScratch};
 use crate::agg::shard::{PartialSum, ShardPlan};
 use crate::link::LinkProfile;
 use crate::plan::{PlanError, StagePolicy};
 use fedsz_nn::StateDict;
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// One policy-accepted, already-decoded update as aggregation input.
@@ -146,6 +148,45 @@ impl Aggregator for FlatAggregator {
     }
 }
 
+/// A free list of recycled [`PartialSum`] buffers. Steady-state rounds
+/// take a reset buffer (entries, names and accumulator `Vec`s intact),
+/// fold into it, and hand it back after the parent consumed it — so a
+/// long-running tree does no per-round accumulator allocation once the
+/// first round has warmed the pool. Cloning a tree starts an empty
+/// pool (buffers are round-local state, not configuration).
+#[derive(Debug, Default)]
+struct BufferPool {
+    free: Mutex<Vec<PartialSum>>,
+}
+
+impl BufferPool {
+    /// A zeroed buffer: recycled (allocations intact) when one is
+    /// available, freshly default-constructed otherwise.
+    fn take(&self) -> PartialSum {
+        match self.free.lock().expect("buffer pool poisoned").pop() {
+            Some(mut sum) => {
+                sum.reset();
+                sum
+            }
+            None => PartialSum::new(),
+        }
+    }
+
+    /// Returns a consumed buffer to the pool (layout-less buffers carry
+    /// no allocations worth keeping and are dropped).
+    fn put(&self, sum: PartialSum) {
+        if sum.total_elements() > 0 {
+            self.free.lock().expect("buffer pool poisoned").push(sum);
+        }
+    }
+}
+
+impl Clone for BufferPool {
+    fn clone(&self) -> Self {
+        Self::default()
+    }
+}
+
 /// Arbitrary-depth aggregation hierarchy: contiguous client ranges per
 /// leaf, parallel leaf merges, and one partial-sum frame per node per
 /// hop climbing to the root.
@@ -157,6 +198,11 @@ pub struct ShardedTree {
     /// over). `None` skips the timing model entirely.
     levels: Option<Vec<Vec<LinkProfile>>>,
     forwarder: PsumForwarder,
+    /// Worker width for leaf merges and frame pricing. Exact integer
+    /// accumulation is order- and grouping-invariant, so any width
+    /// produces the same bits (the parity proptests pin this).
+    threads: usize,
+    buffers: BufferPool,
 }
 
 impl ShardedTree {
@@ -187,7 +233,27 @@ impl ShardedTree {
                 );
             }
         }
-        Self { plan, levels, forwarder: PsumForwarder::new(psum) }
+        Self {
+            plan,
+            levels,
+            forwarder: PsumForwarder::new(psum),
+            threads: WorkerPool::host_wide().threads(),
+            buffers: BufferPool::default(),
+        }
+    }
+
+    /// Sets the worker width for leaf merges and frame pricing (0 is
+    /// treated as 1; the default is the host's available parallelism).
+    /// Width cannot move a bit: the parity tests hold at every width.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The configured worker width.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Builds the tree from a validated plan-level [`StagePolicy`] for
@@ -238,29 +304,53 @@ impl ShardedTree {
     /// Streams synthesized updates through the tree without holding the
     /// whole cohort in memory: each leaf worker calls `make` for the
     /// clients it owns (ascending) and folds the result straight into
-    /// its partial sum. This is what lets the scale bench sweep 10^4
-    /// clients — peak memory is one update per worker, not `N`.
+    /// its partial sum, so peak memory is one update per *worker*, not
+    /// `N`. Convenience wrapper over
+    /// [`ShardedTree::aggregate_streamed_with`] for generators that
+    /// build a fresh dict per client; generators that can overwrite a
+    /// scratch dict in place should use the `_with` form directly and
+    /// skip the per-client allocation too.
     pub fn aggregate_streamed<F>(&mut self, round: usize, make: &F) -> Option<AggOutcome>
     where
         F: Fn(usize) -> (StateDict, f64) + Sync,
     {
+        self.aggregate_streamed_with(
+            round,
+            || None,
+            |client, slot: &mut Option<StateDict>| {
+                let (dict, weight) = make(client);
+                (&*slot.insert(dict), weight)
+            },
+        )
+    }
+
+    /// The zero-allocation streaming form: `init` builds one scratch
+    /// value per worker thread, `fill` overwrites it for each client
+    /// and lends out the update to fold in. A pool of
+    /// [`ShardedTree::threads`] workers drains the leaves, so the
+    /// cohort's memory high-water mark is `threads` scratch values plus
+    /// the tree's partial sums — independent of the client count.
+    pub fn aggregate_streamed_with<S, I, F>(
+        &mut self,
+        round: usize,
+        init: I,
+        fill: F,
+    ) -> Option<AggOutcome>
+    where
+        I: Fn() -> S + Sync,
+        F: for<'a> Fn(usize, &'a mut S) -> (&'a StateDict, f64) + Sync,
+    {
         let plan = self.plan.clone();
         let t0 = Instant::now();
-        let partials: Vec<PartialSum> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..plan.leaves())
-                .map(|leaf| {
-                    let plan = &plan;
-                    scope.spawn(move || {
-                        let mut sum = PartialSum::new();
-                        for client in plan.leaf_range(leaf) {
-                            let (dict, weight) = make(client);
-                            sum.accumulate(&dict, weight);
-                        }
-                        sum
-                    })
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("leaf worker panicked")).collect()
+        let pool = WorkerPool::new(self.threads);
+        let buffers = &self.buffers;
+        let partials: Vec<PartialSum> = pool.run_with(plan.leaves(), init, |leaf, scratch| {
+            let mut sum = buffers.take();
+            for client in plan.leaf_range(leaf) {
+                let (dict, weight) = fill(client, scratch);
+                sum.accumulate(dict, weight);
+            }
+            sum
         });
         self.reduce(round, partials, vec![0.0; plan.leaves()], t0)
     }
@@ -282,33 +372,31 @@ impl ShardedTree {
         let mut level_ingress_bytes = vec![0usize; depth - 1];
         let mut psum_payload_bytes = 0usize;
         let mut psum_wire_bytes = 0usize;
+        let pool = WorkerPool::new(self.threads);
         for level in (1..depth).rev() {
             let fanout = self.plan.fanouts()[level - 1];
             let parents = self.plan.nodes_at(level - 1);
             // Frame pricing (including the lossless codec work, the
             // expensive part) is independent per node, so it runs on
-            // parallel workers like the leaf merges do; the measured
-            // cost samples are folded back in ascending node order
-            // below, keeping the EWMA profile deterministic.
+            // the worker pool with one pricing scratch per worker; the
+            // measured cost samples are folded back in ascending node
+            // order below, keeping the EWMA profile deterministic.
             let forwarder = &self.forwarder;
-            let frames: Vec<Option<PsumFrame>> = std::thread::scope(|scope| {
-                let handles: Vec<_> = partials
-                    .iter()
-                    .enumerate()
-                    .map(|(node, partial)| {
-                        let bandwidth = self.uplink(level, node).map(|l| l.bandwidth_bps);
-                        scope.spawn(move || {
-                            (!partial.is_empty())
-                                .then(|| forwarder.price(round, node, partial, bandwidth))
-                        })
-                    })
-                    .collect();
-                handles.into_iter().map(|h| h.join().expect("frame worker panicked")).collect()
-            });
-            let mut parent_partials = vec![PartialSum::new(); parents];
+            let frames: Vec<Option<PsumFrame>> =
+                pool.run_with(partials.len(), PsumScratch::default, |node, scratch| {
+                    let partial = &partials[node];
+                    let bandwidth = self.uplink(level, node).map(|l| l.bandwidth_bps);
+                    (!partial.is_empty())
+                        .then(|| forwarder.price_with(round, node, partial, bandwidth, scratch))
+                });
+            let mut parent_partials: Vec<PartialSum> =
+                (0..parents).map(|_| self.buffers.take()).collect();
             let mut parent_ready = vec![0.0f64; parents];
             for ((node, partial), frame) in partials.into_iter().enumerate().zip(frames) {
-                let Some(frame) = frame else { continue };
+                let Some(frame) = frame else {
+                    self.buffers.put(partial);
+                    continue;
+                };
                 self.forwarder.observe(&frame);
                 level_ingress_bytes[level - 1] += frame.wire_bytes;
                 psum_payload_bytes += frame.payload_bytes;
@@ -320,8 +408,10 @@ impl ShardedTree {
                     parent_ready[parent].max(ready[node] + frame.codec_secs + transfer);
                 // Ascending-node iteration gives the ascending-child
                 // merge order; exact accumulators make the grouping
-                // irrelevant to the bits anyway.
-                parent_partials[parent].merge(partial);
+                // irrelevant to the bits anyway. Borrow-merging lets
+                // the consumed child return to the buffer pool.
+                parent_partials[parent].merge_from(&partial);
+                self.buffers.put(partial);
             }
             partials = parent_partials;
             ready = parent_ready;
@@ -329,6 +419,7 @@ impl ShardedTree {
         let root = partials.pop().expect("a tree always has a root");
         let merged = root.contributions();
         let global = root.finish()?;
+        self.buffers.put(root);
         Some(AggOutcome {
             global,
             merged,
@@ -367,27 +458,24 @@ impl Aggregator for ShardedTree {
         for c in contributions {
             per_leaf[plan.leaf_of(c.client)].push(c);
         }
+        for cohort in &mut per_leaf {
+            cohort.sort_by_key(|c| c.client);
+        }
         let t0 = Instant::now();
-        // Each leaf merges its cohort in ascending client-id order on
-        // its own worker thread; the leaf is "ready" once its slowest
-        // accepted member arrived and the merge itself completed.
-        let merged_leaves: Vec<(PartialSum, f64)> = std::thread::scope(|scope| {
-            let handles: Vec<_> = per_leaf
-                .into_iter()
-                .map(|mut cohort| {
-                    scope.spawn(move || {
-                        cohort.sort_by_key(|c| c.client);
-                        let ready = cohort.iter().map(|c| c.done_secs).fold(0.0, f64::max);
-                        let t_leaf = Instant::now();
-                        let mut sum = PartialSum::new();
-                        for c in &cohort {
-                            sum.accumulate(&c.dict, c.weight);
-                        }
-                        (sum, ready + t_leaf.elapsed().as_secs_f64())
-                    })
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("leaf worker panicked")).collect()
+        // Each leaf merges its cohort in ascending client-id order on a
+        // pooled worker; the leaf is "ready" once its slowest accepted
+        // member arrived and the merge itself completed.
+        let pool = WorkerPool::new(self.threads);
+        let buffers = &self.buffers;
+        let merged_leaves: Vec<(PartialSum, f64)> = pool.run(per_leaf.len(), |leaf| {
+            let cohort = &per_leaf[leaf];
+            let ready = cohort.iter().map(|c| c.done_secs).fold(0.0, f64::max);
+            let t_leaf = Instant::now();
+            let mut sum = buffers.take();
+            for c in cohort {
+                sum.accumulate(&c.dict, c.weight);
+            }
+            (sum, ready + t_leaf.elapsed().as_secs_f64())
         });
         let (partials, ready): (Vec<_>, Vec<_>) = merged_leaves.into_iter().unzip();
         self.reduce(round, partials, ready, t0)

@@ -108,6 +108,10 @@ pub struct RoundEngine {
     topology: Option<Topology>,
     aggregator: Box<dyn Aggregator>,
     downlink: Downlink,
+    /// Recycled broadcast buffer: each round's encoded global is built
+    /// in last round's allocation (`Downlink::encode_reusing`), so the
+    /// steady-state broadcast path allocates nothing.
+    broadcast_buf: Vec<u8>,
     pending: Vec<StaleUpdate>,
     codec_profile: Option<CostProfile>,
 }
@@ -133,7 +137,16 @@ impl RoundEngine {
     /// non-IID), initializes the global model and instantiates the
     /// plan's canonical topology, aggregator and stage policies.
     pub fn from_plan(plan: RoundPlan, transport: Box<dyn Transport>) -> Self {
-        let RoundPlan { config, tree, topology, level_links, uplink, downlink, psum } = plan;
+        let RoundPlan {
+            config,
+            tree,
+            topology,
+            level_links,
+            uplink,
+            downlink,
+            psum,
+            worker_threads,
+        } = plan;
         // Every leg re-validates at executor construction (downlink
         // and psum below via their from_policy constructors), so even
         // a hand-built plan cannot smuggle an illegal policy in.
@@ -157,7 +170,8 @@ impl RoundEngine {
         let aggregator: Box<dyn Aggregator> = match tree {
             Some(tree) => Box::new(
                 ShardedTree::from_policy(tree, level_links, &psum)
-                    .expect("plan validated the psum policy"),
+                    .expect("plan validated the psum policy")
+                    .with_threads(worker_threads),
             ),
             None => Box::new(FlatAggregator),
         };
@@ -174,6 +188,7 @@ impl RoundEngine {
             topology,
             aggregator,
             downlink,
+            broadcast_buf: Vec::new(),
             pending: Vec::new(),
             codec_profile: None,
         }
@@ -283,7 +298,12 @@ impl RoundEngine {
         let bottleneck_bps = self.topology.as_ref().map(|t| {
             selected.iter().map(|&id| t.link(id).bandwidth_bps).fold(f64::INFINITY, f64::min)
         });
-        let payload = self.downlink.encode(&self.global, bottleneck_bps, selected.len());
+        let payload = self.downlink.encode_reusing(
+            &self.global,
+            bottleneck_bps,
+            selected.len(),
+            std::mem::take(&mut self.broadcast_buf),
+        );
 
         // Broadcast: the encoded model crosses the transport once per
         // cohort client, exactly as it would on a real network. A
@@ -328,6 +348,8 @@ impl RoundEngine {
         let downlink_ratio = payload.ratio();
         let downlink_secs = payload.encode_secs + decode_secs;
         self.downlink.observe(&payload, decode_secs);
+        // Hand the buffer back so next round's encode reuses it.
+        self.broadcast_buf = payload.bytes;
         let shared_downlink_global = decoded_global.as_ref();
         let decisions: Vec<bool> = selected.iter().map(|&id| self.should_compress(id)).collect();
 

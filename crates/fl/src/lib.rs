@@ -147,6 +147,13 @@ pub struct FlConfig {
     /// (the paper's setting), FedSZ-encoded once per round, or Eqn-1
     /// adaptive with a raw fallback.
     pub downlink: DownlinkMode,
+    /// Worker width for the aggregation hot path (leaf merges and
+    /// partial-sum frame pricing run on a pool this wide). `None`
+    /// resolves to the host's available parallelism at plan time.
+    /// Exact integer accumulation is order-invariant, so the width
+    /// cannot change a single bit of the global model — only how fast
+    /// it is produced. `Some(0)` is rejected by [`FlConfig::plan`].
+    pub worker_threads: Option<usize>,
 }
 
 impl FlConfig {
@@ -185,6 +192,7 @@ impl FlConfig {
             edge_links: None,
             psum: PsumMode::Raw,
             downlink: DownlinkMode::Raw,
+            worker_threads: None,
         }
     }
 
@@ -219,6 +227,7 @@ impl FlConfig {
             edge_links: None,
             psum: PsumMode::Raw,
             downlink: DownlinkMode::Raw,
+            worker_threads: None,
         }
     }
 
@@ -485,6 +494,14 @@ impl FlConfigBuilder {
     /// Broadcast-leg mode.
     pub fn downlink(mut self, downlink: DownlinkMode) -> Self {
         self.config.downlink = downlink;
+        self
+    }
+
+    /// Worker width for the aggregation hot path (0 is rejected at
+    /// plan time; the unset default resolves to the host's available
+    /// parallelism).
+    pub fn worker_threads(mut self, threads: usize) -> Self {
+        self.config.worker_threads = Some(threads);
         self
     }
 

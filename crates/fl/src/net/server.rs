@@ -339,6 +339,12 @@ impl NetServer {
         let mut evictions: Vec<(u64, u32, String)> = Vec::new();
         let mut psum_raw_frames = 0usize;
         let mut psum_compressed_frames = 0usize;
+        // Round-persistent merge state: the model-sized accumulator and
+        // the relay's wire buffers are allocated once and reset/refilled
+        // every round instead of reallocated.
+        let mut partial = PartialSum::new();
+        let mut image: Vec<u8> = Vec::new();
+        let mut packed: Vec<u8> = Vec::new();
         let mut round = 0u32;
         loop {
             // Round source: the root drives `fl.rounds` rounds; a relay
@@ -398,7 +404,7 @@ impl NetServer {
             // keeps intermediate state reproducible too). A child whose
             // contribution fails decoding or shape validation is
             // evicted — never allowed near the merge asserts.
-            let mut partial = PartialSum::new();
+            partial.reset();
             let mut merged = 0usize;
             for (id, upload) in got {
                 match fold_upload(
@@ -433,8 +439,11 @@ impl NetServer {
                 (Some(upstream), _) => {
                     // Relay: ship the exact accumulator image upward
                     // (empty partials included, so the parent's barrier
-                    // never waits on a silent relay).
-                    let image = partial.encode_exact();
+                    // never waits on a silent relay). The image and the
+                    // compressed frame are built in round-persistent
+                    // buffers lent to the message and reclaimed after
+                    // the send.
+                    partial.encode_exact_into(&mut image);
                     let clients = partial.contributions() as u32;
                     let weight = partial.weight_total();
                     let shard = match &config.role {
@@ -442,21 +451,26 @@ impl NetServer {
                         Role::Root => unreachable!("only relays have an upstream"),
                     };
                     let message = match &plan.psum {
-                        StagePolicy::Raw => {
-                            Message::PartialSum { round, shard, clients, weight, payload: image }
-                        }
+                        StagePolicy::Raw => Message::PartialSum {
+                            round,
+                            shard,
+                            clients,
+                            weight,
+                            payload: std::mem::take(&mut image),
+                        },
                         // A relay has no per-edge LinkProfile to price
                         // Eqn 1 against, so Adaptive degrades to
                         // Lossless here (the conservative choice on an
                         // unknown uplink). Lossy psum policies cannot
                         // exist past plan().
                         StagePolicy::Lossless | StagePolicy::Adaptive { .. } => {
+                            psum_codec.compress_into(&image, &mut packed);
                             Message::PartialSumCompressed {
                                 round,
                                 shard,
                                 clients,
                                 weight,
-                                payload: psum_codec.compress(&image),
+                                payload: std::mem::take(&mut packed),
                             }
                         }
                         StagePolicy::Lossy(_) => {
@@ -464,6 +478,11 @@ impl NetServer {
                         }
                     };
                     upstream.send(&message)?;
+                    match message {
+                        Message::PartialSum { payload, .. } => image = payload,
+                        Message::PartialSumCompressed { payload, .. } => packed = payload,
+                        _ => unreachable!("relay uplinks are partial-sum frames"),
+                    }
                     0
                 }
                 (None, None) => unreachable!("a root always holds the global"),

@@ -253,6 +253,10 @@ pub enum PlanError {
         /// The policy's name.
         policy: &'static str,
     },
+    /// `worker_threads` explicitly set to zero — a width-0 pool can
+    /// never merge anything (leave it `None` to use the host's
+    /// parallelism).
+    ZeroWorkerThreads,
 }
 
 impl fmt::Display for PlanError {
@@ -321,6 +325,9 @@ impl fmt::Display for PlanError {
                 "a {policy} policy is illegal on the {} leg (see the StagePolicy table)",
                 leg.name()
             ),
+            PlanError::ZeroWorkerThreads => {
+                write!(f, "worker_threads must be at least 1 (leave it unset for host parallelism)")
+            }
         }
     }
 }
@@ -359,6 +366,12 @@ pub struct RoundPlan {
     pub downlink: StagePolicy,
     /// Policy for the aggregator → aggregator partial-sum leg.
     pub psum: StagePolicy,
+    /// Resolved worker width for the aggregation hot path:
+    /// [`FlConfig::worker_threads`] when set, otherwise the host's
+    /// available parallelism at plan time. Always at least 1. Width is
+    /// execution speed, not semantics — the global model's bits are
+    /// identical at every value.
+    pub worker_threads: usize,
 }
 
 impl RoundPlan {
@@ -583,10 +596,24 @@ impl FlConfig {
         if let AggregationPolicy::Buffered { target: 0 } = self.aggregation {
             return Err(PlanError::ZeroBufferTarget);
         }
+        let worker_threads = match self.worker_threads {
+            Some(0) => return Err(PlanError::ZeroWorkerThreads),
+            Some(threads) => threads,
+            None => std::thread::available_parallelism().map_or(1, usize::from),
+        };
         let tree = plan_tree(self)?;
         let (topology, level_links) = plan_topology(self, tree.as_ref())?;
         let (uplink, downlink, psum) = plan_stages(self, tree.as_ref())?;
-        Ok(RoundPlan { config: self.clone(), tree, topology, level_links, uplink, downlink, psum })
+        Ok(RoundPlan {
+            config: self.clone(),
+            tree,
+            topology,
+            level_links,
+            uplink,
+            downlink,
+            psum,
+            worker_threads,
+        })
     }
 }
 
@@ -629,6 +656,17 @@ mod tests {
         config.shards = Some(4);
         let plan = config.plan().expect("full-width shard count is legal");
         assert_eq!(plan.shard_count(), Some(4));
+    }
+
+    #[test]
+    fn worker_threads_zero_is_rejected_and_none_resolves_to_the_host() {
+        let mut config = base();
+        config.worker_threads = Some(0);
+        assert_eq!(config.plan().unwrap_err(), PlanError::ZeroWorkerThreads);
+        config.worker_threads = Some(3);
+        assert_eq!(config.plan().unwrap().worker_threads, 3);
+        config.worker_threads = None;
+        assert!(config.plan().unwrap().worker_threads >= 1);
     }
 
     #[test]

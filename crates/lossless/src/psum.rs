@@ -73,11 +73,20 @@ impl PsumCodec {
     /// do not fill a whole 8-byte element pass through the shuffle
     /// unchanged.
     pub fn compress(&self, payload: &[u8]) -> Vec<u8> {
-        let shuffled = shuffle(payload, ELEM_SIZE);
         let mut out = Vec::with_capacity(payload.len() / 2 + 16);
+        self.compress_into(payload, &mut out);
+        out
+    }
+
+    /// [`PsumCodec::compress`] into a caller-owned frame buffer
+    /// (cleared first), so per-frame forwarding paths can reuse one
+    /// output allocation across frames and rounds.
+    pub fn compress_into(&self, payload: &[u8], out: &mut Vec<u8>) {
+        let shuffled = shuffle(payload, ELEM_SIZE);
+        out.clear();
+        out.reserve(payload.len() / 2 + 16);
         out.push(MAGIC);
         out.extend_from_slice(&self.entropy.compress(&shuffled));
-        out
     }
 
     /// Decompresses a frame produced by [`PsumCodec::compress`],

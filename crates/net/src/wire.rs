@@ -23,7 +23,9 @@
 //! transport and the multi-process socket runtime both link here.
 
 use fedsz_codec::checksum::crc32;
-use fedsz_codec::varint::{read_f64, read_u32, read_uvarint, write_f64, write_u32, write_uvarint};
+use fedsz_codec::varint::{
+    read_f64, read_u32, read_uvarint, uvarint_len, write_f64, write_u32, write_uvarint,
+};
 use fedsz_codec::{CodecError, Result};
 
 /// Frame magic.
@@ -261,6 +263,35 @@ impl Message {
         out
     }
 
+    /// The exact byte length [`Message::encode`] would produce, without
+    /// materializing the frame — the accounting paths (partial-sum
+    /// pricing, bench harnesses) charge for frames they never build.
+    /// Conformance with `encode` is unit-tested per variant.
+    pub fn encoded_len(&self) -> usize {
+        let body = match self {
+            Message::Join { client_id, round: _ } => uvarint_len(*client_id) + 4,
+            Message::GlobalModel { round: _, dict_bytes } => {
+                4 + uvarint_len(dict_bytes.len() as u64) + dict_bytes.len()
+            }
+            Message::Update { round: _, client_id, payload, compressed: _ } => {
+                4 + uvarint_len(*client_id) + 1 + uvarint_len(payload.len() as u64) + payload.len()
+            }
+            Message::Shutdown => 0,
+            Message::EncodedGlobal { round: _, payload } => {
+                4 + uvarint_len(payload.len() as u64) + payload.len()
+            }
+            Message::PartialSum { shard, clients, payload, .. }
+            | Message::PartialSumCompressed { shard, clients, payload, .. } => {
+                4 + uvarint_len(u64::from(*shard))
+                    + uvarint_len(u64::from(*clients))
+                    + 8
+                    + uvarint_len(payload.len() as u64)
+                    + payload.len()
+            }
+        };
+        MAGIC.len() + 1 + body + 4
+    }
+
     /// Parses a complete framed message.
     ///
     /// # Errors
@@ -374,6 +405,22 @@ mod tests {
             let frame = msg.encode();
             assert_eq!(Message::decode(&frame).unwrap(), msg);
         }
+    }
+
+    #[test]
+    fn encoded_len_matches_encode_for_every_variant() {
+        for msg in sample_messages() {
+            assert_eq!(msg.encoded_len(), msg.encode().len(), "{msg:?}");
+        }
+        // Sizes that push the varints past one byte.
+        let wide = Message::PartialSum {
+            round: u32::MAX,
+            shard: 70_000,
+            clients: 1_000_000,
+            weight: -0.0,
+            payload: vec![3; 300],
+        };
+        assert_eq!(wide.encoded_len(), wide.encode().len());
     }
 
     #[test]

@@ -56,6 +56,19 @@ impl StateDict {
         self.index.get(name).map(|&i| &self.entries[i].1)
     }
 
+    /// Mutable lookup by name — lets callers rewrite tensor values in
+    /// place (shapes included) without reinserting.
+    pub fn get_mut(&mut self, name: &str) -> Option<&mut Tensor> {
+        self.index.get(name).map(|&i| &mut self.entries[i].1)
+    }
+
+    /// Mutable iteration in insertion order, for whole-dict in-place
+    /// rewrites (e.g. synthesizing per-client updates into one reused
+    /// dict instead of allocating a fresh one per client).
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (&str, &mut Tensor)> {
+        self.entries.iter_mut().map(|(n, t)| (n.as_str(), t))
+    }
+
     /// Number of entries.
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -89,19 +102,27 @@ impl StateDict {
     /// Serializes to the `FSD1` binary format.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(self.byte_size() + 64);
+        self.to_bytes_into(&mut out);
+        out
+    }
+
+    /// Serializes into a caller-owned buffer, clearing it first — the
+    /// allocation-reusing form of [`StateDict::to_bytes`].
+    pub fn to_bytes_into(&self, out: &mut Vec<u8>) {
+        out.clear();
+        out.reserve(self.byte_size() + 64);
         out.extend_from_slice(MAGIC);
-        write_uvarint(&mut out, self.entries.len() as u64);
+        write_uvarint(out, self.entries.len() as u64);
         for (name, tensor) in &self.entries {
-            write_str(&mut out, name);
-            write_uvarint(&mut out, tensor.shape().len() as u64);
+            write_str(out, name);
+            write_uvarint(out, tensor.shape().len() as u64);
             for &d in tensor.shape() {
-                write_uvarint(&mut out, d as u64);
+                write_uvarint(out, d as u64);
             }
             for &v in tensor.data() {
-                write_f32(&mut out, v);
+                write_f32(out, v);
             }
         }
-        out
     }
 
     /// Parses the `FSD1` binary format.
@@ -203,6 +224,32 @@ mod tests {
         let bytes = sd.to_bytes();
         let back = StateDict::from_bytes(&bytes).unwrap();
         assert_eq!(back, sd);
+    }
+
+    #[test]
+    fn to_bytes_into_reuses_and_matches() {
+        let sd = sample();
+        let mut buf = vec![0xAAu8; 3];
+        sd.to_bytes_into(&mut buf);
+        assert_eq!(buf, sd.to_bytes());
+        let cap = buf.capacity();
+        sd.to_bytes_into(&mut buf);
+        assert_eq!(buf.capacity(), cap, "second serialization must not reallocate");
+        assert_eq!(buf, sd.to_bytes());
+    }
+
+    #[test]
+    fn get_mut_edits_in_place() {
+        let mut sd = sample();
+        sd.get_mut("conv.bias").unwrap().data_mut()[0] = 9.0;
+        assert_eq!(sd.get("conv.bias").unwrap().data()[0], 9.0);
+        assert!(sd.get_mut("missing").is_none());
+        for (name, tensor) in sd.iter_mut() {
+            if name == "bn.running_mean" {
+                tensor.data_mut().fill(1.5);
+            }
+        }
+        assert_eq!(sd.get("bn.running_mean").unwrap().data(), &[1.5, 1.5]);
     }
 
     #[test]

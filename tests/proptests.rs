@@ -155,4 +155,88 @@ proptest! {
             prop_assert_eq!(dec.decode_bit(&mut model).unwrap(), b);
         }
     }
+
+    #[test]
+    fn batched_add_slice_is_bit_identical_to_scalar_adds(
+        values in vec(
+            prop_oneof![
+                (-1.0f32..1.0),
+                (-100.0f32..100.0),
+                Just(0.0f32),
+                Just(-0.0f32),
+                // Subnormal f32 inputs (positive and negative).
+                (1u32..0x0080_0000).prop_map(f32::from_bits),
+                (1u32..0x0080_0000).prop_map(|b| f32::from_bits(b | 0x8000_0000)),
+                // Large magnitudes whose weighted product still clears
+                // the 2^47 ceiling with room to spare.
+                (-1.0e9f32..1.0e9),
+            ],
+            0..400,
+        ),
+        weights in vec(prop_oneof![(1.0e-6f64..1.0), (0.5f64..1.0e3)], 1..4),
+    ) {
+        use fedsz_fl::agg::ExactAcc;
+        let mut batched = vec![ExactAcc::default(); values.len()];
+        let mut scalar = vec![ExactAcc::default(); values.len()];
+        // Several accumulation passes, so the fast path also runs over
+        // non-zero accumulator state.
+        for &w in &weights {
+            ExactAcc::add_slice(&mut batched, &values, w);
+            for (acc, &v) in scalar.iter_mut().zip(&values) {
+                acc.add(w * f64::from(v));
+            }
+        }
+        for (i, (b, s)) in batched.iter().zip(&scalar).enumerate() {
+            prop_assert_eq!(
+                b.to_bits(), s.to_bits(),
+                "kernel diverged at element {} (value {:e})", i, values[i]
+            );
+        }
+    }
+
+    #[test]
+    fn tree_merge_parity_holds_at_every_thread_width(
+        clients in 4usize..32,
+        threads in 1usize..=8,
+        seed in any::<u64>(),
+    ) {
+        use fedsz_fl::agg::{PsumMode, ShardedTree, TreePlan};
+
+        // Small deterministic per-client updates (splitmix64 keyed by
+        // the client id).
+        let make = move |client: usize| {
+            let mut state = seed ^ (client as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let mut next = move || {
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            let mut dict = StateDict::new();
+            let data: Vec<f32> =
+                (0..24).map(|_| next() as f32 / u64::MAX as f32 - 0.5).collect();
+            dict.insert("w.weight", Tensor::from_vec(vec![24], data));
+            dict.insert("w.bias", Tensor::from_vec(vec![2], vec![
+                next() as f32 / u64::MAX as f32,
+                next() as f32 / u64::MAX as f32,
+            ]));
+            (dict, 1.0 + (client % 5) as f64)
+        };
+
+        let serial_global = ShardedTree::new(TreePlan::new(clients, vec![2, 2]), None, PsumMode::Raw)
+            .with_threads(1)
+            .aggregate_streamed(0, &make)
+            .expect("non-empty cohort")
+            .global;
+        let pooled_global = ShardedTree::new(TreePlan::new(clients, vec![2, 2]), None, PsumMode::Raw)
+            .with_threads(threads)
+            .aggregate_streamed(0, &make)
+            .expect("non-empty cohort")
+            .global;
+        prop_assert_eq!(
+            pooled_global.to_bytes(), serial_global.to_bytes(),
+            "aggregation bits depend on the worker-pool width {}", threads
+        );
+    }
 }
