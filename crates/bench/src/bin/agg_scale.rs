@@ -39,7 +39,11 @@
 //! 0.001), `--seed N`, `--min-speedup F` (assert `merge_speedup >= F`
 //! on every point — the CI perf gate; omitted means no assertion),
 //! `--out PATH` (stable-schema JSON report the repo tracks across PRs,
-//! default `BENCH_agg_scale.json`; `-` disables the file).
+//! default `BENCH_agg_scale.json`; `-` disables the file), `--trace
+//! FILE` (Chrome-trace JSONL of the sweep's `merge.level` spans and
+//! pool counters, same `fedsz.trace.v1` schema the CLI emits — open it
+//! in `about://tracing` to see where a slow point spends its merge
+//! time).
 //!
 //! `merge_speedup` tracks `--threads` (each leaf merges on a pool
 //! worker); the JSON carries `worker_threads` so a single-core CI
@@ -155,6 +159,15 @@ fn main() {
         "raw" => PsumMode::Raw,
         other => panic!("--psum expects lossless or raw, got `{other}`"),
     };
+    // Tracing is observation only: the sweep's merges, parity checks
+    // and reported numbers are identical with or without it.
+    let telemetry = if args.has("--trace") {
+        let path: String = args.get("--trace", String::new());
+        fedsz_telemetry::Telemetry::with_trace(std::path::Path::new(&path))
+            .unwrap_or_else(|e| panic!("cannot open trace file {path}: {e}"))
+    } else {
+        fedsz_telemetry::Telemetry::disabled()
+    };
 
     let base = ModelSpec::alexnet().instantiate_scaled(seed, scale);
     let params = base.total_elements();
@@ -193,7 +206,16 @@ fn main() {
             let fanouts = fanouts_for(shards, depth - 1);
             let plan = TreePlan::new(clients, fanouts.clone());
             let root_children = plan.nodes_at(1);
-            let mut tree = ShardedTree::new(plan, None, psum).with_threads(threads);
+            let mut tree = ShardedTree::new(plan, None, psum)
+                .with_threads(threads)
+                .with_telemetry(telemetry.clone());
+            let point_span = telemetry.span_with(
+                "bench.point",
+                &[
+                    ("clients", fedsz_telemetry::Value::U64(clients as u64)),
+                    ("depth", fedsz_telemetry::Value::U64(depth as u64)),
+                ],
+            );
             let t_tree = Instant::now();
             let outcome = tree
                 .aggregate_streamed_with(
@@ -206,6 +228,7 @@ fn main() {
                 )
                 .expect("non-empty cohort");
             let tree_ms = t_tree.elapsed().as_secs_f64() * 1e3;
+            drop(point_span);
             let merge_speedup = flat_ms / tree_ms.max(1e-9);
 
             let parity = outcome.global.to_bytes() == flat_global.to_bytes();
@@ -296,4 +319,5 @@ fn main() {
         std::fs::write(&out_path, wrapped).expect("write --out report");
         eprintln!("wrote {out_path}");
     }
+    telemetry.flush();
 }

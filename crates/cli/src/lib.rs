@@ -44,9 +44,11 @@ use fedsz_fl::net::{global_checksum, run_worker, NetServer, Role, ServeConfig, W
 use fedsz_fl::{
     AggregationPolicy, DownlinkMode, Experiment, FlConfig, LinkProfile, PsumMode, TreePlan,
 };
+use fedsz_net::MetricsServer;
 use fedsz_nn::models::specs::ModelSpec;
 use fedsz_nn::models::tiny::TinyArch;
 use fedsz_nn::StateDict;
+use fedsz_telemetry::Telemetry;
 use report::{RoundRow, RunReport};
 use std::fmt::Write as _;
 use std::path::Path;
@@ -88,16 +90,18 @@ USAGE:
            [--policy sync|buffered:K] [--adaptive] [--non-iid ALPHA]
            [--weighted] [--no-compress] [--seed N] [--train-per-class N]
            [--shards S] [--tree F1xF2x...] [--psum raw|lossless|auto]
-           [--downlink raw|fedsz|auto] [--threads N]
+           [--downlink raw|fedsz|auto] [--threads N] [--trace FILE]
   fedsz serve [--config FILE] [--json] [--bind ADDR] [--clients N]
               [--rounds N] [--seed N]
               [--train-per-class N] [--arch ...] [--no-compress]
               [--downlink raw|fedsz] [--shards S] [--psum raw|lossless]
               [--shard I --connect ADDR] [--accept-timeout SECS]
-              [--round-timeout SECS] [--threads N]
+              [--round-timeout SECS] [--threads N] [--trace FILE]
+              [--metrics-addr ADDR]
   fedsz worker --id K [--config FILE] [--connect ADDR] [--clients N]
                [--rounds N] [--seed N] [--train-per-class N] [--arch ...]
                [--no-compress] [--adaptive] [--timeout SECS]
+               [--trace FILE]
 
 `fedsz fl` runs a federated session on the shared round engine. With
 --links each client gets its own simulated uplink (comm time comes from
@@ -136,8 +140,18 @@ sets only --id/--bind/--connect (see examples/configs/). Every
 configuration is validated up front — out-of-range shard counts,
 contradictory topology, bad participation and the like fail with an
 actionable message before anything runs. `fl` and `serve` emit one
-shared stable JSON schema (fedsz.run_report.v1: per-round metrics
-columns plus the global checksum) with --json.
+shared stable JSON schema (fedsz.run_report.v2: per-round metrics
+columns, per-level merge nanos and Eqn-1 decision records, plus the
+global checksum) with --json.
+
+Observability: --trace FILE writes a Chrome-trace-format JSONL stream
+(schema fedsz.trace.v1, loadable in chrome://tracing or Perfetto) of
+engine stage spans, per-level merge spans and eqn1.decision events;
+it never changes the bits — a traced run prints the same global
+checksum as an untraced one. `serve --metrics-addr ADDR` additionally
+exposes a Prometheus text endpoint (session, eviction and frame-byte
+counters) for the life of the process. FEDSZ_LOG=debug|info|warn sets
+the stderr log level (default info).
 ";
 
 /// Executes a CLI invocation (argv without the program name).
@@ -639,9 +653,14 @@ fn fl(args: &[String]) -> Outcome {
         "round    acc%  train(s)  codec(s)  comm(s)  round(s)     upKB   downKB  ratio  agg  stale  drop"
     );
     let json = args.iter().any(|a| a == "--json");
-    let mut experiment = Experiment::new(config);
+    let telemetry = match telemetry_from_args(args, false) {
+        Ok(t) => t,
+        Err(e) => return Outcome::fail(e),
+    };
+    let mut experiment = Experiment::new(config).with_telemetry(telemetry.clone());
     let metrics = experiment.run();
     let checksum = global_checksum(experiment.global_state());
+    telemetry.flush();
     if json {
         let rounds = metrics
             .iter()
@@ -654,6 +673,8 @@ fn fl(args: &[String]) -> Outcome {
                 downstream_bytes: m.downstream_bytes,
                 secs: m.round_secs,
                 checksum: None,
+                level_merge_nanos: Some(m.level_merge_nanos.clone()),
+                eqn1: Some(m.eqn1.clone()),
             })
             .collect();
         let report = RunReport { command: "fl", clients, rounds, checksum: Some(checksum) };
@@ -732,6 +753,20 @@ fn reject_simulator_flags(args: &[String], subcommand: &str, extra: &[&str]) -> 
     Ok(())
 }
 
+/// Builds the invocation's telemetry handle: `--trace FILE` opens the
+/// Chrome-trace JSONL writer, `require_registry` (serve's
+/// `--metrics-addr` without a trace file) turns on the in-memory
+/// counter registry alone, and otherwise the handle stays disabled —
+/// a no-op off the hot path.
+fn telemetry_from_args(args: &[String], require_registry: bool) -> Result<Telemetry, String> {
+    match flag_value(args, "--trace") {
+        Some(path) => Telemetry::with_trace(Path::new(path))
+            .map_err(|e| format!("cannot open trace file {path}: {e}")),
+        None if require_registry => Ok(Telemetry::enabled()),
+        None => Ok(Telemetry::disabled()),
+    }
+}
+
 /// Parses a `--key SECS` duration flag.
 fn parse_secs(args: &[String], key: &str, default: f64) -> Result<Duration, String> {
     let secs: f64 = match flag_value(args, key).map(str::parse).transpose() {
@@ -804,7 +839,18 @@ fn serve(args: &[String]) -> Outcome {
     };
     let json = args.iter().any(|a| a == "--json");
     let clients = config.clients;
-    let serve_config = ServeConfig { fl: config, role, accept_timeout, round_timeout };
+    let metrics_addr = flag_value(args, "--metrics-addr");
+    let telemetry = match telemetry_from_args(args, metrics_addr.is_some()) {
+        Ok(t) => t,
+        Err(e) => return Outcome::fail(e),
+    };
+    let serve_config = ServeConfig {
+        fl: config,
+        role,
+        accept_timeout,
+        round_timeout,
+        telemetry: telemetry.clone(),
+    };
     // The socket runtime's own constraints (e.g. a `--tree S` spec
     // that out-leafs the cohort — every shard here is a real relay
     // process) live in one place: ServeConfig::plan. Reuse its plan
@@ -819,14 +865,31 @@ fn serve(args: &[String]) -> Outcome {
         Ok(server) => server,
         Err(e) => return Outcome::fail(format!("cannot bind {bind}: {e}")),
     };
+    // The scrape endpoint outlives the round loop (the accept thread
+    // is detached), so late scrapes after the last round still see
+    // final counter values.
+    let metrics_server = match metrics_addr {
+        None => None,
+        Some(addr) => match MetricsServer::bind(addr, telemetry.clone()) {
+            Ok(server) => Some(server),
+            Err(e) => return Outcome::fail(format!("cannot bind metrics endpoint {addr}: {e}")),
+        },
+    };
     // Announced before the blocking run so scripts can synchronize on
     // it (stderr keeps stdout reserved for the final report).
-    eprintln!("serve: listening on {} ({expected} children expected)", server.local_addr());
+    fedsz_telemetry::info!(
+        "serve: listening on {} ({expected} children expected)",
+        server.local_addr()
+    );
+    if let Some(metrics_server) = &metrics_server {
+        fedsz_telemetry::info!("serve: metrics on http://{}/metrics", metrics_server.addr());
+    }
     let relay = matches!(serve_config.role, Role::Relay { .. });
     let report = match server.run(serve_config) {
         Ok(report) => report,
         Err(e) => return Outcome::fail(format!("serve failed: {e}")),
     };
+    telemetry.flush();
     if json {
         let rounds = report
             .rounds
@@ -843,6 +906,11 @@ fn serve(args: &[String]) -> Outcome {
                 // 0x00000000 fingerprint (mirrors the table output's
                 // suppressed `global checksum` line).
                 checksum: (!relay).then_some(r.checksum),
+                // The socket runtime's merges happen inside relay
+                // processes and its Eqn-1 decisions inside workers;
+                // this server cannot see either.
+                level_merge_nanos: None,
+                eqn1: None,
             })
             .collect();
         let run_report = RunReport {
@@ -920,11 +988,17 @@ fn worker(args: &[String]) -> Outcome {
         Err(e) => return Outcome::fail(e),
     };
     let connect = flag_value(args, "--connect").unwrap_or("127.0.0.1:7070").to_string();
+    let telemetry = match telemetry_from_args(args, false) {
+        Ok(t) => t,
+        Err(e) => return Outcome::fail(e),
+    };
     let fl = config.clone();
-    let report = match run_worker(WorkerConfig { fl, id, connect, timeout }) {
+    let worker_config = WorkerConfig { fl, id, connect, timeout, telemetry: telemetry.clone() };
+    let report = match run_worker(worker_config) {
         Ok(report) => report,
         Err(e) => return Outcome::fail(format!("worker {id} failed: {e}")),
     };
+    telemetry.flush();
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -1219,9 +1293,12 @@ mod tests {
         let out =
             runv(&["fl", "--clients", "2", "--rounds", "1", "--train-per-class", "2", "--json"]);
         assert_eq!(out.code, 0, "{}", out.report);
-        assert!(out.report.contains("\"schema\": \"fedsz.run_report.v1\""), "{}", out.report);
+        assert!(out.report.contains("\"schema\": \"fedsz.run_report.v2\""), "{}", out.report);
         assert!(out.report.contains("\"command\": \"fl\""), "{}", out.report);
         assert!(out.report.contains("\"checksum\": \"0x"), "{}", out.report);
+        // The v2 observability columns carry values on the fl side.
+        assert!(out.report.contains("\"level_merge_nanos\": ["), "{}", out.report);
+        assert!(out.report.contains("\"eqn1\": [{\"leg\": "), "{}", out.report);
         // The JSON checksum equals the table output's parity line.
         let table = runv(&["fl", "--clients", "2", "--rounds", "1", "--train-per-class", "2"]);
         let fingerprint = table

@@ -10,14 +10,19 @@
 //!
 //! ```json
 //! {
-//!   "schema": "fedsz.run_report.v1",
-//!   "schema_version": 1,
+//!   "schema": "fedsz.run_report.v2",
+//!   "schema_version": 2,
 //!   "command": "fl",
 //!   "clients": 4,
 //!   "rounds": [
 //!     {"round": 0, "accuracy": 0.25, "merged": 4, "lost": 0,
 //!      "upstream_bytes": 1234, "downstream_bytes": 5678,
-//!      "secs": 0.125, "checksum": null},
+//!      "secs": 0.125, "checksum": null,
+//!      "level_merge_nanos": [810, 5230],
+//!      "eqn1": [{"leg": "uplink", "node": 0, "compressed": true,
+//!                "predicted_compressed_secs": null,
+//!                "predicted_raw_secs": null,
+//!                "measured_codec_secs": 0.0021}, ...]},
 //!     ...
 //!   ],
 //!   "checksum": "0x82c3c3f4"
@@ -31,10 +36,18 @@
 //! fingerprint both subcommands print as `global checksum: 0x…` in
 //! table mode.
 //!
+//! v2 added the observability columns: `level_merge_nanos` (wall
+//! nanoseconds merging into each tree level, root first; the
+//! simulator fills it, `serve` reports `null`) and `eqn1` (every
+//! Eqn-1 compression decision the round made — leg, node, chosen
+//! path, the predicted costs of both paths when the decision was
+//! priced, and the measured codec seconds).
+//!
 //! The emitter is hand-rolled (no serde in the dependency-free
 //! workspace); every string that reaches it is machine-generated, but
 //! [`json_string`] escapes defensively anyway.
 
+use fedsz::timing::Eqn1Decision;
 use std::fmt::Write as _;
 
 /// One round's columns, shared by `fl` and `serve`.
@@ -60,6 +73,12 @@ pub struct RoundRow {
     /// Post-round global checksum (`None` for `fl`, which fingerprints
     /// only the final model).
     pub checksum: Option<u32>,
+    /// Wall nanoseconds merging into each aggregation-tree level, root
+    /// first (`None` for `serve`, whose relays own their own merges).
+    pub level_merge_nanos: Option<Vec<u64>>,
+    /// Every Eqn-1 compression decision the round made (`None` for
+    /// `serve`; workers price their own uplinks).
+    pub eqn1: Option<Vec<Eqn1Decision>>,
 }
 
 /// The complete `--json` payload.
@@ -78,10 +97,10 @@ pub struct RunReport {
 }
 
 /// The schema tag every report carries.
-pub const RUN_REPORT_SCHEMA: &str = "fedsz.run_report.v1";
+pub const RUN_REPORT_SCHEMA: &str = "fedsz.run_report.v2";
 
-/// The schema version every report (and the BENCH emitters) carries.
-pub const SCHEMA_VERSION: u32 = 1;
+/// The schema version every report carries.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// Escapes a string for a JSON string literal.
 pub fn json_string(s: &str) -> String {
@@ -112,6 +131,28 @@ fn json_f64(v: f64) -> String {
     }
 }
 
+fn json_u64_array(values: &[u64]) -> String {
+    let body = values.iter().map(u64::to_string).collect::<Vec<_>>().join(", ");
+    format!("[{body}]")
+}
+
+/// One Eqn-1 decision as a JSON object; `None` predictions (the
+/// unconditional modes and the profile-less probe rounds) render as
+/// `null`, never omitted.
+fn json_eqn1(d: &Eqn1Decision) -> String {
+    format!(
+        "{{\"leg\": {}, \"node\": {}, \"compressed\": {}, \
+         \"predicted_compressed_secs\": {}, \"predicted_raw_secs\": {}, \
+         \"measured_codec_secs\": {}}}",
+        json_string(d.leg.name()),
+        d.node,
+        d.compressed,
+        d.predicted_compressed_secs.map_or("null".to_string(), json_f64),
+        d.predicted_raw_secs.map_or("null".to_string(), json_f64),
+        json_f64(d.measured_codec_secs),
+    )
+}
+
 impl RunReport {
     /// Renders the stable-schema JSON document.
     pub fn to_json(&self) -> String {
@@ -126,11 +167,17 @@ impl RunReport {
             let accuracy = row.accuracy.map_or("null".to_string(), json_f64);
             let checksum =
                 row.checksum.map_or("null".to_string(), |c| json_string(&format!("0x{c:08x}")));
+            let level_merge_nanos =
+                row.level_merge_nanos.as_deref().map_or("null".to_string(), json_u64_array);
+            let eqn1 = row.eqn1.as_deref().map_or("null".to_string(), |decisions| {
+                let body = decisions.iter().map(json_eqn1).collect::<Vec<_>>().join(", ");
+                format!("[{body}]")
+            });
             let _ = write!(
                 out,
                 "    {{\"round\": {}, \"accuracy\": {}, \"merged\": {}, \"lost\": {}, \
                  \"upstream_bytes\": {}, \"downstream_bytes\": {}, \"secs\": {}, \
-                 \"checksum\": {}}}",
+                 \"checksum\": {}, \"level_merge_nanos\": {}, \"eqn1\": {}}}",
                 row.round,
                 accuracy,
                 row.merged,
@@ -139,6 +186,8 @@ impl RunReport {
                 row.downstream_bytes,
                 json_f64(row.secs),
                 checksum,
+                level_merge_nanos,
+                eqn1,
             );
             let _ = writeln!(out, "{}", if i + 1 < self.rounds.len() { "," } else { "" });
         }
@@ -169,6 +218,18 @@ mod tests {
                     downstream_bytes: 200,
                     secs: 0.5,
                     checksum: None,
+                    level_merge_nanos: Some(vec![810, 5230]),
+                    eqn1: Some(vec![
+                        Eqn1Decision::unpriced(fedsz::timing::Eqn1Leg::Uplink, 0, true, 0.002),
+                        Eqn1Decision {
+                            leg: fedsz::timing::Eqn1Leg::Downlink,
+                            node: 0,
+                            compressed: false,
+                            predicted_compressed_secs: Some(0.5),
+                            predicted_raw_secs: Some(0.25),
+                            measured_codec_secs: 0.0,
+                        },
+                    ]),
                 },
                 RoundRow {
                     round: 1,
@@ -179,6 +240,8 @@ mod tests {
                     downstream_bytes: 100,
                     secs: f64::INFINITY,
                     checksum: Some(0xdeadbeef),
+                    level_merge_nanos: None,
+                    eqn1: None,
                 },
             ],
             checksum: Some(0x82c3c3f4),
@@ -188,8 +251,8 @@ mod tests {
     #[test]
     fn report_carries_schema_and_checksum() {
         let json = sample().to_json();
-        assert!(json.contains("\"schema\": \"fedsz.run_report.v1\""), "{json}");
-        assert!(json.contains("\"schema_version\": 1"), "{json}");
+        assert!(json.contains("\"schema\": \"fedsz.run_report.v2\""), "{json}");
+        assert!(json.contains("\"schema_version\": 2"), "{json}");
         assert!(json.contains("\"checksum\": \"0x82c3c3f4\""), "{json}");
         assert!(json.contains("\"checksum\": \"0xdeadbeef\""), "{json}");
         // Missing columns are null, never omitted (one schema).
@@ -203,6 +266,26 @@ mod tests {
         let relay = RunReport { checksum: None, ..sample() };
         assert!(relay.to_json().contains("\"checksum\": null"), "{}", relay.to_json());
         assert!(!relay.to_json().contains("0x00000000"));
+    }
+
+    #[test]
+    fn v2_observability_columns_render_values_and_nulls() {
+        let json = sample().to_json();
+        // Round 0 carries the simulator's measurements...
+        assert!(json.contains("\"level_merge_nanos\": [810, 5230]"), "{json}");
+        assert!(json.contains("\"leg\": \"uplink\""), "{json}");
+        assert!(json.contains("\"leg\": \"downlink\""), "{json}");
+        // ...with unpriced decisions nulling both predictions, never
+        // omitting the keys.
+        assert!(
+            json.contains("\"predicted_compressed_secs\": null, \"predicted_raw_secs\": null"),
+            "{json}"
+        );
+        assert!(json.contains("\"predicted_raw_secs\": 0.250000"), "{json}");
+        assert!(json.contains("\"measured_codec_secs\": 0.002000"), "{json}");
+        // ...and round 1 (a serve-style row) nulls whole columns.
+        assert!(json.contains("\"level_merge_nanos\": null"), "{json}");
+        assert!(json.contains("\"eqn1\": null"), "{json}");
     }
 
     #[test]

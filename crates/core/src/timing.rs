@@ -123,6 +123,98 @@ impl CostProfile {
     }
 }
 
+/// Which compression leg of the pipeline an Eqn-1 decision priced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Eqn1Leg {
+    /// A client's update upload (one decision per cohort client).
+    Uplink,
+    /// The broadcast of the global model (one decision per round).
+    Downlink,
+    /// A partial-sum frame inside the aggregation tree (one decision
+    /// per priced edge).
+    Psum,
+}
+
+impl Eqn1Leg {
+    /// Stable lowercase name used in trace events and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Eqn1Leg::Uplink => "uplink",
+            Eqn1Leg::Downlink => "downlink",
+            Eqn1Leg::Psum => "psum",
+        }
+    }
+}
+
+/// One auditable Eqn-1 decision: what a compression stage chose and
+/// what it predicted both paths would cost when it chose.
+///
+/// Every leg records a decision even when its policy is trivial
+/// (forced raw or forced compressed): the predicted costs are `None`
+/// then, because no [`TransferPlan`] was priced. When a
+/// [`CostProfile`] *did* predict, both sides of the inequality are
+/// kept so the advisor's call can be checked against the measured
+/// codec time after the fact.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Eqn1Decision {
+    /// The pipeline leg that decided.
+    pub leg: Eqn1Leg,
+    /// The deciding node: client id on the uplink, tree node index on
+    /// the psum leg, `0` for the round-global downlink.
+    pub node: u64,
+    /// The verdict: `true` means the payload shipped compressed.
+    pub compressed: bool,
+    /// Predicted end-to-end seconds for the compressed path
+    /// (`t_C + t_D + S'·8/B_N`), when a plan was priced.
+    pub predicted_compressed_secs: Option<f64>,
+    /// Predicted seconds for the raw path (`S·8/B_N`), when a plan was
+    /// priced.
+    pub predicted_raw_secs: Option<f64>,
+    /// Measured codec seconds actually paid for this payload (encode
+    /// side; zero when it shipped raw).
+    pub measured_codec_secs: f64,
+}
+
+impl Eqn1Decision {
+    /// A decision from a policy that never priced a plan (forced raw
+    /// or forced compressed): predictions are absent.
+    pub fn unpriced(leg: Eqn1Leg, node: u64, compressed: bool, measured_codec_secs: f64) -> Self {
+        Eqn1Decision {
+            leg,
+            node,
+            compressed,
+            predicted_compressed_secs: None,
+            predicted_raw_secs: None,
+            measured_codec_secs,
+        }
+    }
+
+    /// A decision priced through a [`TransferPlan`] at
+    /// `bandwidth_bps`: both predicted path times are recorded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bandwidth_bps` is not positive (same contract as
+    /// [`TransferPlan::compressed_time`]).
+    pub fn priced(
+        leg: Eqn1Leg,
+        node: u64,
+        plan: &TransferPlan,
+        bandwidth_bps: f64,
+        compressed: bool,
+        measured_codec_secs: f64,
+    ) -> Self {
+        Eqn1Decision {
+            leg,
+            node,
+            compressed,
+            predicted_compressed_secs: Some(plan.compressed_time(bandwidth_bps)),
+            predicted_raw_secs: Some(plan.uncompressed_time(bandwidth_bps)),
+            measured_codec_secs,
+        }
+    }
+}
+
 /// Convenience: megabits per second to bits per second.
 pub fn mbps(v: f64) -> f64 {
     v * 1e6
@@ -198,6 +290,25 @@ mod tests {
     #[test]
     fn mbps_converts() {
         assert_eq!(mbps(10.0), 1e7);
+    }
+
+    #[test]
+    fn eqn1_decision_records_both_paths() {
+        let p = plan();
+        let bw = mbps(10.0);
+        let d = Eqn1Decision::priced(Eqn1Leg::Uplink, 7, &p, bw, true, 1.2);
+        assert_eq!(d.leg.name(), "uplink");
+        assert_eq!(d.node, 7);
+        assert!(d.compressed);
+        assert_eq!(d.predicted_compressed_secs, Some(p.compressed_time(bw)));
+        assert_eq!(d.predicted_raw_secs, Some(p.uncompressed_time(bw)));
+        // A worthwhile plan must predict the compressed path cheaper.
+        assert!(d.predicted_compressed_secs < d.predicted_raw_secs);
+        let u = Eqn1Decision::unpriced(Eqn1Leg::Psum, 3, false, 0.0);
+        assert_eq!(u.predicted_compressed_secs, None);
+        assert_eq!(u.predicted_raw_secs, None);
+        assert_eq!(u.leg.name(), "psum");
+        assert_eq!(Eqn1Leg::Downlink.name(), "downlink");
     }
 
     #[test]

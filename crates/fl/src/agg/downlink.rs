@@ -49,6 +49,13 @@ pub struct DownlinkPayload {
     pub encode_secs: f64,
     /// In-memory size of the model being broadcast.
     pub raw_bytes: usize,
+    /// Eqn 1's predicted per-client cost of the compressed path when
+    /// this round's decision priced a real plan (`None` for forced
+    /// modes and unprofiled probe rounds).
+    pub predicted_compressed_secs: Option<f64>,
+    /// Eqn 1's predicted cost of shipping raw, paired with
+    /// `predicted_compressed_secs`.
+    pub predicted_raw_secs: Option<f64>,
 }
 
 impl DownlinkPayload {
@@ -116,19 +123,27 @@ impl Downlink {
     /// is amortized over the cohort; decoding happens on every client.
     /// Until a profile exists the first round compresses to measure
     /// one.
-    fn should_compress(&self, raw: usize, bottleneck_bps: Option<f64>, cohort: usize) -> bool {
+    /// Returns the verdict plus, when a plan was actually priced, the
+    /// predicted `(compressed_secs, raw_secs)` pair for the audit
+    /// trail.
+    fn decide(
+        &self,
+        raw: usize,
+        bottleneck_bps: Option<f64>,
+        cohort: usize,
+    ) -> (bool, Option<(f64, f64)>) {
         match self.mode {
-            DownlinkMode::Raw => false,
-            DownlinkMode::Compressed => true,
+            DownlinkMode::Raw => (false, None),
+            DownlinkMode::Compressed => (true, None),
             DownlinkMode::Adaptive => {
                 let (Some(profile), Some(bw)) = (&self.profile, bottleneck_bps) else {
-                    return true;
+                    return (true, None);
                 };
                 // One encode serves the whole cohort, so its cost
                 // amortizes over the fan-out; every client decodes.
                 let mut plan = profile.plan(raw);
                 plan.compress_secs /= cohort.max(1) as f64;
-                plan.worthwhile(bw)
+                (plan.worthwhile(bw), Some((plan.compressed_time(bw), plan.uncompressed_time(bw))))
             }
         }
     }
@@ -169,7 +184,10 @@ impl Downlink {
         mut bytes: Vec<u8>,
     ) -> DownlinkPayload {
         let raw_bytes = global.byte_size();
-        if self.should_compress(raw_bytes, bottleneck_bps, cohort) {
+        let (compress, predicted) = self.decide(raw_bytes, bottleneck_bps, cohort);
+        let (predicted_compressed_secs, predicted_raw_secs) =
+            (predicted.map(|p| p.0), predicted.map(|p| p.1));
+        if compress {
             let codec = self.codec.as_ref().expect("compressing mode implies a codec");
             let t0 = Instant::now();
             codec.compress_into(global, &mut bytes).expect("finite global weights");
@@ -178,10 +196,19 @@ impl Downlink {
                 compressed: true,
                 encode_secs: t0.elapsed().as_secs_f64(),
                 raw_bytes,
+                predicted_compressed_secs,
+                predicted_raw_secs,
             }
         } else {
             global.to_bytes_into(&mut bytes);
-            DownlinkPayload { bytes, compressed: false, encode_secs: 0.0, raw_bytes }
+            DownlinkPayload {
+                bytes,
+                compressed: false,
+                encode_secs: 0.0,
+                raw_bytes,
+                predicted_compressed_secs,
+                predicted_raw_secs,
+            }
         }
     }
 
@@ -261,13 +288,22 @@ mod tests {
         assert!(probe.compressed, "first round must probe");
         let back = downlink.decode(&probe.bytes, true).unwrap();
         assert_eq!(back.len(), model().len());
+        assert_eq!(probe.predicted_compressed_secs, None, "probe rounds price nothing");
         downlink.observe(&probe, 1e-3);
         // Terabit downlink: transfer is free, codec time can never pay.
         let fast = downlink.encode(&model(), Some(1e12), 2);
         assert!(!fast.compressed, "terabit links should get raw broadcasts");
+        assert!(
+            fast.predicted_compressed_secs.unwrap() >= fast.predicted_raw_secs.unwrap(),
+            "raw verdict must match its own prediction"
+        );
         // Kilobit downlink: transfer dominates, compression must win.
         let slow = downlink.encode(&model(), Some(1e3), 2);
         assert!(slow.compressed, "crawling links should get compressed broadcasts");
+        assert!(
+            slow.predicted_compressed_secs.unwrap() < slow.predicted_raw_secs.unwrap(),
+            "compressed verdict must match its own prediction"
+        );
     }
 
     #[test]

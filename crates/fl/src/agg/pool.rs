@@ -17,9 +17,19 @@
 //! synthesis buffer or frame-pricing scratch per *thread*, not per
 //! task) — the mechanism behind the streaming cohort generator's
 //! "peak memory = one update per worker" guarantee.
+//!
+//! An attached [`Telemetry`] handle ([`WorkerPool::with_telemetry`])
+//! makes each run observable: a `pool.run` span plus the
+//! `fedsz_pool_tasks_total` / `fedsz_pool_busy_seconds_total` /
+//! `fedsz_pool_idle_seconds_total` counters (idle = `width × wall −
+//! busy`, the time workers spent starved rather than merging). With
+//! the default disabled handle no clock is read per task.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
+
+use fedsz_telemetry::{Telemetry, Value};
 
 /// A fixed-width fork-join helper: `threads` workers drain an indexed
 /// task list and return results in task order.
@@ -27,21 +37,30 @@ use std::sync::Mutex;
 /// Width 0 is normalized to 1; width 1 (or a single task) runs inline
 /// on the caller's thread with no spawning at all, so serial configs
 /// pay nothing for the abstraction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct WorkerPool {
     threads: usize,
+    telemetry: Telemetry,
 }
 
 impl WorkerPool {
-    /// A pool of `threads` workers (0 is treated as 1).
+    /// A pool of `threads` workers (0 is treated as 1), telemetry
+    /// disabled.
     pub fn new(threads: usize) -> Self {
-        Self { threads: threads.max(1) }
+        Self { threads: threads.max(1), telemetry: Telemetry::disabled() }
     }
 
     /// A pool as wide as the host: `std::thread::available_parallelism`,
     /// or 1 when the host cannot say.
     pub fn host_wide() -> Self {
         Self::new(std::thread::available_parallelism().map_or(1, usize::from))
+    }
+
+    /// Attaches a telemetry handle: every run then opens a `pool.run`
+    /// span and feeds the pool's task/busy/idle counters.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Configured worker count.
@@ -74,39 +93,74 @@ impl WorkerPool {
             return Vec::new();
         }
         let width = self.threads.min(tasks);
-        if width <= 1 {
+        // The telemetry branch is taken once per *run*; per *task* the
+        // disabled path costs one bool test, no clock reads.
+        let enabled = self.telemetry.is_enabled();
+        let span = self.telemetry.span_with(
+            "pool.run",
+            &[("tasks", Value::U64(tasks as u64)), ("width", Value::U64(width as u64))],
+        );
+        let run_start = enabled.then(Instant::now);
+        let busy_nanos = AtomicU64::new(0);
+        let results = if width <= 1 {
             let mut scratch = init();
-            return (0..tasks).map(|task| f(task, &mut scratch)).collect();
-        }
-        // One atomic cursor hands out task indices; each worker writes
-        // into its tasks' pre-sized slots. No unsafe, no per-task
-        // channel traffic, deterministic result order.
-        let cursor = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<T>>> = (0..tasks).map(|_| Mutex::new(None)).collect();
-        std::thread::scope(|scope| {
-            for _ in 0..width {
-                scope.spawn(|| {
-                    let mut scratch = init();
-                    loop {
-                        let task = cursor.fetch_add(1, Ordering::Relaxed);
-                        if task >= tasks {
-                            break;
+            (0..tasks)
+                .map(|task| timed_task(enabled, &busy_nanos, || f(task, &mut scratch)))
+                .collect()
+        } else {
+            // One atomic cursor hands out task indices; each worker
+            // writes into its tasks' pre-sized slots. No unsafe, no
+            // per-task channel traffic, deterministic result order.
+            let cursor = AtomicUsize::new(0);
+            let slots: Vec<Mutex<Option<T>>> = (0..tasks).map(|_| Mutex::new(None)).collect();
+            std::thread::scope(|scope| {
+                for _ in 0..width {
+                    scope.spawn(|| {
+                        let mut scratch = init();
+                        loop {
+                            let task = cursor.fetch_add(1, Ordering::Relaxed);
+                            if task >= tasks {
+                                break;
+                            }
+                            let result = timed_task(enabled, &busy_nanos, || f(task, &mut scratch));
+                            *slots[task].lock().expect("worker slot poisoned") = Some(result);
                         }
-                        let result = f(task, &mut scratch);
-                        *slots[task].lock().expect("worker slot poisoned") = Some(result);
-                    }
-                });
-            }
-        });
-        slots
-            .into_iter()
-            .map(|slot| {
-                slot.into_inner()
-                    .expect("worker slot poisoned")
-                    .expect("every task index was claimed and completed")
-            })
-            .collect()
+                    });
+                }
+            });
+            slots
+                .into_iter()
+                .map(|slot| {
+                    slot.into_inner()
+                        .expect("worker slot poisoned")
+                        .expect("every task index was claimed and completed")
+                })
+                .collect()
+        };
+        if let Some(run_start) = run_start {
+            let wall_secs = run_start.elapsed().as_secs_f64();
+            let busy_secs = busy_nanos.load(Ordering::Relaxed) as f64 / 1e9;
+            self.telemetry.add("fedsz_pool_tasks_total", tasks as f64);
+            self.telemetry.add("fedsz_pool_busy_seconds_total", busy_secs);
+            self.telemetry.add(
+                "fedsz_pool_idle_seconds_total",
+                (width as f64 * wall_secs - busy_secs).max(0.0),
+            );
+        }
+        drop(span);
+        results
     }
+}
+
+/// Runs one task, accumulating its wall time only when telemetry is
+/// enabled.
+fn timed_task<T>(enabled: bool, busy_nanos: &AtomicU64, f: impl FnOnce() -> T) -> T {
+    let start = enabled.then(Instant::now);
+    let result = f();
+    if let Some(start) = start {
+        busy_nanos.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
+    result
 }
 
 #[cfg(test)]
@@ -153,5 +207,28 @@ mod tests {
         assert_eq!(got, (0..50).collect::<Vec<_>>());
         let created = inits.load(Ordering::Relaxed);
         assert!(created <= 3, "expected at most one scratch per worker, got {created}");
+    }
+
+    #[test]
+    fn telemetry_counts_tasks_and_splits_busy_from_idle() {
+        let telemetry = Telemetry::enabled();
+        let pool = WorkerPool::new(2).with_telemetry(telemetry.clone());
+        let got = pool.run(8, |task| {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            task
+        });
+        assert_eq!(got.len(), 8);
+        let text = telemetry.render_prometheus();
+        assert!(text.contains("fedsz_pool_tasks_total 8\n"), "{text}");
+        // Eight 2 ms tasks: busy is at least 16 ms even when split
+        // across two workers; idle is non-negative by construction.
+        let busy: f64 = text
+            .lines()
+            .find_map(|l| l.strip_prefix("fedsz_pool_busy_seconds_total "))
+            .expect("busy counter rendered")
+            .parse()
+            .unwrap();
+        assert!(busy >= 0.016, "busy {busy}");
+        assert!(text.contains("fedsz_pool_idle_seconds_total "), "{text}");
     }
 }

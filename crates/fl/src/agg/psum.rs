@@ -69,6 +69,14 @@ pub struct PsumFrame {
     /// independent frames can be priced in parallel and observed in a
     /// deterministic order afterwards.
     pub sample: Option<CostProfile>,
+    /// What Eqn 1 predicted the *compressed* path would cost end to
+    /// end (`t_C + t_D + S'·8/B_N`) when this frame was priced —
+    /// `None` unless an adaptive profile and an edge bandwidth priced
+    /// a real [`fedsz::timing::TransferPlan`].
+    pub predicted_compressed_secs: Option<f64>,
+    /// What Eqn 1 predicted the raw path would cost (`S·8/B_N`);
+    /// `None` on unpriced decisions, like `predicted_compressed_secs`.
+    pub predicted_raw_secs: Option<f64>,
 }
 
 /// Sizes the wire frame a partial sum would ride without building it:
@@ -152,13 +160,23 @@ impl PsumForwarder {
     /// uplink bandwidth, compress iff encode + decode + compressed
     /// transfer beats raw transfer. Until a profile exists (or without
     /// a network model) the frame compresses, which measures one.
-    fn should_compress(&self, raw: usize, bandwidth_bps: Option<f64>) -> bool {
+    ///
+    /// Returns the verdict plus, when a plan was actually priced, the
+    /// predicted `(compressed_secs, raw_secs)` pair — the audit trail
+    /// the telemetry layer attaches to each frame.
+    fn decide(&self, raw: usize, bandwidth_bps: Option<f64>) -> (bool, Option<(f64, f64)>) {
         match self.mode {
-            PsumMode::Raw => false,
-            PsumMode::Lossless => true,
+            PsumMode::Raw => (false, None),
+            PsumMode::Lossless => (true, None),
             PsumMode::Adaptive => match (&self.profile, bandwidth_bps) {
-                (Some(profile), Some(bw)) => profile.plan(raw).worthwhile(bw),
-                _ => true,
+                (Some(profile), Some(bw)) => {
+                    let plan = profile.plan(raw);
+                    (
+                        plan.worthwhile(bw),
+                        Some((plan.compressed_time(bw), plan.uncompressed_time(bw))),
+                    )
+                }
+                _ => (true, None),
             },
         }
     }
@@ -217,7 +235,10 @@ impl PsumForwarder {
         let payload_bytes = scratch.payload.len();
         let clients = partial.contributions() as u32;
         let weight = partial.weight_total();
-        if self.should_compress(payload_bytes, bandwidth_bps) {
+        let (compress, predicted) = self.decide(payload_bytes, bandwidth_bps);
+        let (predicted_compressed_secs, predicted_raw_secs) =
+            (predicted.map(|p| p.0), predicted.map(|p| p.1));
+        if compress {
             let t0 = Instant::now();
             self.codec.compress_into(&scratch.payload, &mut scratch.packed);
             let compress_secs = t0.elapsed().as_secs_f64();
@@ -248,6 +269,8 @@ impl PsumForwarder {
                 compressed: true,
                 codec_secs: compress_secs + decompress_secs,
                 sample: Some(sample),
+                predicted_compressed_secs,
+                predicted_raw_secs,
             }
         } else {
             let wire_bytes =
@@ -259,6 +282,8 @@ impl PsumForwarder {
                 compressed: false,
                 codec_secs: 0.0,
                 sample: None,
+                predicted_compressed_secs,
+                predicted_raw_secs,
             }
         }
     }
@@ -363,11 +388,20 @@ mod tests {
         let mut fwd = PsumForwarder::new(PsumMode::Adaptive);
         let probe = fwd.frame(0, 0, &partial(4096), Some(1e12));
         assert!(probe.compressed, "first frame must probe the codec");
+        // The probe ran before any profile existed: nothing was priced.
+        assert_eq!(probe.predicted_compressed_secs, None);
+        assert_eq!(probe.predicted_raw_secs, None);
         // Terabit backbone: codec time can never pay for itself.
         let fast = fwd.frame(1, 0, &partial(4096), Some(1e12));
         assert!(!fast.compressed, "terabit uplinks should ship raw frames");
+        // A profiled decision keeps both sides of the inequality, and
+        // the verdict must agree with them.
+        let (pc, pr) = (fast.predicted_compressed_secs.unwrap(), fast.predicted_raw_secs.unwrap());
+        assert!(pc >= pr, "raw verdict must mean the raw path priced cheaper");
         // Kilobit uplink: transfer dominates, compression must win.
         let slow = fwd.frame(2, 0, &partial(4096), Some(1e3));
         assert!(slow.compressed, "crawling uplinks should compress");
+        let (pc, pr) = (slow.predicted_compressed_secs.unwrap(), slow.predicted_raw_secs.unwrap());
+        assert!(pc < pr, "compressed verdict must mean the compressed path priced cheaper");
     }
 }

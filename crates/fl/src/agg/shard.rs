@@ -155,7 +155,7 @@ impl ExactAcc {
     /// one mask, one shift and one add; everything else — zeros,
     /// subnormal products, magnitudes below the grid or past the `2^47`
     /// ceiling, non-finite terms — falls through to the scalar
-    /// [`quantize`] path, which carries the range panics. There is no
+    /// `quantize` path, which carries the range panics. There is no
     /// separate rounding step to diverge: the fast path computes the
     /// same `(frac | 2^52) << (e + FRAC_BITS)` the scalar path does.
     ///

@@ -28,7 +28,9 @@ use crate::agg::psum::{PsumForwarder, PsumFrame, PsumMode, PsumScratch};
 use crate::agg::shard::{PartialSum, ShardPlan};
 use crate::link::LinkProfile;
 use crate::plan::{PlanError, StagePolicy};
+use fedsz::timing::{Eqn1Decision, Eqn1Leg};
 use fedsz_nn::StateDict;
+use fedsz_telemetry::{Telemetry, Value};
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -76,6 +78,15 @@ pub struct AggOutcome {
     /// Measured wall-clock spent merging (leaf workers run in
     /// parallel, so this tracks the slowest chain, not the sum).
     pub merge_secs: f64,
+    /// Measured wall nanoseconds merging *into* each level, root
+    /// first: `[depth - 1]` is the leaf accumulation pass, `[0]` the
+    /// final fold into the root. The flat backend reports its single
+    /// merge as a one-element vector.
+    pub level_merge_nanos: Vec<u64>,
+    /// The partial-sum leg's Eqn-1 decisions this round, one per
+    /// priced frame in deterministic (level-descending, ascending
+    /// node) order. Empty for the flat backend, which ships no frames.
+    pub eqn1: Vec<Eqn1Decision>,
 }
 
 impl AggOutcome {
@@ -103,6 +114,11 @@ pub trait Aggregator {
     /// Merges one round's contributions; `None` when there are none
     /// (the global model then stays put).
     fn aggregate(&mut self, round: usize, contributions: Vec<Contribution>) -> Option<AggOutcome>;
+
+    /// Attaches a telemetry handle for per-level spans and pool
+    /// counters. The default is a no-op: backends without internal
+    /// structure worth tracing (the flat server) ignore it.
+    fn set_telemetry(&mut self, _telemetry: Telemetry) {}
 }
 
 /// Every client reports straight to the root (classic FedAvg).
@@ -135,6 +151,7 @@ impl Aggregator for FlatAggregator {
             sum.accumulate(&c.dict, c.weight);
         }
         let global = sum.finish().expect("non-empty contributions");
+        let merge_secs = t0.elapsed().as_secs_f64();
         Some(AggOutcome {
             global,
             merged: contributions.len(),
@@ -143,7 +160,9 @@ impl Aggregator for FlatAggregator {
             psum_payload_bytes: 0,
             psum_wire_bytes: 0,
             root_done_secs,
-            merge_secs: t0.elapsed().as_secs_f64(),
+            merge_secs,
+            level_merge_nanos: vec![(merge_secs * 1e9) as u64],
+            eqn1: Vec::new(),
         })
     }
 }
@@ -203,6 +222,9 @@ pub struct ShardedTree {
     /// produces the same bits (the parity proptests pin this).
     threads: usize,
     buffers: BufferPool,
+    /// Per-level spans, psum Eqn-1 events and pool counters land here
+    /// (disabled by default: one branch per call, nothing recorded).
+    telemetry: Telemetry,
 }
 
 impl ShardedTree {
@@ -239,6 +261,7 @@ impl ShardedTree {
             forwarder: PsumForwarder::new(psum),
             threads: WorkerPool::host_wide().threads(),
             buffers: BufferPool::default(),
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -254,6 +277,21 @@ impl ShardedTree {
     /// The configured worker width.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Attaches a telemetry handle: every aggregation then opens one
+    /// `merge.level` span per tree level, emits the psum leg's Eqn-1
+    /// decisions as `eqn1.decision` events, and feeds the worker
+    /// pool's task/busy/idle counters.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// The worker pool all of the tree's parallel passes run on.
+    fn pool(&self) -> WorkerPool {
+        WorkerPool::new(self.threads).with_telemetry(self.telemetry.clone())
     }
 
     /// Builds the tree from a validated plan-level [`StagePolicy`] for
@@ -342,8 +380,15 @@ impl ShardedTree {
     {
         let plan = self.plan.clone();
         let t0 = Instant::now();
-        let pool = WorkerPool::new(self.threads);
+        let pool = self.pool();
         let buffers = &self.buffers;
+        let leaf_span = self.telemetry.span_with(
+            "merge.level",
+            &[
+                ("level", Value::U64(plan.depth() as u64 - 1)),
+                ("nodes", Value::U64(plan.leaves() as u64)),
+            ],
+        );
         let partials: Vec<PartialSum> = pool.run_with(plan.leaves(), init, |leaf, scratch| {
             let mut sum = buffers.take();
             for client in plan.leaf_range(leaf) {
@@ -352,7 +397,9 @@ impl ShardedTree {
             }
             sum
         });
-        self.reduce(round, partials, vec![0.0; plan.leaves()], t0)
+        let leaf_merge_nanos = t0.elapsed().as_nanos() as u64;
+        drop(leaf_span);
+        self.reduce(round, partials, vec![0.0; plan.leaves()], t0, leaf_merge_nanos)
     }
 
     /// Climbs the hierarchy: starting from the leaf partials, each
@@ -367,15 +414,24 @@ impl ShardedTree {
         mut partials: Vec<PartialSum>,
         mut ready: Vec<f64>,
         t0: Instant,
+        leaf_merge_nanos: u64,
     ) -> Option<AggOutcome> {
         let depth = self.plan.depth();
         let mut level_ingress_bytes = vec![0usize; depth - 1];
+        let mut level_merge_nanos = vec![0u64; depth];
+        level_merge_nanos[depth - 1] = leaf_merge_nanos;
+        let mut eqn1 = Vec::new();
         let mut psum_payload_bytes = 0usize;
         let mut psum_wire_bytes = 0usize;
-        let pool = WorkerPool::new(self.threads);
+        let pool = self.pool();
         for level in (1..depth).rev() {
             let fanout = self.plan.fanouts()[level - 1];
             let parents = self.plan.nodes_at(level - 1);
+            let level_span = self.telemetry.span_with(
+                "merge.level",
+                &[("level", Value::U64(level as u64 - 1)), ("nodes", Value::U64(parents as u64))],
+            );
+            let t_level = Instant::now();
             // Frame pricing (including the lossless codec work, the
             // expensive part) is independent per node, so it runs on
             // the worker pool with one pricing scratch per worker; the
@@ -398,6 +454,32 @@ impl ShardedTree {
                     continue;
                 };
                 self.forwarder.observe(&frame);
+                let decision = Eqn1Decision {
+                    leg: Eqn1Leg::Psum,
+                    node: node as u64,
+                    compressed: frame.compressed,
+                    predicted_compressed_secs: frame.predicted_compressed_secs,
+                    predicted_raw_secs: frame.predicted_raw_secs,
+                    measured_codec_secs: frame.codec_secs,
+                };
+                self.telemetry.event(
+                    "eqn1.decision",
+                    &[
+                        ("leg", Value::Str(decision.leg.name())),
+                        ("node", Value::U64(decision.node)),
+                        ("compressed", Value::Bool(decision.compressed)),
+                        (
+                            "predicted_compressed_secs",
+                            Value::F64(decision.predicted_compressed_secs.unwrap_or(f64::NAN)),
+                        ),
+                        (
+                            "predicted_raw_secs",
+                            Value::F64(decision.predicted_raw_secs.unwrap_or(f64::NAN)),
+                        ),
+                        ("measured_codec_secs", Value::F64(decision.measured_codec_secs)),
+                    ],
+                );
+                eqn1.push(decision);
                 level_ingress_bytes[level - 1] += frame.wire_bytes;
                 psum_payload_bytes += frame.payload_bytes;
                 psum_wire_bytes += frame.shipped_payload_bytes;
@@ -415,6 +497,8 @@ impl ShardedTree {
             }
             partials = parent_partials;
             ready = parent_ready;
+            level_merge_nanos[level - 1] = t_level.elapsed().as_nanos() as u64;
+            drop(level_span);
         }
         let root = partials.pop().expect("a tree always has a root");
         let merged = root.contributions();
@@ -429,6 +513,8 @@ impl ShardedTree {
             psum_wire_bytes,
             root_done_secs: ready[0],
             merge_secs: t0.elapsed().as_secs_f64(),
+            level_merge_nanos,
+            eqn1,
         })
     }
 }
@@ -465,8 +551,15 @@ impl Aggregator for ShardedTree {
         // Each leaf merges its cohort in ascending client-id order on a
         // pooled worker; the leaf is "ready" once its slowest accepted
         // member arrived and the merge itself completed.
-        let pool = WorkerPool::new(self.threads);
+        let pool = self.pool();
         let buffers = &self.buffers;
+        let leaf_span = self.telemetry.span_with(
+            "merge.level",
+            &[
+                ("level", Value::U64(plan.depth() as u64 - 1)),
+                ("nodes", Value::U64(plan.leaves() as u64)),
+            ],
+        );
         let merged_leaves: Vec<(PartialSum, f64)> = pool.run(per_leaf.len(), |leaf| {
             let cohort = &per_leaf[leaf];
             let ready = cohort.iter().map(|c| c.done_secs).fold(0.0, f64::max);
@@ -477,8 +570,14 @@ impl Aggregator for ShardedTree {
             }
             (sum, ready + t_leaf.elapsed().as_secs_f64())
         });
+        let leaf_merge_nanos = t0.elapsed().as_nanos() as u64;
+        drop(leaf_span);
         let (partials, ready): (Vec<_>, Vec<_>) = merged_leaves.into_iter().unzip();
-        self.reduce(round, partials, ready, t0)
+        self.reduce(round, partials, ready, t0, leaf_merge_nanos)
+    }
+
+    fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 }
 
@@ -656,6 +755,58 @@ mod tests {
         let streamed = streamed_tree.aggregate_streamed(0, &make).unwrap();
         assert_eq!(streamed.global.to_bytes(), materialized.global.to_bytes());
         assert_eq!(streamed.merged, 10);
+    }
+
+    #[test]
+    fn level_merge_nanos_and_eqn1_cover_every_level() {
+        let contribs: Vec<Contribution> = (0..8).map(|c| contribution(c, 1.0, 0.0)).collect();
+        // Depth 3 (fanouts [2, 2]): 4 leaves, 2 mid nodes, 1 root.
+        let mut tree = ShardedTree::new(TreePlan::new(8, vec![2, 2]), None, PsumMode::Lossless);
+        let out = tree.aggregate(0, contribs.clone()).unwrap();
+        assert_eq!(out.level_merge_nanos.len(), 3, "one entry per level, leaves included");
+        assert!(out.level_merge_nanos[2] > 0, "leaf accumulation takes measurable time");
+        // Every level ships one frame per non-empty node: 4 + 2.
+        assert_eq!(out.eqn1.len(), 6);
+        assert!(out.eqn1.iter().all(|d| d.leg == Eqn1Leg::Psum && d.compressed));
+        assert!(
+            out.eqn1.iter().all(|d| d.measured_codec_secs > 0.0),
+            "lossless frames pay real codec time"
+        );
+        // The flat backend: one merge, no frames.
+        let flat = FlatAggregator.aggregate(0, contribs).unwrap();
+        assert_eq!(flat.level_merge_nanos.len(), 1);
+        assert!(flat.eqn1.is_empty());
+    }
+
+    #[test]
+    fn telemetry_traces_per_level_merge_spans() {
+        let path =
+            std::env::temp_dir().join(format!("fedsz-tree-trace-{}.jsonl", std::process::id()));
+        {
+            let telemetry = Telemetry::with_trace(&path).unwrap();
+            let contribs: Vec<Contribution> = (0..8).map(|c| contribution(c, 1.0, 0.0)).collect();
+            let mut tree = ShardedTree::new(TreePlan::new(8, vec![2, 2]), None, PsumMode::Raw)
+                .with_telemetry(telemetry.clone());
+            let out = tree.aggregate(0, contribs).unwrap();
+            assert_eq!(out.merged, 8);
+            telemetry.flush();
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        // Depth 3: a merge.level span per level plus an eqn1.decision
+        // event per frame, all valid JSON.
+        let mut merge_spans = 0;
+        let mut decisions = 0;
+        for line in text.lines() {
+            let event = fedsz_telemetry::json::parse(line).expect("valid trace line");
+            match event.get("name").and_then(fedsz_telemetry::json::Json::as_str) {
+                Some("merge.level") => merge_spans += 1,
+                Some("eqn1.decision") => decisions += 1,
+                _ => {}
+            }
+        }
+        assert_eq!(merge_spans, 3, "{text}");
+        assert_eq!(decisions, 6, "{text}");
     }
 
     #[test]

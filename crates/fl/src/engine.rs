@@ -39,10 +39,11 @@ use crate::link::{self, Departure, Topology};
 use crate::plan::{RoundPlan, StagePolicy};
 use crate::transport::Transport;
 use crate::{Client, FlConfig, RoundMetrics};
-use fedsz::timing::CostProfile;
+use fedsz::timing::{CostProfile, Eqn1Decision, Eqn1Leg};
 use fedsz::FedSz;
 use fedsz_nn::loss::top1_accuracy;
 use fedsz_nn::{Model, StateDict};
+use fedsz_telemetry::{Telemetry, Value};
 use std::time::Instant;
 
 /// When the server aggregates a round's uploads.
@@ -114,6 +115,9 @@ pub struct RoundEngine {
     broadcast_buf: Vec<u8>,
     pending: Vec<StaleUpdate>,
     codec_profile: Option<CostProfile>,
+    /// Stage spans and Eqn-1 decision events land here; disabled by
+    /// default (one branch per call, no allocation).
+    telemetry: Telemetry,
 }
 
 impl RoundEngine {
@@ -191,7 +195,21 @@ impl RoundEngine {
             broadcast_buf: Vec::new(),
             pending: Vec::new(),
             codec_profile: None,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a telemetry handle: every round then opens stage spans
+    /// (`engine.round` and the broadcast/train/comm/decode/merge/
+    /// validate phases), emits one `eqn1.decision` event per priced
+    /// compression decision, and threads the handle into the
+    /// aggregation backend for per-level merge spans and pool
+    /// counters.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.aggregator.set_telemetry(telemetry.clone());
+        self.telemetry = telemetry;
+        self
     }
 
     /// The engine's configuration.
@@ -246,14 +264,18 @@ impl RoundEngine {
     /// beats sending raw over this client's link, falling back to
     /// "always compress" until a cost profile exists (the first
     /// compressed round measures one).
-    fn should_compress(&self, client: usize) -> bool {
+    /// Returns the decision plus, when Eqn 1 actually priced the two
+    /// paths, the `(compressed, raw)` predicted end-to-end seconds —
+    /// `None` for the unconditional modes and the profile-less probe
+    /// round.
+    fn should_compress(&self, client: usize) -> (bool, Option<(f64, f64)>) {
         match &self.uplink {
-            StagePolicy::Raw | StagePolicy::Lossless => return false,
-            StagePolicy::Lossy(_) => return true,
+            StagePolicy::Raw | StagePolicy::Lossless => return (false, None),
+            StagePolicy::Lossy(_) => return (true, None),
             StagePolicy::Adaptive { .. } => {}
         }
         let (Some(topology), Some(profile)) = (&self.topology, &self.codec_profile) else {
-            return true;
+            return (true, None);
         };
         let raw = self.global.byte_size();
         let link = topology.link(client);
@@ -261,7 +283,8 @@ impl RoundEngine {
         // its slowdown on codec time too. Decompression is server-side.
         let mut plan = profile.plan(raw);
         plan.compress_secs *= link.compute_slowdown;
-        plan.worthwhile(link.bandwidth_bps)
+        let bps = link.bandwidth_bps;
+        (plan.worthwhile(bps), Some((plan.compressed_time(bps), plan.uncompressed_time(bps))))
     }
 
     /// Deterministic uniform coin in `[0, 1)` for transit-loss decisions
@@ -290,11 +313,19 @@ impl RoundEngine {
         let selected = self.select_cohort(round);
         let fedsz = self.uplink.fedsz().map(FedSz::new);
         let epochs = self.config.local_epochs;
+        // Declared first so it drops last: the round span must close
+        // after every stage span nested inside it.
+        let round_span = self.telemetry.span_with(
+            "engine.round",
+            &[("round", Value::U64(round as u64)), ("cohort", Value::U64(selected.len() as u64))],
+        );
+        let mut eqn1: Vec<Eqn1Decision> = Vec::new();
 
         // Downlink stage: encode the global model ONCE for the whole
         // round (Eqn 1 may fall back to raw on fast cohorts), then fan
         // the same bytes out. The adaptive decision keys on the
         // cohort's bottleneck downlink.
+        let broadcast_span = self.telemetry.span("engine.broadcast");
         let bottleneck_bps = self.topology.as_ref().map(|t| {
             selected.iter().map(|&id| t.link(id).bandwidth_bps).fold(f64::INFINITY, f64::min)
         });
@@ -347,11 +378,26 @@ impl RoundEngine {
         };
         let downlink_ratio = payload.ratio();
         let downlink_secs = payload.encode_secs + decode_secs;
+        // The downlink leg makes one Eqn-1 call per round (the payload
+        // is shared by the whole cohort), recorded against node 0.
+        let downlink_decision = Eqn1Decision {
+            leg: Eqn1Leg::Downlink,
+            node: 0,
+            compressed: payload.compressed,
+            predicted_compressed_secs: payload.predicted_compressed_secs,
+            predicted_raw_secs: payload.predicted_raw_secs,
+            measured_codec_secs: downlink_secs,
+        };
+        self.emit_eqn1(&downlink_decision);
+        eqn1.push(downlink_decision);
         self.downlink.observe(&payload, decode_secs);
         // Hand the buffer back so next round's encode reuses it.
         self.broadcast_buf = payload.bytes;
         let shared_downlink_global = decoded_global.as_ref();
-        let decisions: Vec<bool> = selected.iter().map(|&id| self.should_compress(id)).collect();
+        drop(broadcast_span);
+        let uplink_choices: Vec<(bool, Option<(f64, f64)>)> =
+            selected.iter().map(|&id| self.should_compress(id)).collect();
+        let decisions: Vec<bool> = uplink_choices.iter().map(|&(c, _)| c).collect();
 
         // Local work runs in parallel threads (clients own disjoint
         // state); wall time is measured per client and later scaled by
@@ -364,6 +410,10 @@ impl RoundEngine {
             mask
         };
         let shared_global: &StateDict = shared_downlink_global.unwrap_or(&self.global);
+        let train_span = self.telemetry.span_with(
+            "engine.train",
+            &[("round", Value::U64(round as u64)), ("cohort", Value::U64(selected.len() as u64))],
+        );
         let mut outcomes: Vec<ClientOutcome> = std::thread::scope(|scope| {
             let handles: Vec<_> = self
                 .clients
@@ -409,7 +459,26 @@ impl RoundEngine {
             handles.into_iter().map(|h| h.join().expect("client thread panicked")).collect()
         });
         outcomes.sort_by_key(|o| o.id);
+        drop(train_span);
 
+        // One uplink Eqn-1 record per cohort client, with the client's
+        // measured codec seconds next to the prediction that picked the
+        // path (`outcomes` and `uplink_choices` are both in ascending
+        // `selected` order).
+        for (outcome, &(compressed, predicted)) in outcomes.iter().zip(&uplink_choices) {
+            let decision = Eqn1Decision {
+                leg: Eqn1Leg::Uplink,
+                node: outcome.id as u64,
+                compressed,
+                predicted_compressed_secs: predicted.map(|p| p.0),
+                predicted_raw_secs: predicted.map(|p| p.1),
+                measured_codec_secs: outcome.compress_secs,
+            };
+            self.emit_eqn1(&decision);
+            eqn1.push(decision);
+        }
+
+        let comm_span = self.telemetry.span("engine.comm");
         // Uploads cross the transport; the wire size (frames included)
         // is what the virtual clock charges to the link.
         let mut upstream_bytes = 0usize;
@@ -470,7 +539,9 @@ impl RoundEngine {
             Some(topology) => link::comm_secs(&arrivals, topology),
             None => 0.0,
         };
+        drop(comm_span);
 
+        let decode_span = self.telemetry.span("engine.decode");
         // Server-side decode of everything that survived transit. The
         // FedSZ share of the time is tracked separately so the Eqn 1
         // cost profile is not polluted by raw-payload parse time.
@@ -509,18 +580,29 @@ impl RoundEngine {
                 ServerUpdate { id: o.id, dict, samples: o.samples, dropped }
             })
             .collect();
+        drop(decode_span);
 
         // Aggregation under the configured policy and backend.
+        let merge_span =
+            self.telemetry.span_with("engine.merge", &[("round", Value::U64(round as u64))]);
         let (outcome, stale_updates) =
             self.aggregate(round, server_updates, &arrivals, &wire_sizes);
+        drop(merge_span);
         let (aggregated_updates, round_secs, root_ingress_bytes, psum_ratio) = match &outcome {
             Some(o) => (o.merged, o.root_done_secs, o.root_ingress_bytes, o.psum_ratio()),
             None => (0, 0.0, 0, 1.0),
         };
+        let (level_merge_nanos, psum_eqn1) = match outcome {
+            Some(o) => (o.level_merge_nanos, o.eqn1),
+            None => (Vec::new(), Vec::new()),
+        };
+        eqn1.extend(psum_eqn1);
 
+        let validate_span = self.telemetry.span("engine.validate");
         let t_val = Instant::now();
         let test_accuracy = self.evaluate();
         let validation_secs = t_val.elapsed().as_secs_f64();
+        drop(validate_span);
 
         // Refresh the Eqn 1 cost profile from this round's measurements.
         self.observe_codec_costs(&outcomes, &dropped_mask, fedsz_decompress_secs);
@@ -532,7 +614,7 @@ impl RoundEngine {
         let ratio =
             outcomes.iter().map(|o| o.raw_bytes as f64 / o.payload_len.max(1) as f64).sum::<f64>()
                 / n;
-        RoundMetrics {
+        let metrics = RoundMetrics {
             round,
             test_accuracy,
             train_secs,
@@ -553,7 +635,31 @@ impl RoundEngine {
             aggregated_updates,
             stale_updates,
             dropped_updates: dropped_count,
-        }
+            level_merge_nanos,
+            eqn1,
+        };
+        drop(round_span);
+        metrics
+    }
+
+    /// Writes one `eqn1.decision` instant event for a priced (or
+    /// unconditional) compression choice; absent predictions render as
+    /// `null` in the trace (the NaN encoding of the trace writer).
+    fn emit_eqn1(&self, d: &Eqn1Decision) {
+        self.telemetry.event(
+            "eqn1.decision",
+            &[
+                ("leg", Value::Str(d.leg.name())),
+                ("node", Value::U64(d.node)),
+                ("compressed", Value::Bool(d.compressed)),
+                (
+                    "predicted_compressed_secs",
+                    Value::F64(d.predicted_compressed_secs.unwrap_or(f64::NAN)),
+                ),
+                ("predicted_raw_secs", Value::F64(d.predicted_raw_secs.unwrap_or(f64::NAN))),
+                ("measured_codec_secs", Value::F64(d.measured_codec_secs)),
+            ],
+        );
     }
 
     /// Applies the aggregation policy and backend, returning the

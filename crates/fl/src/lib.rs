@@ -523,7 +523,7 @@ impl FlConfigBuilder {
 
 /// Metrics from one communication round, averaged over clients where
 /// applicable.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RoundMetrics {
     /// Round index (0-based).
     pub round: usize,
@@ -584,6 +584,16 @@ pub struct RoundMetrics {
     pub stale_updates: usize,
     /// Uploads lost in transit this round.
     pub dropped_updates: usize,
+    /// Wall nanoseconds spent merging into each tree level, root
+    /// first; index `depth - 1` is the leaf accumulation pass. A flat
+    /// backend reports a single element, and a round that aggregated
+    /// nothing reports an empty vector.
+    pub level_merge_nanos: Vec<u64>,
+    /// Every Eqn-1 compression decision this round, in emission order:
+    /// the round's one downlink decision, then one uplink decision per
+    /// cohort client (ascending id), then the tree's partial-sum
+    /// decisions level by level.
+    pub eqn1: Vec<fedsz::timing::Eqn1Decision>,
 }
 
 /// A FedAvg experiment over the analytic in-memory transport: a global
@@ -601,6 +611,15 @@ impl Experiment {
     /// and initializes the global model.
     pub fn new(config: FlConfig) -> Self {
         Self { engine: RoundEngine::new(config, Box::<InMemoryTransport>::default()) }
+    }
+
+    /// Attaches a telemetry handle to the underlying engine: stage
+    /// spans, per-level merge spans and `eqn1.decision` events for
+    /// every round this experiment runs.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: fedsz_telemetry::Telemetry) -> Self {
+        self.engine = self.engine.with_telemetry(telemetry);
+        self
     }
 
     /// The experiment's configuration.

@@ -25,6 +25,7 @@ use fedsz::FedSz;
 use fedsz_lossless::PsumCodec;
 use fedsz_net::{Message, NetError, Session};
 use fedsz_nn::{Model, StateDict};
+use fedsz_telemetry::{Telemetry, Value};
 use std::collections::BTreeMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener};
@@ -67,6 +68,10 @@ pub struct ServeConfig {
     pub accept_timeout: Duration,
     /// Per-round barrier: children silent for longer are evicted.
     pub round_timeout: Duration,
+    /// Session-lifecycle telemetry: connects, round/barrier spans,
+    /// frame-byte counters and `serve.evict` events land here.
+    /// Disabled by default.
+    pub telemetry: Telemetry,
 }
 
 impl ServeConfig {
@@ -77,6 +82,7 @@ impl ServeConfig {
             role: Role::Root,
             accept_timeout: Duration::from_secs(30),
             round_timeout: Duration::from_secs(60),
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -291,6 +297,10 @@ impl NetServer {
         // off the canonical plan, never the raw precedence-ridden
         // knobs.
         let plan = config.plan()?;
+        // Pre-declare the lifecycle counters so a `/metrics` scrape
+        // during the accept barrier already sees them at zero.
+        config.telemetry.declare_counter("fedsz_net_sessions_total");
+        config.telemetry.declare_counter("fedsz_net_evictions_total");
         let expected = ServeConfig::expected_children_of(&plan, &config.role);
         // A relay announces itself upstream before accepting its own
         // children, so a deep deployment can start in any order.
@@ -389,6 +399,9 @@ impl NetServer {
                 .encode(),
             );
 
+            let round_span = config
+                .telemetry
+                .span_with("serve.round", &[("round", Value::U64(u64::from(round)))]);
             let t0 = Instant::now();
             let (got, down_bytes, up_bytes, mut evicted_now) = broadcast_and_collect(
                 &mut children,
@@ -397,6 +410,19 @@ impl NetServer {
                 frame,
                 config.round_timeout,
                 &mut evictions,
+                &config.telemetry,
+            );
+            config.telemetry.add_labeled(
+                "fedsz_net_frame_bytes_total",
+                "dir",
+                "out",
+                down_bytes as f64,
+            );
+            config.telemetry.add_labeled(
+                "fedsz_net_frame_bytes_total",
+                "dir",
+                "in",
+                up_bytes as f64,
             );
 
             // Merge in ascending child-id order (the exact accumulator
@@ -420,6 +446,7 @@ impl NetServer {
                     Ok(contributions) => merged += contributions,
                     Err(reason) => {
                         evict(&mut children, id);
+                        record_eviction(&config.telemetry, id, round, &reason);
                         evictions.push((id, round, reason));
                         evicted_now += 1;
                     }
@@ -497,6 +524,7 @@ impl NetServer {
                 wall_secs: t0.elapsed().as_secs_f64(),
                 checksum,
             });
+            drop(round_span);
             round += 1;
             if children.iter().all(|c| !c.alive) {
                 break; // nobody left to serve
@@ -572,6 +600,8 @@ impl NetServer {
                     let handle = thread::spawn(move || {
                         session_thread(session, client_id, cmd_rx, events, timeout)
                     });
+                    config.telemetry.event("serve.connect", &[("child", Value::U64(client_id))]);
+                    config.telemetry.add("fedsz_net_sessions_total", 1.0);
                     children.push(Child { id: client_id, cmd: cmd_tx, handle, alive: true });
                 }
                 _ => {
@@ -599,6 +629,7 @@ fn broadcast_and_collect(
     frame: Arc<Vec<u8>>,
     round_timeout: Duration,
     evictions: &mut Vec<(u64, u32, String)>,
+    telemetry: &Telemetry,
 ) -> (BTreeMap<u64, Upload>, usize, usize, usize) {
     let mut live = 0usize;
     for child in children.iter() {
@@ -611,6 +642,10 @@ fn broadcast_and_collect(
             }
         }
     }
+    let barrier_span = telemetry.span_with(
+        "serve.barrier",
+        &[("round", Value::U64(u64::from(round))), ("live", Value::U64(live as u64))],
+    );
     let deadline = Instant::now() + round_timeout;
     let mut got: BTreeMap<u64, Upload> = BTreeMap::new();
     let mut down_bytes = 0usize;
@@ -633,6 +668,7 @@ fn broadcast_and_collect(
                     }
                     EventKind::Gone { reason } => {
                         evict(children, event.id);
+                        record_eviction(telemetry, event.id, round, &reason);
                         evictions.push((event.id, round, reason));
                         evicted += 1;
                     }
@@ -649,10 +685,13 @@ fn broadcast_and_collect(
     for child in children.iter_mut() {
         if child.alive && !got.contains_key(&child.id) {
             child.alive = false;
-            evictions.push((child.id, round, "silent past the round deadline".into()));
+            let reason = "silent past the round deadline";
+            record_eviction(telemetry, child.id, round, reason);
+            evictions.push((child.id, round, reason.into()));
             evicted += 1;
         }
     }
+    drop(barrier_span);
     (got, down_bytes, up_bytes, evicted)
 }
 
@@ -660,6 +699,22 @@ fn evict(children: &mut [Child], id: u64) {
     if let Some(child) = children.iter_mut().find(|c| c.id == id) {
         child.alive = false;
     }
+}
+
+/// One eviction, observable two ways: a `serve.evict` instant event
+/// (child id, round, reason — the event's `ts` is trace-relative, so
+/// the trace records *when* the child was dropped) and the
+/// `fedsz_net_evictions_total` counter a `/metrics` scrape sees.
+fn record_eviction(telemetry: &Telemetry, id: u64, round: u32, reason: &str) {
+    telemetry.event(
+        "serve.evict",
+        &[
+            ("child", Value::U64(id)),
+            ("round", Value::U64(u64::from(round))),
+            ("reason", Value::Str(reason)),
+        ],
+    );
+    telemetry.add("fedsz_net_evictions_total", 1.0);
 }
 
 /// Largest weight magnitude a remote update may carry: safely inside

@@ -25,6 +25,7 @@ use crate::{Client, FlConfig};
 use fedsz::timing::CostProfile;
 use fedsz::FedSz;
 use fedsz_net::{Message, NetError, Session};
+use fedsz_telemetry::{Telemetry, Value};
 use std::time::{Duration, Instant};
 
 /// Configuration of one `fedsz worker` process.
@@ -38,13 +39,16 @@ pub struct WorkerConfig {
     pub connect: String,
     /// Connect deadline, and how long to wait for each broadcast.
     pub timeout: Duration,
+    /// Join/round spans and this worker's measured-Eqn-1
+    /// `eqn1.decision` events land here. Disabled by default.
+    pub telemetry: Telemetry,
 }
 
 impl WorkerConfig {
     /// A worker for client `id` against `connect`, with a 60 s
     /// timeout.
     pub fn new(fl: FlConfig, id: usize, connect: String) -> Self {
-        Self { fl, id, connect, timeout: Duration::from_secs(60) }
+        Self { fl, id, connect, timeout: Duration::from_secs(60), telemetry: Telemetry::disabled() }
     }
 }
 
@@ -116,6 +120,7 @@ pub fn run_worker(config: WorkerConfig) -> Result<WorkerReport, NetError> {
     let fedsz = uplink.fedsz().map(FedSz::new);
     let mut session = Session::connect(&config.connect, config.timeout).map_err(NetError::Io)?;
     session.send(&Message::Join { client_id: config.id as u64, round: 0 })?;
+    config.telemetry.event("worker.join", &[("client", Value::U64(config.id as u64))]);
 
     let mut link = MeasuredLink::default();
     let mut profile: Option<CostProfile> = None;
@@ -140,6 +145,10 @@ pub fn run_worker(config: WorkerConfig) -> Result<WorkerReport, NetError> {
             }
         };
 
+        let round_span = config.telemetry.span_with(
+            "worker.round",
+            &[("round", Value::U64(u64::from(round))), ("client", Value::U64(config.id as u64))],
+        );
         client
             .load_global(&dict)
             .map_err(|e| NetError::Protocol(format!("global dict rejected: {e}")))?;
@@ -154,19 +163,27 @@ pub fn run_worker(config: WorkerConfig) -> Result<WorkerReport, NetError> {
         // measured codec time plus compressed transfer beats sending
         // raw at the measured bandwidth, probing (compressing) until
         // both measurements exist.
-        let compress = match &uplink {
-            StagePolicy::Raw | StagePolicy::Lossless => false,
-            StagePolicy::Lossy(_) => true,
+        let (compress, predicted) = match &uplink {
+            StagePolicy::Raw | StagePolicy::Lossless => (false, None),
+            StagePolicy::Lossy(_) => (true, None),
             StagePolicy::Adaptive { .. } => match (profile, link.bps) {
-                (Some(profile), Some(bps)) => profile.plan(raw_bytes).worthwhile(bps),
-                _ => true,
+                (Some(profile), Some(bps)) => {
+                    let plan = profile.plan(raw_bytes);
+                    (
+                        plan.worthwhile(bps),
+                        Some((plan.compressed_time(bps), plan.uncompressed_time(bps))),
+                    )
+                }
+                _ => (true, None),
             },
         };
+        let mut measured_codec_secs = 0.0f64;
         let (payload, compressed) = if compress {
             let codec = fedsz.as_ref().expect("compress implies a codec");
             let t0 = Instant::now();
             let packed = codec.compress(&update).expect("finite weights").into_bytes();
             let compress_secs = t0.elapsed().as_secs_f64();
+            measured_codec_secs = compress_secs;
             if uplink.is_adaptive() {
                 let raw = raw_bytes.max(1) as f64;
                 // The decompression the server will pay is measured on
@@ -196,10 +213,30 @@ pub fn run_worker(config: WorkerConfig) -> Result<WorkerReport, NetError> {
             (update.to_bytes(), false)
         };
 
+        // The measured twin of the engine's per-client uplink record:
+        // predictions exist only once both the codec profile and a
+        // bandwidth sample do (the probe rounds before that show
+        // `null` predictions in the trace, like the simulator's).
+        config.telemetry.event(
+            "eqn1.decision",
+            &[
+                ("leg", Value::Str("uplink")),
+                ("node", Value::U64(config.id as u64)),
+                ("compressed", Value::Bool(compressed)),
+                (
+                    "predicted_compressed_secs",
+                    Value::F64(predicted.map_or(f64::NAN, |p: (f64, f64)| p.0)),
+                ),
+                ("predicted_raw_secs", Value::F64(predicted.map_or(f64::NAN, |p| p.1))),
+                ("measured_codec_secs", Value::F64(measured_codec_secs)),
+            ],
+        );
+
         let message = Message::Update { round, client_id: config.id as u64, payload, compressed };
         let t_send = Instant::now();
         let wire_bytes = session.send(&message)?;
         link.observe(wire_bytes, t_send.elapsed().as_secs_f64());
+        drop(round_span);
 
         rounds += 1;
         if compressed {

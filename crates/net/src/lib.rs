@@ -19,6 +19,9 @@
 //! * [`Session`] — a connected TCP peer speaking FMSG: handshake-ready
 //!   `send`/`recv` with per-call timeouts, used by `fedsz serve`,
 //!   `fedsz worker` and the engine's `SocketTransport`.
+//! * [`MetricsServer`] — a detached Prometheus text-exposition
+//!   endpoint (`fedsz serve --metrics-addr`) answering every HTTP
+//!   request with a live counter/gauge snapshot.
 //!
 //! The crate deliberately knows nothing about federated learning:
 //! models, aggregation and round logic stay in `fedsz-fl`, which
@@ -29,10 +32,12 @@
 #![warn(missing_docs)]
 
 pub mod frame;
+pub mod metrics;
 pub mod session;
 pub mod wire;
 
 pub use frame::{FrameReader, FrameWriter};
+pub use metrics::MetricsServer;
 pub use session::Session;
 pub use wire::{frame_len, Message, MAX_FRAME_BYTES};
 

@@ -1,0 +1,124 @@
+//! A minimal Prometheus text-exposition endpoint.
+//!
+//! `fedsz serve --metrics-addr` binds one of these next to the FMSG
+//! listener: a detached thread accepts plain HTTP connections and
+//! answers *every* request with a fresh
+//! [`Telemetry::render_prometheus`] snapshot. There is no routing, no
+//! keep-alive and no TLS — the endpoint exists so `curl`/Prometheus
+//! can scrape session and eviction counters during a run, and a
+//! scraper that asks for `/favicon.ico` getting metrics back is a
+//! feature, not a bug (one less parser on the server side).
+
+use fedsz_telemetry::Telemetry;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::time::Duration;
+
+/// A background Prometheus scrape endpoint bound to a local address.
+///
+/// Dropping the handle does **not** stop the accept thread (it runs
+/// detached for the life of the process, like the serve loop that owns
+/// it); the handle only reports where the listener landed.
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and
+    /// spawns the detached accept thread. Each connection gets one
+    /// snapshot response and is closed.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error verbatim (address in use, permission
+    /// denied, unparseable address).
+    pub fn bind(addr: &str, telemetry: Telemetry) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        std::thread::Builder::new()
+            .name("fedsz-metrics".into())
+            .spawn(move || accept_loop(&listener, &telemetry))
+            .map_err(|e| std::io::Error::other(format!("metrics accept thread: {e}")))?;
+        Ok(Self { addr: local })
+    }
+
+    /// The address the listener actually bound (port resolved when the
+    /// caller asked for `:0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+fn accept_loop(listener: &TcpListener, telemetry: &Telemetry) {
+    for stream in listener.incoming() {
+        let Ok(stream) = stream else { continue };
+        // A wedged scraper must not pin the accept thread.
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+        let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+        let _ = respond(stream, telemetry);
+    }
+}
+
+/// Reads (and discards) the request head, then writes one snapshot.
+fn respond(mut stream: TcpStream, telemetry: &Telemetry) -> std::io::Result<()> {
+    // Drain until the blank line ending the request head (or the
+    // buffer fills — no legitimate scrape head is 4 KiB).
+    let mut head = [0u8; 4096];
+    let mut used = 0;
+    while used < head.len() {
+        let n = stream.read(&mut head[used..])?;
+        if n == 0 {
+            break;
+        }
+        used += n;
+        if head[..used].windows(4).any(|w| w == b"\r\n\r\n") {
+            break;
+        }
+    }
+    let body = telemetry.render_prometheus();
+    let header = format!(
+        "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(header.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scrape(addr: SocketAddr) -> String {
+        let mut s = TcpStream::connect(addr).expect("connect to metrics endpoint");
+        s.write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn serves_a_prometheus_snapshot_per_connection() {
+        let telemetry = Telemetry::enabled();
+        telemetry.add("fedsz_net_sessions_total", 3.0);
+        let server = MetricsServer::bind("127.0.0.1:0", telemetry.clone()).unwrap();
+
+        let first = scrape(server.addr());
+        assert!(first.starts_with("HTTP/1.1 200 OK\r\n"), "{first}");
+        assert!(first.contains("# TYPE fedsz_net_sessions_total counter"), "{first}");
+        assert!(first.contains("fedsz_net_sessions_total 3"), "{first}");
+
+        // Snapshots are live: a later scrape sees later increments.
+        telemetry.add("fedsz_net_sessions_total", 1.0);
+        assert!(scrape(server.addr()).contains("fedsz_net_sessions_total 4"));
+    }
+
+    #[test]
+    fn disabled_telemetry_serves_an_empty_snapshot() {
+        let server = MetricsServer::bind("127.0.0.1:0", Telemetry::disabled()).unwrap();
+        let reply = scrape(server.addr());
+        assert!(reply.starts_with("HTTP/1.1 200 OK\r\n"), "{reply}");
+        assert!(reply.ends_with("\r\n\r\n"), "empty body after the head: {reply}");
+    }
+}

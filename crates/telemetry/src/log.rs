@@ -1,0 +1,110 @@
+//! Leveled stderr logging, gated by the `FEDSZ_LOG` environment
+//! variable.
+//!
+//! `FEDSZ_LOG=debug|info|warn` picks the minimum level that prints
+//! (default `info`); anything quieter is skipped before its message is
+//! even formatted. Lines go to **stderr** with a `[level]` prefix, so
+//! machine-parsed stdout (the `global checksum:` lines net_smoke.sh
+//! greps, `--json` reports) stays byte-identical whatever the level.
+//!
+//! ```
+//! fedsz_telemetry::info!("listening on {}", "127.0.0.1:7453");
+//! fedsz_telemetry::debug!("only with FEDSZ_LOG=debug");
+//! ```
+
+use std::sync::OnceLock;
+
+/// Log severity, ordered quiet-to-loud.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Development detail (`FEDSZ_LOG=debug`).
+    Debug = 0,
+    /// Operational progress (the default).
+    Info = 1,
+    /// Something degraded but the run continues.
+    Warn = 2,
+}
+
+impl Level {
+    /// The `[level]` prefix used on stderr lines.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Level::Debug => "debug",
+            Level::Info => "info",
+            Level::Warn => "warn",
+        }
+    }
+}
+
+/// The minimum level that prints, read once from `FEDSZ_LOG`.
+///
+/// Unknown values fall back to the default (`info`), matching the
+/// principle that a typo'd environment must not silence warnings.
+pub fn threshold() -> Level {
+    static THRESHOLD: OnceLock<Level> = OnceLock::new();
+    *THRESHOLD.get_or_init(|| match std::env::var("FEDSZ_LOG").as_deref() {
+        Ok("debug") => Level::Debug,
+        Ok("warn") => Level::Warn,
+        _ => Level::Info,
+    })
+}
+
+/// Whether a message at `level` should print.
+pub fn enabled(level: Level) -> bool {
+    level >= threshold()
+}
+
+/// Formats and prints one stderr line; prefer the [`crate::info!`]
+/// family, which skips formatting when the level is filtered.
+pub fn write(level: Level, message: std::fmt::Arguments<'_>) {
+    eprintln!("[{}] {}", level.tag(), message);
+}
+
+/// Logs at debug level (printed only with `FEDSZ_LOG=debug`).
+#[macro_export]
+macro_rules! debug {
+    ($($arg:tt)*) => {
+        if $crate::log::enabled($crate::log::Level::Debug) {
+            $crate::log::write($crate::log::Level::Debug, format_args!($($arg)*));
+        }
+    };
+}
+
+/// Logs at info level (the default threshold).
+#[macro_export]
+macro_rules! info {
+    ($($arg:tt)*) => {
+        if $crate::log::enabled($crate::log::Level::Info) {
+            $crate::log::write($crate::log::Level::Info, format_args!($($arg)*));
+        }
+    };
+}
+
+/// Logs at warn level (never filtered by a valid `FEDSZ_LOG`).
+#[macro_export]
+macro_rules! warn {
+    ($($arg:tt)*) => {
+        if $crate::log::enabled($crate::log::Level::Warn) {
+            $crate::log::write($crate::log::Level::Warn, format_args!($($arg)*));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_order_quiet_to_loud() {
+        assert!(Level::Debug < Level::Info);
+        assert!(Level::Info < Level::Warn);
+        assert_eq!(Level::Warn.tag(), "warn");
+    }
+
+    #[test]
+    fn warn_is_never_below_any_threshold() {
+        // Whatever FEDSZ_LOG says in this test environment, warnings
+        // must pass the filter.
+        assert!(enabled(Level::Warn));
+    }
+}

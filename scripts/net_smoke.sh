@@ -2,12 +2,16 @@
 # Multi-process loopback smoke: one `fedsz serve` root plus four
 # `fedsz worker` child processes on 127.0.0.1, two rounds, asserting
 # the server's printed global-model checksum is bit-identical to the
-# in-memory `fedsz fl` run of the same configuration. CI runs this
-# under a 120 s timeout; it finishes in a few seconds when healthy.
+# in-memory `fedsz fl` run of the same configuration. The serve
+# process also exposes `--metrics-addr`; while the accept barrier holds
+# (three of four workers joined), the script scrapes `/metrics` and
+# asserts the session/eviction counters. CI runs this under a 120 s
+# timeout; it finishes in a few seconds when healthy.
 set -euo pipefail
 
 BIN=${BIN:-target/release/fedsz}
 PORT=${PORT:-7453}
+MPORT=${MPORT:-$((PORT + 1))}
 # One declarative run spec drives every process (clients 4, rounds 2,
 # train-per-class 4, seed 9); per-process flags add only the role.
 FLAGS=(--config examples/configs/socket.toml)
@@ -17,7 +21,7 @@ trap 'rm -rf "$WORKDIR"' EXIT
 want=$("$BIN" fl "${FLAGS[@]}" | grep '^global checksum' | awk '{print $3}')
 echo "in-memory checksum:     $want"
 
-"$BIN" serve --bind "127.0.0.1:$PORT" "${FLAGS[@]}" \
+"$BIN" serve --bind "127.0.0.1:$PORT" --metrics-addr "127.0.0.1:$MPORT" "${FLAGS[@]}" \
     > "$WORKDIR/serve.out" 2> "$WORKDIR/serve.err" &
 serve_pid=$!
 
@@ -34,10 +38,35 @@ for _ in $(seq 1 100); do
 done
 [ "$up" = 1 ] || { echo "serve never started listening"; cat "$WORKDIR/serve.err"; exit 1; }
 
-for i in 0 1 2 3; do
+# Three of four workers join, so the accept barrier holds the round
+# open — a stable window to scrape the Prometheus endpoint.
+for i in 0 1 2; do
   "$BIN" worker --id "$i" --connect "127.0.0.1:$PORT" "${FLAGS[@]}" \
       > "$WORKDIR/worker$i.out" &
 done
+
+snapshot="$WORKDIR/metrics.txt"
+scraped=0
+for _ in $(seq 1 100); do
+  if curl -sf --max-time 2 "http://127.0.0.1:$MPORT/metrics" > "$snapshot" \
+      && grep -q '^fedsz_net_sessions_total 3$' "$snapshot"; then
+    scraped=1
+    break
+  fi
+  sleep 0.1
+done
+if [ "$scraped" != 1 ]; then
+  echo "FAIL: /metrics never reported fedsz_net_sessions_total 3"
+  cat "$snapshot" 2>/dev/null || true
+  exit 1
+fi
+grep -q '^fedsz_net_evictions_total 0$' "$snapshot" \
+  || { echo "FAIL: evictions counted during the barrier"; cat "$snapshot"; exit 1; }
+echo "metrics ok: 3 sessions joined, 0 evictions at the barrier"
+
+# The fourth worker releases the barrier; the rounds run to completion.
+"$BIN" worker --id 3 --connect "127.0.0.1:$PORT" "${FLAGS[@]}" \
+    > "$WORKDIR/worker3.out" &
 wait
 
 echo "--- serve report ---"

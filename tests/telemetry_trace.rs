@@ -1,0 +1,166 @@
+//! Golden tests for the `--trace` Chrome-trace JSONL export.
+//!
+//! Two contracts pinned here:
+//!
+//! 1. **Schema** — a traced `fedsz fl` run produces one JSON object
+//!    per line, a `fedsz.trace.v1` metadata first line, one
+//!    `engine.round` span per round, per-level `merge.level` spans,
+//!    `eqn1.decision` events, and per-thread span intervals that nest
+//!    (contained or disjoint, never partially overlapping).
+//! 2. **Parity** — tracing is observation only: the traced run prints
+//!    the byte-identical `global checksum:` line of the untraced run.
+//!
+//! The CLI runs in-process through [`fedsz_cli::run`], so these tests
+//! need no subprocess or installed binary.
+
+use fedsz_telemetry::json::{self, Json};
+
+/// Runs `fedsz <args>` in-process, asserting success.
+fn run_ok(args: &[&str]) -> String {
+    let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+    let outcome = fedsz_cli::run(&args);
+    assert_eq!(outcome.code, 0, "fedsz {args:?} failed:\n{}", outcome.report);
+    outcome.report
+}
+
+fn checksum_line(report: &str) -> String {
+    report
+        .lines()
+        .find(|l| l.starts_with("global checksum:"))
+        .expect("fl prints the parity checksum")
+        .to_string()
+}
+
+const FL_ARGS: &[&str] = &[
+    "fl",
+    "--rounds",
+    "3",
+    "--clients",
+    "8",
+    "--tree",
+    "2x4",
+    "--train-per-class",
+    "2",
+    "--psum",
+    "lossless",
+];
+
+#[test]
+fn traced_fl_run_emits_valid_v1_jsonl_with_merge_spans_and_decisions() {
+    let trace = fedsz_cli::temp_path("golden.trace.jsonl");
+    let mut args = FL_ARGS.to_vec();
+    args.extend_from_slice(&["--trace", &trace]);
+    run_ok(&args);
+
+    let text = std::fs::read_to_string(&trace).expect("trace file written");
+    fedsz_cli::cleanup(&[&trace]);
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(!lines.is_empty(), "trace must not be empty");
+
+    // Every line is a standalone JSON object under a real parser.
+    let events: Vec<Json> = lines
+        .iter()
+        .enumerate()
+        .map(|(i, line)| {
+            json::parse(line).unwrap_or_else(|e| panic!("line {}: {e}\n{line}", i + 1))
+        })
+        .collect();
+
+    // The first line declares the schema.
+    let meta = &events[0];
+    assert_eq!(meta.get("ph").and_then(Json::as_str), Some("M"), "first line is metadata");
+    assert_eq!(
+        meta.get("args").and_then(|a| a.get("schema")).and_then(Json::as_str),
+        Some(fedsz_telemetry::TRACE_SCHEMA),
+        "first line carries the schema tag"
+    );
+
+    let name_of = |e: &Json| e.get("name").and_then(Json::as_str).unwrap_or("").to_string();
+    let count = |n: &str| events.iter().filter(|e| name_of(e) == n).count();
+
+    // One engine.round span per round; merge.level covers every tree
+    // level every round (depth 3: root + mid + leaf pass).
+    assert_eq!(count("engine.round"), 3, "one round span per round");
+    assert_eq!(count("merge.level"), 9, "3 levels x 3 rounds");
+    // Eqn-1 decisions: per round one downlink + 8 uplinks + 6 psum
+    // frames (2 roots' children merging into levels 0 and 1... the
+    // exact psum count depends on the tree: 2 mid nodes -> root and 8
+    // leaves -> 2 mid nodes = 2 + 4*0; here level-descending forwards
+    // total 2 + 4 = 6).
+    assert!(count("eqn1.decision") >= 3 * (1 + 8), "downlink + uplink decisions each round");
+
+    // Every complete span has non-negative duration and micros
+    // timestamps; every event a category.
+    for e in events.iter().skip(1) {
+        let ph = e.get("ph").and_then(Json::as_str).unwrap_or("");
+        assert!(
+            matches!(ph, "X" | "i"),
+            "only complete spans and instants after the metadata line, got {ph:?}"
+        );
+        assert!(e.get("ts").and_then(Json::as_f64).is_some(), "ts present");
+        assert!(e.get("cat").and_then(Json::as_str).is_some(), "cat present");
+        if ph == "X" {
+            assert!(e.get("dur").and_then(Json::as_f64).unwrap_or(-1.0) >= 0.0, "dur >= 0");
+        }
+    }
+
+    // Span nesting: within one thread, any two complete spans are
+    // disjoint or one contains the other — partial overlap would mean
+    // corrupted begin/end pairing.
+    let mut by_tid: std::collections::BTreeMap<u64, Vec<(f64, f64)>> =
+        std::collections::BTreeMap::new();
+    for e in events.iter().filter(|e| e.get("ph").and_then(Json::as_str) == Some("X")) {
+        let tid = e.get("tid").and_then(Json::as_f64).unwrap_or(0.0) as u64;
+        let ts = e.get("ts").and_then(Json::as_f64).unwrap();
+        let dur = e.get("dur").and_then(Json::as_f64).unwrap();
+        by_tid.entry(tid).or_default().push((ts, ts + dur));
+    }
+    for (tid, spans) in by_tid {
+        for (i, &(a0, a1)) in spans.iter().enumerate() {
+            for &(b0, b1) in &spans[i + 1..] {
+                let disjoint = a1 <= b0 || b1 <= a0;
+                let nested = (a0 <= b0 && b1 <= a1) || (b0 <= a0 && a1 <= b1);
+                assert!(
+                    disjoint || nested,
+                    "tid {tid}: spans [{a0}, {a1}] and [{b0}, {b1}] partially overlap"
+                );
+            }
+        }
+    }
+
+    // The eqn1.decision args carry the decision record: every leg
+    // label is known and the psum leg appears (lossless psum always
+    // compresses the tree's frames).
+    let mut legs = std::collections::BTreeSet::new();
+    for e in events.iter().filter(|e| name_of(e) == "eqn1.decision") {
+        let args = e.get("args").expect("decision events carry args");
+        let leg = args.get("leg").and_then(Json::as_str).expect("leg");
+        assert!(matches!(leg, "uplink" | "downlink" | "psum"), "unknown leg {leg}");
+        assert!(args.get("compressed").and_then(Json::as_bool).is_some());
+        assert!(args.get("measured_codec_secs").and_then(Json::as_f64).is_some());
+        // Unpriced decisions render predictions as null, priced ones
+        // as numbers — both must parse, neither may be omitted.
+        for key in ["predicted_compressed_secs", "predicted_raw_secs"] {
+            let v = args.get(key).expect("prediction keys always present");
+            assert!(v.is_null() || v.as_f64().is_some(), "{key} is null or a number");
+        }
+        legs.insert(leg.to_string());
+    }
+    assert!(legs.contains("psum"), "lossless psum emits per-frame decisions, got {legs:?}");
+    assert!(legs.contains("uplink") && legs.contains("downlink"), "{legs:?}");
+}
+
+#[test]
+fn tracing_does_not_change_the_global_checksum() {
+    let trace = fedsz_cli::temp_path("parity.trace.jsonl");
+    let untraced = run_ok(FL_ARGS);
+    let mut args = FL_ARGS.to_vec();
+    args.extend_from_slice(&["--trace", &trace]);
+    let traced = run_ok(&args);
+    fedsz_cli::cleanup(&[&trace]);
+    assert_eq!(
+        checksum_line(&untraced),
+        checksum_line(&traced),
+        "tracing must observe the round, never perturb its bits"
+    );
+}
