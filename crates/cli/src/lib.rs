@@ -42,7 +42,8 @@ use fedsz::{ErrorBound, FedSz, FedSzConfig, LosslessKind, LossyKind};
 use fedsz_data::DatasetKind;
 use fedsz_fl::net::{global_checksum, run_worker, NetServer, Role, ServeConfig, WorkerConfig};
 use fedsz_fl::{
-    AggregationPolicy, DownlinkMode, Experiment, FlConfig, LinkProfile, PsumMode, TreePlan,
+    AggregationPolicy, DownlinkMode, Experiment, FlConfig, LinkProfile, PsumMode, StagePolicy,
+    TreePlan,
 };
 use fedsz_net::MetricsServer;
 use fedsz_nn::models::specs::ModelSpec;
@@ -90,18 +91,20 @@ USAGE:
            [--policy sync|buffered:K] [--adaptive] [--non-iid ALPHA]
            [--weighted] [--no-compress] [--seed N] [--train-per-class N]
            [--shards S] [--tree F1xF2x...] [--psum raw|lossless|auto]
-           [--downlink raw|fedsz|auto] [--threads N] [--trace FILE]
+           [--downlink raw|fedsz|auto] [--uplink CODEC] [--threads N]
+           [--trace FILE]
   fedsz serve [--config FILE] [--json] [--bind ADDR] [--clients N]
               [--rounds N] [--seed N]
               [--train-per-class N] [--arch ...] [--no-compress]
-              [--downlink raw|fedsz] [--shards S] [--psum raw|lossless]
+              [--downlink raw|fedsz] [--uplink CODEC] [--shards S]
+              [--psum raw|lossless]
               [--shard I --connect ADDR] [--accept-timeout SECS]
               [--round-timeout SECS] [--threads N] [--trace FILE]
               [--metrics-addr ADDR]
   fedsz worker --id K [--config FILE] [--connect ADDR] [--clients N]
                [--rounds N] [--seed N] [--train-per-class N] [--arch ...]
-               [--no-compress] [--adaptive] [--timeout SECS]
-               [--trace FILE]
+               [--no-compress] [--adaptive] [--uplink CODEC]
+               [--timeout SECS] [--trace FILE]
 
 `fedsz fl` runs a federated session on the shared round engine. With
 --links each client gets its own simulated uplink (comm time comes from
@@ -115,7 +118,15 @@ partial-sum frames); --tree 4x8 builds an arbitrary-depth hierarchy
 lossless compresses the inter-aggregator partial-sum frames with the
 byte-shuffle codec, --psum auto decides per edge with Eqn 1.
 --downlink fedsz FedSZ-encodes the broadcast once per round,
---downlink auto applies Eqn 1 with a raw fallback. --threads N sets
+--downlink auto applies Eqn 1 with a raw fallback. --uplink picks the
+upload codec family: raw, lossy, adaptive, topk:RATIO (Top-K delta
+sparsification, e.g. topk:0.01), q4/q8 (linear quantization; q4s/q8s
+stochastic), or auto (Eqn 1 prices lossy vs topk:0.01 vs q8 per link
+and picks the fastest, probing unmeasured families first). Appending
++ef (topk:0.01+ef, q8+ef) adds per-client error feedback: mass the
+codec dropped re-enters the next round's delta. EF keeps state across
+rounds, so it is rejected with --policy buffered:K and by
+serve/worker. --threads N sets
 the tree's merge worker-pool width (default: host parallelism); it
 changes wall-clock only — any width produces identical bits.
 
@@ -390,6 +401,72 @@ fn parse_arch(name: &str) -> Option<TinyArch> {
 }
 
 /// Parses repeatable `ID:VALUE` flags into `(client, value)` pairs.
+/// Parses an `--uplink` codec spec into its [`StagePolicy`]: `raw`,
+/// `lossy`, `adaptive`, `topk:RATIO[+ef]`, `q4[s][+ef]`, `q8[s][+ef]`
+/// or `auto` (an [`StagePolicy::AutoFamily`] over lossy, `topk:0.01`
+/// and `q8`, priced per link with Eqn 1). `+ef` turns on per-client
+/// error feedback — legal only in the simulator, and rejected with a
+/// typed plan error under buffered aggregation or socket workers.
+fn parse_uplink(spec: &str, compression: Option<FedSzConfig>) -> Result<StagePolicy, String> {
+    let lower = spec.to_ascii_lowercase();
+    let (base, ef) = match lower.strip_suffix("+ef") {
+        Some(base) => (base, true),
+        None => (lower.as_str(), false),
+    };
+    let need_codec = |name: &str| {
+        compression
+            .ok_or_else(|| format!("--uplink {name} requires compression (drop --no-compress)"))
+    };
+    if !ef {
+        match base {
+            "raw" => return Ok(StagePolicy::Raw),
+            "lossy" | "fedsz" => return Ok(StagePolicy::Lossy(need_codec(base)?)),
+            "adaptive" | "eqn1" => {
+                return Ok(StagePolicy::Adaptive {
+                    compressed: Box::new(StagePolicy::Lossy(need_codec(base)?)),
+                })
+            }
+            "auto" => {
+                // EF candidates are illegal under AutoFamily (a
+                // residual has no meaning when the codec changes per
+                // round), so the default slate is EF-free.
+                let mut candidates = Vec::new();
+                if let Some(cfg) = compression {
+                    candidates.push(StagePolicy::Lossy(cfg));
+                }
+                candidates.push(StagePolicy::TopK { ratio: 0.01, error_feedback: false });
+                candidates.push(StagePolicy::Quant {
+                    bits: 8,
+                    stochastic: false,
+                    error_feedback: false,
+                });
+                return Ok(StagePolicy::AutoFamily { candidates });
+            }
+            _ => {}
+        }
+    }
+    if let Some(ratio) = base.strip_prefix("topk:") {
+        let ratio: f64 = ratio.parse().map_err(|_| {
+            format!("--uplink topk expects a keep ratio, e.g. topk:0.01, got `{spec}`")
+        })?;
+        return Ok(StagePolicy::TopK { ratio, error_feedback: ef });
+    }
+    let quant = match base {
+        "q4" => Some((4, false)),
+        "q4s" => Some((4, true)),
+        "q8" => Some((8, false)),
+        "q8s" => Some((8, true)),
+        _ => None,
+    };
+    if let Some((bits, stochastic)) = quant {
+        return Ok(StagePolicy::Quant { bits, stochastic, error_feedback: ef });
+    }
+    Err(format!(
+        "unknown uplink codec `{spec}`; try raw, lossy, adaptive, topk:RATIO[+ef], \
+         q4[s][+ef], q8[s][+ef], auto"
+    ))
+}
+
 fn parse_client_pairs(values: &[&str], flag: &str) -> Result<Vec<(usize, f64)>, String> {
     values
         .iter()
@@ -491,6 +568,12 @@ fn shared_fl_config(args: &[String]) -> Result<FlConfig, String> {
         if config.downlink != DownlinkMode::Raw && config.compression.is_none() {
             return Err("--downlink fedsz/auto requires compression (drop --no-compress)".into());
         }
+    }
+    // The uplink codec family, overriding the legacy
+    // compression/adaptive pair entirely (FlConfig.uplink wins in
+    // plan()); parsed here so `fl`, `serve` and `worker` agree.
+    if let Some(spec) = flag_value(args, "--uplink") {
+        config.uplink = Some(parse_uplink(spec, config.compression)?);
     }
     // Execution width, not semantics: the aggregation tree merges its
     // leaves/levels on this many worker threads (default: the host's
@@ -968,8 +1051,16 @@ fn worker(args: &[String]) -> Outcome {
         return Outcome::fail(e);
     }
     config.adaptive_compression = args.iter().any(|a| a == "--adaptive");
-    if let Err(e) = config.plan() {
-        return Outcome::fail(format!("invalid configuration: {e}"));
+    match config.plan() {
+        // A worker process cannot carry error-feedback residuals
+        // across reconnects, so stateful uplinks fail here — before
+        // any socket work — with the typed plan error.
+        Ok(plan) => {
+            if let Err(e) = plan.validate_for_workers() {
+                return Outcome::fail(format!("invalid configuration: {e}"));
+            }
+        }
+        Err(e) => return Outcome::fail(format!("invalid configuration: {e}")),
     }
     let Some(id_spec) = flag_value(args, "--id") else {
         return Outcome::fail("worker requires --id K (the client id to embody)".into());
@@ -1323,6 +1414,81 @@ mod tests {
         let out = runv(&["worker", "--id", "0", "--clients", "2", "--shards", "9"]);
         assert_ne!(out.code, 0);
         assert!(out.report.contains("invalid configuration"), "{}", out.report);
+    }
+
+    #[test]
+    fn uplink_codec_flags_run_and_reach_the_report() {
+        let base = ["fl", "--clients", "2", "--rounds", "1", "--train-per-class", "2", "--json"];
+        for (spec, family) in [
+            ("topk:0.5", "\"family\": \"topk\""),
+            ("topk:0.5+ef", "\"family\": \"topk+ef\""),
+            ("q8", "\"family\": \"q8\""),
+            ("q4s", "\"family\": \"q4s\""),
+        ] {
+            let mut args = base.to_vec();
+            args.extend(["--uplink", spec]);
+            let out = runv(&args);
+            assert_eq!(out.code, 0, "--uplink {spec}: {}", out.report);
+            assert!(
+                out.report.contains(family),
+                "--uplink {spec} missing {family}: {}",
+                out.report
+            );
+        }
+        // The auto slate needs a bandwidth before Eqn 1 prices
+        // families; the probe rounds still run and are recorded.
+        let mut args = base.to_vec();
+        args.extend(["--uplink", "auto", "--bandwidth", "1"]);
+        let out = runv(&args);
+        assert_eq!(out.code, 0, "{}", out.report);
+        assert!(out.report.contains("\"family\""), "{}", out.report);
+    }
+
+    #[test]
+    fn invalid_uplink_specs_are_hard_errors() {
+        let base = ["fl", "--clients", "2", "--rounds", "1", "--train-per-class", "2"];
+        for spec in ["bogus", "topk", "topk:zero", "q5", "q8+fe", "raw+ef", "auto+ef"] {
+            let mut args = base.to_vec();
+            args.extend(["--uplink", spec]);
+            let out = runv(&args);
+            assert_ne!(out.code, 0, "--uplink {spec} must fail");
+        }
+        // Parametrically wrong specs surface the plan's typed message.
+        let mut args = base.to_vec();
+        args.extend(["--uplink", "topk:0"]);
+        let out = runv(&args);
+        assert_ne!(out.code, 0);
+        assert!(out.report.contains("(0, 1]"), "{}", out.report);
+        // Codec-dependent specs need the codec.
+        let mut args = base.to_vec();
+        args.extend(["--uplink", "lossy", "--no-compress"]);
+        let out = runv(&args);
+        assert_ne!(out.code, 0);
+        assert!(out.report.contains("requires compression"), "{}", out.report);
+    }
+
+    #[test]
+    fn stateful_uplinks_are_rejected_where_state_cannot_live() {
+        // EF + buffered aggregation: typed plan error through `fl`.
+        let out = runv(&[
+            "fl",
+            "--clients",
+            "2",
+            "--rounds",
+            "1",
+            "--train-per-class",
+            "2",
+            "--uplink",
+            "topk:0.5+ef",
+            "--policy",
+            "buffered:1",
+        ]);
+        assert_ne!(out.code, 0);
+        assert!(out.report.contains("error-feedback"), "{}", out.report);
+        // EF + a worker process: rejected before any socket work.
+        let out = runv(&["worker", "--id", "0", "--clients", "2", "--uplink", "q8+ef"]);
+        assert_ne!(out.code, 0);
+        assert!(out.report.contains("error-feedback"), "{}", out.report);
     }
 
     #[test]

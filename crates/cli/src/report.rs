@@ -20,6 +20,7 @@
 //!      "secs": 0.125, "checksum": null,
 //!      "level_merge_nanos": [810, 5230],
 //!      "eqn1": [{"leg": "uplink", "node": 0, "compressed": true,
+//!                "family": "lossy",
 //!                "predicted_compressed_secs": null,
 //!                "predicted_raw_secs": null,
 //!                "measured_codec_secs": 0.0021}, ...]},
@@ -141,12 +142,13 @@ fn json_u64_array(values: &[u64]) -> String {
 /// `null`, never omitted.
 fn json_eqn1(d: &Eqn1Decision) -> String {
     format!(
-        "{{\"leg\": {}, \"node\": {}, \"compressed\": {}, \
+        "{{\"leg\": {}, \"node\": {}, \"compressed\": {}, \"family\": {}, \
          \"predicted_compressed_secs\": {}, \"predicted_raw_secs\": {}, \
          \"measured_codec_secs\": {}}}",
         json_string(d.leg.name()),
         d.node,
         d.compressed,
+        json_string(d.family),
         d.predicted_compressed_secs.map_or("null".to_string(), json_f64),
         d.predicted_raw_secs.map_or("null".to_string(), json_f64),
         json_f64(d.measured_codec_secs),
@@ -225,6 +227,7 @@ mod tests {
                             leg: fedsz::timing::Eqn1Leg::Downlink,
                             node: 0,
                             compressed: false,
+                            family: "raw",
                             predicted_compressed_secs: Some(0.5),
                             predicted_raw_secs: Some(0.25),
                             measured_codec_secs: 0.0,
@@ -283,6 +286,9 @@ mod tests {
         );
         assert!(json.contains("\"predicted_raw_secs\": 0.250000"), "{json}");
         assert!(json.contains("\"measured_codec_secs\": 0.002000"), "{json}");
+        // Every decision names its codec family.
+        assert!(json.contains("\"family\": \"lossy\""), "{json}");
+        assert!(json.contains("\"family\": \"raw\""), "{json}");
         // ...and round 1 (a serve-style row) nulls whole columns.
         assert!(json.contains("\"level_merge_nanos\": null"), "{json}");
         assert!(json.contains("\"eqn1\": null"), "{json}");

@@ -66,6 +66,7 @@ const KNOWN_KEYS: &[&str] = &[
     "tree",
     "psum",
     "downlink",
+    "uplink",
     // Execution width (wall-clock only — never shapes the bits, so
     // multi-process peers may differ).
     "threads",

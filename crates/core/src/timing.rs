@@ -164,6 +164,12 @@ pub struct Eqn1Decision {
     pub node: u64,
     /// The verdict: `true` means the payload shipped compressed.
     pub compressed: bool,
+    /// The codec family the decision chose (`"raw"`, `"lossy"`,
+    /// `"lossless"`, `"topk"`, `"q8"`, …). Before codec-family
+    /// selection existed this was implied by `compressed`; it is now
+    /// explicit so a trace can tell *which* codec won, not just that
+    /// one did.
+    pub family: &'static str,
     /// Predicted end-to-end seconds for the compressed path
     /// (`t_C + t_D + S'·8/B_N`), when a plan was priced.
     pub predicted_compressed_secs: Option<f64>,
@@ -183,10 +189,20 @@ impl Eqn1Decision {
             leg,
             node,
             compressed,
+            family: if compressed { "lossy" } else { "raw" },
             predicted_compressed_secs: None,
             predicted_raw_secs: None,
             measured_codec_secs,
         }
+    }
+
+    /// Overrides the inferred codec family (the constructors default to
+    /// `"lossy"`/`"raw"`, the only two families the legacy
+    /// compress-or-not decision could pick).
+    #[must_use]
+    pub fn with_family(mut self, family: &'static str) -> Self {
+        self.family = family;
+        self
     }
 
     /// A decision priced through a [`TransferPlan`] at
@@ -208,10 +224,112 @@ impl Eqn1Decision {
             leg,
             node,
             compressed,
+            family: if compressed { "lossy" } else { "raw" },
             predicted_compressed_secs: Some(plan.compressed_time(bandwidth_bps)),
             predicted_raw_secs: Some(plan.uncompressed_time(bandwidth_bps)),
             measured_codec_secs,
         }
+    }
+}
+
+/// One codec family as a candidate in a family-selection decision:
+/// its stable name plus the measured [`CostProfile`], when one exists.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FamilyCandidate {
+    /// Stable family name (`"lossy"`, `"topk"`, `"q8"`, …) as it will
+    /// appear in trace events and reports.
+    pub family: &'static str,
+    /// EWMA cost profile measured for this family, `None` until the
+    /// family has been probed at least once.
+    pub profile: Option<CostProfile>,
+}
+
+/// The outcome of [`select_family`]: which candidate (if any) to use
+/// for the next payload, and the predictions that picked it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FamilySelection {
+    /// Index into the candidate slice, or `None` to send raw.
+    pub choice: Option<usize>,
+    /// Predicted end-to-end seconds of the best *compressed* path
+    /// (kept even when raw wins, so the margin is auditable), when
+    /// priced.
+    pub predicted_choice_secs: Option<f64>,
+    /// Predicted seconds of the raw path, when priced.
+    pub predicted_raw_secs: Option<f64>,
+    /// True when the choice is an unpriced probe of an unprofiled
+    /// family (the measurement that makes the next decision priceable).
+    pub probe: bool,
+}
+
+/// The generalized Eqn 1: instead of compress-or-not with a single
+/// codec, pick the **family** minimizing predicted end-to-end time
+/// `t_C + t_D + S'·8/B_N` among `candidates`, with sending raw
+/// (`S·8/B_N`) always on the menu.
+///
+/// Families without a [`CostProfile`] cannot be priced, so they are
+/// probed first: the call returns the unprofiled candidate at
+/// `probe_hint % candidates.len()` (or the next unprofiled one after
+/// it), letting callers rotate the hint per client/round so every
+/// family gets measured instead of only the first. With no bandwidth
+/// estimate the first candidate is probed — matching the legacy
+/// adaptive path, which compresses until it can price.
+///
+/// Ties go to raw: a family must be *strictly* faster than sending
+/// uncompressed to win, same as [`TransferPlan::worthwhile`].
+pub fn select_family(
+    raw_bytes: usize,
+    bandwidth_bps: Option<f64>,
+    candidates: &[FamilyCandidate],
+    probe_hint: usize,
+) -> FamilySelection {
+    if candidates.is_empty() {
+        return FamilySelection {
+            choice: None,
+            predicted_choice_secs: None,
+            predicted_raw_secs: None,
+            probe: false,
+        };
+    }
+    // Probe rounds: some family is still unmeasured. Rotate through the
+    // unprofiled ones so each earns a profile.
+    if candidates.iter().any(|c| c.profile.is_none()) {
+        let n = candidates.len();
+        let probe = (0..n)
+            .map(|i| (probe_hint + i) % n)
+            .find(|&i| candidates[i].profile.is_none())
+            .expect("an unprofiled candidate exists");
+        return FamilySelection {
+            choice: Some(probe),
+            predicted_choice_secs: None,
+            predicted_raw_secs: None,
+            probe: true,
+        };
+    }
+    let Some(bps) = bandwidth_bps else {
+        // No bandwidth estimate to price against: keep compressing with
+        // the first family (the conservative choice on an unknown link).
+        return FamilySelection {
+            choice: Some(probe_hint % candidates.len()),
+            predicted_choice_secs: None,
+            predicted_raw_secs: None,
+            probe: true,
+        };
+    };
+    let raw_secs = raw_bytes as f64 * 8.0 / bps;
+    let mut best: Option<(usize, f64)> = None;
+    for (i, candidate) in candidates.iter().enumerate() {
+        let profile = candidate.profile.expect("all candidates profiled above");
+        let secs = profile.plan(raw_bytes).compressed_time(bps);
+        if best.is_none_or(|(_, b)| secs < b) {
+            best = Some((i, secs));
+        }
+    }
+    let (winner, secs) = best.expect("candidates are non-empty");
+    FamilySelection {
+        choice: (secs < raw_secs).then_some(winner),
+        predicted_choice_secs: Some(secs),
+        predicted_raw_secs: Some(raw_secs),
+        probe: false,
     }
 }
 
@@ -331,5 +449,78 @@ mod tests {
         assert_eq!(plan.original_bytes, 1_000_000);
         assert_eq!(plan.compressed_bytes, 333_333);
         assert!((plan.compress_secs - 3e-3).abs() < 1e-12);
+    }
+
+    /// A cheap, fast family: tiny codec cost, 10x ratio.
+    fn fast_family() -> CostProfile {
+        CostProfile { compress_secs_per_byte: 1e-10, decompress_secs_per_byte: 1e-10, ratio: 10.0 }
+    }
+
+    /// A slow family: heavy codec cost, 2x ratio.
+    fn slow_family() -> CostProfile {
+        CostProfile { compress_secs_per_byte: 1e-6, decompress_secs_per_byte: 1e-6, ratio: 2.0 }
+    }
+
+    #[test]
+    fn select_family_probes_unprofiled_candidates_in_rotation() {
+        let candidates = [
+            FamilyCandidate { family: "lossy", profile: Some(fast_family()) },
+            FamilyCandidate { family: "topk", profile: None },
+            FamilyCandidate { family: "q8", profile: None },
+        ];
+        let s = select_family(1_000_000, Some(mbps(10.0)), &candidates, 0);
+        assert!(s.probe);
+        assert_eq!(s.choice, Some(1), "hint 0 rotates to the first unprofiled slot");
+        assert_eq!(s.predicted_raw_secs, None);
+        let s = select_family(1_000_000, Some(mbps(10.0)), &candidates, 2);
+        assert_eq!(s.choice, Some(2), "hint 2 lands on the other unprofiled slot");
+    }
+
+    #[test]
+    fn select_family_prices_candidates_and_picks_the_fastest() {
+        let candidates = [
+            FamilyCandidate { family: "slow", profile: Some(slow_family()) },
+            FamilyCandidate { family: "fast", profile: Some(fast_family()) },
+        ];
+        // 10 Mbps, 10 MB payload: raw 8 s; fast family ~0.8 s + codec.
+        let s = select_family(10_000_000, Some(mbps(10.0)), &candidates, 0);
+        assert!(!s.probe);
+        assert_eq!(s.choice, Some(1));
+        let raw = s.predicted_raw_secs.unwrap();
+        let chosen = s.predicted_choice_secs.unwrap();
+        assert!((raw - 8.0).abs() < 1e-9);
+        assert!(chosen < raw);
+    }
+
+    #[test]
+    fn select_family_falls_back_to_raw_on_fast_links() {
+        // 100 Gbps: raw wins against a family that burns 1 us/byte.
+        let candidates = [FamilyCandidate { family: "slow", profile: Some(slow_family()) }];
+        let s = select_family(10_000_000, Some(100e9), &candidates, 0);
+        assert!(!s.probe);
+        assert_eq!(s.choice, None, "raw is faster than every candidate");
+        // The losing family's prediction is still reported for audit.
+        assert!(s.predicted_choice_secs.unwrap() > s.predicted_raw_secs.unwrap());
+    }
+
+    #[test]
+    fn select_family_handles_empty_and_unpriced_inputs() {
+        let s = select_family(1_000, Some(mbps(1.0)), &[], 3);
+        assert_eq!(s.choice, None);
+        assert!(!s.probe);
+        let candidates = [FamilyCandidate { family: "fast", profile: Some(fast_family()) }];
+        let s = select_family(1_000, None, &candidates, 5);
+        assert!(s.probe, "no bandwidth sample means an unpriced probe");
+        assert_eq!(s.choice, Some(0));
+    }
+
+    #[test]
+    fn decision_family_defaults_track_compression_and_can_be_overridden() {
+        let d = Eqn1Decision::unpriced(Eqn1Leg::Uplink, 0, true, 0.0);
+        assert_eq!(d.family, "lossy");
+        let d = Eqn1Decision::unpriced(Eqn1Leg::Uplink, 0, false, 0.0);
+        assert_eq!(d.family, "raw");
+        let d = d.with_family("topk+ef");
+        assert_eq!(d.family, "topk+ef");
     }
 }

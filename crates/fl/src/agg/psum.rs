@@ -146,7 +146,10 @@ impl PsumForwarder {
             StagePolicy::Raw => PsumMode::Raw,
             StagePolicy::Lossless => PsumMode::Lossless,
             StagePolicy::Adaptive { .. } => PsumMode::Adaptive,
-            StagePolicy::Lossy(_) => unreachable!("rejected by validate_for"),
+            StagePolicy::Lossy(_)
+            | StagePolicy::TopK { .. }
+            | StagePolicy::Quant { .. }
+            | StagePolicy::AutoFamily { .. } => unreachable!("rejected by validate_for"),
         };
         Ok(Self::new(mode))
     }

@@ -458,6 +458,7 @@ impl ShardedTree {
                     leg: Eqn1Leg::Psum,
                     node: node as u64,
                     compressed: frame.compressed,
+                    family: if frame.compressed { "lossless" } else { "raw" },
                     predicted_compressed_secs: frame.predicted_compressed_secs,
                     predicted_raw_secs: frame.predicted_raw_secs,
                     measured_codec_secs: frame.codec_secs,
@@ -468,6 +469,7 @@ impl ShardedTree {
                         ("leg", Value::Str(decision.leg.name())),
                         ("node", Value::U64(decision.node)),
                         ("compressed", Value::Bool(decision.compressed)),
+                        ("family", Value::Str(decision.family)),
                         (
                             "predicted_compressed_secs",
                             Value::F64(decision.predicted_compressed_secs.unwrap_or(f64::NAN)),

@@ -35,11 +35,12 @@
 //!   average with a staleness-discounted weight.
 
 use crate::agg::{AggOutcome, Aggregator, Contribution, Downlink, FlatAggregator, ShardedTree};
+use crate::codec::{self, derive_dither_seed, uplink_codecs_for, FamilyCodec, UplinkCodecKind};
 use crate::link::{self, Departure, Topology};
 use crate::plan::{RoundPlan, StagePolicy};
 use crate::transport::Transport;
 use crate::{Client, FlConfig, RoundMetrics};
-use fedsz::timing::{CostProfile, Eqn1Decision, Eqn1Leg};
+use fedsz::timing::{select_family, CostProfile, Eqn1Decision, Eqn1Leg, FamilyCandidate};
 use fedsz::FedSz;
 use fedsz_nn::loss::top1_accuracy;
 use fedsz_nn::{Model, StateDict};
@@ -93,6 +94,21 @@ struct ServerUpdate {
     dropped: bool,
 }
 
+/// One client's resolved upload-leg decision for a round.
+#[derive(Clone, Copy)]
+struct UplinkSel {
+    /// Compress with the legacy FedSZ codec (the `Lossy`/`Adaptive`
+    /// paths — byte-identical to the pre-family engine).
+    fedsz: bool,
+    /// Compress with `uplink_codecs[i]` instead (the family paths).
+    family: Option<usize>,
+    /// The codec-family name the decision record reports.
+    name: &'static str,
+    /// `(chosen, raw)` predicted end-to-end seconds when a pricing
+    /// pass actually ran.
+    predicted: Option<(f64, f64)>,
+}
+
 /// The shared federated round loop: one global model, sharded clients,
 /// a transport and a link topology.
 pub struct RoundEngine {
@@ -115,6 +131,16 @@ pub struct RoundEngine {
     broadcast_buf: Vec<u8>,
     pending: Vec<StaleUpdate>,
     codec_profile: Option<CostProfile>,
+    /// The family codecs the uplink policy can route through, with
+    /// their reporting names: one entry for a `TopK`/`Quant` policy,
+    /// one per candidate for `AutoFamily`, empty on the legacy paths.
+    uplink_codecs: Vec<(&'static str, UplinkCodecKind)>,
+    /// Per-family measured cost profiles, aligned with
+    /// `uplink_codecs` — what `AutoFamily`'s pricing pass consults.
+    family_profiles: Vec<Option<CostProfile>>,
+    /// Per-client error-feedback residuals (all empty dicts until an
+    /// EF policy lazily initializes them from the first update).
+    residuals: Vec<StateDict>,
     /// Stage spans and Eqn-1 decision events land here; disabled by
     /// default (one branch per call, no allocation).
     telemetry: Telemetry,
@@ -180,6 +206,9 @@ impl RoundEngine {
             None => Box::new(FlatAggregator),
         };
         let downlink = Downlink::from_policy(&downlink).expect("plan validated the downlink");
+        let uplink_codecs = uplink_codecs_for(&uplink);
+        let family_profiles = vec![None; uplink_codecs.len()];
+        let residuals = vec![StateDict::new(); clients.len()];
         Self {
             config,
             uplink,
@@ -195,6 +224,9 @@ impl RoundEngine {
             broadcast_buf: Vec::new(),
             pending: Vec::new(),
             codec_profile: None,
+            uplink_codecs,
+            family_profiles,
+            residuals,
             telemetry: Telemetry::disabled(),
         }
     }
@@ -273,6 +305,11 @@ impl RoundEngine {
             StagePolicy::Raw | StagePolicy::Lossless => return (false, None),
             StagePolicy::Lossy(_) => return (true, None),
             StagePolicy::Adaptive { .. } => {}
+            // The family policies never take the legacy FedSZ path —
+            // `uplink_select` routes them through `uplink_codecs`.
+            StagePolicy::TopK { .. }
+            | StagePolicy::Quant { .. }
+            | StagePolicy::AutoFamily { .. } => return (false, None),
         }
         let (Some(topology), Some(profile)) = (&self.topology, &self.codec_profile) else {
             return (true, None);
@@ -285,6 +322,67 @@ impl RoundEngine {
         plan.compress_secs *= link.compute_slowdown;
         let bps = link.bandwidth_bps;
         (plan.worthwhile(bps), Some((plan.compressed_time(bps), plan.uncompressed_time(bps))))
+    }
+
+    /// Resolves the upload-leg decision for one client and round: the
+    /// legacy policies map onto [`RoundEngine::should_compress`]
+    /// (byte-identical behavior), `TopK`/`Quant` always ship their one
+    /// family, and `AutoFamily` prices every candidate family against
+    /// raw with [`select_family`] — probing unmeasured families in
+    /// rotation until each has a cost profile.
+    fn uplink_select(&self, round: usize, client: usize) -> UplinkSel {
+        match &self.uplink {
+            StagePolicy::TopK { .. } | StagePolicy::Quant { .. } => UplinkSel {
+                fedsz: false,
+                family: Some(0),
+                name: self.uplink_codecs[0].0,
+                predicted: None,
+            },
+            StagePolicy::AutoFamily { .. } => {
+                let link = self.topology.as_ref().map(|t| t.link(client));
+                // Compression runs on the client's hardware, so a
+                // straggler's codec-time estimate scales with its
+                // slowdown (the same rule as the legacy path).
+                let slowdown = link.map_or(1.0, |l| l.compute_slowdown);
+                let candidates: Vec<FamilyCandidate> = self
+                    .uplink_codecs
+                    .iter()
+                    .zip(&self.family_profiles)
+                    .map(|(&(name, _), profile)| FamilyCandidate {
+                        family: name,
+                        profile: profile.map(|p| CostProfile {
+                            compress_secs_per_byte: p.compress_secs_per_byte * slowdown,
+                            ..p
+                        }),
+                    })
+                    .collect();
+                let hint = round.wrapping_mul(self.uplink_codecs.len().max(1)).wrapping_add(client);
+                let sel = select_family(
+                    self.global.byte_size(),
+                    link.map(|l| l.bandwidth_bps),
+                    &candidates,
+                    hint,
+                );
+                UplinkSel {
+                    fedsz: false,
+                    family: sel.choice,
+                    name: sel.choice.map_or("raw", |i| self.uplink_codecs[i].0),
+                    predicted: match (sel.predicted_choice_secs, sel.predicted_raw_secs) {
+                        (Some(chosen), Some(raw)) => Some((chosen, raw)),
+                        _ => None,
+                    },
+                }
+            }
+            _ => {
+                let (fedsz, predicted) = self.should_compress(client);
+                UplinkSel {
+                    fedsz,
+                    family: None,
+                    name: if fedsz { "lossy" } else { "raw" },
+                    predicted,
+                }
+            }
+        }
     }
 
     /// Deterministic uniform coin in `[0, 1)` for transit-loss decisions
@@ -384,6 +482,7 @@ impl RoundEngine {
             leg: Eqn1Leg::Downlink,
             node: 0,
             compressed: payload.compressed,
+            family: if payload.compressed { "lossy" } else { "raw" },
             predicted_compressed_secs: payload.predicted_compressed_secs,
             predicted_raw_secs: payload.predicted_raw_secs,
             measured_codec_secs: downlink_secs,
@@ -395,9 +494,8 @@ impl RoundEngine {
         self.broadcast_buf = payload.bytes;
         let shared_downlink_global = decoded_global.as_ref();
         drop(broadcast_span);
-        let uplink_choices: Vec<(bool, Option<(f64, f64)>)> =
-            selected.iter().map(|&id| self.should_compress(id)).collect();
-        let decisions: Vec<bool> = uplink_choices.iter().map(|&(c, _)| c).collect();
+        let uplink_choices: Vec<UplinkSel> =
+            selected.iter().map(|&id| self.uplink_select(round, id)).collect();
 
         // Local work runs in parallel threads (clients own disjoint
         // state); wall time is measured per client and later scaled by
@@ -414,14 +512,18 @@ impl RoundEngine {
             "engine.train",
             &[("round", Value::U64(round as u64)), ("cohort", Value::U64(selected.len() as u64))],
         );
+        let ef = self.uplink.error_feedback();
+        let seed = self.config.seed;
+        let codecs = &self.uplink_codecs;
         let mut outcomes: Vec<ClientOutcome> = std::thread::scope(|scope| {
             let handles: Vec<_> = self
                 .clients
                 .iter_mut()
+                .zip(self.residuals.iter_mut())
                 .enumerate()
                 .filter(|(id, _)| mask[*id])
-                .zip(delivered_globals.into_iter().zip(&decisions))
-                .map(|((id, client), (delivered, &compress))| {
+                .zip(delivered_globals.into_iter().zip(&uplink_choices))
+                .map(|((id, (client, residual)), (delivered, &sel))| {
                     let fedsz = fedsz.clone();
                     scope.spawn(move || {
                         let global = delivered.as_ref().unwrap_or(shared_global);
@@ -434,11 +536,35 @@ impl RoundEngine {
                         let update = client.update();
                         let raw_bytes = update.byte_size();
                         let t1 = Instant::now();
-                        let (payload, compressed) = match (&fedsz, compress) {
-                            (Some(f), true) => {
-                                (f.compress(&update).expect("finite weights").into_bytes(), true)
+                        let (payload, compressed) = if let Some(ci) = sel.family {
+                            let bytes = match &codecs[ci].1 {
+                                UplinkCodecKind::Fedsz(f) => {
+                                    f.compress(&update).expect("finite weights").into_bytes()
+                                }
+                                UplinkCodecKind::Family(codec) => {
+                                    // The delta reference is the exact
+                                    // dict this client loaded — the
+                                    // server decodes against the same
+                                    // broadcast, so the bases agree.
+                                    if ef && residual.is_empty() {
+                                        *residual = codec::zero_residual(&update);
+                                    }
+                                    let residual = ef.then_some(&mut *residual);
+                                    let dither = derive_dither_seed(seed, round, id);
+                                    codec
+                                        .encode_delta(&update, global, residual, dither)
+                                        .expect("finite weights")
+                                }
+                            };
+                            (bytes, true)
+                        } else {
+                            match (&fedsz, sel.fedsz) {
+                                (Some(f), true) => (
+                                    f.compress(&update).expect("finite weights").into_bytes(),
+                                    true,
+                                ),
+                                _ => (update.to_bytes(), false),
                             }
-                            _ => (update.to_bytes(), false),
                         };
                         let compress_secs = t1.elapsed().as_secs_f64();
                         let samples = client.samples();
@@ -465,13 +591,14 @@ impl RoundEngine {
         // measured codec seconds next to the prediction that picked the
         // path (`outcomes` and `uplink_choices` are both in ascending
         // `selected` order).
-        for (outcome, &(compressed, predicted)) in outcomes.iter().zip(&uplink_choices) {
+        for (outcome, sel) in outcomes.iter().zip(&uplink_choices) {
             let decision = Eqn1Decision {
                 leg: Eqn1Leg::Uplink,
                 node: outcome.id as u64,
-                compressed,
-                predicted_compressed_secs: predicted.map(|p| p.0),
-                predicted_raw_secs: predicted.map(|p| p.1),
+                compressed: outcome.compressed,
+                family: sel.name,
+                predicted_compressed_secs: sel.predicted.map(|p| p.0),
+                predicted_raw_secs: sel.predicted.map(|p| p.1),
                 measured_codec_secs: outcome.compress_secs,
             };
             self.emit_eqn1(&decision);
@@ -555,27 +682,41 @@ impl RoundEngine {
         let dropped_count = dropped_mask.iter().filter(|&&d| d).count();
         let mut decompress_secs = 0.0f64;
         let mut fedsz_decompress_secs = 0.0f64;
+        let mut family_decompress_secs = vec![0.0f64; self.uplink_codecs.len()];
+        // Family streams decode against the same broadcast dict every
+        // client loaded this round (aggregation has not run yet, so
+        // `self.global` is still the round's reference).
+        let uplink_reference = decoded_global.as_ref().unwrap_or(&self.global);
         let server_updates: Vec<ServerUpdate> = outcomes
             .iter()
             .zip(server_payloads)
-            .map(|(o, (payload, compressed))| {
+            .zip(&uplink_choices)
+            .map(|((o, (payload, compressed)), sel)| {
                 let dropped = dropped_mask[o.id];
                 let t_dec = Instant::now();
                 let dict = if dropped {
                     StateDict::new()
                 } else if compressed {
-                    fedsz
-                        .as_ref()
-                        .expect("compressed payload without codec config")
-                        .decompress(&payload)
-                        .expect("self-produced stream")
+                    if FamilyCodec::is_family_stream(&payload) {
+                        FamilyCodec::decode_delta(&payload, uplink_reference)
+                            .expect("self-produced family stream")
+                    } else {
+                        fedsz
+                            .as_ref()
+                            .expect("compressed payload without codec config")
+                            .decompress(&payload)
+                            .expect("self-produced stream")
+                    }
                 } else {
                     StateDict::from_bytes(&payload).expect("self-produced bytes")
                 };
                 let elapsed = t_dec.elapsed().as_secs_f64();
                 decompress_secs += elapsed;
                 if compressed && !dropped {
-                    fedsz_decompress_secs += elapsed;
+                    match sel.family {
+                        Some(i) => family_decompress_secs[i] += elapsed,
+                        None => fedsz_decompress_secs += elapsed,
+                    }
                 }
                 ServerUpdate { id: o.id, dict, samples: o.samples, dropped }
             })
@@ -605,7 +746,13 @@ impl RoundEngine {
         drop(validate_span);
 
         // Refresh the Eqn 1 cost profile from this round's measurements.
-        self.observe_codec_costs(&outcomes, &dropped_mask, fedsz_decompress_secs);
+        self.observe_codec_costs(&outcomes, &uplink_choices, &dropped_mask, fedsz_decompress_secs);
+        self.observe_family_costs(
+            &outcomes,
+            &uplink_choices,
+            &dropped_mask,
+            &family_decompress_secs,
+        );
 
         let n = outcomes.len().max(1) as f64;
         let train_secs = outcomes.iter().map(|o| o.train_secs).sum::<f64>() / n;
@@ -652,6 +799,7 @@ impl RoundEngine {
                 ("leg", Value::Str(d.leg.name())),
                 ("node", Value::U64(d.node)),
                 ("compressed", Value::Bool(d.compressed)),
+                ("family", Value::Str(d.family)),
                 (
                     "predicted_compressed_secs",
                     Value::F64(d.predicted_compressed_secs.unwrap_or(f64::NAN)),
@@ -761,11 +909,16 @@ impl RoundEngine {
     fn observe_codec_costs(
         &mut self,
         outcomes: &[ClientOutcome],
+        choices: &[UplinkSel],
         dropped_mask: &[bool],
         fedsz_decompress_secs: f64,
     ) {
-        let compressed: Vec<&ClientOutcome> =
-            outcomes.iter().filter(|o| o.compressed && !dropped_mask[o.id]).collect();
+        let compressed: Vec<&ClientOutcome> = outcomes
+            .iter()
+            .zip(choices)
+            .filter(|(o, sel)| o.compressed && sel.family.is_none() && !dropped_mask[o.id])
+            .map(|(o, _)| o)
+            .collect();
         if compressed.is_empty() {
             return;
         }
@@ -788,6 +941,47 @@ impl RoundEngine {
                 ratio,
             },
         ));
+    }
+
+    /// Same EWMA fold as [`Self::observe_codec_costs`], but per codec
+    /// family: each family accumulates its own [`CostProfile`] so the
+    /// auto-family selector prices candidates from what they actually
+    /// cost on this hardware, not a shared average.
+    fn observe_family_costs(
+        &mut self,
+        outcomes: &[ClientOutcome],
+        choices: &[UplinkSel],
+        dropped_mask: &[bool],
+        family_decompress_secs: &[f64],
+    ) {
+        for (idx, decompress_secs) in family_decompress_secs.iter().enumerate() {
+            let used: Vec<&ClientOutcome> = outcomes
+                .iter()
+                .zip(choices)
+                .filter(|(o, sel)| sel.family == Some(idx) && !dropped_mask[o.id])
+                .map(|(o, _)| o)
+                .collect();
+            if used.is_empty() {
+                continue;
+            }
+            let bytes: f64 = used.iter().map(|o| o.raw_bytes as f64).sum();
+            if bytes <= 0.0 {
+                continue;
+            }
+            let c_per_byte = used.iter().map(|o| o.compress_secs).sum::<f64>() / bytes;
+            let d_per_byte = decompress_secs / bytes;
+            let ratio =
+                used.iter().map(|o| o.raw_bytes as f64 / o.payload_len.max(1) as f64).sum::<f64>()
+                    / used.len() as f64;
+            self.family_profiles[idx] = Some(CostProfile::blend(
+                self.family_profiles[idx],
+                CostProfile {
+                    compress_secs_per_byte: c_per_byte,
+                    decompress_secs_per_byte: d_per_byte,
+                    ratio,
+                },
+            ));
+        }
     }
 
     /// Evaluates the current global model on the test split, in chunks

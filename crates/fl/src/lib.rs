@@ -45,6 +45,7 @@
 pub mod agg;
 pub mod baselines;
 pub mod client;
+pub mod codec;
 pub mod engine;
 pub mod fedavg;
 pub mod link;
@@ -119,6 +120,16 @@ pub struct FlConfig {
     /// Eqn 1 (slow links compress, fast links send raw) instead of
     /// compressing unconditionally.
     pub adaptive_compression: bool,
+    /// Explicit upload-leg policy. `Some` overrides the legacy
+    /// [`FlConfig::compression`] + [`FlConfig::adaptive_compression`]
+    /// pair outright and is how the codec families (Top-K,
+    /// quantization, error feedback, auto family selection) are
+    /// selected; `None` preserves the legacy derivation. Prefer the
+    /// [`FlConfig::builder`] methods ([`FlConfigBuilder::uplink`],
+    /// [`FlConfigBuilder::uplink_topk`], [`FlConfigBuilder::uplink_quant`])
+    /// over poking this field directly — validation still happens in
+    /// [`FlConfig::plan`].
+    pub uplink: Option<StagePolicy>,
     /// Edge-aggregator shard count for a two-level
     /// [`agg::ShardedTree`]; `None` keeps the paper's flat server. The
     /// sharded global model is bit-identical to the flat synchronous
@@ -187,6 +198,7 @@ impl FlConfig {
             links: None,
             aggregation: AggregationPolicy::Synchronous,
             adaptive_compression: false,
+            uplink: None,
             shards: None,
             tree: None,
             edge_links: None,
@@ -222,6 +234,7 @@ impl FlConfig {
             links: None,
             aggregation: AggregationPolicy::Synchronous,
             adaptive_compression: false,
+            uplink: None,
             shards: None,
             tree: None,
             edge_links: None,
@@ -464,6 +477,29 @@ impl FlConfigBuilder {
     pub fn adaptive_compression(mut self, adaptive: bool) -> Self {
         self.config.adaptive_compression = adaptive;
         self
+    }
+
+    /// Explicit upload-leg [`StagePolicy`], overriding the legacy
+    /// `compression`/`adaptive_compression` pair. Validation (ratio
+    /// and bit-width ranges, leg legality, error-feedback
+    /// combinations) happens in [`FlConfig::plan`].
+    pub fn uplink(mut self, policy: StagePolicy) -> Self {
+        self.config.uplink = Some(policy);
+        self
+    }
+
+    /// Top-K sparsified uplink keeping a `ratio` fraction of delta
+    /// entries, optionally with an error-feedback residual. Shorthand
+    /// for [`FlConfigBuilder::uplink`] with [`StagePolicy::TopK`].
+    pub fn uplink_topk(self, ratio: f64, error_feedback: bool) -> Self {
+        self.uplink(StagePolicy::TopK { ratio, error_feedback })
+    }
+
+    /// Quantized uplink at 4 or 8 bits, linear or stochastic,
+    /// optionally with an error-feedback residual. Shorthand for
+    /// [`FlConfigBuilder::uplink`] with [`StagePolicy::Quant`].
+    pub fn uplink_quant(self, bits: u8, stochastic: bool, error_feedback: bool) -> Self {
+        self.uplink(StagePolicy::Quant { bits, stochastic, error_feedback })
     }
 
     /// Two-level tree of `shards` edge aggregators.

@@ -18,6 +18,7 @@
 //! placement — the bit-parity the integration tests pin down.
 
 use crate::agg::{template_matches, Downlink, PartialSum, ShardPlan};
+use crate::codec::FamilyCodec;
 use crate::net::global_checksum;
 use crate::plan::{RoundPlan, StagePolicy};
 use crate::FlConfig;
@@ -109,6 +110,11 @@ impl ServeConfig {
         let plan = self
             .fl
             .plan()
+            .map_err(|e| NetError::Protocol(format!("invalid configuration: {e}")))?;
+        // Error-feedback residuals cannot survive a worker reconnect,
+        // so the whole socket runtime rejects EF plans up front (the
+        // worker enforces the same rule on its side).
+        plan.validate_for_workers()
             .map_err(|e| NetError::Protocol(format!("invalid configuration: {e}")))?;
         if let Some(shards) = plan.shard_count() {
             if shards > plan.config.clients {
@@ -344,6 +350,13 @@ impl NetServer {
         // frames; everyone else's children are workers speaking
         // updates. Frames of the wrong kind evict their sender.
         let expect_partial = matches!(config.role, Role::Root) && plan.tree.is_some();
+        // Whether the uplink policy can produce `FUC1` delta streams —
+        // those decode against the round's broadcast, which the server
+        // must then re-decode from its own frame bytes each round.
+        let family_uplink = matches!(
+            plan.uplink,
+            StagePolicy::TopK { .. } | StagePolicy::Quant { .. } | StagePolicy::AutoFamily { .. }
+        );
         let mut rounds = Vec::new();
         let mut evicted_total = 0usize;
         let mut evictions: Vec<(u64, u32, String)> = Vec::new();
@@ -385,6 +398,20 @@ impl NetServer {
                     }
                 },
                 (None, None) => unreachable!("a root always holds the global"),
+            };
+
+            // Family delta streams decode against the exact broadcast
+            // the workers received, so the server re-decodes its own
+            // frame bytes once per round — even under a lossy downlink
+            // both sides then hold bit-identical reference dicts.
+            let uplink_reference: Option<StateDict> = if family_uplink {
+                Some(if compressed {
+                    FedSz::decompress_with_config(&bytes)?.0
+                } else {
+                    StateDict::from_bytes(&bytes)?
+                })
+            } else {
+                None
             };
 
             // One encode serves the whole fan-out: every child receives
@@ -438,6 +465,7 @@ impl NetServer {
                     expect_partial,
                     &template,
                     fedsz.as_ref(),
+                    uplink_reference.as_ref(),
                     &psum_codec,
                     &mut partial,
                     &mut psum_raw_frames,
@@ -500,8 +528,11 @@ impl NetServer {
                                 payload: std::mem::take(&mut packed),
                             }
                         }
-                        StagePolicy::Lossy(_) => {
-                            unreachable!("plan() rejects lossy psum policies")
+                        StagePolicy::Lossy(_)
+                        | StagePolicy::TopK { .. }
+                        | StagePolicy::Quant { .. }
+                        | StagePolicy::AutoFamily { .. } => {
+                            unreachable!("plan() rejects lossy and family psum policies")
                         }
                     };
                     upstream.send(&message)?;
@@ -748,6 +779,7 @@ fn fold_upload(
     expect_partial: bool,
     template: &StateDict,
     fedsz: Option<&FedSz>,
+    reference: Option<&StateDict>,
     psum_codec: &PsumCodec,
     partial: &mut PartialSum,
     psum_raw_frames: &mut usize,
@@ -765,7 +797,13 @@ fn fold_upload(
             Err("expected a worker update, got a partial-sum frame".into())
         }
         Upload::Update { payload, compressed } => {
-            let dict = if compressed {
+            let dict = if compressed && FamilyCodec::is_family_stream(&payload) {
+                let reference = reference.ok_or_else(|| {
+                    "family-coded update but the uplink policy has no family codec".to_string()
+                })?;
+                FamilyCodec::decode_delta(&payload, reference)
+                    .map_err(|e| format!("undecodable update: {e}"))?
+            } else if compressed {
                 fedsz
                     .ok_or_else(|| "compressed update but compression is off".to_string())?
                     .decompress(&payload)
@@ -938,6 +976,7 @@ mod tests {
                 false,
                 &template,
                 None,
+                None,
                 &PsumCodec::new(),
                 &mut partial,
                 &mut raw,
@@ -973,6 +1012,47 @@ mod tests {
     }
 
     #[test]
+    fn family_uploads_fold_against_the_broadcast_reference() {
+        let template = dict(&[("a.weight", 4), ("b.weight", 2)]);
+        let mut update = template.clone();
+        update.get_mut("a.weight").unwrap().data_mut().copy_from_slice(&[2.0, 0.5, 1.0, 1.5]);
+        let codec = FamilyCodec::top_k(1.0).unwrap();
+        let payload = codec.encode_delta(&update, &template, None, 0).unwrap();
+        let mut partial = PartialSum::new();
+        let (mut raw, mut packed) = (0usize, 0usize);
+        // Without a broadcast reference the frame must evict its
+        // sender, not panic or silently decode against garbage.
+        let out = fold_upload(
+            Upload::Update { payload: payload.clone(), compressed: true },
+            false,
+            &template,
+            None,
+            None,
+            &PsumCodec::new(),
+            &mut partial,
+            &mut raw,
+            &mut packed,
+        );
+        assert!(out.is_err(), "family frame without a reference must evict, got {out:?}");
+        // With the reference it folds exactly one contribution, and at
+        // keep-ratio 1.0 the delta round-trips bit-exactly.
+        let out = fold_upload(
+            Upload::Update { payload, compressed: true },
+            false,
+            &template,
+            None,
+            Some(&template),
+            &PsumCodec::new(),
+            &mut partial,
+            &mut raw,
+            &mut packed,
+        );
+        assert_eq!(out, Ok(1));
+        let folded = partial.finish().expect("one contribution");
+        assert_eq!(folded.get("a.weight").unwrap().data(), update.get("a.weight").unwrap().data());
+    }
+
+    #[test]
     fn mismatched_psum_frames_are_rejected_not_panicked() {
         let template = dict(&[("a.weight", 4)]);
         let mut other = PartialSum::new();
@@ -984,6 +1064,7 @@ mod tests {
                 upload,
                 true,
                 &template,
+                None,
                 None,
                 &PsumCodec::new(),
                 partial,
@@ -1032,6 +1113,7 @@ mod tests {
                 Upload::Partial { payload, compressed: false },
                 true,
                 &template,
+                None,
                 None,
                 &PsumCodec::new(),
                 partial,

@@ -20,9 +20,10 @@
 //!
 //! [`FlConfig::make_client`]: crate::FlConfig::make_client
 
+use crate::codec::{derive_dither_seed, uplink_codecs_for, FamilyCodec, UplinkCodecKind};
 use crate::plan::StagePolicy;
 use crate::{Client, FlConfig};
-use fedsz::timing::CostProfile;
+use fedsz::timing::{select_family, CostProfile, FamilyCandidate};
 use fedsz::FedSz;
 use fedsz_net::{Message, NetError, Session};
 use fedsz_telemetry::{Telemetry, Value};
@@ -115,9 +116,17 @@ pub fn run_worker(config: WorkerConfig) -> Result<WorkerReport, NetError> {
     // the raw `compression`/`adaptive_compression` knobs.
     let plan =
         config.fl.plan().map_err(|e| NetError::Protocol(format!("invalid configuration: {e}")))?;
+    // Error-feedback residuals live on the client across rounds; a
+    // worker process cannot guarantee that continuity (crash/resume
+    // would silently drop carried mass), so EF plans are rejected here
+    // with the typed error rather than run wrong.
+    plan.validate_for_workers()
+        .map_err(|e| NetError::Protocol(format!("invalid configuration: {e}")))?;
     let uplink = plan.uplink.clone();
     let mut client: Client = config.fl.build_client(config.id);
     let fedsz = uplink.fedsz().map(FedSz::new);
+    let codecs = uplink_codecs_for(&uplink);
+    let mut family_profiles: Vec<Option<CostProfile>> = vec![None; codecs.len()];
     let mut session = Session::connect(&config.connect, config.timeout).map_err(NetError::Io)?;
     session.send(&Message::Join { client_id: config.id as u64, round: 0 })?;
     config.telemetry.event("worker.join", &[("client", Value::U64(config.id as u64))]);
@@ -162,23 +171,90 @@ pub fn run_worker(config: WorkerConfig) -> Result<WorkerReport, NetError> {
         // always compresses; `Adaptive` runs Eqn 1 — compress iff
         // measured codec time plus compressed transfer beats sending
         // raw at the measured bandwidth, probing (compressing) until
-        // both measurements exist.
-        let (compress, predicted) = match &uplink {
-            StagePolicy::Raw | StagePolicy::Lossless => (false, None),
-            StagePolicy::Lossy(_) => (true, None),
+        // both measurements exist. `TopK`/`Quant` always ship their
+        // one family; `AutoFamily` prices every candidate against raw
+        // with the same measured bandwidth, probing unmeasured
+        // families in rotation (the engine's rule, measured inputs).
+        let (compress, family_choice, predicted) = match &uplink {
+            StagePolicy::Raw | StagePolicy::Lossless => (false, None, None),
+            StagePolicy::Lossy(_) => (true, None, None),
             StagePolicy::Adaptive { .. } => match (profile, link.bps) {
                 (Some(profile), Some(bps)) => {
                     let plan = profile.plan(raw_bytes);
                     (
                         plan.worthwhile(bps),
+                        None,
                         Some((plan.compressed_time(bps), plan.uncompressed_time(bps))),
                     )
                 }
-                _ => (true, None),
+                _ => (true, None, None),
             },
+            StagePolicy::TopK { .. } | StagePolicy::Quant { .. } => (false, Some(0), None),
+            StagePolicy::AutoFamily { .. } => {
+                let candidates: Vec<FamilyCandidate> = codecs
+                    .iter()
+                    .zip(&family_profiles)
+                    .map(|(&(name, _), profile)| FamilyCandidate {
+                        family: name,
+                        profile: *profile,
+                    })
+                    .collect();
+                let hint =
+                    (round as usize).wrapping_mul(codecs.len().max(1)).wrapping_add(config.id);
+                let sel = select_family(raw_bytes, link.bps, &candidates, hint);
+                let predicted = match (sel.predicted_choice_secs, sel.predicted_raw_secs) {
+                    (Some(chosen), Some(raw)) => Some((chosen, raw)),
+                    _ => None,
+                };
+                (false, sel.choice, predicted)
+            }
         };
         let mut measured_codec_secs = 0.0f64;
-        let (payload, compressed) = if compress {
+        let (payload, compressed) = if let Some(ci) = family_choice {
+            let t0 = Instant::now();
+            let packed = match &codecs[ci].1 {
+                UplinkCodecKind::Fedsz(f) => {
+                    f.compress(&update).expect("finite weights").into_bytes()
+                }
+                UplinkCodecKind::Family(c) => {
+                    // The delta reference is the broadcast this worker
+                    // just decoded — the server decodes against the
+                    // same bytes, so the bases agree. EF is rejected
+                    // above, so no residual is carried.
+                    let dither = derive_dither_seed(config.fl.seed, round as usize, config.id);
+                    c.encode_delta(&update, &dict, None, dither).expect("finite weights")
+                }
+            };
+            let compress_secs = t0.elapsed().as_secs_f64();
+            measured_codec_secs = compress_secs;
+            let raw = raw_bytes.max(1) as f64;
+            // Like the adaptive path below: the server-side decompress
+            // cost is measured once per family and carried by the EWMA.
+            let decompress_secs_per_byte = match family_profiles[ci] {
+                Some(prev) => prev.decompress_secs_per_byte,
+                None => {
+                    let t1 = Instant::now();
+                    match &codecs[ci].1 {
+                        UplinkCodecKind::Fedsz(f) => {
+                            let _ = f.decompress(&packed)?;
+                        }
+                        UplinkCodecKind::Family(_) => {
+                            let _ = FamilyCodec::decode_delta(&packed, &dict)?;
+                        }
+                    }
+                    t1.elapsed().as_secs_f64() / raw
+                }
+            };
+            family_profiles[ci] = Some(CostProfile::blend(
+                family_profiles[ci],
+                CostProfile {
+                    compress_secs_per_byte: compress_secs / raw,
+                    decompress_secs_per_byte,
+                    ratio: raw / packed.len().max(1) as f64,
+                },
+            ));
+            (packed, true)
+        } else if compress {
             let codec = fedsz.as_ref().expect("compress implies a codec");
             let t0 = Instant::now();
             let packed = codec.compress(&update).expect("finite weights").into_bytes();
@@ -212,6 +288,11 @@ pub fn run_worker(config: WorkerConfig) -> Result<WorkerReport, NetError> {
         } else {
             (update.to_bytes(), false)
         };
+        let family_name = match family_choice {
+            Some(ci) => codecs[ci].0,
+            None if compressed => "lossy",
+            None => "raw",
+        };
 
         // The measured twin of the engine's per-client uplink record:
         // predictions exist only once both the codec profile and a
@@ -223,6 +304,7 @@ pub fn run_worker(config: WorkerConfig) -> Result<WorkerReport, NetError> {
                 ("leg", Value::Str("uplink")),
                 ("node", Value::U64(config.id as u64)),
                 ("compressed", Value::Bool(compressed)),
+                ("family", Value::Str(family_name)),
                 (
                     "predicted_compressed_secs",
                     Value::F64(predicted.map_or(f64::NAN, |p: (f64, f64)| p.0)),

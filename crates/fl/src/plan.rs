@@ -45,6 +45,9 @@
 //! | `Lossy(FedSzConfig)` | ✓ | ✓ | ✗ (breaks bit-parity) |
 //! | `Lossless` | ✗ (no dict codec) | ✗ | ✓ |
 //! | `Adaptive { compressed }` | over `Lossy` | over `Lossy` | over `Lossless` |
+//! | `TopK { .. }` | ✓ (delta stream) | ✗ | ✗ |
+//! | `Quant { .. }` | ✓ (delta stream) | ✗ | ✗ |
+//! | `AutoFamily { .. }` | ✓ (Eqn 1 per family) | ✗ | ✗ |
 //!
 //! The ✗ cells are *rejected by [`PlanError`]* — a lossy partial-sum
 //! leg would silently break the tree's bit-parity guarantee with flat
@@ -53,6 +56,24 @@
 //! [`PsumForwarder`](crate::agg::PsumForwarder)) validate again at
 //! construction, so even hand-built plans cannot smuggle an illegal
 //! policy into a round.
+//!
+//! # Error feedback makes the uplink stateful
+//!
+//! `TopK`/`Quant` with `error_feedback: true` keep a per-client
+//! residual dict: mass the codec dropped this round re-enters next
+//! round's delta (FedSparQ-style). That residual is *state the round
+//! loop must carry*, which two execution paths cannot do today:
+//!
+//! * **Buffered aggregation** applies updates asynchronously across
+//!   round boundaries, so a client's residual would be folded against
+//!   a reference model it never trained on —
+//!   [`PlanError::StatefulUplinkBuffered`].
+//! * **Socket workers** may disconnect and resume with a fresh
+//!   process, silently dropping the residual and the conserved mass
+//!   with it — [`RoundPlan::validate_for_workers`] returns
+//!   [`PlanError::StatefulUplinkWorker`].
+//!
+//! Both are typed rejections, the same pattern as lossy psum.
 
 use crate::agg::{DownlinkMode, PsumMode, TreePlan};
 use crate::engine::AggregationPolicy;
@@ -86,6 +107,38 @@ pub enum StagePolicy {
         /// transfer (must itself be `Lossy` or `Lossless`).
         compressed: Box<StagePolicy>,
     },
+    /// Top-K sparsification of the update *delta* (uplink only): keep
+    /// the `ceil(ratio * n)` largest-magnitude entries bit-exactly,
+    /// zero the rest, ship an index+value stream.
+    TopK {
+        /// Fraction of delta entries to keep, in `(0, 1]`.
+        ratio: f64,
+        /// Carry a per-client residual re-injecting dropped mass into
+        /// the next round's delta. Makes the uplink *stateful* — see
+        /// the module docs for the paths that must reject it.
+        error_feedback: bool,
+    },
+    /// Uniform 4/8-bit quantization of the update *delta* (uplink
+    /// only).
+    Quant {
+        /// Code width: 4 or 8 bits per entry.
+        bits: u8,
+        /// Stochastic (unbiased) rounding instead of round-to-nearest.
+        stochastic: bool,
+        /// Carry a per-client error-feedback residual (stateful, as
+        /// for [`StagePolicy::TopK`]).
+        error_feedback: bool,
+    },
+    /// Eqn 1 generalized from compress-or-not to *family selection*
+    /// (uplink only): price every candidate codec family through its
+    /// measured `CostProfile` and ship whichever predicts the fastest
+    /// end-to-end transfer — or raw when raw wins.
+    AutoFamily {
+        /// The concrete families to price against raw. Each must be
+        /// `Lossy`, `TopK`, or `Quant`, without error feedback (a
+        /// residual has no meaning when the codec changes per round).
+        candidates: Vec<StagePolicy>,
+    },
 }
 
 /// The compression legs a [`StagePolicy`] can be attached to.
@@ -111,23 +164,44 @@ impl StageLeg {
 }
 
 impl StagePolicy {
-    /// Short human-readable policy name (for reports).
+    /// Short human-readable policy name (for reports and the `family`
+    /// key of `eqn1.decision` records). Quantizers encode their width
+    /// and rounding in the name (`q8`, `q4s`); error-feedback variants
+    /// append `+ef`.
     pub fn name(&self) -> &'static str {
         match self {
             StagePolicy::Raw => "raw",
             StagePolicy::Lossy(_) => "lossy",
             StagePolicy::Lossless => "lossless",
             StagePolicy::Adaptive { .. } => "adaptive",
+            StagePolicy::TopK { error_feedback: false, .. } => "topk",
+            StagePolicy::TopK { error_feedback: true, .. } => "topk+ef",
+            StagePolicy::Quant { bits: 4, stochastic: false, error_feedback: false } => "q4",
+            StagePolicy::Quant { bits: 4, stochastic: true, error_feedback: false } => "q4s",
+            StagePolicy::Quant { bits: 4, stochastic: false, error_feedback: true } => "q4+ef",
+            StagePolicy::Quant { bits: 4, stochastic: true, error_feedback: true } => "q4s+ef",
+            StagePolicy::Quant { stochastic: false, error_feedback: false, .. } => "q8",
+            StagePolicy::Quant { stochastic: true, error_feedback: false, .. } => "q8s",
+            StagePolicy::Quant { stochastic: false, error_feedback: true, .. } => "q8+ef",
+            StagePolicy::Quant { stochastic: true, error_feedback: true, .. } => "q8s+ef",
+            StagePolicy::AutoFamily { .. } => "auto",
         }
     }
 
-    /// The FedSZ configuration this policy may invoke (`None` for raw
-    /// and lossless legs).
+    /// The FedSZ configuration this policy may invoke (`None` for raw,
+    /// lossless, and the non-FedSZ codec families). An `AutoFamily`
+    /// set reports its `Lossy` candidate's config, if it has one.
     pub fn fedsz(&self) -> Option<FedSzConfig> {
         match self {
             StagePolicy::Lossy(config) => Some(*config),
             StagePolicy::Adaptive { compressed } => compressed.fedsz(),
-            StagePolicy::Raw | StagePolicy::Lossless => None,
+            StagePolicy::AutoFamily { candidates } => {
+                candidates.iter().find_map(StagePolicy::fedsz)
+            }
+            StagePolicy::Raw
+            | StagePolicy::Lossless
+            | StagePolicy::TopK { .. }
+            | StagePolicy::Quant { .. } => None,
         }
     }
 
@@ -138,9 +212,25 @@ impl StagePolicy {
     }
 
     /// Whether the compress-or-not decision is made per link with
-    /// Eqn 1.
+    /// Eqn 1 ([`StagePolicy::AutoFamily`] is the family-selection
+    /// generalization of the same pricing loop).
     pub fn is_adaptive(&self) -> bool {
-        matches!(self, StagePolicy::Adaptive { .. })
+        matches!(self, StagePolicy::Adaptive { .. } | StagePolicy::AutoFamily { .. })
+    }
+
+    /// Whether this policy carries a per-client error-feedback
+    /// residual — state the executor must persist across rounds (see
+    /// the module docs for the combinations that reject it).
+    pub fn error_feedback(&self) -> bool {
+        match self {
+            StagePolicy::TopK { error_feedback, .. }
+            | StagePolicy::Quant { error_feedback, .. } => *error_feedback,
+            StagePolicy::Adaptive { compressed } => compressed.error_feedback(),
+            StagePolicy::AutoFamily { candidates } => {
+                candidates.iter().any(StagePolicy::error_feedback)
+            }
+            StagePolicy::Raw | StagePolicy::Lossy(_) | StagePolicy::Lossless => false,
+        }
     }
 
     /// Checks that this policy is legal on `leg` (the module-level
@@ -160,9 +250,61 @@ impl StagePolicy {
             (StagePolicy::Lossless, StageLeg::Psum) => Ok(()),
             (StagePolicy::Lossless, StageLeg::Uplink | StageLeg::Downlink) => Err(illegal()),
             (StagePolicy::Adaptive { compressed }, leg) => match compressed.as_ref() {
-                StagePolicy::Raw | StagePolicy::Adaptive { .. } => Err(illegal()),
-                inner => inner.validate_for(leg),
+                // Adaptive stays the binary compress-or-not of the
+                // paper: the family codecs route through `AutoFamily`,
+                // which owns its own probe/price loop.
+                inner @ (StagePolicy::Lossy(_) | StagePolicy::Lossless) => inner.validate_for(leg),
+                _ => Err(illegal()),
             },
+            // The family codecs encode a *delta* against the broadcast
+            // the client just received — a construction only the
+            // upload leg has (the broadcast itself has no reference;
+            // partial sums must stay bit-exact).
+            (StagePolicy::TopK { ratio, .. }, StageLeg::Uplink) => {
+                if !(*ratio > 0.0 && *ratio <= 1.0) {
+                    return Err(PlanError::BadTopKRatio { ratio: *ratio });
+                }
+                Ok(())
+            }
+            (StagePolicy::Quant { bits, .. }, StageLeg::Uplink) => {
+                if *bits != 4 && *bits != 8 {
+                    return Err(PlanError::BadQuantBits { bits: *bits });
+                }
+                Ok(())
+            }
+            (StagePolicy::AutoFamily { candidates }, StageLeg::Uplink) => {
+                if candidates.is_empty() {
+                    return Err(PlanError::BadAutoFamily {
+                        reason: "needs at least one candidate family",
+                    });
+                }
+                for candidate in candidates {
+                    match candidate {
+                        StagePolicy::Lossy(_)
+                        | StagePolicy::TopK { .. }
+                        | StagePolicy::Quant { .. } => candidate.validate_for(leg)?,
+                        _ => {
+                            return Err(PlanError::BadAutoFamily {
+                                reason: "candidates must be concrete codec families \
+                                         (lossy, topk, or quant)",
+                            })
+                        }
+                    }
+                    if candidate.error_feedback() {
+                        return Err(PlanError::BadAutoFamily {
+                            reason: "error-feedback candidates are not allowed (a residual \
+                                     has no meaning when the codec changes per round)",
+                        });
+                    }
+                }
+                Ok(())
+            }
+            (
+                StagePolicy::TopK { .. }
+                | StagePolicy::Quant { .. }
+                | StagePolicy::AutoFamily { .. },
+                StageLeg::Downlink | StageLeg::Psum,
+            ) => Err(illegal()),
         }
     }
 }
@@ -257,6 +399,31 @@ pub enum PlanError {
     /// never merge anything (leave it `None` to use the host's
     /// parallelism).
     ZeroWorkerThreads,
+    /// A [`StagePolicy::TopK`] ratio outside `(0, 1]`.
+    BadTopKRatio {
+        /// The configured keep fraction.
+        ratio: f64,
+    },
+    /// A [`StagePolicy::Quant`] width other than 4 or 8 bits.
+    BadQuantBits {
+        /// The configured code width.
+        bits: u8,
+    },
+    /// A [`StagePolicy::AutoFamily`] candidate set that cannot be
+    /// priced (empty, nested selectors, or error-feedback members).
+    BadAutoFamily {
+        /// What about the candidate set is wrong.
+        reason: &'static str,
+    },
+    /// An error-feedback uplink combined with buffered aggregation:
+    /// buffered updates apply across round boundaries, so the residual
+    /// would be folded against a reference model the client never
+    /// trained on.
+    StatefulUplinkBuffered,
+    /// An error-feedback uplink on the socket runtime: a worker that
+    /// reconnects resumes with a fresh process and silently drops its
+    /// residual, breaking mass conservation.
+    StatefulUplinkWorker,
 }
 
 impl fmt::Display for PlanError {
@@ -328,6 +495,27 @@ impl fmt::Display for PlanError {
             PlanError::ZeroWorkerThreads => {
                 write!(f, "worker_threads must be at least 1 (leave it unset for host parallelism)")
             }
+            PlanError::BadTopKRatio { ratio } => {
+                write!(f, "Top-K keep ratio must be in (0, 1], got {ratio}")
+            }
+            PlanError::BadQuantBits { bits } => {
+                write!(f, "quantizer width must be 4 or 8 bits, got {bits}")
+            }
+            PlanError::BadAutoFamily { reason } => {
+                write!(f, "auto family selection is misconfigured: {reason}")
+            }
+            PlanError::StatefulUplinkBuffered => write!(
+                f,
+                "error-feedback uplinks are stateful and cannot combine with buffered \
+                 aggregation (the residual would be applied against a stale reference); \
+                 use synchronous aggregation or drop `+ef`"
+            ),
+            PlanError::StatefulUplinkWorker => write!(
+                f,
+                "error-feedback uplinks are stateful and cannot run on socket workers \
+                 (a reconnecting worker silently drops its residual); use the in-process \
+                 simulator or drop `+ef`"
+            ),
         }
     }
 }
@@ -386,6 +574,22 @@ impl RoundPlan {
     /// or `None` for a flat server.
     pub fn tree_fanouts(&self) -> Option<&[usize]> {
         self.tree.as_ref().map(TreePlan::fanouts)
+    }
+
+    /// Checks the extra constraint the socket runtime adds on top of
+    /// [`FlConfig::plan`]: an error-feedback uplink cannot survive a
+    /// worker reconnect (the residual dies with the process), so
+    /// `fedsz serve`/`worker` reject it here before any round runs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError::StatefulUplinkWorker`] when the uplink
+    /// policy carries error feedback.
+    pub fn validate_for_workers(&self) -> Result<(), PlanError> {
+        if self.uplink.error_feedback() {
+            return Err(PlanError::StatefulUplinkWorker);
+        }
+        Ok(())
     }
 }
 
@@ -523,16 +727,25 @@ fn plan_stages(
     config: &FlConfig,
     tree: Option<&TreePlan>,
 ) -> Result<(StagePolicy, StagePolicy, StagePolicy), PlanError> {
-    // Uplink: `compression` + `adaptive_compression`. An adaptive flag
-    // with no codec canonicalizes to Raw (there is nothing Eqn 1 could
-    // choose over raw).
-    let uplink = match (&config.compression, config.adaptive_compression) {
-        (None, _) => StagePolicy::Raw,
-        (Some(codec), false) => StagePolicy::Lossy(*codec),
-        (Some(codec), true) => {
-            StagePolicy::Adaptive { compressed: Box::new(StagePolicy::Lossy(*codec)) }
-        }
+    // Uplink: an explicit `uplink` policy wins outright; otherwise the
+    // legacy `compression` + `adaptive_compression` pair. An adaptive
+    // flag with no codec canonicalizes to Raw (there is nothing Eqn 1
+    // could choose over raw).
+    let uplink = match &config.uplink {
+        Some(policy) => policy.clone(),
+        None => match (&config.compression, config.adaptive_compression) {
+            (None, _) => StagePolicy::Raw,
+            (Some(codec), false) => StagePolicy::Lossy(*codec),
+            (Some(codec), true) => {
+                StagePolicy::Adaptive { compressed: Box::new(StagePolicy::Lossy(*codec)) }
+            }
+        },
     };
+    // Error feedback is round-loop state; buffered aggregation crosses
+    // round boundaries. See the module docs.
+    if uplink.error_feedback() && matches!(config.aggregation, AggregationPolicy::Buffered { .. }) {
+        return Err(PlanError::StatefulUplinkBuffered);
+    }
     let downlink = match config.downlink {
         DownlinkMode::Raw => StagePolicy::Raw,
         DownlinkMode::Compressed => StagePolicy::Lossy(
@@ -860,6 +1073,169 @@ mod tests {
         config.bandwidth_bps = None;
         let plan = config.plan().unwrap();
         assert!(plan.topology.is_none());
+    }
+
+    #[test]
+    fn family_policies_are_uplink_only_with_validated_parameters() {
+        let topk = StagePolicy::TopK { ratio: 0.01, error_feedback: false };
+        assert!(topk.validate_for(StageLeg::Uplink).is_ok());
+        for leg in [StageLeg::Downlink, StageLeg::Psum] {
+            assert_eq!(
+                topk.validate_for(leg).unwrap_err(),
+                PlanError::IllegalStagePolicy { leg, policy: "topk" }
+            );
+        }
+        // The keep ratio must be a fraction: zero keeps nothing and
+        // anything above 1 (or NaN) is meaningless.
+        for ratio in [0.0, -0.5, 1.5, f64::NAN] {
+            let bad = StagePolicy::TopK { ratio, error_feedback: false };
+            assert!(
+                matches!(bad.validate_for(StageLeg::Uplink), Err(PlanError::BadTopKRatio { .. })),
+                "ratio {ratio} must be rejected"
+            );
+        }
+        assert!(StagePolicy::TopK { ratio: 1.0, error_feedback: true }
+            .validate_for(StageLeg::Uplink)
+            .is_ok());
+
+        let quant = StagePolicy::Quant { bits: 8, stochastic: false, error_feedback: false };
+        assert!(quant.validate_for(StageLeg::Uplink).is_ok());
+        for leg in [StageLeg::Downlink, StageLeg::Psum] {
+            assert_eq!(
+                quant.validate_for(leg).unwrap_err(),
+                PlanError::IllegalStagePolicy { leg, policy: "q8" }
+            );
+        }
+        for bits in [0, 1, 2, 16, 32] {
+            let bad = StagePolicy::Quant { bits, stochastic: false, error_feedback: false };
+            assert_eq!(
+                bad.validate_for(StageLeg::Uplink).unwrap_err(),
+                PlanError::BadQuantBits { bits }
+            );
+        }
+        assert!(StagePolicy::Quant { bits: 4, stochastic: true, error_feedback: true }
+            .validate_for(StageLeg::Uplink)
+            .is_ok());
+    }
+
+    #[test]
+    fn auto_family_candidates_are_constrained() {
+        let good = StagePolicy::AutoFamily {
+            candidates: vec![
+                StagePolicy::Lossy(FedSzConfig::default()),
+                StagePolicy::TopK { ratio: 0.01, error_feedback: false },
+                StagePolicy::Quant { bits: 8, stochastic: false, error_feedback: false },
+            ],
+        };
+        assert!(good.validate_for(StageLeg::Uplink).is_ok());
+        for leg in [StageLeg::Downlink, StageLeg::Psum] {
+            assert_eq!(
+                good.validate_for(leg).unwrap_err(),
+                PlanError::IllegalStagePolicy { leg, policy: "auto" }
+            );
+        }
+        // Empty candidate lists, non-codec candidates and EF candidates
+        // are all typed misconfigurations.
+        let empty = StagePolicy::AutoFamily { candidates: Vec::new() };
+        assert!(matches!(
+            empty.validate_for(StageLeg::Uplink),
+            Err(PlanError::BadAutoFamily { .. })
+        ));
+        let raw_candidate = StagePolicy::AutoFamily { candidates: vec![StagePolicy::Raw] };
+        assert!(matches!(
+            raw_candidate.validate_for(StageLeg::Uplink),
+            Err(PlanError::BadAutoFamily { .. })
+        ));
+        let nested = StagePolicy::AutoFamily {
+            candidates: vec![StagePolicy::AutoFamily { candidates: Vec::new() }],
+        };
+        assert!(matches!(
+            nested.validate_for(StageLeg::Uplink),
+            Err(PlanError::BadAutoFamily { .. })
+        ));
+        let ef_candidate = StagePolicy::AutoFamily {
+            candidates: vec![StagePolicy::TopK { ratio: 0.1, error_feedback: true }],
+        };
+        assert!(matches!(
+            ef_candidate.validate_for(StageLeg::Uplink),
+            Err(PlanError::BadAutoFamily { .. })
+        ));
+        // A candidate with bad parameters fails its own validation.
+        let bad_param = StagePolicy::AutoFamily {
+            candidates: vec![StagePolicy::TopK { ratio: 0.0, error_feedback: false }],
+        };
+        assert!(matches!(
+            bad_param.validate_for(StageLeg::Uplink),
+            Err(PlanError::BadTopKRatio { .. })
+        ));
+    }
+
+    #[test]
+    fn uplink_override_wins_and_stateful_combinations_are_typed_errors() {
+        // The explicit `uplink` field overrides the legacy
+        // compression/adaptive_compression pair entirely.
+        let mut config = base();
+        config.uplink = Some(StagePolicy::TopK { ratio: 0.05, error_feedback: false });
+        let plan = config.plan().unwrap();
+        assert_eq!(plan.uplink, StagePolicy::TopK { ratio: 0.05, error_feedback: false });
+        assert!(plan.validate_for_workers().is_ok());
+
+        // EF + buffered aggregation: the residual would fold against a
+        // reference the client never trained on.
+        let mut config = base();
+        config.uplink = Some(StagePolicy::TopK { ratio: 0.05, error_feedback: true });
+        config.aggregation = AggregationPolicy::Buffered { target: 2 };
+        assert_eq!(config.plan().unwrap_err(), PlanError::StatefulUplinkBuffered);
+
+        // EF + socket workers: the residual dies with the process.
+        let mut config = base();
+        config.uplink =
+            Some(StagePolicy::Quant { bits: 8, stochastic: true, error_feedback: true });
+        let plan = config.plan().expect("EF is legal in the simulator");
+        assert_eq!(plan.validate_for_workers().unwrap_err(), PlanError::StatefulUplinkWorker);
+
+        // An invalid override surfaces through plan(), same as every
+        // other knob.
+        let mut config = base();
+        config.uplink =
+            Some(StagePolicy::Quant { bits: 3, stochastic: false, error_feedback: false });
+        assert_eq!(config.plan().unwrap_err(), PlanError::BadQuantBits { bits: 3 });
+
+        // And the new errors render actionable text.
+        assert!(PlanError::StatefulUplinkBuffered.to_string().contains("error-feedback"));
+        assert!(PlanError::StatefulUplinkWorker.to_string().contains("error-feedback"));
+        assert!(PlanError::BadTopKRatio { ratio: 0.0 }.to_string().contains("(0, 1]"));
+        assert!(PlanError::BadQuantBits { bits: 3 }.to_string().contains("4 or 8"));
+    }
+
+    #[test]
+    fn policy_names_cover_every_family_variant() {
+        assert_eq!(StagePolicy::TopK { ratio: 0.1, error_feedback: false }.name(), "topk");
+        assert_eq!(StagePolicy::TopK { ratio: 0.1, error_feedback: true }.name(), "topk+ef");
+        assert_eq!(
+            StagePolicy::Quant { bits: 4, stochastic: false, error_feedback: false }.name(),
+            "q4"
+        );
+        assert_eq!(
+            StagePolicy::Quant { bits: 4, stochastic: true, error_feedback: false }.name(),
+            "q4s"
+        );
+        assert_eq!(
+            StagePolicy::Quant { bits: 8, stochastic: false, error_feedback: true }.name(),
+            "q8+ef"
+        );
+        assert_eq!(
+            StagePolicy::Quant { bits: 8, stochastic: true, error_feedback: true }.name(),
+            "q8s+ef"
+        );
+        assert_eq!(StagePolicy::AutoFamily { candidates: Vec::new() }.name(), "auto");
+        // EF is visible through the accessor the plan gate uses.
+        assert!(StagePolicy::TopK { ratio: 0.1, error_feedback: true }.error_feedback());
+        assert!(!StagePolicy::Raw.error_feedback());
+        assert!(
+            !StagePolicy::AutoFamily { candidates: Vec::new() }.error_feedback(),
+            "auto never carries EF (candidates with EF are rejected)"
+        );
     }
 
     #[test]

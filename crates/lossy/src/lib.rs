@@ -44,6 +44,8 @@
 #![warn(missing_docs)]
 
 pub mod pwrel;
+pub mod quant;
+pub mod sparse;
 pub mod sz2;
 pub mod sz3;
 pub mod szx;
@@ -114,6 +116,9 @@ pub enum LossyError {
     /// The bound is unusable (non-positive, non-finite, or a mode the
     /// codec does not support).
     InvalidBound(ErrorBound),
+    /// A codec parameter is out of range (Top-K ratio outside `(0, 1]`,
+    /// a non-positive threshold, a quantizer width other than 4/8 bits).
+    InvalidParameter(&'static str),
 }
 
 impl fmt::Display for LossyError {
@@ -121,6 +126,7 @@ impl fmt::Display for LossyError {
         match self {
             LossyError::NonFiniteInput => write!(f, "input contains non-finite values"),
             LossyError::InvalidBound(b) => write!(f, "unusable error bound {b}"),
+            LossyError::InvalidParameter(what) => write!(f, "invalid codec parameter: {what}"),
         }
     }
 }

@@ -1,0 +1,314 @@
+//! 4/8-bit uniform quantization of flat `f32` vectors.
+//!
+//! The quantizer maps each value onto a `2^bits - 1`-level uniform
+//! grid spanning the vector's `[min, max]` range. Two rounding rules:
+//!
+//! * **Linear** — round to the nearest level; the reconstruction error
+//!   is at most half the grid step.
+//! * **Stochastic** — round up with probability equal to the
+//!   fractional position between the two neighboring levels, so the
+//!   reconstruction is **unbiased in expectation** (QSGD-style). The
+//!   dither is a pure function of an explicit `seed` and the element
+//!   index, so a fixed seed reproduces the exact same codes on every
+//!   run and both unbiasedness and determinism are testable.
+//!
+//! The stream is self-describing: length, bit width, rounding rule and
+//! the `[min, max]` range travel with the codes, so decoding needs no
+//! shared configuration.
+
+use crate::LossyError;
+use fedsz_codec::varint::{read_f32, read_uvarint, write_f32, write_uvarint};
+use fedsz_codec::{CodecError, Result};
+
+/// A 4- or 8-bit uniform quantizer.
+///
+/// # Examples
+///
+/// ```
+/// use fedsz_lossy::quant::Quantizer;
+///
+/// let q = Quantizer::new(8, false).unwrap();
+/// let values = [0.0f32, 0.25, 0.5, 1.0];
+/// let stream = q.compress(&values, 0).unwrap();
+/// let restored = Quantizer::decompress(&stream).unwrap();
+/// let step = 1.0 / 255.0;
+/// for (a, b) in values.iter().zip(&restored) {
+///     assert!((a - b).abs() <= step / 2.0 + 1e-7);
+/// }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Quantizer {
+    bits: u8,
+    stochastic: bool,
+}
+
+/// Deterministic uniform dither in `[0, 1)` from `(seed, index)` —
+/// splitmix64 finalization, the same mixer the FL engine uses for its
+/// transit coins.
+fn dither(seed: u64, index: u64) -> f64 {
+    let mut z = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(index.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+        .wrapping_add(0x94D0_49BB_1331_11EB);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    (z ^ (z >> 31)) as f64 / (u64::MAX as f64 + 1.0)
+}
+
+impl Quantizer {
+    /// A quantizer at `bits` ∈ {4, 8}, linear or stochastic rounding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LossyError::InvalidParameter`] for any other bit width.
+    pub fn new(bits: u8, stochastic: bool) -> std::result::Result<Self, LossyError> {
+        if bits != 4 && bits != 8 {
+            return Err(LossyError::InvalidParameter("quantizer width must be 4 or 8 bits"));
+        }
+        Ok(Self { bits, stochastic })
+    }
+
+    /// The configured bit width.
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// Whether stochastic rounding is enabled.
+    pub fn stochastic(&self) -> bool {
+        self.stochastic
+    }
+
+    /// The number of grid intervals (`2^bits - 1`).
+    fn levels(&self) -> u32 {
+        (1u32 << self.bits) - 1
+    }
+
+    /// Quantizes `values` into a self-describing stream. `seed` drives
+    /// the stochastic dither and is ignored under linear rounding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LossyError::NonFiniteInput`] when any value is NaN or
+    /// infinite.
+    pub fn compress(&self, values: &[f32], seed: u64) -> std::result::Result<Vec<u8>, LossyError> {
+        let (stream, _) = self.compress_with_applied(values, seed)?;
+        Ok(stream)
+    }
+
+    /// Quantizes `values`, also returning the dequantized
+    /// reconstruction the receiver will compute — the "applied" vector
+    /// an error-feedback caller subtracts to form its residual.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LossyError::NonFiniteInput`] when any value is NaN or
+    /// infinite.
+    pub fn compress_with_applied(
+        &self,
+        values: &[f32],
+        seed: u64,
+    ) -> std::result::Result<(Vec<u8>, Vec<f32>), LossyError> {
+        if values.iter().any(|v| !v.is_finite()) {
+            return Err(LossyError::NonFiniteInput);
+        }
+        let (min, max) = values
+            .iter()
+            .fold((f32::INFINITY, f32::NEG_INFINITY), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+        let (min, max) = if values.is_empty() { (0.0, 0.0) } else { (min, max) };
+        let levels = self.levels();
+        let step = (f64::from(max) - f64::from(min)) / f64::from(levels);
+
+        let mut out = Vec::with_capacity(12 + values.len() * usize::from(self.bits) / 8);
+        write_uvarint(&mut out, values.len() as u64);
+        out.push(self.bits);
+        out.push(u8::from(self.stochastic));
+        write_f32(&mut out, min);
+        write_f32(&mut out, max);
+
+        let mut codes = Vec::with_capacity(values.len());
+        let mut applied = Vec::with_capacity(values.len());
+        for (i, &v) in values.iter().enumerate() {
+            let code = if step <= 0.0 {
+                0u32 // constant vector: every value is `min` exactly
+            } else {
+                let pos = (f64::from(v) - f64::from(min)) / step;
+                let code = if self.stochastic {
+                    let floor = pos.floor();
+                    let frac = pos - floor;
+                    let up = f64::from(dither(seed, i as u64) < frac);
+                    floor + up
+                } else {
+                    pos.round()
+                };
+                (code as u32).min(levels)
+            };
+            codes.push(code);
+            applied.push(dequantize(min, step, code));
+        }
+        match self.bits {
+            4 => {
+                for pair in codes.chunks(2) {
+                    let hi = pair.first().copied().unwrap_or(0) as u8;
+                    let lo = pair.get(1).copied().unwrap_or(0) as u8;
+                    out.push((hi << 4) | lo);
+                }
+            }
+            _ => out.extend(codes.iter().map(|&c| c as u8)),
+        }
+        Ok((out, applied))
+    }
+
+    /// Reconstructs the dequantized vector from a stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] for truncated or inconsistent streams.
+    pub fn decompress(bytes: &[u8]) -> Result<Vec<f32>> {
+        let mut pos = 0usize;
+        let total = read_uvarint(bytes, &mut pos)? as usize;
+        let bits = *bytes.get(pos).ok_or(CodecError::UnexpectedEof)?;
+        pos += 1;
+        if bits != 4 && bits != 8 {
+            return Err(CodecError::Corrupt("unsupported quantizer bit width"));
+        }
+        pos += 1; // the stochastic flag is informational for decode
+        let min = read_f32(bytes, &mut pos)?;
+        let max = read_f32(bytes, &mut pos)?;
+        if !min.is_finite() || !max.is_finite() || min > max {
+            return Err(CodecError::Corrupt("bad quantizer range"));
+        }
+        let levels = (1u32 << bits) - 1;
+        let step = (f64::from(max) - f64::from(min)) / f64::from(levels);
+        let body = &bytes[pos..];
+        let expected = match bits {
+            4 => total.div_ceil(2),
+            _ => total,
+        };
+        if body.len() != expected {
+            return Err(CodecError::Corrupt("quantizer code length mismatch"));
+        }
+        let mut values = Vec::with_capacity(total);
+        match bits {
+            4 => {
+                for (i, &byte) in body.iter().enumerate() {
+                    values.push(dequantize(min, step, u32::from(byte >> 4)));
+                    if 2 * i + 1 < total {
+                        values.push(dequantize(min, step, u32::from(byte & 0x0f)));
+                    }
+                }
+            }
+            _ => {
+                for &code in body {
+                    values.push(dequantize(min, step, u32::from(code)));
+                }
+            }
+        }
+        Ok(values)
+    }
+}
+
+/// One grid point back in value space.
+fn dequantize(min: f32, step: f64, code: u32) -> f32 {
+    (f64::from(min) + step * f64::from(code)) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_4_and_8_bit_widths_exist() {
+        assert!(matches!(Quantizer::new(3, false), Err(LossyError::InvalidParameter(_))));
+        assert!(matches!(Quantizer::new(16, true), Err(LossyError::InvalidParameter(_))));
+        assert_eq!(Quantizer::new(8, false).unwrap().bits(), 8);
+        assert!(Quantizer::new(4, true).unwrap().stochastic());
+    }
+
+    #[test]
+    fn linear_error_stays_within_half_a_step() {
+        let values: Vec<f32> = (0..257).map(|i| (i as f32).mul_add(0.013, -1.7)).collect();
+        for bits in [4u8, 8] {
+            let q = Quantizer::new(bits, false).unwrap();
+            let (stream, applied) = q.compress_with_applied(&values, 0).unwrap();
+            let restored = Quantizer::decompress(&stream).unwrap();
+            assert_eq!(restored, applied, "decode must equal the reported reconstruction");
+            let span = 256.0 * 0.013f64;
+            let step = span / f64::from((1u32 << bits) - 1);
+            for (a, b) in values.iter().zip(&restored) {
+                let err = (f64::from(*a) - f64::from(*b)).abs();
+                assert!(err <= step / 2.0 + 1e-6, "bits {bits}: err {err} > step/2 {step}");
+            }
+        }
+    }
+
+    #[test]
+    fn stochastic_rounding_is_seed_deterministic() {
+        let values: Vec<f32> = (0..100).map(|i| (i as f32 * 0.37).sin()).collect();
+        let q = Quantizer::new(4, true).unwrap();
+        assert_eq!(q.compress(&values, 42).unwrap(), q.compress(&values, 42).unwrap());
+        assert_ne!(q.compress(&values, 42).unwrap(), q.compress(&values, 43).unwrap());
+    }
+
+    #[test]
+    fn stochastic_rounding_is_unbiased_in_expectation() {
+        // A value 30% of the way between two grid points must round up
+        // ~30% of the time: the mean reconstruction over many seeds
+        // converges to the value itself.
+        let values = [0.0f32, 0.3, 0.52, 0.77, 1.0];
+        let q = Quantizer::new(8, true).unwrap();
+        let trials = 4000usize;
+        let mut sums = vec![0.0f64; values.len()];
+        for seed in 0..trials as u64 {
+            let restored = Quantizer::decompress(&q.compress(&values, seed).unwrap()).unwrap();
+            for (s, v) in sums.iter_mut().zip(&restored) {
+                *s += f64::from(*v);
+            }
+        }
+        let step = 1.0 / 255.0f64;
+        for (sum, v) in sums.iter().zip(&values) {
+            let mean = sum / trials as f64;
+            let bias = (mean - f64::from(*v)).abs();
+            // A fair coin over `trials` flips wanders ~step/sqrt(trials).
+            assert!(bias < step * 0.15, "value {v}: bias {bias} vs step {step}");
+        }
+    }
+
+    #[test]
+    fn constant_and_empty_vectors_round_trip() {
+        let q = Quantizer::new(4, false).unwrap();
+        let constant = [2.5f32; 7];
+        let restored = Quantizer::decompress(&q.compress(&constant, 0).unwrap()).unwrap();
+        assert_eq!(restored, constant);
+        assert!(Quantizer::decompress(&q.compress(&[], 0).unwrap()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn non_finite_input_is_reported() {
+        let q = Quantizer::new(8, false).unwrap();
+        assert_eq!(q.compress(&[f32::NAN], 0).unwrap_err(), LossyError::NonFiniteInput);
+        assert_eq!(
+            q.compress(&[1.0, f32::NEG_INFINITY], 0).unwrap_err(),
+            LossyError::NonFiniteInput
+        );
+    }
+
+    #[test]
+    fn corrupt_streams_error_cleanly() {
+        let q = Quantizer::new(8, false).unwrap();
+        let stream = q.compress(&[1.0, 2.0, 3.0], 0).unwrap();
+        assert!(Quantizer::decompress(&stream[..stream.len() - 1]).is_err());
+        assert!(Quantizer::decompress(&[]).is_err());
+        let mut bad_bits = stream.clone();
+        bad_bits[1] = 5;
+        assert!(Quantizer::decompress(&bad_bits).is_err());
+    }
+
+    #[test]
+    fn four_bit_streams_halve_the_code_bytes() {
+        let values: Vec<f32> = (0..1000).map(|i| i as f32 / 1000.0).collect();
+        let s8 = Quantizer::new(8, false).unwrap().compress(&values, 0).unwrap();
+        let s4 = Quantizer::new(4, false).unwrap().compress(&values, 0).unwrap();
+        assert!(s8.len() > 1000 && s8.len() < 1020, "8-bit: {} bytes", s8.len());
+        assert!(s4.len() > 500 && s4.len() < 520, "4-bit: {} bytes", s4.len());
+    }
+}

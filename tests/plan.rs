@@ -24,7 +24,7 @@ use fedsz_fl::link::Topology;
 use fedsz_fl::net::global_checksum;
 use fedsz_fl::plan::{PlanError, StagePolicy};
 use fedsz_fl::transport::InMemoryTransport;
-use fedsz_fl::{DownlinkMode, Experiment, FlConfig, LinkProfile, PsumMode};
+use fedsz_fl::{AggregationPolicy, DownlinkMode, Experiment, FlConfig, LinkProfile, PsumMode};
 use proptest::prelude::*;
 
 fn checksum_of(config: FlConfig) -> u32 {
@@ -112,6 +112,85 @@ fn plan_based_engine_reproduces_pre_redesign_checksums() {
     }
 }
 
+/// The new uplink codec families perturb only the uplink leg.
+///
+/// Three pins. (1) An explicit `uplink = Raw` override reproduces the
+/// legacy no-compression golden bit for bit — the override machinery
+/// adds no bits of its own. (2) Each family's smoke-config checksum is
+/// pinned as its own golden (every family, stochastic dither included,
+/// is fully deterministic under a fixed seed), plus one downlink
+/// composition golden; a change to *any* other leg would shift these.
+/// (3) Tree psum bit-parity survives every family uplink: a sharded
+/// lossless-psum run is bit-identical to its flat twin, codec by
+/// codec — the aggregation legs cannot tell family uplinks apart from
+/// raw ones. (A family uplink is *not* expected to be bit-identical
+/// to raw even at `topk:1.0`: FUC1 ships `update − reference` deltas,
+/// and `(a − b) + b` is not an f32 identity.)
+#[test]
+fn family_uplinks_leave_the_other_legs_bit_identical() {
+    let mut raw_override = FlConfig::smoke_test();
+    raw_override.uplink = Some(StagePolicy::Raw);
+    assert_eq!(
+        checksum_of(raw_override),
+        0x7ab2a739,
+        "uplink = Raw must reproduce the legacy no-compression golden"
+    );
+
+    let families: Vec<(&str, StagePolicy, u32)> = vec![
+        ("topk:0.5", StagePolicy::TopK { ratio: 0.5, error_feedback: false }, 0xd27ad43e),
+        ("topk:0.5+ef", StagePolicy::TopK { ratio: 0.5, error_feedback: true }, 0xd76a9829),
+        (
+            "q8",
+            StagePolicy::Quant { bits: 8, stochastic: false, error_feedback: false },
+            0x674ed809,
+        ),
+        (
+            "q8s",
+            StagePolicy::Quant { bits: 8, stochastic: true, error_feedback: false },
+            0x45305d4b,
+        ),
+        (
+            "q4",
+            StagePolicy::Quant { bits: 4, stochastic: false, error_feedback: false },
+            0xa7d3bbf3,
+        ),
+    ];
+    for (codec, uplink, want) in &families {
+        let mut c = FlConfig::smoke_test();
+        c.uplink = Some(uplink.clone());
+        let got = checksum_of(c);
+        assert_eq!(
+            got, *want,
+            "`{codec}` smoke golden drifted (0x{got:08x} vs 0x{want:08x}) — either the \
+             codec changed numerics or another leg leaked into the uplink"
+        );
+    }
+
+    let mut composed = FlConfig::smoke_test();
+    composed.downlink = DownlinkMode::Compressed;
+    composed.uplink = Some(StagePolicy::TopK { ratio: 0.5, error_feedback: false });
+    let got = checksum_of(composed);
+    assert_eq!(
+        got, 0x7a2be90c,
+        "compressed downlink + topk:0.5 composition golden drifted (0x{got:08x})"
+    );
+
+    for (codec, uplink, _) in &families {
+        let mut flat = FlConfig::smoke_test();
+        flat.clients = 6;
+        flat.uplink = Some(uplink.clone());
+        let mut tree = flat.clone();
+        tree.shards = Some(3);
+        tree.psum = PsumMode::Lossless;
+        let (flat_sum, tree_sum) = (checksum_of(flat), checksum_of(tree));
+        assert_eq!(
+            flat_sum, tree_sum,
+            "`{codec}`: lossless tree psum broke bit-parity with the flat run \
+             (0x{flat_sum:08x} vs 0x{tree_sum:08x}) — the family codec leaked into the psum leg"
+        );
+    }
+}
+
 /// The construction paths are one path: `RoundEngine::new(config)` is
 /// `from_plan(config.plan()?)`, bit for bit.
 #[test]
@@ -161,6 +240,62 @@ fn builder_matches_field_by_field_configuration() {
     let plan = built.plan().expect("builder output is valid");
     assert_eq!(plan.shard_count(), Some(2));
     assert_eq!(plan.psum, StagePolicy::Lossless);
+}
+
+/// The builder's codec shorthands carry their parameters into the
+/// plan verbatim, and `plan()` — not the builder — is where bad
+/// parameters become typed errors, so a builder chain cannot smuggle
+/// an illegal codec past validation.
+#[test]
+fn builder_codec_shorthands_validate_at_plan_time() {
+    let plan = FlConfig::builder()
+        .clients(2)
+        .rounds(1)
+        .uplink_topk(0.25, true)
+        .build()
+        .plan()
+        .expect("topk:0.25+ef is a legal simulation uplink");
+    assert_eq!(plan.uplink, StagePolicy::TopK { ratio: 0.25, error_feedback: true });
+
+    let plan = FlConfig::builder()
+        .clients(2)
+        .rounds(1)
+        .uplink_quant(8, true, false)
+        .build()
+        .plan()
+        .expect("q8s is a legal uplink");
+    assert_eq!(
+        plan.uplink,
+        StagePolicy::Quant { bits: 8, stochastic: true, error_feedback: false }
+    );
+
+    assert_eq!(
+        FlConfig::builder().uplink_topk(0.0, false).build().plan().unwrap_err(),
+        PlanError::BadTopKRatio { ratio: 0.0 },
+        "a zero keep-ratio must fail at plan time"
+    );
+    assert!(
+        matches!(
+            FlConfig::builder().uplink_topk(f64::NAN, false).build().plan().unwrap_err(),
+            PlanError::BadTopKRatio { ratio } if ratio.is_nan()
+        ),
+        "a NaN keep-ratio must fail at plan time"
+    );
+    assert_eq!(
+        FlConfig::builder().uplink_quant(6, false, false).build().plan().unwrap_err(),
+        PlanError::BadQuantBits { bits: 6 },
+        "a 6-bit width must fail at plan time"
+    );
+    assert_eq!(
+        FlConfig::builder()
+            .uplink_quant(8, false, true)
+            .aggregation(AggregationPolicy::Buffered { target: 2 })
+            .build()
+            .plan()
+            .unwrap_err(),
+        PlanError::StatefulUplinkBuffered,
+        "the builder must not bypass the EF/buffered legality check"
+    );
 }
 
 /// The legacy (pre-redesign) field-by-field canonicalization rules,
