@@ -10,7 +10,13 @@
 //! config (the run aborts on divergence, so CI cannot silently ship a
 //! runtime that drifts).
 //!
-//! Flags: `--workers 2,4` (cohort sweep), `--rounds N` (default 2),
+//! The server side is the single-threaded poll(2) reactor: one OS
+//! thread multiplexes every session, so each point also records
+//! `sessions`, `server_threads` (always 1 per serve process) and
+//! `sessions_per_thread` — the C10K ratio CI asserts stays above 1,
+//! and the tracked ≥100-worker point demonstrates at scale.
+//!
+//! Flags: `--workers 2,4,100` (cohort sweep), `--rounds N` (default 2),
 //! `--shards S` (adds a relay tier: S relay servers between root and
 //! workers, forwarding lossless `PartialSumCompressed` frames),
 //! `--train-per-class N`, `--seed N`, `--out PATH` (stable-schema JSON
@@ -106,7 +112,7 @@ fn main() {
     let shards: usize = args.get("--shards", 0);
     let out_path: String = args.get("--out", "BENCH_net_round.json".to_string());
     let workers_list: Vec<usize> = args
-        .get("--workers", "2,4".to_string())
+        .get("--workers", "2,4,100".to_string())
         .split(',')
         .map(|v| v.trim().parse().expect("--workers expects N,N,..."))
         .collect();
@@ -128,9 +134,16 @@ fn main() {
             checksum, want,
             "socket runtime diverged from the in-memory engine at {clients} workers"
         );
+        // The root's session count: direct worker connections when
+        // flat, one relay connection per shard when sharded. Either
+        // way the reactor multiplexes them on exactly one OS thread —
+        // the C10K ratio the schema tracks.
+        let sessions = if shards > 0 { shards } else { clients };
+        let server_threads = 1usize;
         eprintln!(
             "{clients} workers{}: {rounds} rounds in {wall:.2} s (in-memory {mem_secs:.2} s), \
-             root up {up} B / down {down} B, checksum 0x{checksum:08x} (parity ok)",
+             root up {up} B / down {down} B, {sessions} sessions on {server_threads} thread, \
+             checksum 0x{checksum:08x} (parity ok)",
             if shards > 0 { format!(" via {shards} relays") } else { String::new() },
         );
         points.push(format!(
@@ -139,6 +152,8 @@ fn main() {
                 "\"wall_secs\": {:.3}, \"in_memory_secs\": {:.3}, ",
                 "\"secs_per_round\": {:.3}, ",
                 "\"root_upstream_bytes\": {}, \"root_downstream_bytes\": {}, ",
+                "\"sessions\": {}, \"server_threads\": {}, ",
+                "\"sessions_per_thread\": {:.1}, ",
                 "\"checksum\": \"0x{:08x}\", \"parity\": true}}"
             ),
             clients,
@@ -149,6 +164,9 @@ fn main() {
             wall / rounds.max(1) as f64,
             up,
             down,
+            sessions,
+            server_threads,
+            sessions as f64 / server_threads as f64,
             checksum,
         ));
     }
@@ -156,7 +174,7 @@ fn main() {
     println!("[\n{body}\n]");
     if out_path != "-" {
         let wrapped = format!(
-            "{{\n\"schema\": \"fedsz.net_round.v1\",\n\"schema_version\": 1,\n\"points\": [\n{body}\n]\n}}\n"
+            "{{\n\"schema\": \"fedsz.net_round.v2\",\n\"schema_version\": 2,\n\"points\": [\n{body}\n]\n}}\n"
         );
         std::fs::write(&out_path, wrapped).expect("write --out report");
         eprintln!("wrote {out_path}");

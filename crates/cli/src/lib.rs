@@ -99,11 +99,13 @@ USAGE:
               [--downlink raw|fedsz] [--uplink CODEC] [--shards S]
               [--psum raw|lossless]
               [--shard I --connect ADDR] [--accept-timeout SECS]
-              [--round-timeout SECS] [--threads N] [--trace FILE]
-              [--metrics-addr ADDR]
+              [--round-timeout SECS] [--reconnect-grace SECS]
+              [--max-sessions N] [--fail-at-round R] [--threads N]
+              [--trace FILE] [--metrics-addr ADDR]
   fedsz worker --id K [--config FILE] [--connect ADDR] [--clients N]
                [--rounds N] [--seed N] [--train-per-class N] [--arch ...]
                [--no-compress] [--adaptive] [--uplink CODEC]
+               [--fallback ADDR] [--retries N] [--drop-at-round R]
                [--timeout SECS] [--trace FILE]
 
 `fedsz fl` runs a federated session on the shared round engine. With
@@ -142,6 +144,18 @@ process; both `fl` and `serve` print a `global checksum` line so
 parity is a diff away. A worker with --adaptive applies Eqn 1 to its
 own MEASURED send bandwidth and codec times instead of a simulated
 link profile.
+
+Membership is elastic: `serve` runs a single-threaded poll(2) reactor
+(one event loop handles every session; --max-sessions caps them), so
+a dropped worker is evicted from the round but its seat survives — a
+worker that reconnects within --reconnect-grace resumes by resending
+its cached update, bit-parity intact. Workers retry with bounded
+id-jittered backoff (--retries attempts per outage) and fail over to
+--fallback (usually the root) when their relay stops answering; a
+sharded root adopts a dead relay's orphans using the shard plan.
+--fail-at-round / --drop-at-round are fault-injection knobs for churn
+tests: a relay exits after forwarding round R's broadcast; a worker
+drops (and resumes) its session on receiving round R.
 
 `fl`, `serve` and `worker` all accept --config FILE: a flat TOML
 run spec whose keys are these flags (clients = 8, tree = \"2x4\",
@@ -758,6 +772,9 @@ fn fl(args: &[String]) -> Outcome {
                 checksum: None,
                 level_merge_nanos: Some(m.level_merge_nanos.clone()),
                 eqn1: Some(m.eqn1.clone()),
+                // The simulator has no sockets to lose or re-parent.
+                reconnects: None,
+                reparented: None,
             })
             .collect();
         let report = RunReport { command: "fl", clients, rounds, checksum: Some(checksum) };
@@ -898,6 +915,20 @@ fn serve(args: &[String]) -> Outcome {
         Ok(t) => t,
         Err(e) => return Outcome::fail(e),
     };
+    let reconnect_grace = match parse_secs(args, "--reconnect-grace", 3.0) {
+        Ok(t) => t,
+        Err(e) => return Outcome::fail(e),
+    };
+    let max_sessions = match flag_value(args, "--max-sessions").map(str::parse::<usize>) {
+        None => 1024,
+        Some(Ok(n)) if n > 0 => n,
+        Some(_) => return Outcome::fail("--max-sessions expects a positive count".into()),
+    };
+    let fail_at_round = match flag_value(args, "--fail-at-round").map(str::parse::<u32>) {
+        None => None,
+        Some(Ok(r)) => Some(r),
+        Some(Err(_)) => return Outcome::fail("--fail-at-round expects a round index".into()),
+    };
     let role = match flag_value(args, "--shard") {
         None => Role::Root,
         Some(spec) => {
@@ -927,11 +958,19 @@ fn serve(args: &[String]) -> Outcome {
         Ok(t) => t,
         Err(e) => return Outcome::fail(e),
     };
+    if fail_at_round.is_some() && matches!(role, Role::Root) {
+        return Outcome::fail(
+            "--fail-at-round is the relay fault-injection knob: it requires --shard".into(),
+        );
+    }
     let serve_config = ServeConfig {
         fl: config,
         role,
         accept_timeout,
         round_timeout,
+        max_sessions,
+        reconnect_grace,
+        fail_at_round,
         telemetry: telemetry.clone(),
     };
     // The socket runtime's own constraints (e.g. a `--tree S` spec
@@ -994,6 +1033,8 @@ fn serve(args: &[String]) -> Outcome {
                 // this server cannot see either.
                 level_merge_nanos: None,
                 eqn1: None,
+                reconnects: Some(r.reconnects),
+                reparented: Some(r.reparented),
             })
             .collect();
         let run_report = RunReport {
@@ -1028,6 +1069,13 @@ fn serve(args: &[String]) -> Outcome {
     }
     for (id, round, reason) in &report.evictions {
         let _ = writeln!(out, "evicted child {id} at round {}: {reason}", round + 1);
+    }
+    if report.reconnects + report.reparented > 0 {
+        let _ = writeln!(
+            out,
+            "elastic membership: {} reconnects, {} re-parented",
+            report.reconnects, report.reparented
+        );
     }
     if report.psum_raw_frames + report.psum_compressed_frames > 0 {
         let _ = writeln!(
@@ -1079,12 +1127,28 @@ fn worker(args: &[String]) -> Outcome {
         Err(e) => return Outcome::fail(e),
     };
     let connect = flag_value(args, "--connect").unwrap_or("127.0.0.1:7070").to_string();
+    let fallback = flag_value(args, "--fallback").map(str::to_string);
+    let retries = match flag_value(args, "--retries").map(str::parse::<u32>) {
+        None => 8,
+        Some(Ok(n)) => n,
+        Some(Err(_)) => return Outcome::fail("--retries expects an attempt count".into()),
+    };
+    let drop_session_at_round = match flag_value(args, "--drop-at-round").map(str::parse::<u32>) {
+        None => None,
+        Some(Ok(r)) => Some(r),
+        Some(Err(_)) => return Outcome::fail("--drop-at-round expects a round index".into()),
+    };
     let telemetry = match telemetry_from_args(args, false) {
         Ok(t) => t,
         Err(e) => return Outcome::fail(e),
     };
     let fl = config.clone();
-    let worker_config = WorkerConfig { fl, id, connect, timeout, telemetry: telemetry.clone() };
+    let mut worker_config = WorkerConfig::new(fl, id, connect);
+    worker_config.fallback = fallback;
+    worker_config.retries = retries;
+    worker_config.drop_session_at_round = drop_session_at_round;
+    worker_config.timeout = timeout;
+    worker_config.telemetry = telemetry.clone();
     let report = match run_worker(worker_config) {
         Ok(report) => report,
         Err(e) => return Outcome::fail(format!("worker {id} failed: {e}")),
@@ -1093,12 +1157,14 @@ fn worker(args: &[String]) -> Outcome {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "worker {id}: {} rounds, up {:.1} KB, down {:.1} KB, compressed {}/{} rounds{}",
+        "worker {id}: {} rounds, up {:.1} KB, down {:.1} KB, compressed {}/{} rounds, \
+         {} reconnects{}",
         report.rounds,
         report.uploaded_bytes as f64 / 1e3,
         report.downloaded_bytes as f64 / 1e3,
         report.compressed_rounds,
         report.rounds,
+        report.reconnects,
         if config.adaptive_compression {
             format!(", measured uplink {:.0} Mbps", report.measured_bps / 1e6)
         } else {

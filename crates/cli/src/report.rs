@@ -23,7 +23,8 @@
 //!                "family": "lossy",
 //!                "predicted_compressed_secs": null,
 //!                "predicted_raw_secs": null,
-//!                "measured_codec_secs": 0.0021}, ...]},
+//!                "measured_codec_secs": 0.0021}, ...],
+//!      "reconnects": null, "reparented": null},
 //!     ...
 //!   ],
 //!   "checksum": "0x82c3c3f4"
@@ -42,7 +43,11 @@
 //! simulator fills it, `serve` reports `null`) and `eqn1` (every
 //! Eqn-1 compression decision the round made — leg, node, chosen
 //! path, the predicted costs of both paths when the decision was
-//! priced, and the measured codec seconds).
+//! priced, and the measured codec seconds), and later the elastic
+//! membership columns: `reconnects` (sessions that reconnected and
+//! resumed during the round) and `reparented` (orphans a sharded root
+//! adopted after their relay died) — the simulator nulls both, the
+//! socket runtime fills them.
 //!
 //! The emitter is hand-rolled (no serde in the dependency-free
 //! workspace); every string that reaches it is machine-generated, but
@@ -80,6 +85,12 @@ pub struct RoundRow {
     /// Every Eqn-1 compression decision the round made (`None` for
     /// `serve`; workers price their own uplinks).
     pub eqn1: Option<Vec<Eqn1Decision>>,
+    /// Sessions that reconnected and resumed this round (`None` for
+    /// `fl`; the simulator has no sockets to lose).
+    pub reconnects: Option<usize>,
+    /// Orphaned workers re-parented to this node after their relay
+    /// died (`None` for `fl`, and always 0 on relays and flat roots).
+    pub reparented: Option<usize>,
 }
 
 /// The complete `--json` payload.
@@ -175,11 +186,14 @@ impl RunReport {
                 let body = decisions.iter().map(json_eqn1).collect::<Vec<_>>().join(", ");
                 format!("[{body}]")
             });
+            let reconnects = row.reconnects.map_or("null".to_string(), |n| n.to_string());
+            let reparented = row.reparented.map_or("null".to_string(), |n| n.to_string());
             let _ = write!(
                 out,
                 "    {{\"round\": {}, \"accuracy\": {}, \"merged\": {}, \"lost\": {}, \
                  \"upstream_bytes\": {}, \"downstream_bytes\": {}, \"secs\": {}, \
-                 \"checksum\": {}, \"level_merge_nanos\": {}, \"eqn1\": {}}}",
+                 \"checksum\": {}, \"level_merge_nanos\": {}, \"eqn1\": {}, \
+                 \"reconnects\": {}, \"reparented\": {}}}",
                 row.round,
                 accuracy,
                 row.merged,
@@ -190,6 +204,8 @@ impl RunReport {
                 checksum,
                 level_merge_nanos,
                 eqn1,
+                reconnects,
+                reparented,
             );
             let _ = writeln!(out, "{}", if i + 1 < self.rounds.len() { "," } else { "" });
         }
@@ -233,6 +249,8 @@ mod tests {
                             measured_codec_secs: 0.0,
                         },
                     ]),
+                    reconnects: None,
+                    reparented: None,
                 },
                 RoundRow {
                     round: 1,
@@ -245,6 +263,8 @@ mod tests {
                     checksum: Some(0xdeadbeef),
                     level_merge_nanos: None,
                     eqn1: None,
+                    reconnects: Some(2),
+                    reparented: Some(1),
                 },
             ],
             checksum: Some(0x82c3c3f4),
@@ -292,6 +312,10 @@ mod tests {
         // ...and round 1 (a serve-style row) nulls whole columns.
         assert!(json.contains("\"level_merge_nanos\": null"), "{json}");
         assert!(json.contains("\"eqn1\": null"), "{json}");
+        // The elastic-membership columns follow the same rule: the
+        // simulator's row nulls them, the socket row fills them.
+        assert!(json.contains("\"reconnects\": null, \"reparented\": null"), "{json}");
+        assert!(json.contains("\"reconnects\": 2, \"reparented\": 1"), "{json}");
     }
 
     #[test]

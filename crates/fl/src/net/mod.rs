@@ -41,10 +41,35 @@
 //! cannot move a bit (the `net_loopback` integration tests and the CI
 //! smoke job assert this end to end via [`global_checksum`]).
 //!
-//! **Liveness.** The root tolerates a slow or vanished child: the
-//! round barrier waits at most the configured round timeout, then
-//! evicts whoever has not reported and aggregates the contributions it
-//! holds — the socket analogue of the simulator's drop accounting.
+//! **The reactor.** A [`NetServer`] multiplexes every session on one
+//! OS thread: a `poll(2)` readiness loop
+//! ([`fedsz_net::reactor::Reactor`]) drives nonblocking sockets
+//! through per-connection frame state machines, with write interest
+//! registered only while a session's outbox holds bytes and each
+//! round's broadcast encoded once and shared by every outbox. One
+//! serve process holds hundreds of sessions without a thread per
+//! socket (the `net_round` bench tracks the sessions-per-thread
+//! ratio).
+//!
+//! **Elastic membership.** Sessions may die without killing the run.
+//! A disconnected child's seat is held for
+//! [`ServeConfig::reconnect_grace`]; a worker retries with id-seeded
+//! jittered backoff ([`fedsz_net::Backoff`]), re-`Join`s at its
+//! current round, and *resumes* — a round it already trained is
+//! answered by resending the cached update frame byte-for-byte, never
+//! by retraining (which would advance RNG/momentum state and break
+//! parity). If a relay dies, its workers fail over to the root
+//! (`WorkerConfig::fallback`), which adopts them onto the dead relay's
+//! [`ShardPlan`](crate::ShardPlan) range and folds their raw updates
+//! where the relay's partial sum would have gone — the exact
+//! accumulator keeps the checksum bit-identical to the never-failed
+//! run.
+//!
+//! **Liveness.** The root tolerates a slow or permanently vanished
+//! child: the round barrier waits at most the configured round
+//! timeout (holding grace for rejoinable seats), then evicts whoever
+//! has not reported and aggregates the contributions it holds — the
+//! socket analogue of the simulator's drop accounting.
 //!
 //! **Eqn 1 on measured links.** The simulator feeds the paper's
 //! compress-or-not decision from configured

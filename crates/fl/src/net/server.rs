@@ -1,18 +1,27 @@
-//! The blocking TCP server: `fedsz serve` as root or relay aggregator.
+//! The reactor-based TCP server: `fedsz serve` as root or relay
+//! aggregator.
 //!
-//! One [`NetServer`] owns a listener, accepts its expected children
-//! (workers, or downstream relays), runs the Join handshake, then
-//! spawns **one session thread per connection**. Each round the main
-//! thread hands every live session a broadcast command; the session
-//! thread writes the `GlobalModel`/`EncodedGlobal` frame, blocks on
-//! the child's reply with the round timeout, and reports either a
-//! contribution or the child's demise over an mpsc channel. The main
-//! thread is the round barrier: it waits for every live child or the
-//! deadline — whichever comes first — evicts the silent, merges what
-//! arrived, and moves on.
+//! One [`NetServer`] owns a listener and multiplexes **every** child
+//! session (workers, or downstream relays) through a single
+//! [`Reactor`] thread — nonblocking sockets, a `poll(2)` readiness
+//! loop, per-connection frame reassembly and write-backpressured
+//! outboxes. Each round the main loop queues one encode-once broadcast
+//! frame on every live session, then runs the round barrier by pumping
+//! reactor events until every awaited child has contributed or the
+//! deadline hits — evicting the silent, merging what arrived, and
+//! moving on.
+//!
+//! Membership is *elastic*: an evicted or disconnected worker may
+//! reconnect (its `Join` replaces the dead session) and re-enter at
+//! the next round barrier; within `reconnect_grace` of a disconnect
+//! the barrier even holds the current round open so a resumed session
+//! can resend its cached update. When a relay dies mid-tree, a sharded
+//! root opens that shard's client range for *adoption*: the orphaned
+//! workers re-parent directly to the root and the round completes
+//! degraded instead of hanging.
 //!
 //! Aggregation reuses the simulator's exact machinery: updates are
-//! folded into a [`PartialSum`] in ascending client-id order, relay
+//! folded into a [`PartialSum`] in ascending child order, relay
 //! frames are [`PartialSum::decode_exact`]-ed and merged, and the
 //! fixed-point accumulator makes the result independent of process
 //! placement — the bit-parity the integration tests pin down.
@@ -24,15 +33,13 @@ use crate::plan::{RoundPlan, StagePolicy};
 use crate::FlConfig;
 use fedsz::FedSz;
 use fedsz_lossless::PsumCodec;
-use fedsz_net::{Message, NetError, Session};
+use fedsz_net::{Message, NetError, Reactor, ReactorEvent, Session, Token};
 use fedsz_nn::{Model, StateDict};
 use fedsz_telemetry::{Telemetry, Value};
 use std::collections::BTreeMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener};
-use std::sync::mpsc;
 use std::sync::Arc;
-use std::thread;
 use std::time::{Duration, Instant};
 
 /// Longest one connection may sit in the handshake before it is
@@ -69,6 +76,19 @@ pub struct ServeConfig {
     pub accept_timeout: Duration,
     /// Per-round barrier: children silent for longer are evicted.
     pub round_timeout: Duration,
+    /// Cap on concurrently multiplexed sessions; connections beyond it
+    /// are dropped at accept.
+    pub max_sessions: usize,
+    /// After a child disconnects, how long the round barrier keeps its
+    /// seat open for a resumed session (and how long a failed relay's
+    /// orphans have to re-parent) before the round completes without
+    /// it.
+    pub reconnect_grace: Duration,
+    /// Fault-injection knob for the churn tests: a *relay* aborts
+    /// abruptly — children and upstream left to discover the dead
+    /// sockets — when its upstream broadcast reaches this round.
+    /// Ignored by roots. `None` (the default) never fires.
+    pub fail_at_round: Option<u32>,
     /// Session-lifecycle telemetry: connects, round/barrier spans,
     /// frame-byte counters and `serve.evict` events land here.
     /// Disabled by default.
@@ -83,6 +103,9 @@ impl ServeConfig {
             role: Role::Root,
             accept_timeout: Duration::from_secs(30),
             round_timeout: Duration::from_secs(60),
+            max_sessions: 1024,
+            reconnect_grace: Duration::from_secs(3),
+            fail_at_round: None,
             telemetry: Telemetry::disabled(),
         }
     }
@@ -187,6 +210,12 @@ pub struct NetRound {
     pub merged: usize,
     /// Children evicted during this round.
     pub evicted: usize,
+    /// Disconnected children that rejoined during this round (adopted
+    /// orphans included).
+    pub reconnects: usize,
+    /// Orphaned workers adopted from a failed relay's shard during
+    /// this round.
+    pub reparented: usize,
     /// Wall-clock duration of the round at this server.
     pub wall_secs: f64,
     /// [`global_checksum`] of the post-round global model (0 for a
@@ -209,13 +238,18 @@ pub struct ServeReport {
     /// Children that simply went silent past the barrier deadline are
     /// recorded as `"silent past the round deadline"`.
     pub evictions: Vec<(u64, u32, String)>,
+    /// Disconnected children that rejoined across the whole session.
+    pub reconnects: usize,
+    /// Orphaned workers adopted from failed relay shards across the
+    /// whole session.
+    pub reparented: usize,
     /// Raw partial-sum frames this server received from relays.
     pub psum_raw_frames: usize,
     /// Losslessly-compressed partial-sum frames received from relays.
     pub psum_compressed_frames: usize,
 }
 
-/// What a session thread got back from its child for one round.
+/// What a child sent back for one round.
 enum Upload {
     /// A leaf worker's (possibly FedSZ-compressed) update.
     Update { payload: Vec<u8>, compressed: bool },
@@ -224,30 +258,571 @@ enum Upload {
     Partial { payload: Vec<u8>, compressed: bool },
 }
 
-/// Session-thread → main-thread events.
-enum EventKind {
-    Contribution { upload: Upload, wire_in: usize, wire_out: usize },
-    Gone { reason: String },
+/// One child seat in the membership table. Relay and worker id spaces
+/// overlap (shard 0 and client 0 are distinct children), so the key
+/// carries the kind — the `Join.relay` flag on the wire resolves which
+/// seat a connection claims.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum ChildKey {
+    /// A downstream relay, by shard index (sharded root only).
+    Relay(u32),
+    /// A leaf worker, by client id.
+    Worker(u64),
 }
 
-struct Event {
-    id: u64,
+impl ChildKey {
+    fn id(self) -> u64 {
+        match self {
+            ChildKey::Relay(shard) => u64::from(shard),
+            ChildKey::Worker(id) => id,
+        }
+    }
+}
+
+/// Per-child membership state, persisting across connections: the seat
+/// survives a disconnect so a resumed session can rebind to it.
+#[derive(Debug, Default)]
+struct Slot {
+    /// The live reactor connection, when bound.
+    token: Option<Token>,
+    /// When the last connection died (grace windows key off this).
+    disconnected_at: Option<Instant>,
+    /// Why the last connection died, for the eviction record.
+    disconnect_reason: Option<String>,
+    /// Protocol violators and dead relays never rebind.
+    permanent: bool,
+    /// An eviction has been recorded for the current disconnection
+    /// episode — cleared on rebind, so one outage is one eviction row
+    /// however many rounds it spans.
+    episode_evicted: bool,
+    /// Whether any connection ever bound this seat (a never-joined
+    /// expected child is not evicted — it just never existed).
+    ever_bound: bool,
+}
+
+/// The reactor-driven server runtime: membership table, round barrier
+/// and elastic reconnect/re-parent bookkeeping around one [`Reactor`].
+struct Runtime<'a> {
+    reactor: Reactor,
+    config: &'a ServeConfig,
+    /// `Some` exactly at a sharded root (whose children are relays and
+    /// whose adoption windows map shards to client ranges).
+    shard_plan: Option<ShardPlan>,
+    /// Cohort size, bounding adoptable worker ids.
+    clients: usize,
+    slots: BTreeMap<ChildKey, Slot>,
+    by_token: BTreeMap<Token, ChildKey>,
+    /// Accepted connections that have not sent their Join yet, with
+    /// their handshake deadlines.
+    pending: Vec<(Token, Instant)>,
+    /// Shards whose relay died, with the death instant: their workers
+    /// may re-parent here, and the barrier holds one grace window for
+    /// them.
+    failed_shards: BTreeMap<u32, Instant>,
+    events: Vec<ReactorEvent>,
+    // --- current-round state ---
     round: u32,
-    kind: EventKind,
+    in_round: bool,
+    frame: Option<Arc<Vec<u8>>>,
+    got: BTreeMap<ChildKey, Upload>,
+    up_bytes: usize,
+    down_bytes: usize,
+    evicted_now: usize,
+    reconnects_now: usize,
+    reparented_now: usize,
+    reconnects_total: usize,
+    reparented_total: usize,
+    evictions: Vec<(u64, u32, String)>,
 }
 
-/// Main-thread → session-thread commands. The broadcast carries the
-/// fully encoded frame: identical bytes for every child, encoded once.
-enum Cmd {
-    Broadcast { round: u32, frame: Arc<Vec<u8>> },
-    Shutdown,
-}
+impl<'a> Runtime<'a> {
+    fn new(
+        reactor: Reactor,
+        config: &'a ServeConfig,
+        shard_plan: Option<ShardPlan>,
+        clients: usize,
+        expected: &[ChildKey],
+    ) -> Self {
+        let slots = expected.iter().map(|&key| (key, Slot::default())).collect();
+        Self {
+            reactor,
+            config,
+            shard_plan,
+            clients,
+            slots,
+            by_token: BTreeMap::new(),
+            pending: Vec::new(),
+            failed_shards: BTreeMap::new(),
+            events: Vec::new(),
+            round: 0,
+            in_round: false,
+            frame: None,
+            got: BTreeMap::new(),
+            up_bytes: 0,
+            down_bytes: 0,
+            evicted_now: 0,
+            reconnects_now: 0,
+            reparented_now: 0,
+            reconnects_total: 0,
+            reparented_total: 0,
+            evictions: Vec::new(),
+        }
+    }
 
-struct Child {
-    id: u64,
-    cmd: mpsc::Sender<Cmd>,
-    handle: thread::JoinHandle<()>,
-    alive: bool,
+    fn live_tokens(&self) -> Vec<Token> {
+        self.slots.values().filter(|s| !s.permanent).filter_map(|s| s.token).collect()
+    }
+
+    /// Whether a worker id falls inside a failed relay's shard — the
+    /// adoption rule. The window never closes (the relay is never
+    /// coming back); only the *barrier hold* for prospective adoptees
+    /// is grace-bounded.
+    fn adoptable(&self, id: u64) -> bool {
+        let Some(shard_plan) = &self.shard_plan else { return false };
+        let Ok(id) = usize::try_from(id) else { return false };
+        if id >= self.clients {
+            return false;
+        }
+        self.failed_shards.contains_key(&(shard_plan.shard_of(id) as u32))
+    }
+
+    /// One poll-and-dispatch tick, bounded by `timeout`.
+    fn pump(&mut self, timeout: Duration) -> Result<(), NetError> {
+        let mut events = std::mem::take(&mut self.events);
+        let result = self.reactor.poll(timeout, &mut events);
+        if result.is_err() {
+            self.events = events;
+            return result;
+        }
+        for event in events.drain(..) {
+            match event {
+                ReactorEvent::Accepted(token) => {
+                    self.pending.push((token, Instant::now() + HANDSHAKE_TIMEOUT));
+                }
+                ReactorEvent::Frame(token, message) => self.handle_frame(token, message),
+                ReactorEvent::Closed(token, reason) => self.handle_closed(token, reason),
+            }
+        }
+        self.events = events;
+        Ok(())
+    }
+
+    /// Drops pending connections that never produced their Join.
+    fn expire_handshakes(&mut self, now: Instant) {
+        let mut i = 0;
+        while i < self.pending.len() {
+            if now >= self.pending[i].1 {
+                let (token, _) = self.pending.swap_remove(i);
+                self.reactor.close(token);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// The handshake barrier: pumps the reactor until every expected
+    /// child has joined at least once or the accept deadline passes.
+    /// The listener keeps accepting afterwards — membership is
+    /// elastic, this phase only front-loads the common case.
+    fn accept_phase(&mut self) -> Result<(), NetError> {
+        let span = self
+            .config
+            .telemetry
+            .span_with("reactor.accept", &[("expected", Value::U64(self.slots.len() as u64))]);
+        let deadline = Instant::now() + self.config.accept_timeout;
+        loop {
+            let now = Instant::now();
+            self.expire_handshakes(now);
+            if now >= deadline || self.slots.values().all(|s| s.ever_bound) {
+                break;
+            }
+            let mut wake = deadline;
+            for &(_, at) in &self.pending {
+                if at > now {
+                    wake = wake.min(at);
+                }
+            }
+            self.pump(wake.saturating_duration_since(now).max(Duration::from_millis(1)))?;
+        }
+        drop(span);
+        Ok(())
+    }
+
+    /// A connection's first frame was a Join: bind it to its seat, or
+    /// drop it. Rejected joins are closed *without* a Shutdown frame —
+    /// a retrying worker sees a dead socket and keeps retrying, while
+    /// Shutdown is reserved for real teardown.
+    fn handle_join(&mut self, token: Token, client_id: u64, relay: bool) {
+        let key =
+            if relay { ChildKey::Relay(client_id as u32) } else { ChildKey::Worker(client_id) };
+        let known = self.slots.contains_key(&key);
+        let adoption = !known && !relay && self.adoptable(client_id);
+        if (!known && !adoption) || (known && self.slots[&key].permanent) {
+            self.reactor.close(token);
+            return;
+        }
+        if adoption {
+            self.slots.insert(key, Slot::default());
+        }
+        let slot = self.slots.get_mut(&key).expect("seat exists or was just created");
+        // A rebind on an occupied seat wins: the old connection is a
+        // dead socket the reactor has not noticed yet (the reconnect
+        // race), and closing it here suppresses its obituary.
+        if let Some(old) = slot.token.take() {
+            self.by_token.remove(&old);
+            self.reactor.close(old);
+        }
+        let rejoin = slot.ever_bound;
+        slot.token = Some(token);
+        slot.ever_bound = true;
+        slot.disconnected_at = None;
+        slot.disconnect_reason = None;
+        slot.episode_evicted = false;
+        self.by_token.insert(token, key);
+        let telemetry = &self.config.telemetry;
+        let labels =
+            [("child", Value::U64(client_id)), ("round", Value::U64(u64::from(self.round)))];
+        if adoption {
+            telemetry.event("serve.reparent", &labels);
+            telemetry.add("fedsz_net_sessions_total", 1.0);
+            telemetry.add("fedsz_net_reparent_total", 1.0);
+            telemetry.add("fedsz_net_reconnects_total", 1.0);
+            self.reparented_now += 1;
+            self.reparented_total += 1;
+            self.reconnects_now += 1;
+            self.reconnects_total += 1;
+        } else if rejoin {
+            telemetry.event("serve.rejoin", &labels);
+            telemetry.add("fedsz_net_reconnects_total", 1.0);
+            self.reconnects_now += 1;
+            self.reconnects_total += 1;
+        } else {
+            telemetry.event("serve.connect", &[("child", Value::U64(client_id))]);
+            telemetry.add("fedsz_net_sessions_total", 1.0);
+        }
+        // A mid-round (re)join gets the current broadcast immediately,
+        // so a resumed session can resend its cached update (and an
+        // adopted orphan can train) before the barrier closes.
+        if self.in_round && !self.got.contains_key(&key) {
+            if let Some(frame) = &self.frame {
+                self.reactor.send(token, Arc::clone(frame));
+            }
+        }
+    }
+
+    fn handle_frame(&mut self, token: Token, message: Message) {
+        if let Some(pos) = self.pending.iter().position(|&(t, _)| t == token) {
+            self.pending.swap_remove(pos);
+            match message {
+                Message::Join { client_id, relay, .. } => self.handle_join(token, client_id, relay),
+                // Anything else before the Join is not our protocol.
+                _ => self.reactor.close(token),
+            }
+            return;
+        }
+        let Some(&key) = self.by_token.get(&token) else {
+            return; // raced a close; nothing to attribute the frame to
+        };
+        let wire_in = message.encoded_len();
+        let (claimed, r, upload) = match message {
+            Message::Update { round, client_id, payload, compressed } => {
+                (client_id, round, Upload::Update { payload, compressed })
+            }
+            Message::PartialSum { round, shard, payload, .. } => {
+                (u64::from(shard), round, Upload::Partial { payload, compressed: false })
+            }
+            Message::PartialSumCompressed { round, shard, payload, .. } => {
+                (u64::from(shard), round, Upload::Partial { payload, compressed: true })
+            }
+            other => {
+                self.protocol_evict(key, format!("unexpected reply {other:?}"));
+                return;
+            }
+        };
+        if claimed != key.id() {
+            self.protocol_evict(
+                key,
+                format!("contribution claims id {claimed} on a session joined as {}", key.id()),
+            );
+            return;
+        }
+        if r > self.round {
+            self.protocol_evict(
+                key,
+                format!("contribution for future round {r} during round {}", self.round),
+            );
+            return;
+        }
+        // Stale rounds are resume resends whose original already
+        // merged (or missed its barrier); duplicates are the reconnect
+        // race resending into a seat that already contributed. Both
+        // are ignored, never evicted.
+        if r < self.round || !self.in_round || self.got.contains_key(&key) {
+            return;
+        }
+        self.up_bytes += wire_in;
+        self.down_bytes += self.frame.as_ref().map_or(0, |f| f.len());
+        self.got.insert(key, upload);
+    }
+
+    fn handle_closed(&mut self, token: Token, reason: String) {
+        if let Some(pos) = self.pending.iter().position(|&(t, _)| t == token) {
+            self.pending.swap_remove(pos);
+            return;
+        }
+        let Some(key) = self.by_token.remove(&token) else { return };
+        let Some(slot) = self.slots.get_mut(&key) else { return };
+        if slot.token != Some(token) {
+            return; // a replaced connection's obituary
+        }
+        slot.token = None;
+        slot.disconnected_at = Some(Instant::now());
+        slot.disconnect_reason = Some(reason.clone());
+        // A dead relay cannot resume its shard's mid-round state:
+        // evict it permanently and open the shard for adoption so its
+        // orphaned workers can re-parent here.
+        if let ChildKey::Relay(shard) = key {
+            slot.permanent = true;
+            if !slot.episode_evicted {
+                slot.episode_evicted = true;
+                record_eviction(&self.config.telemetry, key.id(), self.round, &reason);
+                self.evictions.push((key.id(), self.round, reason));
+                self.evicted_now += 1;
+            }
+            self.failed_shards.entry(shard).or_insert_with(Instant::now);
+        }
+    }
+
+    /// Evicts a child for a protocol violation (bad frame, undecodable
+    /// upload): the seat is closed permanently — unlike a disconnect,
+    /// rejoining cannot cure bad bytes.
+    fn protocol_evict(&mut self, key: ChildKey, reason: String) {
+        let Some(slot) = self.slots.get_mut(&key) else { return };
+        if let Some(token) = slot.token.take() {
+            self.by_token.remove(&token);
+            self.reactor.close(token);
+        }
+        slot.permanent = true;
+        if !slot.episode_evicted {
+            slot.episode_evicted = true;
+            record_eviction(&self.config.telemetry, key.id(), self.round, &reason);
+            self.evictions.push((key.id(), self.round, reason));
+            self.evicted_now += 1;
+        }
+        if let ChildKey::Relay(shard) = key {
+            if self.shard_plan.is_some() {
+                self.failed_shards.entry(shard).or_insert_with(Instant::now);
+            }
+        }
+        self.got.remove(&key);
+    }
+
+    /// Queues the round's broadcast on every live session and resets
+    /// the per-round collection state.
+    fn begin_round(&mut self, round: u32, frame: Arc<Vec<u8>>) {
+        self.round = round;
+        self.in_round = true;
+        self.got.clear();
+        self.up_bytes = 0;
+        self.down_bytes = 0;
+        let tokens = self.live_tokens();
+        self.reactor.broadcast(&tokens, &frame);
+        self.frame = Some(frame);
+    }
+
+    /// Whether the barrier still has someone to wait for: a live
+    /// uncontributed seat, a disconnected seat inside its grace
+    /// window, or a freshly failed shard whose orphans may still
+    /// re-parent.
+    fn awaiting(&self, now: Instant) -> bool {
+        let grace = self.config.reconnect_grace;
+        for (key, slot) in &self.slots {
+            if slot.permanent || slot.episode_evicted || self.got.contains_key(key) {
+                continue;
+            }
+            match slot.token {
+                Some(_) => return true,
+                None => {
+                    if slot.ever_bound && slot.disconnected_at.is_some_and(|at| now < at + grace) {
+                        return true;
+                    }
+                }
+            }
+        }
+        if let Some(shard_plan) = &self.shard_plan {
+            for (&shard, &died) in &self.failed_shards {
+                if now >= died + grace || self.got.contains_key(&ChildKey::Relay(shard)) {
+                    continue;
+                }
+                let orphan_missing = shard_plan
+                    .range(shard as usize)
+                    .any(|id| !self.slots.contains_key(&ChildKey::Worker(id as u64)));
+                if orphan_missing {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// The earliest instant after `now` at which waiting state can
+    /// change without socket activity.
+    fn next_wake(&self, deadline: Instant, now: Instant) -> Instant {
+        let grace = self.config.reconnect_grace;
+        let mut wake = deadline;
+        let mut consider = |at: Instant| {
+            if at > now && at < wake {
+                wake = at;
+            }
+        };
+        for &(_, at) in &self.pending {
+            consider(at);
+        }
+        for (key, slot) in &self.slots {
+            if slot.permanent || slot.episode_evicted || self.got.contains_key(key) {
+                continue;
+            }
+            if slot.token.is_none() {
+                if let Some(at) = slot.disconnected_at {
+                    consider(at + grace);
+                }
+            }
+        }
+        for &died in self.failed_shards.values() {
+            consider(died + grace);
+        }
+        wake
+    }
+
+    /// The round barrier: pumps the reactor until nobody is awaited or
+    /// the round deadline hits.
+    fn run_barrier(&mut self) -> Result<(), NetError> {
+        let live = self.live_tokens().len();
+        let span = self.config.telemetry.span_with(
+            "serve.barrier",
+            &[("round", Value::U64(u64::from(self.round))), ("live", Value::U64(live as u64))],
+        );
+        let deadline = Instant::now() + self.config.round_timeout;
+        loop {
+            let now = Instant::now();
+            self.expire_handshakes(now);
+            if now >= deadline || !self.awaiting(now) {
+                break;
+            }
+            let wake = self.next_wake(deadline, now);
+            self.pump(wake.saturating_duration_since(now).max(Duration::from_millis(1)))?;
+        }
+        drop(span);
+        Ok(())
+    }
+
+    /// Settles the round after the barrier: evicts the silent and the
+    /// disconnected (once per outage), charges the frame-byte
+    /// counters, and hands back the round's contributions.
+    fn finish_barrier(&mut self) -> BTreeMap<ChildKey, Upload> {
+        let now = Instant::now();
+        let keys: Vec<ChildKey> = self.slots.keys().copied().collect();
+        for key in keys {
+            let slot = self.slots.get_mut(&key).expect("key came from the map");
+            if slot.permanent || slot.episode_evicted || self.got.contains_key(&key) {
+                continue;
+            }
+            let reason = match slot.token.take() {
+                Some(token) => {
+                    // Silent but connected: drop the session. The seat
+                    // stays rebindable — the child may reconnect and
+                    // re-enter at a later barrier.
+                    self.by_token.remove(&token);
+                    self.reactor.close(token);
+                    slot.disconnected_at = Some(now);
+                    "silent past the round deadline".to_string()
+                }
+                None => {
+                    if !slot.ever_bound {
+                        continue; // never joined: not a child, not an eviction
+                    }
+                    slot.disconnect_reason
+                        .clone()
+                        .unwrap_or_else(|| "silent past the round deadline".to_string())
+                }
+            };
+            slot.episode_evicted = true;
+            record_eviction(&self.config.telemetry, key.id(), self.round, &reason);
+            self.evictions.push((key.id(), self.round, reason));
+            self.evicted_now += 1;
+        }
+        self.config.telemetry.add_labeled(
+            "fedsz_net_frame_bytes_total",
+            "dir",
+            "out",
+            self.down_bytes as f64,
+        );
+        self.config.telemetry.add_labeled(
+            "fedsz_net_frame_bytes_total",
+            "dir",
+            "in",
+            self.up_bytes as f64,
+        );
+        self.in_round = false;
+        std::mem::take(&mut self.got)
+    }
+
+    /// Resets the per-round counters after the round row is recorded.
+    fn end_round(&mut self) {
+        self.evicted_now = 0;
+        self.reconnects_now = 0;
+        self.reparented_now = 0;
+        self.frame = None;
+    }
+
+    /// Whether anyone is connected or could still legally return —
+    /// the session keeps running while this holds.
+    fn any_prospect(&self, now: Instant) -> bool {
+        let grace = self.config.reconnect_grace;
+        if self.slots.values().any(|s| !s.permanent && s.token.is_some()) {
+            return true;
+        }
+        if self.slots.values().any(|s| {
+            !s.permanent && s.ever_bound && s.disconnected_at.is_some_and(|at| now < at + grace)
+        }) {
+            return true;
+        }
+        if let Some(shard_plan) = &self.shard_plan {
+            for (&shard, &died) in &self.failed_shards {
+                if now < died + grace
+                    && shard_plan
+                        .range(shard as usize)
+                        .any(|id| !self.slots.contains_key(&ChildKey::Worker(id as u64)))
+                {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Broadcasts Shutdown to every live session and pumps until the
+    /// outboxes drain (bounded), then closes everything.
+    fn teardown(&mut self) {
+        let tokens = self.live_tokens();
+        let span = self
+            .config
+            .telemetry
+            .span_with("reactor.flush", &[("sessions", Value::U64(tokens.len() as u64))]);
+        self.reactor.set_accepting(false);
+        let frame = Arc::new(Message::Shutdown.encode());
+        self.reactor.broadcast(&tokens, &frame);
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while tokens.iter().any(|&t| !self.reactor.outbox_empty(t)) && Instant::now() < deadline {
+            if self.pump(Duration::from_millis(20)).is_err() {
+                break;
+            }
+        }
+        for token in tokens {
+            self.reactor.close(token);
+        }
+        drop(span);
+    }
 }
 
 /// A bound, not-yet-running `fedsz serve` listener. Splitting bind
@@ -268,8 +843,6 @@ impl NetServer {
     /// Propagates the bind failure.
     pub fn bind(addr: &str) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
-        // Non-blocking accepts let the handshake phase enforce its
-        // deadline; accepted streams are switched back to blocking.
         listener.set_nonblocking(true)?;
         Ok(Self { listener })
     }
@@ -292,7 +865,8 @@ impl NetServer {
     /// Returns a [`NetError`] when no child joins before the accept
     /// deadline, when a relay loses its upstream, or on unrecoverable
     /// protocol corruption. A child failing mid-session is *not* an
-    /// error — it is evicted and the session continues.
+    /// error — it is evicted (and may reconnect) while the session
+    /// continues.
     ///
     /// # Panics
     ///
@@ -307,6 +881,8 @@ impl NetServer {
         // during the accept barrier already sees them at zero.
         config.telemetry.declare_counter("fedsz_net_sessions_total");
         config.telemetry.declare_counter("fedsz_net_evictions_total");
+        config.telemetry.declare_counter("fedsz_net_reconnects_total");
+        config.telemetry.declare_counter("fedsz_net_reparent_total");
         let expected = ServeConfig::expected_children_of(&plan, &config.role);
         // A relay announces itself upstream before accepting its own
         // children, so a deep deployment can start in any order.
@@ -315,15 +891,34 @@ impl NetServer {
             Role::Relay { shard, upstream } => {
                 let mut session =
                     Session::connect(upstream, config.accept_timeout).map_err(NetError::Io)?;
-                session.send(&Message::Join { client_id: u64::from(*shard), round: 0 })?;
+                session.send(&Message::Join {
+                    client_id: u64::from(*shard),
+                    round: 0,
+                    relay: true,
+                })?;
                 Some(session)
             }
         };
 
-        let (event_tx, event_rx) = mpsc::channel::<Event>();
-        let mut children = self.accept_children(&config, &expected, &event_tx)?;
-        drop(event_tx);
-        if children.is_empty() {
+        // A sharded root's children are relays speaking partial-sum
+        // frames; everyone else's children are workers speaking
+        // updates (the per-seat ChildKey encodes which).
+        let root_sharded = matches!(config.role, Role::Root) && plan.shard_count().is_some();
+        let shard_plan = if root_sharded {
+            Some(ShardPlan::new(plan.config.clients, plan.shard_count().expect("sharded")))
+        } else {
+            None
+        };
+        let expected_keys: Vec<ChildKey> = expected
+            .iter()
+            .map(|&id| if root_sharded { ChildKey::Relay(id as u32) } else { ChildKey::Worker(id) })
+            .collect();
+
+        let reactor = Reactor::new(self.listener, config.max_sessions).map_err(NetError::Io)?;
+        let mut rt =
+            Runtime::new(reactor, &config, shard_plan, plan.config.clients, &expected_keys);
+        rt.accept_phase()?;
+        if !rt.slots.values().any(|s| s.ever_bound) {
             return Err(NetError::Protocol(
                 "no expected child joined before the accept deadline".into(),
             ));
@@ -346,10 +941,6 @@ impl NetServer {
             Role::Relay { .. } => None,
         };
 
-        // A sharded root's children are relays speaking partial-sum
-        // frames; everyone else's children are workers speaking
-        // updates. Frames of the wrong kind evict their sender.
-        let expect_partial = matches!(config.role, Role::Root) && plan.tree.is_some();
         // Whether the uplink policy can produce `FUC1` delta streams —
         // those decode against the round's broadcast, which the server
         // must then re-decode from its own frame bytes each round.
@@ -358,8 +949,6 @@ impl NetServer {
             StagePolicy::TopK { .. } | StagePolicy::Quant { .. } | StagePolicy::AutoFamily { .. }
         );
         let mut rounds = Vec::new();
-        let mut evicted_total = 0usize;
-        let mut evictions: Vec<(u64, u32, String)> = Vec::new();
         let mut psum_raw_frames = 0usize;
         let mut psum_compressed_frames = 0usize;
         // Round-persistent merge state: the model-sized accumulator and
@@ -377,7 +966,7 @@ impl NetServer {
                     if round as usize >= config.fl.rounds {
                         break;
                     }
-                    let live = children.iter().filter(|c| c.alive).count();
+                    let live = rt.live_tokens().len();
                     let payload = downlink.encode(global, None, live);
                     (payload.bytes, payload.compressed)
                 }
@@ -399,6 +988,15 @@ impl NetServer {
                 },
                 (None, None) => unreachable!("a root always holds the global"),
             };
+            if let Some(fail) = config.fail_at_round {
+                if upstream.is_some() && round >= fail {
+                    // The churn-test chaos knob: die abruptly, workers
+                    // and upstream left to find the dead sockets.
+                    return Err(NetError::Protocol(format!(
+                        "fault injection: relay terminated at round {round}"
+                    )));
+                }
+            }
 
             // Family delta streams decode against the exact broadcast
             // the workers received, so the server re-decodes its own
@@ -415,8 +1013,8 @@ impl NetServer {
             };
 
             // One encode serves the whole fan-out: every child receives
-            // byte-identical frames, so session threads write the shared
-            // bytes instead of cloning and re-framing per child.
+            // byte-identical frames, queued as one shared `Arc` on each
+            // session's outbox instead of cloned per child.
             let frame = Arc::new(
                 if compressed {
                     Message::EncodedGlobal { round, payload: bytes }
@@ -430,39 +1028,39 @@ impl NetServer {
                 .telemetry
                 .span_with("serve.round", &[("round", Value::U64(u64::from(round)))]);
             let t0 = Instant::now();
-            let (got, down_bytes, up_bytes, mut evicted_now) = broadcast_and_collect(
-                &mut children,
-                &event_rx,
-                round,
-                frame,
-                config.round_timeout,
-                &mut evictions,
-                &config.telemetry,
-            );
-            config.telemetry.add_labeled(
-                "fedsz_net_frame_bytes_total",
-                "dir",
-                "out",
-                down_bytes as f64,
-            );
-            config.telemetry.add_labeled(
-                "fedsz_net_frame_bytes_total",
-                "dir",
-                "in",
-                up_bytes as f64,
-            );
+            rt.begin_round(round, frame);
+            rt.run_barrier()?;
+            let got = rt.finish_barrier();
 
-            // Merge in ascending child-id order (the exact accumulator
+            // Merge in ascending child order (the exact accumulator
             // makes grouping irrelevant to the bits; the fixed order
             // keeps intermediate state reproducible too). A child whose
             // contribution fails decoding or shape validation is
             // evicted — never allowed near the merge asserts.
             partial.reset();
             let mut merged = 0usize;
-            for (id, upload) in got {
+            let relay_contributed: Vec<u32> = got
+                .keys()
+                .filter_map(|k| match k {
+                    ChildKey::Relay(shard) => Some(*shard),
+                    ChildKey::Worker(_) => None,
+                })
+                .collect();
+            for (key, upload) in got {
+                // A worker seat at a sharded root is an adopted orphan.
+                // If its old relay's partial sum for this round arrived
+                // before the relay died, the worker's resent update is
+                // already inside that sum — drop it here rather than
+                // count it twice.
+                if let (ChildKey::Worker(id), Some(shard_plan)) = (&key, &rt.shard_plan) {
+                    let shard = shard_plan.shard_of(*id as usize) as u32;
+                    if relay_contributed.contains(&shard) {
+                        continue;
+                    }
+                }
                 match fold_upload(
                     upload,
-                    expect_partial,
+                    matches!(key, ChildKey::Relay(_)),
                     &template,
                     fedsz.as_ref(),
                     uplink_reference.as_ref(),
@@ -472,15 +1070,9 @@ impl NetServer {
                     &mut psum_compressed_frames,
                 ) {
                     Ok(contributions) => merged += contributions,
-                    Err(reason) => {
-                        evict(&mut children, id);
-                        record_eviction(&config.telemetry, id, round, &reason);
-                        evictions.push((id, round, reason));
-                        evicted_now += 1;
-                    }
+                    Err(reason) => rt.protocol_evict(key, reason),
                 }
             }
-            evicted_total += evicted_now;
 
             let checksum = match (&mut upstream, &mut global) {
                 (None, Some(global)) => {
@@ -548,187 +1140,36 @@ impl NetServer {
 
             rounds.push(NetRound {
                 round,
-                downstream_bytes: down_bytes,
-                upstream_bytes: up_bytes,
+                downstream_bytes: rt.down_bytes,
+                upstream_bytes: rt.up_bytes,
                 merged,
-                evicted: evicted_now,
+                evicted: rt.evicted_now,
+                reconnects: rt.reconnects_now,
+                reparented: rt.reparented_now,
                 wall_secs: t0.elapsed().as_secs_f64(),
                 checksum,
             });
             drop(round_span);
+            rt.end_round();
             round += 1;
-            if children.iter().all(|c| !c.alive) {
-                break; // nobody left to serve
+            if !rt.any_prospect(Instant::now()) {
+                break; // nobody left to serve, and nobody coming back
             }
         }
 
-        // Teardown: every live child gets a Shutdown frame.
-        for child in &mut children {
-            if child.alive {
-                let _ = child.cmd.send(Cmd::Shutdown);
-            }
-        }
-        for child in children {
-            // Dead children's threads have already returned (they exit
-            // after reporting Gone); live ones exit on the Shutdown
-            // command — either way this join is prompt.
-            drop(child.cmd);
-            let _ = child.handle.join();
-        }
-
+        rt.teardown();
         let checksum = global.as_ref().map_or(0, global_checksum);
         Ok(ServeReport {
             rounds,
             global,
             checksum,
-            evicted: evicted_total,
-            evictions,
+            evicted: rt.evictions.len(),
+            evictions: std::mem::take(&mut rt.evictions),
+            reconnects: rt.reconnects_total,
+            reparented: rt.reparented_total,
             psum_raw_frames,
             psum_compressed_frames,
         })
-    }
-
-    /// The handshake barrier: accepts connections until every expected
-    /// child has joined or the deadline passes. A connection that
-    /// fails the handshake (unknown or duplicate id, wrong first
-    /// frame) is told to shut down and dropped; it does not count.
-    fn accept_children(
-        &self,
-        config: &ServeConfig,
-        expected: &[u64],
-        event_tx: &mpsc::Sender<Event>,
-    ) -> Result<Vec<Child>, NetError> {
-        let deadline = Instant::now() + config.accept_timeout;
-        let mut children: Vec<Child> = Vec::with_capacity(expected.len());
-        while children.len() < expected.len() && Instant::now() < deadline {
-            let stream = match self.listener.accept() {
-                Ok((stream, _)) => stream,
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                    thread::sleep(Duration::from_millis(5));
-                    continue;
-                }
-                Err(e) => return Err(NetError::Io(e)),
-            };
-            // The listener is non-blocking; the conversation is not.
-            if stream.set_nonblocking(false).is_err() {
-                continue;
-            }
-            let Ok(mut session) = Session::from_stream(stream) else { continue };
-            // Cap the per-connection handshake well below the accept
-            // window: a held-open connection that never sends its Join
-            // (port scanner, health probe) may stall this loop for one
-            // handshake slot, not starve every legitimate child.
-            let remaining = deadline.saturating_duration_since(Instant::now());
-            let wait = remaining.min(HANDSHAKE_TIMEOUT).max(Duration::from_millis(10));
-            match session.recv(Some(wait)) {
-                Ok(Message::Join { client_id, .. })
-                    if expected.contains(&client_id)
-                        && !children.iter().any(|c| c.id == client_id) =>
-                {
-                    let (cmd_tx, cmd_rx) = mpsc::channel::<Cmd>();
-                    let events = event_tx.clone();
-                    let timeout = config.round_timeout;
-                    let handle = thread::spawn(move || {
-                        session_thread(session, client_id, cmd_rx, events, timeout)
-                    });
-                    config.telemetry.event("serve.connect", &[("child", Value::U64(client_id))]);
-                    config.telemetry.add("fedsz_net_sessions_total", 1.0);
-                    children.push(Child { id: client_id, cmd: cmd_tx, handle, alive: true });
-                }
-                _ => {
-                    // Unknown id, duplicate, garbage or a stalled
-                    // handshake: reject politely and move on.
-                    let _ = session.send(&Message::Shutdown);
-                    session.close();
-                }
-            }
-        }
-        children.sort_by_key(|c| c.id);
-        Ok(children)
-    }
-}
-
-/// Fans one round's broadcast out to every live child and runs the
-/// round barrier: collects contributions until all have reported or
-/// the deadline hits, evicting the silent and the failed. Returns the
-/// contributions keyed (and therefore ordered) by child id, plus the
-/// round's byte and eviction accounting.
-fn broadcast_and_collect(
-    children: &mut [Child],
-    events: &mpsc::Receiver<Event>,
-    round: u32,
-    frame: Arc<Vec<u8>>,
-    round_timeout: Duration,
-    evictions: &mut Vec<(u64, u32, String)>,
-    telemetry: &Telemetry,
-) -> (BTreeMap<u64, Upload>, usize, usize, usize) {
-    let mut live = 0usize;
-    for child in children.iter() {
-        if child.alive {
-            let cmd = Cmd::Broadcast { round, frame: Arc::clone(&frame) };
-            // A send failure means the thread is gone; the barrier
-            // below will evict the child when it stays silent.
-            if child.cmd.send(cmd).is_ok() {
-                live += 1;
-            }
-        }
-    }
-    let barrier_span = telemetry.span_with(
-        "serve.barrier",
-        &[("round", Value::U64(u64::from(round))), ("live", Value::U64(live as u64))],
-    );
-    let deadline = Instant::now() + round_timeout;
-    let mut got: BTreeMap<u64, Upload> = BTreeMap::new();
-    let mut down_bytes = 0usize;
-    let mut up_bytes = 0usize;
-    let mut evicted = 0usize;
-    let mut reported = 0usize;
-    while reported < live {
-        let remaining = deadline.saturating_duration_since(Instant::now());
-        if remaining.is_zero() {
-            break;
-        }
-        match events.recv_timeout(remaining) {
-            Ok(event) if event.round == round => {
-                reported += 1;
-                match event.kind {
-                    EventKind::Contribution { upload, wire_in, wire_out } => {
-                        up_bytes += wire_in;
-                        down_bytes += wire_out;
-                        got.insert(event.id, upload);
-                    }
-                    EventKind::Gone { reason } => {
-                        evict(children, event.id);
-                        record_eviction(telemetry, event.id, round, &reason);
-                        evictions.push((event.id, round, reason));
-                        evicted += 1;
-                    }
-                }
-            }
-            // A stale report from an earlier round's evictee.
-            Ok(_) => {}
-            Err(mpsc::RecvTimeoutError::Timeout) => break,
-            Err(mpsc::RecvTimeoutError::Disconnected) => break,
-        }
-    }
-    // Whoever neither contributed nor reported failure is evicted; its
-    // session thread will notice on its own and exit.
-    for child in children.iter_mut() {
-        if child.alive && !got.contains_key(&child.id) {
-            child.alive = false;
-            let reason = "silent past the round deadline";
-            record_eviction(telemetry, child.id, round, reason);
-            evictions.push((child.id, round, reason.into()));
-            evicted += 1;
-        }
-    }
-    drop(barrier_span);
-    (got, down_bytes, up_bytes, evicted)
-}
-
-fn evict(children: &mut [Child], id: u64) {
-    if let Some(child) = children.iter_mut().find(|c| c.id == id) {
-        child.alive = false;
     }
 }
 
@@ -849,82 +1290,6 @@ fn fold_upload(
                 *psum_raw_frames += 1;
             }
             Ok(contributions)
-        }
-    }
-}
-
-/// One child's dedicated thread: forwards broadcasts, waits for the
-/// reply, reports the outcome. Exits after its first failure report or
-/// on the Shutdown command / channel closure.
-fn session_thread(
-    mut session: Session,
-    id: u64,
-    cmds: mpsc::Receiver<Cmd>,
-    events: mpsc::Sender<Event>,
-    round_timeout: Duration,
-) {
-    // Bound writes too: a child that stops *reading* would otherwise
-    // park this thread in write_all forever once the send buffer
-    // fills, and the teardown join would hang the whole server.
-    let _ = session.set_write_timeout(Some(round_timeout));
-    for cmd in cmds {
-        match cmd {
-            Cmd::Shutdown => {
-                let _ = session.send(&Message::Shutdown);
-                session.close();
-                return;
-            }
-            Cmd::Broadcast { round, frame } => {
-                let wire_out = match session.send_frame(&frame) {
-                    Ok(n) => n,
-                    Err(e) => {
-                        let _ = events.send(Event {
-                            id,
-                            round,
-                            kind: EventKind::Gone { reason: format!("broadcast failed: {e}") },
-                        });
-                        return;
-                    }
-                };
-                let before = session.bytes_received();
-                let kind = match session.recv(Some(round_timeout)) {
-                    Ok(Message::Update { round: r, client_id, payload, compressed })
-                        if r == round && client_id == id =>
-                    {
-                        EventKind::Contribution {
-                            upload: Upload::Update { payload, compressed },
-                            wire_in: (session.bytes_received() - before) as usize,
-                            wire_out,
-                        }
-                    }
-                    Ok(Message::PartialSum { round: r, shard, payload, .. })
-                        if r == round && u64::from(shard) == id =>
-                    {
-                        EventKind::Contribution {
-                            upload: Upload::Partial { payload, compressed: false },
-                            wire_in: (session.bytes_received() - before) as usize,
-                            wire_out,
-                        }
-                    }
-                    Ok(Message::PartialSumCompressed { round: r, shard, payload, .. })
-                        if r == round && u64::from(shard) == id =>
-                    {
-                        EventKind::Contribution {
-                            upload: Upload::Partial { payload, compressed: true },
-                            wire_in: (session.bytes_received() - before) as usize,
-                            wire_out,
-                        }
-                    }
-                    Ok(other) => EventKind::Gone { reason: format!("unexpected reply {other:?}") },
-                    Err(e) => EventKind::Gone { reason: e.to_string() },
-                };
-                let failed = matches!(kind, EventKind::Gone { .. });
-                let _ = events.send(Event { id, round, kind });
-                if failed {
-                    session.close();
-                    return;
-                }
-            }
         }
     }
 }

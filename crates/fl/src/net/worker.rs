@@ -8,6 +8,20 @@
 //! round receive the (possibly FedSZ-encoded) global, train locally,
 //! and upload the update — raw or compressed.
 //!
+//! **Elastic sessions.** The TCP session and the training state have
+//! different lifetimes: momentum and RNG state live on the [`Client`]
+//! across rounds, so a worker must survive a dropped socket without
+//! retraining anything. When the connection dies the worker retries
+//! with a bounded, id-seeded [`Backoff`] schedule (decorrelated
+//! jitter: a relay failure orphans its whole shard at once, and the
+//! seeded draws keep the cohort from stampeding), escalating to the
+//! `fallback` address — typically the root — when the primary stops
+//! answering. The last trained update is cached *before* every send;
+//! if the server re-broadcasts a round the worker already trained
+//! (the resume path after a reconnect), the cached frame is resent
+//! verbatim instead of training twice — which would silently advance
+//! the client's RNG and momentum and break bit-parity.
+//!
 //! The compress-or-not decision is the paper's Eqn 1, but fed by
 //! **measurements** instead of simulated
 //! [`LinkProfile`](crate::link::LinkProfile)s: the worker times its
@@ -25,7 +39,7 @@ use crate::plan::StagePolicy;
 use crate::{Client, FlConfig};
 use fedsz::timing::{select_family, CostProfile, FamilyCandidate};
 use fedsz::FedSz;
-use fedsz_net::{Message, NetError, Session};
+use fedsz_net::{Backoff, Message, NetError, Session};
 use fedsz_telemetry::{Telemetry, Value};
 use std::time::{Duration, Instant};
 
@@ -38,6 +52,22 @@ pub struct WorkerConfig {
     pub id: usize,
     /// The server (root, or this shard's relay) as `host:port`.
     pub connect: String,
+    /// A second parent to fail over to — typically the root — once the
+    /// primary stops answering (see [`retry_uses_fallback`] for the
+    /// schedule). `None` retries the primary only.
+    pub fallback: Option<String>,
+    /// Reconnect attempts per outage before giving up (the budget
+    /// resets every time the server answers).
+    pub retries: u32,
+    /// First backoff window; attempt `n` draws from the jittered
+    /// window `[base·2ⁿ/2, base·2ⁿ]`.
+    pub backoff_base: Duration,
+    /// Ceiling on the backoff window.
+    pub backoff_cap: Duration,
+    /// Fault-injection knob for the churn tests: drop the session
+    /// (once) upon receiving this round's broadcast, then reconnect
+    /// and resume. `None` (the default) never fires.
+    pub drop_session_at_round: Option<u32>,
     /// Connect deadline, and how long to wait for each broadcast.
     pub timeout: Duration,
     /// Join/round spans and this worker's measured-Eqn-1
@@ -47,9 +77,21 @@ pub struct WorkerConfig {
 
 impl WorkerConfig {
     /// A worker for client `id` against `connect`, with a 60 s
-    /// timeout.
+    /// timeout, no fallback, and an 8-attempt 50 ms → 2 s reconnect
+    /// schedule.
     pub fn new(fl: FlConfig, id: usize, connect: String) -> Self {
-        Self { fl, id, connect, timeout: Duration::from_secs(60), telemetry: Telemetry::disabled() }
+        Self {
+            fl,
+            id,
+            connect,
+            fallback: None,
+            retries: 8,
+            backoff_base: Duration::from_millis(50),
+            backoff_cap: Duration::from_secs(2),
+            drop_session_at_round: None,
+            timeout: Duration::from_secs(60),
+            telemetry: Telemetry::disabled(),
+        }
     }
 }
 
@@ -58,16 +100,36 @@ impl WorkerConfig {
 pub struct WorkerReport {
     /// Rounds trained.
     pub rounds: usize,
-    /// Total framed bytes uploaded.
+    /// Total framed bytes uploaded (all sessions).
     pub uploaded_bytes: usize,
-    /// Total framed bytes received.
+    /// Total framed bytes received (all sessions).
     pub downloaded_bytes: usize,
     /// Rounds whose upload was FedSZ-compressed (under measured-Eqn-1
     /// adaptive mode this can be fewer than `rounds`).
     pub compressed_rounds: usize,
+    /// Sessions re-established after the first (reconnects to the
+    /// primary and failovers to the fallback both count).
+    pub reconnects: usize,
     /// The measured uplink bandwidth estimate after the final round
     /// (bits/second; 0.0 when nothing was sent).
     pub measured_bps: f64,
+}
+
+/// Whether retry number `attempt` (0-based) should aim at the
+/// fallback address instead of the primary: the first two attempts
+/// stay on the primary (a restarting parent deserves a beat), then
+/// even attempts probe the fallback while odd ones keep trying the
+/// primary. Without a fallback every attempt hits the primary.
+fn retry_uses_fallback(attempt: u32, has_fallback: bool) -> bool {
+    has_fallback && attempt >= 2 && attempt.is_multiple_of(2)
+}
+
+/// The round-r update a worker already trained and (tried to) send:
+/// kept as the fully encoded frame so a resumed session resends the
+/// byte-identical upload instead of training the round twice.
+struct CachedUpload {
+    round: u32,
+    frame: Vec<u8>,
 }
 
 /// EWMA of the measured wall-clock send bandwidth (the real-link
@@ -101,12 +163,13 @@ impl MeasuredLink {
 }
 
 /// Runs one worker session to completion (until the server's
-/// Shutdown frame).
+/// Shutdown frame), reconnecting through outages along the way.
 ///
 /// # Errors
 ///
-/// Returns a [`NetError`] when the server cannot be reached, times
-/// out, or violates the protocol.
+/// Returns a [`NetError`] when the server cannot be reached within the
+/// retry budget, or violates the protocol (protocol and codec
+/// failures are never retried — reconnecting cannot cure bad bytes).
 ///
 /// # Panics
 ///
@@ -127,209 +190,385 @@ pub fn run_worker(config: WorkerConfig) -> Result<WorkerReport, NetError> {
     let fedsz = uplink.fedsz().map(FedSz::new);
     let codecs = uplink_codecs_for(&uplink);
     let mut family_profiles: Vec<Option<CostProfile>> = vec![None; codecs.len()];
-    let mut session = Session::connect(&config.connect, config.timeout).map_err(NetError::Io)?;
-    session.send(&Message::Join { client_id: config.id as u64, round: 0 })?;
-    config.telemetry.event("worker.join", &[("client", Value::U64(config.id as u64))]);
+    // The id seeds the jitter: a whole shard orphaned at once retries
+    // on decorrelated clocks instead of stampeding the fallback.
+    let backoff = Backoff::new(config.backoff_base, config.backoff_cap, config.id as u64);
+    let mut primary = config.connect.clone();
+    let mut fallback = config.fallback.clone();
 
     let mut link = MeasuredLink::default();
     let mut profile: Option<CostProfile> = None;
+    let mut cached: Option<CachedUpload> = None;
     let mut rounds = 0usize;
     let mut compressed_rounds = 0usize;
-    loop {
-        let (round, dict) = match session.recv(Some(config.timeout))? {
-            Message::GlobalModel { round, dict_bytes } => {
-                (round, fedsz_nn::StateDict::from_bytes(&dict_bytes)?)
-            }
-            // The FedSZ stream embeds its codec config, so decoding
-            // needs no local configuration (and cannot drift from the
-            // server's).
-            Message::EncodedGlobal { round, payload } => {
-                (round, FedSz::decompress_with_config(&payload)?.0)
-            }
-            Message::Shutdown => break,
-            other => {
-                return Err(NetError::Protocol(format!(
-                    "worker expected a broadcast, got {other:?}"
-                )))
-            }
-        };
+    let mut reconnects = 0usize;
+    let mut uploaded = 0usize;
+    let mut downloaded = 0usize;
+    let mut sessions = 0usize;
+    let mut attempt = 0u32;
+    let mut last_round = 0u32;
+    let mut dropped_once = false;
 
-        let round_span = config.telemetry.span_with(
-            "worker.round",
-            &[("round", Value::U64(u64::from(round))), ("client", Value::U64(config.id as u64))],
-        );
-        client
-            .load_global(&dict)
-            .map_err(|e| NetError::Protocol(format!("global dict rejected: {e}")))?;
-        for _ in 0..config.fl.local_epochs {
-            client.train_epoch();
-        }
-        let update = client.update();
-        let raw_bytes = update.byte_size();
-
-        // The plan's upload policy on the measured link: `Lossy`
-        // always compresses; `Adaptive` runs Eqn 1 — compress iff
-        // measured codec time plus compressed transfer beats sending
-        // raw at the measured bandwidth, probing (compressing) until
-        // both measurements exist. `TopK`/`Quant` always ship their
-        // one family; `AutoFamily` prices every candidate against raw
-        // with the same measured bandwidth, probing unmeasured
-        // families in rotation (the engine's rule, measured inputs).
-        let (compress, family_choice, predicted) = match &uplink {
-            StagePolicy::Raw | StagePolicy::Lossless => (false, None, None),
-            StagePolicy::Lossy(_) => (true, None, None),
-            StagePolicy::Adaptive { .. } => match (profile, link.bps) {
-                (Some(profile), Some(bps)) => {
-                    let plan = profile.plan(raw_bytes);
-                    (
-                        plan.worthwhile(bps),
-                        None,
-                        Some((plan.compressed_time(bps), plan.uncompressed_time(bps))),
-                    )
-                }
-                _ => (true, None, None),
-            },
-            StagePolicy::TopK { .. } | StagePolicy::Quant { .. } => (false, Some(0), None),
-            StagePolicy::AutoFamily { .. } => {
-                let candidates: Vec<FamilyCandidate> = codecs
-                    .iter()
-                    .zip(&family_profiles)
-                    .map(|(&(name, _), profile)| FamilyCandidate {
-                        family: name,
-                        profile: *profile,
-                    })
-                    .collect();
-                let hint =
-                    (round as usize).wrapping_mul(codecs.len().max(1)).wrapping_add(config.id);
-                let sel = select_family(raw_bytes, link.bps, &candidates, hint);
-                let predicted = match (sel.predicted_choice_secs, sel.predicted_raw_secs) {
-                    (Some(chosen), Some(raw)) => Some((chosen, raw)),
-                    _ => None,
-                };
-                (false, sel.choice, predicted)
-            }
-        };
-        let mut measured_codec_secs = 0.0f64;
-        let (payload, compressed) = if let Some(ci) = family_choice {
-            let t0 = Instant::now();
-            let packed = match &codecs[ci].1 {
-                UplinkCodecKind::Fedsz(f) => {
-                    f.compress(&update).expect("finite weights").into_bytes()
-                }
-                UplinkCodecKind::Family(c) => {
-                    // The delta reference is the broadcast this worker
-                    // just decoded — the server decodes against the
-                    // same bytes, so the bases agree. EF is rejected
-                    // above, so no residual is carried.
-                    let dither = derive_dither_seed(config.fl.seed, round as usize, config.id);
-                    c.encode_delta(&update, &dict, None, dither).expect("finite weights")
-                }
-            };
-            let compress_secs = t0.elapsed().as_secs_f64();
-            measured_codec_secs = compress_secs;
-            let raw = raw_bytes.max(1) as f64;
-            // Like the adaptive path below: the server-side decompress
-            // cost is measured once per family and carried by the EWMA.
-            let decompress_secs_per_byte = match family_profiles[ci] {
-                Some(prev) => prev.decompress_secs_per_byte,
-                None => {
-                    let t1 = Instant::now();
-                    match &codecs[ci].1 {
-                        UplinkCodecKind::Fedsz(f) => {
-                            let _ = f.decompress(&packed)?;
-                        }
-                        UplinkCodecKind::Family(_) => {
-                            let _ = FamilyCodec::decode_delta(&packed, &dict)?;
-                        }
+    'outer: loop {
+        // ---- (re)connect with the bounded, jittered schedule ----
+        let (mut session, mut on_fallback) = loop {
+            let use_fallback = retry_uses_fallback(attempt, fallback.is_some());
+            let target =
+                if use_fallback { fallback.as_deref().unwrap_or(&primary) } else { &primary };
+            match Session::connect(target, config.timeout) {
+                Ok(session) => break (session, use_fallback),
+                Err(e) => {
+                    if attempt >= config.retries {
+                        return Err(NetError::Io(e));
                     }
-                    t1.elapsed().as_secs_f64() / raw
+                    std::thread::sleep(backoff.delay(attempt));
+                    attempt += 1;
+                }
+            }
+        };
+        if session
+            .send(&Message::Join { client_id: config.id as u64, round: last_round, relay: false })
+            .is_err()
+        {
+            if attempt >= config.retries {
+                return Err(NetError::Closed);
+            }
+            std::thread::sleep(backoff.delay(attempt));
+            attempt += 1;
+            continue 'outer;
+        }
+        if sessions == 0 {
+            config.telemetry.event("worker.join", &[("client", Value::U64(config.id as u64))]);
+        } else {
+            reconnects += 1;
+            config.telemetry.event(
+                "worker.reconnect",
+                &[
+                    ("client", Value::U64(config.id as u64)),
+                    ("attempt", Value::U64(u64::from(attempt))),
+                    ("fallback", Value::Bool(on_fallback)),
+                ],
+            );
+        }
+        sessions += 1;
+
+        // ---- the round loop on this session ----
+        loop {
+            let message = match session.recv(Some(config.timeout)) {
+                Ok(message) => message,
+                // Corrupt frames and protocol violations are fatal —
+                // reconnecting cannot cure bad bytes.
+                Err(e @ (NetError::Codec(_) | NetError::Protocol(_))) => return Err(e),
+                Err(e) => {
+                    uploaded += session.bytes_sent() as usize;
+                    downloaded += session.bytes_received() as usize;
+                    if attempt >= config.retries {
+                        return Err(e);
+                    }
+                    std::thread::sleep(backoff.delay(attempt));
+                    attempt += 1;
+                    continue 'outer;
                 }
             };
-            family_profiles[ci] = Some(CostProfile::blend(
-                family_profiles[ci],
-                CostProfile {
-                    compress_secs_per_byte: compress_secs / raw,
-                    decompress_secs_per_byte,
-                    ratio: raw / packed.len().max(1) as f64,
+            // The server answered: the outage (if any) is over, and a
+            // session that proved the fallback works makes it the new
+            // primary for whatever comes next.
+            attempt = 0;
+            if on_fallback {
+                if let Some(fb) = fallback.take() {
+                    fallback = Some(std::mem::replace(&mut primary, fb));
+                }
+                on_fallback = false;
+            }
+
+            let (round, dict) = match message {
+                Message::GlobalModel { round, dict_bytes } => {
+                    (round, fedsz_nn::StateDict::from_bytes(&dict_bytes)?)
+                }
+                // The FedSZ stream embeds its codec config, so decoding
+                // needs no local configuration (and cannot drift from
+                // the server's).
+                Message::EncodedGlobal { round, payload } => {
+                    (round, FedSz::decompress_with_config(&payload)?.0)
+                }
+                Message::Shutdown => {
+                    uploaded += session.bytes_sent() as usize;
+                    downloaded += session.bytes_received() as usize;
+                    break 'outer;
+                }
+                other => {
+                    return Err(NetError::Protocol(format!(
+                        "worker expected a broadcast, got {other:?}"
+                    )))
+                }
+            };
+            last_round = round;
+
+            if config.drop_session_at_round == Some(round) && !dropped_once {
+                // The churn-test chaos knob: one abrupt mid-run
+                // disconnect, then the regular reconnect/resume path.
+                dropped_once = true;
+                uploaded += session.bytes_sent() as usize;
+                downloaded += session.bytes_received() as usize;
+                session.close();
+                // The drop consumes retry budget like any real outage
+                // (`--retries 0` turns it into a permanent death).
+                if attempt >= config.retries {
+                    return Err(NetError::Closed);
+                }
+                std::thread::sleep(backoff.delay(attempt));
+                attempt += 1;
+                continue 'outer;
+            }
+
+            // The resume path: a re-broadcast of a round this client
+            // already trained means the server never saw (or lost) the
+            // upload — resend the cached frame byte-identically.
+            // Training again instead would advance the client's RNG
+            // and momentum a second time and diverge from `fedsz fl`.
+            if let Some(c) = &cached {
+                if c.round == round {
+                    config.telemetry.event(
+                        "worker.resume",
+                        &[
+                            ("client", Value::U64(config.id as u64)),
+                            ("round", Value::U64(u64::from(round))),
+                        ],
+                    );
+                    if session.send_frame(&c.frame).is_err() {
+                        uploaded += session.bytes_sent() as usize;
+                        downloaded += session.bytes_received() as usize;
+                        if attempt >= config.retries {
+                            return Err(NetError::Closed);
+                        }
+                        std::thread::sleep(backoff.delay(attempt));
+                        attempt += 1;
+                        continue 'outer;
+                    }
+                    continue;
+                }
+            }
+
+            let round_span = config.telemetry.span_with(
+                "worker.round",
+                &[
+                    ("round", Value::U64(u64::from(round))),
+                    ("client", Value::U64(config.id as u64)),
+                ],
+            );
+            client
+                .load_global(&dict)
+                .map_err(|e| NetError::Protocol(format!("global dict rejected: {e}")))?;
+            for _ in 0..config.fl.local_epochs {
+                client.train_epoch();
+            }
+            let update = client.update();
+            let raw_bytes = update.byte_size();
+
+            // The plan's upload policy on the measured link: `Lossy`
+            // always compresses; `Adaptive` runs Eqn 1 — compress iff
+            // measured codec time plus compressed transfer beats
+            // sending raw at the measured bandwidth, probing
+            // (compressing) until both measurements exist.
+            // `TopK`/`Quant` always ship their one family;
+            // `AutoFamily` prices every candidate against raw with the
+            // same measured bandwidth, probing unmeasured families in
+            // rotation (the engine's rule, measured inputs).
+            let (compress, family_choice, predicted) = match &uplink {
+                StagePolicy::Raw | StagePolicy::Lossless => (false, None, None),
+                StagePolicy::Lossy(_) => (true, None, None),
+                StagePolicy::Adaptive { .. } => match (profile, link.bps) {
+                    (Some(profile), Some(bps)) => {
+                        let plan = profile.plan(raw_bytes);
+                        (
+                            plan.worthwhile(bps),
+                            None,
+                            Some((plan.compressed_time(bps), plan.uncompressed_time(bps))),
+                        )
+                    }
+                    _ => (true, None, None),
                 },
-            ));
-            (packed, true)
-        } else if compress {
-            let codec = fedsz.as_ref().expect("compress implies a codec");
-            let t0 = Instant::now();
-            let packed = codec.compress(&update).expect("finite weights").into_bytes();
-            let compress_secs = t0.elapsed().as_secs_f64();
-            measured_codec_secs = compress_secs;
-            if uplink.is_adaptive() {
+                StagePolicy::TopK { .. } | StagePolicy::Quant { .. } => (false, Some(0), None),
+                StagePolicy::AutoFamily { .. } => {
+                    let candidates: Vec<FamilyCandidate> = codecs
+                        .iter()
+                        .zip(&family_profiles)
+                        .map(|(&(name, _), profile)| FamilyCandidate {
+                            family: name,
+                            profile: *profile,
+                        })
+                        .collect();
+                    let hint =
+                        (round as usize).wrapping_mul(codecs.len().max(1)).wrapping_add(config.id);
+                    let sel = select_family(raw_bytes, link.bps, &candidates, hint);
+                    let predicted = match (sel.predicted_choice_secs, sel.predicted_raw_secs) {
+                        (Some(chosen), Some(raw)) => Some((chosen, raw)),
+                        _ => None,
+                    };
+                    (false, sel.choice, predicted)
+                }
+            };
+            let mut measured_codec_secs = 0.0f64;
+            let (payload, compressed) = if let Some(ci) = family_choice {
+                let t0 = Instant::now();
+                let packed = match &codecs[ci].1 {
+                    UplinkCodecKind::Fedsz(f) => {
+                        f.compress(&update).expect("finite weights").into_bytes()
+                    }
+                    UplinkCodecKind::Family(c) => {
+                        // The delta reference is the broadcast this
+                        // worker just decoded — the server decodes
+                        // against the same bytes, so the bases agree.
+                        // EF is rejected above, so no residual is
+                        // carried.
+                        let dither = derive_dither_seed(config.fl.seed, round as usize, config.id);
+                        c.encode_delta(&update, &dict, None, dither).expect("finite weights")
+                    }
+                };
+                let compress_secs = t0.elapsed().as_secs_f64();
+                measured_codec_secs = compress_secs;
                 let raw = raw_bytes.max(1) as f64;
-                // The decompression the server will pay is measured on
-                // the first compressed round only — it is a stable
-                // per-byte cost, and re-measuring it would mean one
-                // redundant full decompress of every later upload. The
-                // EWMA carries the sample forward.
-                let decompress_secs_per_byte = match profile {
+                // Like the adaptive path below: the server-side
+                // decompress cost is measured once per family and
+                // carried by the EWMA.
+                let decompress_secs_per_byte = match family_profiles[ci] {
                     Some(prev) => prev.decompress_secs_per_byte,
                     None => {
                         let t1 = Instant::now();
-                        let _ = codec.decompress(&packed)?;
+                        match &codecs[ci].1 {
+                            UplinkCodecKind::Fedsz(f) => {
+                                let _ = f.decompress(&packed)?;
+                            }
+                            UplinkCodecKind::Family(_) => {
+                                let _ = FamilyCodec::decode_delta(&packed, &dict)?;
+                            }
+                        }
                         t1.elapsed().as_secs_f64() / raw
                     }
                 };
-                profile = Some(CostProfile::blend(
-                    profile,
+                family_profiles[ci] = Some(CostProfile::blend(
+                    family_profiles[ci],
                     CostProfile {
                         compress_secs_per_byte: compress_secs / raw,
                         decompress_secs_per_byte,
                         ratio: raw / packed.len().max(1) as f64,
                     },
                 ));
+                (packed, true)
+            } else if compress {
+                let codec = fedsz.as_ref().expect("compress implies a codec");
+                let t0 = Instant::now();
+                let packed = codec.compress(&update).expect("finite weights").into_bytes();
+                let compress_secs = t0.elapsed().as_secs_f64();
+                measured_codec_secs = compress_secs;
+                if uplink.is_adaptive() {
+                    let raw = raw_bytes.max(1) as f64;
+                    // The decompression the server will pay is measured
+                    // on the first compressed round only — it is a
+                    // stable per-byte cost, and re-measuring it would
+                    // mean one redundant full decompress of every later
+                    // upload. The EWMA carries the sample forward.
+                    let decompress_secs_per_byte = match profile {
+                        Some(prev) => prev.decompress_secs_per_byte,
+                        None => {
+                            let t1 = Instant::now();
+                            let _ = codec.decompress(&packed)?;
+                            t1.elapsed().as_secs_f64() / raw
+                        }
+                    };
+                    profile = Some(CostProfile::blend(
+                        profile,
+                        CostProfile {
+                            compress_secs_per_byte: compress_secs / raw,
+                            decompress_secs_per_byte,
+                            ratio: raw / packed.len().max(1) as f64,
+                        },
+                    ));
+                }
+                (packed, true)
+            } else {
+                (update.to_bytes(), false)
+            };
+            let family_name = match family_choice {
+                Some(ci) => codecs[ci].0,
+                None if compressed => "lossy",
+                None => "raw",
+            };
+
+            // The measured twin of the engine's per-client uplink
+            // record: predictions exist only once both the codec
+            // profile and a bandwidth sample do (the probe rounds
+            // before that show `null` predictions in the trace, like
+            // the simulator's).
+            config.telemetry.event(
+                "eqn1.decision",
+                &[
+                    ("leg", Value::Str("uplink")),
+                    ("node", Value::U64(config.id as u64)),
+                    ("compressed", Value::Bool(compressed)),
+                    ("family", Value::Str(family_name)),
+                    (
+                        "predicted_compressed_secs",
+                        Value::F64(predicted.map_or(f64::NAN, |p: (f64, f64)| p.0)),
+                    ),
+                    ("predicted_raw_secs", Value::F64(predicted.map_or(f64::NAN, |p| p.1))),
+                    ("measured_codec_secs", Value::F64(measured_codec_secs)),
+                ],
+            );
+
+            // Cache the encoded frame *before* the send: a send that
+            // dies mid-frame must leave the worker able to resend this
+            // exact round on the resumed session, never retrain it.
+            let frame = Message::Update { round, client_id: config.id as u64, payload, compressed }
+                .encode();
+            cached = Some(CachedUpload { round, frame });
+            rounds += 1;
+            if compressed {
+                compressed_rounds += 1;
             }
-            (packed, true)
-        } else {
-            (update.to_bytes(), false)
-        };
-        let family_name = match family_choice {
-            Some(ci) => codecs[ci].0,
-            None if compressed => "lossy",
-            None => "raw",
-        };
-
-        // The measured twin of the engine's per-client uplink record:
-        // predictions exist only once both the codec profile and a
-        // bandwidth sample do (the probe rounds before that show
-        // `null` predictions in the trace, like the simulator's).
-        config.telemetry.event(
-            "eqn1.decision",
-            &[
-                ("leg", Value::Str("uplink")),
-                ("node", Value::U64(config.id as u64)),
-                ("compressed", Value::Bool(compressed)),
-                ("family", Value::Str(family_name)),
-                (
-                    "predicted_compressed_secs",
-                    Value::F64(predicted.map_or(f64::NAN, |p: (f64, f64)| p.0)),
-                ),
-                ("predicted_raw_secs", Value::F64(predicted.map_or(f64::NAN, |p| p.1))),
-                ("measured_codec_secs", Value::F64(measured_codec_secs)),
-            ],
-        );
-
-        let message = Message::Update { round, client_id: config.id as u64, payload, compressed };
-        let t_send = Instant::now();
-        let wire_bytes = session.send(&message)?;
-        link.observe(wire_bytes, t_send.elapsed().as_secs_f64());
-        drop(round_span);
-
-        rounds += 1;
-        if compressed {
-            compressed_rounds += 1;
+            let frame = &cached.as_ref().expect("just cached").frame;
+            let t_send = Instant::now();
+            match session.send_frame(frame) {
+                Ok(wire_bytes) => link.observe(wire_bytes, t_send.elapsed().as_secs_f64()),
+                Err(_) => {
+                    drop(round_span);
+                    uploaded += session.bytes_sent() as usize;
+                    downloaded += session.bytes_received() as usize;
+                    if attempt >= config.retries {
+                        return Err(NetError::Closed);
+                    }
+                    std::thread::sleep(backoff.delay(attempt));
+                    attempt += 1;
+                    continue 'outer;
+                }
+            }
+            drop(round_span);
         }
     }
     Ok(WorkerReport {
         rounds,
-        uploaded_bytes: session.bytes_sent() as usize,
-        downloaded_bytes: session.bytes_received() as usize,
+        uploaded_bytes: uploaded,
+        downloaded_bytes: downloaded,
         compressed_rounds,
+        reconnects,
         measured_bps: link.bps.unwrap_or(0.0),
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retry_schedule_prefers_the_primary_then_alternates() {
+        // No fallback: every attempt hits the primary.
+        for attempt in 0..10 {
+            assert!(!retry_uses_fallback(attempt, false), "attempt {attempt}");
+        }
+        // With a fallback: two patient attempts on the primary, then
+        // even attempts probe the fallback while odd ones keep the
+        // primary warm.
+        let pattern: Vec<bool> = (0..8).map(|a| retry_uses_fallback(a, true)).collect();
+        assert_eq!(pattern, vec![false, false, true, false, true, false, true, false]);
+    }
 }

@@ -75,7 +75,7 @@
 //!
 //! Both are typed rejections, the same pattern as lossy psum.
 
-use crate::agg::{DownlinkMode, PsumMode, TreePlan};
+use crate::agg::{DownlinkMode, PsumMode, ShardPlan, TreePlan};
 use crate::engine::AggregationPolicy;
 use crate::link::{LinkProfile, Topology};
 use crate::FlConfig;
@@ -590,6 +590,21 @@ impl RoundPlan {
             return Err(PlanError::StatefulUplinkWorker);
         }
         Ok(())
+    }
+
+    /// The client-id range a sharded root adopts when relay `shard`
+    /// dies mid-run: the same contiguous [`ShardPlan`] split every
+    /// executor derives from the cohort size, so the re-parented
+    /// workers' uploads fold at the root in the identical positions
+    /// their relay would have used — which is what keeps the global
+    /// checksum bit-identical across the failover. `None` for a flat
+    /// server (nothing to re-parent) or an out-of-range shard.
+    pub fn reparent_range(&self, shard: usize) -> Option<std::ops::Range<usize>> {
+        let shards = self.shard_count()?;
+        if shard >= shards {
+            return None;
+        }
+        Some(ShardPlan::new(self.config.clients, shards).range(shard))
     }
 }
 
@@ -1206,6 +1221,27 @@ mod tests {
         assert!(PlanError::StatefulUplinkWorker.to_string().contains("error-feedback"));
         assert!(PlanError::BadTopKRatio { ratio: 0.0 }.to_string().contains("(0, 1]"));
         assert!(PlanError::BadQuantBits { bits: 3 }.to_string().contains("4 or 8"));
+    }
+
+    #[test]
+    fn reparent_range_matches_the_shard_split() {
+        // A flat plan has no relays, hence nothing to re-parent.
+        assert_eq!(base().plan().unwrap().reparent_range(0), None);
+
+        // A sharded plan hands back exactly the ShardPlan split: the
+        // root adopting relay 1's orphans must fold clients 4..7 — the
+        // same contiguous block the relay owned — or parity breaks.
+        let mut config = base();
+        config.clients = 10;
+        config.shards = Some(3);
+        let plan = config.plan().unwrap();
+        assert_eq!(plan.reparent_range(0), Some(0..4));
+        assert_eq!(plan.reparent_range(1), Some(4..7));
+        assert_eq!(plan.reparent_range(2), Some(7..10));
+        // Every client lands in exactly one relay's range.
+        assert_eq!(plan.reparent_range(3), None);
+        let covered: usize = (0..3).map(|s| plan.reparent_range(s).unwrap().len()).sum();
+        assert_eq!(covered, 10);
     }
 
     #[test]

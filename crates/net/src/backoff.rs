@@ -1,0 +1,120 @@
+//! Bounded exponential backoff with seeded jitter.
+//!
+//! The reconnect schedule for workers: after a relay restart, every
+//! orphaned worker discovers the dead socket within milliseconds of
+//! its siblings. If they all retried on the same exponential clock
+//! they would stampede the fallback parent in lockstep — the
+//! thundering herd. [`Backoff`] therefore draws each delay uniformly
+//! from the *upper half* of the capped exponential window
+//! (`[base·2^n / 2, base·2^n]`, AWS-style "equal jitter"), with the
+//! randomness derived from a caller-provided seed — a worker seeds
+//! with its client id, so the schedule is deterministic per worker
+//! (unit-testable, reproducible traces) yet decorrelated across the
+//! cohort.
+
+use std::time::Duration;
+
+/// A deterministic, jittered, capped exponential retry schedule.
+#[derive(Debug, Clone, Copy)]
+pub struct Backoff {
+    /// First window: attempt 0 draws from `[base/2, base]`.
+    base: Duration,
+    /// Ceiling on the exponential window.
+    cap: Duration,
+    /// Jitter seed; two schedules with different seeds decorrelate.
+    seed: u64,
+}
+
+/// SplitMix64 — the tiny, high-quality mixer the repo's offline rand
+/// shim builds on; enough entropy to decorrelate retry clocks.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Backoff {
+    /// A schedule growing from `base` to at most `cap` per attempt.
+    /// A zero `base` is clamped to 1 ms so the window always has
+    /// width; `cap` below `base` is raised to `base`.
+    pub fn new(base: Duration, cap: Duration, seed: u64) -> Self {
+        let base = base.max(Duration::from_millis(1));
+        Self { base, cap: cap.max(base), seed }
+    }
+
+    /// The delay before retry number `attempt` (0-based): uniform in
+    /// `[w/2, w]` where `w = min(base · 2^attempt, cap)`.
+    pub fn delay(&self, attempt: u32) -> Duration {
+        let window = self
+            .base
+            .checked_mul(1u32.checked_shl(attempt).unwrap_or(u32::MAX))
+            .unwrap_or(self.cap)
+            .min(self.cap);
+        let floor = window / 2;
+        let span_nanos = (window - floor).as_nanos() as u64;
+        if span_nanos == 0 {
+            return window;
+        }
+        let draw = splitmix64(self.seed ^ (u64::from(attempt).wrapping_mul(0xA076_1D64_78BD_642F)));
+        floor + Duration::from_nanos(draw % (span_nanos + 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_deterministic_and_bounded() {
+        let b = Backoff::new(Duration::from_millis(50), Duration::from_secs(2), 42);
+        for attempt in 0..12 {
+            let d = b.delay(attempt);
+            assert_eq!(d, b.delay(attempt), "same seed+attempt must reproduce");
+            let window = Duration::from_millis(50)
+                .checked_mul(1u32.checked_shl(attempt).unwrap_or(u32::MAX))
+                .unwrap_or(Duration::from_secs(2))
+                .min(Duration::from_secs(2));
+            assert!(d >= window / 2, "attempt {attempt}: {d:?} below half-window {window:?}");
+            assert!(d <= window, "attempt {attempt}: {d:?} above window {window:?}");
+        }
+    }
+
+    #[test]
+    fn windows_grow_exponentially_then_saturate_at_the_cap() {
+        let b = Backoff::new(Duration::from_millis(10), Duration::from_millis(160), 7);
+        // Window per attempt: 10, 20, 40, 80, 160, 160, ... — the
+        // *minimum* possible delay (half-window) tracks that growth.
+        for (attempt, cap_ms) in [(0u32, 10u64), (1, 20), (2, 40), (3, 80), (4, 160), (9, 160)] {
+            let d = b.delay(attempt);
+            assert!(d <= Duration::from_millis(cap_ms), "attempt {attempt}: {d:?}");
+            assert!(d >= Duration::from_millis(cap_ms / 2), "attempt {attempt}: {d:?}");
+        }
+        // Huge attempt numbers must not overflow.
+        assert!(b.delay(u32::MAX) <= Duration::from_millis(160));
+    }
+
+    #[test]
+    fn different_seeds_decorrelate_the_herd() {
+        // 32 workers restarting simultaneously: at least half must
+        // land on distinct retry instants in the very first window
+        // (the id-seeded jitter is the anti-stampede mechanism).
+        let base = Duration::from_millis(100);
+        let cap = Duration::from_secs(5);
+        let delays: std::collections::BTreeSet<Duration> =
+            (0..32u64).map(|id| Backoff::new(base, cap, id).delay(0)).collect();
+        assert!(delays.len() >= 16, "only {} distinct delays across 32 seeds", delays.len());
+    }
+
+    #[test]
+    fn degenerate_inputs_are_clamped() {
+        let b = Backoff::new(Duration::ZERO, Duration::ZERO, 0);
+        let d = b.delay(0);
+        assert!(d > Duration::ZERO && d <= Duration::from_millis(1));
+        // cap below base is raised to base.
+        let b = Backoff::new(Duration::from_secs(1), Duration::from_millis(1), 0);
+        assert!(b.delay(5) <= Duration::from_secs(1));
+        assert!(b.delay(5) >= Duration::from_millis(500));
+    }
+}

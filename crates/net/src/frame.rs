@@ -111,6 +111,12 @@ impl<R: Read> FrameReader<R> {
         &self.inner
     }
 
+    /// The wrapped source, mutably (e.g. for test sources whose
+    /// readiness the caller drives by hand).
+    pub fn get_mut(&mut self) -> &mut R {
+        &mut self.inner
+    }
+
     /// Bytes currently buffered but not yet decoded (a partially
     /// received frame survives across calls — and across timeouts).
     pub fn buffered(&self) -> usize {
@@ -219,7 +225,7 @@ mod tests {
 
     fn sample() -> Vec<Message> {
         vec![
-            Message::Join { client_id: 3, round: 0 },
+            Message::Join { client_id: 3, round: 0, relay: false },
             Message::GlobalModel { round: 0, dict_bytes: (0u8..=255).collect() },
             Message::Update { round: 0, client_id: 3, payload: vec![7; 1000], compressed: true },
             Message::PartialSumCompressed {
@@ -235,7 +241,7 @@ mod tests {
 
     #[test]
     fn writer_reports_frame_bytes() {
-        let msg = Message::Join { client_id: 1, round: 0 };
+        let msg = Message::Join { client_id: 1, round: 0, relay: false };
         let mut bytes = Vec::new();
         let n = FrameWriter::new(&mut bytes).write_message(&msg).unwrap();
         assert_eq!(n, bytes.len());

@@ -22,22 +22,40 @@
 //! * [`MetricsServer`] — a detached Prometheus text-exposition
 //!   endpoint (`fedsz serve --metrics-addr`) answering every HTTP
 //!   request with a live counter/gauge snapshot.
+//! * [`Reactor`] — the C10K runtime: one thread multiplexing every
+//!   session over nonblocking sockets through a `poll(2)` readiness
+//!   loop, with per-connection inbound frame reassembly (the same
+//!   [`FrameReader`]), outbound write-backpressure queues, and an
+//!   encode-once broadcast fan-out. [`DeadlineWheel`] keys the round
+//!   and barrier timeouts of whoever drives the loop.
+//! * [`Backoff`] — bounded exponential retry schedule with seeded
+//!   jitter, used by workers reconnecting after an eviction or a
+//!   relay failure (the seed keeps a restarted cohort from stampeding
+//!   its parent in lockstep).
 //!
 //! The crate deliberately knows nothing about federated learning:
 //! models, aggregation and round logic stay in `fedsz-fl`, which
 //! builds its multi-process runtime (`fedsz_fl::net`) on these
 //! primitives.
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the whole crate stays safe Rust except
+// the one `poll(2)` FFI declaration in `poll.rs`, which carries a
+// module-scoped `allow` and a safety argument.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backoff;
 pub mod frame;
 pub mod metrics;
+pub mod poll;
+pub mod reactor;
 pub mod session;
 pub mod wire;
 
+pub use backoff::Backoff;
 pub use frame::{FrameReader, FrameWriter};
 pub use metrics::MetricsServer;
+pub use reactor::{DeadlineWheel, Reactor, ReactorEvent, Token};
 pub use session::Session;
 pub use wire::{frame_len, Message, MAX_FRAME_BYTES};
 

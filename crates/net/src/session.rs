@@ -181,10 +181,10 @@ mod tests {
             other => panic!("expected a timeout, got {other:?}"),
         }
         // The stream still works after the timeout.
-        client.send(&Message::Join { client_id: 0, round: 0 }).unwrap();
+        client.send(&Message::Join { client_id: 0, round: 0, relay: false }).unwrap();
         assert!(matches!(
             server.recv(Some(Duration::from_secs(5))).unwrap(),
-            Message::Join { client_id: 0, round: 0 }
+            Message::Join { client_id: 0, round: 0, relay: false }
         ));
     }
 

@@ -52,8 +52,15 @@ pub enum Message {
         /// Client identifier (for a relay: its shard index).
         client_id: u64,
         /// The round the sender expects to start at (0 for a fresh
-        /// session; lets a restarted worker state where it left off).
+        /// session; lets a reconnecting worker state where it left off
+        /// so the server can resume it mid-barrier).
         round: u32,
+        /// Whether the sender is a relay (shard aggregator) rather
+        /// than a leaf worker. A re-parenting root needs the
+        /// distinction: after a relay dies, its orphaned workers join
+        /// the root directly, and their client ids overlap the relay
+        /// shard-id space.
+        relay: bool,
     },
     /// Server ships the global model for a round (state-dict bytes).
     GlobalModel {
@@ -136,7 +143,7 @@ enum Field {
 /// `decode` and [`frame_len`] all conform to this single table.
 const fn layout(tag: u8) -> Option<&'static [Field]> {
     match tag {
-        1 => Some(&[Field::UVarint, Field::U32]),
+        1 => Some(&[Field::UVarint, Field::U32, Field::U8]),
         2 | 5 => Some(&[Field::U32, Field::Payload]),
         3 => Some(&[Field::U32, Field::UVarint, Field::U8, Field::Payload]),
         4 => Some(&[]),
@@ -226,9 +233,10 @@ impl Message {
         out.extend_from_slice(MAGIC);
         out.push(self.tag());
         match self {
-            Message::Join { client_id, round } => {
+            Message::Join { client_id, round, relay } => {
                 write_uvarint(&mut out, *client_id);
                 write_u32(&mut out, *round);
+                out.push(u8::from(*relay));
             }
             Message::GlobalModel { round, dict_bytes } => {
                 write_u32(&mut out, *round);
@@ -269,7 +277,7 @@ impl Message {
     /// Conformance with `encode` is unit-tested per variant.
     pub fn encoded_len(&self) -> usize {
         let body = match self {
-            Message::Join { client_id, round: _ } => uvarint_len(*client_id) + 4,
+            Message::Join { client_id, round: _, relay: _ } => uvarint_len(*client_id) + 4 + 1,
             Message::GlobalModel { round: _, dict_bytes } => {
                 4 + uvarint_len(dict_bytes.len() as u64) + dict_bytes.len()
             }
@@ -318,7 +326,9 @@ impl Message {
             1 => {
                 let client_id = read_uvarint(body, &mut pos)?;
                 let round = read_u32(body, &mut pos)?;
-                Message::Join { client_id, round }
+                let relay = *body.get(pos).ok_or(CodecError::UnexpectedEof)? == 1;
+                pos += 1;
+                Message::Join { client_id, round, relay }
             }
             2 => {
                 let round = read_u32(body, &mut pos)?;
@@ -377,7 +387,8 @@ mod tests {
 
     fn sample_messages() -> Vec<Message> {
         vec![
-            Message::Join { client_id: 7, round: 2 },
+            Message::Join { client_id: 7, round: 2, relay: false },
+            Message::Join { client_id: 3, round: 11, relay: true },
             Message::GlobalModel { round: 3, dict_bytes: vec![1, 2, 3, 4] },
             Message::Update { round: 3, client_id: 7, payload: vec![9; 100], compressed: true },
             Message::Shutdown,

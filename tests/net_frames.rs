@@ -8,6 +8,32 @@ use proptest::collection::vec;
 use proptest::prelude::*;
 use std::io::Read;
 
+/// A nonblocking-socket stand-in: bytes become readable only as the
+/// "reactor" grants readiness, and reading past the granted window
+/// returns `WouldBlock` — exactly what a `poll(2)`-woken read sees.
+/// Once the stream is exhausted, reads return 0 (clean EOF).
+struct GrantedReads {
+    bytes: Vec<u8>,
+    pos: usize,
+    granted: usize,
+}
+
+impl Read for GrantedReads {
+    fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+        if self.pos == self.bytes.len() {
+            return Ok(0);
+        }
+        if self.granted == 0 {
+            return Err(std::io::ErrorKind::WouldBlock.into());
+        }
+        let n = self.granted.min(self.bytes.len() - self.pos).min(out.len());
+        out[..n].copy_from_slice(&self.bytes[self.pos..self.pos + n]);
+        self.pos += n;
+        self.granted -= n;
+        Ok(n)
+    }
+}
+
 /// A reader that serves its bytes in caller-chosen slice sizes,
 /// cycling through `cuts` — so frame boundaries land mid-header,
 /// mid-varint, mid-payload and mid-CRC across cases.
@@ -37,8 +63,8 @@ fn payload() -> impl Strategy<Value = Vec<u8>> + 'static {
 /// length prefixes cross width boundaries.
 fn message() -> impl Strategy<Value = Message> {
     prop_oneof![
-        (any::<u64>(), any::<u32>())
-            .prop_map(|(client_id, round)| Message::Join { client_id, round })
+        (any::<u64>(), any::<u32>(), any::<bool>())
+            .prop_map(|(client_id, round, relay)| Message::Join { client_id, round, relay })
             .boxed(),
         (0u32..9000, payload())
             .prop_map(|(round, dict_bytes)| Message::GlobalModel { round, dict_bytes })
@@ -96,6 +122,61 @@ proptest! {
             prop_assert_eq!(&got, want);
         }
         prop_assert!(reader.read_message().expect("clean close").is_none());
+    }
+
+    #[test]
+    fn reactor_interleaved_sessions_round_trip_bit_exactly(
+        streams in vec(vec(message(), 1..6), 2..7),
+        schedule in vec((any::<u16>(), 1usize..96), 4..64),
+    ) {
+        // The reactor's actual read pattern: many concurrent sessions,
+        // each woken with an arbitrary number of readable bytes at a
+        // time, each drained until WouldBlock — with wakeups
+        // interleaved across sessions in arbitrary order. Every
+        // session must still round-trip its own frame sequence
+        // bit-exactly, unperturbed by the others' progress.
+        let mut sessions: Vec<(FrameReader<GrantedReads>, Vec<Message>)> = streams
+            .iter()
+            .map(|messages| {
+                let source =
+                    GrantedReads { bytes: stream_of(messages), pos: 0, granted: 0 };
+                (FrameReader::new(source), Vec::new())
+            })
+            .collect();
+        // Readiness phase: grant `size` bytes to session `who`, then
+        // drain that session exactly the way the reactor does — read
+        // frames until the source would block.
+        let mut grants: Vec<(usize, usize)> = schedule
+            .iter()
+            .map(|&(who, size)| (who as usize % sessions.len(), size))
+            .collect();
+        // Completion phase: unbounded grants so every session reaches
+        // its clean EOF regardless of how the schedule was drawn.
+        for who in 0..sessions.len() {
+            grants.push((who, usize::MAX));
+        }
+        let mut closed = vec![false; sessions.len()];
+        for (who, size) in grants {
+            if closed[who] {
+                continue;
+            }
+            let (reader, decoded) = &mut sessions[who];
+            reader.get_mut().granted = reader.get_mut().granted.saturating_add(size);
+            loop {
+                match reader.read_message() {
+                    Ok(Some(frame)) => decoded.push(frame),
+                    Ok(None) => { closed[who] = true; break; }
+                    Err(NetError::Timeout) => break, // WouldBlock: wait for the next wakeup
+                    Err(e) => return Err(TestCaseError::Fail(format!(
+                        "session {who} failed mid-stream: {e}"
+                    ))),
+                }
+            }
+        }
+        for (who, ((_, decoded), want)) in sessions.iter().zip(&streams).enumerate() {
+            prop_assert!(closed[who], "session {} never reached its clean EOF", who);
+            prop_assert_eq!(decoded, want, "session {} frames diverged", who);
+        }
     }
 
     #[test]

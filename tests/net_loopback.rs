@@ -149,7 +149,7 @@ fn silent_worker_is_evicted_and_the_round_continues() {
     let healthy = spawn_workers(&config, [0usize], addr.clone());
     let ghost = thread::spawn(move || {
         let mut session = Session::connect(&addr, Duration::from_secs(10)).unwrap();
-        session.send(&Message::Join { client_id: 1, round: 0 }).unwrap();
+        session.send(&Message::Join { client_id: 1, round: 0, relay: false }).unwrap();
         // Wait for the round-0 broadcast so the handshake completed,
         // then drop the connection without answering.
         let _ = session.recv(Some(Duration::from_secs(15))).unwrap();
@@ -196,7 +196,7 @@ fn misconfigured_worker_is_evicted_not_fatal() {
     let healthy = spawn_workers(&config, [0usize], addr.clone());
     let misfit = thread::spawn(move || {
         let mut session = Session::connect(&addr, Duration::from_secs(10)).unwrap();
-        session.send(&Message::Join { client_id: 1, round: 0 }).unwrap();
+        session.send(&Message::Join { client_id: 1, round: 0, relay: false }).unwrap();
         let round = match session.recv(Some(Duration::from_secs(15))).unwrap() {
             Message::GlobalModel { round, .. } | Message::EncodedGlobal { round, .. } => round,
             other => panic!("expected a broadcast, got {other:?}"),
