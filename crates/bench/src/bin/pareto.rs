@@ -33,7 +33,11 @@
 //! the accuracy/bytes gate; the CI micro-sweep runs 2 rounds, too few
 //! for the gate to be meaningful), `--out PATH` (stable-schema JSON
 //! the repo tracks across PRs, default `BENCH_pareto.json`; `-`
-//! disables the file).
+//! disables the file), and `--dp-clip F` / `--dp-noise F` (default
+//! off): clip+noise every client delta before the codec, re-running
+//! the whole family sweep under the paper's §VII-D
+//! compression-of-noised-updates regime — pair with `--no-gate`,
+//! since the topk+ef gate calibrates against noise-free training.
 //!
 //! Output rows carry `on_frontier`: true when no other family got
 //! both more accuracy and fewer uplink bytes — the Pareto frontier
@@ -44,7 +48,7 @@ use fedsz::{ErrorBound, FedSzConfig, LossyKind};
 use fedsz_bench::Args;
 use fedsz_data::DatasetKind;
 use fedsz_fl::plan::StagePolicy;
-use fedsz_fl::{Experiment, FlConfig, RoundMetrics};
+use fedsz_fl::{DpMechanism, DpPolicy, Experiment, FlConfig, RoundMetrics};
 use fedsz_nn::models::tiny::TinyArch;
 use std::collections::BTreeMap;
 
@@ -78,6 +82,14 @@ fn run_family(
     config.bandwidth_bps = Some(args.bandwidth);
     config.compression = compression;
     config.uplink = uplink;
+    if args.dp_clip > 0.0 {
+        config.dp = Some(DpPolicy {
+            clip_norm: args.dp_clip,
+            noise_multiplier: args.dp_noise,
+            mechanism: DpMechanism::Gaussian,
+            seed: args.seed,
+        });
+    }
 
     let metrics: Vec<RoundMetrics> = Experiment::new(config).run();
     let rounds = metrics.len().max(1) as f64;
@@ -109,6 +121,8 @@ struct SweepArgs {
     train_per_class: usize,
     seed: u64,
     bandwidth: f64,
+    dp_clip: f64,
+    dp_noise: f64,
 }
 
 fn main() {
@@ -119,6 +133,8 @@ fn main() {
         train_per_class: args.get("--train-per-class", 20),
         seed: args.get("--seed", 42),
         bandwidth: args.get("--bandwidth", 10e6),
+        dp_clip: args.get("--dp-clip", 0.0),
+        dp_noise: args.get("--dp-noise", 0.0),
     };
     let topk_ratio: f64 = args.get("--topk", 0.07);
     let gate = !args.has("--no-gate");

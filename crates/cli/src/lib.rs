@@ -37,13 +37,14 @@
 
 pub mod report;
 pub mod spec;
+pub mod sweep;
 
 use fedsz::{ErrorBound, FedSz, FedSzConfig, LosslessKind, LossyKind};
 use fedsz_data::DatasetKind;
 use fedsz_fl::net::{global_checksum, run_worker, NetServer, Role, ServeConfig, WorkerConfig};
 use fedsz_fl::{
-    AggregationPolicy, DownlinkMode, Experiment, FlConfig, LinkProfile, PsumMode, StagePolicy,
-    TreePlan,
+    AggregationPolicy, DownlinkMode, DpMechanism, DpPolicy, Experiment, FlConfig, LinkProfile,
+    PsumMode, StagePolicy, TreePlan,
 };
 use fedsz_net::MetricsServer;
 use fedsz_nn::models::specs::ModelSpec;
@@ -92,12 +93,16 @@ USAGE:
            [--weighted] [--no-compress] [--seed N] [--train-per-class N]
            [--shards S] [--tree F1xF2x...] [--psum raw|lossless|auto]
            [--downlink raw|fedsz|auto] [--uplink CODEC] [--threads N]
-           [--trace FILE]
+           [--dp-clip F] [--dp-noise F] [--dp-mechanism gaussian|laplace]
+           [--dp-seed N] [--trace FILE]
+  fedsz sweep <SPEC.toml|DIR> [--json [FILE]] [--threads N]
   fedsz serve [--config FILE] [--json] [--bind ADDR] [--clients N]
               [--rounds N] [--seed N]
               [--train-per-class N] [--arch ...] [--no-compress]
               [--downlink raw|fedsz] [--uplink CODEC] [--shards S]
               [--psum raw|lossless]
+              [--dp-clip F] [--dp-noise F]
+              [--dp-mechanism gaussian|laplace] [--dp-seed N]
               [--shard I --connect ADDR] [--accept-timeout SECS]
               [--round-timeout SECS] [--reconnect-grace SECS]
               [--max-sessions N] [--fail-at-round R] [--threads N]
@@ -105,6 +110,8 @@ USAGE:
   fedsz worker --id K [--config FILE] [--connect ADDR] [--clients N]
                [--rounds N] [--seed N] [--train-per-class N] [--arch ...]
                [--no-compress] [--adaptive] [--uplink CODEC]
+               [--dp-clip F] [--dp-noise F]
+               [--dp-mechanism gaussian|laplace] [--dp-seed N]
                [--fallback ADDR] [--retries N] [--drop-at-round R]
                [--timeout SECS] [--trace FILE]
 
@@ -131,6 +138,33 @@ rounds, so it is rejected with --policy buffered:K and by
 serve/worker. --threads N sets
 the tree's merge worker-pool width (default: host parallelism); it
 changes wall-clock only — any width produces identical bits.
+--dp-clip C turns on the differential-privacy stage: each client's
+update delta is clipped to L2 norm <= C, then per-element noise of
+scale sigma = C x --dp-noise is added (--dp-mechanism picks gaussian
+or laplace) BEFORE the uplink codec sees the update — so compression
+ratios, Eqn-1 decisions and accuracy all feel the noise, which is
+the trade-off the paper's Section VII-D is about. The noise stream
+is derived from (--dp-seed, round, client id) alone — stateless, so
+it is legal under buffered aggregation and on socket workers, and
+every runtime produces identical bits. --dp-seed defaults to --seed;
+--dp-noise 0 means clip-only.
+
+`fedsz sweep` executes a grid of `fl` scenarios from one spec file: a
+flat run spec plus a [matrix] table whose keys are run-spec keys and
+whose values are arrays (dp-noise = [0.0, 0.5], uplink =
+[\"topk:0.01\", \"q8\"]). Axes expand cross-product style in
+declaration order with the last axis varying fastest; every expanded
+cell's plan is validated before any cell runs (a bad cell fails the
+whole sweep up front, naming the cell); each cell derives its seed
+from the base seed and its cell index — cell 0 keeps the base seed
+exactly, so a one-cell sweep is bit-identical to the equivalent
+`fedsz fl` run. Cells execute across a worker pool (--threads N,
+default host parallelism) and the merged fedsz.sweep_report.v1
+document (--json [FILE]; stdout without FILE) embeds every cell's
+coordinates, seed and full run_report.v2 rows, plus the Pareto front
+over final accuracy / total uplink bytes / virtual time. Passing a
+directory instead of a file sweeps every *.toml inside it, one cell
+per spec.
 
 `fedsz serve` + `fedsz worker` run the SAME round across real
 processes over TCP: `serve` listens (default 127.0.0.1:7070), waits
@@ -196,6 +230,10 @@ pub fn run(args: &[String]) -> Outcome {
         Some("fl") => with_spec(fl, &args[1..]),
         Some("serve") => with_spec(serve, &args[1..]),
         Some("worker") => with_spec(worker, &args[1..]),
+        // `sweep` owns its spec handling: the spec file is the
+        // positional argument and may carry a [matrix] table the flat
+        // --config expansion rejects.
+        Some("sweep") => sweep::sweep(&args[1..]),
         Some("--help") | Some("-h") => Outcome::ok(USAGE.to_string()),
         _ => Outcome::fail(USAGE.to_string()),
     }
@@ -589,6 +627,46 @@ fn shared_fl_config(args: &[String]) -> Result<FlConfig, String> {
     if let Some(spec) = flag_value(args, "--uplink") {
         config.uplink = Some(parse_uplink(spec, config.compression)?);
     }
+    // The DP stage: --dp-clip is the switch (a clip bound is the one
+    // part a DP deployment cannot omit); the other dp flags refine it
+    // and are rejected alone so a spec that forgot the clip fails
+    // loudly instead of silently running without privacy.
+    let dp_noise = flag_value(args, "--dp-noise");
+    let dp_mechanism = flag_value(args, "--dp-mechanism");
+    let dp_seed = flag_value(args, "--dp-seed");
+    match flag_value(args, "--dp-clip") {
+        None => {
+            if dp_noise.is_some() || dp_mechanism.is_some() || dp_seed.is_some() {
+                return Err("--dp-noise/--dp-mechanism/--dp-seed need --dp-clip \
+                            (the clip bound is what turns the DP stage on)"
+                    .into());
+            }
+        }
+        Some(clip) => {
+            let clip_norm: f64 = clip
+                .parse()
+                .map_err(|_| "--dp-clip expects a number (the L2 clip bound)".to_string())?;
+            let noise_multiplier: f64 = match dp_noise {
+                None => 0.0, // clip-only
+                Some(v) => v.parse().map_err(|_| {
+                    "--dp-noise expects a number (the noise multiplier)".to_string()
+                })?,
+            };
+            let mechanism = match dp_mechanism {
+                None => DpMechanism::Gaussian,
+                Some(name) => DpMechanism::parse(name).ok_or_else(|| {
+                    format!("unknown DP mechanism `{name}`; try gaussian or laplace")
+                })?,
+            };
+            let seed = match dp_seed {
+                // The run seed, so one spec keeps every process's
+                // noise stream aligned by default.
+                None => seed,
+                Some(v) => v.parse().map_err(|_| "--dp-seed expects an integer".to_string())?,
+            };
+            config.dp = Some(DpPolicy { clip_norm, noise_multiplier, mechanism, seed });
+        }
+    }
     // Execution width, not semantics: the aggregation tree merges its
     // leaves/levels on this many worker threads (default: the host's
     // available parallelism). Any width produces identical bits, so
@@ -602,47 +680,34 @@ fn shared_fl_config(args: &[String]) -> Result<FlConfig, String> {
     Ok(config)
 }
 
-fn fl(args: &[String]) -> Outcome {
-    macro_rules! parsed_flag {
-        ($key:expr, $t:ty, $default:expr) => {
-            match parse_flag::<$t>(args, $key, $default) {
-                Ok(v) => v,
-                Err(e) => return Outcome::fail(e),
-            }
-        };
-    }
-    let mut config = match shared_fl_config(args) {
-        Ok(config) => config,
-        Err(e) => return Outcome::fail(e),
-    };
+/// Assembles the full simulator configuration — the shared bit-shaping
+/// flags plus the simulator-only knobs (participation, links,
+/// stragglers, drops, aggregation policy) — and validates it through
+/// the plan. `fl` and every `sweep` cell go through this one function,
+/// which is what makes a sweep cell exactly an `fl` run.
+fn simulator_config(args: &[String]) -> Result<FlConfig, String> {
+    let mut config = shared_fl_config(args)?;
     let clients = config.clients;
-    let participation: f64 = parsed_flag!("--participation", f64, 1.0);
-    let bandwidth_mbps: f64 = parsed_flag!("--bandwidth", f64, 10.0);
-    let latency_ms: f64 = parsed_flag!("--latency", f64, 0.0);
+    let participation: f64 = parse_flag(args, "--participation", 1.0)?;
+    let bandwidth_mbps: f64 = parse_flag(args, "--bandwidth", 10.0)?;
+    let latency_ms: f64 = parse_flag(args, "--latency", 0.0)?;
     if !(bandwidth_mbps.is_finite() && bandwidth_mbps > 0.0) {
-        return Outcome::fail("--bandwidth must be positive".into());
+        return Err("--bandwidth must be positive".into());
     }
     if !(participation.is_finite() && participation > 0.0 && participation <= 1.0) {
-        return Outcome::fail("--participation must be in (0, 1]".into());
+        return Err("--participation must be in (0, 1]".into());
     }
     if !(latency_ms.is_finite() && latency_ms >= 0.0) {
-        return Outcome::fail("--latency must be non-negative".into());
+        return Err("--latency must be non-negative".into());
     }
-    let arch = config.arch;
     config.participation = participation;
     config.bandwidth_bps = Some(bandwidth_mbps * 1e6);
     config.weighted_aggregation = args.iter().any(|a| a == "--weighted");
     config.adaptive_compression = args.iter().any(|a| a == "--adaptive");
 
     // Per-client links: a bandwidth list plus straggler/drop injection.
-    let stragglers = match parse_client_pairs(&flag_values(args, "--straggler"), "--straggler") {
-        Ok(v) => v,
-        Err(e) => return Outcome::fail(e),
-    };
-    let drops = match parse_client_pairs(&flag_values(args, "--drop"), "--drop") {
-        Ok(v) => v,
-        Err(e) => return Outcome::fail(e),
-    };
+    let stragglers = parse_client_pairs(&flag_values(args, "--straggler"), "--straggler")?;
+    let drops = parse_client_pairs(&flag_values(args, "--drop"), "--drop")?;
     // --latency alone keeps the paper's shared pipe (with per-message
     // latency); only per-client knobs switch to dedicated links.
     config.latency_secs = latency_ms / 1e3;
@@ -660,10 +725,10 @@ fn fl(args: &[String]) -> Outcome {
                         *m = values[i % values.len()];
                     }
                 }
-                _ => return Outcome::fail("--links expects MBPS,MBPS,...".into()),
+                _ => return Err("--links expects MBPS,MBPS,...".into()),
             }
         }
-        let mut links: Vec<LinkProfile> = match mbps
+        let mut links: Vec<LinkProfile> = mbps
             .iter()
             .map(|&m| {
                 if m > 0.0 && m.is_finite() {
@@ -672,26 +737,22 @@ fn fl(args: &[String]) -> Outcome {
                     Err(format!("--links: bandwidth must be positive, got {m}"))
                 }
             })
-            .collect()
-        {
-            Ok(l) => l,
-            Err(e) => return Outcome::fail(e),
-        };
+            .collect::<Result<_, _>>()?;
         for (id, factor) in stragglers {
             let Some(link) = links.get_mut(id) else {
-                return Outcome::fail(format!("--straggler: no client {id}"));
+                return Err(format!("--straggler: no client {id}"));
             };
             if !(factor.is_finite() && factor >= 1.0) {
-                return Outcome::fail("--straggler factor must be >= 1".into());
+                return Err("--straggler factor must be >= 1".into());
             }
             *link = link.with_slowdown(factor);
         }
         for (id, prob) in drops {
             let Some(link) = links.get_mut(id) else {
-                return Outcome::fail(format!("--drop: no client {id}"));
+                return Err(format!("--drop: no client {id}"));
             };
             if !(0.0..=1.0).contains(&prob) {
-                return Outcome::fail("--drop probability must be in [0, 1]".into());
+                return Err("--drop probability must be in [0, 1]".into());
             }
             *link = link.with_drop_prob(prob);
         }
@@ -703,11 +764,7 @@ fn fl(args: &[String]) -> Outcome {
             "sync" | "synchronous" => AggregationPolicy::Synchronous,
             other => match other.strip_prefix("buffered:").map(str::parse::<usize>) {
                 Some(Ok(k)) if k > 0 => AggregationPolicy::Buffered { target: k },
-                _ => {
-                    return Outcome::fail(format!(
-                        "unknown policy `{policy}`; try sync or buffered:K"
-                    ))
-                }
+                _ => return Err(format!("unknown policy `{policy}`; try sync or buffered:K")),
             },
         };
     }
@@ -717,8 +774,18 @@ fn fl(args: &[String]) -> Outcome {
     // counts, contradictory topology, link-list mismatches) fails
     // here with the plan's actionable message instead of a panic.
     if let Err(e) = config.plan() {
-        return Outcome::fail(format!("invalid configuration: {e}"));
+        return Err(format!("invalid configuration: {e}"));
     }
+    Ok(config)
+}
+
+fn fl(args: &[String]) -> Outcome {
+    let config = match simulator_config(args) {
+        Ok(config) => config,
+        Err(e) => return Outcome::fail(e),
+    };
+    let clients = config.clients;
+    let arch = config.arch;
 
     // A tree implies per-client last miles into the leaves (the tree
     // topology), even when no explicit link list was given.
@@ -759,24 +826,8 @@ fn fl(args: &[String]) -> Outcome {
     let checksum = global_checksum(experiment.global_state());
     telemetry.flush();
     if json {
-        let rounds = metrics
-            .iter()
-            .map(|m| RoundRow {
-                round: m.round,
-                accuracy: Some(m.test_accuracy),
-                merged: m.aggregated_updates,
-                lost: m.dropped_updates,
-                upstream_bytes: m.upstream_bytes,
-                downstream_bytes: m.downstream_bytes,
-                secs: m.round_secs,
-                checksum: None,
-                level_merge_nanos: Some(m.level_merge_nanos.clone()),
-                eqn1: Some(m.eqn1.clone()),
-                // The simulator has no sockets to lose or re-parent.
-                reconnects: None,
-                reparented: None,
-            })
-            .collect();
+        // RoundRow::simulator owns the fills-vs-nulls column contract.
+        let rounds = metrics.iter().map(RoundRow::simulator).collect();
         let report = RunReport { command: "fl", clients, rounds, checksum: Some(checksum) };
         return Outcome::ok(report.to_json());
     }
@@ -1013,30 +1064,12 @@ fn serve(args: &[String]) -> Outcome {
     };
     telemetry.flush();
     if json {
-        let rounds = report
-            .rounds
-            .iter()
-            .map(|r| RoundRow {
-                round: r.round as usize,
-                accuracy: None,
-                merged: r.merged,
-                lost: r.evicted,
-                upstream_bytes: r.upstream_bytes,
-                downstream_bytes: r.downstream_bytes,
-                secs: r.wall_secs,
-                // A relay never holds the global; null beats a bogus
-                // 0x00000000 fingerprint (mirrors the table output's
-                // suppressed `global checksum` line).
-                checksum: (!relay).then_some(r.checksum),
-                // The socket runtime's merges happen inside relay
-                // processes and its Eqn-1 decisions inside workers;
-                // this server cannot see either.
-                level_merge_nanos: None,
-                eqn1: None,
-                reconnects: Some(r.reconnects),
-                reparented: Some(r.reparented),
-            })
-            .collect();
+        // RoundRow::socket owns the fills-vs-nulls column contract;
+        // dp_sigma comes from the shared plan (the noise itself is
+        // applied worker-side, but the policy is part of the plan
+        // every process agrees on).
+        let dp_sigma = plan.dp.map(|p| p.sigma());
+        let rounds = report.rounds.iter().map(|r| RoundRow::socket(r, relay, dp_sigma)).collect();
         let run_report = RunReport {
             command: "serve",
             clients,

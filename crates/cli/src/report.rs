@@ -24,7 +24,8 @@
 //!                "predicted_compressed_secs": null,
 //!                "predicted_raw_secs": null,
 //!                "measured_codec_secs": 0.0021}, ...],
-//!      "reconnects": null, "reparented": null},
+//!      "reconnects": null, "reparented": null,
+//!      "dp_sigma": 0.05, "clipped_fraction": 0.25},
 //!     ...
 //!   ],
 //!   "checksum": "0x82c3c3f4"
@@ -47,13 +48,27 @@
 //! membership columns: `reconnects` (sessions that reconnected and
 //! resumed during the round) and `reparented` (orphans a sharded root
 //! adopted after their relay died) — the simulator nulls both, the
-//! socket runtime fills them.
+//! socket runtime fills them. The DP columns came with the sweep
+//! subsystem: `dp_sigma` (the per-element noise scale of the plan's
+//! DP stage; both sides fill it whenever DP is on, `null` otherwise)
+//! and `clipped_fraction` (the fraction of this round's client deltas
+//! the clip bound actually touched — the simulator observes its
+//! clients, a root only sees ciphertext-like payloads, so `serve`
+//! always nulls it).
+//!
+//! Which side fills which column is a contract with two ends, so it
+//! lives in exactly one place: the [`RoundRow::simulator`] and
+//! [`RoundRow::socket`] constructors. `fl`, `serve` and `sweep` all
+//! build their rows through them instead of hand-maintaining the
+//! null pattern at each call site.
 //!
 //! The emitter is hand-rolled (no serde in the dependency-free
 //! workspace); every string that reaches it is machine-generated, but
 //! [`json_string`] escapes defensively anyway.
 
 use fedsz::timing::Eqn1Decision;
+use fedsz_fl::net::NetRound;
+use fedsz_fl::RoundMetrics;
 use std::fmt::Write as _;
 
 /// One round's columns, shared by `fl` and `serve`.
@@ -91,6 +106,70 @@ pub struct RoundRow {
     /// Orphaned workers re-parented to this node after their relay
     /// died (`None` for `fl`, and always 0 on relays and flat roots).
     pub reparented: Option<usize>,
+    /// Per-element noise scale of the plan's DP stage (clip norm ×
+    /// noise multiplier). Both sides fill it when DP is on; `None`
+    /// means the run had no DP stage.
+    pub dp_sigma: Option<f64>,
+    /// Fraction of this round's client deltas the DP clip bound
+    /// actually scaled (`None` for `serve` — clipping happens inside
+    /// worker processes the server cannot observe — and for runs
+    /// without DP).
+    pub clipped_fraction: Option<f64>,
+}
+
+impl RoundRow {
+    /// Builds a simulator (`fl`/`sweep`) row from the round engine's
+    /// metrics. This constructor owns the simulator half of the
+    /// fills-vs-nulls contract: accuracies, merge timings, Eqn-1
+    /// decisions and DP observations are filled; per-round checksums
+    /// and the elastic-membership counters are `null` (the simulator
+    /// has no sockets to lose).
+    pub fn simulator(m: &RoundMetrics) -> Self {
+        Self {
+            round: m.round,
+            accuracy: Some(m.test_accuracy),
+            merged: m.aggregated_updates,
+            lost: m.dropped_updates,
+            upstream_bytes: m.upstream_bytes,
+            downstream_bytes: m.downstream_bytes,
+            secs: m.round_secs,
+            checksum: None,
+            level_merge_nanos: Some(m.level_merge_nanos.clone()),
+            eqn1: Some(m.eqn1.clone()),
+            reconnects: None,
+            reparented: None,
+            dp_sigma: m.dp_sigma,
+            clipped_fraction: m.clipped_fraction,
+        }
+    }
+
+    /// Builds a socket (`serve`) row — the other half of the
+    /// contract: per-round checksums and membership counters are
+    /// filled, while accuracies, merge timings, Eqn-1 records and the
+    /// clipped fraction stay `null` (they happen inside worker and
+    /// relay processes this server cannot see). A relay never holds
+    /// the global, so `relay` nulls the checksum rather than emitting
+    /// a bogus `0x00000000`. `dp_sigma` comes from the shared plan —
+    /// the server knows the policy even though the noise is applied
+    /// worker-side.
+    pub fn socket(r: &NetRound, relay: bool, dp_sigma: Option<f64>) -> Self {
+        Self {
+            round: r.round as usize,
+            accuracy: None,
+            merged: r.merged,
+            lost: r.evicted,
+            upstream_bytes: r.upstream_bytes,
+            downstream_bytes: r.downstream_bytes,
+            secs: r.wall_secs,
+            checksum: (!relay).then_some(r.checksum),
+            level_merge_nanos: None,
+            eqn1: None,
+            reconnects: Some(r.reconnects),
+            reparented: Some(r.reparented),
+            dp_sigma,
+            clipped_fraction: None,
+        }
+    }
 }
 
 /// The complete `--json` payload.
@@ -135,7 +214,10 @@ pub fn json_string(s: &str) -> String {
     out
 }
 
-fn json_f64(v: f64) -> String {
+/// Renders a finite f64 with fixed precision; non-finite values
+/// become `null` (JSON has no Infinity/NaN). Shared with the sweep
+/// report emitter.
+pub(crate) fn json_f64(v: f64) -> String {
     if v.is_finite() {
         format!("{v:.6}")
     } else {
@@ -188,12 +270,15 @@ impl RunReport {
             });
             let reconnects = row.reconnects.map_or("null".to_string(), |n| n.to_string());
             let reparented = row.reparented.map_or("null".to_string(), |n| n.to_string());
+            let dp_sigma = row.dp_sigma.map_or("null".to_string(), json_f64);
+            let clipped_fraction = row.clipped_fraction.map_or("null".to_string(), json_f64);
             let _ = write!(
                 out,
                 "    {{\"round\": {}, \"accuracy\": {}, \"merged\": {}, \"lost\": {}, \
                  \"upstream_bytes\": {}, \"downstream_bytes\": {}, \"secs\": {}, \
                  \"checksum\": {}, \"level_merge_nanos\": {}, \"eqn1\": {}, \
-                 \"reconnects\": {}, \"reparented\": {}}}",
+                 \"reconnects\": {}, \"reparented\": {}, \
+                 \"dp_sigma\": {}, \"clipped_fraction\": {}}}",
                 row.round,
                 accuracy,
                 row.merged,
@@ -206,6 +291,8 @@ impl RunReport {
                 eqn1,
                 reconnects,
                 reparented,
+                dp_sigma,
+                clipped_fraction,
             );
             let _ = writeln!(out, "{}", if i + 1 < self.rounds.len() { "," } else { "" });
         }
@@ -251,6 +338,8 @@ mod tests {
                     ]),
                     reconnects: None,
                     reparented: None,
+                    dp_sigma: Some(0.05),
+                    clipped_fraction: Some(0.25),
                 },
                 RoundRow {
                     round: 1,
@@ -265,6 +354,8 @@ mod tests {
                     eqn1: None,
                     reconnects: Some(2),
                     reparented: Some(1),
+                    dp_sigma: None,
+                    clipped_fraction: None,
                 },
             ],
             checksum: Some(0x82c3c3f4),
@@ -316,6 +407,37 @@ mod tests {
         // simulator's row nulls them, the socket row fills them.
         assert!(json.contains("\"reconnects\": null, \"reparented\": null"), "{json}");
         assert!(json.contains("\"reconnects\": 2, \"reparented\": 1"), "{json}");
+        // The DP columns: filled on the DP round, nulled (never
+        // omitted) on the DP-free one.
+        assert!(json.contains("\"dp_sigma\": 0.050000, \"clipped_fraction\": 0.250000"), "{json}");
+        assert!(json.contains("\"dp_sigma\": null, \"clipped_fraction\": null"), "{json}");
+    }
+
+    #[test]
+    fn constructors_own_the_fills_vs_nulls_contract() {
+        let net = NetRound {
+            round: 3,
+            downstream_bytes: 200,
+            upstream_bytes: 100,
+            merged: 4,
+            evicted: 1,
+            reconnects: 2,
+            reparented: 1,
+            wall_secs: 0.25,
+            checksum: 0xdeadbeef,
+        };
+        let row = RoundRow::socket(&net, false, Some(0.1));
+        assert_eq!(row.round, 3);
+        assert_eq!(row.checksum, Some(0xdeadbeef));
+        assert_eq!(row.reconnects, Some(2));
+        assert_eq!(row.dp_sigma, Some(0.1));
+        // The socket side can never observe these.
+        assert_eq!(row.accuracy, None);
+        assert_eq!(row.level_merge_nanos, None);
+        assert_eq!(row.eqn1, None);
+        assert_eq!(row.clipped_fraction, None);
+        // A relay never holds the global model.
+        assert_eq!(RoundRow::socket(&net, true, None).checksum, None);
     }
 
     #[test]

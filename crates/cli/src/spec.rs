@@ -67,6 +67,10 @@ const KNOWN_KEYS: &[&str] = &[
     "psum",
     "downlink",
     "uplink",
+    "dp-clip",
+    "dp-noise",
+    "dp-mechanism",
+    "dp-seed",
     // Execution width (wall-clock only — never shapes the bits, so
     // multi-process peers may differ).
     "threads",
@@ -129,6 +133,17 @@ fn parse_value(raw: &str, line_no: usize) -> Result<SpecValue, String> {
                 }
             }
         }
+        // Arrays must be one type throughout: a `[0.0, "q8"]` mix is
+        // almost always a quoting slip, and down a [matrix] axis it
+        // would silently sweep a value the flag parser then rejects
+        // mid-grid.
+        let numeric = items.iter().filter(|i| i.parse::<f64>().is_ok()).count();
+        if numeric != 0 && numeric != items.len() {
+            return Err(format!(
+                "line {line_no}: array mixes numbers and strings — an array (and a \
+                 [matrix] axis) must be all one type; quote every value or none"
+            ));
+        }
         return Ok(SpecValue::List(items));
     }
     if let Some(body) = raw.strip_prefix('"') {
@@ -181,6 +196,12 @@ pub fn parse_spec(text: &str) -> Result<Vec<(String, SpecValue)>, String> {
             continue;
         }
         if line.starts_with('[') {
+            if line == "[matrix]" {
+                return Err(format!(
+                    "line {line_no}: [matrix] makes this a sweep spec — run it with \
+                     `fedsz sweep FILE`, not --config"
+                ));
+            }
             return Err(format!(
                 "line {line_no}: tables like `{line}` are not supported (run specs are flat)"
             ));
@@ -282,6 +303,100 @@ pub fn expand_config(args: &[String]) -> Result<Vec<String>, String> {
     expanded.extend_from_slice(&args[pos + 2..]);
     expanded.extend(spec_to_args(&entries));
     Ok(expanded)
+}
+
+/// A parsed sweep spec: the flat base entries plus the `[matrix]`
+/// axes, both in declaration order. A spec without `[matrix]` parses
+/// to an empty axis list — the degenerate single-cell sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepSpec {
+    /// The flat section, exactly what [`parse_spec`] returns for it.
+    pub base: Vec<(String, SpecValue)>,
+    /// `(key, values)` per matrix axis, in declaration order.
+    pub axes: Vec<(String, Vec<String>)>,
+}
+
+/// Parses a sweep spec: the flat run-spec grammar, optionally followed
+/// by one `[matrix]` table whose entries are `key = [v1, v2, ...]`
+/// arrays over the value-taking run-spec keys.
+///
+/// # Errors
+///
+/// Returns a line-numbered message for everything [`parse_spec`]
+/// rejects in the flat section, and for matrix-specific faults: a
+/// non-array axis, an empty or mixed-type array, an unknown or
+/// duplicate axis key, an axis also pinned in the flat section, or
+/// anything after `[matrix]` that is not an axis line.
+pub fn parse_sweep_spec(text: &str) -> Result<SweepSpec, String> {
+    let mut base_lines: Vec<&str> = Vec::new();
+    let mut axes: Vec<(String, Vec<String>)> = Vec::new();
+    let mut matrix_line = None;
+    for (idx, raw_line) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = strip_comment(raw_line).trim();
+        if matrix_line.is_none() {
+            if line == "[matrix]" {
+                matrix_line = Some(line_no);
+            } else {
+                base_lines.push(raw_line);
+            }
+            continue;
+        }
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') {
+            return Err(format!(
+                "line {line_no}: `{line}` — [matrix] must be the only and last table \
+                 in a sweep spec"
+            ));
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!("line {line_no}: expected `key = [v1, v2, ...]`, got `{line}`"));
+        };
+        let key = normalize_key(key.trim());
+        if !KNOWN_KEYS.contains(&key.as_str()) {
+            return Err(format!(
+                "line {line_no}: unknown matrix axis `{key}` (axes are the value-taking \
+                 run-spec keys; see `fedsz --help`)"
+            ));
+        }
+        if axes.iter().any(|(k, _)| *k == key) {
+            return Err(format!("line {line_no}: duplicate matrix axis `{key}`"));
+        }
+        match parse_value(value, line_no)? {
+            SpecValue::List(items) if !items.is_empty() => axes.push((key, items)),
+            SpecValue::List(_) => {
+                return Err(format!("line {line_no}: matrix axis `{key}` has no values"))
+            }
+            SpecValue::Scalar(_) | SpecValue::Bool(_) => {
+                return Err(format!(
+                    "line {line_no}: matrix axis `{key}` must be an array of values \
+                     (a fixed value belongs above [matrix])"
+                ));
+            }
+        }
+    }
+    // The base section re-parses through the flat grammar; it comes
+    // first in the file, so its error line numbers stay accurate.
+    let base = parse_spec(&base_lines.join("\n"))?;
+    for (key, _) in &axes {
+        if base.iter().any(|(k, _)| k == key) {
+            return Err(format!(
+                "matrix axis `{key}` is also pinned in the flat section; sweep it or \
+                 pin it, not both"
+            ));
+        }
+    }
+    if let Some(line_no) = matrix_line {
+        if axes.is_empty() {
+            return Err(format!(
+                "line {line_no}: [matrix] has no axes (delete the table or add \
+                 `key = [v1, v2]` lines)"
+            ));
+        }
+    }
+    Ok(SweepSpec { base, axes })
 }
 
 /// Renders entries back as canonical spec text (used by tests to
@@ -450,6 +565,89 @@ mod tests {
         let twice: Vec<String> =
             vec!["--config".into(), "/a".into(), "--config".into(), "/b".into()];
         assert!(expand_config(&twice).unwrap_err().contains("at most once"));
+    }
+
+    #[test]
+    fn matrix_tables_are_routed_to_sweep() {
+        let err = parse_spec("clients = 2\n[matrix]\nseed = [1, 2]\n").unwrap_err();
+        assert!(err.contains("fedsz sweep"), "{err}");
+        assert!(err.contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn mixed_type_arrays_are_rejected() {
+        let err = parse_spec("straggler = [\"0:4\", 7]").unwrap_err();
+        assert!(err.contains("all one type"), "{err}");
+    }
+
+    #[test]
+    fn sweep_specs_split_base_from_matrix() {
+        let spec = "\
+            clients = 4\n\
+            rounds = 2\n\
+            [matrix]\n\
+            dp-noise = [0.0, 0.5]\n\
+            uplink = [\"topk:0.01\", \"q8\"]\n";
+        let sweep = parse_sweep_spec(spec).unwrap();
+        assert_eq!(
+            sweep.base,
+            vec![
+                ("clients".to_string(), SpecValue::Scalar("4".into())),
+                ("rounds".to_string(), SpecValue::Scalar("2".into())),
+            ]
+        );
+        assert_eq!(
+            sweep.axes,
+            vec![
+                ("dp-noise".to_string(), vec!["0.0".to_string(), "0.5".to_string()]),
+                ("uplink".to_string(), vec!["topk:0.01".to_string(), "q8".to_string()]),
+            ]
+        );
+    }
+
+    #[test]
+    fn a_flat_spec_is_a_single_cell_sweep() {
+        let sweep = parse_sweep_spec("clients = 2\nrounds = 1\n").unwrap();
+        assert_eq!(sweep.base.len(), 2);
+        assert!(sweep.axes.is_empty());
+    }
+
+    #[test]
+    fn bad_sweep_specs_fail_with_actionable_messages() {
+        for (spec, needle) in [
+            ("[matrix]\n", "no axes"),
+            ("[matrix]\ndp-noise = 0.5\n", "must be an array"),
+            ("[matrix]\ndp-noise = []\n", "no values"),
+            ("[matrix]\nfrobnicate = [1]\n", "unknown matrix axis"),
+            ("[matrix]\nseed = [1]\nseed = [2]\n", "duplicate matrix axis"),
+            ("[matrix]\nseed = [1]\n[again]\n", "only and last table"),
+            ("[matrix]\nseed = [1, \"x\"]\n", "all one type"),
+            ("seed = 1\n[matrix]\nseed = [1, 2]\n", "sweep it or pin it"),
+            ("clients 2\n[matrix]\nseed = [1]\n", "key = value"),
+        ] {
+            let err = parse_sweep_spec(spec).unwrap_err();
+            assert!(err.contains(needle), "spec {spec:?} gave `{err}`, wanted `{needle}`");
+        }
+    }
+
+    #[test]
+    fn dp_keys_are_spec_keys() {
+        let entries =
+            parse_spec("dp-clip = 1.0\ndp-noise = 0.5\ndp-mechanism = \"laplace\"\ndp-seed = 9\n")
+                .unwrap();
+        assert_eq!(
+            spec_to_args(&entries),
+            vec![
+                "--dp-clip",
+                "1.0",
+                "--dp-noise",
+                "0.5",
+                "--dp-mechanism",
+                "laplace",
+                "--dp-seed",
+                "9",
+            ]
+        );
     }
 
     #[test]

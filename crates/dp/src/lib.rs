@@ -6,7 +6,9 @@
 //! mechanism for differential privacy. This crate provides the analysis
 //! machinery behind Figure 10: error extraction, maximum-likelihood fits
 //! of Laplace and Gaussian models, and Kolmogorov–Smirnov distances to
-//! judge which fits better.
+//! judge which fits better — plus the *mechanism* side: [`DpPolicy`], a
+//! seeded clip+noise stage the round plan applies to client updates
+//! before the uplink codec.
 //!
 //! # Examples
 //!
@@ -361,5 +363,203 @@ mod mechanism_tests {
     #[should_panic(expected = "epsilon must be positive")]
     fn zero_epsilon_rejected() {
         laplace_mechanism(&mut [0.0], 1.0, 0.0, 1);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The DP *mechanism*: a clip-and-noise stage for client updates.
+//
+// Everything above analyzes noise after the fact; this section injects it
+// on purpose. A `DpPolicy` is carried by the round plan and applied to the
+// client's update delta *before* the uplink codec, so every runtime
+// (simulator engine, socket worker) noises the exact same bits.
+// ---------------------------------------------------------------------------
+
+/// Which calibrated distribution a [`DpPolicy`] draws its noise from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DpMechanism {
+    /// Per-element `N(0, σ²)` with `σ = clip_norm × noise_multiplier`
+    /// (the Gaussian mechanism of DP-SGD).
+    Gaussian,
+    /// Per-element `Laplace(0, b)` with `b = clip_norm × noise_multiplier`
+    /// (the classic Laplace mechanism — the shape the paper's Figure 10
+    /// finds in FedSZ's own decompression error).
+    Laplace,
+}
+
+impl DpMechanism {
+    /// Stable lowercase name, used by CLI flags and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            DpMechanism::Gaussian => "gaussian",
+            DpMechanism::Laplace => "laplace",
+        }
+    }
+
+    /// Parses the CLI/TOML spelling. Returns `None` for anything but
+    /// `gaussian` or `laplace`.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "gaussian" => Some(DpMechanism::Gaussian),
+            "laplace" => Some(DpMechanism::Laplace),
+            _ => None,
+        }
+    }
+}
+
+/// A seeded, deterministic clip+noise stage for one client update delta.
+///
+/// The delta (client update minus the round's broadcast reference) is
+/// clipped to global L2 norm ≤ `clip_norm`, then per-element noise of
+/// scale [`DpPolicy::sigma`] is added. The noise stream is derived from
+/// `(seed, round, client)` only — no per-client state survives a round,
+/// which is what makes the stage legal on stateless socket workers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DpPolicy {
+    /// Maximum L2 norm of the update delta; larger deltas are scaled down.
+    pub clip_norm: f64,
+    /// Noise scale as a multiple of `clip_norm` (`0` means clip-only).
+    pub noise_multiplier: f64,
+    /// Which distribution the noise is drawn from.
+    pub mechanism: DpMechanism,
+    /// Base seed; the per-(round, client) noise seed is derived from it.
+    pub seed: u64,
+}
+
+impl DpPolicy {
+    /// The per-element noise scale: `clip_norm × noise_multiplier`
+    /// (σ for Gaussian, b for Laplace).
+    pub fn sigma(&self) -> f64 {
+        self.clip_norm * self.noise_multiplier
+    }
+
+    /// Derives the noise seed for one `(round, client)` cell so engine and
+    /// worker draw bit-identical streams (same mixer shape as the uplink
+    /// codec's dither seed).
+    pub fn noise_seed(&self, round: u64, client: u64) -> u64 {
+        self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(round << 20).wrapping_add(client)
+    }
+
+    /// Clips and noises a delta spread across `chunks` (one chunk per
+    /// tensor). Two passes: the global L2 norm over every chunk decides
+    /// the clip scale, then each element is scaled and noised in place.
+    pub fn apply(&self, chunks: &mut [&mut [f32]], round: u64, client: u64) -> DpOutcome {
+        let sq: f64 = chunks
+            .iter()
+            .map(|c| c.iter().map(|&v| f64::from(v) * f64::from(v)).sum::<f64>())
+            .sum();
+        let pre_norm = sq.sqrt();
+        let clipped = pre_norm > self.clip_norm;
+        let scale = if clipped { (self.clip_norm / pre_norm) as f32 } else { 1.0 };
+        let sigma = self.sigma();
+        let mut rng = fedsz_tensor::rng::seeded(self.noise_seed(round, client));
+        for chunk in chunks.iter_mut() {
+            for v in chunk.iter_mut() {
+                let noise = if sigma > 0.0 {
+                    match self.mechanism {
+                        DpMechanism::Gaussian => fedsz_tensor::rng::normal(&mut rng) * sigma as f32,
+                        DpMechanism::Laplace => fedsz_tensor::rng::laplace(&mut rng, sigma as f32),
+                    }
+                } else {
+                    0.0
+                };
+                *v = *v * scale + noise;
+            }
+        }
+        DpOutcome { pre_norm, clipped, sigma }
+    }
+}
+
+/// What [`DpPolicy::apply`] did to one client's delta.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DpOutcome {
+    /// L2 norm of the delta before clipping.
+    pub pre_norm: f64,
+    /// Whether the delta exceeded `clip_norm` and was scaled down.
+    pub clipped: bool,
+    /// The per-element noise scale that was applied.
+    pub sigma: f64,
+}
+
+#[cfg(test)]
+mod policy_tests {
+    use super::*;
+
+    fn policy(mechanism: DpMechanism) -> DpPolicy {
+        DpPolicy { clip_norm: 1.0, noise_multiplier: 0.5, mechanism, seed: 42 }
+    }
+
+    fn apply_to(policy: &DpPolicy, data: &mut [Vec<f32>], round: u64, client: u64) -> DpOutcome {
+        let mut chunks: Vec<&mut [f32]> = data.iter_mut().map(|v| v.as_mut_slice()).collect();
+        policy.apply(&mut chunks, round, client)
+    }
+
+    #[test]
+    fn clipping_bounds_the_norm() {
+        let policy = DpPolicy { noise_multiplier: 0.0, ..policy(DpMechanism::Gaussian) };
+        let mut data = vec![vec![3.0f32; 4], vec![4.0f32; 3]];
+        let outcome = apply_to(&policy, &mut data, 0, 0);
+        assert!(outcome.clipped);
+        assert!((outcome.pre_norm - (9.0f64 * 4.0 + 16.0 * 3.0).sqrt()).abs() < 1e-9);
+        let post: f64 = data.iter().flatten().map(|&v| f64::from(v) * f64::from(v)).sum::<f64>();
+        assert!((post.sqrt() - 1.0).abs() < 1e-5, "post-clip norm {}", post.sqrt());
+    }
+
+    #[test]
+    fn small_deltas_pass_unclipped() {
+        let policy = DpPolicy { noise_multiplier: 0.0, ..policy(DpMechanism::Laplace) };
+        let mut data = vec![vec![0.01f32; 8]];
+        let outcome = apply_to(&policy, &mut data, 1, 2);
+        assert!(!outcome.clipped);
+        assert_eq!(data[0], vec![0.01f32; 8]);
+    }
+
+    #[test]
+    fn noise_is_deterministic_per_coordinates() {
+        for mech in [DpMechanism::Gaussian, DpMechanism::Laplace] {
+            let policy = policy(mech);
+            let mut a = vec![vec![0.1f32; 64]];
+            let mut b = vec![vec![0.1f32; 64]];
+            apply_to(&policy, &mut a, 3, 7);
+            apply_to(&policy, &mut b, 3, 7);
+            assert_eq!(a, b, "{mech:?} must be deterministic per (seed, round, client)");
+            let mut c = vec![vec![0.1f32; 64]];
+            apply_to(&policy, &mut c, 3, 8);
+            assert_ne!(a, c, "{mech:?} must vary across clients");
+            let mut d = vec![vec![0.1f32; 64]];
+            apply_to(&policy, &mut d, 4, 7);
+            assert_ne!(a, d, "{mech:?} must vary across rounds");
+        }
+    }
+
+    #[test]
+    fn noise_scale_matches_sigma() {
+        let policy = DpPolicy {
+            clip_norm: 1.0,
+            noise_multiplier: 0.2,
+            mechanism: DpMechanism::Laplace,
+            seed: 9,
+        };
+        let mut data = vec![vec![0.0f32; 50_000]];
+        apply_to(&policy, &mut data, 0, 0);
+        let fit = laplace_mle(&data[0]);
+        assert!((fit.scale - 0.2).abs() < 0.01, "scale {}", fit.scale);
+    }
+
+    #[test]
+    fn zero_multiplier_is_clip_only() {
+        let policy = DpPolicy { noise_multiplier: 0.0, ..policy(DpMechanism::Gaussian) };
+        assert_eq!(policy.sigma(), 0.0);
+        let mut data = vec![vec![0.25f32; 4]];
+        apply_to(&policy, &mut data, 0, 0);
+        assert_eq!(data[0], vec![0.25f32; 4]);
+    }
+
+    #[test]
+    fn mechanism_names_round_trip() {
+        for mech in [DpMechanism::Gaussian, DpMechanism::Laplace] {
+            assert_eq!(DpMechanism::parse(mech.name()), Some(mech));
+        }
+        assert_eq!(DpMechanism::parse("exponential"), None);
     }
 }

@@ -326,6 +326,42 @@ pub fn zero_residual(like: &StateDict) -> StateDict {
     like.iter().map(|(name, t)| (name.to_owned(), Tensor::zeros(t.shape().to_vec()))).collect()
 }
 
+/// Applies the plan's DP stage to `update` in place, against the exact
+/// `reference` dict the client loaded this round (the same base the
+/// delta codecs use): the delta `update - reference` is clipped to the
+/// policy's L2 norm, noised with the `(seed, round, client)`-derived
+/// stream, and re-based onto `reference`. Shared by the in-memory
+/// engine and the socket worker so both noise bit-identical updates.
+///
+/// # Panics
+///
+/// Panics when `reference` is missing a tensor `update` carries (the
+/// executors always pass the broadcast dict the client trained from).
+pub(crate) fn apply_dp(
+    update: &mut StateDict,
+    reference: &StateDict,
+    policy: &fedsz_dp::DpPolicy,
+    round: usize,
+    client: usize,
+) -> fedsz_dp::DpOutcome {
+    for (name, t) in update.iter_mut() {
+        let base = reference.get(name).expect("reference dict matches the update");
+        for (v, &b) in t.data_mut().iter_mut().zip(base.data()) {
+            *v -= b;
+        }
+    }
+    let mut chunks: Vec<&mut [f32]> = update.iter_mut().map(|(_, t)| t.data_mut()).collect();
+    let outcome = policy.apply(&mut chunks, round as u64, client as u64);
+    drop(chunks);
+    for (name, t) in update.iter_mut() {
+        let base = reference.get(name).expect("reference dict matches the update");
+        for (v, &b) in t.data_mut().iter_mut().zip(base.data()) {
+            *v += b;
+        }
+    }
+    outcome
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -84,6 +84,9 @@ struct ClientOutcome {
     compress_secs: f64,
     raw_bytes: usize,
     samples: usize,
+    /// What the DP stage did to this client's delta (`None` when the
+    /// plan carries no DP policy).
+    dp: Option<fedsz_dp::DpOutcome>,
 }
 
 /// One decompressed upload as the server holds it.
@@ -141,6 +144,9 @@ pub struct RoundEngine {
     /// Per-client error-feedback residuals (all empty dicts until an
     /// EF policy lazily initializes them from the first update).
     residuals: Vec<StateDict>,
+    /// The plan's DP stage: clip + seeded noise on every client delta
+    /// before the uplink codec (`None` disables it).
+    dp: Option<fedsz_dp::DpPolicy>,
     /// Stage spans and Eqn-1 decision events land here; disabled by
     /// default (one branch per call, no allocation).
     telemetry: Telemetry,
@@ -176,6 +182,7 @@ impl RoundEngine {
             downlink,
             psum,
             worker_threads,
+            dp,
         } = plan;
         // Every leg re-validates at executor construction (downlink
         // and psum below via their from_policy constructors), so even
@@ -227,6 +234,7 @@ impl RoundEngine {
             uplink_codecs,
             family_profiles,
             residuals,
+            dp,
             telemetry: Telemetry::disabled(),
         }
     }
@@ -515,6 +523,7 @@ impl RoundEngine {
         let ef = self.uplink.error_feedback();
         let seed = self.config.seed;
         let codecs = &self.uplink_codecs;
+        let dp = self.dp;
         let mut outcomes: Vec<ClientOutcome> = std::thread::scope(|scope| {
             let handles: Vec<_> = self
                 .clients
@@ -533,7 +542,15 @@ impl RoundEngine {
                             client.train_epoch();
                         }
                         let train_secs = t0.elapsed().as_secs_f64();
-                        let update = client.update();
+                        let mut update = client.update();
+                        // DP runs before any codec: the uplink must
+                        // compress the *noised* delta, or the
+                        // privacy/bytes trade-off is unmeasurable. The
+                        // clip/noise reference is the exact dict this
+                        // client loaded, the same base the delta
+                        // codecs encode against.
+                        let dp_outcome = dp
+                            .map(|policy| codec::apply_dp(&mut update, global, &policy, round, id));
                         let raw_bytes = update.byte_size();
                         let t1 = Instant::now();
                         let (payload, compressed) = if let Some(ci) = sel.family {
@@ -578,6 +595,7 @@ impl RoundEngine {
                             compress_secs,
                             raw_bytes,
                             samples,
+                            dp: dp_outcome,
                         }
                     })
                 })
@@ -586,6 +604,26 @@ impl RoundEngine {
         });
         outcomes.sort_by_key(|o| o.id);
         drop(train_span);
+
+        // One `dp.noise` event per noised client (telemetry lives on
+        // `self`, so these are emitted after the scoped threads join —
+        // the same shape as the uplink `eqn1.decision` loop below).
+        if self.dp.is_some() {
+            for outcome in &outcomes {
+                if let Some(dp) = &outcome.dp {
+                    self.telemetry.event(
+                        "dp.noise",
+                        &[
+                            ("round", Value::U64(round as u64)),
+                            ("client", Value::U64(outcome.id as u64)),
+                            ("pre_norm", Value::F64(dp.pre_norm)),
+                            ("sigma", Value::F64(dp.sigma)),
+                            ("clipped", Value::Bool(dp.clipped)),
+                        ],
+                    );
+                }
+            }
+        }
 
         // One uplink Eqn-1 record per cohort client, with the client's
         // measured codec seconds next to the prediction that picked the
@@ -761,6 +799,10 @@ impl RoundEngine {
         let ratio =
             outcomes.iter().map(|o| o.raw_bytes as f64 / o.payload_len.max(1) as f64).sum::<f64>()
                 / n;
+        let dp_sigma = self.dp.map(|p| p.sigma());
+        let clipped_fraction = self.dp.map(|_| {
+            outcomes.iter().filter(|o| o.dp.is_some_and(|d| d.clipped)).count() as f64 / n
+        });
         let metrics = RoundMetrics {
             round,
             test_accuracy,
@@ -784,6 +826,8 @@ impl RoundEngine {
             dropped_updates: dropped_count,
             level_merge_nanos,
             eqn1,
+            dp_sigma,
+            clipped_fraction,
         };
         drop(round_span);
         metrics

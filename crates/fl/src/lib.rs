@@ -53,12 +53,14 @@ pub mod net;
 pub mod plan;
 pub mod protocol;
 pub mod scaling;
+pub mod sweep;
 pub mod transport;
 
 pub use agg::{DownlinkMode, PsumMode, ShardPlan, TreePlan};
 pub use client::Client;
 pub use engine::{AggregationPolicy, RoundEngine};
 pub use fedavg::fedavg;
+pub use fedsz_dp::{DpMechanism, DpPolicy};
 pub use link::LinkProfile;
 pub use plan::{PlanError, RoundPlan, StageLeg, StagePolicy};
 
@@ -165,6 +167,14 @@ pub struct FlConfig {
     /// cannot change a single bit of the global model — only how fast
     /// it is produced. `Some(0)` is rejected by [`FlConfig::plan`].
     pub worker_threads: Option<usize>,
+    /// Differential-privacy stage: clip each client's update delta to
+    /// a global L2 norm and add seeded Gaussian/Laplace noise *before*
+    /// the uplink codec (the order DP-SGD requires — the codec must see
+    /// the noised delta, which is what makes the privacy/bytes
+    /// trade-off measurable). `None` disables the stage. Validated by
+    /// [`FlConfig::plan`] and carried as
+    /// [`RoundPlan::dp`](plan::RoundPlan::dp).
+    pub dp: Option<DpPolicy>,
 }
 
 impl FlConfig {
@@ -205,6 +215,7 @@ impl FlConfig {
             psum: PsumMode::Raw,
             downlink: DownlinkMode::Raw,
             worker_threads: None,
+            dp: None,
         }
     }
 
@@ -241,6 +252,7 @@ impl FlConfig {
             psum: PsumMode::Raw,
             downlink: DownlinkMode::Raw,
             worker_threads: None,
+            dp: None,
         }
     }
 
@@ -541,6 +553,15 @@ impl FlConfigBuilder {
         self
     }
 
+    /// Differential-privacy stage: clip + seeded noise applied to each
+    /// client's update delta before the uplink codec. Validation
+    /// (positive finite clip norm, non-negative multiplier) happens in
+    /// [`FlConfig::plan`].
+    pub fn dp(mut self, policy: DpPolicy) -> Self {
+        self.config.dp = Some(policy);
+        self
+    }
+
     /// The configured [`FlConfig`], unvalidated (validation happens in
     /// [`FlConfig::plan`], which every execution path runs through).
     pub fn build(self) -> FlConfig {
@@ -630,6 +651,13 @@ pub struct RoundMetrics {
     /// cohort client (ascending id), then the tree's partial-sum
     /// decisions level by level.
     pub eqn1: Vec<fedsz::timing::Eqn1Decision>,
+    /// Per-element DP noise scale applied to every client delta this
+    /// round (`clip_norm × noise_multiplier`); `None` when the plan
+    /// carries no DP stage.
+    pub dp_sigma: Option<f64>,
+    /// Fraction of this round's cohort whose update delta exceeded the
+    /// DP clip norm and was scaled down; `None` without a DP stage.
+    pub clipped_fraction: Option<f64>,
 }
 
 /// A FedAvg experiment over the analytic in-memory transport: a global

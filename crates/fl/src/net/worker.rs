@@ -53,7 +53,7 @@ pub struct WorkerConfig {
     /// The server (root, or this shard's relay) as `host:port`.
     pub connect: String,
     /// A second parent to fail over to — typically the root — once the
-    /// primary stops answering (see [`retry_uses_fallback`] for the
+    /// primary stops answering (see `retry_uses_fallback` for the
     /// schedule). `None` retries the primary only.
     pub fallback: Option<String>,
     /// Reconnect attempts per outage before giving up (the budget
@@ -362,7 +362,27 @@ pub fn run_worker(config: WorkerConfig) -> Result<WorkerReport, NetError> {
             for _ in 0..config.fl.local_epochs {
                 client.train_epoch();
             }
-            let update = client.update();
+            let mut update = client.update();
+            // The plan's DP stage, against the exact broadcast dict
+            // this worker decoded — the same clip/noise the in-memory
+            // engine applies to this client, so the noised update is
+            // bit-identical across runtimes (the noise seed is derived
+            // from (dp.seed, round, id), never process state).
+            if let Some(policy) = &plan.dp {
+                let outcome =
+                    crate::codec::apply_dp(&mut update, &dict, policy, round as usize, config.id);
+                config.telemetry.event(
+                    "dp.noise",
+                    &[
+                        ("round", Value::U64(u64::from(round))),
+                        ("client", Value::U64(config.id as u64)),
+                        ("pre_norm", Value::F64(outcome.pre_norm)),
+                        ("sigma", Value::F64(outcome.sigma)),
+                        ("clipped", Value::Bool(outcome.clipped)),
+                    ],
+                );
+            }
+            let update = update;
             let raw_bytes = update.byte_size();
 
             // The plan's upload policy on the measured link: `Lossy`

@@ -74,6 +74,19 @@
 //!   [`PlanError::StatefulUplinkWorker`].
 //!
 //! Both are typed rejections, the same pattern as lossy psum.
+//!
+//! # The DP stage is stateless, so it composes everywhere
+//!
+//! [`RoundPlan::dp`] (a validated [`fedsz_dp::DpPolicy`]) clips each
+//! client's update delta and adds seeded Gaussian/Laplace noise
+//! *before* the uplink codec runs. Unlike error feedback, the stage
+//! keeps no per-client state between rounds — the noise stream is
+//! derived from `(dp.seed, round, client)` alone — so it is legal with
+//! every uplink family, under buffered aggregation, and on socket
+//! workers. `plan()` rejects only malformed parameters
+//! ([`PlanError::BadDpClipNorm`], [`PlanError::BadDpNoiseMultiplier`]);
+//! DP combined with `+ef` still trips the error-feedback rejections
+//! above, because the residual — not the noise — is the stateful part.
 
 use crate::agg::{DownlinkMode, PsumMode, ShardPlan, TreePlan};
 use crate::engine::AggregationPolicy;
@@ -424,6 +437,11 @@ pub enum PlanError {
     /// reconnects resumes with a fresh process and silently drops its
     /// residual, breaking mass conservation.
     StatefulUplinkWorker,
+    /// A DP clip norm that is not a positive finite number.
+    BadDpClipNorm(f64),
+    /// A DP noise multiplier that is negative or non-finite (`0` is
+    /// legal: clip-only).
+    BadDpNoiseMultiplier(f64),
 }
 
 impl fmt::Display for PlanError {
@@ -516,6 +534,13 @@ impl fmt::Display for PlanError {
                  (a reconnecting worker silently drops its residual); use the in-process \
                  simulator or drop `+ef`"
             ),
+            PlanError::BadDpClipNorm(c) => {
+                write!(f, "DP clip norm must be finite and positive, got {c}")
+            }
+            PlanError::BadDpNoiseMultiplier(m) => write!(
+                f,
+                "DP noise multiplier must be finite and non-negative (0 = clip only), got {m}"
+            ),
         }
     }
 }
@@ -560,6 +585,13 @@ pub struct RoundPlan {
     /// execution speed, not semantics — the global model's bits are
     /// identical at every value.
     pub worker_threads: usize,
+    /// Differential-privacy stage, validated (positive finite clip
+    /// norm, non-negative finite multiplier): every executor clips and
+    /// noises each client's update delta *before* the uplink codec.
+    /// The stage is stateless per `(round, client)` — its noise seed is
+    /// derived, not carried — so unlike error feedback it is legal on
+    /// socket workers and under buffered aggregation.
+    pub dp: Option<fedsz_dp::DpPolicy>,
 }
 
 impl RoundPlan {
@@ -829,6 +861,14 @@ impl FlConfig {
             Some(threads) => threads,
             None => std::thread::available_parallelism().map_or(1, usize::from),
         };
+        if let Some(dp) = &self.dp {
+            if !(dp.clip_norm.is_finite() && dp.clip_norm > 0.0) {
+                return Err(PlanError::BadDpClipNorm(dp.clip_norm));
+            }
+            if !(dp.noise_multiplier.is_finite() && dp.noise_multiplier >= 0.0) {
+                return Err(PlanError::BadDpNoiseMultiplier(dp.noise_multiplier));
+            }
+        }
         let tree = plan_tree(self)?;
         let (topology, level_links) = plan_topology(self, tree.as_ref())?;
         let (uplink, downlink, psum) = plan_stages(self, tree.as_ref())?;
@@ -841,6 +881,7 @@ impl FlConfig {
             downlink,
             psum,
             worker_threads,
+            dp: self.dp,
         })
     }
 }

@@ -1,0 +1,317 @@
+//! The scenario-matrix sweep driver: cross-product expansion, per-cell
+//! seeds, the thread-pool executor, and the Pareto summary.
+//!
+//! One federated run answers one question; the evaluation questions the
+//! ROADMAP cares about — does DP noise change the compression
+//! trade-off, how do codec families behave under non-IID skew, what
+//! does partial participation cost — are *grids*. This module turns a
+//! declarative `[matrix]` table (axis name → list of values) into an
+//! executed grid:
+//!
+//! ```text
+//! [matrix]                 cell 0: dp-noise=0.0  uplink="topk:0.1"
+//! dp-noise = [0.0, 0.5]    cell 1: dp-noise=0.0  uplink="q8"
+//! uplink = ["topk:0.1",    cell 2: dp-noise=0.5  uplink="topk:0.1"
+//!           "q8"]          cell 3: dp-noise=0.5  uplink="q8"
+//! ```
+//!
+//! **Expansion order.** Axes expand in declaration order with the
+//! *last* axis varying fastest (row-major odometer): cell `i`'s value
+//! on axis `j` is `values_j[(i / stride_j) % len_j]` where `stride_j`
+//! is the product of the lengths of the axes after `j`. The order is
+//! part of the report contract — cell indices are stable across runs
+//! and machines.
+//!
+//! **Per-cell seeds.** [`cell_seed`] derives each cell's base seed from
+//! the sweep seed and the cell's linear index via a golden-ratio mixer.
+//! Cell 0 (and therefore every matrix-less, single-cell sweep) keeps
+//! the base seed *exactly*, which is what makes a 1-cell sweep
+//! bit-identical to the equivalent `fedsz fl` run by construction.
+//!
+//! **Execution.** [`run_cells`] drains the expanded configurations
+//! across a [`WorkerPool`] — the same bounded
+//! fork-join helper the aggregation hot path uses — and returns
+//! per-cell metrics in cell order regardless of which worker ran what.
+//! Every cell must already hold a validated plan: the CLI front-end
+//! validates the *whole* grid before any cell executes, so a sweep
+//! either starts completely or not at all (no partial sweeps).
+//!
+//! **Summary.** [`pareto_front`] reduces the grid to its non-dominated
+//! cells over (final accuracy ↑, total uplink bytes ↓, total virtual
+//! seconds ↓) — the three axes the paper's evaluation trades against
+//! each other.
+
+use crate::agg::WorkerPool;
+use crate::net::global_checksum;
+use crate::{Experiment, FlConfig, RoundMetrics};
+
+/// One axis of a scenario matrix: a spec key and the values it sweeps.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MatrixAxis {
+    /// The run-spec key this axis varies (e.g. `dp-noise`, `uplink`).
+    pub key: String,
+    /// The values, in declaration order. Never empty past
+    /// [`SweepMatrix::new`].
+    pub values: Vec<String>,
+}
+
+/// A validated cross-product scenario matrix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepMatrix {
+    axes: Vec<MatrixAxis>,
+}
+
+/// One expanded cell: its stable linear index and its coordinates, one
+/// `(key, value)` pair per axis in declaration order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepCell {
+    /// Row-major linear index (the last axis varies fastest).
+    pub index: usize,
+    /// `(axis key, value)` per axis, in axis declaration order.
+    pub coords: Vec<(String, String)>,
+}
+
+impl SweepMatrix {
+    /// Builds a matrix from its axes. An empty axis list is the
+    /// degenerate single-cell matrix (a spec without `[matrix]`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending axis when one has no
+    /// values (an empty array cannot expand to any cell).
+    pub fn new(axes: Vec<MatrixAxis>) -> Result<Self, String> {
+        if let Some(axis) = axes.iter().find(|a| a.values.is_empty()) {
+            return Err(format!("matrix axis `{}` has no values", axis.key));
+        }
+        Ok(Self { axes })
+    }
+
+    /// The axes, in declaration order.
+    pub fn axes(&self) -> &[MatrixAxis] {
+        &self.axes
+    }
+
+    /// Number of expanded cells: the product of the axis lengths (1
+    /// for the degenerate axis-free matrix).
+    pub fn cell_count(&self) -> usize {
+        self.axes.iter().map(|a| a.values.len()).product()
+    }
+
+    /// The coordinates of cell `index` in row-major order (last axis
+    /// fastest).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is outside `0..cell_count()`.
+    pub fn coords(&self, index: usize) -> Vec<(String, String)> {
+        assert!(index < self.cell_count(), "cell {index} outside matrix");
+        let mut stride = self.cell_count();
+        self.axes
+            .iter()
+            .map(|axis| {
+                stride /= axis.values.len();
+                let value = &axis.values[(index / stride) % axis.values.len()];
+                (axis.key.clone(), value.clone())
+            })
+            .collect()
+    }
+
+    /// Every cell of the matrix, in linear-index order.
+    pub fn cells(&self) -> Vec<SweepCell> {
+        (0..self.cell_count())
+            .map(|index| SweepCell { index, coords: self.coords(index) })
+            .collect()
+    }
+}
+
+/// Derives cell `index`'s base seed from the sweep's seed: a
+/// golden-ratio stride keeps neighbouring cells' RNG streams far
+/// apart, and cell 0 keeps `base` exactly — so a single-cell sweep
+/// reproduces the plain `fedsz fl` run bit for bit.
+pub fn cell_seed(base: u64, index: usize) -> u64 {
+    base.wrapping_add((index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// One executed cell: its linear index and the per-round metrics the
+/// in-memory engine produced for it.
+#[derive(Debug, Clone)]
+pub struct CellOutcome {
+    /// The cell's linear index in the matrix.
+    pub index: usize,
+    /// Per-round metrics, exactly what `Experiment::run` returns for
+    /// the cell's configuration.
+    pub metrics: Vec<RoundMetrics>,
+    /// The cell's final global model fingerprint — the same bit-parity
+    /// checksum `fedsz fl` prints, so a one-cell sweep can be diffed
+    /// against the plain run.
+    pub checksum: u32,
+}
+
+/// Executes every cell configuration across a [`WorkerPool`] of
+/// `threads` workers, returning outcomes in cell order. Callers must
+/// have validated every configuration's plan first — the executor
+/// panics (via [`Experiment::new`]) on an invalid cell rather than
+/// producing a partial sweep.
+pub fn run_cells(configs: &[FlConfig], threads: usize) -> Vec<CellOutcome> {
+    let pool = WorkerPool::new(threads);
+    pool.run(configs.len(), |index| {
+        let mut exp = Experiment::new(configs[index].clone());
+        let metrics = exp.run();
+        let checksum = global_checksum(exp.global_state());
+        CellOutcome { index, metrics, checksum }
+    })
+}
+
+/// One cell's summary point for the Pareto reduction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParetoPoint {
+    /// Final-round test accuracy (higher is better).
+    pub accuracy: f64,
+    /// Total upstream bytes across rounds (lower is better).
+    pub bytes: f64,
+    /// Total virtual round seconds across rounds (lower is better).
+    pub secs: f64,
+}
+
+impl ParetoPoint {
+    /// Whether `self` dominates `other`: at least as good on every
+    /// objective and strictly better on one.
+    fn dominates(&self, other: &ParetoPoint) -> bool {
+        let ge =
+            self.accuracy >= other.accuracy && self.bytes <= other.bytes && self.secs <= other.secs;
+        let strict =
+            self.accuracy > other.accuracy || self.bytes < other.bytes || self.secs < other.secs;
+        ge && strict
+    }
+}
+
+/// Indices of the non-dominated points (the Pareto front over accuracy
+/// ↑ / bytes ↓ / time ↓), in input order. Duplicate points all
+/// survive — neither strictly dominates the other.
+pub fn pareto_front(points: &[ParetoPoint]) -> Vec<usize> {
+    points
+        .iter()
+        .enumerate()
+        .filter(|(i, p)| !points.iter().enumerate().any(|(j, q)| j != *i && q.dominates(p)))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn axis(key: &str, values: &[&str]) -> MatrixAxis {
+        MatrixAxis { key: key.into(), values: values.iter().map(|v| v.to_string()).collect() }
+    }
+
+    #[test]
+    fn axis_free_matrix_is_one_cell() {
+        let matrix = SweepMatrix::new(Vec::new()).unwrap();
+        assert_eq!(matrix.cell_count(), 1);
+        assert_eq!(matrix.coords(0), Vec::<(String, String)>::new());
+    }
+
+    #[test]
+    fn empty_axis_is_rejected_by_name() {
+        let err = SweepMatrix::new(vec![axis("dp-noise", &[])]).unwrap_err();
+        assert!(err.contains("dp-noise"), "{err}");
+    }
+
+    #[test]
+    fn expansion_is_row_major_with_the_last_axis_fastest() {
+        let matrix = SweepMatrix::new(vec![
+            axis("noise", &["0.0", "0.5"]),
+            axis("uplink", &["topk:0.1", "q8", "raw"]),
+        ])
+        .unwrap();
+        assert_eq!(matrix.cell_count(), 6);
+        let flat: Vec<(String, String)> =
+            matrix.cells().iter().map(|c| (c.coords[0].1.clone(), c.coords[1].1.clone())).collect();
+        assert_eq!(
+            flat,
+            [
+                ("0.0", "topk:0.1"),
+                ("0.0", "q8"),
+                ("0.0", "raw"),
+                ("0.5", "topk:0.1"),
+                ("0.5", "q8"),
+                ("0.5", "raw"),
+            ]
+            .map(|(a, b)| (a.to_string(), b.to_string()))
+        );
+    }
+
+    #[test]
+    fn cell_indices_are_stable_and_dense() {
+        let matrix =
+            SweepMatrix::new(vec![axis("a", &["1", "2"]), axis("b", &["x", "y"])]).unwrap();
+        for (i, cell) in matrix.cells().iter().enumerate() {
+            assert_eq!(cell.index, i);
+            assert_eq!(cell.coords, matrix.coords(i));
+        }
+    }
+
+    #[test]
+    fn cell_zero_keeps_the_base_seed_exactly() {
+        for base in [0u64, 7, 42, u64::MAX] {
+            assert_eq!(cell_seed(base, 0), base);
+        }
+    }
+
+    #[test]
+    fn cell_seeds_differ_and_are_deterministic() {
+        let seeds: Vec<u64> = (0..32).map(|i| cell_seed(42, i)).collect();
+        let again: Vec<u64> = (0..32).map(|i| cell_seed(42, i)).collect();
+        assert_eq!(seeds, again);
+        let mut unique = seeds.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), seeds.len(), "cell seeds must not collide");
+    }
+
+    #[test]
+    fn executor_returns_cells_in_order_at_any_width() {
+        let mut config = FlConfig::smoke_test();
+        config.rounds = 1;
+        config.data.train_per_class = 2;
+        config.data.test_per_class = 1;
+        config.worker_threads = Some(1);
+        let configs: Vec<FlConfig> = (0..3)
+            .map(|i| {
+                let mut c = config.clone();
+                c.seed = cell_seed(7, i);
+                c.data.seed = c.seed;
+                c
+            })
+            .collect();
+        let serial = run_cells(&configs, 1);
+        let parallel = run_cells(&configs, 3);
+        assert_eq!(serial.len(), 3);
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.index, p.index);
+            assert_eq!(s.metrics[0].test_accuracy, p.metrics[0].test_accuracy);
+            assert_eq!(s.metrics[0].upstream_bytes, p.metrics[0].upstream_bytes);
+            assert_eq!(s.checksum, p.checksum, "pool width must not change the bits");
+        }
+    }
+
+    #[test]
+    fn pareto_front_keeps_only_non_dominated_points() {
+        let points = vec![
+            ParetoPoint { accuracy: 0.9, bytes: 100.0, secs: 10.0 },
+            ParetoPoint { accuracy: 0.8, bytes: 50.0, secs: 10.0 },
+            // Dominated by the first point on every axis.
+            ParetoPoint { accuracy: 0.7, bytes: 200.0, secs: 20.0 },
+            // Trades time for bytes: survives.
+            ParetoPoint { accuracy: 0.8, bytes: 80.0, secs: 5.0 },
+        ];
+        assert_eq!(pareto_front(&points), vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn duplicate_points_all_survive_the_front() {
+        let p = ParetoPoint { accuracy: 0.5, bytes: 10.0, secs: 1.0 };
+        assert_eq!(pareto_front(&[p, p]), vec![0, 1]);
+    }
+}

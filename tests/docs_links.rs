@@ -116,6 +116,22 @@ fn example_run_specs_exist_parse_and_are_documented() {
         }
         specs += 1;
         let text = std::fs::read_to_string(&path).expect("readable spec");
+        // Specs with a [matrix] table are sweep specs: they parse
+        // under the sweep grammar (and the flat parser must route
+        // users at them), not under `--config`.
+        let sweep = fedsz_cli::spec::parse_sweep_spec(&text)
+            .unwrap_or_else(|e| panic!("{} does not parse: {e}", path.display()));
+        if !sweep.axes.is_empty() {
+            let flat_err = fedsz_cli::spec::parse_spec(&text)
+                .expect_err("a [matrix] spec must not parse as a flat run spec");
+            assert!(
+                flat_err.contains("fedsz sweep"),
+                "{}: the flat parser must route [matrix] specs at `fedsz sweep`, got: {flat_err}",
+                path.display()
+            );
+            assert!(!sweep.base.is_empty(), "{} has an empty base section", path.display());
+            continue;
+        }
         let entries = fedsz_cli::spec::parse_spec(&text)
             .unwrap_or_else(|e| panic!("{} does not parse: {e}", path.display()));
         assert!(!entries.is_empty(), "{} is an empty spec", path.display());
@@ -140,7 +156,7 @@ fn example_run_specs_exist_parse_and_are_documented() {
         );
     }
     // The named examples the docs walk through must exist.
-    for name in ["paper.toml", "tree_depth3.toml", "socket.toml"] {
+    for name in ["paper.toml", "tree_depth3.toml", "socket.toml", "sweep_dp.toml"] {
         assert!(dir.join(name).exists(), "examples/configs/{name} is documented but missing");
     }
 }
@@ -163,6 +179,8 @@ fn readme_fl_flags_match_the_cli_usage() {
         "--psum",
         "--config",
         "--json",
+        "--dp-clip",
+        "--dp-noise",
     ] {
         assert!(readme.contains(flag), "README quickstart lost the `{flag}` example");
         assert!(

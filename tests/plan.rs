@@ -24,7 +24,10 @@ use fedsz_fl::link::Topology;
 use fedsz_fl::net::global_checksum;
 use fedsz_fl::plan::{PlanError, StagePolicy};
 use fedsz_fl::transport::InMemoryTransport;
-use fedsz_fl::{AggregationPolicy, DownlinkMode, Experiment, FlConfig, LinkProfile, PsumMode};
+use fedsz_fl::{
+    AggregationPolicy, DownlinkMode, DpMechanism, DpPolicy, Experiment, FlConfig, LinkProfile,
+    PsumMode,
+};
 use proptest::prelude::*;
 
 fn checksum_of(config: FlConfig) -> u32 {
@@ -469,4 +472,79 @@ proptest! {
             via_plan.global_state().to_bytes()
         );
     }
+}
+
+/// The DP stage's plan-time legality: bad policies fail with typed
+/// errors before anything runs, and because the stage is stateless
+/// (noise is a pure function of `(seed, round, client)`), a legal
+/// policy composes with every runtime and aggregation policy — only
+/// error feedback's residual remains stateful.
+#[test]
+fn dp_policies_validate_at_plan_time() {
+    let policy = |clip: f64, noise: f64| DpPolicy {
+        clip_norm: clip,
+        noise_multiplier: noise,
+        mechanism: DpMechanism::Gaussian,
+        seed: 7,
+    };
+    let mut config = tiny_base();
+    config.dp = Some(policy(0.0, 0.5));
+    assert_eq!(config.plan().unwrap_err(), PlanError::BadDpClipNorm(0.0));
+    config.dp = Some(policy(f64::NAN, 0.5));
+    assert!(matches!(config.plan().unwrap_err(), PlanError::BadDpClipNorm(_)));
+    config.dp = Some(policy(1.0, -0.5));
+    assert_eq!(config.plan().unwrap_err(), PlanError::BadDpNoiseMultiplier(-0.5));
+    config.dp = Some(policy(1.0, f64::INFINITY));
+    assert!(matches!(config.plan().unwrap_err(), PlanError::BadDpNoiseMultiplier(_)));
+    // Clip-only (noise multiplier 0) is a legal policy.
+    config.dp = Some(policy(1.0, 0.0));
+    assert!(config.plan().is_ok());
+}
+
+#[test]
+fn dp_is_stateless_and_composes_everywhere() {
+    let mut config = tiny_base();
+    config.dp = Some(DpPolicy {
+        clip_norm: 1.0,
+        noise_multiplier: 0.5,
+        mechanism: DpMechanism::Laplace,
+        seed: 7,
+    });
+    // Legal on socket workers (a reconnect loses no DP state)...
+    config.plan().unwrap().validate_for_workers().unwrap();
+    // ...and under buffered aggregation (no cross-round residual).
+    config.aggregation = AggregationPolicy::Buffered { target: 1 };
+    config.plan().unwrap();
+    // DP + error feedback still trips the EF rejections: the residual
+    // is the stateful part, not the noise.
+    config.aggregation = AggregationPolicy::Synchronous;
+    config.uplink = Some(StagePolicy::TopK { ratio: 0.1, error_feedback: true });
+    let err = config.plan().unwrap().validate_for_workers().unwrap_err();
+    assert_eq!(err, PlanError::StatefulUplinkWorker);
+    config.aggregation = AggregationPolicy::Buffered { target: 1 };
+    assert_eq!(config.plan().unwrap_err(), PlanError::StatefulUplinkBuffered);
+}
+
+/// Seeded DP noise is a deterministic part of the bits: the same
+/// policy reproduces the same global checksum run over run, a
+/// different noise seed diverges, and turning DP off diverges.
+#[test]
+fn dp_noise_is_seeded_and_deterministic() {
+    let with_dp = |seed: u64| {
+        let mut config = tiny_base();
+        config.dp = Some(DpPolicy {
+            clip_norm: 0.5,
+            noise_multiplier: 1.0,
+            mechanism: DpMechanism::Gaussian,
+            seed,
+        });
+        config
+    };
+    let base = checksum_of(tiny_base());
+    let a = checksum_of(with_dp(7));
+    let b = checksum_of(with_dp(7));
+    let c = checksum_of(with_dp(8));
+    assert_eq!(a, b, "same DP policy must reproduce the same bits");
+    assert_ne!(a, base, "DP noise must actually perturb the model");
+    assert_ne!(a, c, "the DP seed must steer the noise stream");
 }

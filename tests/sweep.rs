@@ -1,0 +1,285 @@
+//! Contract tests for the `fedsz sweep` scenario-matrix subsystem.
+//!
+//! Five contracts pinned here:
+//!
+//! 1. **Expansion** — a `[matrix]` spec expands cross-product style in
+//!    declaration order with the last axis fastest, and every cell's
+//!    seed derives from the base seed and the cell index.
+//! 2. **Schema** — the merged document is one `fedsz.sweep_report.v1`
+//!    that a real JSON parser accepts, with `axes`, per-cell `coords`,
+//!    and one complete embedded `fedsz.run_report.v2` per cell.
+//! 3. **Determinism** — two runs of the same sweep agree bit for bit
+//!    outside the measured wall-clock fields (and the Pareto front,
+//!    which ranks on wall time).
+//! 4. **Parity** — a one-cell sweep embeds the byte-identical report
+//!    `fedsz fl --config … --json` prints for the same spec.
+//! 5. **Up-front validation** — one bad cell fails the whole sweep
+//!    before anything runs, naming the cell.
+//!
+//! Plus the paper's Section VII-D acceptance pin: a DP-noised cell
+//! compresses measurably worse than its noise-free twin under the
+//! FedSZ lossy uplink.
+//!
+//! The CLI runs in-process through [`fedsz_cli::run`], so these tests
+//! need no subprocess or installed binary.
+
+use fedsz_fl::sweep::cell_seed;
+use fedsz_telemetry::json::{self, Json};
+
+/// Runs `fedsz <args>` in-process, asserting success.
+fn run_ok(args: &[&str]) -> String {
+    let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+    let outcome = fedsz_cli::run(&args);
+    assert_eq!(outcome.code, 0, "fedsz {args:?} failed:\n{}", outcome.report);
+    outcome.report
+}
+
+/// Writes a spec to a temp file and returns its path.
+fn write_spec(tag: &str, body: &str) -> String {
+    let path = fedsz_cli::temp_path(tag);
+    std::fs::write(&path, body).expect("writable temp spec");
+    path
+}
+
+/// A 2×2 matrix over DP noise and the uplink family, sized to finish
+/// in test time: 2 clients, 1 round, 2 training samples per class.
+const MATRIX_SPEC: &str = "clients = 2\nrounds = 1\nseed = 42\ntrain-per-class = 2\n\
+                           dp-clip = 0.5\n\n[matrix]\ndp-noise = [0.0, 0.5]\n\
+                           uplink = [\"q8\", \"topk:0.1\"]\n";
+
+/// Masks the measured wall-clock values (the only nondeterministic
+/// bits in a report): everything after one of the timing keys up to
+/// the next delimiter — or the whole array, for the per-level merge
+/// nanos — is replaced with `#`.
+fn mask_timing(doc: &str) -> String {
+    const KEYS: [&str; 5] = [
+        "\"secs\": ",
+        "\"measured_codec_secs\": ",
+        "\"predicted_compressed_secs\": ",
+        "\"predicted_raw_secs\": ",
+        "\"level_merge_nanos\": ",
+    ];
+    let mut out = doc.to_string();
+    for key in KEYS {
+        let mut masked = String::new();
+        let mut rest = out.as_str();
+        while let Some(pos) = rest.find(key) {
+            let start = pos + key.len();
+            masked.push_str(&rest[..start]);
+            masked.push('#');
+            let tail = &rest[start..];
+            let skip = if tail.starts_with('[') {
+                tail.find(']').map_or(tail.len(), |i| i + 1)
+            } else {
+                tail.find([',', '}', '\n']).unwrap_or(tail.len())
+            };
+            rest = &tail[skip..];
+        }
+        masked.push_str(rest);
+        out = masked;
+    }
+    out
+}
+
+#[test]
+fn matrix_expansion_is_row_major_with_derived_seeds() {
+    let spec = write_spec("expansion.toml", MATRIX_SPEC);
+    let report = run_ok(&["sweep", &spec, "--json"]);
+    fedsz_cli::cleanup(&[&spec]);
+    let doc = json::parse(&report).expect("sweep report parses under a real JSON parser");
+
+    assert_eq!(doc.get("cell_count").and_then(Json::as_f64), Some(4.0));
+    // Axes render in declaration order with their values verbatim.
+    let axes = doc.get("axes").and_then(Json::as_array).expect("axes array");
+    let axis = |i: usize| {
+        let a = &axes[i];
+        (
+            a.get("key").and_then(Json::as_str).unwrap().to_string(),
+            a.get("values")
+                .and_then(Json::as_array)
+                .unwrap()
+                .iter()
+                .map(|v| v.as_str().unwrap().to_string())
+                .collect::<Vec<_>>(),
+        )
+    };
+    assert_eq!(axis(0), ("dp-noise".into(), vec!["0.0".into(), "0.5".into()]));
+    assert_eq!(axis(1), ("uplink".into(), vec!["q8".into(), "topk:0.1".into()]));
+
+    // Last axis fastest: uplink cycles within each dp-noise value.
+    let cells = doc.get("cells").and_then(Json::as_array).expect("cells array");
+    assert_eq!(cells.len(), 4);
+    let want = [("0.0", "q8"), ("0.0", "topk:0.1"), ("0.5", "q8"), ("0.5", "topk:0.1")];
+    for (i, (noise, uplink)) in want.iter().enumerate() {
+        let cell = &cells[i];
+        assert_eq!(cell.get("index").and_then(Json::as_f64), Some(i as f64));
+        let coords = cell.get("coords").expect("coords object");
+        assert_eq!(coords.get("dp-noise").and_then(Json::as_str), Some(*noise), "cell {i}");
+        assert_eq!(coords.get("uplink").and_then(Json::as_str), Some(*uplink), "cell {i}");
+        // Each cell's seed derives from the base seed and its index —
+        // cell 0 keeps the base seed exactly.
+        assert_eq!(
+            cell.get("seed").and_then(Json::as_f64),
+            Some(cell_seed(42, i) as f64),
+            "cell {i} seed must be cell_seed(base, index)"
+        );
+    }
+    assert_eq!(cell_seed(42, 0), 42, "cell 0 keeps the base seed");
+}
+
+#[test]
+fn sweep_report_v1_schema_holds_under_a_real_parser() {
+    let spec = write_spec("schema.toml", MATRIX_SPEC);
+    let report = run_ok(&["sweep", &spec, "--json"]);
+    fedsz_cli::cleanup(&[&spec]);
+    let doc = json::parse(&report).expect("sweep report parses");
+
+    assert_eq!(
+        doc.get("schema").and_then(Json::as_str),
+        Some(fedsz_cli::sweep::SWEEP_REPORT_SCHEMA)
+    );
+    assert_eq!(
+        doc.get("schema_version").and_then(Json::as_f64),
+        Some(f64::from(fedsz_cli::sweep::SWEEP_SCHEMA_VERSION))
+    );
+    // Every cell embeds one complete run report: the run-level schema
+    // tag, the checksum the plain run would print, and the DP columns
+    // (never omitted — cell 0 and 1 are clip-only, sigma 0).
+    let cells = doc.get("cells").and_then(Json::as_array).expect("cells array");
+    for (i, cell) in cells.iter().enumerate() {
+        let embedded = cell.get("report").expect("embedded run report");
+        assert_eq!(
+            embedded.get("schema").and_then(Json::as_str),
+            Some("fedsz.run_report.v2"),
+            "cell {i}"
+        );
+        assert!(embedded.get("checksum").and_then(Json::as_str).is_some(), "cell {i} checksum");
+        let rounds = embedded.get("rounds").and_then(Json::as_array).expect("rounds");
+        assert!(!rounds.is_empty(), "cell {i} has rounds");
+        for row in rounds {
+            let sigma = row.get("dp_sigma").expect("dp_sigma column present");
+            let want = if i < 2 { 0.0 } else { 0.25 };
+            assert_eq!(sigma.as_f64(), Some(want), "cell {i}: sigma = clip × multiplier");
+            assert!(
+                row.get("clipped_fraction").and_then(Json::as_f64).is_some(),
+                "the simulator observes clipping, so the column is filled"
+            );
+        }
+    }
+    // The Pareto front is non-empty (something always survives) and
+    // only names real cells.
+    let front = doc.get("pareto").and_then(Json::as_array).expect("pareto array");
+    assert!(!front.is_empty(), "a non-empty sweep has a non-empty Pareto front");
+    for p in front {
+        let index = p.get("index").and_then(Json::as_f64).expect("pareto index") as usize;
+        assert!(index < cells.len(), "pareto front names cell {index} of {}", cells.len());
+        assert!(p.get("upstream_bytes").and_then(Json::as_f64).is_some());
+    }
+}
+
+#[test]
+fn sweeps_are_deterministic_outside_wall_clock() {
+    let spec = write_spec("determinism.toml", MATRIX_SPEC);
+    let first = run_ok(&["sweep", &spec, "--json", "--threads", "2"]);
+    let second = run_ok(&["sweep", &spec, "--json", "--threads", "1"]);
+    fedsz_cli::cleanup(&[&spec]);
+    // The Pareto front ranks on measured wall time, so it may differ
+    // run to run by design; everything before it must agree bit for
+    // bit once the measured timings are masked — across pool widths.
+    let cells_only = |doc: &str| {
+        let masked = mask_timing(doc);
+        masked.split("\"pareto\"").next().expect("report has a pareto section").to_string()
+    };
+    assert_eq!(
+        cells_only(&first),
+        cells_only(&second),
+        "same spec must reproduce the same cells, regardless of worker threads"
+    );
+}
+
+#[test]
+fn a_one_cell_sweep_embeds_the_plain_fl_report_bit_for_bit() {
+    let spec = write_spec(
+        "parity.toml",
+        "clients = 2\nrounds = 1\nseed = 42\ntrain-per-class = 2\ndp-clip = 0.5\n\
+         dp-noise = 0.5\nuplink = \"q8\"\n",
+    );
+    let sweep = run_ok(&["sweep", &spec, "--json"]);
+    let plain = run_ok(&["fl", "--config", &spec, "--json"]);
+    fedsz_cli::cleanup(&[&spec]);
+    // The flat spec is a degenerate one-cell sweep whose cell keeps
+    // the base seed, so the embedded report must be the exact document
+    // the plain run prints — only measured timings may differ.
+    let sweep_doc = mask_timing(&sweep);
+    let plain_doc = mask_timing(&plain);
+    assert!(
+        sweep_doc.contains(plain_doc.trim_end()),
+        "one-cell sweep must embed the plain `fedsz fl --json` report bit for bit\n\
+         --- sweep ---\n{sweep_doc}\n--- fl ---\n{plain_doc}"
+    );
+    // And the model fingerprints agree exactly — no masking needed.
+    let plain_parsed = json::parse(&plain).expect("plain report parses");
+    let plain_sum = plain_parsed
+        .get("checksum")
+        .and_then(Json::as_str)
+        .expect("plain report carries a checksum")
+        .to_string();
+    let sweep_parsed = json::parse(&sweep).expect("sweep parses");
+    let embedded = sweep_parsed
+        .get("cells")
+        .and_then(Json::as_array)
+        .and_then(|cells| cells[0].get("report").and_then(|r| r.get("checksum")?.as_str()))
+        .expect("embedded report carries a checksum");
+    assert_eq!(embedded, plain_sum, "the global model bits must match");
+}
+
+#[test]
+fn one_bad_cell_fails_the_whole_sweep_up_front() {
+    let spec = write_spec(
+        "bad_cell.toml",
+        "clients = 2\nrounds = 1\ntrain-per-class = 2\n\n[matrix]\n\
+         uplink = [\"q8\", \"nonsense\"]\n",
+    );
+    let args: Vec<String> = ["sweep", spec.as_str()].iter().map(|s| s.to_string()).collect();
+    let outcome = fedsz_cli::run(&args);
+    fedsz_cli::cleanup(&[&spec]);
+    assert_ne!(outcome.code, 0, "a sweep with an invalid cell must not start");
+    assert!(
+        outcome.report.contains("cell 1") && outcome.report.contains("uplink=nonsense"),
+        "the error must name the offending cell and its coordinates, got:\n{}",
+        outcome.report
+    );
+}
+
+/// The Section VII-D acceptance pin: DP noise is incompressible, so
+/// the noised cell's lossy uplink ships measurably more bytes than
+/// its noise-free twin — same spec, same seed derivation, one axis.
+#[test]
+fn dp_noise_measurably_hurts_lossy_compression() {
+    // The effect needs a model big enough that the noise floor beats
+    // the lossy codec's error bound — AlexNet, not the tiny default.
+    let spec = write_spec(
+        "vii_d.toml",
+        "clients = 4\nrounds = 2\nseed = 42\narch = \"alexnet\"\ntrain-per-class = 4\n\
+         dp-clip = 0.5\nuplink = \"lossy\"\n\n[matrix]\ndp-noise = [0.0, 1.0]\n",
+    );
+    let report = run_ok(&["sweep", &spec, "--json"]);
+    fedsz_cli::cleanup(&[&spec]);
+    let doc = json::parse(&report).expect("sweep report parses");
+    let cells = doc.get("cells").and_then(Json::as_array).expect("cells");
+    let upstream = |cell: &Json| -> f64 {
+        cell.get("report")
+            .and_then(|r| r.get("rounds"))
+            .and_then(Json::as_array)
+            .expect("rounds")
+            .iter()
+            .map(|row| row.get("upstream_bytes").and_then(Json::as_f64).expect("bytes"))
+            .sum()
+    };
+    let (quiet, noised) = (upstream(&cells[0]), upstream(&cells[1]));
+    assert!(
+        noised > quiet,
+        "a DP-noised update must compress worse under the lossy codec \
+         (noise-free {quiet} bytes vs noised {noised} bytes)"
+    );
+}
